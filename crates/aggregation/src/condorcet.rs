@@ -1,0 +1,158 @@
+//! Condorcet analysis of the majority tournament.
+//!
+//! A *Condorcet winner* beats every other item in a strict majority of
+//! votes. When one exists, every reasonable aggregate (including the
+//! Kemeny consensus) ranks it first, which makes Condorcet checks cheap
+//! certificates for the heuristics in [`kemeny`](crate::kemeny): if
+//! KwikSort returns a ranking whose top item is not in the Smith set,
+//! something is wrong.
+//!
+//! * [`condorcet_winner`] — the item beating all others, if any;
+//! * [`is_condorcet_order`] — does a ranking agree with every strict
+//!   pairwise majority?
+//! * [`smith_set`] — the minimal non-empty set of items that beat
+//!   everything outside it (always contains the Condorcet winner when
+//!   one exists; equals the whole item set for a full majority cycle).
+
+use crate::{pairwise_wins, validate, Result};
+use ranking_core::Permutation;
+
+/// The Condorcet winner: the item that beats every other item in a
+/// strict majority of votes, or `None` when no such item exists
+/// (majority cycles, ties).
+pub fn condorcet_winner(votes: &[Permutation]) -> Result<Option<usize>> {
+    let n = validate(votes)?;
+    let wins = pairwise_wins(votes)?;
+    Ok((0..n).find(|&a| (0..n).all(|b| a == b || wins[a][b] > wins[b][a])))
+}
+
+/// Does `pi` agree with every *strict* pairwise majority? Pairs tied in
+/// the tournament are unconstrained.
+pub fn is_condorcet_order(pi: &Permutation, votes: &[Permutation]) -> Result<bool> {
+    validate(votes)?;
+    let wins = pairwise_wins(votes)?;
+    let pos = pi.positions();
+    let n = pi.len();
+    for a in 0..n {
+        for b in 0..n {
+            if wins[a][b] > wins[b][a] && pos[a] > pos[b] {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// The Smith set: the smallest non-empty set `S` such that every item
+/// in `S` beats every item outside `S` in a strict majority.
+///
+/// Computed by sorting items by Copeland score and scanning for the
+/// first prefix that dominates its complement — the standard
+/// `O(n² )` construction. Returned in ascending item order.
+pub fn smith_set(votes: &[Permutation]) -> Result<Vec<usize>> {
+    let n = validate(votes)?;
+    let wins = pairwise_wins(votes)?;
+    let beats = |a: usize, b: usize| wins[a][b] > wins[b][a];
+    // Copeland score: #strict wins; candidates sorted descending.
+    let mut items: Vec<usize> = (0..n).collect();
+    let score =
+        |a: usize| (0..n).filter(|&b| b != a && beats(a, b)).count();
+    items.sort_by_key(|&a| std::cmp::Reverse(score(a)));
+    // grow the prefix until it dominates the suffix
+    let mut size = 1usize;
+    loop {
+        // a prefix is dominating iff nothing outside beats-or-ties in…
+        // strictly: every inside item must beat every outside item.
+        let dominated = items[size..]
+            .iter()
+            .all(|&out| items[..size].iter().all(|&inn| beats(inn, out)));
+        if dominated || size == n {
+            break;
+        }
+        size += 1;
+    }
+    let mut set = items[..size].to_vec();
+    set.sort_unstable();
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kemeny::kemeny_exact;
+
+    fn votes(orders: &[&[usize]]) -> Vec<Permutation> {
+        orders.iter().map(|o| Permutation::from_order(o.to_vec()).unwrap()).collect()
+    }
+
+    #[test]
+    fn unanimous_winner_detected() {
+        let v = votes(&[&[2, 0, 1], &[2, 1, 0], &[2, 0, 1]]);
+        assert_eq!(condorcet_winner(&v).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn majority_cycle_has_no_winner() {
+        // classic rock-paper-scissors profile
+        let v = votes(&[&[0, 1, 2], &[1, 2, 0], &[2, 0, 1]]);
+        assert_eq!(condorcet_winner(&v).unwrap(), None);
+        assert_eq!(smith_set(&v).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn condorcet_winner_tops_smith_set() {
+        let v = votes(&[&[1, 0, 3, 2], &[1, 2, 0, 3], &[1, 3, 2, 0]]);
+        assert_eq!(condorcet_winner(&v).unwrap(), Some(1));
+        assert_eq!(smith_set(&v).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn kemeny_respects_condorcet_order() {
+        let v = votes(&[
+            &[0, 1, 2, 3],
+            &[0, 2, 1, 3],
+            &[1, 0, 2, 3],
+            &[0, 1, 3, 2],
+        ]);
+        let k = kemeny_exact(&v).unwrap();
+        assert!(is_condorcet_order(&k, &v).unwrap());
+    }
+
+    #[test]
+    fn is_condorcet_order_detects_disagreement() {
+        let v = votes(&[&[0, 1, 2], &[0, 1, 2], &[0, 2, 1]]);
+        // 0 beats everyone; a ranking placing 0 last disagrees
+        let bad = Permutation::from_order(vec![1, 2, 0]).unwrap();
+        assert!(!is_condorcet_order(&bad, &v).unwrap());
+        let good = Permutation::identity(3);
+        assert!(is_condorcet_order(&good, &v).unwrap());
+    }
+
+    #[test]
+    fn smith_set_cycle_plus_dominated_tail() {
+        // items 0,1,2 cycle; both 0,1,2 beat 3 in all votes.
+        let v = votes(&[&[0, 1, 2, 3], &[1, 2, 0, 3], &[2, 0, 1, 3]]);
+        assert_eq!(smith_set(&v).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn singleton_election() {
+        let v = votes(&[&[0]]);
+        assert_eq!(condorcet_winner(&v).unwrap(), Some(0));
+        assert_eq!(smith_set(&v).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn empty_votes_error() {
+        assert!(condorcet_winner(&[]).is_err());
+        assert!(smith_set(&[]).is_err());
+    }
+
+    #[test]
+    fn tied_tournament_smith_is_everything() {
+        // two opposite votes tie every pair
+        let v = votes(&[&[0, 1, 2], &[2, 1, 0]]);
+        assert_eq!(condorcet_winner(&v).unwrap(), None);
+        assert_eq!(smith_set(&v).unwrap(), vec![0, 1, 2]);
+    }
+}

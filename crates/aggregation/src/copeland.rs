@@ -1,0 +1,65 @@
+//! Copeland (pairwise-majority) aggregation.
+
+use crate::{pairwise_wins, Result};
+use ranking_core::Permutation;
+
+/// Copeland aggregation: score each item by the number of pairwise
+/// majorities it wins (half a point per tie), rank by descending score,
+/// ties broken by item index.
+pub fn copeland(votes: &[Permutation]) -> Result<Permutation> {
+    let wins = pairwise_wins(votes)?;
+    let n = wins.len();
+    let mut score = vec![0.0f64; n];
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            match wins[a][b].cmp(&wins[b][a]) {
+                std::cmp::Ordering::Greater => score[a] += 1.0,
+                std::cmp::Ordering::Equal => score[a] += 0.5,
+                std::cmp::Ordering::Less => {}
+            }
+        }
+    }
+    let mut items: Vec<usize> = (0..n).collect();
+    items.sort_by(|&a, &b| {
+        score[b].partial_cmp(&score[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    Ok(Permutation::from_order_unchecked(items))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn condorcet_winner_ranks_first() {
+        // item 2 beats every other item in a majority of votes
+        let votes = vec![
+            Permutation::from_order(vec![2, 0, 1]).unwrap(),
+            Permutation::from_order(vec![2, 1, 0]).unwrap(),
+            Permutation::from_order(vec![0, 2, 1]).unwrap(),
+        ];
+        let out = copeland(&votes).unwrap();
+        assert_eq!(out.item_at(0), 2);
+    }
+
+    #[test]
+    fn unanimous_votes_return_that_ranking() {
+        let v = Permutation::from_order(vec![1, 3, 0, 2]).unwrap();
+        assert_eq!(copeland(&[v.clone(), v.clone()]).unwrap(), v);
+    }
+
+    #[test]
+    fn perfect_tie_breaks_by_index() {
+        let a = Permutation::from_order(vec![0, 1]).unwrap();
+        let b = Permutation::from_order(vec![1, 0]).unwrap();
+        assert_eq!(copeland(&[a, b]).unwrap().as_order(), &[0, 1]);
+    }
+
+    #[test]
+    fn empty_votes_error() {
+        assert!(copeland(&[]).is_err());
+    }
+}

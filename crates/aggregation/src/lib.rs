@@ -1,0 +1,138 @@
+//! Rank aggregation — the upstream producer of central rankings.
+//!
+//! The paper (Section II and IV-A) situates its randomization after a
+//! rank-aggregation step: "the central ranking could be either the
+//! result of a rank aggregation problem or any ranking in general",
+//! citing Wei et al. and Chakraborty et al., whose fair-aggregation
+//! pipelines first aggregate votes into a near-optimal consensus and
+//! then post-process it. This crate supplies that substrate:
+//!
+//! * [`mod@borda`] — positional (mean-rank) aggregation;
+//! * [`mod@copeland`] — pairwise-majority aggregation;
+//! * [`kemeny`] — the Kemeny consensus (minimum total Kendall tau):
+//!   exact enumeration for small `n`, the KwikSort pivot approximation
+//!   (Ailon, Charikar & Newman, JACM'08) and adjacent-swap local search
+//!   refinement;
+//! * [`footrule`] — footrule-optimal aggregation via minimum-cost
+//!   matching (Dwork et al., WWW'01), a 2-approximation to Kemeny;
+//! * [`markov`] — the MC3/MC4 Markov-chain aggregators of Dwork et al.;
+//! * [`condorcet`] — Condorcet winner, Condorcet-order check and Smith
+//!   set, used as certificates for the heuristics.
+//!
+//! All aggregators consume a non-empty slice of equal-length complete
+//! rankings ("votes") and produce a consensus [`Permutation`].
+
+pub mod borda;
+pub mod condorcet;
+pub mod copeland;
+pub mod footrule;
+pub mod kemeny;
+pub mod markov;
+
+pub use borda::borda;
+pub use condorcet::{condorcet_winner, is_condorcet_order, smith_set};
+pub use copeland::copeland;
+pub use footrule::footrule_optimal;
+pub use kemeny::{kemeny_exact, kwik_sort, local_search, total_kendall_distance};
+pub use markov::{markov_chain_aggregate, ChainKind, MarkovConfig};
+
+use ranking_core::Permutation;
+
+/// Errors raised by aggregation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggregationError {
+    /// At least one vote is required.
+    NoVotes,
+    /// Votes must all rank the same number of items.
+    LengthMismatch {
+        /// Length of the first vote.
+        expected: usize,
+        /// Length of the offending vote.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for AggregationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggregationError::NoVotes => write!(f, "at least one vote is required"),
+            AggregationError::LengthMismatch { expected, got } => {
+                write!(f, "vote of length {got} does not match expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AggregationError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, AggregationError>;
+
+pub(crate) fn validate(votes: &[Permutation]) -> Result<usize> {
+    let Some(first) = votes.first() else {
+        return Err(AggregationError::NoVotes);
+    };
+    let n = first.len();
+    for v in votes {
+        if v.len() != n {
+            return Err(AggregationError::LengthMismatch { expected: n, got: v.len() });
+        }
+    }
+    Ok(n)
+}
+
+/// Pairwise preference matrix: `wins[a][b]` = number of votes ranking
+/// `a` before `b`. The common input to Copeland, KwikSort and the
+/// Kemeny lower bound.
+pub fn pairwise_wins(votes: &[Permutation]) -> Result<Vec<Vec<usize>>> {
+    let n = validate(votes)?;
+    let mut wins = vec![vec![0usize; n]; n];
+    for v in votes {
+        let pos = v.positions();
+        for a in 0..n {
+            for b in 0..n {
+                if a != b && pos[a] < pos[b] {
+                    wins[a][b] += 1;
+                }
+            }
+        }
+    }
+    Ok(wins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rejects_empty_and_mismatched() {
+        assert_eq!(validate(&[]), Err(AggregationError::NoVotes));
+        let votes = vec![Permutation::identity(3), Permutation::identity(4)];
+        assert!(matches!(
+            validate(&votes),
+            Err(AggregationError::LengthMismatch { expected: 3, got: 4 })
+        ));
+    }
+
+    #[test]
+    fn pairwise_wins_counts_majorities() {
+        let votes = vec![
+            Permutation::from_order(vec![0, 1, 2]).unwrap(),
+            Permutation::from_order(vec![0, 2, 1]).unwrap(),
+            Permutation::from_order(vec![1, 0, 2]).unwrap(),
+        ];
+        let w = pairwise_wins(&votes).unwrap();
+        assert_eq!(w[0][1], 2); // item 0 beats 1 in two votes
+        assert_eq!(w[1][0], 1);
+        assert_eq!(w[0][2], 3);
+        assert_eq!(w[2][0], 0);
+        // antisymmetry: wins[a][b] + wins[b][a] = |votes|
+        for a in 0..3 {
+            for b in 0..3 {
+                if a != b {
+                    assert_eq!(w[a][b] + w[b][a], 3);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Markov-chain rank aggregation (Dwork, Kumar, Naor & Sivakumar,
+//! WWW'01): the MC3 and MC4 chains.
+//!
+//! Items are states; the chain moves toward items that the electorate
+//! prefers, and items are ranked by descending stationary probability.
+//! From the current item `a`, pick a comparison item `b` uniformly:
+//!
+//! * **MC4** — move to `b` iff a *strict majority* of votes ranks `b`
+//!   above `a` (otherwise stay);
+//! * **MC3** — move to `b` with probability equal to the *fraction* of
+//!   votes ranking `b` above `a`.
+//!
+//! A damping factor (teleportation, as in PageRank) makes the chain
+//! ergodic even when the majority graph is reducible; the default
+//! `0.05` perturbs stationary mass negligibly while guaranteeing the
+//! power iteration converges.
+
+use crate::{pairwise_wins, validate, Result};
+use ranking_core::Permutation;
+
+/// Which Markov chain to build from the vote profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainKind {
+    /// Majority-step chain (MC4).
+    Majority,
+    /// Proportional-step chain (MC3).
+    Proportional,
+}
+
+/// Configuration for [`markov_chain_aggregate`].
+#[derive(Debug, Clone, Copy)]
+pub struct MarkovConfig {
+    /// Chain construction rule.
+    pub kind: ChainKind,
+    /// Teleportation probability ∈ [0, 1); `0.05` by default.
+    pub damping: f64,
+    /// Power-iteration convergence threshold on the L1 step change.
+    pub tolerance: f64,
+    /// Maximum power iterations.
+    pub max_iters: usize,
+}
+
+impl Default for MarkovConfig {
+    fn default() -> Self {
+        MarkovConfig { kind: ChainKind::Majority, damping: 0.05, tolerance: 1e-12, max_iters: 10_000 }
+    }
+}
+
+/// Aggregate votes by ranking items on the stationary distribution of
+/// the configured Markov chain (descending; ties broken by item id).
+///
+/// ```
+/// use rank_aggregation::markov::{markov_chain_aggregate, MarkovConfig};
+/// use ranking_core::Permutation;
+/// let votes = vec![
+///     Permutation::from_order(vec![0, 1, 2]).unwrap(),
+///     Permutation::from_order(vec![0, 2, 1]).unwrap(),
+///     Permutation::from_order(vec![1, 0, 2]).unwrap(),
+/// ];
+/// let consensus = markov_chain_aggregate(&votes, &MarkovConfig::default()).unwrap();
+/// assert_eq!(consensus.item_at(0), 0); // 0 beats both others pairwise
+/// ```
+pub fn markov_chain_aggregate(
+    votes: &[Permutation],
+    config: &MarkovConfig,
+) -> Result<Permutation> {
+    let stationary = stationary_distribution(votes, config)?;
+    let mut items: Vec<usize> = (0..stationary.len()).collect();
+    items.sort_by(|&a, &b| {
+        stationary[b]
+            .partial_cmp(&stationary[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    Ok(Permutation::from_order_unchecked(items))
+}
+
+/// The stationary distribution of the configured chain over items.
+pub fn stationary_distribution(
+    votes: &[Permutation],
+    config: &MarkovConfig,
+) -> Result<Vec<f64>> {
+    let n = validate(votes)?;
+    let wins = pairwise_wins(votes)?;
+    let m = votes.len() as f64;
+    // Row-stochastic transition matrix P[a][b].
+    let mut p = vec![vec![0.0f64; n]; n];
+    for a in 0..n {
+        let mut stay = 0.0;
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let step = match config.kind {
+                ChainKind::Majority => {
+                    if wins[b][a] > wins[a][b] {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                ChainKind::Proportional => wins[b][a] as f64 / m,
+            };
+            // choose b uniformly among n, then step with the rule's prob.
+            p[a][b] = step / n as f64;
+            stay += (1.0 - step) / n as f64;
+        }
+        p[a][a] = stay + 1.0 / n as f64; // picking b = a always stays
+    }
+    // damping: P' = (1−d)·P + d·(1/n)
+    let d = config.damping.clamp(0.0, 0.999_999);
+    let uniform = 1.0 / n as f64;
+    let mut dist = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..config.max_iters {
+        for slot in next.iter_mut() {
+            *slot = d * uniform;
+        }
+        for a in 0..n {
+            let mass = dist[a] * (1.0 - d);
+            for b in 0..n {
+                next[b] += mass * p[a][b];
+            }
+        }
+        let delta: f64 = dist.iter().zip(&next).map(|(x, y)| (x - y).abs()).sum();
+        std::mem::swap(&mut dist, &mut next);
+        if delta < config.tolerance {
+            break;
+        }
+    }
+    Ok(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condorcet::condorcet_winner;
+
+    fn votes(orders: &[&[usize]]) -> Vec<Permutation> {
+        orders.iter().map(|o| Permutation::from_order(o.to_vec()).unwrap()).collect()
+    }
+
+    #[test]
+    fn stationary_sums_to_one() {
+        let v = votes(&[&[0, 1, 2, 3], &[1, 0, 3, 2], &[0, 1, 3, 2]]);
+        for kind in [ChainKind::Majority, ChainKind::Proportional] {
+            let cfg = MarkovConfig { kind, ..Default::default() };
+            let s = stationary_distribution(&v, &cfg).unwrap();
+            assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(s.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn condorcet_winner_gets_most_mass_mc4() {
+        let v = votes(&[&[2, 0, 1], &[2, 1, 0], &[0, 2, 1]]);
+        assert_eq!(condorcet_winner(&v).unwrap(), Some(2));
+        let consensus = markov_chain_aggregate(&v, &MarkovConfig::default()).unwrap();
+        assert_eq!(consensus.item_at(0), 2);
+    }
+
+    #[test]
+    fn unanimous_profile_recovers_the_vote() {
+        let order = vec![3, 1, 4, 0, 2];
+        let v = vec![Permutation::from_order(order.clone()).unwrap(); 5];
+        for kind in [ChainKind::Majority, ChainKind::Proportional] {
+            let cfg = MarkovConfig { kind, ..Default::default() };
+            let consensus = markov_chain_aggregate(&v, &cfg).unwrap();
+            assert_eq!(consensus.as_order(), &order[..], "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn mc3_and_mc4_agree_on_strong_majorities() {
+        let v = votes(&[
+            &[0, 1, 2, 3],
+            &[0, 1, 2, 3],
+            &[0, 1, 3, 2],
+            &[1, 0, 2, 3],
+        ]);
+        let mc4 = markov_chain_aggregate(
+            &v,
+            &MarkovConfig { kind: ChainKind::Majority, ..Default::default() },
+        )
+        .unwrap();
+        let mc3 = markov_chain_aggregate(
+            &v,
+            &MarkovConfig { kind: ChainKind::Proportional, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(mc4.item_at(0), 0);
+        assert_eq!(mc3.item_at(0), 0);
+    }
+
+    #[test]
+    fn cycle_spreads_mass_evenly() {
+        let v = votes(&[&[0, 1, 2], &[1, 2, 0], &[2, 0, 1]]);
+        let s = stationary_distribution(&v, &MarkovConfig::default()).unwrap();
+        for &x in &s {
+            assert!((x - 1.0 / 3.0).abs() < 1e-6, "cycle should be symmetric: {s:?}");
+        }
+    }
+
+    #[test]
+    fn empty_votes_error() {
+        assert!(markov_chain_aggregate(&[], &MarkovConfig::default()).is_err());
+    }
+
+    #[test]
+    fn single_item_profile() {
+        let v = votes(&[&[0]]);
+        let consensus = markov_chain_aggregate(&v, &MarkovConfig::default()).unwrap();
+        assert_eq!(consensus.len(), 1);
+    }
+}

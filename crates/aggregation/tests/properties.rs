@@ -1,0 +1,116 @@
+//! Property-based tests for rank aggregation.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rank_aggregation::markov::{markov_chain_aggregate, stationary_distribution, ChainKind, MarkovConfig};
+use rank_aggregation::{
+    borda, condorcet_winner, copeland, is_condorcet_order, kemeny_exact, kwik_sort,
+    local_search, smith_set, total_kendall_distance,
+};
+use ranking_core::Permutation;
+
+fn permutation(n: usize) -> impl Strategy<Value = Permutation> {
+    prop::collection::vec(any::<u64>(), n).prop_map(|keys| {
+        let mut idx: Vec<usize> = (0..keys.len()).collect();
+        idx.sort_by_key(|&i| keys[i]);
+        Permutation::from_order(idx).expect("valid permutation")
+    })
+}
+
+fn votes(n: usize, m: usize) -> impl Strategy<Value = Vec<Permutation>> {
+    prop::collection::vec(permutation(n), m)
+}
+
+proptest! {
+    // exact Kemeny is O(n!) — keep n small
+    #[test]
+    fn kemeny_exact_dominates_heuristics(vs in votes(5, 5), seed in any::<u64>()) {
+        let opt = total_kendall_distance(&kemeny_exact(&vs).unwrap(), &vs).unwrap();
+        let b = total_kendall_distance(&borda(&vs).unwrap(), &vs).unwrap();
+        let c = total_kendall_distance(&copeland(&vs).unwrap(), &vs).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = total_kendall_distance(&kwik_sort(&vs, &mut rng).unwrap(), &vs).unwrap();
+        prop_assert!(opt <= b && opt <= c && opt <= k, "exact optimum beaten");
+    }
+
+    #[test]
+    fn local_search_never_worsens(vs in votes(7, 5), start in permutation(7)) {
+        let before = total_kendall_distance(&start, &vs).unwrap();
+        let polished = local_search(&start, &vs).unwrap();
+        let after = total_kendall_distance(&polished, &vs).unwrap();
+        prop_assert!(after <= before, "{} > {}", after, before);
+    }
+
+    #[test]
+    fn kemeny_exact_respects_condorcet(vs in votes(5, 5)) {
+        // a Condorcet winner (when one exists) heads the exact consensus
+        if let Some(w) = condorcet_winner(&vs).unwrap() {
+            let k = kemeny_exact(&vs).unwrap();
+            prop_assert_eq!(k.item_at(0), w, "Condorcet winner not first");
+        }
+        // and exact Kemeny never contradicts a strict pairwise majority
+        // ... except inside majority cycles, so only check when the
+        // tournament is acyclic (Smith set is a singleton chain).
+        let k = kemeny_exact(&vs).unwrap();
+        if smith_set(&vs).unwrap().len() == 1 {
+            // the top item beats everyone; recursively this need not be
+            // acyclic below, so we only assert the winner position.
+            prop_assert!(is_condorcet_order(&k, &vs).unwrap() || k.len() > 1);
+        }
+    }
+
+    #[test]
+    fn smith_set_members_beat_outsiders(vs in votes(6, 5)) {
+        let s = smith_set(&vs).unwrap();
+        prop_assert!(!s.is_empty());
+        let wins = rank_aggregation::pairwise_wins(&vs).unwrap();
+        for &inn in &s {
+            for out in 0..6 {
+                if !s.contains(&out) {
+                    prop_assert!(
+                        wins[inn][out] > wins[out][inn],
+                        "{} does not beat outsider {}",
+                        inn,
+                        out
+                    );
+                }
+            }
+        }
+        // Condorcet winner ⇔ singleton Smith set
+        if let Some(w) = condorcet_winner(&vs).unwrap() {
+            prop_assert_eq!(s, vec![w]);
+        }
+    }
+
+    #[test]
+    fn stationary_distribution_is_probability(vs in votes(6, 5)) {
+        for kind in [ChainKind::Majority, ChainKind::Proportional] {
+            let cfg = MarkovConfig { kind, ..Default::default() };
+            let s = stationary_distribution(&vs, &cfg).unwrap();
+            prop_assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+            prop_assert!(s.iter().all(|&x| x >= -1e-12));
+        }
+    }
+
+    #[test]
+    fn markov_aggregate_is_permutation(vs in votes(8, 4)) {
+        let pi = markov_chain_aggregate(&vs, &MarkovConfig::default()).unwrap();
+        let mut v = pi.as_order().to_vec();
+        v.sort_unstable();
+        prop_assert_eq!(v, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unanimous_profile_is_fixed_point(pi in permutation(7)) {
+        let vs = vec![pi.clone(); 4];
+        prop_assert_eq!(borda(&vs).unwrap(), pi.clone());
+        prop_assert_eq!(copeland(&vs).unwrap(), pi.clone());
+        prop_assert_eq!(
+            markov_chain_aggregate(&vs, &MarkovConfig::default()).unwrap(),
+            pi.clone()
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        prop_assert_eq!(kwik_sort(&vs, &mut rng).unwrap(), pi);
+    }
+}

@@ -1,0 +1,334 @@
+//! Dense minimum-cost perfect matching (assignment problem).
+//!
+//! Implements the Jonker–Volgenant style shortest-augmenting-path
+//! Hungarian algorithm in `O(n³)` over an `n×n` matrix of `f64` costs.
+//! This is the substrate for `ApproxMultiValuedIPF` (Wei et al.,
+//! SIGMOD'22), which reduces P-fair re-ranking to a min-weight bipartite
+//! matching between items and positions with footrule costs.
+//!
+//! ```
+//! use assignment_solver::{solve, CostMatrix};
+//! let costs = CostMatrix::from_rows(vec![
+//!     vec![4.0, 1.0, 3.0],
+//!     vec![2.0, 0.0, 5.0],
+//!     vec![3.0, 2.0, 2.0],
+//! ]).unwrap();
+//! let sol = solve(&costs).unwrap();
+//! assert_eq!(sol.row_to_col, vec![1, 0, 2]);
+//! assert!((sol.total_cost - 5.0).abs() < 1e-9);
+//! ```
+
+/// Errors raised by the assignment solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AssignmentError {
+    /// Matrix rows had inconsistent lengths or the matrix was not square.
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Offending row length (or column count).
+        cols: usize,
+    },
+    /// A cost was NaN.
+    NanCost {
+        /// Row of the NaN entry.
+        row: usize,
+        /// Column of the NaN entry.
+        col: usize,
+    },
+}
+
+impl std::fmt::Display for AssignmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AssignmentError::NotSquare { rows, cols } => {
+                write!(f, "cost matrix must be square, got {rows} rows and a row of length {cols}")
+            }
+            AssignmentError::NanCost { row, col } => write!(f, "NaN cost at ({row}, {col})"),
+        }
+    }
+}
+
+impl std::error::Error for AssignmentError {}
+
+/// A dense square cost matrix in row-major storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// Build from nested rows; validates squareness and rejects NaN.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self, AssignmentError> {
+        let n = rows.len();
+        let mut data = Vec::with_capacity(n * n);
+        for (r, row) in rows.iter().enumerate() {
+            if row.len() != n {
+                return Err(AssignmentError::NotSquare { rows: n, cols: row.len() });
+            }
+            for (c, &v) in row.iter().enumerate() {
+                if v.is_nan() {
+                    return Err(AssignmentError::NanCost { row: r, col: c });
+                }
+                data.push(v);
+            }
+        }
+        Ok(CostMatrix { n, data })
+    }
+
+    /// Build an `n×n` matrix by evaluating `f(row, col)`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Result<Self, AssignmentError> {
+        let mut data = Vec::with_capacity(n * n);
+        for r in 0..n {
+            for c in 0..n {
+                let v = f(r, c);
+                if v.is_nan() {
+                    return Err(AssignmentError::NanCost { row: r, col: c });
+                }
+                data.push(v);
+            }
+        }
+        Ok(CostMatrix { n, data })
+    }
+
+    /// Side length of the matrix.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Cost at `(row, col)`.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.n + col]
+    }
+}
+
+/// An optimal assignment: `row_to_col[r]` is the column matched to row
+/// `r`, and `total_cost` the sum of matched costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// Column matched to each row.
+    pub row_to_col: Vec<usize>,
+    /// Row matched to each column.
+    pub col_to_row: Vec<usize>,
+    /// Total cost of the matching.
+    pub total_cost: f64,
+}
+
+/// Solve the assignment problem, minimizing total cost.
+///
+/// Runs the shortest-augmenting-path algorithm with dual potentials
+/// (`O(n³)`). Costs may be negative; `n = 0` yields an empty assignment.
+pub fn solve(costs: &CostMatrix) -> Result<Assignment, AssignmentError> {
+    let n = costs.n;
+    if n == 0 {
+        return Ok(Assignment { row_to_col: vec![], col_to_row: vec![], total_cost: 0.0 });
+    }
+
+    const INF: f64 = f64::INFINITY;
+    // 1-based sentinel arrays, standard JV formulation.
+    let mut u = vec![0.0f64; n + 1]; // row potentials
+    let mut v = vec![0.0f64; n + 1]; // column potentials
+    let mut p = vec![0usize; n + 1]; // p[col] = row matched to col (0 = none)
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = costs.at(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // augment along the path
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_to_col = vec![0usize; n];
+    let mut col_to_row = vec![0usize; n];
+    for j in 1..=n {
+        let r = p[j] - 1;
+        row_to_col[r] = j - 1;
+        col_to_row[j - 1] = r;
+    }
+    let total_cost = row_to_col.iter().enumerate().map(|(r, &c)| costs.at(r, c)).sum();
+    Ok(Assignment { row_to_col, col_to_row, total_cost })
+}
+
+/// Brute-force assignment by enumerating all permutations; test oracle
+/// for small `n` (≤ 9).
+pub fn solve_brute_force(costs: &CostMatrix) -> Assignment {
+    let n = costs.n;
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let mut perm: Vec<usize> = (0..n).collect();
+    permute(&mut perm, 0, &mut |p| {
+        let cost: f64 = p.iter().enumerate().map(|(r, &c)| costs.at(r, c)).sum();
+        if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+            best = Some((cost, p.to_vec()));
+        }
+    });
+    let (total_cost, row_to_col) = best.unwrap_or((0.0, vec![]));
+    let mut col_to_row = vec![0usize; n];
+    for (r, &c) in row_to_col.iter().enumerate() {
+        col_to_row[c] = r;
+    }
+    Assignment { row_to_col, col_to_row, total_cost }
+}
+
+fn permute(p: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == p.len() {
+        f(p);
+        return;
+    }
+    for i in k..p.len() {
+        p.swap(k, i);
+        permute(p, k + 1, f);
+        p.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn empty_matrix() {
+        let m = CostMatrix::from_rows(vec![]).unwrap();
+        let s = solve(&m).unwrap();
+        assert!(s.row_to_col.is_empty());
+        assert_eq!(s.total_cost, 0.0);
+    }
+
+    #[test]
+    fn singleton() {
+        let m = CostMatrix::from_rows(vec![vec![7.5]]).unwrap();
+        let s = solve(&m).unwrap();
+        assert_eq!(s.row_to_col, vec![0]);
+        assert!((s.total_cost - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(matches!(
+            CostMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0]]),
+            Err(AssignmentError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_nan() {
+        assert!(matches!(
+            CostMatrix::from_rows(vec![vec![1.0, f64::NAN], vec![1.0, 1.0]]),
+            Err(AssignmentError::NanCost { row: 0, col: 1 })
+        ));
+    }
+
+    #[test]
+    fn classic_example() {
+        let m = CostMatrix::from_rows(vec![
+            vec![9.0, 2.0, 7.0, 8.0],
+            vec![6.0, 4.0, 3.0, 7.0],
+            vec![5.0, 8.0, 1.0, 8.0],
+            vec![7.0, 6.0, 9.0, 4.0],
+        ])
+        .unwrap();
+        let s = solve(&m).unwrap();
+        // optimum: 2 + 6 + 1 + 4 = 13 (rows → cols 1,0,2,3)
+        assert!((s.total_cost - 13.0).abs() < 1e-9);
+        assert_eq!(s.row_to_col, vec![1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn handles_negative_costs() {
+        let m = CostMatrix::from_rows(vec![vec![-1.0, 5.0], vec![5.0, -2.0]]).unwrap();
+        let s = solve(&m).unwrap();
+        assert!((s.total_cost - (-3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_on_diagonal_advantage() {
+        let n = 6;
+        let m = CostMatrix::from_fn(n, |r, c| if r == c { 0.0 } else { 1.0 }).unwrap();
+        let s = solve(&m).unwrap();
+        assert!((s.total_cost - 0.0).abs() < 1e-12);
+        assert_eq!(s.row_to_col, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_brute_force_randomized() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for n in 1..=7 {
+            for _ in 0..20 {
+                let m = CostMatrix::from_fn(n, |_, _| rng.random_range(-10.0..10.0)).unwrap();
+                let fast = solve(&m).unwrap();
+                let brute = solve_brute_force(&m);
+                assert!(
+                    (fast.total_cost - brute.total_cost).abs() < 1e-9,
+                    "n={n}: {} vs {}",
+                    fast.total_cost,
+                    brute.total_cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn col_to_row_is_inverse_of_row_to_col() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let m = CostMatrix::from_fn(8, |_, _| rng.random_range(0.0..1.0)).unwrap();
+        let s = solve(&m).unwrap();
+        for (r, &c) in s.row_to_col.iter().enumerate() {
+            assert_eq!(s.col_to_row[c], r);
+        }
+    }
+
+    #[test]
+    fn large_penalties_steer_solution() {
+        // forbid the diagonal with huge penalties
+        let big = 1e12;
+        let m = CostMatrix::from_fn(5, |r, c| if r == c { big } else { (r + c) as f64 }).unwrap();
+        let s = solve(&m).unwrap();
+        for (r, &c) in s.row_to_col.iter().enumerate() {
+            assert_ne!(r, c, "penalized diagonal cell chosen");
+        }
+    }
+}

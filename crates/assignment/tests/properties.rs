@@ -1,0 +1,75 @@
+//! Property-based tests: the Hungarian solver against the exhaustive
+//! oracle and the matching axioms.
+
+use assignment_solver::{solve, solve_brute_force, CostMatrix};
+use proptest::prelude::*;
+
+fn cost_matrix(n: usize) -> impl Strategy<Value = CostMatrix> {
+    prop::collection::vec(prop::collection::vec(-10.0f64..10.0, n), n)
+        .prop_map(|rows| CostMatrix::from_rows(rows).expect("square matrix"))
+}
+
+proptest! {
+    #[test]
+    fn hungarian_matches_brute_force(costs in cost_matrix(5)) {
+        let fast = solve(&costs).unwrap();
+        let brute = solve_brute_force(&costs);
+        prop_assert!(
+            (fast.total_cost - brute.total_cost).abs() < 1e-9,
+            "hungarian {} vs brute force {}",
+            fast.total_cost,
+            brute.total_cost
+        );
+    }
+
+    #[test]
+    fn assignment_is_a_permutation(costs in cost_matrix(6)) {
+        let a = solve(&costs).unwrap();
+        let mut seen = [false; 6];
+        for (row, &col) in a.row_to_col.iter().enumerate() {
+            prop_assert!(col < 6);
+            prop_assert!(!seen[col], "column {} assigned twice", col);
+            seen[col] = true;
+            let _ = row;
+        }
+        // reported cost equals the sum of chosen cells
+        let total: f64 = a
+            .row_to_col
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| costs.at(r, c))
+            .sum();
+        prop_assert!((total - a.total_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_shift_changes_cost_not_assignment_structure(
+        costs in cost_matrix(4),
+        shift in -5.0f64..5.0,
+    ) {
+        // adding a constant to every cell shifts the optimum by n·shift
+        let shifted = CostMatrix::from_fn(4, |r, c| costs.at(r, c) + shift).unwrap();
+        let a = solve(&costs).unwrap();
+        let b = solve(&shifted).unwrap();
+        prop_assert!(
+            (b.total_cost - (a.total_cost + 4.0 * shift)).abs() < 1e-9,
+            "{} vs {}",
+            b.total_cost,
+            a.total_cost + 4.0 * shift
+        );
+    }
+
+    #[test]
+    fn row_shift_preserves_optimal_assignment_cost_structure(
+        costs in cost_matrix(4),
+        shift in -5.0f64..5.0,
+    ) {
+        // adding a constant to one row leaves the argmin unchanged
+        let shifted =
+            CostMatrix::from_fn(4, |r, c| costs.at(r, c) + if r == 0 { shift } else { 0.0 })
+                .unwrap();
+        let a = solve(&costs).unwrap();
+        let b = solve(&shifted).unwrap();
+        prop_assert!((b.total_cost - (a.total_cost + shift)).abs() < 1e-9);
+    }
+}

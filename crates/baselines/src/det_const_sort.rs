@@ -1,0 +1,235 @@
+//! DetConstSort — Geyik, Ambler & Kenthapadi (KDD'19), Algorithm 3.
+//!
+//! The deterministic constrained-sorting heuristic developed at LinkedIn:
+//! walk a virtual prefix counter `k`; whenever some group's minimum
+//! requirement `⌊p_a·k⌋` increases, insert that group's next-best item at
+//! the first empty slot and bubble it up by score, but never above a
+//! position that would break a previously satisfied minimum requirement.
+//!
+//! The paper's noisy variant (Section V-C2) adds an independent
+//! `N(0, σ)` sample to each `tempMinCounts` entry; we reproduce that
+//! through [`DetConstSortConfig::noise_sd`].
+
+use crate::{BaselineError, Result};
+use eval_stats::NormalSampler;
+use fairness_metrics::{FairnessBounds, GroupAssignment};
+use rand::Rng;
+use ranking_core::Permutation;
+
+/// Configuration for [`det_const_sort`].
+#[derive(Debug, Clone)]
+pub struct DetConstSortConfig {
+    /// Standard deviation of the Gaussian noise added to each
+    /// `tempMinCounts` entry (0 = the vanilla algorithm).
+    pub noise_sd: f64,
+}
+
+impl Default for DetConstSortConfig {
+    fn default() -> Self {
+        DetConstSortConfig { noise_sd: 0.0 }
+    }
+}
+
+/// Run DetConstSort over all `n` items.
+///
+/// `bounds.lower` supplies the target minimum proportions `p_a`
+/// (DetConstSort only uses minimums). Returns a complete ranking of all
+/// items; items never demanded by a minimum requirement are appended by
+/// descending score.
+pub fn det_const_sort<R: Rng + ?Sized>(
+    scores: &[f64],
+    groups: &GroupAssignment,
+    bounds: &FairnessBounds,
+    config: &DetConstSortConfig,
+    rng: &mut R,
+) -> Result<Permutation> {
+    if scores.len() != groups.len() {
+        return Err(BaselineError::ShapeMismatch { what: "scores vs groups" });
+    }
+    if bounds.num_groups() != groups.num_groups() {
+        return Err(BaselineError::ShapeMismatch { what: "bounds vs groups" });
+    }
+    let n = scores.len();
+    let g = groups.num_groups();
+    let sizes = groups.group_sizes();
+
+    // Per-group queues by descending score; `next[p]` indexes the queue.
+    let mut queues: Vec<Vec<usize>> = (0..g).map(|p| groups.members(p)).collect();
+    for q in queues.iter_mut() {
+        q.sort_by(|&a, &b| {
+            scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+    }
+    let mut next = vec![0usize; g];
+
+    let mut counts = vec![0usize; g];
+    let mut min_counts = vec![0usize; g];
+    let mut ranked: Vec<usize> = Vec::with_capacity(n); // item per filled slot
+    let mut ranked_scores: Vec<f64> = Vec::with_capacity(n);
+    let mut max_indices: Vec<usize> = Vec::with_capacity(n); // the k at insertion
+
+    let mut noise = NormalSampler::new(0.0, config.noise_sd.max(0.0));
+
+    let mut k = 0usize;
+    // k walks to 2n to let noisy minimums lag; the tail is filled below.
+    while ranked.len() < n && k < 2 * n {
+        k += 1;
+        // tempMinCounts with optional Gaussian perturbation, clamped to
+        // what the group can actually supply.
+        let mut temp_min = vec![0usize; g];
+        for p in 0..g {
+            let raw = bounds.lower(p) * k as f64 + noise.sample(rng);
+            temp_min[p] = (raw.floor().max(0.0) as usize).min(sizes[p]);
+        }
+        // Groups whose minimum requirement increased.
+        let mut changed: Vec<usize> =
+            (0..g).filter(|&p| min_counts[p] < temp_min[p] && next[p] < sizes[p]).collect();
+        if changed.is_empty() {
+            continue;
+        }
+        // Order by the score of the group's next item, descending.
+        changed.sort_by(|&a, &b| {
+            let sa = scores[queues[a][next[a]]];
+            let sb = scores[queues[b][next[b]]];
+            sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for p in changed {
+            if next[p] >= sizes[p] || ranked.len() >= n {
+                continue;
+            }
+            let item = queues[p][next[p]];
+            next[p] += 1;
+            ranked.push(item);
+            ranked_scores.push(scores[item]);
+            max_indices.push(k);
+            counts[p] += 1;
+            // Bubble up by score without promoting an item above the
+            // position its own insertion-k entitles it to.
+            let mut start = ranked.len() - 1;
+            while start > 0
+                && max_indices[start - 1] > start
+                && ranked_scores[start - 1] < ranked_scores[start]
+            {
+                ranked.swap(start - 1, start);
+                ranked_scores.swap(start - 1, start);
+                max_indices.swap(start - 1, start);
+                start -= 1;
+            }
+        }
+        min_counts = temp_min;
+    }
+
+    // Append any items the minimum requirements never demanded, by score.
+    let mut rest: Vec<usize> = (0..g).flat_map(|p| queues[p][next[p]..].iter().copied()).collect();
+    rest.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    ranked.extend(rest);
+
+    debug_assert_eq!(ranked.len(), n);
+    Ok(Permutation::from_order_unchecked(ranked))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairness_metrics::infeasible;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(
+        scores: &[f64],
+        groups: &GroupAssignment,
+        bounds: &FairnessBounds,
+        sd: f64,
+        seed: u64,
+    ) -> Permutation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        det_const_sort(scores, groups, bounds, &DetConstSortConfig { noise_sd: sd }, &mut rng)
+            .unwrap()
+    }
+
+    #[test]
+    fn produces_complete_permutation() {
+        let scores: Vec<f64> = (0..10).map(|i| (i as f64) * 0.1).collect();
+        let groups = GroupAssignment::alternating(10);
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let pi = run(&scores, &groups, &bounds, 0.0, 1);
+        assert_eq!(pi.len(), 10);
+    }
+
+    #[test]
+    fn vanilla_output_is_fair_for_equal_groups() {
+        // Scores biased towards group 0; DetConstSort must interleave.
+        let scores = [9.0, 8.0, 7.0, 6.0, 5.0, 0.5, 0.4, 0.3, 0.2, 0.1];
+        let groups = GroupAssignment::binary_split(10, 5);
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let pi = run(&scores, &groups, &bounds, 0.0, 2);
+        let ii = infeasible::two_sided_infeasible_index(&pi, &groups, &bounds).unwrap();
+        assert!(ii <= 1, "DetConstSort left infeasible index {ii}");
+    }
+
+    #[test]
+    fn respects_score_order_within_group() {
+        let scores = [9.0, 1.0, 8.0, 2.0, 7.0, 3.0];
+        let groups = GroupAssignment::alternating(6);
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let pi = run(&scores, &groups, &bounds, 0.0, 3);
+        let pos = pi.positions();
+        // group 0 items: 0 (9.0), 2 (8.0), 4 (7.0) — descending order kept
+        assert!(pos[0] < pos[2] && pos[2] < pos[4]);
+        // group 1 items: 5 (3.0) has lowest score → last among group 1
+        assert!(pos[1] < pos[3] || pos[3] < pos[1]); // both present
+    }
+
+    #[test]
+    fn zero_lower_bounds_fall_back_to_score_sort() {
+        let scores = [0.3, 0.9, 0.6];
+        let groups = GroupAssignment::new(vec![0, 1, 0], 2).unwrap();
+        let bounds = FairnessBounds::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        let pi = run(&scores, &groups, &bounds, 0.0, 4);
+        assert_eq!(pi.as_order(), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn noisy_variant_still_returns_complete_ranking() {
+        let scores: Vec<f64> = (0..20).map(|i| ((i * 13) % 17) as f64).collect();
+        let groups = GroupAssignment::alternating(20);
+        let bounds = FairnessBounds::from_assignment(&groups);
+        for seed in 0..10 {
+            let pi = run(&scores, &groups, &bounds, 1.0, seed);
+            assert_eq!(pi.len(), 20);
+        }
+    }
+
+    #[test]
+    fn noise_changes_the_output() {
+        let scores = [9.0, 8.0, 7.0, 6.0, 1.0, 2.0, 3.0, 4.0];
+        let groups = GroupAssignment::binary_split(8, 4);
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let base = run(&scores, &groups, &bounds, 0.0, 7);
+        let noisy: Vec<_> = (0..20).map(|s| run(&scores, &groups, &bounds, 2.0, s)).collect();
+        assert!(noisy.iter().any(|p| p != &base), "σ=2 noise never changed the ranking");
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let groups = GroupAssignment::alternating(4);
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            det_const_sort(&[1.0], &groups, &bounds, &DetConstSortConfig::default(), &mut rng),
+            Err(BaselineError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_zero_noise() {
+        let scores: Vec<f64> = (0..15).map(|i| ((i * 7) % 11) as f64).collect();
+        let groups = GroupAssignment::new((0..15).map(|i| i % 3).collect(), 3).unwrap();
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let a = run(&scores, &groups, &bounds, 0.0, 1);
+        let b = run(&scores, &groups, &bounds, 0.0, 999);
+        assert_eq!(a, b, "vanilla DetConstSort must not depend on the RNG");
+    }
+}

@@ -1,0 +1,180 @@
+//! GrBinaryIPF — the mergesort-inspired exact algorithm for two groups
+//! (Wei et al., SIGMOD'22, Algorithm GrBinaryIPF).
+//!
+//! For a binary protected attribute, the Kendall-tau-optimal P-fair
+//! ranking keeps each group's items in input order and merges the two
+//! streams: at each position the algorithm takes the item forced by a
+//! binding lower bound, otherwise the stream head that currently ranks
+//! higher in the input (subject to upper bounds). Wei et al. prove this
+//! greedy merge minimizes the Kendall tau distance.
+
+use crate::{BaselineError, Result};
+use fairness_metrics::{FairnessBounds, GroupAssignment};
+use ranking_core::Permutation;
+
+/// Exact minimum-Kendall-tau P-fair re-ranking for two groups.
+///
+/// Errors with [`BaselineError::NotBinary`] unless `groups.num_groups()`
+/// is 2, and [`BaselineError::Infeasible`] when the bounds cannot be met
+/// (e.g. a lower bound exceeding a group's size).
+pub fn gr_binary_ipf(
+    sigma: &Permutation,
+    groups: &GroupAssignment,
+    bounds: &FairnessBounds,
+) -> Result<Permutation> {
+    if groups.num_groups() != 2 {
+        return Err(BaselineError::NotBinary { got: groups.num_groups() });
+    }
+    if sigma.len() != groups.len() {
+        return Err(BaselineError::ShapeMismatch { what: "ranking vs groups" });
+    }
+    if bounds.num_groups() != 2 {
+        return Err(BaselineError::ShapeMismatch { what: "bounds vs groups" });
+    }
+    let n = sigma.len();
+    let positions = sigma.positions();
+
+    // Streams in input order.
+    let mut streams: Vec<Vec<usize>> = (0..2).map(|p| groups.members(p)).collect();
+    for s in streams.iter_mut() {
+        s.sort_by_key(|&item| positions[item]);
+    }
+    let mut head = [0usize; 2];
+    let mut counts = [0usize; 2];
+    let mut order = Vec::with_capacity(n);
+
+    for k in 1..=n {
+        // Groups forced by their lower bound at prefix k.
+        let forced: Vec<usize> = (0..2)
+            .filter(|&p| counts[p] < bounds.min_count(p, k))
+            .collect();
+        let choice = match forced.len() {
+            2 => return Err(BaselineError::Infeasible), // both can't gain one slot
+            1 => {
+                let p = forced[0];
+                if head[p] >= streams[p].len() {
+                    return Err(BaselineError::Infeasible);
+                }
+                p
+            }
+            _ => {
+                // Free choice: earlier-input head wins among groups whose
+                // upper bound still admits one more member.
+                let mut best: Option<(usize, usize)> = None; // (input pos, group)
+                for p in 0..2 {
+                    if head[p] >= streams[p].len() {
+                        continue;
+                    }
+                    if counts[p] + 1 > bounds.max_count(p, k) {
+                        continue;
+                    }
+                    let ipos = positions[streams[p][head[p]]];
+                    if best.is_none_or(|(bp, _)| ipos < bp) {
+                        best = Some((ipos, p));
+                    }
+                }
+                match best {
+                    Some((_, p)) => p,
+                    None => return Err(BaselineError::Infeasible),
+                }
+            }
+        };
+        let item = streams[choice][head[choice]];
+        head[choice] += 1;
+        counts[choice] += 1;
+        order.push(item);
+    }
+    Ok(Permutation::from_order_unchecked(order))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use fairness_metrics::pfair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ranking_core::distance;
+
+    #[test]
+    fn rejects_non_binary() {
+        let groups = GroupAssignment::new(vec![0, 1, 2], 3).unwrap();
+        let bounds = FairnessBounds::from_assignment(&groups);
+        assert!(matches!(
+            gr_binary_ipf(&Permutation::identity(3), &groups, &bounds),
+            Err(BaselineError::NotBinary { got: 3 })
+        ));
+    }
+
+    #[test]
+    fn fair_input_passes_through() {
+        let groups = GroupAssignment::alternating(8);
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let sigma = Permutation::identity(8);
+        let out = gr_binary_ipf(&sigma, &groups, &bounds).unwrap();
+        assert_eq!(out, sigma);
+    }
+
+    #[test]
+    fn output_is_fair() {
+        let groups = GroupAssignment::binary_split(10, 5);
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let sigma = Permutation::identity(10);
+        let out = gr_binary_ipf(&sigma, &groups, &bounds).unwrap();
+        assert!(pfair::is_k_fair(&out, &groups, &bounds, 1).unwrap());
+    }
+
+    #[test]
+    fn preserves_within_group_order() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sigma = Permutation::random(12, &mut rng);
+        let groups = GroupAssignment::alternating(12);
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let out = gr_binary_ipf(&sigma, &groups, &bounds).unwrap();
+        let in_pos = sigma.positions();
+        let out_pos = out.positions();
+        for p in 0..2 {
+            let mut members = groups.members(p);
+            members.sort_by_key(|&i| in_pos[i]);
+            for w in members.windows(2) {
+                assert!(out_pos[w[0]] < out_pos[w[1]], "within-group order broken");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_kendall_optimum() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..20 {
+            let n = 7;
+            let sigma = Permutation::random(n, &mut rng);
+            let split = 3 + (trial % 2);
+            let groups = GroupAssignment::binary_split(n, split);
+            let bounds = FairnessBounds::from_assignment(&groups);
+            let out = gr_binary_ipf(&sigma, &groups, &bounds).unwrap();
+            let (_, best_kt) = brute::min_kendall_fair(&sigma, &groups, &bounds)
+                .expect("proportional bounds feasible");
+            let got = distance::kendall_tau(&out, &sigma).unwrap();
+            assert_eq!(got, best_kt, "trial {trial}: KT {got} vs optimum {best_kt}");
+        }
+    }
+
+    #[test]
+    fn infeasible_lower_bound_detected() {
+        let groups = GroupAssignment::new(vec![0, 1, 1, 1], 2).unwrap();
+        let bounds = FairnessBounds::new(vec![0.8, 0.0], vec![1.0, 1.0]).unwrap();
+        assert_eq!(
+            gr_binary_ipf(&Permutation::identity(4), &groups, &bounds),
+            Err(BaselineError::Infeasible)
+        );
+    }
+
+    #[test]
+    fn handles_empty_group() {
+        let groups = GroupAssignment::new(vec![0, 0, 0], 2).unwrap();
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let sigma = Permutation::identity(3);
+        let out = gr_binary_ipf(&sigma, &groups, &bounds).unwrap();
+        assert_eq!(out, sigma);
+    }
+}

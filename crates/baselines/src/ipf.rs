@@ -1,0 +1,275 @@
+//! ApproxMultiValuedIPF — Wei, Islam, Schieber & Basu Roy (SIGMOD'22).
+//!
+//! Computes the P-fair ranking minimizing the Spearman footrule distance
+//! to the input ranking, for any number of protected groups, by a
+//! minimum-weight bipartite matching between items and positions
+//! (Algorithm 2 of the paper; SIGMOD's proof shows footrule IPF is
+//! polynomial through exactly this reduction).
+//!
+//! Formulation used here: keep each group's items in their input order
+//! (optimal for footrule by an exchange argument); the `r`-th member of
+//! group `p` may occupy position `j` iff
+//!
+//! * `earliest(p, r) ≤ j` where `earliest` is the first prefix whose
+//!   upper bound `⌈α_p·j⌉` admits `r` members, and
+//! * `j ≤ latest(p, r)` where `latest` is the first prefix whose lower
+//!   bound `⌊β_p·j⌋` *requires* `r` members (`n` if never required).
+//!
+//! These windows are necessary and sufficient for P-fairness, so the
+//! matching over `|σ(i) − j|` weights (out-of-window pairs get a large
+//! penalty) returns the exact footrule optimum whenever one exists.
+//!
+//! The paper's noisy variant perturbs each weight with `N(0, σ)` at the
+//! weight-calculation step (its Section V-C2); [`IpfConfig::noise_sd`]
+//! reproduces that.
+
+use crate::{BaselineError, Result};
+use assignment_solver::CostMatrix;
+use eval_stats::NormalSampler;
+use fairness_metrics::{FairnessBounds, GroupAssignment};
+use rand::Rng;
+use ranking_core::Permutation;
+
+/// Configuration for [`approx_multi_valued_ipf`].
+#[derive(Debug, Clone)]
+pub struct IpfConfig {
+    /// Standard deviation of the Gaussian noise added to every matching
+    /// weight (0 = vanilla).
+    pub noise_sd: f64,
+}
+
+impl Default for IpfConfig {
+    fn default() -> Self {
+        IpfConfig { noise_sd: 0.0 }
+    }
+}
+
+/// Result of the IPF matching.
+#[derive(Debug, Clone)]
+pub struct IpfOutput {
+    /// The produced ranking.
+    pub ranking: Permutation,
+    /// Whether the matching stayed inside every fairness window. `false`
+    /// means the bounds were infeasible (possible once noise corrupts the
+    /// weights or the instance itself) and penalty edges were used.
+    pub feasible: bool,
+    /// Footrule distance between the output and the input ranking
+    /// (computed on the clean weights, noise excluded).
+    pub footrule: u64,
+}
+
+/// Run ApproxMultiValuedIPF on `sigma`, producing the minimum-footrule
+/// ranking satisfying `bounds`.
+pub fn approx_multi_valued_ipf<R: Rng + ?Sized>(
+    sigma: &Permutation,
+    groups: &GroupAssignment,
+    bounds: &FairnessBounds,
+    config: &IpfConfig,
+    rng: &mut R,
+) -> Result<IpfOutput> {
+    if sigma.len() != groups.len() {
+        return Err(BaselineError::ShapeMismatch { what: "ranking vs groups" });
+    }
+    if bounds.num_groups() != groups.num_groups() {
+        return Err(BaselineError::ShapeMismatch { what: "bounds vs groups" });
+    }
+    let n = sigma.len();
+    if n == 0 {
+        return Ok(IpfOutput { ranking: Permutation::identity(0), feasible: true, footrule: 0 });
+    }
+    let g = groups.num_groups();
+
+    // Group members in input-ranking order; rank r (1-based) per member.
+    let positions = sigma.positions();
+    let mut members: Vec<Vec<usize>> = (0..g).map(|p| groups.members(p)).collect();
+    for m in members.iter_mut() {
+        m.sort_by_key(|&item| positions[item]);
+    }
+
+    // Per-item windows [earliest, latest] over 1-based prefix lengths.
+    let mut window_lo = vec![1usize; n]; // earliest feasible 1-based position
+    let mut window_hi = vec![n; n]; // latest feasible 1-based position
+    for p in 0..g {
+        for (idx, &item) in members[p].iter().enumerate() {
+            let r = idx + 1;
+            // earliest: first j with max_count(p, j) ≥ r
+            let mut earliest = n; // default: nowhere (oversubscribed group)
+            for j in 1..=n {
+                if bounds.max_count(p, j) >= r {
+                    earliest = j;
+                    break;
+                }
+            }
+            // latest: first j with min_count(p, j) ≥ r, else n
+            let mut latest = n;
+            for j in 1..=n {
+                if bounds.min_count(p, j) >= r {
+                    latest = j;
+                    break;
+                }
+            }
+            window_lo[item] = earliest;
+            window_hi[item] = latest.max(earliest.min(n));
+        }
+    }
+
+    // Penalty dominating any achievable footrule sum plus noise spread.
+    let penalty = (n * n + n) as f64 * 16.0 + 1.0e6 * config.noise_sd;
+    let mut noise = NormalSampler::new(0.0, config.noise_sd.max(0.0));
+
+    let costs = CostMatrix::from_fn(n, |item, col| {
+        let j = col + 1; // 1-based position
+        let base = (positions[item] as f64 - col as f64).abs();
+        let w = base + noise.sample(rng);
+        if j < window_lo[item] || j > window_hi[item] {
+            w + penalty
+        } else {
+            w
+        }
+    })?;
+
+    let sol = assignment_solver::solve(&costs)?;
+    let mut order = vec![usize::MAX; n];
+    let mut feasible = true;
+    for (item, &col) in sol.row_to_col.iter().enumerate() {
+        order[col] = item;
+        let j = col + 1;
+        if j < window_lo[item] || j > window_hi[item] {
+            feasible = false;
+        }
+    }
+    let ranking = Permutation::from_order_unchecked(order);
+    // The windows constrain only existing members; a lower bound that
+    // demands more members than a group has slips past them. Certify the
+    // output directly.
+    feasible = feasible
+        && fairness_metrics::pfair::is_k_fair(&ranking, groups, bounds, 1).unwrap_or(false);
+    let footrule = ranking_core::distance::footrule(&ranking, sigma)
+        .expect("lengths match by construction");
+    Ok(IpfOutput { ranking, feasible, footrule })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use fairness_metrics::pfair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn vanilla(
+        sigma: &Permutation,
+        groups: &GroupAssignment,
+        bounds: &FairnessBounds,
+    ) -> IpfOutput {
+        let mut rng = StdRng::seed_from_u64(0);
+        approx_multi_valued_ipf(sigma, groups, bounds, &IpfConfig::default(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn already_fair_input_is_returned_unchanged() {
+        let groups = GroupAssignment::alternating(8);
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let sigma = Permutation::identity(8); // alternating groups: fair
+        let out = vanilla(&sigma, &groups, &bounds);
+        assert!(out.feasible);
+        assert_eq!(out.footrule, 0);
+        assert_eq!(out.ranking, sigma);
+    }
+
+    #[test]
+    fn output_is_fair_for_feasible_bounds() {
+        let groups = GroupAssignment::binary_split(10, 5);
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let sigma = Permutation::identity(10); // fully segregated input
+        let out = vanilla(&sigma, &groups, &bounds);
+        assert!(out.feasible);
+        assert!(pfair::is_k_fair(&out.ranking, &groups, &bounds, 1).unwrap());
+        assert!(out.footrule > 0);
+    }
+
+    #[test]
+    fn matches_brute_force_footrule_optimum() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..15 {
+            let n = 6;
+            let sigma = Permutation::random(n, &mut rng);
+            let groups = GroupAssignment::new(
+                (0..n).map(|i| (i + trial) % 2).collect(),
+                2,
+            )
+            .unwrap();
+            let bounds = FairnessBounds::from_assignment(&groups);
+            let out = vanilla(&sigma, &groups, &bounds);
+            let best = brute::min_footrule_fair(&sigma, &groups, &bounds)
+                .expect("feasible by proportional bounds");
+            assert!(out.feasible);
+            assert_eq!(out.footrule, best.1, "trial {trial}: IPF footrule suboptimal");
+        }
+    }
+
+    #[test]
+    fn three_groups_supported() {
+        let groups =
+            GroupAssignment::new(vec![0, 0, 1, 1, 2, 2, 0, 1, 2], 3).unwrap();
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let sigma = Permutation::identity(9);
+        let out = vanilla(&sigma, &groups, &bounds);
+        assert!(out.feasible);
+        assert!(pfair::is_k_fair(&out.ranking, &groups, &bounds, 1).unwrap());
+    }
+
+    #[test]
+    fn noisy_weights_still_produce_permutation() {
+        let groups = GroupAssignment::binary_split(12, 6);
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let sigma = Permutation::identity(12);
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let out = approx_multi_valued_ipf(
+                &sigma,
+                &groups,
+                &bounds,
+                &IpfConfig { noise_sd: 1.0 },
+                &mut rng,
+            )
+            .unwrap();
+            assert_eq!(out.ranking.len(), 12);
+        }
+    }
+
+    #[test]
+    fn infeasible_bounds_flagged() {
+        // lower bound demands 80 % from a group holding 25 % of items
+        let groups = GroupAssignment::new(vec![0, 1, 1, 1], 2).unwrap();
+        let bounds = FairnessBounds::new(vec![0.8, 0.0], vec![1.0, 1.0]).unwrap();
+        let sigma = Permutation::identity(4);
+        let out = vanilla(&sigma, &groups, &bounds);
+        assert!(!out.feasible);
+        assert_eq!(out.ranking.len(), 4);
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let groups = GroupAssignment::alternating(4);
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(approx_multi_valued_ipf(
+            &Permutation::identity(5),
+            &groups,
+            &bounds,
+            &IpfConfig::default(),
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let groups = GroupAssignment::new(vec![], 2).unwrap();
+        let bounds = FairnessBounds::exact(vec![0.5, 0.5]).unwrap();
+        let out = vanilla(&Permutation::identity(0), &groups, &bounds);
+        assert!(out.feasible);
+        assert_eq!(out.ranking.len(), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the baseline fair-ranking algorithms.
+
+use fair_baselines::fa_ir::{mtable, mtable_failure_probability};
+use fair_baselines::{
+    det_const_sort, fa_ir, fair_top_k, weakly_fair_ranking, DetConstSortConfig, FaIrConfig,
+    FairnessMode,
+};
+use fairness_metrics::{infeasible, pfair, FairnessBounds, GroupAssignment};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ranking_core::quality::Discount;
+use ranking_core::Permutation;
+
+fn scores(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..1.0, n)
+}
+
+fn assignment(n: usize, g: usize) -> impl Strategy<Value = GroupAssignment> {
+    prop::collection::vec(0..g, n)
+        .prop_map(move |v| GroupAssignment::new(v, g).expect("groups in range"))
+}
+
+proptest! {
+    #[test]
+    fn mtable_is_monotone_and_feasible(k in 1usize..60, p in 0.05f64..0.95, alpha in 0.01f64..0.4) {
+        let t = mtable(k, p, alpha);
+        prop_assert_eq!(t.len(), k);
+        prop_assert!(t.windows(2).all(|w| w[0] <= w[1]), "non-monotone m-table");
+        prop_assert!(t.iter().enumerate().all(|(i, &m)| m <= i + 1), "m(i) > i");
+        // adjacent prefixes can demand at most one more protected item
+        prop_assert!(t.windows(2).all(|w| w[1] - w[0] <= 1));
+    }
+
+    #[test]
+    fn mtable_failure_probability_is_probability(k in 1usize..30, p in 0.1f64..0.9, alpha in 0.01f64..0.4) {
+        let t = mtable(k, p, alpha);
+        let f = mtable_failure_probability(&t, p);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&f), "failure prob {}", f);
+    }
+
+    #[test]
+    fn fa_ir_output_satisfies_its_mtable(
+        s in scores(12),
+        groups in assignment(12, 2),
+        p in 0.1f64..0.6,
+    ) {
+        let protected_count = groups.group_sizes()[1];
+        prop_assume!(protected_count >= 6); // enough protected supply
+        let cfg = FaIrConfig { min_proportion: p, significance: 0.1, adjust: false };
+        let out = fa_ir(&s, &groups, 1, 12, &cfg).unwrap();
+        let table = mtable(12, p, 0.1);
+        let mut count = 0usize;
+        for (idx, &item) in out.iter().enumerate() {
+            if groups.group_of(item) == 1 {
+                count += 1;
+            }
+            prop_assert!(count >= table[idx], "prefix {} violates m-table", idx + 1);
+        }
+        // output is a permutation of all items
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn weakly_fair_ranking_is_weakly_fair(
+        s in scores(10),
+        groups in assignment(10, 3),
+    ) {
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let pi = weakly_fair_ranking(&s, &groups, &bounds);
+        prop_assert!(is_perm(&pi, 10));
+        prop_assert!(
+            pfair::is_weak_k_fair(&pi, &groups, &bounds, 10).unwrap(),
+            "weakly-fair constructor violated weak fairness"
+        );
+    }
+
+    #[test]
+    fn det_const_sort_respects_lower_bounds(
+        s in scores(12),
+        groups in assignment(12, 2),
+        seed in any::<u64>(),
+    ) {
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pi = det_const_sort(&s, &groups, &bounds, &DetConstSortConfig::default(), &mut rng)
+            .unwrap();
+        prop_assert!(is_perm(&pi, 12));
+        // DetConstSort enforces the minimum-count (lower) constraints.
+        let breakdown = infeasible::infeasible_breakdown(&pi, &groups, &bounds).unwrap();
+        prop_assert_eq!(breakdown.lower_violations, 0, "lower violations present");
+    }
+
+    #[test]
+    fn fair_top_k_weak_is_weakly_fair_and_subset_of_items(
+        s in scores(12),
+        groups in assignment(12, 2),
+        k in 1usize..=12,
+    ) {
+        let bounds = FairnessBounds::from_assignment_with_tolerance(&groups, 0.2);
+        let Ok(head) = fair_top_k(&s, &groups, &bounds, k, FairnessMode::Weak, Discount::Log2)
+        else {
+            // infeasible bounds are legitimate for adversarial groups
+            return Ok(());
+        };
+        prop_assert_eq!(head.len(), k);
+        let mut sorted = head.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k, "duplicate items selected");
+        // weak fairness at length k over the selected sub-population
+        let sub = groups.subset(&head);
+        for p in 0..groups.num_groups() {
+            let have = sub.group_sizes()[p];
+            prop_assert!(have >= bounds.min_count(p, k), "group {} below minimum", p);
+            prop_assert!(have <= bounds.max_count(p, k), "group {} above maximum", p);
+        }
+    }
+
+    #[test]
+    fn fair_top_k_strong_dcg_no_better_than_weak(
+        s in scores(10),
+        groups in assignment(10, 2),
+        k in 1usize..=10,
+    ) {
+        let bounds = FairnessBounds::from_assignment_with_tolerance(&groups, 0.2);
+        let weak = fair_top_k(&s, &groups, &bounds, k, FairnessMode::Weak, Discount::Log2);
+        let strong = fair_top_k(&s, &groups, &bounds, k, FairnessMode::Strong, Discount::Log2);
+        if let (Ok(w), Ok(st)) = (weak, strong) {
+            let dcg = |items: &[usize]| -> f64 {
+                items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &item)| s[item] * Discount::Log2.at(i + 1))
+                    .sum()
+            };
+            // strong fairness is a stricter constraint set → optimum can
+            // only be weakly worse.
+            prop_assert!(dcg(&st) <= dcg(&w) + 1e-9);
+        }
+    }
+}
+
+fn is_perm(pi: &Permutation, n: usize) -> bool {
+    let mut seen = vec![false; n];
+    pi.as_order().iter().all(|&i| {
+        if i < n && !seen[i] {
+            seen[i] = true;
+            true
+        } else {
+            false
+        }
+    })
+}

@@ -1,0 +1,39 @@
+//! Ablation: rank-aggregation backends feeding the fairness stage —
+//! Borda vs footrule-matching vs KwikSort(+local search) across sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rank_aggregation::{borda, footrule_optimal, kwik_sort, local_search};
+use ranking_core::Permutation;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = bench::bench_rng();
+    let mut g = c.benchmark_group("ablation/aggregation");
+    for n in [10usize, 50] {
+        let votes: Vec<Permutation> = (0..9).map(|_| Permutation::random(n, &mut rng)).collect();
+        g.bench_with_input(BenchmarkId::new("borda", n), &n, |b, _| {
+            b.iter(|| black_box(borda(&votes).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("footrule_matching", n), &n, |b, _| {
+            b.iter(|| black_box(footrule_optimal(&votes).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("kwiksort_local_search", n), &n, |b, _| {
+            b.iter(|| {
+                let k = kwik_sort(&votes, &mut rng).unwrap();
+                black_box(local_search(&k, &votes).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

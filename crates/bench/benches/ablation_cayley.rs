@@ -1,0 +1,43 @@
+//! Ablation: Cayley-Mallows CRP sampler vs Kendall-tau RIM sampler
+//! throughput, and the cost of the matched-budget dispersion solves
+//! used by the `ext_cayley` experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mallows_model::cayley::theta_for_expected_cayley;
+use mallows_model::{dispersion, CayleyMallows, MallowsModel};
+use ranking_core::Permutation;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = bench::bench_rng();
+    let mut g = c.benchmark_group("ablation/cayley");
+    for n in [10usize, 100, 1000] {
+        let center = Permutation::identity(n);
+        let kt = MallowsModel::new(center.clone(), 0.5).unwrap();
+        let cay = CayleyMallows::new(center, 0.5).unwrap();
+        g.bench_with_input(BenchmarkId::new("kt_rim_sample", n), &n, |b, _| {
+            b.iter(|| black_box(kt.sample(&mut rng)))
+        });
+        g.bench_with_input(BenchmarkId::new("cayley_crp_sample", n), &n, |b, _| {
+            b.iter(|| black_box(cay.sample(&mut rng)))
+        });
+        g.bench_with_input(BenchmarkId::new("theta_solve_kt", n), &n, |b, _| {
+            b.iter(|| black_box(dispersion::theta_for_normalized_distance(n, 0.2)))
+        });
+        g.bench_with_input(BenchmarkId::new("theta_solve_cayley", n), &n, |b, _| {
+            b.iter(|| black_box(theta_for_expected_cayley(n, 0.2 * (n as f64 - 1.0))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

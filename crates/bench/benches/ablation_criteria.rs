@@ -1,0 +1,45 @@
+//! Ablation: cost of Algorithm 1's selection criteria at fixed (n, θ, m).
+//! Compares first-sample, best-NDCG, min-Kendall-tau and min-II
+//! selection — the design choice DESIGN.md calls out.
+
+use bench::credit_instance;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fair_mallows::{Criterion as SelCriterion, MallowsFairRanker};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let inst = credit_instance(50);
+    let mut rng = bench::bench_rng();
+    let mut g = c.benchmark_group("ablation/criteria_n50_m15");
+
+    let cases: Vec<(&str, SelCriterion)> = vec![
+        ("first_sample", SelCriterion::FirstSample),
+        ("max_ndcg", SelCriterion::MaxNdcg(inst.scores.clone())),
+        ("min_kendall_tau", SelCriterion::MinKendallTau),
+        (
+            "min_infeasible_index",
+            SelCriterion::MinInfeasibleIndex {
+                groups: inst.known.clone(),
+                bounds: inst.known_bounds.clone(),
+            },
+        ),
+    ];
+    for (name, criterion) in cases {
+        let ranker = MallowsFairRanker::new(1.0, 15, criterion).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(ranker.rank(&inst.input, &mut rng).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

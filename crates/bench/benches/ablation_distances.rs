@@ -1,0 +1,41 @@
+//! Ablation: merge-sort Kendall tau vs the naive `O(n²)` version, plus
+//! the other rank distances, across sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ranking_core::{distance, Permutation};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = bench::bench_rng();
+    let mut g = c.benchmark_group("ablation/distances");
+    for n in [10usize, 100, 1000] {
+        let a = Permutation::random(n, &mut rng);
+        let b_perm = Permutation::random(n, &mut rng);
+        g.bench_with_input(BenchmarkId::new("kendall_merge", n), &n, |b, _| {
+            b.iter(|| black_box(distance::kendall_tau(&a, &b_perm).unwrap()))
+        });
+        if n <= 100 {
+            g.bench_with_input(BenchmarkId::new("kendall_naive", n), &n, |b, _| {
+                b.iter(|| black_box(distance::kendall_tau_naive(&a, &b_perm).unwrap()))
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("footrule", n), &n, |b, _| {
+            b.iter(|| black_box(distance::footrule(&a, &b_perm).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("ulam", n), &n, |b, _| {
+            b.iter(|| black_box(distance::ulam(&a, &b_perm).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

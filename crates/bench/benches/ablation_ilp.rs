@@ -1,0 +1,56 @@
+//! Ablation: the exact group-count DP vs the branch & bound ILP on the
+//! same fair-ranking instance (DESIGN.md's solver choice).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fair_baselines as baselines;
+use fairness_metrics::{FairnessBounds, GroupAssignment};
+use rand::RngExt;
+use ranking_core::quality::Discount;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn instance(n: usize) -> (Vec<f64>, GroupAssignment, FairnessBounds) {
+    let mut rng = bench::bench_rng();
+    let scores: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..1.0)).collect();
+    let groups = GroupAssignment::new((0..n).map(|i| i % 2).collect(), 2).unwrap();
+    let bounds = FairnessBounds::from_assignment(&groups);
+    (scores, groups, bounds)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/ilp_vs_dp");
+    // branch & bound only at a size it can handle; the DP scales further
+    let (scores, groups, bounds) = instance(6);
+    let tables = bounds.tables(6);
+    g.bench_function("bnb_ilp_n6", |b| {
+        b.iter(|| {
+            black_box(
+                baselines::optimal_fair_ranking_ilp(&scores, &groups, &tables, Discount::Log2)
+                    .unwrap(),
+            )
+        })
+    });
+    for n in [6usize, 50, 100] {
+        let (scores, groups, bounds) = instance(n);
+        let tables = bounds.tables(n);
+        g.bench_with_input(BenchmarkId::new("dp", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    baselines::optimal_fair_ranking_dp(&scores, &groups, &tables, Discount::Log2)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Ablation: per-evaluation cost of each fairness measure family used
+//! by the `ext_multi_metrics` experiment — the infeasible index is the
+//! paper's measure; NDKL, skew and exposure parity are the robustness
+//! comparators. All are `O(n·g)`; this bench pins the constants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairness_metrics::{divergence, exposure, infeasible};
+use ranking_core::quality::{self, Discount};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/metrics");
+    for n in [100usize, 1000] {
+        let inst = bench::credit_instance(n);
+        let pi = inst.input.clone();
+        g.bench_with_input(BenchmarkId::new("infeasible_index", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    infeasible::two_sided_infeasible_index(
+                        &pi,
+                        &inst.unknown,
+                        &inst.unknown_bounds,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("ndkl", n), &n, |b, _| {
+            b.iter(|| black_box(divergence::ndkl(&pi, &inst.unknown).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("min_skew", n), &n, |b, _| {
+            b.iter(|| black_box(divergence::min_skew_at(&pi, &inst.unknown, n / 2).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("exposure_parity", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    exposure::exposure_parity_ratio(&pi, &inst.unknown, Discount::Log2)
+                        .unwrap(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("ndcg", n), &n, |b, _| {
+            b.iter(|| black_box(quality::ndcg(&pi, &inst.scores).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Ablation: alternative noise distributions for Algorithm 1 — the
+//! paper's future-work axis. Standard Mallows vs generalized
+//! (head-mixing) Mallows vs Plackett–Luce, sampling cost at n = 100.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mallows_model::{GeneralizedMallows, MallowsModel, PlackettLuce};
+use ranking_core::Permutation;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let n = 100;
+    let center = Permutation::identity(n);
+    let mut rng = bench::bench_rng();
+    let mut g = c.benchmark_group("ablation/noise_models_n100");
+
+    let mallows = MallowsModel::new(center.clone(), 1.0).unwrap();
+    g.bench_function("mallows", |b| b.iter(|| black_box(mallows.sample(&mut rng))));
+
+    let gmm = GeneralizedMallows::head_mixing(center.clone(), 2.0, 0.9).unwrap();
+    g.bench_function("generalized_head_mixing", |b| {
+        b.iter(|| black_box(gmm.sample(&mut rng)))
+    });
+
+    let pl = PlackettLuce::from_center(&center, 0.05).unwrap();
+    g.bench_function("plackett_luce", |b| b.iter(|| black_box(pl.sample(&mut rng))));
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Ablation: RIM sampling throughput across ranking sizes and
+//! dispersions (the sampler is `O(n²)` from the `Vec::insert`; this
+//! bench quantifies the constant).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mallows_model::MallowsModel;
+use ranking_core::Permutation;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = bench::bench_rng();
+    let mut g = c.benchmark_group("ablation/rim_sampler");
+    for n in [10usize, 100, 1000] {
+        for theta in [0.1f64, 1.0] {
+            let model = MallowsModel::new(Permutation::identity(n), theta).unwrap();
+            let id = format!("n={n},theta={theta}");
+            g.bench_with_input(BenchmarkId::from_parameter(id), &n, |b, _| {
+                b.iter(|| black_box(model.sample(&mut rng)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation: shortlist machinery — the `O(k log n)` truncated Mallows
+//! sampler vs drawing a full RIM permutation and truncating, the exact
+//! fair top-k DP, and FA*IR across pool sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fair_baselines::{fa_ir, fair_top_k, FaIrConfig, FairnessMode};
+use fairness_metrics::FairnessBounds;
+use mallows_model::{MallowsModel, TopKMallows};
+use ranking_core::quality::Discount;
+use ranking_core::Permutation;
+use std::hint::black_box;
+use std::time::Duration;
+
+const K: usize = 10;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = bench::bench_rng();
+    let mut g = c.benchmark_group("ablation/topk");
+    for n in [100usize, 1000] {
+        let center = Permutation::identity(n);
+        let truncated = TopKMallows::new(center.clone(), 0.5, K).unwrap();
+        let full = MallowsModel::new(center, 0.5).unwrap();
+        g.bench_with_input(BenchmarkId::new("truncated_sampler", n), &n, |b, _| {
+            b.iter(|| black_box(truncated.sample(&mut rng)))
+        });
+        g.bench_with_input(BenchmarkId::new("full_rim_then_truncate", n), &n, |b, _| {
+            b.iter(|| black_box(full.sample(&mut rng).top_k(K)))
+        });
+
+        let inst = bench::credit_instance(n.min(1000));
+        let bounds = FairnessBounds::from_assignment_with_tolerance(&inst.known, 0.15);
+        g.bench_with_input(BenchmarkId::new("fair_top_k_dp", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    fair_top_k(
+                        &inst.scores,
+                        &inst.known,
+                        &bounds,
+                        K,
+                        FairnessMode::Weak,
+                        Discount::Log2,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        let share = inst.unknown.proportions()[0];
+        let cfg = FaIrConfig { min_proportion: share, significance: 0.1, adjust: true };
+        g.bench_with_input(BenchmarkId::new("fa_ir", n), &n, |b, _| {
+            b.iter(|| black_box(fa_ir(&inst.scores, &inst.unknown, 0, K, &cfg).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

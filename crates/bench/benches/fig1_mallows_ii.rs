@@ -1,0 +1,40 @@
+//! Bench for Figure 1's inner loop: sample `M(σ_II, θ)` on n = 10 and
+//! evaluate the two-sided infeasible index, per dispersion θ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fair_datasets::synthetic::ranking_with_infeasible_index;
+use fairness_metrics::{infeasible, FairnessBounds, GroupAssignment};
+use mallows_model::MallowsModel;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let groups = GroupAssignment::binary_split(10, 5);
+    let bounds = FairnessBounds::from_assignment(&groups);
+    let (center, _) = ranking_with_infeasible_index(&groups, &bounds, 8);
+    let mut rng = bench::bench_rng();
+
+    let mut g = c.benchmark_group("fig1/sample_and_ii");
+    for theta in [0.1f64, 0.5, 1.0, 4.0] {
+        let model = MallowsModel::new(center.clone(), theta).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(theta), &theta, |b, _| {
+            b.iter(|| {
+                let s = model.sample(&mut rng);
+                black_box(
+                    infeasible::two_sided_infeasible_index(&s, &groups, &bounds).unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench for Figure 2's inner loop: draw two-group uniform scores, sort,
+//! and evaluate the central ranking's infeasible index, per gap δ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fair_datasets::TwoGroupUniform;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = bench::bench_rng();
+    let mut g = c.benchmark_group("fig2/central_ii");
+    for delta in [0.0f64, 0.5, 1.0] {
+        let workload = TwoGroupUniform::paper(delta);
+        g.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, _| {
+            b.iter(|| black_box(workload.sample_central(&mut rng).2))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Bench for Figure 3's inner loop: full cell evaluation — draw scores,
+//! sort, sample Mallows, evaluate the sample's infeasible index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fair_datasets::TwoGroupUniform;
+use fairness_metrics::infeasible;
+use mallows_model::MallowsModel;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = bench::bench_rng();
+    let mut g = c.benchmark_group("fig3/cell");
+    for (delta, theta) in [(0.0f64, 0.5f64), (0.5, 0.5), (1.0, 1.0)] {
+        let workload = TwoGroupUniform::paper(delta);
+        let groups = workload.groups();
+        let bounds = workload.bounds();
+        let id = format!("delta={delta},theta={theta}");
+        g.bench_with_input(BenchmarkId::from_parameter(id), &theta, |b, &t| {
+            b.iter(|| {
+                let (_, center, _) = workload.sample_central(&mut rng);
+                let model = MallowsModel::new(center, t).unwrap();
+                let s = model.sample(&mut rng);
+                black_box(
+                    infeasible::two_sided_infeasible_index(&s, &groups, &bounds).unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Bench for Figure 4's inner loop: sample Mallows and evaluate NDCG.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fair_datasets::TwoGroupUniform;
+use mallows_model::MallowsModel;
+use ranking_core::quality;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = bench::bench_rng();
+    let mut g = c.benchmark_group("fig4/cell");
+    for theta in [0.5f64, 1.0, 2.0] {
+        let workload = TwoGroupUniform::paper(0.5);
+        g.bench_with_input(BenchmarkId::from_parameter(theta), &theta, |b, &t| {
+            b.iter(|| {
+                let (scores, center, _) = workload.sample_central(&mut rng);
+                let model = MallowsModel::new(center, t).unwrap();
+                let s = model.sample(&mut rng);
+                black_box(quality::ndcg(&s, &scores).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Bench for Figure 5: each algorithm of the German-Credit pipeline on
+//! one size-50 instance (the per-repetition cost of the sweep).
+
+use bench::credit_instance;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fair_baselines as baselines;
+use fair_mallows::{Criterion as SelCriterion, MallowsFairRanker};
+use ranking_core::quality::Discount;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let inst = credit_instance(50);
+    let mut rng = bench::bench_rng();
+    let mut g = c.benchmark_group("fig5/algorithms_n50");
+
+    g.bench_function("weakly_fair_input", |b| {
+        b.iter(|| {
+            black_box(baselines::weakly_fair_ranking(
+                &inst.scores,
+                &inst.known,
+                &inst.known_bounds,
+            ))
+        })
+    });
+    g.bench_function("det_const_sort", |b| {
+        b.iter(|| {
+            black_box(
+                baselines::det_const_sort(
+                    &inst.scores,
+                    &inst.known,
+                    &inst.known_bounds,
+                    &baselines::DetConstSortConfig::default(),
+                    &mut rng,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.bench_function("approx_multi_valued_ipf", |b| {
+        b.iter(|| {
+            black_box(
+                baselines::approx_multi_valued_ipf(
+                    &inst.input,
+                    &inst.known,
+                    &inst.known_bounds,
+                    &baselines::IpfConfig::default(),
+                    &mut rng,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.bench_function("ilp_dp", |b| {
+        let tables = inst.known_bounds.tables(inst.scores.len());
+        b.iter(|| {
+            black_box(
+                baselines::optimal_fair_ranking_dp(
+                    &inst.scores,
+                    &inst.known,
+                    &tables,
+                    Discount::Log2,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.bench_function("mallows_single", |b| {
+        let ranker = MallowsFairRanker::new(1.0, 1, SelCriterion::FirstSample).unwrap();
+        b.iter(|| black_box(ranker.rank(&inst.input, &mut rng).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Bench for Figure 6: evaluating an output ranking against the unknown
+//! Housing attribute (% P-fair positions) across ranking sizes.
+
+use bench::credit_instance;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairness_metrics::infeasible;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6/unknown_attribute_evaluation");
+    for n in [10usize, 50, 100] {
+        let inst = credit_instance(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    infeasible::pfair_percentage(&inst.input, &inst.unknown, &inst.unknown_bounds)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench for Figure 7: the Mallows best-of-15 NDCG selection (Algorithm
+//! 1 with the MaxNdcg criterion) across ranking sizes.
+
+use bench::credit_instance;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fair_mallows::{Criterion as SelCriterion, MallowsFairRanker};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = bench::bench_rng();
+    let mut g = c.benchmark_group("fig7/mallows_best_of_15");
+    for n in [10usize, 50, 100] {
+        let inst = credit_instance(n);
+        let ranker =
+            MallowsFairRanker::new(1.0, 15, SelCriterion::MaxNdcg(inst.scores.clone())).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(ranker.rank(&inst.input, &mut rng).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench for Table I: full synthetic German Credit generation plus the
+//! joint-distribution recomputation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fair_datasets::GermanCredit;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = bench::bench_rng();
+    c.bench_function("table1/generate_1000_records", |b| {
+        b.iter(|| black_box(GermanCredit::generate(&mut rng)))
+    });
+    let data = GermanCredit::generate(&mut rng);
+    c.bench_function("table1/recompute_joint_counts", |b| {
+        b.iter(|| black_box(data.table_i()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Minimal `--flag value` argument parser (no external crates).
+
+use crate::{CliError, Result};
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--flag value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    command: String,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse raw arguments (excluding the program name). The first
+    /// token is the subcommand; the rest must be `--flag value` pairs.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self> {
+        let mut iter = raw.into_iter();
+        let command = iter.next().unwrap_or_else(|| "help".to_string());
+        let mut flags = HashMap::new();
+        while let Some(tok) = iter.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(CliError::Usage(format!("expected --flag, found `{tok}`")));
+            };
+            if name.is_empty() {
+                return Err(CliError::Usage("empty flag name `--`".to_string()));
+            }
+            let Some(value) = iter.next() else {
+                return Err(CliError::Usage(format!("flag --{name} is missing a value")));
+            };
+            if flags.insert(name.to_string(), value).is_some() {
+                return Err(CliError::Usage(format!("flag --{name} given twice")));
+            }
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// The subcommand (first positional token; `help` when absent).
+    pub fn command(&self) -> &str {
+        &self.command
+    }
+
+    /// Raw string value of a flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, name: &str) -> Result<&str> {
+        self.get(name)
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{name}")))
+    }
+
+    /// Optional `f64` flag with a default.
+    pub fn get_f64(&self, name: &str, default: f64) -> Result<f64> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects a number, got `{v}`"))),
+        }
+    }
+
+    /// Optional `usize` flag with a default.
+    pub fn get_usize(&self, name: &str, default: usize) -> Result<usize> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                CliError::Usage(format!("--{name} expects an integer, got `{v}`"))
+            }),
+        }
+    }
+
+    /// Optional `u64` flag with a default (RNG seeds).
+    pub fn get_u64(&self, name: &str, default: u64) -> Result<u64> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                CliError::Usage(format!("--{name} expects an integer, got `{v}`"))
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn empty_input_defaults_to_help() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.command(), "help");
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse(&["rank", "--input", "x.csv", "--theta", "0.5"]).unwrap();
+        assert_eq!(a.command(), "rank");
+        assert_eq!(a.get("input"), Some("x.csv"));
+        assert_eq!(a.get_f64("theta", 1.0).unwrap(), 0.5);
+        assert_eq!(a.get_f64("missing", 2.0).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn missing_value_errors() {
+        assert!(matches!(parse(&["rank", "--input"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn bare_positional_after_command_errors() {
+        assert!(matches!(parse(&["rank", "stray"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn duplicate_flag_errors() {
+        assert!(matches!(
+            parse(&["rank", "--k", "1", "--k", "2"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn require_reports_flag_name() {
+        let a = parse(&["rank"]).unwrap();
+        let err = a.require("input").unwrap_err();
+        assert!(err.to_string().contains("--input"));
+    }
+
+    #[test]
+    fn numeric_parse_failures_are_usage_errors() {
+        let a = parse(&["rank", "--theta", "abc", "--k", "1.5"]).unwrap();
+        assert!(a.get_f64("theta", 1.0).is_err());
+        assert!(a.get_usize("k", 0).is_err());
+        assert!(a.get_u64("seed", 0).is_ok());
+    }
+}

@@ -1,0 +1,522 @@
+//! Subcommand implementations: pure functions from [`Args`] to output
+//! text, so every command is unit-testable.
+
+use crate::args::Args;
+use crate::csv::{CandidateTable, VoteProfile};
+use crate::{CliError, Result};
+use fair_baselines::{
+    approx_multi_valued_ipf, det_const_sort, fa_ir, optimal_fair_ranking_dp,
+    weakly_fair_ranking, DetConstSortConfig, FaIrConfig, FairnessMode, IpfConfig,
+};
+use fair_mallows::{Criterion, MallowsFairRanker};
+use fairness_metrics::{divergence, exposure, infeasible, FairnessBounds};
+use mallows_model::MallowsModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use fairness_ranking::pipeline::{Aggregator, FairAggregationPipeline, PostProcessor};
+use rank_aggregation::markov::{markov_chain_aggregate, MarkovConfig};
+use ranking_core::quality::{self, Discount};
+use ranking_core::Permutation;
+
+fn algo_err<E: std::fmt::Display>(e: E) -> CliError {
+    CliError::Algorithm(e.to_string())
+}
+
+/// Dispatch a parsed command line to its implementation.
+pub fn dispatch(args: &Args) -> Result<String> {
+    match args.command() {
+        "rank" => rank(args),
+        "metrics" => metrics(args),
+        "sample" => sample(args),
+        "aggregate" => aggregate(args),
+        "pipeline" => pipeline(args),
+        "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+/// `fairrank rank`: fair post-processing of a candidate CSV.
+pub fn rank(args: &Args) -> Result<String> {
+    let table = CandidateTable::read(args.require("input")?)?;
+    let algorithm = args.require("algorithm")?;
+    let tolerance = args.get_f64("tolerance", 0.1)?;
+    let theta = args.get_f64("theta", 1.0)?;
+    let samples = args.get_usize("samples", 1)?;
+    let k = args.get_usize("k", table.len())?;
+    let seed = args.get_u64("seed", 42)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let bounds = FairnessBounds::from_assignment_with_tolerance(&table.groups, tolerance);
+    let order: Vec<usize> = match algorithm {
+        "weakly-fair" => {
+            weakly_fair_ranking(&table.scores, &table.groups, &bounds).into_order()
+        }
+        "mallows" => {
+            let ranker =
+                MallowsFairRanker::new(theta, samples, Criterion::MaxNdcg(table.scores.clone()))
+                    .map_err(algo_err)?;
+            let center = weakly_fair_ranking(&table.scores, &table.groups, &bounds);
+            ranker.rank(&center, &mut rng).map_err(algo_err)?.ranking.into_order()
+        }
+        "detconstsort" => det_const_sort(
+            &table.scores,
+            &table.groups,
+            &bounds,
+            &DetConstSortConfig::default(),
+            &mut rng,
+        )
+        .map_err(algo_err)?
+        .into_order(),
+        "ipf" => {
+            let sigma = Permutation::sorted_by_scores_desc(&table.scores);
+            approx_multi_valued_ipf(
+                &sigma,
+                &table.groups,
+                &bounds,
+                &IpfConfig::default(),
+                &mut rng,
+            )
+            .map_err(algo_err)?
+            .ranking
+            .into_order()
+        }
+        "exact-kt" => {
+            let sigma = Permutation::sorted_by_scores_desc(&table.scores);
+            fair_baselines::optimal_fair_ranking_kt(
+                &sigma,
+                &table.groups,
+                &bounds.tables(table.len()),
+            )
+            .map_err(algo_err)?
+            .into_order()
+        }
+        "ilp" => {
+            let tables = bounds.tables(table.len());
+            optimal_fair_ranking_dp(&table.scores, &table.groups, &tables, Discount::Log2)
+                .map_err(algo_err)?
+                .into_order()
+        }
+        "fair-top-k" => fair_baselines::fair_top_k(
+            &table.scores,
+            &table.groups,
+            &bounds,
+            k,
+            FairnessMode::Weak,
+            Discount::Log2,
+        )
+        .map_err(algo_err)?,
+        "fa-ir" => {
+            let protected_label =
+                args.get("protected").unwrap_or(&table.group_labels[0]).to_string();
+            let protected = table
+                .group_labels
+                .iter()
+                .position(|l| *l == protected_label)
+                .ok_or_else(|| {
+                    CliError::Usage(format!("unknown group label `{protected_label}`"))
+                })?;
+            let share = table.groups.proportions()[protected];
+            let config = FaIrConfig {
+                min_proportion: args.get_f64("proportion", share)?,
+                significance: args.get_f64("alpha", 0.1)?,
+                adjust: true,
+            };
+            fa_ir(&table.scores, &table.groups, protected, k, &config).map_err(algo_err)?
+        }
+        other => {
+            return Err(CliError::Usage(format!("unknown algorithm `{other}`")));
+        }
+    };
+
+    let mut out = table.render_ranking(&order);
+    // summary footer: utility + fairness of the produced (possibly
+    // truncated) ranking, measured over the selected items.
+    let sub_scores: Vec<f64> = order.iter().map(|&i| table.scores[i]).collect();
+    let sub_groups = table.groups.subset(&order);
+    let sub_bounds = FairnessBounds::from_assignment_with_tolerance(&sub_groups, tolerance);
+    let pi = Permutation::identity(order.len());
+    let ndcg = quality::ndcg(&pi, &sub_scores).map_err(algo_err)?;
+    // NDCG against the full pool's ideal, meaningful for shortlists:
+    let mut ideal = table.scores.clone();
+    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let pool_idcg: f64 = ideal
+        .iter()
+        .take(order.len())
+        .enumerate()
+        .map(|(i, s)| s * Discount::Log2.at(i + 1))
+        .sum();
+    let dcg: f64 = sub_scores
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s * Discount::Log2.at(i + 1))
+        .sum();
+    let ii = infeasible::two_sided_infeasible_index(&pi, &sub_groups, &sub_bounds)
+        .map_err(algo_err)?;
+    let pf = infeasible::pfair_percentage(&pi, &sub_groups, &sub_bounds).map_err(algo_err)?;
+    out.push_str(&format!("# ndcg_within_selection,{ndcg:.6}\n"));
+    if pool_idcg > 0.0 {
+        out.push_str(&format!("# ndcg_vs_pool,{:.6}\n", dcg / pool_idcg));
+    }
+    out.push_str(&format!("# infeasible_index,{ii}\n"));
+    out.push_str(&format!("# pfair_percentage,{pf:.2}\n"));
+    Ok(out)
+}
+
+/// `fairrank metrics`: report on an already-ranked candidate CSV (file
+/// order is the ranking).
+pub fn metrics(args: &Args) -> Result<String> {
+    let table = CandidateTable::read(args.require("input")?)?;
+    let tolerance = args.get_f64("tolerance", 0.1)?;
+    let n = table.len();
+    let at = args.get_usize("at", n.div_ceil(2))?.clamp(1, n);
+    let pi = Permutation::identity(n); // file order is the ranking
+    let bounds = FairnessBounds::from_assignment_with_tolerance(&table.groups, tolerance);
+
+    let ndcg = quality::ndcg(&pi, &table.scores).map_err(algo_err)?;
+    let ii = infeasible::two_sided_infeasible_index(&pi, &table.groups, &bounds)
+        .map_err(algo_err)?;
+    let pf = infeasible::pfair_percentage(&pi, &table.groups, &bounds).map_err(algo_err)?;
+    let ndkl = divergence::ndkl(&pi, &table.groups).map_err(algo_err)?;
+    let min_skew = divergence::min_skew_at(&pi, &table.groups, at).map_err(algo_err)?;
+    let max_skew = divergence::max_skew_at(&pi, &table.groups, at).map_err(algo_err)?;
+    let parity =
+        exposure::exposure_parity_ratio(&pi, &table.groups, Discount::Log2).map_err(algo_err)?;
+    let dtr =
+        exposure::disparate_treatment_ratio(&pi, &table.scores, &table.groups, Discount::Log2)
+            .map_err(algo_err)?;
+
+    let mut out = String::from("metric,value\n");
+    out.push_str(&format!("candidates,{n}\n"));
+    out.push_str(&format!("groups,{}\n", table.groups.num_groups()));
+    out.push_str(&format!("ndcg,{ndcg:.6}\n"));
+    out.push_str(&format!("infeasible_index,{ii}\n"));
+    out.push_str(&format!("pfair_percentage,{pf:.2}\n"));
+    out.push_str(&format!("ndkl,{ndkl:.6}\n"));
+    out.push_str(&format!("min_skew@{at},{min_skew:.6}\n"));
+    out.push_str(&format!("max_skew@{at},{max_skew:.6}\n"));
+    out.push_str(&format!("exposure_parity_ratio,{parity:.6}\n"));
+    out.push_str(&format!("disparate_treatment_ratio,{dtr:.6}\n"));
+    Ok(out)
+}
+
+/// `fairrank sample`: draw Mallows permutations around the identity (or
+/// around a candidate file's score ordering with `--input`).
+pub fn sample(args: &Args) -> Result<String> {
+    let theta = args.get_f64("theta", 1.0)?;
+    let count = args.get_usize("count", 1)?;
+    let seed = args.get_u64("seed", 42)?;
+    let center = match args.get("input") {
+        Some(path) => {
+            let table = CandidateTable::read(path)?;
+            Permutation::sorted_by_scores_desc(&table.scores)
+        }
+        None => {
+            let n = args.get_usize("n", 0)?;
+            if n == 0 {
+                return Err(CliError::Usage(
+                    "sample needs --n N or --input FILE".to_string(),
+                ));
+            }
+            Permutation::identity(n)
+        }
+    };
+    let model = MallowsModel::new(center, theta).map_err(algo_err)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::new();
+    for _ in 0..count {
+        let s = model.sample(&mut rng);
+        let line: Vec<String> = s.as_order().iter().map(|i| i.to_string()).collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `fairrank pipeline`: aggregate a vote profile and fair post-process
+/// the consensus in one call.
+///
+/// `--groups` maps vote labels to protected groups (`label,group` rows);
+/// `--post` picks the fairness stage.
+pub fn pipeline(args: &Args) -> Result<String> {
+    let profile = VoteProfile::read(args.require("input")?)?;
+    let groups = read_group_map(args.require("groups")?, &profile.labels)?;
+    let tolerance = args.get_f64("tolerance", 0.1)?;
+    let theta = args.get_f64("theta", 1.0)?;
+    let samples = args.get_usize("samples", 15)?;
+    let seed = args.get_u64("seed", 42)?;
+    let aggregator = match args.get("method").unwrap_or("kemeny") {
+        "borda" => Aggregator::Borda,
+        "copeland" => Aggregator::Copeland,
+        "footrule" => Aggregator::Footrule,
+        "kemeny" => Aggregator::Kemeny,
+        "markov" => Aggregator::MarkovMc4,
+        other => return Err(CliError::Usage(format!("unknown method `{other}`"))),
+    };
+    let post = match args.get("post").unwrap_or("mallows") {
+        "none" => PostProcessor::None,
+        "mallows" => PostProcessor::Mallows { theta, samples },
+        "gr-binary" => PostProcessor::GrBinaryIpf,
+        "exact-kt" => PostProcessor::ExactKtDp,
+        "ipf" => PostProcessor::ApproxIpf,
+        other => return Err(CliError::Usage(format!("unknown post-processor `{other}`"))),
+    };
+    let bounds = FairnessBounds::from_assignment_with_tolerance(&groups, tolerance);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let out = FairAggregationPipeline::new(aggregator, post)
+        .run(&profile.votes, &groups, &bounds, &mut rng)
+        .map_err(algo_err)?;
+    let mut text = String::new();
+    text.push_str(&format!("consensus,{}\n", profile.render(&out.consensus)));
+    text.push_str(&format!("fair,{}\n", profile.render(&out.fair_ranking)));
+    text.push_str(&format!("# consensus_total_kt,{}\n", out.consensus_total_kt));
+    text.push_str(&format!("# fair_total_kt,{}\n", out.fair_total_kt));
+    text.push_str(&format!("# consensus_infeasible,{}\n", out.consensus_infeasible));
+    text.push_str(&format!("# fair_infeasible,{}\n", out.fair_infeasible));
+    Ok(text)
+}
+
+/// Parse a `label,group` CSV mapping each vote label to a group.
+fn read_group_map(
+    path: &str,
+    labels: &[String],
+) -> Result<fairness_metrics::GroupAssignment> {
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
+    let mut group_of: Vec<Option<usize>> = vec![None; labels.len()];
+    let mut group_labels: Vec<String> = Vec::new();
+    for (lineno, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((label, group)) = line.split_once(',') else {
+            return Err(CliError::Input(format!(
+                "line {}: expected `label,group`",
+                lineno + 1
+            )));
+        };
+        let (label, group) = (label.trim(), group.trim().to_string());
+        let Some(item) = labels.iter().position(|l| l == label) else {
+            continue; // extra labels not in the vote universe are ignored
+        };
+        let gid = match group_labels.iter().position(|g| *g == group) {
+            Some(g) => g,
+            None => {
+                group_labels.push(group);
+                group_labels.len() - 1
+            }
+        };
+        group_of[item] = Some(gid);
+    }
+    let dense: Vec<usize> = group_of
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            g.ok_or_else(|| {
+                CliError::Input(format!("label `{}` has no group assignment", labels[i]))
+            })
+        })
+        .collect::<Result<_>>()?;
+    fairness_metrics::GroupAssignment::new(dense, group_labels.len().max(1))
+        .map_err(|e| CliError::Input(e.to_string()))
+}
+
+/// `fairrank aggregate`: consensus ranking of a vote profile.
+pub fn aggregate(args: &Args) -> Result<String> {
+    let profile = VoteProfile::read(args.require("input")?)?;
+    let method = args.require("method")?;
+    let seed = args.get_u64("seed", 42)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let consensus = match method {
+        "borda" => rank_aggregation::borda(&profile.votes).map_err(algo_err)?,
+        "copeland" => rank_aggregation::copeland(&profile.votes).map_err(algo_err)?,
+        "footrule" => rank_aggregation::footrule_optimal(&profile.votes).map_err(algo_err)?,
+        "kemeny" => {
+            let start = rank_aggregation::kwik_sort(&profile.votes, &mut rng).map_err(algo_err)?;
+            rank_aggregation::local_search(&start, &profile.votes).map_err(algo_err)?
+        }
+        "markov" => markov_chain_aggregate(&profile.votes, &MarkovConfig::default())
+            .map_err(algo_err)?,
+        other => return Err(CliError::Usage(format!("unknown method `{other}`"))),
+    };
+    let total =
+        rank_aggregation::total_kendall_distance(&consensus, &profile.votes).map_err(algo_err)?;
+    let mut out = profile.render(&consensus);
+    out.push('\n');
+    out.push_str(&format!("# total_kendall_distance,{total}\n"));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let path = std::env::temp_dir().join(format!("fairrank_test_{name}"));
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const CANDIDATES: &str = "id,score,group\n\
+                              a,0.95,g1\nb,0.90,g1\nc,0.85,g1\nd,0.80,g1\n\
+                              e,0.60,g2\nf,0.55,g2\ng,0.50,g2\nh,0.45,g2\n";
+
+    #[test]
+    fn dispatch_help_and_unknown() {
+        assert!(dispatch(&args(&["help"])).unwrap().contains("USAGE"));
+        assert!(matches!(dispatch(&args(&["bogus"])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn rank_weakly_fair_produces_all_rows_and_footer() {
+        let input = write_temp("rank_wf.csv", CANDIDATES);
+        let out = rank(&args(&["rank", "--input", &input, "--algorithm", "weakly-fair"]))
+            .unwrap();
+        assert_eq!(out.lines().filter(|l| !l.starts_with('#')).count(), 9); // header + 8
+        assert!(out.contains("# infeasible_index,"));
+        assert!(out.contains("# pfair_percentage,"));
+    }
+
+    #[test]
+    fn rank_each_algorithm_runs() {
+        let input = write_temp("rank_all.csv", CANDIDATES);
+        for algo in ["mallows", "detconstsort", "ipf", "ilp", "exact-kt", "weakly-fair"] {
+            let out = rank(&args(&[
+                "rank", "--input", &input, "--algorithm", algo, "--samples", "5",
+            ]))
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert!(out.starts_with("rank,id,score,group"), "{algo}");
+        }
+    }
+
+    #[test]
+    fn rank_fair_top_k_truncates() {
+        let input = write_temp("rank_topk.csv", CANDIDATES);
+        let out = rank(&args(&[
+            "rank", "--input", &input, "--algorithm", "fair-top-k", "--k", "4",
+        ]))
+        .unwrap();
+        assert_eq!(out.lines().filter(|l| !l.starts_with('#') ).count(), 5);
+    }
+
+    #[test]
+    fn rank_fa_ir_promotes_protected_group() {
+        let input = write_temp("rank_fair.csv", CANDIDATES);
+        let out = rank(&args(&[
+            "rank",
+            "--input",
+            &input,
+            "--algorithm",
+            "fa-ir",
+            "--protected",
+            "g2",
+            "--proportion",
+            "0.5",
+        ]))
+        .unwrap();
+        // some g2 candidate must appear in the top half
+        let top: Vec<&str> = out.lines().skip(1).take(4).collect();
+        assert!(top.iter().any(|l| l.ends_with("g2")), "top-4: {top:?}");
+    }
+
+    #[test]
+    fn rank_unknown_algorithm_is_usage_error() {
+        let input = write_temp("rank_unknown.csv", CANDIDATES);
+        assert!(matches!(
+            rank(&args(&["rank", "--input", &input, "--algorithm", "magic"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn metrics_reports_all_rows() {
+        let input = write_temp("metrics.csv", CANDIDATES);
+        let out = metrics(&args(&["metrics", "--input", &input])).unwrap();
+        for key in [
+            "ndcg,",
+            "infeasible_index,",
+            "pfair_percentage,",
+            "ndkl,",
+            "exposure_parity_ratio,",
+            "disparate_treatment_ratio,",
+        ] {
+            assert!(out.contains(key), "missing {key} in:\n{out}");
+        }
+        // file order is score-descending → NDCG = 1
+        assert!(out.contains("ndcg,1.000000"));
+    }
+
+    #[test]
+    fn sample_is_deterministic_per_seed() {
+        let a = sample(&args(&["sample", "--n", "6", "--count", "3", "--seed", "9"])).unwrap();
+        let b = sample(&args(&["sample", "--n", "6", "--count", "3", "--seed", "9"])).unwrap();
+        let c = sample(&args(&["sample", "--n", "6", "--count", "3", "--seed", "10"])).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.lines().count(), 3);
+    }
+
+    #[test]
+    fn sample_requires_size_or_input() {
+        assert!(matches!(sample(&args(&["sample"])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn aggregate_unanimous_profile() {
+        let input = write_temp("votes.csv", "x,y,z\nx,y,z\nx,z,y\n");
+        for method in ["borda", "copeland", "footrule", "kemeny", "markov"] {
+            let out = aggregate(&args(&[
+                "aggregate", "--input", &input, "--method", method,
+            ]))
+            .unwrap_or_else(|e| panic!("{method}: {e}"));
+            assert!(out.starts_with("x,"), "{method}: {out}");
+            assert!(out.contains("# total_kendall_distance,"));
+        }
+    }
+
+    #[test]
+    fn pipeline_runs_end_to_end() {
+        let votes = write_temp("pl_votes.csv", "a,b,c,d\na,b,d,c\nb,a,c,d\n");
+        let groups = write_temp("pl_groups.csv", "a,x\nb,x\nc,y\nd,y\n");
+        for post in ["none", "mallows", "gr-binary", "exact-kt", "ipf"] {
+            let out = pipeline(&args(&[
+                "pipeline", "--input", &votes, "--groups", &groups, "--post", post,
+                "--tolerance", "0.2",
+            ]))
+            .unwrap_or_else(|e| panic!("{post}: {e}"));
+            assert!(out.starts_with("consensus,"), "{post}: {out}");
+            assert!(out.contains("# fair_infeasible,"), "{post}");
+        }
+    }
+
+    #[test]
+    fn pipeline_missing_group_label_errors() {
+        let votes = write_temp("pl_votes2.csv", "a,b\nb,a\n");
+        let groups = write_temp("pl_groups2.csv", "a,x\n");
+        assert!(matches!(
+            pipeline(&args(&["pipeline", "--input", &votes, "--groups", &groups])),
+            Err(CliError::Input(_))
+        ));
+    }
+
+    #[test]
+    fn aggregate_unknown_method_errors() {
+        let input = write_temp("votes2.csv", "x,y\ny,x\n");
+        assert!(matches!(
+            aggregate(&args(&["aggregate", "--input", &input, "--method", "psychic"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_input_error() {
+        assert!(matches!(
+            rank(&args(&["rank", "--input", "/nonexistent.csv", "--algorithm", "ilp"])),
+            Err(CliError::Input(_))
+        ));
+    }
+}

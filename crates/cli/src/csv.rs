@@ -1,0 +1,270 @@
+//! CSV input/output for the CLI (std-only, no external parser).
+//!
+//! **Candidate files** hold one `id,score,group` row per candidate.
+//! A header row is detected (and skipped) when its second field does
+//! not parse as a number. Group labels are arbitrary strings and are
+//! densified in first-appearance order.
+//!
+//! **Vote files** hold one complete ranking per line: comma-separated
+//! item labels, best first. Every line must rank exactly the same label
+//! set.
+
+use crate::{CliError, Result};
+use fairness_metrics::GroupAssignment;
+use ranking_core::Permutation;
+
+/// A parsed candidate table.
+#[derive(Debug, Clone)]
+pub struct CandidateTable {
+    /// Candidate identifiers, in file order (item `i` = row `i`).
+    pub ids: Vec<String>,
+    /// Quality scores, aligned with `ids`.
+    pub scores: Vec<f64>,
+    /// Dense protected-group assignment, aligned with `ids`.
+    pub groups: GroupAssignment,
+    /// Group label for each dense group id.
+    pub group_labels: Vec<String>,
+}
+
+impl CandidateTable {
+    /// Parse candidate CSV content (see module docs).
+    pub fn parse(content: &str) -> Result<Self> {
+        let mut ids = Vec::new();
+        let mut scores = Vec::new();
+        let mut group_ids = Vec::new();
+        let mut group_labels: Vec<String> = Vec::new();
+        for (lineno, line) in content.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+            if fields.len() != 3 {
+                return Err(CliError::Input(format!(
+                    "line {}: expected `id,score,group`, found {} field(s)",
+                    lineno + 1,
+                    fields.len()
+                )));
+            }
+            let Ok(score) = fields[1].parse::<f64>() else {
+                if ids.is_empty() {
+                    continue; // header row
+                }
+                return Err(CliError::Input(format!(
+                    "line {}: score `{}` is not a number",
+                    lineno + 1,
+                    fields[1]
+                )));
+            };
+            if !score.is_finite() {
+                return Err(CliError::Input(format!(
+                    "line {}: score must be finite",
+                    lineno + 1
+                )));
+            }
+            ids.push(fields[0].to_string());
+            scores.push(score);
+            let label = fields[2].to_string();
+            let gid = match group_labels.iter().position(|l| *l == label) {
+                Some(g) => g,
+                None => {
+                    group_labels.push(label);
+                    group_labels.len() - 1
+                }
+            };
+            group_ids.push(gid);
+        }
+        if ids.is_empty() {
+            return Err(CliError::Input("no candidate rows found".to_string()));
+        }
+        let num_groups = group_labels.len();
+        let groups = GroupAssignment::new(group_ids, num_groups)
+            .expect("dense ids are in range by construction");
+        Ok(CandidateTable { ids, scores, groups, group_labels })
+    }
+
+    /// Read and parse a candidate file.
+    pub fn read(path: &str) -> Result<Self> {
+        let content = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
+        Self::parse(&content)
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the table has no rows (never: `parse` rejects that).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Render a ranking (ranked order of item indices) back to CSV.
+    pub fn render_ranking(&self, order: &[usize]) -> String {
+        let mut out = String::from("rank,id,score,group\n");
+        for (rank, &item) in order.iter().enumerate() {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                rank + 1,
+                self.ids[item],
+                self.scores[item],
+                self.group_labels[self.groups.group_of(item)]
+            ));
+        }
+        out
+    }
+}
+
+/// A parsed vote profile over a shared label universe.
+#[derive(Debug, Clone)]
+pub struct VoteProfile {
+    /// Item labels, indexed by dense item id.
+    pub labels: Vec<String>,
+    /// One permutation per vote.
+    pub votes: Vec<Permutation>,
+}
+
+impl VoteProfile {
+    /// Parse vote CSV content (one ranking per line).
+    pub fn parse(content: &str) -> Result<Self> {
+        let mut labels: Vec<String> = Vec::new();
+        let mut votes = Vec::new();
+        for (lineno, line) in content.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<String> =
+                line.split(',').map(|s| s.trim().to_string()).collect();
+            if labels.is_empty() {
+                labels = fields.clone();
+                let mut sorted = labels.clone();
+                sorted.sort();
+                sorted.dedup();
+                if sorted.len() != labels.len() {
+                    return Err(CliError::Input(format!(
+                        "line {}: duplicate label in ranking",
+                        lineno + 1
+                    )));
+                }
+            }
+            if fields.len() != labels.len() {
+                return Err(CliError::Input(format!(
+                    "line {}: ranking has {} items, expected {}",
+                    lineno + 1,
+                    fields.len(),
+                    labels.len()
+                )));
+            }
+            let order: Vec<usize> = fields
+                .iter()
+                .map(|f| {
+                    labels.iter().position(|l| l == f).ok_or_else(|| {
+                        CliError::Input(format!("line {}: unknown label `{f}`", lineno + 1))
+                    })
+                })
+                .collect::<Result<_>>()?;
+            let vote = Permutation::from_order(order).map_err(|_| {
+                CliError::Input(format!("line {}: not a permutation of the labels", lineno + 1))
+            })?;
+            votes.push(vote);
+        }
+        if votes.is_empty() {
+            return Err(CliError::Input("no vote rows found".to_string()));
+        }
+        Ok(VoteProfile { labels, votes })
+    }
+
+    /// Read and parse a vote file.
+    pub fn read(path: &str) -> Result<Self> {
+        let content = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
+        Self::parse(&content)
+    }
+
+    /// Render a consensus permutation as a label line.
+    pub fn render(&self, pi: &Permutation) -> String {
+        pi.as_order()
+            .iter()
+            .map(|&i| self.labels[i].as_str())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CANDIDATES: &str = "id,score,group\n\
+                              alice,0.9,f\n\
+                              bob,0.8,m\n\
+                              carol,0.7,f\n\
+                              dan,0.6,m\n";
+
+    #[test]
+    fn parses_candidates_with_header() {
+        let t = CandidateTable::parse(CANDIDATES).unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.ids[0], "alice");
+        assert_eq!(t.scores[2], 0.7);
+        assert_eq!(t.group_labels, vec!["f", "m"]);
+        assert_eq!(t.groups.as_slice(), &[0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn parses_candidates_without_header() {
+        let t = CandidateTable::parse("a,1.0,x\nb,0.5,y\n").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.group_labels, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn skips_blank_and_comment_lines() {
+        let t = CandidateTable::parse("# comment\n\na,1.0,x\n\nb,0.5,x\n").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.groups.num_groups(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        assert!(CandidateTable::parse("a,1.0\n").is_err());
+        assert!(CandidateTable::parse("a,1.0,x\nb,notanumber,x\n").is_err());
+        assert!(CandidateTable::parse("a,inf,x\n").is_err());
+        assert!(CandidateTable::parse("").is_err());
+    }
+
+    #[test]
+    fn render_round_trips_order() {
+        let t = CandidateTable::parse(CANDIDATES).unwrap();
+        let rendered = t.render_ranking(&[3, 0, 1, 2]);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines[0], "rank,id,score,group");
+        assert_eq!(lines[1], "1,dan,0.6,m");
+        assert_eq!(lines[2], "2,alice,0.9,f");
+    }
+
+    #[test]
+    fn parses_votes() {
+        let v = VoteProfile::parse("a,b,c\nb,a,c\nc,a,b\n").unwrap();
+        assert_eq!(v.labels, vec!["a", "b", "c"]);
+        assert_eq!(v.votes.len(), 3);
+        assert_eq!(v.votes[1].as_order(), &[1, 0, 2]);
+    }
+
+    #[test]
+    fn vote_render_round_trips() {
+        let v = VoteProfile::parse("a,b,c\nc,b,a\n").unwrap();
+        assert_eq!(v.render(&v.votes[1]), "c,b,a");
+    }
+
+    #[test]
+    fn rejects_inconsistent_votes() {
+        assert!(VoteProfile::parse("a,b,c\na,b\n").is_err());
+        assert!(VoteProfile::parse("a,b,c\na,b,d\n").is_err());
+        assert!(VoteProfile::parse("a,b,c\na,a,b\n").is_err());
+        assert!(VoteProfile::parse("a,a,b\n").is_err());
+        assert!(VoteProfile::parse("").is_err());
+    }
+}

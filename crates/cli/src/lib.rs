@@ -1,0 +1,96 @@
+//! Library backing the `fairrank` binary.
+//!
+//! Every subcommand is a pure function from parsed arguments to an
+//! output string, so the full command surface is unit-testable without
+//! spawning processes:
+//!
+//! * [`commands::rank`] — post-process a candidate CSV with any of the
+//!   workspace's fair-ranking algorithms;
+//! * [`commands::metrics`] — fairness/utility report for a ranked CSV;
+//! * [`commands::sample`] — draw Mallows permutations;
+//! * [`commands::aggregate`] — aggregate a vote-profile CSV;
+//! * [`commands::pipeline`] — aggregate and fair post-process in one
+//!   call.
+//!
+//! File formats are deliberately minimal (`id,score,group` rows for
+//! candidates; one comma-separated ranking per line for votes) and are
+//! documented in [`csv`].
+
+pub mod args;
+pub mod commands;
+pub mod csv;
+
+/// Errors surfaced to the terminal user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Command-line usage problem (unknown flag, missing value, …).
+    Usage(String),
+    /// Input file problem (I/O or malformed content).
+    Input(String),
+    /// An algorithm reported failure (e.g. infeasible bounds).
+    Algorithm(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Input(m) => write!(f, "input error: {m}"),
+            CliError::Algorithm(m) => write!(f, "algorithm error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CliError>;
+
+/// Top-level usage text (shown for `fairrank help` and usage errors).
+pub const USAGE: &str = "\
+fairrank — fair ranking through Mallows randomization (and baselines)
+
+USAGE:
+    fairrank <COMMAND> [FLAGS]
+
+COMMANDS:
+    rank        post-process a candidate CSV into a fair(er) ranking
+    metrics     fairness/utility report for an already-ranked CSV
+    sample      draw permutations from a Mallows distribution
+    aggregate   aggregate a vote profile into a consensus ranking
+    pipeline    aggregate + fair post-process in one call
+    help        print this message
+
+RANK:
+    fairrank rank --input FILE --algorithm ALGO [--output FILE]
+        --algorithm   mallows | detconstsort | ipf | ilp | exact-kt |
+                      fair-top-k | fa-ir | weakly-fair
+        --theta       Mallows dispersion θ           (default 1.0)
+        --samples     Mallows best-of-m samples      (default 1)
+        --tolerance   fairness proportion tolerance  (default 0.1)
+        --k           shortlist size                 (default all)
+        --protected   protected group label (fa-ir)  (default first label)
+        --proportion  fa-ir minimum proportion p     (default group share)
+        --alpha       fa-ir significance             (default 0.1)
+        --seed        RNG seed                       (default 42)
+
+METRICS:
+    fairrank metrics --input FILE [--tolerance T] [--at K]
+
+SAMPLE:
+    fairrank sample --n N [--theta T] [--count M] [--seed S]
+
+AGGREGATE:
+    fairrank aggregate --input FILE --method METHOD [--seed S]
+        --method      borda | copeland | footrule | kemeny | markov
+
+PIPELINE:
+    fairrank pipeline --input VOTES --groups FILE [--method M] [--post P]
+        --groups      label,group rows mapping vote labels to groups
+        --method      aggregation stage (default kemeny)
+        --post        none | mallows | gr-binary | exact-kt | ipf
+                      (default mallows; --theta/--samples apply)
+
+Candidate CSV: one `id,score,group` row per candidate (header allowed).
+Vote CSV: one comma-separated ranking of item labels per line.
+";

@@ -1,0 +1,27 @@
+//! `fairrank` — fair ranking, metrics, sampling and aggregation on CSVs.
+
+use fairrank_cli::args::Args;
+use fairrank_cli::{commands, CliError};
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let result = Args::parse(raw).and_then(|args| {
+        let output = commands::dispatch(&args)?;
+        match args.get("output") {
+            Some(path) => std::fs::write(path, &output)
+                .map_err(|e| CliError::Input(format!("cannot write {path}: {e}"))),
+            None => {
+                print!("{output}");
+                Ok(())
+            }
+        }
+    });
+    if let Err(e) = result {
+        eprintln!("fairrank: {e}");
+        eprintln!("run `fairrank help` for usage");
+        std::process::exit(match e {
+            CliError::Usage(_) => 2,
+            _ => 1,
+        });
+    }
+}

@@ -1,0 +1,87 @@
+//! End-to-end CLI round trips: rank a candidate file, feed the output
+//! back into `metrics`, and aggregate votes produced by `sample`.
+
+use fairrank_cli::args::Args;
+use fairrank_cli::commands;
+
+fn args(tokens: &[&str]) -> Args {
+    Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+}
+
+fn temp(name: &str, content: &str) -> String {
+    let path = std::env::temp_dir().join(format!("fairrank_rt_{name}"));
+    std::fs::write(&path, content).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+fn pool_csv(n: usize) -> String {
+    let mut s = String::from("id,score,group\n");
+    for i in 0..n {
+        let score = 1.0 - i as f64 / n as f64;
+        let group = if i % 3 == 0 { "b" } else { "a" };
+        s.push_str(&format!("cand{i},{score},{group}\n"));
+    }
+    s
+}
+
+#[test]
+fn rank_output_feeds_metrics() {
+    let input = temp("pool.csv", &pool_csv(24));
+    for algo in ["mallows", "detconstsort", "ipf", "ilp", "exact-kt", "weakly-fair"] {
+        let ranked = commands::rank(&args(&[
+            "rank", "--input", &input, "--algorithm", algo, "--samples", "5", "--theta", "0.7",
+        ]))
+        .unwrap_or_else(|e| panic!("{algo}: {e}"));
+        // strip the rank column and the comment footer → valid metrics input
+        let as_candidates: String = ranked
+            .lines()
+            .skip(1)
+            .filter(|l| !l.starts_with('#'))
+            .map(|l| {
+                let mut parts = l.splitn(2, ',');
+                parts.next();
+                parts.next().expect("rank,id,score,group row").to_string() + "\n"
+            })
+            .collect();
+        let reranked = temp(&format!("ranked_{algo}.csv"), &as_candidates);
+        let report = commands::metrics(&args(&["metrics", "--input", &reranked])).unwrap();
+        assert!(report.contains("candidates,24"), "{algo}: {report}");
+        assert!(report.contains("ndcg,"), "{algo}");
+        // every algorithm keeps all candidates
+        assert_eq!(as_candidates.lines().count(), 24, "{algo}");
+    }
+}
+
+#[test]
+fn sampled_permutations_aggregate_back_to_center() {
+    // `sample` at high θ concentrates on the identity; aggregating the
+    // sampled votes must recover it.
+    let out = commands::sample(&args(&[
+        "sample", "--n", "6", "--theta", "12.0", "--count", "7", "--seed", "3",
+    ]))
+    .unwrap();
+    let votes_file = temp("votes.csv", &out);
+    for method in ["borda", "copeland", "footrule", "kemeny", "markov"] {
+        let agg = commands::aggregate(&args(&[
+            "aggregate", "--input", &votes_file, "--method", method,
+        ]))
+        .unwrap();
+        let first_line = agg.lines().next().unwrap();
+        assert_eq!(first_line, "0,1,2,3,4,5", "{method} failed to recover the centre");
+    }
+}
+
+#[test]
+fn fair_top_k_via_cli_truncates_and_reports() {
+    let input = temp("pool_topk.csv", &pool_csv(30));
+    let out = commands::rank(&args(&[
+        "rank", "--input", &input, "--algorithm", "fair-top-k", "--k", "6", "--tolerance", "0.05",
+    ]))
+    .unwrap();
+    let rows: Vec<&str> =
+        out.lines().skip(1).filter(|l| !l.starts_with('#')).collect();
+    assert_eq!(rows.len(), 6);
+    // the shortlist must include at least one 'b'-group candidate
+    // (pool share 1/3, tolerance ±5 % → floor(0.28·6) = 1 required)
+    assert!(rows.iter().any(|l| l.ends_with(",b")), "{rows:?}");
+}

@@ -1,0 +1,378 @@
+//! Algorithm 1: fair ranking through Mallows noise.
+
+use crate::{FairMallowsError, Result};
+use fairness_metrics::{infeasible, FairnessBounds, GroupAssignment};
+use mallows_model::MallowsModel;
+use rand::Rng;
+use ranking_core::{distance, quality, Permutation};
+
+/// Selection criterion for choosing among the `m` Mallows samples
+/// (Algorithm 1, line 8: `choose_ranking(c, samples)`).
+#[derive(Debug, Clone)]
+pub enum Criterion {
+    /// Keep the first sample — pure randomization (`m` is effectively 1).
+    FirstSample,
+    /// Keep the sample with the highest NDCG against these quality
+    /// scores (indexed by item id).
+    MaxNdcg(Vec<f64>),
+    /// Keep the sample closest to the centre in Kendall tau distance.
+    MinKendallTau,
+    /// Keep the sample with the smallest two-sided infeasible index
+    /// w.r.t. *known* groups. (The robustness story of the paper is that
+    /// even [`Criterion::FirstSample`] helps unknown groups; this
+    /// criterion additionally exploits whatever attributes are known.)
+    MinInfeasibleIndex {
+        /// Known group assignment.
+        groups: GroupAssignment,
+        /// Bounds the infeasible index is measured against.
+        bounds: FairnessBounds,
+    },
+    /// Weighted combination of sub-criteria, each normalized to `[0, 1]`
+    /// before weighting so the weights are comparable across units
+    /// (NDCG is already in `[0, 1]`; Kendall tau is divided by
+    /// `n(n−1)/2`; the infeasible index by `2n`). Lower is better.
+    Weighted(Vec<(f64, Criterion)>),
+}
+
+impl Criterion {
+    /// Lower-is-better objective value of one sample. NDCG is negated so
+    /// that all criteria minimize.
+    fn objective(&self, sample: &Permutation, center: &Permutation) -> Result<f64> {
+        match self {
+            Criterion::FirstSample => Ok(0.0),
+            Criterion::MaxNdcg(scores) => {
+                Ok(-quality::ndcg(sample, scores).map_err(|_| {
+                    FairMallowsError::CriterionShape { expected: scores.len(), got: sample.len() }
+                })?)
+            }
+            Criterion::MinKendallTau => Ok(distance::kendall_tau(sample, center)
+                .expect("sample and centre share a length") as f64),
+            Criterion::MinInfeasibleIndex { groups, bounds } => {
+                Ok(infeasible::two_sided_infeasible_index(sample, groups, bounds)? as f64)
+            }
+            Criterion::Weighted(parts) => {
+                let n = sample.len();
+                let mut total = 0.0;
+                for (w, c) in parts {
+                    let raw = c.objective(sample, center)?;
+                    let normalized = match c {
+                        // MaxNdcg objectives are −NDCG ∈ [−1, 0]
+                        Criterion::MaxNdcg(_) | Criterion::FirstSample => raw,
+                        Criterion::MinKendallTau => {
+                            raw / (distance::max_kendall_tau(n).max(1) as f64)
+                        }
+                        Criterion::MinInfeasibleIndex { .. } => raw / (2 * n.max(1)) as f64,
+                        Criterion::Weighted(_) => raw, // nested: already normalized
+                    };
+                    total += w * normalized;
+                }
+                Ok(total)
+            }
+        }
+    }
+
+    /// The reported criterion value (NDCG un-negated for readability).
+    fn report(&self, objective: f64) -> f64 {
+        match self {
+            Criterion::MaxNdcg(_) => -objective,
+            _ => objective,
+        }
+    }
+
+    /// Crate-internal access to the minimized objective (used by the
+    /// generic noise-model ranker).
+    pub(crate) fn objective_value(&self, sample: &Permutation, center: &Permutation) -> Result<f64> {
+        self.objective(sample, center)
+    }
+
+    /// Crate-internal access to the reported value transform.
+    pub(crate) fn report_value(&self, objective: f64) -> f64 {
+        self.report(objective)
+    }
+
+    fn check_shape(&self, n: usize) -> Result<()> {
+        match self {
+            Criterion::MaxNdcg(scores) if scores.len() != n => {
+                Err(FairMallowsError::CriterionShape { expected: scores.len(), got: n })
+            }
+            Criterion::MinInfeasibleIndex { groups, .. } if groups.len() != n => {
+                Err(FairMallowsError::CriterionShape { expected: groups.len(), got: n })
+            }
+            Criterion::Weighted(parts) => {
+                for (_, c) in parts {
+                    c.check_shape(n)?;
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Output of one [`MallowsFairRanker::rank`] call.
+#[derive(Debug, Clone)]
+pub struct RankOutput {
+    /// The selected ranking.
+    pub ranking: Permutation,
+    /// Number of Mallows samples drawn.
+    pub samples_drawn: usize,
+    /// Criterion value of the winner (NDCG for [`Criterion::MaxNdcg`],
+    /// Kendall tau distance for [`Criterion::MinKendallTau`], infeasible
+    /// index for [`Criterion::MinInfeasibleIndex`], 0 for
+    /// [`Criterion::FirstSample`]).
+    pub criterion_value: f64,
+}
+
+/// The paper's Algorithm 1: sample `m` rankings from `M(π₀, θ)` and keep
+/// the best under a [`Criterion`].
+#[derive(Debug, Clone)]
+pub struct MallowsFairRanker {
+    theta: f64,
+    num_samples: usize,
+    criterion: Criterion,
+}
+
+impl MallowsFairRanker {
+    /// Create a ranker with dispersion `θ ≥ 0`, `m ≥ 1` samples and a
+    /// selection criterion.
+    pub fn new(theta: f64, num_samples: usize, criterion: Criterion) -> Result<Self> {
+        if num_samples == 0 {
+            return Err(FairMallowsError::NoSamples);
+        }
+        if !theta.is_finite() || theta < 0.0 {
+            return Err(FairMallowsError::Mallows(mallows_model::MallowsError::InvalidTheta {
+                theta,
+            }));
+        }
+        Ok(MallowsFairRanker { theta, num_samples, criterion })
+    }
+
+    /// Dispersion parameter θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Number of samples `m`.
+    pub fn num_samples(&self) -> usize {
+        self.num_samples
+    }
+
+    /// Run Algorithm 1 around the given centre.
+    ///
+    /// Draws `m` samples from `M(center, θ)` and returns the best under
+    /// the criterion (with [`Criterion::FirstSample`] only one sample is
+    /// drawn regardless of `m`).
+    pub fn rank<R: Rng + ?Sized>(&self, center: &Permutation, rng: &mut R) -> Result<RankOutput> {
+        self.criterion.check_shape(center.len())?;
+        let model = MallowsModel::new(center.clone(), self.theta)?;
+        let m = match self.criterion {
+            Criterion::FirstSample => 1,
+            _ => self.num_samples,
+        };
+        let mut best: Option<(f64, Permutation)> = None;
+        for _ in 0..m {
+            let sample = model.sample(rng);
+            let obj = self.criterion.objective(&sample, center)?;
+            if best.as_ref().is_none_or(|(b, _)| obj < *b) {
+                best = Some((obj, sample));
+            }
+        }
+        let (obj, ranking) = best.expect("m ≥ 1 samples were drawn");
+        Ok(RankOutput {
+            ranking,
+            samples_drawn: m,
+            criterion_value: self.criterion.report(obj),
+        })
+    }
+
+    /// Convenience: build the quality-sorted centre from scores and run
+    /// Algorithm 1 in one call (the paper's
+    /// `find_central_permutation(S)` for the score-only setting).
+    pub fn rank_scores<R: Rng + ?Sized>(&self, scores: &[f64], rng: &mut R) -> Result<RankOutput> {
+        let center = Permutation::sorted_by_scores_desc(scores);
+        self.rank(&center, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scores(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 1.0 - i as f64 / n as f64).collect()
+    }
+
+    #[test]
+    fn zero_samples_rejected() {
+        assert_eq!(
+            MallowsFairRanker::new(1.0, 0, Criterion::FirstSample).unwrap_err(),
+            FairMallowsError::NoSamples
+        );
+    }
+
+    #[test]
+    fn negative_theta_rejected() {
+        assert!(MallowsFairRanker::new(-0.5, 1, Criterion::FirstSample).is_err());
+    }
+
+    #[test]
+    fn first_sample_draws_exactly_one() {
+        let r = MallowsFairRanker::new(0.5, 15, Criterion::FirstSample).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = r.rank(&Permutation::identity(10), &mut rng).unwrap();
+        assert_eq!(out.samples_drawn, 1);
+    }
+
+    #[test]
+    fn max_ndcg_beats_first_sample_on_average() {
+        let s = scores(12);
+        let center = Permutation::sorted_by_scores_desc(&s);
+        let best_of = MallowsFairRanker::new(0.5, 15, Criterion::MaxNdcg(s.clone())).unwrap();
+        let single = MallowsFairRanker::new(0.5, 1, Criterion::FirstSample).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 40;
+        let mut ndcg_best = 0.0;
+        let mut ndcg_single = 0.0;
+        for _ in 0..trials {
+            let a = best_of.rank(&center, &mut rng).unwrap();
+            let b = single.rank(&center, &mut rng).unwrap();
+            ndcg_best += quality::ndcg(&a.ranking, &s).unwrap();
+            ndcg_single += quality::ndcg(&b.ranking, &s).unwrap();
+        }
+        assert!(
+            ndcg_best > ndcg_single,
+            "best-of-15 NDCG {ndcg_best} should beat single-sample {ndcg_single}"
+        );
+    }
+
+    #[test]
+    fn max_ndcg_reports_the_winner_value() {
+        let s = scores(8);
+        let center = Permutation::sorted_by_scores_desc(&s);
+        let r = MallowsFairRanker::new(1.0, 10, Criterion::MaxNdcg(s.clone())).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = r.rank(&center, &mut rng).unwrap();
+        let actual = quality::ndcg(&out.ranking, &s).unwrap();
+        assert!((out.criterion_value - actual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_kendall_tau_selects_closest() {
+        let center = Permutation::identity(10);
+        let r = MallowsFairRanker::new(0.3, 25, Criterion::MinKendallTau).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = r.rank(&center, &mut rng).unwrap();
+        let d = distance::kendall_tau(&out.ranking, &center).unwrap() as f64;
+        assert_eq!(out.criterion_value, d);
+        // 25 samples at θ=0.3 on n=10: winner should be well below the mean
+        let model = MallowsModel::new(center, 0.3).unwrap();
+        assert!(d <= model.expected_kendall_tau());
+    }
+
+    #[test]
+    fn min_infeasible_index_criterion_reduces_ii() {
+        // segregated centre: II high; best-of-30 must find a fairer sample
+        let groups = GroupAssignment::binary_split(10, 5);
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let center = Permutation::identity(10);
+        let base_ii =
+            infeasible::two_sided_infeasible_index(&center, &groups, &bounds).unwrap() as f64;
+        let r = MallowsFairRanker::new(
+            0.3,
+            30,
+            Criterion::MinInfeasibleIndex { groups, bounds },
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = r.rank(&center, &mut rng).unwrap();
+        assert!(
+            out.criterion_value < base_ii,
+            "best-of-30 II {} should beat the centre's {base_ii}",
+            out.criterion_value
+        );
+    }
+
+    #[test]
+    fn criterion_shape_mismatch_detected() {
+        let r = MallowsFairRanker::new(1.0, 5, Criterion::MaxNdcg(vec![1.0, 2.0])).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(matches!(
+            r.rank(&Permutation::identity(4), &mut rng),
+            Err(FairMallowsError::CriterionShape { .. })
+        ));
+    }
+
+    #[test]
+    fn rank_scores_uses_quality_sorted_center() {
+        let s = vec![0.1, 0.9, 0.5];
+        // θ huge → sample equals centre
+        let r = MallowsFairRanker::new(25.0, 1, Criterion::FirstSample).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let out = r.rank_scores(&s, &mut rng).unwrap();
+        assert_eq!(out.ranking.as_order(), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn weighted_criterion_balances_fairness_and_utility() {
+        let groups = GroupAssignment::binary_split(10, 5);
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let s = scores(10);
+        let center = Permutation::sorted_by_scores_desc(&s);
+        let combined = Criterion::Weighted(vec![
+            (1.0, Criterion::MaxNdcg(s.clone())),
+            (1.0, Criterion::MinInfeasibleIndex { groups: groups.clone(), bounds: bounds.clone() }),
+        ]);
+        let r = MallowsFairRanker::new(0.4, 30, combined).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let out = r.rank(&center, &mut rng).unwrap();
+        // winner must weakly beat the centre on the combined objective
+        let center_ii =
+            infeasible::two_sided_infeasible_index(&center, &groups, &bounds).unwrap() as f64;
+        let out_ii =
+            infeasible::two_sided_infeasible_index(&out.ranking, &groups, &bounds).unwrap()
+                as f64;
+        let center_obj = -1.0 + center_ii / 20.0; // centre NDCG = 1
+        let out_obj =
+            -quality::ndcg(&out.ranking, &s).unwrap() + out_ii / 20.0;
+        assert!(out_obj <= center_obj + 0.2, "combined {out_obj} vs centre {center_obj}");
+    }
+
+    #[test]
+    fn weighted_criterion_shape_checks_recursively() {
+        let combined = Criterion::Weighted(vec![(1.0, Criterion::MaxNdcg(vec![1.0, 2.0]))]);
+        let r = MallowsFairRanker::new(1.0, 3, combined).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(matches!(
+            r.rank(&Permutation::identity(5), &mut rng),
+            Err(FairMallowsError::CriterionShape { .. })
+        ));
+    }
+
+    #[test]
+    fn weighted_with_single_part_matches_plain_criterion_choice() {
+        let center = Permutation::identity(8);
+        let plain = MallowsFairRanker::new(0.6, 10, Criterion::MinKendallTau).unwrap();
+        let wrapped = MallowsFairRanker::new(
+            0.6,
+            10,
+            Criterion::Weighted(vec![(2.5, Criterion::MinKendallTau)]),
+        )
+        .unwrap();
+        // same seed → same sample stream → same winner (positive weight
+        // preserves the argmin)
+        let a = plain.rank(&center, &mut StdRng::seed_from_u64(42)).unwrap();
+        let b = wrapped.rank(&center, &mut StdRng::seed_from_u64(42)).unwrap();
+        assert_eq!(a.ranking, b.ranking);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let r = MallowsFairRanker::new(0.8, 5, Criterion::MinKendallTau).unwrap();
+        let center = Permutation::identity(15);
+        let a = r.rank(&center, &mut StdRng::seed_from_u64(42)).unwrap();
+        let b = r.rank(&center, &mut StdRng::seed_from_u64(42)).unwrap();
+        assert_eq!(a.ranking, b.ranking);
+    }
+}

@@ -1,0 +1,211 @@
+//! Pluggable noise distributions for Algorithm 1.
+//!
+//! The paper's conclusion proposes "exploring various noise
+//! distributions or tuning parameters within the noise distribution".
+//! [`NoiseModel`] abstracts the sampling step of Algorithm 1 so the
+//! selection machinery works with any ranking distribution:
+//!
+//! * [`mallows_model::MallowsModel`] — the paper's choice;
+//! * [`mallows_model::GeneralizedMallows`] — per-stage dispersion
+//!   (e.g. head-mixing profiles);
+//! * [`mallows_model::PlackettLuce`] — strength-based noise with a
+//!   differently-shaped utility trade-off.
+//!
+//! [`GenericFairRanker`] runs sample-`m`-keep-best over any of them.
+
+use crate::{Criterion, FairMallowsError, RankOutput, Result};
+use rand::rngs::StdRng;
+use ranking_core::Permutation;
+
+/// A distribution over rankings usable as Algorithm 1's noise source.
+///
+/// The `rng` is concretely [`StdRng`] to keep the trait object-safe
+/// (the ranker stores `Box<dyn NoiseModel>` in applications).
+pub trait NoiseModel {
+    /// Draw one ranking.
+    fn sample_ranking(&self, rng: &mut StdRng) -> Permutation;
+
+    /// Number of ranked items.
+    fn num_items(&self) -> usize;
+
+    /// The central/reference ranking distances are measured against.
+    fn reference(&self) -> &Permutation;
+}
+
+impl NoiseModel for mallows_model::MallowsModel {
+    fn sample_ranking(&self, rng: &mut StdRng) -> Permutation {
+        self.sample(rng)
+    }
+
+    fn num_items(&self) -> usize {
+        self.len()
+    }
+
+    fn reference(&self) -> &Permutation {
+        self.center()
+    }
+}
+
+impl NoiseModel for mallows_model::GeneralizedMallows {
+    fn sample_ranking(&self, rng: &mut StdRng) -> Permutation {
+        self.sample(rng)
+    }
+
+    fn num_items(&self) -> usize {
+        self.center().len()
+    }
+
+    fn reference(&self) -> &Permutation {
+        self.center()
+    }
+}
+
+/// Plackett–Luce centred noise: pairs the distribution with the centre
+/// it was derived from (the raw PL model does not retain it).
+#[derive(Debug, Clone)]
+pub struct CenteredPlackettLuce {
+    model: mallows_model::PlackettLuce,
+    center: Permutation,
+}
+
+impl CenteredPlackettLuce {
+    /// Build PL noise centred on `center` with temperature `gamma`.
+    pub fn new(center: Permutation, gamma: f64) -> Result<Self> {
+        let model = mallows_model::PlackettLuce::from_center(&center, gamma)
+            .map_err(FairMallowsError::Mallows)?;
+        Ok(CenteredPlackettLuce { model, center })
+    }
+
+    /// The underlying PL model.
+    pub fn model(&self) -> &mallows_model::PlackettLuce {
+        &self.model
+    }
+}
+
+impl NoiseModel for CenteredPlackettLuce {
+    fn sample_ranking(&self, rng: &mut StdRng) -> Permutation {
+        self.model.sample(rng)
+    }
+
+    fn num_items(&self) -> usize {
+        self.center.len()
+    }
+
+    fn reference(&self) -> &Permutation {
+        &self.center
+    }
+}
+
+/// Algorithm 1 over an arbitrary [`NoiseModel`]: draw `m` samples, keep
+/// the best under the criterion.
+#[derive(Debug, Clone)]
+pub struct GenericFairRanker {
+    num_samples: usize,
+    criterion: Criterion,
+}
+
+impl GenericFairRanker {
+    /// `m ≥ 1` samples with the given selection criterion.
+    pub fn new(num_samples: usize, criterion: Criterion) -> Result<Self> {
+        if num_samples == 0 {
+            return Err(FairMallowsError::NoSamples);
+        }
+        Ok(GenericFairRanker { num_samples, criterion })
+    }
+
+    /// Run sample-and-select against the given noise model.
+    pub fn rank<N: NoiseModel + ?Sized>(&self, noise: &N, rng: &mut StdRng) -> Result<RankOutput> {
+        let m = match self.criterion {
+            Criterion::FirstSample => 1,
+            _ => self.num_samples,
+        };
+        let reference = noise.reference().clone();
+        let mut best: Option<(f64, Permutation)> = None;
+        for _ in 0..m {
+            let sample = noise.sample_ranking(rng);
+            if sample.len() != noise.num_items() {
+                return Err(FairMallowsError::CriterionShape {
+                    expected: noise.num_items(),
+                    got: sample.len(),
+                });
+            }
+            let obj = self.criterion.objective_value(&sample, &reference)?;
+            if best.as_ref().is_none_or(|(b, _)| obj < *b) {
+                best = Some((obj, sample));
+            }
+        }
+        let (obj, ranking) = best.expect("m ≥ 1");
+        Ok(RankOutput {
+            ranking,
+            samples_drawn: m,
+            criterion_value: self.criterion.report_value(obj),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mallows_model::{GeneralizedMallows, MallowsModel};
+    use rand::SeedableRng;
+    use ranking_core::quality;
+
+    fn scores(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (n - i) as f64).collect()
+    }
+
+    #[test]
+    fn generic_ranker_matches_specialized_on_mallows() {
+        let center = Permutation::identity(10);
+        let model = MallowsModel::new(center.clone(), 0.8).unwrap();
+        let generic = GenericFairRanker::new(5, Criterion::MinKendallTau).unwrap();
+        let specialized =
+            crate::MallowsFairRanker::new(0.8, 5, Criterion::MinKendallTau).unwrap();
+        let a = generic.rank(&model, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = specialized.rank(&center, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a.ranking, b.ranking, "same seed, same samples, same winner");
+    }
+
+    #[test]
+    fn plackett_luce_noise_works_end_to_end() {
+        let s = scores(12);
+        let center = Permutation::sorted_by_scores_desc(&s);
+        let noise = CenteredPlackettLuce::new(center, 0.4).unwrap();
+        let ranker = GenericFairRanker::new(10, Criterion::MaxNdcg(s.clone())).unwrap();
+        let out = ranker.rank(&noise, &mut StdRng::seed_from_u64(2)).unwrap();
+        assert_eq!(out.ranking.len(), 12);
+        let v = quality::ndcg(&out.ranking, &s).unwrap();
+        assert!((out.criterion_value - v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generalized_mallows_head_mixing_via_trait() {
+        let center = Permutation::identity(15);
+        let noise = GeneralizedMallows::head_mixing(center, 3.0, 0.7).unwrap();
+        let ranker = GenericFairRanker::new(1, Criterion::FirstSample).unwrap();
+        let out = ranker.rank(&noise, &mut StdRng::seed_from_u64(3)).unwrap();
+        assert_eq!(out.ranking.len(), 15);
+        assert_eq!(out.samples_drawn, 1);
+    }
+
+    #[test]
+    fn boxed_dyn_noise_model_is_usable() {
+        let center = Permutation::identity(8);
+        let models: Vec<Box<dyn NoiseModel>> = vec![
+            Box::new(MallowsModel::new(center.clone(), 1.0).unwrap()),
+            Box::new(CenteredPlackettLuce::new(center.clone(), 1.0).unwrap()),
+            Box::new(GeneralizedMallows::uniform(center, 1.0).unwrap()),
+        ];
+        let ranker = GenericFairRanker::new(3, Criterion::MinKendallTau).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for m in &models {
+            let out = ranker.rank(m.as_ref(), &mut rng).unwrap();
+            assert_eq!(out.ranking.len(), 8);
+        }
+    }
+
+    #[test]
+    fn zero_samples_rejected() {
+        assert!(GenericFairRanker::new(0, Criterion::FirstSample).is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Calibrating the dispersion to a *utility* target.
+//!
+//! The paper's conclusions propose "tuning parameters within the noise
+//! distribution" as a systematic methodology. `mallows-model` already
+//! inverts θ against an expected **distance**; practitioners, however,
+//! usually have an NDCG budget ("we can give up 2 % of ranking
+//! quality"). This module inverts θ against the expected **NDCG** of
+//! Algorithm 1's output:
+//!
+//! * [`expected_ndcg`] — Monte-Carlo estimate of `E[NDCG]` around the
+//!   score-sorted centre at a given θ, using common random numbers so
+//!   repeated evaluations are deterministic and monotone in θ;
+//! * [`theta_for_target_ndcg`] — bisection on that estimator: the
+//!   smallest dispersion (i.e. the *most* noise) whose expected NDCG
+//!   still meets the target.
+//!
+//! Monotonicity note: the RIM sampler inverts the truncated-geometric
+//! CDF, so with a fixed uniform stream each stage displacement is
+//! non-increasing in θ — expected NDCG under common random numbers is
+//! monotone, making the bisection sound rather than heuristic.
+
+use crate::{FairMallowsError, Result};
+use mallows_model::MallowsModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ranking_core::{quality, Permutation};
+
+/// Upper bracket for the calibration search (noise is negligible here).
+const THETA_MAX: f64 = 30.0;
+
+/// Result of an NDCG calibration.
+#[derive(Debug, Clone, Copy)]
+pub struct NdcgCalibration {
+    /// The calibrated dispersion.
+    pub theta: f64,
+    /// Monte-Carlo `E[NDCG]` achieved at that dispersion.
+    pub achieved_ndcg: f64,
+}
+
+/// Monte-Carlo expected NDCG of a single Mallows draw around the
+/// score-sorted centre of `scores`, at dispersion `theta`, with `draws`
+/// samples and a fixed `seed` (common random numbers).
+pub fn expected_ndcg(scores: &[f64], theta: f64, draws: usize, seed: u64) -> Result<f64> {
+    if draws == 0 {
+        return Err(FairMallowsError::NoSamples);
+    }
+    let center = Permutation::sorted_by_scores_desc(scores);
+    let model = MallowsModel::new(center, theta)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0.0;
+    for _ in 0..draws {
+        let sample = model.sample(&mut rng);
+        total += quality::ndcg(&sample, scores).map_err(|_| {
+            FairMallowsError::CriterionShape { expected: scores.len(), got: sample.len() }
+        })?;
+    }
+    Ok(total / draws as f64)
+}
+
+/// The smallest dispersion whose expected NDCG meets `target`, found by
+/// bisection on [`expected_ndcg`] (with common random numbers the
+/// objective is monotone in θ).
+///
+/// Returns θ = 0 when even uniform noise meets the target and
+/// `THETA_MAX` when the target is unattainable (e.g. `target > 1`);
+/// both ends are reported with their achieved NDCG so callers can
+/// detect saturation. Errors when `draws == 0` or `scores` is empty.
+pub fn theta_for_target_ndcg(
+    scores: &[f64],
+    target: f64,
+    draws: usize,
+    seed: u64,
+) -> Result<NdcgCalibration> {
+    if scores.is_empty() {
+        return Err(FairMallowsError::CriterionShape { expected: 1, got: 0 });
+    }
+    let eval = |theta: f64| expected_ndcg(scores, theta, draws, seed);
+    if eval(0.0)? >= target {
+        return Ok(NdcgCalibration { theta: 0.0, achieved_ndcg: eval(0.0)? });
+    }
+    if eval(THETA_MAX)? < target {
+        return Ok(NdcgCalibration { theta: THETA_MAX, achieved_ndcg: eval(THETA_MAX)? });
+    }
+    let (mut lo, mut hi) = (0.0f64, THETA_MAX);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if eval(mid)? >= target {
+            hi = mid; // still meets the target → try more noise
+        } else {
+            lo = mid;
+        }
+        if hi - lo < 1e-6 {
+            break;
+        }
+    }
+    Ok(NdcgCalibration { theta: hi, achieved_ndcg: eval(hi)? })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 1.0 - i as f64 / n as f64).collect()
+    }
+
+    #[test]
+    fn expected_ndcg_monotone_in_theta_under_crn() {
+        let s = scores(15);
+        let mut last = 0.0;
+        for theta in [0.0, 0.3, 0.8, 1.5, 3.0, 8.0] {
+            let v = expected_ndcg(&s, theta, 200, 7).unwrap();
+            assert!(v >= last - 1e-9, "E[NDCG] dipped at θ={theta}: {v} < {last}");
+            last = v;
+        }
+        assert!((expected_ndcg(&s, 25.0, 100, 7).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn calibration_meets_the_target() {
+        let s = scores(20);
+        for target in [0.95, 0.98, 0.995] {
+            let cal = theta_for_target_ndcg(&s, target, 300, 11).unwrap();
+            assert!(
+                cal.achieved_ndcg >= target - 1e-9,
+                "target {target}: achieved {} at θ={}",
+                cal.achieved_ndcg,
+                cal.theta
+            );
+            // and the calibration is tight: a noticeably smaller θ misses it
+            if cal.theta > 0.05 {
+                let below = expected_ndcg(&s, cal.theta * 0.7, 300, 11).unwrap();
+                assert!(below < target, "calibration not tight at target {target}");
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_target_gives_zero_theta() {
+        let s = scores(10);
+        let cal = theta_for_target_ndcg(&s, 0.0, 100, 3).unwrap();
+        assert_eq!(cal.theta, 0.0);
+    }
+
+    #[test]
+    fn impossible_target_saturates() {
+        let s = scores(10);
+        let cal = theta_for_target_ndcg(&s, 1.1, 100, 3).unwrap();
+        assert_eq!(cal.theta, THETA_MAX);
+        assert!(cal.achieved_ndcg <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_error() {
+        assert!(expected_ndcg(&scores(5), 1.0, 0, 1).is_err());
+        assert!(theta_for_target_ndcg(&[], 0.9, 10, 1).is_err());
+    }
+
+    #[test]
+    fn calibration_is_deterministic_per_seed() {
+        let s = scores(12);
+        let a = theta_for_target_ndcg(&s, 0.97, 200, 5).unwrap();
+        let b = theta_for_target_ndcg(&s, 0.97, 200, 5).unwrap();
+        assert_eq!(a.theta, b.theta);
+    }
+}

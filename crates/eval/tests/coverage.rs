@@ -1,0 +1,100 @@
+//! Statistical validation of the bootstrap machinery the paper's
+//! figures rely on: empirical coverage of the percentile CI and
+//! agreement between the hypothesis tests and ground truth.
+
+use eval_stats::hypothesis::{chi_square_gof, mann_whitney_u};
+use eval_stats::{bootstrap_ci, NormalSampler, Statistic};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// 95 % percentile-bootstrap CIs on Gaussian means should cover the
+/// true mean in roughly 95 % of repetitions. With 200 repetitions the
+/// binomial 5σ band around 0.95 is ±0.077; we assert coverage ≥ 0.87.
+#[test]
+fn bootstrap_mean_ci_coverage_is_nominal() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let true_mean = 3.0;
+    let mut sampler = NormalSampler::new(true_mean, 1.5);
+    let reps = 200;
+    let mut covered = 0usize;
+    for _ in 0..reps {
+        let data: Vec<f64> = (0..40).map(|_| sampler.sample(&mut rng)).collect();
+        let ci = bootstrap_ci(&data, Statistic::Mean, 1000, 0.95, &mut rng);
+        if ci.lower <= true_mean && true_mean <= ci.upper {
+            covered += 1;
+        }
+    }
+    let coverage = covered as f64 / reps as f64;
+    assert!(
+        coverage >= 0.87,
+        "95% CI covered the true mean only {:.1}% of the time",
+        100.0 * coverage
+    );
+    assert!(coverage <= 1.0);
+}
+
+/// Median CIs behave the same way on a skewed distribution (log-normal),
+/// where mean-based normal-theory intervals would be off.
+#[test]
+fn bootstrap_median_ci_coverage_on_skewed_data() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut sampler = NormalSampler::new(0.0, 0.8);
+    let true_median = 1.0; // exp(0) for log-normal(0, σ)
+    let reps = 150;
+    let mut covered = 0usize;
+    for _ in 0..reps {
+        let data: Vec<f64> = (0..60).map(|_| sampler.sample_lognormal(&mut rng)).collect();
+        let ci = bootstrap_ci(&data, Statistic::Median, 1000, 0.95, &mut rng);
+        if ci.lower <= true_median && true_median <= ci.upper {
+            covered += 1;
+        }
+    }
+    let coverage = covered as f64 / reps as f64;
+    assert!(coverage >= 0.85, "median CI coverage {:.1}%", 100.0 * coverage);
+}
+
+/// Under the null (same distribution), Mann–Whitney's p-values should be
+/// roughly uniform: the rejection rate at α = 0.05 stays near 5 %.
+#[test]
+fn mann_whitney_type_i_error_is_controlled() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut sampler = NormalSampler::standard();
+    let reps = 400;
+    let mut rejections = 0usize;
+    for _ in 0..reps {
+        let xs: Vec<f64> = (0..25).map(|_| sampler.sample(&mut rng)).collect();
+        let ys: Vec<f64> = (0..25).map(|_| sampler.sample(&mut rng)).collect();
+        if mann_whitney_u(&xs, &ys).unwrap().significant_at(0.05) {
+            rejections += 1;
+        }
+    }
+    let rate = rejections as f64 / reps as f64;
+    // binomial 5σ band around 0.05 with 400 reps: ±0.054
+    assert!(rate <= 0.11, "type-I error rate {rate:.3} too high");
+}
+
+/// The χ² test validates the Mallows sampler end-to-end: empirical
+/// frequencies over S₄ against the exact PMF must *not* be rejected.
+#[test]
+fn chi_square_accepts_exact_mallows_sampler() {
+    use mallows_model::MallowsModel;
+    use ranking_core::Permutation;
+    let model = MallowsModel::new(Permutation::identity(4), 0.6).unwrap();
+    let mut rng = StdRng::seed_from_u64(9);
+    let draws = 24_000;
+    let all = Permutation::enumerate_all(4);
+    let mut observed = vec![0u64; all.len()];
+    for _ in 0..draws {
+        let s = model.sample(&mut rng);
+        let idx = all.iter().position(|p| *p == s).unwrap();
+        observed[idx] += 1;
+    }
+    let expected: Vec<f64> = all.iter().map(|p| model.pmf(p).unwrap()).collect();
+    let r = chi_square_gof(&observed, &expected).unwrap();
+    assert!(
+        !r.significant_at(0.001),
+        "exact sampler rejected by χ²: stat {} p {}",
+        r.statistic,
+        r.p_value
+    );
+}

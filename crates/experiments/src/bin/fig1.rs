@@ -1,0 +1,54 @@
+//! Figure 1 — Mallows noise vs the Infeasible Index.
+//!
+//! Ten individuals in two equal groups; central rankings constructed at
+//! Infeasible Index ∈ {0, 2, 4, 6, 8}; for each dispersion θ the mean
+//! Infeasible Index of Mallows samples is reported with a bootstrap CI.
+//! Paper shape: as θ grows the sample II converges to the centre's II;
+//! as θ → 0 it converges to the uniform-permutation II (≈ 5 for this
+//! setup) — a large drop when the centre is very unfair, a small rise
+//! when the centre is fair.
+
+use eval_stats::table::{pm, Table};
+use eval_stats::Statistic;
+use experiments::{theta_sweep, Options};
+use fair_datasets::synthetic::ranking_with_infeasible_index;
+use fairness_metrics::{infeasible, FairnessBounds, GroupAssignment};
+use mallows_model::MallowsModel;
+
+fn main() {
+    let opts = Options::from_env();
+    let groups = GroupAssignment::binary_split(10, 5);
+    let bounds = FairnessBounds::from_assignment(&groups);
+
+    println!("Figure 1: Mallows distribution and Infeasible Index (n = 10, two groups of 5)");
+    println!("samples per cell: {}, bootstrap resamples: {}\n", opts.mc_reps(), opts.bootstrap_n());
+
+    for (panel, &target) in [0usize, 2, 4, 6, 8].iter().enumerate() {
+        let (center, achieved) = ranking_with_infeasible_index(&groups, &bounds, target);
+        let mut table = Table::new(vec![
+            "theta".into(),
+            "mean sample II (95% CI)".into(),
+            "central II".into(),
+        ])
+        .with_title(format!("Subplot {}: central ranking Infeasible Index = {achieved}", panel + 1));
+
+        for (t_idx, &theta) in theta_sweep(opts.full).iter().enumerate() {
+            let model = MallowsModel::new(center.clone(), theta).expect("θ ≥ 0");
+            let mut rng = opts.rng((panel as u64) << 8 | t_idx as u64);
+            let iis: Vec<f64> = (0..opts.mc_reps())
+                .map(|_| {
+                    let s = model.sample(&mut rng);
+                    infeasible::two_sided_infeasible_index(&s, &groups, &bounds)
+                        .expect("consistent shapes") as f64
+                })
+                .collect();
+            let ci = opts.ci(&iis, Statistic::Mean, (panel as u64) << 8 | t_idx as u64);
+            table.add_row(vec![
+                format!("{theta}"),
+                pm(ci.point, ci.half_width(), 2),
+                format!("{achieved}"),
+            ]);
+        }
+        opts.print_table(&table);
+    }
+}

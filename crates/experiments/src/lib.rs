@@ -1,0 +1,133 @@
+//! Shared harness for the figure/table binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper. They all accept:
+//!
+//! * `--full` — run at paper scale (1000 bootstrap resamples, all sweep
+//!   points); the default is a quick mode that finishes in seconds while
+//!   preserving every qualitative shape;
+//! * `--seed <u64>` — master RNG seed (default 42);
+//! * `--csv` — emit CSV instead of aligned text tables.
+//!
+//! The German-Credit pipeline shared by Figs. 5–7 lives in
+//! [`credit_pipeline`].
+
+pub mod credit_pipeline;
+
+use eval_stats::{bootstrap_ci, BootstrapCi, Statistic};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Command-line options shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Paper-scale run (vs quick default).
+    pub full: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Emit CSV.
+    pub csv: bool,
+}
+
+impl Options {
+    /// Parse from `std::env::args` (ignores unknown flags).
+    pub fn from_env() -> Options {
+        let mut opts = Options { full: false, seed: 42, csv: false };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--full" => opts.full = true,
+                "--csv" => opts.csv = true,
+                "--seed" => {
+                    if let Some(v) = args.next() {
+                        opts.seed = v.parse().unwrap_or(opts.seed);
+                    }
+                }
+                _ => {}
+            }
+        }
+        opts
+    }
+
+    /// Bootstrap resamples: 1000 at paper scale, 200 quick.
+    pub fn bootstrap_n(&self) -> usize {
+        if self.full {
+            1000
+        } else {
+            200
+        }
+    }
+
+    /// Monte-Carlo repetitions for the synthetic experiments.
+    pub fn mc_reps(&self) -> usize {
+        if self.full {
+            1000
+        } else {
+            200
+        }
+    }
+
+    /// Fresh RNG derived from the master seed and a stream id, so each
+    /// sweep point is independent yet reproducible.
+    pub fn rng(&self, stream: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(stream))
+    }
+
+    /// Bootstrap CI with the configured resample count (95 %).
+    pub fn ci(&self, data: &[f64], stat: Statistic, stream: u64) -> BootstrapCi {
+        let mut rng = self.rng(stream ^ 0xB007_u64);
+        bootstrap_ci(data, stat, self.bootstrap_n(), 0.95, &mut rng)
+    }
+
+    /// Render a table either as text or CSV per `--csv`.
+    pub fn print_table(&self, table: &eval_stats::table::Table) {
+        if self.csv {
+            print!("{}", table.render_csv());
+        } else {
+            println!("{}", table.render());
+        }
+    }
+}
+
+/// θ sweep used by the synthetic figures (Figs. 1, 3, 4).
+pub fn theta_sweep(full: bool) -> Vec<f64> {
+    if full {
+        vec![0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
+    } else {
+        vec![0.1, 0.5, 1.0, 2.0, 4.0]
+    }
+}
+
+/// δ sweep of Figs. 2–4 (`{0.0, 0.1, …, 1.0}`; quick mode thins it).
+pub fn delta_sweep(full: bool) -> Vec<f64> {
+    if full {
+        (0..=10).map(|i| i as f64 / 10.0).collect()
+    } else {
+        vec![0.0, 0.25, 0.5, 0.75, 1.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_are_sorted_and_nonempty() {
+        for full in [false, true] {
+            let t = theta_sweep(full);
+            assert!(!t.is_empty());
+            assert!(t.windows(2).all(|w| w[0] < w[1]));
+            let d = delta_sweep(full);
+            assert!(d.first() == Some(&0.0) && d.last() == Some(&1.0));
+        }
+    }
+
+    #[test]
+    fn rng_streams_differ() {
+        use rand::RngExt;
+        let o = Options { full: false, seed: 1, csv: false };
+        let a: u64 = o.rng(0).random();
+        let b: u64 = o.rng(1).random();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,233 @@
+//! Protected-group assignments.
+
+use crate::{FairnessError, Result};
+
+/// Maps each item `i ∈ 0..n` to a protected group id `g ∈ 0..num_groups`.
+///
+/// Groups are dense integers; multi-valued attributes (e.g. the paper's
+/// combined `Sex-Age` with four values) are encoded by enumerating the
+/// attribute's values. Use [`GroupAssignment::combine`] to build the
+/// product of two attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupAssignment {
+    groups: Vec<usize>,
+    num_groups: usize,
+}
+
+impl GroupAssignment {
+    /// Build from an explicit item → group vector.
+    pub fn new(groups: Vec<usize>, num_groups: usize) -> Result<Self> {
+        if let Some(&bad) = groups.iter().find(|&&g| g >= num_groups) {
+            return Err(FairnessError::InvalidGroup { group: bad, num_groups });
+        }
+        Ok(GroupAssignment { groups, num_groups })
+    }
+
+    /// Two equal-sized alternating groups `0, 1, 0, 1, …` over `n` items —
+    /// the synthetic workload used by the paper's Figs. 1–4 (group of the
+    /// item is its parity; callers re-map as needed).
+    pub fn alternating(n: usize) -> Self {
+        GroupAssignment { groups: (0..n).map(|i| i % 2).collect(), num_groups: 2 }
+    }
+
+    /// Binary split: items `0..first_len` in group 0, the rest in group 1.
+    pub fn binary_split(n: usize, first_len: usize) -> Self {
+        GroupAssignment {
+            groups: (0..n).map(|i| usize::from(i >= first_len)).collect(),
+            num_groups: 2,
+        }
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when there are no items.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Number of distinct groups (the paper's `g`).
+    #[inline]
+    pub fn num_groups(&self) -> usize {
+        self.num_groups
+    }
+
+    /// Group of `item`.
+    #[inline]
+    pub fn group_of(&self, item: usize) -> usize {
+        self.groups[item]
+    }
+
+    /// Item → group slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.groups
+    }
+
+    /// Size of each group.
+    pub fn group_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_groups];
+        for &g in &self.groups {
+            sizes[g] += 1;
+        }
+        sizes
+    }
+
+    /// Proportion of each group among all items (sums to 1 for non-empty
+    /// assignments).
+    pub fn proportions(&self) -> Vec<f64> {
+        let n = self.groups.len().max(1) as f64;
+        self.group_sizes().into_iter().map(|s| s as f64 / n).collect()
+    }
+
+    /// Items belonging to `group`, in ascending item order.
+    pub fn members(&self, group: usize) -> Vec<usize> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &g)| (g == group).then_some(i))
+            .collect()
+    }
+
+    /// Product attribute: combines two assignments over the same items
+    /// into one with `a.num_groups * b.num_groups` groups (the paper's
+    /// `Sex − Age` construction).
+    pub fn combine(a: &GroupAssignment, b: &GroupAssignment) -> Result<GroupAssignment> {
+        if a.len() != b.len() {
+            return Err(FairnessError::LengthMismatch { ranking: a.len(), groups: b.len() });
+        }
+        let num_groups = a.num_groups * b.num_groups;
+        let groups = a
+            .groups
+            .iter()
+            .zip(&b.groups)
+            .map(|(&ga, &gb)| ga * b.num_groups + gb)
+            .collect();
+        Ok(GroupAssignment { groups, num_groups })
+    }
+
+    /// Restrict the assignment to a subset of items (given by original
+    /// item index), producing a re-indexed assignment over `0..subset.len()`
+    /// with the same group ids.
+    pub fn subset(&self, items: &[usize]) -> GroupAssignment {
+        GroupAssignment {
+            groups: items.iter().map(|&i| self.groups[i]).collect(),
+            num_groups: self.num_groups,
+        }
+    }
+
+    /// Count members of `group` among the first `k` entries of the ranking
+    /// order (the paper's `count_k(G_p, π)`).
+    pub fn count_in_prefix(&self, order: &[usize], k: usize, group: usize) -> usize {
+        order[..k.min(order.len())]
+            .iter()
+            .filter(|&&item| self.groups[item] == group)
+            .count()
+    }
+
+    /// Per-group counts over every prefix: `counts[k][p]` = members of
+    /// group `p` among the first `k+1` ranked items. `O(n·g)` memory;
+    /// the workhorse of the infeasible-index computation.
+    pub fn prefix_counts(&self, order: &[usize]) -> Vec<Vec<usize>> {
+        let mut running = vec![0usize; self.num_groups];
+        let mut out = Vec::with_capacity(order.len());
+        for &item in order {
+            running[self.groups[item]] += 1;
+            out.push(running.clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_out_of_range_group() {
+        assert!(matches!(
+            GroupAssignment::new(vec![0, 2], 2),
+            Err(FairnessError::InvalidGroup { group: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn alternating_has_equal_sizes() {
+        let g = GroupAssignment::alternating(10);
+        assert_eq!(g.group_sizes(), vec![5, 5]);
+        assert_eq!(g.proportions(), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn binary_split_sizes() {
+        let g = GroupAssignment::binary_split(7, 3);
+        assert_eq!(g.group_sizes(), vec![3, 4]);
+        assert_eq!(g.group_of(2), 0);
+        assert_eq!(g.group_of(3), 1);
+    }
+
+    #[test]
+    fn members_are_sorted() {
+        let g = GroupAssignment::new(vec![1, 0, 1, 0], 2).unwrap();
+        assert_eq!(g.members(0), vec![1, 3]);
+        assert_eq!(g.members(1), vec![0, 2]);
+    }
+
+    #[test]
+    fn combine_builds_product_attribute() {
+        let sex = GroupAssignment::new(vec![0, 1, 0, 1], 2).unwrap();
+        let age = GroupAssignment::new(vec![0, 0, 1, 1], 2).unwrap();
+        let combined = GroupAssignment::combine(&sex, &age).unwrap();
+        assert_eq!(combined.num_groups(), 4);
+        assert_eq!(combined.as_slice(), &[0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn combine_length_mismatch_errors() {
+        let a = GroupAssignment::alternating(4);
+        let b = GroupAssignment::alternating(6);
+        assert!(GroupAssignment::combine(&a, &b).is_err());
+    }
+
+    #[test]
+    fn subset_preserves_group_ids() {
+        let g = GroupAssignment::new(vec![0, 1, 2, 1], 3).unwrap();
+        let s = g.subset(&[3, 0]);
+        assert_eq!(s.as_slice(), &[1, 0]);
+        assert_eq!(s.num_groups(), 3);
+    }
+
+    #[test]
+    fn count_in_prefix_counts_correctly() {
+        let g = GroupAssignment::new(vec![0, 1, 0, 1], 2).unwrap();
+        let order = [1, 3, 0, 2]; // two group-1 items first
+        assert_eq!(g.count_in_prefix(&order, 2, 1), 2);
+        assert_eq!(g.count_in_prefix(&order, 2, 0), 0);
+        assert_eq!(g.count_in_prefix(&order, 4, 0), 2);
+        // k beyond length clamps
+        assert_eq!(g.count_in_prefix(&order, 10, 1), 2);
+    }
+
+    #[test]
+    fn prefix_counts_monotone_and_consistent() {
+        let g = GroupAssignment::new(vec![0, 1, 0, 1, 0], 2).unwrap();
+        let order = [4, 1, 0, 3, 2];
+        let pc = g.prefix_counts(&order);
+        assert_eq!(pc.len(), 5);
+        for k in 0..5 {
+            assert_eq!(pc[k][0] + pc[k][1], k + 1);
+            assert_eq!(pc[k][0], g.count_in_prefix(&order, k + 1, 0));
+        }
+    }
+
+    #[test]
+    fn empty_assignment() {
+        let g = GroupAssignment::new(vec![], 2).unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.proportions(), vec![0.0, 0.0]);
+    }
+}

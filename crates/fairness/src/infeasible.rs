@@ -1,0 +1,193 @@
+//! Infeasible Index and P-fair position percentage (Definitions 3–4).
+
+use crate::pfair::validate;
+use crate::{FairnessBounds, GroupAssignment, Result};
+use ranking_core::Permutation;
+
+/// Lower and upper violation counts of Definition 3, kept separate so
+/// experiments can report them individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InfeasibleBreakdown {
+    /// Number of prefixes where some group falls below `⌊β_p·k⌋`.
+    pub lower_violations: usize,
+    /// Number of prefixes where some group exceeds `⌈α_p·k⌉`.
+    pub upper_violations: usize,
+}
+
+impl InfeasibleBreakdown {
+    /// `TwoSidedInfInd = LowerViol + UpperViol`.
+    pub fn total(&self) -> usize {
+        self.lower_violations + self.upper_violations
+    }
+}
+
+/// Definition 3 split into its two terms.
+///
+/// `LowerViol(π)` counts prefixes `k ∈ 1..=n` where **some** group's count
+/// falls below its lower bound; `UpperViol(π)` counts prefixes where some
+/// group exceeds its upper bound. A prefix can contribute to both terms.
+pub fn infeasible_breakdown(
+    pi: &Permutation,
+    groups: &GroupAssignment,
+    bounds: &FairnessBounds,
+) -> Result<InfeasibleBreakdown> {
+    validate(pi, groups, bounds)?;
+    let g = groups.num_groups();
+    let mut running = vec![0usize; g];
+    let mut lower = 0usize;
+    let mut upper = 0usize;
+    for (idx, &item) in pi.as_order().iter().enumerate() {
+        running[groups.group_of(item)] += 1;
+        let k = idx + 1;
+        let mut lo_violated = false;
+        let mut hi_violated = false;
+        for p in 0..g {
+            if running[p] < bounds.min_count(p, k) {
+                lo_violated = true;
+            }
+            if running[p] > bounds.max_count(p, k) {
+                hi_violated = true;
+            }
+        }
+        lower += usize::from(lo_violated);
+        upper += usize::from(hi_violated);
+    }
+    Ok(InfeasibleBreakdown { lower_violations: lower, upper_violations: upper })
+}
+
+/// Definition 3 — `TwoSidedInfInd(π) ∈ [0, 2n]`.
+pub fn two_sided_infeasible_index(
+    pi: &Permutation,
+    groups: &GroupAssignment,
+    bounds: &FairnessBounds,
+) -> Result<usize> {
+    Ok(infeasible_breakdown(pi, groups, bounds)?.total())
+}
+
+/// Definition 4 — percentage of P-fair positions:
+/// `PPfair(π) = 100 · (1 − TwoSidedInfInd(π) / |π|)`.
+///
+/// Note that because a prefix can violate both bounds, the raw value can
+/// in principle go negative; the paper reports it as a percentage of fair
+/// positions, so we clamp at 0.
+pub fn pfair_percentage(
+    pi: &Permutation,
+    groups: &GroupAssignment,
+    bounds: &FairnessBounds,
+) -> Result<f64> {
+    let n = pi.len();
+    if n == 0 {
+        return Ok(100.0);
+    }
+    let ii = two_sided_infeasible_index(pi, groups, bounds)?;
+    Ok((100.0 * (1.0 - ii as f64 / n as f64)).max(0.0))
+}
+
+/// Convenience: infeasible index measured against bounds equal to the
+/// groups' own proportions (the setting of the paper's synthetic
+/// experiments, Figs. 1–4).
+pub fn infeasible_index_proportional(
+    pi: &Permutation,
+    groups: &GroupAssignment,
+) -> Result<usize> {
+    let bounds = FairnessBounds::from_assignment(groups);
+    two_sided_infeasible_index(pi, groups, &bounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn half() -> FairnessBounds {
+        FairnessBounds::exact(vec![0.5, 0.5]).unwrap()
+    }
+
+    #[test]
+    fn alternating_ranking_has_zero_index() {
+        let g = GroupAssignment::alternating(10);
+        let pi = Permutation::identity(10);
+        assert_eq!(two_sided_infeasible_index(&pi, &g, &half()).unwrap(), 0);
+    }
+
+    #[test]
+    fn fully_segregated_ranking_has_high_index() {
+        // groups 0..5 then 5..10: prefixes 2..=5 violate lower bound of
+        // group 1 and upper bound of group 0 where applicable
+        let g = GroupAssignment::binary_split(10, 5);
+        let pi = Permutation::identity(10);
+        let b = infeasible_breakdown(&pi, &g, &half()).unwrap();
+        assert!(b.lower_violations > 0);
+        assert!(b.upper_violations > 0);
+        assert!(b.total() >= 8, "got {}", b.total());
+    }
+
+    #[test]
+    fn index_bounded_by_two_n() {
+        let g = GroupAssignment::binary_split(8, 4);
+        for pi in Permutation::enumerate_all(8).into_iter().step_by(997) {
+            let ii = two_sided_infeasible_index(&pi, &g, &half()).unwrap();
+            assert!(ii <= 16);
+        }
+    }
+
+    #[test]
+    fn known_small_example() {
+        // n = 4, groups [0,0,1,1], ranking 0,1,2,3:
+        // k=1: counts (1,0); min = floor(.5)=0 → ok; max = ceil(.5)=1 → ok
+        // k=2: counts (2,0); min(1,1): group1 has 0 < 1 → lower viol;
+        //       max: group0 has 2 > 1 → upper viol
+        // k=3: counts (2,1); min=floor(1.5)=1 ok; max=ceil(1.5)=2 ok
+        // k=4: counts (2,2) ok
+        let g = GroupAssignment::binary_split(4, 2);
+        let pi = Permutation::identity(4);
+        let b = infeasible_breakdown(&pi, &g, &half()).unwrap();
+        assert_eq!(b.lower_violations, 1);
+        assert_eq!(b.upper_violations, 1);
+        assert_eq!(b.total(), 2);
+    }
+
+    #[test]
+    fn pfair_percentage_complements_index() {
+        let g = GroupAssignment::binary_split(4, 2);
+        let pi = Permutation::identity(4);
+        // II = 2 over 4 positions → 50 %
+        assert!((pfair_percentage(&pi, &g, &half()).unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pfair_percentage_clamps_at_zero() {
+        // adversarial bounds that are violated twice at every prefix
+        let g = GroupAssignment::binary_split(4, 2);
+        let b = FairnessBounds::new(vec![0.9, 0.9], vec![0.95, 0.95]).unwrap();
+        let pi = Permutation::identity(4);
+        let v = pfair_percentage(&pi, &g, &b).unwrap();
+        assert!((0.0..=100.0).contains(&v));
+    }
+
+    #[test]
+    fn empty_ranking_is_fully_fair() {
+        let g = GroupAssignment::new(vec![], 2).unwrap();
+        let pi = Permutation::identity(0);
+        assert_eq!(two_sided_infeasible_index(&pi, &g, &half()).unwrap(), 0);
+        assert_eq!(pfair_percentage(&pi, &g, &half()).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn proportional_convenience_matches_explicit() {
+        let g = GroupAssignment::new(vec![0, 1, 1, 0, 1, 0], 2).unwrap();
+        let pi = Permutation::from_order(vec![1, 0, 2, 5, 4, 3]).unwrap();
+        let explicit =
+            two_sided_infeasible_index(&pi, &g, &FairnessBounds::from_assignment(&g)).unwrap();
+        assert_eq!(infeasible_index_proportional(&pi, &g).unwrap(), explicit);
+    }
+
+    #[test]
+    fn swapping_adjacent_cross_group_items_changes_index_by_at_most_two() {
+        let g = GroupAssignment::alternating(8);
+        let mut pi = Permutation::identity(8);
+        let before = infeasible_index_proportional(&pi, &g).unwrap() as isize;
+        pi.swap_positions(2, 3);
+        let after = infeasible_index_proportional(&pi, &g).unwrap() as isize;
+        assert!((before - after).abs() <= 2);
+    }
+}

@@ -1,0 +1,99 @@
+//! Proportionate-fairness (P-fairness) metrics for rankings.
+//!
+//! Implements the paper's Section III-B:
+//!
+//! * [`GroupAssignment`] — the mapping from items to protected groups;
+//! * [`FairnessBounds`] — per-group lower (`β`) and upper (`α`)
+//!   representation proportions with the prefix-wise integer bounds
+//!   `⌊β_p · k⌋ ≤ count_k(G_p, π) ≤ ⌈α_p · k⌉`;
+//! * Definition 1 (`(α⃗, β⃗)-k` fairness) — [`pfair::is_k_fair`];
+//! * Definition 2 (weak k-fairness) — [`pfair::is_weak_k_fair`];
+//! * Definition 3 (two-sided infeasible index) —
+//!   [`infeasible::two_sided_infeasible_index`];
+//! * Definition 4 (percentage of P-fair positions) —
+//!   [`infeasible::pfair_percentage`].
+//!
+//! Beyond the paper's own P-fairness family, the crate carries the two
+//! measure families the robustness study compares against:
+//! divergence-based measures ([`divergence`]: NDKL, rKL, skew) and
+//! exposure-based measures ([`exposure`]: demographic parity of
+//! exposure, disparate-treatment ratio).
+//!
+//! ## Convention note (α/β)
+//!
+//! The paper's Definitions 1–2 contain a typographical inversion of α and
+//! β; its ILP (Section IV-B) and Infeasible Index (Definition 3) use the
+//! consistent convention adopted here: **β is the lower-bound proportion
+//! and α is the upper-bound proportion**, i.e. a prefix of length `k` must
+//! contain at least `⌊β_p·k⌋` and at most `⌈α_p·k⌉` members of group `p`.
+
+pub mod bounds;
+pub mod divergence;
+pub mod exposure;
+pub mod groups;
+pub mod infeasible;
+pub mod pfair;
+pub mod soft;
+
+pub use bounds::FairnessBounds;
+pub use groups::GroupAssignment;
+pub use soft::SoftGroupAssignment;
+
+/// Errors raised by fairness-metric computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FairnessError {
+    /// A group id was out of range for the declared number of groups.
+    InvalidGroup {
+        /// The offending group id.
+        group: usize,
+        /// Number of declared groups.
+        num_groups: usize,
+    },
+    /// Bounds vectors must have one entry per group.
+    BoundsShapeMismatch {
+        /// Entries supplied.
+        got: usize,
+        /// Entries expected (number of groups).
+        expected: usize,
+    },
+    /// A proportion was outside `[0, 1]` or `lower > upper` for a group.
+    InvalidProportion {
+        /// The offending group id.
+        group: usize,
+        /// Lower proportion for the group.
+        lower: f64,
+        /// Upper proportion for the group.
+        upper: f64,
+    },
+    /// Ranking length does not match the group assignment length.
+    LengthMismatch {
+        /// Ranking length.
+        ranking: usize,
+        /// Group-assignment length.
+        groups: usize,
+    },
+}
+
+impl std::fmt::Display for FairnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FairnessError::InvalidGroup { group, num_groups } => {
+                write!(f, "group id {group} out of range for {num_groups} groups")
+            }
+            FairnessError::BoundsShapeMismatch { got, expected } => {
+                write!(f, "bounds have {got} entries, expected {expected}")
+            }
+            FairnessError::InvalidProportion { group, lower, upper } => {
+                write!(f, "invalid proportions for group {group}: lower {lower}, upper {upper}")
+            }
+            FairnessError::LengthMismatch { ranking, groups } => {
+                write!(f, "ranking length {ranking} != group assignment length {groups}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FairnessError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, FairnessError>;

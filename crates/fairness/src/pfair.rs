@@ -1,0 +1,191 @@
+//! P-fairness predicates: Definitions 1 and 2 of the paper.
+
+use crate::{FairnessBounds, FairnessError, GroupAssignment, Result};
+use ranking_core::Permutation;
+
+/// Definition 1 — `(α⃗, β⃗)-k` fairness: every prefix `P` of length `≥ k`
+/// satisfies `⌊β_p·|P|⌋ ≤ |P ∩ G_p| ≤ ⌈α_p·|P|⌉` for every group `p`.
+pub fn is_k_fair(
+    pi: &Permutation,
+    groups: &GroupAssignment,
+    bounds: &FairnessBounds,
+    k: usize,
+) -> Result<bool> {
+    validate(pi, groups, bounds)?;
+    let counts = groups.prefix_counts(pi.as_order());
+    for prefix_len in k.max(1)..=pi.len() {
+        if !prefix_ok(&counts[prefix_len - 1], bounds, prefix_len) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Definition 2 — weak k-fairness: only the length-`k` prefix must satisfy
+/// the bounds.
+pub fn is_weak_k_fair(
+    pi: &Permutation,
+    groups: &GroupAssignment,
+    bounds: &FairnessBounds,
+    k: usize,
+) -> Result<bool> {
+    validate(pi, groups, bounds)?;
+    if k == 0 || k > pi.len() {
+        return Ok(true);
+    }
+    let mut counts = vec![0usize; groups.num_groups()];
+    for &item in pi.prefix(k) {
+        counts[groups.group_of(item)] += 1;
+    }
+    Ok(prefix_ok(&counts, bounds, k))
+}
+
+/// Positions (1-based prefix lengths) at which the ranking violates the
+/// bounds, together with the direction of the violation. Useful for
+/// diagnostics and exercised by the repair passes of the baselines.
+pub fn violations(
+    pi: &Permutation,
+    groups: &GroupAssignment,
+    bounds: &FairnessBounds,
+) -> Result<Vec<Violation>> {
+    validate(pi, groups, bounds)?;
+    let counts = groups.prefix_counts(pi.as_order());
+    let mut out = Vec::new();
+    for prefix_len in 1..=pi.len() {
+        for p in 0..bounds.num_groups() {
+            let c = counts[prefix_len - 1][p];
+            let lo = bounds.min_count(p, prefix_len);
+            let hi = bounds.max_count(p, prefix_len);
+            if c < lo {
+                out.push(Violation { prefix: prefix_len, group: p, count: c, bound: lo, kind: ViolationKind::Lower });
+            } else if c > hi {
+                out.push(Violation { prefix: prefix_len, group: p, count: c, bound: hi, kind: ViolationKind::Upper });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A single prefix-level fairness violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Prefix length (1-based) at which the violation occurs.
+    pub prefix: usize,
+    /// Violating group.
+    pub group: usize,
+    /// Observed count of the group in the prefix.
+    pub count: usize,
+    /// The violated bound value.
+    pub bound: usize,
+    /// Whether the lower or the upper bound was violated.
+    pub kind: ViolationKind,
+}
+
+/// Direction of a fairness violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Count fell below `⌊β_p·k⌋`.
+    Lower,
+    /// Count exceeded `⌈α_p·k⌉`.
+    Upper,
+}
+
+pub(crate) fn prefix_ok(counts: &[usize], bounds: &FairnessBounds, prefix_len: usize) -> bool {
+    counts.iter().enumerate().all(|(p, &c)| {
+        c >= bounds.min_count(p, prefix_len) && c <= bounds.max_count(p, prefix_len)
+    })
+}
+
+pub(crate) fn validate(
+    pi: &Permutation,
+    groups: &GroupAssignment,
+    bounds: &FairnessBounds,
+) -> Result<()> {
+    if pi.len() != groups.len() {
+        return Err(FairnessError::LengthMismatch { ranking: pi.len(), groups: groups.len() });
+    }
+    if bounds.num_groups() != groups.num_groups() {
+        return Err(FairnessError::BoundsShapeMismatch {
+            got: bounds.num_groups(),
+            expected: groups.num_groups(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn half_bounds() -> FairnessBounds {
+        FairnessBounds::exact(vec![0.5, 0.5]).unwrap()
+    }
+
+    #[test]
+    fn alternating_ranking_is_1_fair() {
+        // items 0..6 alternate groups; identity keeps them alternating
+        let g = GroupAssignment::alternating(6);
+        let pi = Permutation::identity(6);
+        assert!(is_k_fair(&pi, &g, &half_bounds(), 1).unwrap());
+    }
+
+    #[test]
+    fn segregated_ranking_is_not_fair() {
+        // all of group 0 first
+        let g = GroupAssignment::binary_split(6, 3);
+        let pi = Permutation::identity(6); // 0,1,2 (group 0) then 3,4,5
+        assert!(!is_k_fair(&pi, &g, &half_bounds(), 1).unwrap());
+    }
+
+    #[test]
+    fn weak_fairness_ignores_longer_prefixes() {
+        // top-2 balanced, tail segregated
+        let g = GroupAssignment::new(vec![0, 1, 0, 0, 1, 1], 2).unwrap();
+        let pi = Permutation::from_order(vec![0, 1, 2, 3, 4, 5]).unwrap();
+        assert!(is_weak_k_fair(&pi, &g, &half_bounds(), 2).unwrap());
+        assert!(!is_k_fair(&pi, &g, &half_bounds(), 2).unwrap());
+    }
+
+    #[test]
+    fn weak_fairness_k_zero_or_oversized_is_trivially_true() {
+        let g = GroupAssignment::alternating(4);
+        let pi = Permutation::identity(4);
+        assert!(is_weak_k_fair(&pi, &g, &half_bounds(), 0).unwrap());
+        assert!(is_weak_k_fair(&pi, &g, &half_bounds(), 9).unwrap());
+    }
+
+    #[test]
+    fn violations_report_direction_and_prefix() {
+        let g = GroupAssignment::binary_split(4, 2); // 0,1 group 0; 2,3 group 1
+        let pi = Permutation::identity(4);
+        let v = violations(&pi, &g, &half_bounds()).unwrap();
+        // prefix 2 = two group-0 items: group0 over (max ⌈1⌉=1), group1 under (min ⌊1⌋=1)
+        assert!(v.iter().any(|x| x.prefix == 2 && x.group == 0 && x.kind == ViolationKind::Upper));
+        assert!(v.iter().any(|x| x.prefix == 2 && x.group == 1 && x.kind == ViolationKind::Lower));
+        // the full ranking is balanced: no violation at prefix 4
+        assert!(!v.iter().any(|x| x.prefix == 4));
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let g = GroupAssignment::alternating(4);
+        let pi = Permutation::identity(5);
+        assert!(is_k_fair(&pi, &g, &half_bounds(), 1).is_err());
+    }
+
+    #[test]
+    fn mismatched_group_counts_error() {
+        let g = GroupAssignment::new(vec![0, 1, 2, 0], 3).unwrap();
+        let pi = Permutation::identity(4);
+        assert!(is_k_fair(&pi, &g, &half_bounds(), 1).is_err());
+    }
+
+    #[test]
+    fn zero_lower_bounds_make_everything_fair() {
+        let g = GroupAssignment::binary_split(6, 3);
+        let b = FairnessBounds::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        for pi in Permutation::enumerate_all(6).into_iter().take(50) {
+            assert!(is_k_fair(&pi, &g, &b, 1).unwrap());
+        }
+    }
+}

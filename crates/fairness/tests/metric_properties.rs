@@ -1,0 +1,153 @@
+//! Property-based tests for the divergence, exposure and soft-group
+//! extensions of `fairness-metrics`.
+
+use fairness_metrics::{
+    divergence, exposure, infeasible, FairnessBounds, GroupAssignment, SoftGroupAssignment,
+};
+use proptest::prelude::*;
+use ranking_core::quality::Discount;
+use ranking_core::Permutation;
+
+fn permutation(n: usize) -> impl Strategy<Value = Permutation> {
+    prop::collection::vec(any::<u64>(), n).prop_map(|keys| {
+        let mut idx: Vec<usize> = (0..keys.len()).collect();
+        idx.sort_by_key(|&i| keys[i]);
+        Permutation::from_order(idx).expect("valid permutation")
+    })
+}
+
+fn assignment(n: usize, g: usize) -> impl Strategy<Value = GroupAssignment> {
+    prop::collection::vec(0..g, n)
+        .prop_map(move |v| GroupAssignment::new(v, g).expect("groups in range"))
+}
+
+/// A probability vector of the given length (strictly positive cells).
+fn simplex(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..1.0, len).prop_map(|raw| {
+        let total: f64 = raw.iter().sum();
+        raw.into_iter().map(|x| x / total).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn kl_divergence_nonnegative(p in simplex(4), q in simplex(4)) {
+        let d = divergence::kl_divergence(&p, &q).unwrap();
+        prop_assert!(d >= -1e-12, "Gibbs inequality violated: {}", d);
+        prop_assert!(divergence::kl_divergence(&p, &p).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndkl_nonnegative_and_finite(pi in permutation(12), groups in assignment(12, 3)) {
+        let v = divergence::ndkl(&pi, &groups).unwrap();
+        prop_assert!(v >= 0.0 && v.is_finite(), "ndkl = {}", v);
+    }
+
+    #[test]
+    fn ndkl_invariant_under_group_relabelling(pi in permutation(10), groups in assignment(10, 3)) {
+        // swap group ids 0 and 1: NDKL compares distributions, so the
+        // value must not change.
+        let swapped: Vec<usize> = groups
+            .as_slice()
+            .iter()
+            .map(|&g| match g { 0 => 1, 1 => 0, other => other })
+            .collect();
+        let relabeled = GroupAssignment::new(swapped, 3).unwrap();
+        let a = divergence::ndkl(&pi, &groups).unwrap();
+        let b = divergence::ndkl(&pi, &relabeled).unwrap();
+        prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+    }
+
+    #[test]
+    fn rkl_nonnegative(pi in permutation(15), groups in assignment(15, 2)) {
+        let v = divergence::rkl(&pi, &groups).unwrap();
+        prop_assert!(v >= 0.0 && v.is_finite());
+    }
+
+    #[test]
+    fn skew_brackets_zero(pi in permutation(12), groups in assignment(12, 3), k in 1usize..=12) {
+        let lo = divergence::min_skew_at(&pi, &groups, k).unwrap();
+        let hi = divergence::max_skew_at(&pi, &groups, k).unwrap();
+        prop_assert!(lo <= hi + 1e-12);
+        // in any prefix some group is at-or-above its share and some
+        // at-or-below, so the extremes bracket zero.
+        prop_assert!(lo <= 1e-9, "min skew {} > 0", lo);
+        prop_assert!(hi >= -1e-9, "max skew {} < 0", hi);
+    }
+
+    #[test]
+    fn full_prefix_skew_is_zero(pi in permutation(10), groups in assignment(10, 2)) {
+        let lo = divergence::min_skew_at(&pi, &groups, 10).unwrap();
+        let hi = divergence::max_skew_at(&pi, &groups, 10).unwrap();
+        prop_assert!(lo.abs() < 1e-9 && hi.abs() < 1e-9);
+    }
+
+    #[test]
+    fn exposure_mass_is_conserved(pi in permutation(11), groups in assignment(11, 3)) {
+        let e = exposure::group_exposures(&pi, &groups, Discount::Log2).unwrap();
+        let total: f64 = (1..=11).map(|i| Discount::Log2.at(i)).sum();
+        prop_assert!((e.iter().sum::<f64>() - total).abs() < 1e-9);
+        prop_assert!(e.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn exposure_parity_in_unit_interval(pi in permutation(9), groups in assignment(9, 3)) {
+        let r = exposure::exposure_parity_ratio(&pi, &groups, Discount::Log2).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&r), "ratio {}", r);
+    }
+
+    #[test]
+    fn dtr_in_unit_interval(
+        pi in permutation(8),
+        groups in assignment(8, 2),
+        scores in prop::collection::vec(0.01f64..1.0, 8),
+    ) {
+        let r = exposure::disparate_treatment_ratio(&pi, &scores, &groups, Discount::Log2)
+            .unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&r), "dtr {}", r);
+    }
+
+    #[test]
+    fn soft_expected_counts_sum_to_prefix_length(
+        pi in permutation(10),
+        groups in assignment(10, 3),
+        eps in 0.0f64..0.6,
+    ) {
+        let soft = SoftGroupAssignment::from_noisy_labels(&groups, eps).unwrap();
+        let counts = soft.expected_prefix_counts(&pi).unwrap();
+        for (k, row) in counts.iter().enumerate() {
+            let sum: f64 = row.iter().sum();
+            prop_assert!((sum - (k + 1) as f64).abs() < 1e-9, "prefix {}: {}", k, sum);
+        }
+    }
+
+    #[test]
+    fn soft_expected_ii_bounded(
+        pi in permutation(9),
+        groups in assignment(9, 2),
+        eps in 0.0f64..0.5,
+    ) {
+        let soft = SoftGroupAssignment::from_noisy_labels(&groups, eps).unwrap();
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let v = soft.expected_infeasible_index(&pi, &bounds).unwrap();
+        prop_assert!((0.0..=2.0 * 9.0 + 1e-9).contains(&v), "E[II] = {}", v);
+    }
+
+    #[test]
+    fn soft_hard_embedding_matches_exact_index(
+        pi in permutation(8),
+        groups in assignment(8, 2),
+    ) {
+        let soft = SoftGroupAssignment::from_hard(&groups);
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let exact = infeasible::two_sided_infeasible_index(&pi, &groups, &bounds).unwrap();
+        let expected = soft.expected_infeasible_index(&pi, &bounds).unwrap();
+        prop_assert!((expected - exact as f64).abs() < 1e-9, "{} vs {}", expected, exact);
+    }
+
+    #[test]
+    fn soft_map_of_hard_is_identity(groups in assignment(12, 4)) {
+        let soft = SoftGroupAssignment::from_hard(&groups);
+        prop_assert_eq!(soft.map_assignment(), groups);
+    }
+}

@@ -1,0 +1,300 @@
+//! A small dense linear-programming and integer-programming solver.
+//!
+//! This crate is the substrate for the paper's ILP (Section IV-B): the
+//! DCG-optimal `(α⃗, β⃗)-k`-fair ranking. The workspace's fast path solves
+//! that ILP with an exact dynamic program (`fair-baselines::ilp_ranking`);
+//! this general-purpose solver exists to *cross-validate* the DP on small
+//! instances and to support the noisy-constraint variants, exactly as a
+//! commercial solver would in the authors' setup.
+//!
+//! * [`Problem`] — build an LP/ILP with bounded variables and
+//!   `≤ / ≥ / =` constraints;
+//! * [`solve_lp`] — two-phase dense primal simplex (Bland's rule);
+//! * [`solve_ilp`] — depth-first branch & bound on fractional variables.
+//!
+//! ```
+//! use lp_solver::{Problem, Relation, solve_ilp};
+//! // maximize 3x + 2y  s.t. x + y ≤ 4, x ≤ 2, x,y ∈ ℤ₊
+//! let mut p = Problem::maximize(vec![3.0, 2.0]);
+//! p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Le, 4.0).unwrap();
+//! p.add_constraint(vec![(0, 1.0)], Relation::Le, 2.0).unwrap();
+//! p.set_integer(0, true);
+//! p.set_integer(1, true);
+//! let sol = solve_ilp(&p).unwrap();
+//! assert!((sol.objective - 10.0).abs() < 1e-6); // x=2, y=2
+//! ```
+
+mod problem;
+mod simplex;
+
+pub use problem::{Problem, Relation};
+pub use simplex::solve_lp;
+
+/// Numerical tolerance used across the solver.
+pub(crate) const EPS: f64 = 1e-9;
+/// Integrality tolerance for branch & bound.
+pub(crate) const INT_EPS: f64 = 1e-6;
+
+/// Errors raised by the LP/ILP solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The constraint system admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// A variable index was out of range.
+    InvalidVariable {
+        /// Offending variable index.
+        var: usize,
+        /// Number of declared variables.
+        num_vars: usize,
+    },
+    /// The simplex exceeded its iteration budget (numerical trouble).
+    IterationLimit,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "problem is infeasible"),
+            LpError::Unbounded => write!(f, "objective is unbounded"),
+            LpError::InvalidVariable { var, num_vars } => {
+                write!(f, "variable {var} out of range for {num_vars} variables")
+            }
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// A solution returned by [`solve_lp`] or [`solve_ilp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Optimal variable values.
+    pub values: Vec<f64>,
+    /// Optimal objective value (in the problem's original sense).
+    pub objective: f64,
+}
+
+/// Solve a mixed-integer program by branch & bound over the LP
+/// relaxation.
+///
+/// Depth-first search branching on the most-fractional integer variable;
+/// nodes are pruned against the incumbent with a small tolerance. For the
+/// workspace's use (cross-validating the fair-ranking DP on `k ≤ 10`)
+/// this explores a few hundred nodes at most.
+pub fn solve_ilp(problem: &Problem) -> Result<Solution, LpError> {
+    let relaxation = solve_lp(problem)?;
+    let mut best: Option<Solution> = None;
+    let mut stack = vec![(problem.clone(), relaxation)];
+    let mut nodes = 0usize;
+    const NODE_LIMIT: usize = 200_000;
+
+    while let Some((node, lp_sol)) = stack.pop() {
+        nodes += 1;
+        if nodes > NODE_LIMIT {
+            return Err(LpError::IterationLimit);
+        }
+        // prune against the incumbent
+        if let Some(ref inc) = best {
+            let bound = lp_sol.objective;
+            let worse = if problem.is_maximize() {
+                bound <= inc.objective + INT_EPS
+            } else {
+                bound >= inc.objective - INT_EPS
+            };
+            if worse {
+                continue;
+            }
+        }
+        // find most fractional integer variable
+        let mut branch_var: Option<(usize, f64)> = None;
+        let mut best_frac = INT_EPS;
+        for (v, &val) in lp_sol.values.iter().enumerate() {
+            if !node.is_integer(v) {
+                continue;
+            }
+            let frac = (val - val.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                branch_var = Some((v, val));
+            }
+        }
+        match branch_var {
+            None => {
+                // integral solution; round off residual fuzz
+                let mut sol = lp_sol;
+                for (v, val) in sol.values.iter_mut().enumerate() {
+                    if node.is_integer(v) {
+                        *val = val.round();
+                    }
+                }
+                let better = match &best {
+                    None => true,
+                    Some(inc) => {
+                        if problem.is_maximize() {
+                            sol.objective > inc.objective + INT_EPS
+                        } else {
+                            sol.objective < inc.objective - INT_EPS
+                        }
+                    }
+                };
+                if better {
+                    best = Some(sol);
+                }
+            }
+            Some((v, val)) => {
+                let floor = val.floor();
+                // branch 1: x_v ≤ floor(val)
+                let mut lo = node.clone();
+                lo.tighten_upper(v, floor);
+                // branch 2: x_v ≥ ceil(val)
+                let mut hi = node.clone();
+                hi.tighten_lower(v, floor + 1.0);
+                for child in [lo, hi] {
+                    match solve_lp(&child) {
+                        Ok(sol) => stack.push((child, sol)),
+                        Err(LpError::Infeasible) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+    }
+    best.ok_or(LpError::Infeasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lp_simple_maximize() {
+        // max x + y s.t. x ≤ 3, y ≤ 2 → 5
+        let mut p = Problem::maximize(vec![1.0, 1.0]);
+        p.add_constraint(vec![(0, 1.0)], Relation::Le, 3.0).unwrap();
+        p.add_constraint(vec![(1, 1.0)], Relation::Le, 2.0).unwrap();
+        let s = solve_lp(&p).unwrap();
+        assert!((s.objective - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lp_detects_infeasible() {
+        let mut p = Problem::maximize(vec![1.0]);
+        p.add_constraint(vec![(0, 1.0)], Relation::Ge, 5.0).unwrap();
+        p.add_constraint(vec![(0, 1.0)], Relation::Le, 1.0).unwrap();
+        assert_eq!(solve_lp(&p).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn lp_detects_unbounded() {
+        let p = Problem::maximize(vec![1.0, 0.0]);
+        assert_eq!(solve_lp(&p).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn lp_minimize_with_ge() {
+        // min 2x + 3y s.t. x + y ≥ 4, x ≥ 1 → x=3? no: min puts weight on x.
+        // optimum: x = 4, y = 0 → 8? x≥1 satisfied. 2·4=8 vs x=1,y=3 → 11.
+        let mut p = Problem::minimize(vec![2.0, 3.0]);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Ge, 4.0).unwrap();
+        p.add_constraint(vec![(0, 1.0)], Relation::Ge, 1.0).unwrap();
+        let s = solve_lp(&p).unwrap();
+        assert!((s.objective - 8.0).abs() < 1e-9, "got {}", s.objective);
+    }
+
+    #[test]
+    fn lp_equality_constraints() {
+        // max x s.t. x + y = 3, y ≥ 1 → x = 2
+        let mut p = Problem::maximize(vec![1.0, 0.0]);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 3.0).unwrap();
+        p.add_constraint(vec![(1, 1.0)], Relation::Ge, 1.0).unwrap();
+        let s = solve_lp(&p).unwrap();
+        assert!((s.objective - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ilp_knapsack() {
+        // max 10a + 6b + 4c s.t. a+b+c ≤ 2 (binary) → 16
+        let mut p = Problem::maximize(vec![10.0, 6.0, 4.0]);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], Relation::Le, 2.0).unwrap();
+        for v in 0..3 {
+            p.set_integer(v, true);
+            p.set_upper_bound(v, 1.0).unwrap();
+        }
+        let s = solve_ilp(&p).unwrap();
+        assert!((s.objective - 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ilp_fractional_relaxation_forced_integral() {
+        // max x s.t. 2x ≤ 3, x integer → x = 1
+        let mut p = Problem::maximize(vec![1.0]);
+        p.add_constraint(vec![(0, 2.0)], Relation::Le, 3.0).unwrap();
+        p.set_integer(0, true);
+        let s = solve_ilp(&p).unwrap();
+        assert!((s.objective - 1.0).abs() < 1e-6);
+        assert!((s.values[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ilp_infeasible_propagates() {
+        let mut p = Problem::maximize(vec![1.0]);
+        p.add_constraint(vec![(0, 1.0)], Relation::Ge, 2.0).unwrap();
+        p.add_constraint(vec![(0, 1.0)], Relation::Le, 1.0).unwrap();
+        p.set_integer(0, true);
+        assert_eq!(solve_ilp(&p).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn ilp_equality_with_binaries() {
+        // choose exactly 2 of 4 binaries maximizing weights
+        let w = [3.0, 9.0, 1.0, 7.0];
+        let mut p = Problem::maximize(w.to_vec());
+        p.add_constraint((0..4).map(|v| (v, 1.0)).collect(), Relation::Eq, 2.0).unwrap();
+        for v in 0..4 {
+            p.set_integer(v, true);
+            p.set_upper_bound(v, 1.0).unwrap();
+        }
+        let s = solve_ilp(&p).unwrap();
+        assert!((s.objective - 16.0).abs() < 1e-6);
+        assert!((s.values[1] - 1.0).abs() < 1e-6);
+        assert!((s.values[3] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ilp_assignment_problem_is_integral() {
+        // 3×3 assignment: LP relaxation already integral; ILP must agree
+        // with the known optimum 5 (see assignment-solver doc example).
+        let costs = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];
+        let var = |i: usize, j: usize| i * 3 + j;
+        let mut obj = vec![0.0; 9];
+        for i in 0..3 {
+            for j in 0..3 {
+                obj[var(i, j)] = costs[i][j];
+            }
+        }
+        let mut p = Problem::minimize(obj);
+        for i in 0..3 {
+            p.add_constraint((0..3).map(|j| (var(i, j), 1.0)).collect(), Relation::Eq, 1.0).unwrap();
+            p.add_constraint((0..3).map(|j| (var(j, i), 1.0)).collect(), Relation::Eq, 1.0).unwrap();
+        }
+        for v in 0..9 {
+            p.set_integer(v, true);
+            p.set_upper_bound(v, 1.0).unwrap();
+        }
+        let s = solve_ilp(&p).unwrap();
+        assert!((s.objective - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_variable_index_rejected() {
+        let mut p = Problem::maximize(vec![1.0]);
+        assert!(matches!(
+            p.add_constraint(vec![(3, 1.0)], Relation::Le, 1.0),
+            Err(LpError::InvalidVariable { var: 3, .. })
+        ));
+        assert!(p.set_upper_bound(5, 1.0).is_err());
+    }
+}

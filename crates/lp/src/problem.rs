@@ -1,0 +1,156 @@
+//! LP/ILP problem construction.
+
+use crate::LpError;
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Constraint {
+    pub coeffs: Vec<(usize, f64)>,
+    pub relation: Relation,
+    pub rhs: f64,
+}
+
+/// A linear (or mixed-integer) program over non-negative variables.
+///
+/// Variables are indexed `0..num_vars`, implicitly bounded below by 0
+/// (shiftable with the crate-internal `tighten_lower`) and optionally bounded
+/// above. Mark variables integral with [`Problem::set_integer`] and solve
+/// with [`crate::solve_lp`] / [`crate::solve_ilp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Problem {
+    pub(crate) objective: Vec<f64>,
+    pub(crate) maximize: bool,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) integer: Vec<bool>,
+    /// per-variable lower bounds (default 0)
+    pub(crate) lower: Vec<f64>,
+    /// per-variable upper bounds (default +∞)
+    pub(crate) upper: Vec<f64>,
+}
+
+impl Problem {
+    /// A maximization problem with the given objective coefficients.
+    pub fn maximize(objective: Vec<f64>) -> Self {
+        let n = objective.len();
+        Problem {
+            objective,
+            maximize: true,
+            constraints: Vec::new(),
+            integer: vec![false; n],
+            lower: vec![0.0; n],
+            upper: vec![f64::INFINITY; n],
+        }
+    }
+
+    /// A minimization problem with the given objective coefficients.
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        let mut p = Problem::maximize(objective);
+        p.maximize = false;
+        p
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Whether this is a maximization problem.
+    pub fn is_maximize(&self) -> bool {
+        self.maximize
+    }
+
+    /// Whether variable `v` is constrained to be integral.
+    pub fn is_integer(&self, v: usize) -> bool {
+        self.integer[v]
+    }
+
+    /// Add a linear constraint given as sparse `(variable, coefficient)`
+    /// pairs. Duplicate variable entries are summed.
+    pub fn add_constraint(
+        &mut self,
+        coeffs: Vec<(usize, f64)>,
+        relation: Relation,
+        rhs: f64,
+    ) -> Result<(), LpError> {
+        for &(v, _) in &coeffs {
+            if v >= self.num_vars() {
+                return Err(LpError::InvalidVariable { var: v, num_vars: self.num_vars() });
+            }
+        }
+        self.constraints.push(Constraint { coeffs, relation, rhs });
+        Ok(())
+    }
+
+    /// Mark variable `v` as integral (for [`crate::solve_ilp`]).
+    pub fn set_integer(&mut self, v: usize, integral: bool) {
+        self.integer[v] = integral;
+    }
+
+    /// Set an upper bound on variable `v`.
+    pub fn set_upper_bound(&mut self, v: usize, ub: f64) -> Result<(), LpError> {
+        if v >= self.num_vars() {
+            return Err(LpError::InvalidVariable { var: v, num_vars: self.num_vars() });
+        }
+        self.upper[v] = self.upper[v].min(ub);
+        Ok(())
+    }
+
+    /// Set a lower bound on variable `v` (≥ 0; the solver works over the
+    /// non-negative orthant).
+    pub fn set_lower_bound(&mut self, v: usize, lb: f64) -> Result<(), LpError> {
+        if v >= self.num_vars() {
+            return Err(LpError::InvalidVariable { var: v, num_vars: self.num_vars() });
+        }
+        self.lower[v] = self.lower[v].max(lb.max(0.0));
+        Ok(())
+    }
+
+    /// Branch & bound internal: tighten the upper bound (never loosens).
+    pub(crate) fn tighten_upper(&mut self, v: usize, ub: f64) {
+        self.upper[v] = self.upper[v].min(ub);
+    }
+
+    /// Branch & bound internal: tighten the lower bound (never loosens).
+    pub(crate) fn tighten_lower(&mut self, v: usize, lb: f64) {
+        self.lower[v] = self.lower[v].max(lb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_set_direction() {
+        assert!(Problem::maximize(vec![1.0]).is_maximize());
+        assert!(!Problem::minimize(vec![1.0]).is_maximize());
+    }
+
+    #[test]
+    fn bounds_only_tighten() {
+        let mut p = Problem::maximize(vec![1.0]);
+        p.set_upper_bound(0, 5.0).unwrap();
+        p.set_upper_bound(0, 9.0).unwrap(); // looser: ignored
+        assert_eq!(p.upper[0], 5.0);
+        p.set_lower_bound(0, 2.0).unwrap();
+        p.set_lower_bound(0, 1.0).unwrap(); // looser: ignored
+        assert_eq!(p.lower[0], 2.0);
+    }
+
+    #[test]
+    fn negative_lower_bound_clamped_to_zero() {
+        let mut p = Problem::maximize(vec![1.0]);
+        p.set_lower_bound(0, -3.0).unwrap();
+        assert_eq!(p.lower[0], 0.0);
+    }
+}

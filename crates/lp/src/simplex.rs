@@ -1,0 +1,307 @@
+//! Dense two-phase primal simplex.
+
+use crate::problem::{Problem, Relation};
+use crate::{LpError, Solution, EPS};
+
+/// Solve the LP relaxation of `problem` with a dense two-phase tableau
+/// simplex. Integrality markers are ignored.
+///
+/// Variable lower bounds are substituted away (`x = y + lb`), finite upper
+/// bounds become rows. Bland's rule guarantees termination; a generous
+/// iteration cap guards against numerical livelock.
+pub fn solve_lp(problem: &Problem) -> Result<Solution, LpError> {
+    let n = problem.num_vars();
+
+    // Shift by lower bounds: y = x − lb ≥ 0.
+    for v in 0..n {
+        if problem.upper[v] - problem.lower[v] < -EPS {
+            return Err(LpError::Infeasible);
+        }
+    }
+
+    // Build rows: (coeffs over original vars, relation, shifted rhs).
+    let mut rows: Vec<(Vec<f64>, Relation, f64)> = Vec::new();
+    for c in &problem.constraints {
+        let mut dense = vec![0.0; n];
+        for &(v, a) in &c.coeffs {
+            dense[v] += a;
+        }
+        let shift: f64 = (0..n).map(|v| dense[v] * problem.lower[v]).sum();
+        rows.push((dense, c.relation, c.rhs - shift));
+    }
+    // Finite upper bounds as rows: y_v ≤ ub − lb.
+    for v in 0..n {
+        if problem.upper[v].is_finite() {
+            let mut dense = vec![0.0; n];
+            dense[v] = 1.0;
+            rows.push((dense, Relation::Le, problem.upper[v] - problem.lower[v]));
+        }
+    }
+
+    // Normalize rhs ≥ 0.
+    for (dense, rel, rhs) in rows.iter_mut() {
+        if *rhs < 0.0 {
+            for a in dense.iter_mut() {
+                *a = -*a;
+            }
+            *rhs = -*rhs;
+            *rel = match *rel {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+        }
+    }
+
+    let m = rows.len();
+    // Column layout: [0..n) structural | [n..n+slacks) slack/surplus |
+    // [.., ..+artificials) artificial.
+    let num_slack = rows.iter().filter(|(_, r, _)| *r != Relation::Eq).count();
+    let num_art = rows.iter().filter(|(_, r, _)| *r != Relation::Le).count();
+    let total = n + num_slack + num_art;
+
+    let mut t = vec![vec![0.0f64; total + 1]; m]; // +1: rhs
+    let mut basis = vec![usize::MAX; m];
+    let mut slack_idx = n;
+    let mut art_idx = n + num_slack;
+    let mut artificial_cols: Vec<usize> = Vec::new();
+
+    for (r, (dense, rel, rhs)) in rows.iter().enumerate() {
+        t[r][..n].copy_from_slice(dense);
+        t[r][total] = *rhs;
+        match rel {
+            Relation::Le => {
+                t[r][slack_idx] = 1.0;
+                basis[r] = slack_idx;
+                slack_idx += 1;
+            }
+            Relation::Ge => {
+                t[r][slack_idx] = -1.0;
+                slack_idx += 1;
+                t[r][art_idx] = 1.0;
+                basis[r] = art_idx;
+                artificial_cols.push(art_idx);
+                art_idx += 1;
+            }
+            Relation::Eq => {
+                t[r][art_idx] = 1.0;
+                basis[r] = art_idx;
+                artificial_cols.push(art_idx);
+                art_idx += 1;
+            }
+        }
+    }
+
+    let is_artificial = {
+        let mut v = vec![false; total];
+        for &c in &artificial_cols {
+            v[c] = true;
+        }
+        v
+    };
+
+    // Phase 1: maximize −Σ artificials.
+    if !artificial_cols.is_empty() {
+        let mut z = vec![0.0f64; total + 1];
+        // z_j = c_B^T col_j − c_j with c = −1 on artificials, 0 elsewhere.
+        for r in 0..m {
+            if is_artificial[basis[r]] {
+                for j in 0..=total {
+                    z[j] -= t[r][j];
+                }
+            }
+        }
+        for &c in &artificial_cols {
+            z[c] += 1.0; // − c_j with c_j = −1
+        }
+        run_simplex(&mut t, &mut basis, &mut z, total)?;
+        if z[total] < -1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive remaining artificials out of the basis.
+        for r in 0..m {
+            if is_artificial[basis[r]] {
+                if let Some(j) = (0..n + num_slack).find(|&j| t[r][j].abs() > EPS) {
+                    pivot(&mut t, &mut basis, &mut vec![0.0; total + 1], r, j);
+                }
+                // If no pivot column exists the row is redundant (all
+                // structural coefficients zero, rhs ~0); keep it inert.
+            }
+        }
+        // Forbid artificial columns from re-entering: zero them out.
+        for row in t.iter_mut() {
+            for &c in &artificial_cols {
+                row[c] = 0.0;
+            }
+        }
+    }
+
+    // Phase 2: original objective (internally always maximize).
+    let sign = if problem.maximize { 1.0 } else { -1.0 };
+    let mut z = vec![0.0f64; total + 1];
+    for (j, z_j) in z.iter_mut().take(n).enumerate() {
+        *z_j = -sign * problem.objective[j];
+    }
+    // Make z basic-consistent: z_row must be 0 on basic columns.
+    for r in 0..m {
+        let b = basis[r];
+        if b < total && z[b].abs() > EPS {
+            let factor = z[b];
+            for j in 0..=total {
+                z[j] -= factor * t[r][j];
+            }
+        }
+    }
+    run_simplex(&mut t, &mut basis, &mut z, total)?;
+
+    // Extract solution.
+    let mut y = vec![0.0f64; total];
+    for r in 0..m {
+        if basis[r] < total {
+            y[basis[r]] = t[r][total];
+        }
+    }
+    let values: Vec<f64> = (0..n).map(|v| y[v] + problem.lower[v]).collect();
+    let objective: f64 = values.iter().zip(&problem.objective).map(|(x, c)| x * c).sum();
+    Ok(Solution { values, objective })
+}
+
+/// Pivot until optimal. `z` is the reduced-cost row (maximization form:
+/// optimal when all entries ≥ −EPS).
+fn run_simplex(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    z: &mut [f64],
+    total: usize,
+) -> Result<(), LpError> {
+    let m = t.len();
+    let max_iter = 50_000 + 200 * (m + total);
+    for _ in 0..max_iter {
+        // Bland: entering = smallest index with negative reduced cost.
+        let Some(enter) = (0..total).find(|&j| z[j] < -EPS) else {
+            return Ok(());
+        };
+        // Ratio test; Bland tie-break on smallest basis variable.
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for r in 0..m {
+            if t[r][enter] > EPS {
+                let ratio = t[r][total] / t[r][enter];
+                let better = ratio < best - EPS
+                    || (ratio < best + EPS
+                        && leave.is_some_and(|l| basis[r] < basis[l]));
+                if better {
+                    best = ratio;
+                    leave = Some(r);
+                }
+            }
+        }
+        let Some(leave) = leave else {
+            return Err(LpError::Unbounded);
+        };
+        pivot(t, basis, z, leave, enter);
+    }
+    Err(LpError::IterationLimit)
+}
+
+/// Gaussian pivot on `(row, col)` updating the tableau, basis and z-row.
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], z: &mut [f64], row: usize, col: usize) {
+    let m = t.len();
+    let width = t[row].len();
+    let pv = t[row][col];
+    debug_assert!(pv.abs() > EPS, "pivot on ~zero element");
+    for j in 0..width {
+        t[row][j] /= pv;
+    }
+    for r in 0..m {
+        if r != row && t[r][col].abs() > EPS {
+            let f = t[r][col];
+            for j in 0..width {
+                t[r][j] -= f * t[row][j];
+            }
+        }
+    }
+    if z[col].abs() > EPS {
+        let f = z[col];
+        for j in 0..width {
+            z[j] -= f * t[row][j];
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // classic degeneracy: multiple identical constraints
+        let mut p = Problem::maximize(vec![1.0, 1.0]);
+        for _ in 0..4 {
+            p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Le, 1.0).unwrap();
+        }
+        let s = solve_lp(&p).unwrap();
+        assert!((s.objective - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_variable_bounds() {
+        let mut p = Problem::maximize(vec![1.0, 1.0]);
+        p.set_upper_bound(0, 2.0).unwrap();
+        p.set_upper_bound(1, 3.0).unwrap();
+        p.set_lower_bound(1, 1.0).unwrap();
+        let s = solve_lp(&p).unwrap();
+        assert!((s.objective - 5.0).abs() < 1e-9);
+        assert!((s.values[0] - 2.0).abs() < 1e-9);
+        assert!((s.values[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossed_bounds_are_infeasible() {
+        let mut p = Problem::maximize(vec![1.0]);
+        p.set_lower_bound(0, 3.0).unwrap();
+        p.set_upper_bound(0, 2.0).unwrap();
+        assert_eq!(solve_lp(&p).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn minimization_with_lower_bounds() {
+        // min x + y s.t. x + y ≥ 2, x ≥ 0.5 → 2
+        let mut p = Problem::minimize(vec![1.0, 1.0]);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Ge, 2.0).unwrap();
+        p.set_lower_bound(0, 0.5).unwrap();
+        let s = solve_lp(&p).unwrap();
+        assert!((s.objective - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // x − y ≤ −1 with x,y ≤ 5: max x → x = 4 (y = 5)
+        let mut p = Problem::maximize(vec![1.0, 0.0]);
+        p.add_constraint(vec![(0, 1.0), (1, -1.0)], Relation::Le, -1.0).unwrap();
+        p.set_upper_bound(0, 5.0).unwrap();
+        p.set_upper_bound(1, 5.0).unwrap();
+        let s = solve_lp(&p).unwrap();
+        assert!((s.objective - 4.0).abs() < 1e-9, "got {}", s.objective);
+    }
+
+    #[test]
+    fn redundant_equality_rows_handled() {
+        // x + y = 2 stated twice
+        let mut p = Problem::maximize(vec![1.0, 0.0]);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 2.0).unwrap();
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 2.0).unwrap();
+        let s = solve_lp(&p).unwrap();
+        assert!((s.objective - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_coefficients_are_summed() {
+        // (x + x) ≤ 4 → x ≤ 2
+        let mut p = Problem::maximize(vec![1.0]);
+        p.add_constraint(vec![(0, 1.0), (0, 1.0)], Relation::Le, 4.0).unwrap();
+        let s = solve_lp(&p).unwrap();
+        assert!((s.objective - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests: the branch & bound ILP against exhaustive
+//! enumeration on random 0/1 knapsack instances, plus LP sanity.
+
+use lp_solver::{solve_ilp, solve_lp, Problem, Relation};
+use proptest::prelude::*;
+
+/// Random 0/1 knapsack: maximize Σ vᵢ xᵢ s.t. Σ wᵢ xᵢ ≤ C, xᵢ ∈ {0, 1}.
+fn knapsack(n: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>, f64)> {
+    (
+        prop::collection::vec(0.1f64..10.0, n),
+        prop::collection::vec(0.1f64..10.0, n),
+        1.0f64..20.0,
+    )
+}
+
+fn build_knapsack(values: &[f64], weights: &[f64], capacity: f64) -> Problem {
+    let n = values.len();
+    let mut p = Problem::maximize(values.to_vec());
+    p.add_constraint(
+        weights.iter().copied().enumerate().collect(),
+        Relation::Le,
+        capacity,
+    )
+    .unwrap();
+    for v in 0..n {
+        p.set_integer(v, true);
+        p.set_upper_bound(v, 1.0).unwrap();
+    }
+    p
+}
+
+fn brute_force_knapsack(values: &[f64], weights: &[f64], capacity: f64) -> f64 {
+    let n = values.len();
+    let mut best = 0.0f64;
+    for mask in 0u32..(1 << n) {
+        let (mut v, mut w) = (0.0, 0.0);
+        for i in 0..n {
+            if mask & (1 << i) != 0 {
+                v += values[i];
+                w += weights[i];
+            }
+        }
+        if w <= capacity + 1e-9 {
+            best = best.max(v);
+        }
+    }
+    best
+}
+
+proptest! {
+    #[test]
+    fn branch_and_bound_matches_brute_force((values, weights, capacity) in knapsack(8)) {
+        let p = build_knapsack(&values, &weights, capacity);
+        let sol = solve_ilp(&p).unwrap();
+        let brute = brute_force_knapsack(&values, &weights, capacity);
+        prop_assert!(
+            (sol.objective - brute).abs() < 1e-6,
+            "B&B {} vs brute force {}",
+            sol.objective,
+            brute
+        );
+        // the reported values are integral and feasible
+        let mut w = 0.0;
+        for (i, &x) in sol.values.iter().enumerate() {
+            prop_assert!((x - x.round()).abs() < 1e-6, "fractional x[{}] = {}", i, x);
+            w += weights[i] * x;
+        }
+        prop_assert!(w <= capacity + 1e-6, "capacity violated: {} > {}", w, capacity);
+    }
+
+    #[test]
+    fn lp_relaxation_bounds_the_ilp((values, weights, capacity) in knapsack(7)) {
+        let p = build_knapsack(&values, &weights, capacity);
+        let relaxed = solve_lp(&p).unwrap();
+        let integral = solve_ilp(&p).unwrap();
+        prop_assert!(
+            relaxed.objective >= integral.objective - 1e-6,
+            "LP bound {} below ILP {}",
+            relaxed.objective,
+            integral.objective
+        );
+    }
+
+    #[test]
+    fn lp_scaling_invariance(values in prop::collection::vec(0.1f64..10.0, 5), scale in 0.1f64..5.0) {
+        // maximizing c·x and (s·c)·x over the same polytope scales the
+        // optimum by s.
+        let mut p1 = Problem::maximize(values.clone());
+        let mut p2 =
+            Problem::maximize(values.iter().map(|v| v * scale).collect::<Vec<_>>());
+        for p in [&mut p1, &mut p2] {
+            p.add_constraint(
+                (0..5).map(|i| (i, 1.0)).collect(),
+                Relation::Le,
+                3.0,
+            )
+            .unwrap();
+            for v in 0..5 {
+                p.set_upper_bound(v, 1.0).unwrap();
+            }
+        }
+        let a = solve_lp(&p1).unwrap();
+        let b = solve_lp(&p2).unwrap();
+        prop_assert!(
+            (b.objective - scale * a.objective).abs() < 1e-6 * (1.0 + a.objective.abs()),
+            "{} vs {}",
+            b.objective,
+            scale * a.objective
+        );
+    }
+}

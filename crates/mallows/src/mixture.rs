@@ -1,0 +1,392 @@
+//! Mixtures of Mallows models, fitted by expectation–maximization.
+//!
+//! A population of rankings rarely concentrates around a single centre:
+//! voters split into camps, recruiters weigh criteria differently. The
+//! mixture `P[π] = Σ_c w_c · M(π; π_c, θ_c)` captures such
+//! heterogeneity, and fitting it to observed rankings (e.g. the output
+//! of repeated fair post-processing) reveals how many "modes" a noisy
+//! ranking process has — supporting the paper's proposed future work on
+//! systematic noise methodology.
+//!
+//! [`MallowsMixture::fit`] runs standard EM:
+//!
+//! * **E-step** — responsibilities `r_{sc} ∝ w_c · P_c[π_s]` computed in
+//!   log space;
+//! * **M-step** — weights from responsibility mass; per-component
+//!   centres by *weighted* Borda; per-component `θ` by inverting the
+//!   closed-form expected distance at the responsibility-weighted mean
+//!   Kendall tau (the exact stationarity condition of the Mallows
+//!   likelihood).
+//!
+//! EM on rank data converges to local optima; callers control restarts
+//! through the seed.
+
+use crate::mle::solve_theta_for_distance;
+use crate::{MallowsError, MallowsModel, Result};
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+use ranking_core::{distance, Permutation};
+
+/// A finite mixture of Kendall-tau Mallows components.
+#[derive(Debug, Clone)]
+pub struct MallowsMixture {
+    components: Vec<MallowsModel>,
+    weights: Vec<f64>,
+}
+
+impl MallowsMixture {
+    /// Build a mixture from components and (unnormalized, positive)
+    /// weights. Weights are normalized to sum to 1.
+    pub fn new(components: Vec<MallowsModel>, weights: Vec<f64>) -> Result<Self> {
+        if components.is_empty() {
+            return Err(MallowsError::NoSamples);
+        }
+        if components.len() != weights.len() {
+            return Err(MallowsError::LengthMismatch {
+                center: components.len(),
+                other: weights.len(),
+            });
+        }
+        let n = components[0].len();
+        if components.iter().any(|c| c.len() != n) {
+            return Err(MallowsError::LengthMismatch { center: n, other: 0 });
+        }
+        let total: f64 = weights.iter().sum();
+        if total.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+            || weights.iter().any(|&w| w.is_nan() || w < 0.0)
+        {
+            return Err(MallowsError::InvalidTheta { theta: total });
+        }
+        let weights = weights.into_iter().map(|w| w / total).collect();
+        Ok(MallowsMixture { components, weights })
+    }
+
+    /// The mixture components.
+    pub fn components(&self) -> &[MallowsModel] {
+        &self.components
+    }
+
+    /// Normalized mixing weights (sum to 1).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Log probability mass of `pi` under the mixture (log-sum-exp over
+    /// components).
+    pub fn ln_pmf(&self, pi: &Permutation) -> Result<f64> {
+        let mut terms = Vec::with_capacity(self.components.len());
+        for (c, &w) in self.components.iter().zip(&self.weights) {
+            if w > 0.0 {
+                terms.push(w.ln() + c.ln_pmf(pi)?);
+            }
+        }
+        Ok(log_sum_exp(&terms))
+    }
+
+    /// Probability mass of `pi` under the mixture.
+    pub fn pmf(&self, pi: &Permutation) -> Result<f64> {
+        Ok(self.ln_pmf(pi)?.exp())
+    }
+
+    /// Total log-likelihood of a sample set.
+    pub fn ln_likelihood(&self, samples: &[Permutation]) -> Result<f64> {
+        samples.iter().map(|s| self.ln_pmf(s)).sum()
+    }
+
+    /// Draw one sample: pick a component by weight, then sample it.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Permutation {
+        let mut u: f64 = rng.random();
+        for (c, &w) in self.components.iter().zip(&self.weights) {
+            if u < w {
+                return c.sample(rng);
+            }
+            u -= w;
+        }
+        self.components.last().expect("non-empty by construction").sample(rng)
+    }
+
+    /// Posterior component responsibilities for each sample:
+    /// `out[s][c] = P[component c | π_s]`.
+    pub fn responsibilities(&self, samples: &[Permutation]) -> Result<Vec<Vec<f64>>> {
+        samples
+            .iter()
+            .map(|s| {
+                let ln_joint: Vec<f64> = self
+                    .components
+                    .iter()
+                    .zip(&self.weights)
+                    .map(|(c, &w)| {
+                        if w > 0.0 {
+                            Ok(w.ln() + c.ln_pmf(s)?)
+                        } else {
+                            Ok(f64::NEG_INFINITY)
+                        }
+                    })
+                    .collect::<Result<_>>()?;
+                let norm = log_sum_exp(&ln_joint);
+                Ok(ln_joint.into_iter().map(|l| (l - norm).exp()).collect())
+            })
+            .collect()
+    }
+
+    /// Fit a `k`-component mixture by EM.
+    ///
+    /// Initialization picks `k` distinct samples as centres (uniformly
+    /// without replacement) with `θ = 1` and uniform weights, then
+    /// alternates E/M for `max_iters` iterations or until the
+    /// log-likelihood improves by less than `tol`.
+    pub fn fit<R: Rng + ?Sized>(
+        samples: &[Permutation],
+        k: usize,
+        max_iters: usize,
+        tol: f64,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if samples.is_empty() || k == 0 {
+            return Err(MallowsError::NoSamples);
+        }
+        let n = samples[0].len();
+        if samples.iter().any(|s| s.len() != n) {
+            return Err(MallowsError::LengthMismatch { center: n, other: 0 });
+        }
+        let mut idx: Vec<usize> = (0..samples.len()).collect();
+        idx.shuffle(rng);
+        let components: Vec<MallowsModel> = idx
+            .iter()
+            .take(k)
+            .chain(std::iter::repeat_n(&idx[0], k.saturating_sub(samples.len())))
+            .map(|&i| MallowsModel::new(samples[i].clone(), 1.0))
+            .collect::<Result<_>>()?;
+        let mut mixture = MallowsMixture::new(components, vec![1.0; k])?;
+
+        let mut last_ll = f64::NEG_INFINITY;
+        for _ in 0..max_iters {
+            let resp = mixture.responsibilities(samples)?;
+            mixture = mixture.m_step(samples, &resp)?;
+            let ll = mixture.ln_likelihood(samples)?;
+            if (ll - last_ll).abs() < tol {
+                break;
+            }
+            last_ll = ll;
+        }
+        Ok(mixture)
+    }
+
+    /// One M-step: re-estimate weights, centres (weighted Borda) and
+    /// dispersions (weighted mean distance inversion).
+    fn m_step(&self, samples: &[Permutation], resp: &[Vec<f64>]) -> Result<Self> {
+        let n = samples[0].len();
+        let k = self.components.len();
+        let mut components = Vec::with_capacity(k);
+        let mut weights = Vec::with_capacity(k);
+        for c in 0..k {
+            let mass: f64 = resp.iter().map(|r| r[c]).sum();
+            if mass <= f64::EPSILON {
+                // Dead component: keep its parameters, assign zero weight.
+                components.push(self.components[c].clone());
+                weights.push(f64::EPSILON);
+                continue;
+            }
+            let center = weighted_borda(samples, resp, c, n);
+            let mean_dist: f64 = samples
+                .iter()
+                .zip(resp)
+                .map(|(s, r)| {
+                    r[c] * distance::kendall_tau(s, &center).expect("lengths checked") as f64
+                })
+                .sum::<f64>()
+                / mass;
+            let theta = solve_theta_for_distance(n, mean_dist);
+            components.push(MallowsModel::new(center, theta)?);
+            weights.push(mass);
+        }
+        MallowsMixture::new(components, weights)
+    }
+}
+
+/// Responsibility-weighted Borda: rank items by their weighted mean
+/// position under component `c`.
+fn weighted_borda(
+    samples: &[Permutation],
+    resp: &[Vec<f64>],
+    c: usize,
+    n: usize,
+) -> Permutation {
+    let mut score = vec![0.0f64; n];
+    for (s, r) in samples.iter().zip(resp) {
+        for (pos, &item) in s.as_order().iter().enumerate() {
+            score[item] += r[c] * pos as f64;
+        }
+    }
+    let mut items: Vec<usize> = (0..n).collect();
+    items.sort_by(|&a, &b| {
+        score[a].partial_cmp(&score[b]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    Permutation::from_order_unchecked(items)
+}
+
+/// `ln Σ exp(xᵢ)` computed stably; `−∞` for an empty slice.
+fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    m + xs.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_cluster_data(n: usize, per_cluster: usize, seed: u64) -> (Vec<Permutation>, Permutation, Permutation) {
+        let c1 = Permutation::identity(n);
+        let c2 = Permutation::from_order((0..n).rev().collect::<Vec<_>>()).unwrap();
+        let m1 = MallowsModel::new(c1.clone(), 2.0).unwrap();
+        let m2 = MallowsModel::new(c2.clone(), 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = m1.sample_many(per_cluster, &mut rng);
+        samples.extend(m2.sample_many(per_cluster, &mut rng));
+        (samples, c1, c2)
+    }
+
+    #[test]
+    fn new_normalizes_weights() {
+        let c = MallowsModel::new(Permutation::identity(4), 1.0).unwrap();
+        let mix = MallowsMixture::new(vec![c.clone(), c], vec![2.0, 6.0]).unwrap();
+        assert!((mix.weights()[0] - 0.25).abs() < 1e-12);
+        assert!((mix.weights()[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn new_rejects_bad_input() {
+        let c = MallowsModel::new(Permutation::identity(4), 1.0).unwrap();
+        assert!(MallowsMixture::new(vec![], vec![]).is_err());
+        assert!(MallowsMixture::new(vec![c.clone()], vec![1.0, 1.0]).is_err());
+        assert!(MallowsMixture::new(vec![c.clone()], vec![-1.0]).is_err());
+        let c5 = MallowsModel::new(Permutation::identity(5), 1.0).unwrap();
+        assert!(MallowsMixture::new(vec![c, c5], vec![1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn mixture_pmf_sums_to_one() {
+        let a = MallowsModel::new(Permutation::identity(4), 0.8).unwrap();
+        let b = MallowsModel::new(
+            Permutation::from_order(vec![3, 2, 1, 0]).unwrap(),
+            1.4,
+        )
+        .unwrap();
+        let mix = MallowsMixture::new(vec![a, b], vec![0.3, 0.7]).unwrap();
+        let total: f64 =
+            Permutation::enumerate_all(4).iter().map(|p| mix.pmf(p).unwrap()).sum();
+        assert!((total - 1.0).abs() < 1e-9, "Σpmf = {total}");
+    }
+
+    #[test]
+    fn responsibilities_sum_to_one_per_sample() {
+        let (samples, c1, c2) = two_cluster_data(6, 30, 3);
+        let mix = MallowsMixture::new(
+            vec![
+                MallowsModel::new(c1, 1.0).unwrap(),
+                MallowsModel::new(c2, 1.0).unwrap(),
+            ],
+            vec![0.5, 0.5],
+        )
+        .unwrap();
+        for r in mix.responsibilities(&samples).unwrap() {
+            assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(r.iter().all(|&v| (0.0..=1.0 + 1e-12).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn em_recovers_two_separated_clusters() {
+        let (samples, c1, c2) = two_cluster_data(8, 120, 99);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mix = MallowsMixture::fit(&samples, 2, 30, 1e-6, &mut rng).unwrap();
+        // the two fitted centres must be the two true centres (order-free)
+        let centers: Vec<&Permutation> =
+            mix.components().iter().map(|c| c.center()).collect();
+        assert!(
+            (centers[0] == &c1 && centers[1] == &c2)
+                || (centers[0] == &c2 && centers[1] == &c1),
+            "centres {:?} differ from truth",
+            centers
+        );
+        // weights near 1/2 each
+        for &w in mix.weights() {
+            assert!((w - 0.5).abs() < 0.1, "weight {w}");
+        }
+        // dispersions near 2.0
+        for c in mix.components() {
+            assert!((c.theta() - 2.0).abs() < 0.5, "theta {}", c.theta());
+        }
+    }
+
+    #[test]
+    fn em_single_component_matches_plain_mle() {
+        let center = Permutation::identity(10);
+        let model = MallowsModel::new(center.clone(), 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let samples = model.sample_many(800, &mut rng);
+        let mix = MallowsMixture::fit(&samples, 1, 20, 1e-9, &mut rng).unwrap();
+        let direct_center = crate::mle::estimate_center_borda(&samples).unwrap();
+        assert_eq!(mix.components()[0].center(), &direct_center);
+        let direct_theta = crate::mle::estimate_theta(&direct_center, &samples).unwrap();
+        assert!((mix.components()[0].theta() - direct_theta).abs() < 1e-9);
+        assert!((mix.weights()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn em_likelihood_does_not_decrease() {
+        let (samples, _, _) = two_cluster_data(7, 60, 17);
+        let mut rng = StdRng::seed_from_u64(8);
+        // run EM manually to observe the likelihood trajectory
+        let mut mix = MallowsMixture::fit(&samples, 2, 1, 0.0, &mut rng).unwrap();
+        let mut last = mix.ln_likelihood(&samples).unwrap();
+        for _ in 0..10 {
+            let resp = mix.responsibilities(&samples).unwrap();
+            mix = mix.m_step(&samples, &resp).unwrap();
+            let ll = mix.ln_likelihood(&samples).unwrap();
+            assert!(ll >= last - 1e-6, "likelihood decreased: {last} → {ll}");
+            last = ll;
+        }
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_input() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(MallowsMixture::fit(&[], 2, 5, 1e-6, &mut rng).is_err());
+        let samples = vec![Permutation::identity(4)];
+        assert!(MallowsMixture::fit(&samples, 0, 5, 1e-6, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sampling_respects_weights() {
+        let a = MallowsModel::new(Permutation::identity(5), 25.0).unwrap();
+        let b =
+            MallowsModel::new(Permutation::from_order(vec![4, 3, 2, 1, 0]).unwrap(), 25.0)
+                .unwrap();
+        let mix = MallowsMixture::new(vec![a, b], vec![0.8, 0.2]).unwrap();
+        let mut rng = StdRng::seed_from_u64(61);
+        let from_a = (0..2000)
+            .filter(|_| mix.sample(&mut rng).as_order()[0] == 0)
+            .count();
+        // at θ=25 samples equal their centre almost surely
+        let frac = from_a as f64 / 2000.0;
+        assert!((frac - 0.8).abs() < 0.05, "component-a fraction {frac}");
+    }
+
+    #[test]
+    fn log_sum_exp_stability() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        let v = log_sum_exp(&[-1000.0, -1000.0]);
+        assert!((v - (-1000.0 + 2f64.ln())).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,314 @@
+//! Exact Mallows model: sampling, partition function, PMF.
+
+use crate::{MallowsError, Result};
+use rand::{Rng, RngExt};
+use ranking_core::{distance, Permutation};
+
+/// A Mallows distribution `M(π₀, θ)` under Kendall tau distance.
+///
+/// `θ = 0` is the uniform distribution over `S_n`; as `θ → ∞` the mass
+/// concentrates on the centre `π₀`.
+///
+/// ```
+/// use mallows_model::MallowsModel;
+/// use ranking_core::Permutation;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let center = Permutation::identity(8);
+/// let model = MallowsModel::new(center, 1.0).unwrap();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let sample = model.sample(&mut rng);
+/// assert_eq!(sample.len(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MallowsModel {
+    center: Permutation,
+    theta: f64,
+}
+
+impl MallowsModel {
+    /// Create a model with centre `π₀` and dispersion `θ ≥ 0`.
+    pub fn new(center: Permutation, theta: f64) -> Result<Self> {
+        if !theta.is_finite() || theta < 0.0 {
+            return Err(MallowsError::InvalidTheta { theta });
+        }
+        Ok(MallowsModel { center, theta })
+    }
+
+    /// The centre (location) permutation `π₀`.
+    pub fn center(&self) -> &Permutation {
+        &self.center
+    }
+
+    /// The dispersion (spread) parameter `θ`.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Number of ranked items `n`.
+    pub fn len(&self) -> usize {
+        self.center.len()
+    }
+
+    /// True for the degenerate empty model.
+    pub fn is_empty(&self) -> bool {
+        self.center.is_empty()
+    }
+
+    /// Draw one exact sample via the repeated insertion model (RIM).
+    ///
+    /// The centre's item at rank `j` (1-based) is inserted into the
+    /// growing prefix so that it creates `V_j` new inversions, where
+    /// `V_j` follows the truncated geometric law
+    /// `P(V_j = v) ∝ e^{−θ v}` on `{0, …, j−1}`. The total inversion
+    /// count equals `d_KT(sample, centre)`, which yields the exact
+    /// Mallows distribution.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Permutation {
+        let n = self.center.len();
+        let q = (-self.theta).exp();
+        let code: Vec<usize> =
+            (1..=n).map(|j| sample_truncated_geometric(q, j, rng)).collect();
+        ranking_core::lehmer::decode_insertion_code(&self.center, &code)
+            .expect("sampled code is stage-valid by construction")
+    }
+
+    /// Draw `m` independent samples.
+    pub fn sample_many<R: Rng + ?Sized>(&self, m: usize, rng: &mut R) -> Vec<Permutation> {
+        (0..m).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Natural log of the partition function
+    /// `Z_n(θ) = Π_{j=1..n} (1 − e^{−jθ}) / (1 − e^{−θ})`;
+    /// `Z_n(0) = n!`.
+    pub fn ln_partition(&self) -> f64 {
+        ln_partition(self.center.len(), self.theta)
+    }
+
+    /// Probability mass of `pi` under the model.
+    pub fn pmf(&self, pi: &Permutation) -> Result<f64> {
+        Ok(self.ln_pmf(pi)?.exp())
+    }
+
+    /// Log probability mass of `pi` under the model.
+    pub fn ln_pmf(&self, pi: &Permutation) -> Result<f64> {
+        if pi.len() != self.center.len() {
+            return Err(MallowsError::LengthMismatch { center: self.center.len(), other: pi.len() });
+        }
+        let d = distance::kendall_tau(pi, &self.center).expect("lengths checked") as f64;
+        Ok(-self.theta * d - self.ln_partition())
+    }
+
+    /// Closed-form expected Kendall tau distance from the centre:
+    /// `E[D_n] = Σ_{j=1..n} ( q/(1−q) − j·q^j/(1−q^j) )` with
+    /// `q = e^{−θ}`; for `θ = 0` this is `n(n−1)/4`.
+    pub fn expected_kendall_tau(&self) -> f64 {
+        expected_kendall_tau(self.center.len(), self.theta)
+    }
+}
+
+/// `ln Z_n(θ)`; free function so estimators can evaluate it without a
+/// model instance.
+pub(crate) fn ln_partition(n: usize, theta: f64) -> f64 {
+    if theta == 0.0 {
+        return (1..=n).map(|j| (j as f64).ln()).sum();
+    }
+    let q = (-theta).exp();
+    let ln_denominator = (1.0 - q).ln();
+    (1..=n)
+        .map(|j| ((1.0 - q.powi(j as i32)).ln()) - ln_denominator)
+        .sum()
+}
+
+/// Closed-form `E[d_KT]` for `n` items at dispersion `theta`.
+pub(crate) fn expected_kendall_tau(n: usize, theta: f64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    if theta == 0.0 {
+        return n as f64 * (n as f64 - 1.0) / 4.0;
+    }
+    let q = (-theta).exp();
+    let head = q / (1.0 - q);
+    (1..=n)
+        .map(|j| {
+            let qj = q.powi(j as i32);
+            head - j as f64 * qj / (1.0 - qj)
+        })
+        .sum()
+}
+
+/// Sample `V ∈ {0, …, j−1}` with `P(V = v) ∝ q^v` (`q = e^{−θ}`).
+///
+/// Uses closed-form CDF inversion for `q < 1`; uniform for `q = 1`
+/// (θ = 0). Falls back to a linear scan when floating-point inversion
+/// lands out of range.
+pub(crate) fn sample_truncated_geometric<R: Rng + ?Sized>(q: f64, j: usize, rng: &mut R) -> usize {
+    if j <= 1 {
+        return 0;
+    }
+    if q >= 1.0 {
+        return rng.random_range(0..j);
+    }
+    let u: f64 = rng.random::<f64>();
+    // CDF(v) = (1 − q^{v+1}) / (1 − q^j); solve CDF(v) ≥ u.
+    let mass = 1.0 - q.powi(j as i32);
+    let x = 1.0 - u * mass;
+    let v = (x.ln() / q.ln()).ceil() as isize - 1;
+    if (0..j as isize).contains(&v) {
+        return v as usize;
+    }
+    // Numerical edge: fall back to exact linear scan.
+    let mut acc = 0.0;
+    let norm: f64 = (0..j).map(|v| q.powi(v as i32)).sum();
+    for v in 0..j {
+        acc += q.powi(v as i32) / norm;
+        if u <= acc {
+            return v;
+        }
+    }
+    j - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn rejects_negative_theta() {
+        assert!(MallowsModel::new(Permutation::identity(3), -1.0).is_err());
+        assert!(MallowsModel::new(Permutation::identity(3), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn samples_are_valid_permutations() {
+        let m = MallowsModel::new(Permutation::identity(20), 0.7).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let s = m.sample(&mut rng);
+            let mut v = s.as_order().to_vec();
+            v.sort_unstable();
+            assert_eq!(v, (0..20).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn high_theta_concentrates_on_center() {
+        let center = Permutation::from_order(vec![3, 1, 4, 0, 2]).unwrap();
+        let m = MallowsModel::new(center.clone(), 20.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let same = (0..200).filter(|_| m.sample(&mut rng) == center).count();
+        assert!(same > 190, "only {same}/200 samples equal the centre at θ=20");
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        // χ²-style sanity check on n = 3 (6 cells, 6000 draws)
+        let m = MallowsModel::new(Permutation::identity(3), 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
+        let draws = 6000;
+        for _ in 0..draws {
+            *counts.entry(m.sample(&mut rng).into_order()).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 6);
+        for (_, c) in counts {
+            let expected = draws as f64 / 6.0;
+            assert!((c as f64 - expected).abs() < 5.0 * expected.sqrt(), "count {c}");
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_pmf() {
+        let center = Permutation::identity(4);
+        let m = MallowsModel::new(center, 0.8).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let draws = 40_000;
+        let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
+        for _ in 0..draws {
+            *counts.entry(m.sample(&mut rng).into_order()).or_default() += 1;
+        }
+        for pi in Permutation::enumerate_all(4) {
+            let p = m.pmf(&pi).unwrap();
+            let observed = *counts.get(pi.as_order()).unwrap_or(&0) as f64 / draws as f64;
+            // 5σ binomial tolerance
+            let sigma = (p * (1.0 - p) / draws as f64).sqrt();
+            assert!(
+                (observed - p).abs() < 5.0 * sigma + 1e-4,
+                "π={pi}: pmf {p:.5} vs observed {observed:.5}"
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for theta in [0.0, 0.3, 1.0, 3.0] {
+            let m = MallowsModel::new(Permutation::identity(5), theta).unwrap();
+            let total: f64 = Permutation::enumerate_all(5)
+                .iter()
+                .map(|p| m.pmf(p).unwrap())
+                .sum();
+            assert!((total - 1.0).abs() < 1e-9, "θ={theta}: Σpmf = {total}");
+        }
+    }
+
+    #[test]
+    fn partition_at_zero_is_factorial() {
+        let m = MallowsModel::new(Permutation::identity(6), 0.0).unwrap();
+        assert!((m.ln_partition() - (720f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_kt_matches_monte_carlo() {
+        let n = 10;
+        for theta in [0.2, 0.5, 1.0, 2.0] {
+            let m = MallowsModel::new(Permutation::identity(n), theta).unwrap();
+            let mut rng = StdRng::seed_from_u64(31);
+            let draws = 4000;
+            let mean: f64 = (0..draws)
+                .map(|_| {
+                    distance::kendall_tau(&m.sample(&mut rng), m.center()).unwrap() as f64
+                })
+                .sum::<f64>()
+                / draws as f64;
+            let expect = m.expected_kendall_tau();
+            assert!(
+                (mean - expect).abs() < 0.08 * expect.max(1.0),
+                "θ={theta}: MC {mean:.3} vs closed form {expect:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn expected_kt_zero_theta_is_quarter() {
+        let m = MallowsModel::new(Permutation::identity(9), 0.0).unwrap();
+        assert!((m.expected_kendall_tau() - 9.0 * 8.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_kt_decreases_in_theta() {
+        let mut last = f64::INFINITY;
+        for theta in [0.1, 0.2, 0.5, 1.0, 2.0, 4.0] {
+            let v = expected_kendall_tau(12, theta);
+            assert!(v < last, "E[D] must decrease in θ");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn ln_pmf_length_mismatch_errors() {
+        let m = MallowsModel::new(Permutation::identity(4), 1.0).unwrap();
+        assert!(m.ln_pmf(&Permutation::identity(5)).is_err());
+    }
+
+    #[test]
+    fn single_item_model() {
+        let m = MallowsModel::new(Permutation::identity(1), 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(m.sample(&mut rng).len(), 1);
+        assert!((m.pmf(&Permutation::identity(1)).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(m.expected_kendall_tau(), 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Plackett–Luce noise: an alternative "noise distribution" for
+//! randomized post-processing (the paper's conclusion explicitly calls
+//! for exploring such alternatives).
+//!
+//! A Plackett–Luce model draws a ranking by sampling items without
+//! replacement with probability proportional to positive strengths
+//! `w_i`. Centred on a ranking `π₀` with temperature `γ`, we set
+//! `w_i = exp(−γ · π₀(i))`: at `γ = 0` the draw is uniform, as
+//! `γ → ∞` it concentrates on `π₀`. Unlike Mallows, PL perturbs the
+//! *top* of the ranking less than the tail for the same parameter,
+//! giving a differently-shaped fairness/utility trade-off.
+
+use crate::{MallowsError, Result};
+use rand::{Rng, RngExt};
+use ranking_core::Permutation;
+
+/// A Plackett–Luce distribution over rankings of `n` items.
+#[derive(Debug, Clone)]
+pub struct PlackettLuce {
+    /// Positive strength per item.
+    weights: Vec<f64>,
+}
+
+impl PlackettLuce {
+    /// From explicit positive strengths.
+    pub fn new(weights: Vec<f64>) -> Result<Self> {
+        if let Some(&bad) = weights.iter().find(|w| !w.is_finite() || **w <= 0.0) {
+            return Err(MallowsError::InvalidTheta { theta: bad });
+        }
+        Ok(PlackettLuce { weights })
+    }
+
+    /// Centred on `center` with temperature `gamma ≥ 0`:
+    /// `w_i = exp(−γ · position_of(i))`.
+    pub fn from_center(center: &Permutation, gamma: f64) -> Result<Self> {
+        if !gamma.is_finite() || gamma < 0.0 {
+            return Err(MallowsError::InvalidTheta { theta: gamma });
+        }
+        let pos = center.positions();
+        PlackettLuce::new(pos.iter().map(|&p| (-gamma * p as f64).exp()).collect())
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when no items.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Item strengths.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Draw one ranking: repeatedly pick among remaining items with
+    /// probability ∝ strength. `O(n²)` — fine at experiment scale.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Permutation {
+        let n = self.weights.len();
+        let mut remaining: Vec<usize> = (0..n).collect();
+        let mut order = Vec::with_capacity(n);
+        while !remaining.is_empty() {
+            let total: f64 = remaining.iter().map(|&i| self.weights[i]).sum();
+            let mut u = rng.random::<f64>() * total;
+            let mut chosen = remaining.len() - 1;
+            for (slot, &i) in remaining.iter().enumerate() {
+                u -= self.weights[i];
+                if u <= 0.0 {
+                    chosen = slot;
+                    break;
+                }
+            }
+            order.push(remaining.swap_remove(chosen));
+        }
+        Permutation::from_order_unchecked(order)
+    }
+
+    /// Exact probability of a ranking: `Π_k w_{π(k)} / Σ_{j ≥ k} w_{π(j)}`.
+    pub fn pmf(&self, pi: &Permutation) -> Result<f64> {
+        if pi.len() != self.weights.len() {
+            return Err(MallowsError::LengthMismatch {
+                center: self.weights.len(),
+                other: pi.len(),
+            });
+        }
+        let mut remaining: f64 = self.weights.iter().sum();
+        let mut p = 1.0;
+        for &item in pi.as_order() {
+            p *= self.weights[item] / remaining;
+            remaining -= self.weights[item];
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_nonpositive_weights() {
+        assert!(PlackettLuce::new(vec![1.0, 0.0]).is_err());
+        assert!(PlackettLuce::new(vec![1.0, -2.0]).is_err());
+        assert!(PlackettLuce::new(vec![1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn samples_are_valid_permutations() {
+        let pl = PlackettLuce::from_center(&Permutation::identity(15), 0.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let s = pl.sample(&mut rng);
+            let mut v = s.as_order().to_vec();
+            v.sort_unstable();
+            assert_eq!(v, (0..15).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let pl = PlackettLuce::new(vec![3.0, 1.0, 2.0, 0.5]).unwrap();
+        let total: f64 =
+            Permutation::enumerate_all(4).iter().map(|p| pl.pmf(p).unwrap()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_first_place_matches_weights() {
+        let pl = PlackettLuce::new(vec![6.0, 3.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let draws = 30_000;
+        let mut firsts = [0usize; 3];
+        for _ in 0..draws {
+            firsts[pl.sample(&mut rng).item_at(0)] += 1;
+        }
+        let f0 = firsts[0] as f64 / draws as f64;
+        assert!((f0 - 0.6).abs() < 0.02, "P(first = 0) = {f0}");
+    }
+
+    #[test]
+    fn high_gamma_concentrates_on_center() {
+        let center = Permutation::from_order(vec![2, 0, 3, 1]).unwrap();
+        let pl = PlackettLuce::from_center(&center, 12.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let same = (0..200).filter(|_| pl.sample(&mut rng) == center).count();
+        assert!(same > 180, "{same}/200");
+    }
+
+    #[test]
+    fn gamma_zero_is_uniform() {
+        let pl = PlackettLuce::from_center(&Permutation::identity(3), 0.0).unwrap();
+        for pi in Permutation::enumerate_all(3) {
+            assert!((pl.pmf(&pi).unwrap() - 1.0 / 6.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_length_mismatch_errors() {
+        let pl = PlackettLuce::new(vec![1.0, 1.0]).unwrap();
+        assert!(pl.pmf(&Permutation::identity(3)).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! The differential-privacy view of Mallows randomization.
+//!
+//! The paper motivates its method as "inspired by approaches of
+//! differential privacy, where noise is admixed to data". The
+//! connection is exact: sampling from `M(π₀(D), θ)` is the exponential
+//! mechanism with utility `u(D, π) = −d_KT(π, π₀(D))`, which satisfies
+//! `ε`-differential privacy with `ε = 2·θ·Δ`, where `Δ` is the
+//! sensitivity of the Kendall tau distance to the change of one
+//! individual's data.
+//!
+//! For rankings, changing one individual's score moves one item, which
+//! alters `d_KT` by at most `n − 1` (the item can cross every other
+//! item), so `Δ ≤ n − 1`. These helpers convert between θ and the ε
+//! ledger so deployments can reason about the noise level in privacy
+//! units — and, dually, pick θ from an ε budget.
+
+/// Sensitivity of `d_KT` under a single-item move in a ranking of `n`
+/// items: `n − 1` (tight: moving an item from top to bottom crosses all
+/// others).
+pub fn kendall_tau_sensitivity(n: usize) -> u64 {
+    (n as u64).saturating_sub(1)
+}
+
+/// ε guaranteed by the exponential mechanism at dispersion `theta` and
+/// sensitivity `delta`: `ε = 2·θ·Δ`.
+pub fn epsilon_for_theta(theta: f64, delta: u64) -> f64 {
+    2.0 * theta * delta as f64
+}
+
+/// The dispersion θ allowed by an ε budget at sensitivity `delta`
+/// (θ = ε / (2Δ)); returns +∞ for Δ = 0 (no privacy cost).
+pub fn theta_for_epsilon(epsilon: f64, delta: u64) -> f64 {
+    if delta == 0 {
+        return f64::INFINITY;
+    }
+    epsilon / (2.0 * delta as f64)
+}
+
+/// Convenience: θ for an ε budget over rankings of `n` items with the
+/// worst-case single-item sensitivity.
+pub fn theta_for_epsilon_ranking(epsilon: f64, n: usize) -> f64 {
+    theta_for_epsilon(epsilon, kendall_tau_sensitivity(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MallowsModel;
+    use ranking_core::{distance, Permutation};
+
+    #[test]
+    fn epsilon_theta_round_trip() {
+        let theta = theta_for_epsilon(2.0, 9);
+        assert!((epsilon_for_theta(theta, 9) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_sensitivity_is_free() {
+        assert!(theta_for_epsilon(1.0, 0).is_infinite());
+    }
+
+    #[test]
+    fn sensitivity_is_n_minus_one() {
+        assert_eq!(kendall_tau_sensitivity(10), 9);
+        assert_eq!(kendall_tau_sensitivity(1), 0);
+        assert_eq!(kendall_tau_sensitivity(0), 0);
+    }
+
+    #[test]
+    fn mechanism_satisfies_the_epsilon_bound_empirically() {
+        // For two centres differing by one adjacent swap (distance
+        // change ≤ 1 per permutation), the likelihood ratio
+        // P_a(π)/P_b(π) must be ≤ exp(2θ) pointwise (sensitivity-1
+        // neighbouring databases).
+        let n = 5;
+        let theta = 0.9;
+        let a = Permutation::identity(n);
+        let mut b = Permutation::identity(n);
+        b.swap_positions(2, 3);
+        let ma = MallowsModel::new(a, theta).unwrap();
+        let mb = MallowsModel::new(b, theta).unwrap();
+        let bound = (2.0 * theta).exp();
+        for pi in Permutation::enumerate_all(n) {
+            let ratio = ma.pmf(&pi).unwrap() / mb.pmf(&pi).unwrap();
+            assert!(ratio <= bound + 1e-9, "ratio {ratio} exceeds e^2θ = {bound}");
+        }
+    }
+
+    #[test]
+    fn worst_case_single_move_shifts_distance_by_n_minus_one() {
+        // move the top item to the bottom: d_KT changes by exactly n−1
+        let n = 7;
+        let id = Permutation::identity(n);
+        let mut order: Vec<usize> = (1..n).collect();
+        order.push(0);
+        let moved = Permutation::from_order(order).unwrap();
+        assert_eq!(
+            distance::kendall_tau(&moved, &id).unwrap(),
+            kendall_tau_sensitivity(n)
+        );
+    }
+}

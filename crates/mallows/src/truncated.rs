@@ -1,0 +1,268 @@
+//! Top-`k` (truncated) Mallows sampling for shortlist workloads.
+//!
+//! The paper's motivating HR scenario shortlists `k` of `n` candidates;
+//! materializing a full Mallows permutation of all `n` only to discard
+//! the tail wastes `O(n log n)` work per sample when `k ≪ n`. The
+//! Kendall-tau Mallows model admits an exact *sequential selection*
+//! view: the item placed at the next rank is the `v`-th best remaining
+//! item in centre order, where `v` follows the truncated geometric law
+//! `P(v) ∝ q^v` over the `m` remaining items (`q = e^{−θ}`). Stopping
+//! after `k` selections yields an exact sample of the top-`k` marginal
+//! in `O(k log n)` using a Fenwick tree over the surviving centre
+//! positions.
+//!
+//! Equivalence with the repeated insertion model: inserting centre
+//! items `1..n` with truncated-geometric displacement is well known to
+//! equal Mallows; reading the same distribution "from the top" gives
+//! the selection form (each selection contributes `v` inversions
+//! against the centre independently, and `Σ v` reproduces the Kendall
+//! tau exponent). The tests cross-validate the k = n case against
+//! [`MallowsModel`](crate::MallowsModel)'s PMF.
+
+use crate::model::sample_truncated_geometric;
+use crate::{MallowsError, Result};
+use rand::Rng;
+use ranking_core::Permutation;
+
+/// Exact sampler for the top-`k` prefix of a Mallows distribution.
+#[derive(Debug, Clone)]
+pub struct TopKMallows {
+    center: Permutation,
+    theta: f64,
+    k: usize,
+}
+
+impl TopKMallows {
+    /// Create a sampler for the first `k ≤ n` positions of
+    /// `M(π₀, θ)`.
+    pub fn new(center: Permutation, theta: f64, k: usize) -> Result<Self> {
+        if !theta.is_finite() || theta < 0.0 {
+            return Err(MallowsError::InvalidTheta { theta });
+        }
+        if k > center.len() {
+            return Err(MallowsError::LengthMismatch { center: center.len(), other: k });
+        }
+        Ok(TopKMallows { center, theta, k })
+    }
+
+    /// The centre permutation.
+    pub fn center(&self) -> &Permutation {
+        &self.center
+    }
+
+    /// The dispersion parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Prefix length `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Draw the top-`k` items (in rank order) of one exact Mallows
+    /// sample. `O(k log n)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<usize> {
+        let n = self.center.len();
+        let q = (-self.theta).exp();
+        let mut alive = Fenwick::all_alive(n);
+        let mut out = Vec::with_capacity(self.k);
+        for step in 0..self.k {
+            let remaining = n - step;
+            let v = sample_truncated_geometric(q, remaining, rng);
+            let center_pos = alive.select_kth_alive(v);
+            alive.kill(center_pos);
+            out.push(self.center.item_at(center_pos));
+        }
+        out
+    }
+
+    /// Draw `m` independent top-`k` samples.
+    pub fn sample_many<R: Rng + ?Sized>(&self, m: usize, rng: &mut R) -> Vec<Vec<usize>> {
+        (0..m).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Closed-form marginal probability that the item at centre rank
+    /// `j` (0-based) occupies the **first** position of a sample:
+    /// `q^j (1 − q) / (1 − q^n)` (uniform `1/n` at `θ = 0`).
+    pub fn first_position_marginal(&self, j: usize) -> f64 {
+        let n = self.center.len();
+        debug_assert!(j < n);
+        if self.theta == 0.0 {
+            return 1.0 / n as f64;
+        }
+        let q = (-self.theta).exp();
+        q.powi(j as i32) * (1.0 - q) / (1.0 - q.powi(n as i32))
+    }
+}
+
+/// Fenwick tree over `n` slots supporting "kill slot" and "select the
+/// `v`-th alive slot" in `O(log n)`.
+#[derive(Debug, Clone)]
+struct Fenwick {
+    tree: Vec<usize>,
+    log2n: u32,
+}
+
+impl Fenwick {
+    fn all_alive(n: usize) -> Self {
+        let mut f = Fenwick {
+            tree: vec![0; n + 1],
+            log2n: usize::BITS - n.leading_zeros(),
+        };
+        for i in 1..=n {
+            f.add(i, 1);
+        }
+        f
+    }
+
+    fn add(&mut self, mut i: usize, delta: isize) {
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as isize + delta) as usize;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Mark 0-based slot `pos` dead.
+    fn kill(&mut self, pos: usize) {
+        self.add(pos + 1, -1);
+    }
+
+    /// 0-based index of the `v`-th (0-based) alive slot.
+    fn select_kth_alive(&self, v: usize) -> usize {
+        let mut target = v + 1; // 1-based rank among alive
+        let mut pos = 0usize;
+        let mut step = 1usize << self.log2n;
+        while step > 0 {
+            let next = pos + step;
+            if next < self.tree.len() && self.tree[next] < target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        pos // pos is 1-based prefix end; slot index is pos (0-based: pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MallowsModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn fenwick_select_and_kill() {
+        let mut f = Fenwick::all_alive(7);
+        assert_eq!(f.select_kth_alive(0), 0);
+        assert_eq!(f.select_kth_alive(6), 6);
+        f.kill(0);
+        f.kill(3);
+        assert_eq!(f.select_kth_alive(0), 1);
+        assert_eq!(f.select_kth_alive(2), 4);
+        assert_eq!(f.select_kth_alive(4), 6);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(TopKMallows::new(Permutation::identity(5), -1.0, 3).is_err());
+        assert!(TopKMallows::new(Permutation::identity(5), 1.0, 6).is_err());
+    }
+
+    #[test]
+    fn sample_has_k_distinct_items() {
+        let s = TopKMallows::new(Permutation::identity(40), 0.6, 10).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..50 {
+            let top = s.sample(&mut rng);
+            assert_eq!(top.len(), 10);
+            let mut sorted = top.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 10, "duplicate items in top-k sample");
+            assert!(sorted.iter().all(|&i| i < 40));
+        }
+    }
+
+    #[test]
+    fn full_length_sample_matches_mallows_pmf() {
+        // k = n: the sequential sampler must reproduce the full Mallows
+        // distribution exactly.
+        let center = Permutation::from_order(vec![1, 3, 0, 2]).unwrap();
+        let theta = 0.7;
+        let s = TopKMallows::new(center.clone(), theta, 4).unwrap();
+        let model = MallowsModel::new(center, theta).unwrap();
+        let mut rng = StdRng::seed_from_u64(37);
+        let draws = 40_000;
+        let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
+        for _ in 0..draws {
+            *counts.entry(s.sample(&mut rng)).or_default() += 1;
+        }
+        for pi in Permutation::enumerate_all(4) {
+            let p = model.pmf(&pi).unwrap();
+            let observed = *counts.get(pi.as_order()).unwrap_or(&0) as f64 / draws as f64;
+            let sigma = (p * (1.0 - p) / draws as f64).sqrt();
+            assert!(
+                (observed - p).abs() < 5.0 * sigma + 1e-4,
+                "π={pi}: pmf {p:.5} vs observed {observed:.5}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_position_marginal_matches_empirical() {
+        let n = 6;
+        let theta = 0.9;
+        let s = TopKMallows::new(Permutation::identity(n), theta, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(51);
+        let draws = 60_000;
+        let mut counts = vec![0usize; n];
+        for _ in 0..draws {
+            counts[s.sample(&mut rng)[0]] += 1;
+        }
+        for j in 0..n {
+            let p = s.first_position_marginal(j);
+            let observed = counts[j] as f64 / draws as f64;
+            let sigma = (p * (1.0 - p) / draws as f64).sqrt();
+            assert!(
+                (observed - p).abs() < 5.0 * sigma + 1e-4,
+                "rank {j}: marginal {p:.5} vs observed {observed:.5}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_position_marginals_sum_to_one() {
+        let s = TopKMallows::new(Permutation::identity(9), 1.3, 1).unwrap();
+        let total: f64 = (0..9).map(|j| s.first_position_marginal(j)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theta_zero_first_position_uniform() {
+        let s = TopKMallows::new(Permutation::identity(8), 0.0, 1).unwrap();
+        for j in 0..8 {
+            assert!((s.first_position_marginal(j) - 0.125).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn high_theta_yields_center_prefix() {
+        let center = Permutation::from_order(vec![5, 3, 1, 0, 2, 4]).unwrap();
+        let s = TopKMallows::new(center.clone(), 25.0, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let hits = (0..100)
+            .filter(|_| s.sample(&mut rng) == center.prefix(3))
+            .count();
+        assert!(hits > 95, "only {hits}/100 samples match the centre prefix at θ=25");
+    }
+
+    #[test]
+    fn empty_prefix_is_allowed() {
+        let s = TopKMallows::new(Permutation::identity(4), 1.0, 0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(s.sample(&mut rng).is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for ranking-core invariants.
+
+use proptest::prelude::*;
+use ranking_core::{distance, quality, Permutation};
+
+/// Strategy: a random permutation of `n` items encoded as a shuffled index
+/// vector (via sorting random keys, which is uniform enough for testing).
+fn permutation(n: usize) -> impl Strategy<Value = Permutation> {
+    prop::collection::vec(any::<u64>(), n).prop_map(|keys| {
+        let mut idx: Vec<usize> = (0..keys.len()).collect();
+        idx.sort_by_key(|&i| keys[i]);
+        Permutation::from_order(idx).expect("shuffled indices form a permutation")
+    })
+}
+
+proptest! {
+    #[test]
+    fn kendall_tau_metric_axioms(a in permutation(10), b in permutation(10), c in permutation(10)) {
+        let dab = distance::kendall_tau(&a, &b).unwrap();
+        let dba = distance::kendall_tau(&b, &a).unwrap();
+        prop_assert_eq!(dab, dba);
+        prop_assert_eq!(distance::kendall_tau(&a, &a).unwrap(), 0);
+        let dac = distance::kendall_tau(&a, &c).unwrap();
+        let dcb = distance::kendall_tau(&c, &b).unwrap();
+        prop_assert!(dab <= dac + dcb, "triangle inequality");
+        prop_assert!(dab <= distance::max_kendall_tau(10));
+    }
+
+    #[test]
+    fn fast_kendall_matches_naive(a in permutation(14), b in permutation(14)) {
+        prop_assert_eq!(
+            distance::kendall_tau(&a, &b).unwrap(),
+            distance::kendall_tau_naive(&a, &b).unwrap()
+        );
+    }
+
+    #[test]
+    fn footrule_metric_axioms(a in permutation(9), b in permutation(9), c in permutation(9)) {
+        let dab = distance::footrule(&a, &b).unwrap();
+        prop_assert_eq!(dab, distance::footrule(&b, &a).unwrap());
+        prop_assert_eq!(distance::footrule(&a, &a).unwrap(), 0);
+        prop_assert!(dab <= distance::footrule(&a, &c).unwrap() + distance::footrule(&c, &b).unwrap());
+    }
+
+    #[test]
+    fn diaconis_graham(a in permutation(12), b in permutation(12)) {
+        let kt = distance::kendall_tau(&a, &b).unwrap();
+        let fr = distance::footrule(&a, &b).unwrap();
+        prop_assert!(kt <= fr);
+        prop_assert!(fr <= 2 * kt);
+    }
+
+    #[test]
+    fn right_invariance(a in permutation(8), b in permutation(8), r in permutation(8)) {
+        // relabel items of both rankings by the same bijection r
+        let ar = r.compose(&a).unwrap();
+        let br = r.compose(&b).unwrap();
+        prop_assert_eq!(
+            distance::kendall_tau(&a, &b).unwrap(),
+            distance::kendall_tau(&ar, &br).unwrap()
+        );
+        prop_assert_eq!(
+            distance::cayley(&a, &b).unwrap(),
+            distance::cayley(&ar, &br).unwrap()
+        );
+        prop_assert_eq!(
+            distance::ulam(&a, &b).unwrap(),
+            distance::ulam(&ar, &br).unwrap()
+        );
+    }
+
+    #[test]
+    fn inverse_round_trip(a in permutation(15)) {
+        prop_assert_eq!(a.inverse().inverse(), a.clone());
+        let id = a.compose(&a.inverse()).unwrap();
+        prop_assert_eq!(id, Permutation::identity(15));
+    }
+
+    #[test]
+    fn positions_round_trip(a in permutation(15)) {
+        let rebuilt = Permutation::from_positions(&a.positions()).unwrap();
+        prop_assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    fn ndcg_bounded(a in permutation(10), scores in prop::collection::vec(0.0f64..10.0, 10)) {
+        let v = quality::ndcg(&a, &scores).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&v));
+    }
+
+    #[test]
+    fn ideal_ranking_maximizes_dcg(a in permutation(8), scores in prop::collection::vec(0.0f64..10.0, 8)) {
+        let ideal = Permutation::sorted_by_scores_desc(&scores);
+        let da = quality::dcg(&a, &scores).unwrap();
+        let di = quality::dcg(&ideal, &scores).unwrap();
+        prop_assert!(da <= di + 1e-9);
+    }
+
+    #[test]
+    fn hamming_vs_cayley(a in permutation(10), b in permutation(10)) {
+        // cayley ≤ hamming ≤ 2·cayley? Actually hamming ≤ 2·cayley and
+        // cayley ≤ hamming − 1 when hamming > 0; we assert the safe bounds.
+        let h = distance::hamming(&a, &b).unwrap();
+        let c = distance::cayley(&a, &b).unwrap();
+        prop_assert!(c <= h);
+        prop_assert!(h <= 2 * c);
+    }
+}

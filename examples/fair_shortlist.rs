@@ -1,0 +1,112 @@
+//! Fair shortlist selection three ways.
+//!
+//! A hiring pipeline must pick an ordered shortlist of `k = 10` from 60
+//! applicants. This example contrasts the workspace's three shortlist
+//! tools on the same pool:
+//!
+//! 1. **Exact fair top-k** (`fair_baselines::fair_top_k`) — DCG-optimal
+//!    under per-prefix proportion bounds; needs the attribute.
+//! 2. **FA*IR** (`fair_baselines::fa_ir`) — binomial-tested minimum
+//!    representation of one protected group; needs the attribute.
+//! 3. **Truncated Mallows** (`mallows_model::TopKMallows`) — oblivious
+//!    randomized shortlists in `O(k log n)` per draw; never sees the
+//!    attribute.
+//!
+//! ```sh
+//! cargo run --example fair_shortlist
+//! ```
+
+use fairness_ranking::baselines::{fa_ir, fair_top_k, FaIrConfig, FairnessMode};
+use fairness_ranking::fairness::{FairnessBounds, GroupAssignment};
+use fairness_ranking::mallows::TopKMallows;
+use fairness_ranking::ranking::quality::Discount;
+use fairness_ranking::ranking::Permutation;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const N: usize = 60;
+const K: usize = 10;
+
+fn dcg(items: &[usize], scores: &[f64]) -> f64 {
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, &item)| scores[item] * Discount::Log2.at(i + 1))
+        .sum()
+}
+
+fn describe(label: &str, items: &[usize], scores: &[f64], groups: &GroupAssignment) {
+    let minority = items.iter().filter(|&&i| groups.group_of(i) == 1).count();
+    println!(
+        "{label:<28} DCG@{K} = {:>6.3}   minority in shortlist: {minority}/{K}",
+        dcg(items, scores),
+    );
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // 25 % minority (group 1) whose scores carry a strong screening bias.
+    let groups =
+        GroupAssignment::new((0..N).map(|i| usize::from(i % 4 == 0)).collect(), 2).unwrap();
+    let scores: Vec<f64> = (0..N)
+        .map(|i| {
+            let base: f64 = rng.random_range(0.0..1.0);
+            if groups.group_of(i) == 1 {
+                base * 0.55 // strong systematic screening bias
+            } else {
+                base
+            }
+        })
+        .collect();
+
+    let score_order = Permutation::sorted_by_scores_desc(&scores);
+    println!("pool: {N} candidates, 25% minority with biased scores\n");
+
+    // 0. plain top-k: the unfair reference.
+    describe("top-k by score", score_order.prefix(K), &scores, &groups);
+
+    // 1. exact DCG-optimal fair top-k, minority share within ±2 % of
+    //    its pool proportion, enforced on every shortlist prefix.
+    let bounds = FairnessBounds::from_assignment_with_tolerance(&groups, 0.02);
+    let exact = fair_top_k(&scores, &groups, &bounds, K, FairnessMode::Strong, Discount::Log2)
+        .expect("bounds are feasible for this pool");
+    describe("exact fair top-k (strong)", &exact, &scores, &groups);
+
+    // 2. FA*IR with the minority as protected group at its pool share.
+    let fa = fa_ir(
+        &scores,
+        &groups,
+        1,
+        K,
+        &FaIrConfig { min_proportion: 0.4, significance: 0.1, adjust: false },
+    )
+    .expect("protected pool is large enough");
+    describe("FA*IR (p=0.4, α=0.1)", &fa, &scores, &groups);
+
+    // 3. oblivious Mallows shortlist: one randomized draw (Algorithm 1
+    //    with m = 1), plus the long-run average to show the expectation.
+    let sampler = TopKMallows::new(score_order, 0.1, K).expect("valid parameters");
+    let draw = sampler.sample(&mut rng);
+    describe("Mallows top-k θ=0.1 (draw)", &draw, &scores, &groups);
+    let draws = 500;
+    let (mut mean_minority, mut mean_dcg) = (0.0f64, 0.0f64);
+    for _ in 0..draws {
+        let s = sampler.sample(&mut rng);
+        mean_minority +=
+            s.iter().filter(|&&i| groups.group_of(i) == 1).count() as f64 / draws as f64;
+        mean_dcg += dcg(&s, &scores) / draws as f64;
+    }
+    println!(
+        "{:<28} DCG@{K} = {mean_dcg:>6.3}   minority in shortlist: {mean_minority:.2}/{K}",
+        "Mallows θ=0.1 (mean of 500)",
+    );
+
+    println!(
+        "\nThe attribute-aware methods enforce their representation targets at a\n\
+         tiny DCG cost. The oblivious Mallows shortlist lifts expected minority\n\
+         presence without ever reading the `groups` column, but pays more DCG\n\
+         for it — the price of fairness without the protected attribute, which\n\
+         is exactly the trade the paper studies."
+    );
+}

@@ -1,0 +1,64 @@
+//! HR-automation scenario from the paper's introduction: a recruiter
+//! receives hundreds of applications and must shortlist the top 10 for
+//! interviews. Résumés carry no protected attributes (collecting them
+//! may even be illegal), yet the employer is liable for indirect
+//! discrimination. The oblivious [`RobustRanker`] mitigates this without
+//! ever touching group labels.
+//!
+//! ```sh
+//! cargo run --example hr_shortlist
+//! ```
+
+use fairness_ranking::fairness::{infeasible, FairnessBounds, GroupAssignment};
+use fairness_ranking::mallows_ranker::oblivious::RobustRanker;
+use fairness_ranking::ranking::{quality, Permutation};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let n = 200;
+
+    // Hidden demographics: 40 % of applicants belong to group 1, whose
+    // résumé scores carry a systematic -0.15 bias from the upstream
+    // screening model. Neither the scores file nor the ranker sees this.
+    let hidden: GroupAssignment =
+        GroupAssignment::new((0..n).map(|i| usize::from(i % 5 < 2)).collect(), 2).unwrap();
+    let scores: Vec<f64> = (0..n)
+        .map(|i| {
+            let base: f64 = rng.random_range(0.0..1.0);
+            if hidden.group_of(i) == 1 {
+                (base - 0.15).max(0.0)
+            } else {
+                base
+            }
+        })
+        .collect();
+
+    let bounds = FairnessBounds::from_assignment_with_tolerance(&hidden, 0.1);
+    let shortlist_size = 10;
+
+    let report = |name: &str, pi: &Permutation| {
+        let in_short =
+            hidden.count_in_prefix(pi.as_order(), shortlist_size, 1) as f64 / shortlist_size as f64;
+        println!(
+            "{name:<22} NDCG@10 {:.4}   group-1 share of shortlist {:.0}% (population 40%)   II {:>3}",
+            quality::ndcg_at(pi, &scores, shortlist_size, Default::default()).unwrap(),
+            in_short * 100.0,
+            infeasible::two_sided_infeasible_index(pi, &hidden, &bounds).unwrap(),
+        );
+    };
+
+    let baseline = Permutation::sorted_by_scores_desc(&scores);
+    report("score ranking", &baseline);
+
+    // Oblivious robust re-ranking: a normalized displacement of 0.15
+    // lets borderline candidates (group 1's best sit just below the
+    // score cutoff) reach the shortlist.
+    let ranker = RobustRanker::builder().target_displacement(0.15).build();
+    for trial in 0..3 {
+        let out = ranker.rank(&scores, &mut rng).unwrap();
+        report(&format!("robust ranking #{}", trial + 1), &out.ranking);
+    }
+    println!("\n(resolved Mallows dispersion for n = {n}: θ = {:.3})", ranker.resolve_theta(n));
+}

@@ -1,0 +1,77 @@
+//! Ranking under *uncertain* protected attributes.
+//!
+//! Real pipelines rarely have clean group labels: membership is
+//! inferred from proxies and is wrong some fraction of the time. This
+//! example models that uncertainty explicitly with
+//! [`SoftGroupAssignment`] and shows
+//!
+//! 1. how the **expected** infeasible index (computed exactly by the
+//!    Poisson-binomial DP, no sampling) responds to label noise: the
+//!    segregated, score-sorted ranking's measured unfairness decays
+//!    toward a common noise floor as the labels lose information, while
+//!    an already-mixed ranking barely moves;
+//! 2. that the Mallows-randomized ranking stays at or below the
+//!    score-sorted one at **every** noise level simultaneously: it
+//!    never used the labels, so mislabelling cannot selectively hurt
+//!    it.
+//!
+//! ```sh
+//! cargo run --example uncertain_attributes
+//! ```
+
+use fairness_ranking::fairness::{FairnessBounds, GroupAssignment, SoftGroupAssignment};
+use fairness_ranking::mallows_ranker::{Criterion, MallowsFairRanker};
+use fairness_ranking::ranking::Permutation;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const N: usize = 40;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+
+    // True demographics: two equal groups; group 1's scores are biased
+    // downward, so the score-sorted ranking over-represents group 0 on
+    // top.
+    let truth =
+        GroupAssignment::new((0..N).map(|i| usize::from(i % 2 == 1)).collect(), 2).unwrap();
+    let scores: Vec<f64> = (0..N)
+        .map(|i| {
+            let base: f64 = rng.random_range(0.0..1.0);
+            if truth.group_of(i) == 1 {
+                base * 0.7
+            } else {
+                base
+            }
+        })
+        .collect();
+    let bounds = FairnessBounds::from_assignment_with_tolerance(&truth, 0.1);
+    let sorted = Permutation::sorted_by_scores_desc(&scores);
+
+    // Oblivious post-processing: one Mallows draw at θ = 0.4.
+    let ranker = MallowsFairRanker::new(0.4, 1, Criterion::FirstSample)
+        .expect("valid parameters");
+    let randomized = ranker.rank(&sorted, &mut rng).expect("consistent shapes").ranking;
+
+    println!("expected two-sided infeasible index (exact, no sampling)\n");
+    println!("{:<14}{:>16}{:>20}", "label noise ε", "score-sorted", "Mallows θ=0.4");
+    for eps in [0.0, 0.1, 0.2, 0.3, 0.4] {
+        let soft = SoftGroupAssignment::from_noisy_labels(&truth, eps)
+            .expect("ε is a probability");
+        let base = soft
+            .expected_infeasible_index(&sorted, &bounds)
+            .expect("consistent shapes");
+        let noisy = soft
+            .expected_infeasible_index(&randomized, &bounds)
+            .expect("consistent shapes");
+        println!("{eps:<14.1}{base:>16.2}{noisy:>20.2}");
+    }
+
+    println!(
+        "\nAs labels lose information the two rankings become statistically\n\
+         indistinguishable: the segregated ranking's expected index decays\n\
+         toward the common noise floor while the randomized one barely moves —\n\
+         and the randomized ranking stays at or below the score-sorted one at\n\
+         every ε. Obliviousness is robust to mislabelling by construction."
+    );
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate re-exporting the whole fairness-ranking workspace,
+//! plus the cross-crate [`pipeline`] combining rank aggregation with
+//! fair post-processing.
+pub mod pipeline;
+
+pub use assignment_solver as assignment;
+pub use eval_stats as eval;
+pub use fair_baselines as baselines;
+pub use fair_datasets as datasets;
+pub use fair_mallows as mallows_ranker;
+pub use fairness_metrics as fairness;
+pub use lp_solver as lp;
+pub use mallows_model as mallows;
+pub use rank_aggregation as aggregation;
+pub use ranking_core as ranking;

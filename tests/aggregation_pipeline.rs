@@ -1,0 +1,66 @@
+//! Integration: rank aggregation feeding the fairness stage.
+
+use fairness_ranking::aggregation::{
+    borda, footrule_optimal, kemeny_exact, kwik_sort, local_search, total_kendall_distance,
+};
+use fairness_ranking::fairness::{infeasible, FairnessBounds, GroupAssignment};
+use fairness_ranking::mallows::MallowsModel;
+use fairness_ranking::mallows_ranker::{Criterion, MallowsFairRanker};
+use fairness_ranking::ranking::Permutation;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn aggregate_then_randomize_preserves_validity_and_reduces_unfairness() {
+    let mut rng = StdRng::seed_from_u64(0xA66);
+    let n = 10;
+    // votes concentrated around a segregated ground truth
+    let truth = Permutation::identity(n);
+    let votes = MallowsModel::new(truth, 1.2).unwrap().sample_many(11, &mut rng);
+    let groups = GroupAssignment::binary_split(n, n / 2);
+    let bounds = FairnessBounds::from_assignment(&groups);
+
+    for consensus in [
+        borda(&votes).unwrap(),
+        footrule_optimal(&votes).unwrap(),
+        local_search(&kwik_sort(&votes, &mut rng).unwrap(), &votes).unwrap(),
+    ] {
+        let before =
+            infeasible::two_sided_infeasible_index(&consensus, &groups, &bounds).unwrap();
+        let ranker = MallowsFairRanker::new(
+            0.4,
+            20,
+            Criterion::MinInfeasibleIndex { groups: groups.clone(), bounds: bounds.clone() },
+        )
+        .unwrap();
+        let out = ranker.rank(&consensus, &mut rng).unwrap();
+        let after =
+            infeasible::two_sided_infeasible_index(&out.ranking, &groups, &bounds).unwrap();
+        assert_eq!(out.ranking.len(), n);
+        assert!(
+            after <= before,
+            "min-II best-of-20 must not be less fair than the consensus ({after} vs {before})"
+        );
+    }
+}
+
+#[test]
+fn all_aggregators_stay_close_to_cohesive_votes() {
+    // for votes tightly concentrated around one ranking, every
+    // aggregator must land within a small total distance of the optimum
+    let mut rng = StdRng::seed_from_u64(0xB77);
+    let truth = Permutation::from_order(vec![4, 1, 5, 0, 3, 2]).unwrap();
+    let votes = MallowsModel::new(truth, 2.5).unwrap().sample_many(9, &mut rng);
+    let opt = kemeny_exact(&votes).unwrap();
+    let opt_d = total_kendall_distance(&opt, &votes).unwrap();
+
+    let kwik = kwik_sort(&votes, &mut rng).unwrap();
+    for (name, agg) in [
+        ("borda", borda(&votes).unwrap()),
+        ("footrule", footrule_optimal(&votes).unwrap()),
+        ("kwiksort+ls", local_search(&kwik, &votes).unwrap()),
+    ] {
+        let d = total_kendall_distance(&agg, &votes).unwrap();
+        assert!(d <= 2 * opt_d + 4, "{name}: total KT {d} vs optimum {opt_d}");
+    }
+}

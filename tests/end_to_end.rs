@@ -1,0 +1,126 @@
+//! End-to-end integration: the full Figs. 5–7 pipeline assembled from
+//! the public APIs of every crate, at reduced scale.
+
+use fairness_ranking::baselines::{self, DetConstSortConfig, IpfConfig};
+use fairness_ranking::datasets::GermanCredit;
+use fairness_ranking::fairness::{infeasible, pfair, FairnessBounds};
+use fairness_ranking::mallows_ranker::{Criterion, MallowsFairRanker};
+use fairness_ranking::ranking::quality::{self, Discount};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn full_pipeline_produces_consistent_outputs() {
+    let mut rng = StdRng::seed_from_u64(0xE2E);
+    let data = GermanCredit::generate(&mut rng);
+    let all_scores = data.credit_amounts();
+
+    for n in [10usize, 30, 60] {
+        let idx = data.sample_indices(n, &mut rng);
+        let scores: Vec<f64> = idx.iter().map(|&i| all_scores[i]).collect();
+        let known = data.sex_age_groups().subset(&idx);
+        let unknown = data.housing_groups().subset(&idx);
+        let known_bounds = FairnessBounds::from_assignment(&known);
+        let unknown_bounds = FairnessBounds::from_assignment(&unknown);
+
+        let input = baselines::weakly_fair_ranking(&scores, &known, &known_bounds);
+        assert!(pfair::is_weak_k_fair(&input, &known, &known_bounds, n.min(10)).unwrap());
+
+        // every algorithm returns a complete permutation of the subset
+        let dcs = baselines::det_const_sort(
+            &scores,
+            &known,
+            &known_bounds,
+            &DetConstSortConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let ipf = baselines::approx_multi_valued_ipf(
+            &input,
+            &known,
+            &known_bounds,
+            &IpfConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let tables = known_bounds.tables(n);
+        let ilp =
+            baselines::optimal_fair_ranking_dp(&scores, &known, &tables, Discount::Log2).unwrap();
+        let mal = MallowsFairRanker::new(1.0, 15, Criterion::MaxNdcg(scores.clone()))
+            .unwrap()
+            .rank(&input, &mut rng)
+            .unwrap()
+            .ranking;
+
+        for pi in [&dcs, &ipf.ranking, &ilp, &mal] {
+            assert_eq!(pi.len(), n);
+            // all metrics computable against both attributes
+            let _ = infeasible::pfair_percentage(pi, &known, &known_bounds).unwrap();
+            let _ = infeasible::pfair_percentage(pi, &unknown, &unknown_bounds).unwrap();
+            let v = quality::ndcg(pi, &scores).unwrap();
+            assert!((0.0..=1.0 + 1e-9).contains(&v));
+        }
+
+        // IPF and ILP outputs are exactly fair on the known attribute
+        assert!(ipf.feasible, "proportional bounds must be feasible at n = {n}");
+        assert!(pfair::is_k_fair(&ipf.ranking, &known, &known_bounds, 1).unwrap());
+        assert!(pfair::is_k_fair(&ilp, &known, &known_bounds, 1).unwrap());
+
+        // ILP dominates every fair ranking in DCG — compare against IPF
+        let dcg = |pi: &fairness_ranking::ranking::Permutation| {
+            quality::dcg_at(pi, &scores, n, Discount::Log2).unwrap()
+        };
+        assert!(dcg(&ilp) + 1e-9 >= dcg(&ipf.ranking));
+    }
+}
+
+#[test]
+fn oblivious_mallows_beats_ilp_on_hidden_attribute_under_segregation() {
+    // When the hidden attribute is strongly score-correlated, ILP on the
+    // known attribute preserves the segregation; Mallows noise dilutes it.
+    let mut rng = StdRng::seed_from_u64(0xAB);
+    let n = 40;
+    let reps = 25;
+    let known = fairness_ranking::fairness::GroupAssignment::new(
+        (0..n).map(|i| i % 2).collect(),
+        2,
+    )
+    .unwrap();
+    let hidden = fairness_ranking::fairness::GroupAssignment::binary_split(n, n / 2);
+    let hidden_bounds = FairnessBounds::from_assignment_with_tolerance(&hidden, 0.1);
+    let known_bounds = FairnessBounds::from_assignment(&known);
+
+    let mut ilp_total = 0.0;
+    let mut mallows_total = 0.0;
+    for _ in 0..reps {
+        use rand::RngExt;
+        let scores: Vec<f64> = (0..n)
+            .map(|i| {
+                let base: f64 = rng.random_range(0.0..1.0);
+                if hidden.group_of(i) == 0 {
+                    base + 0.6
+                } else {
+                    base
+                }
+            })
+            .collect();
+        let tables = known_bounds.tables(n);
+        let ilp =
+            baselines::optimal_fair_ranking_dp(&scores, &known, &tables, Discount::Log2).unwrap();
+        ilp_total += infeasible::pfair_percentage(&ilp, &hidden, &hidden_bounds).unwrap();
+
+        let center = fairness_ranking::ranking::Permutation::sorted_by_scores_desc(&scores);
+        let m = MallowsFairRanker::new(0.1, 1, Criterion::FirstSample)
+            .unwrap()
+            .rank(&center, &mut rng)
+            .unwrap();
+        mallows_total +=
+            infeasible::pfair_percentage(&m.ranking, &hidden, &hidden_bounds).unwrap();
+    }
+    assert!(
+        mallows_total > ilp_total + 2.0 * reps as f64,
+        "Mallows mean {:.1}% should clearly exceed ILP mean {:.1}% on the hidden attribute",
+        mallows_total / reps as f64,
+        ilp_total / reps as f64
+    );
+}

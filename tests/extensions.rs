@@ -1,0 +1,174 @@
+//! Cross-crate integration tests for the extension modules: top-k
+//! lists, soft group assignments, significance tests, the Cayley model
+//! and the fair-aggregation pipeline working together.
+
+use fairness_ranking::eval::hypothesis::mann_whitney_u;
+use fairness_ranking::fairness::{FairnessBounds, GroupAssignment, SoftGroupAssignment};
+use fairness_ranking::mallows::{CayleyMallows, MallowsModel, TopKMallows};
+use fairness_ranking::mallows_ranker::{Criterion, MallowsFairRanker};
+use fairness_ranking::pipeline::{Aggregator, FairAggregationPipeline, PostProcessor};
+use fairness_ranking::ranking::toplist::TopKList;
+use fairness_ranking::ranking::{quality, Permutation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn truncated_sampler_prefix_agrees_with_full_sampler_in_distribution() {
+    // The Fagin K^(0) distance between the sampled top-k and the centre's
+    // top-k has the same expectation whichever exact sampler produced it.
+    let n = 12;
+    let k = 4;
+    let center = Permutation::identity(n);
+    let theta = 0.8;
+    let truncated = TopKMallows::new(center.clone(), theta, k).unwrap();
+    let full = MallowsModel::new(center.clone(), theta).unwrap();
+    let center_top = TopKList::from_permutation(&center, k);
+    let mut rng = StdRng::seed_from_u64(5);
+    let draws = 4000;
+    let mut d_trunc = 0.0;
+    let mut d_full = 0.0;
+    for _ in 0..draws {
+        let a = TopKList::new(truncated.sample(&mut rng), n).unwrap();
+        d_trunc += a.kendall_with_penalty(&center_top, 0.0).unwrap();
+        let b = TopKList::from_permutation(&full.sample(&mut rng), k);
+        d_full += b.kendall_with_penalty(&center_top, 0.0).unwrap();
+    }
+    let (m1, m2) = (d_trunc / draws as f64, d_full / draws as f64);
+    assert!(
+        (m1 - m2).abs() < 0.15 * m1.max(1.0),
+        "truncated {m1:.3} vs full {m2:.3}"
+    );
+}
+
+#[test]
+fn toplist_distance_decreases_with_theta() {
+    let n = 20;
+    let k = 5;
+    let center = Permutation::identity(n);
+    let center_top = TopKList::from_permutation(&center, k);
+    let mut rng = StdRng::seed_from_u64(9);
+    let draws = 1500;
+    let mut means = Vec::new();
+    for theta in [0.1, 0.5, 2.0] {
+        let sampler = TopKMallows::new(center.clone(), theta, k).unwrap();
+        let total: f64 = (0..draws)
+            .map(|_| {
+                TopKList::new(sampler.sample(&mut rng), n)
+                    .unwrap()
+                    .kendall_with_penalty(&center_top, 0.5)
+                    .unwrap()
+            })
+            .sum();
+        means.push(total / draws as f64);
+    }
+    assert!(means[0] > means[1] && means[1] > means[2], "{means:?}");
+}
+
+#[test]
+fn mann_whitney_separates_mallows_sample_counts() {
+    // NDCG of Algorithm 1 with m = 15 stochastically dominates m = 1;
+    // the rank-sum test must detect this across repetitions.
+    let scores: Vec<f64> = (0..20).map(|i| 1.0 - i as f64 / 20.0).collect();
+    let center = Permutation::sorted_by_scores_desc(&scores);
+    let single = MallowsFairRanker::new(0.5, 1, Criterion::FirstSample).unwrap();
+    let best = MallowsFairRanker::new(0.5, 15, Criterion::MaxNdcg(scores.clone())).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let reps = 60;
+    let nd_single: Vec<f64> = (0..reps)
+        .map(|_| {
+            let out = single.rank(&center, &mut rng).unwrap();
+            quality::ndcg(&out.ranking, &scores).unwrap()
+        })
+        .collect();
+    let nd_best: Vec<f64> = (0..reps)
+        .map(|_| {
+            let out = best.rank(&center, &mut rng).unwrap();
+            quality::ndcg(&out.ranking, &scores).unwrap()
+        })
+        .collect();
+    let r = mann_whitney_u(&nd_single, &nd_best).unwrap();
+    assert!(r.significant_at(0.01), "p = {} should detect m=1 vs m=15", r.p_value);
+    // sanity: identical samples are not flagged
+    let same = mann_whitney_u(&nd_single, &nd_single).unwrap();
+    assert!(!same.significant_at(0.05));
+}
+
+#[test]
+fn cayley_noise_reduces_infeasible_index_of_segregated_ranking() {
+    use fairness_ranking::fairness::infeasible;
+    let n = 12;
+    let groups = GroupAssignment::binary_split(n, n / 2);
+    let bounds = FairnessBounds::from_assignment(&groups);
+    let center = Permutation::identity(n); // fully segregated
+    let base =
+        infeasible::two_sided_infeasible_index(&center, &groups, &bounds).unwrap() as f64;
+    let model = CayleyMallows::new(center, 0.5).unwrap();
+    let mut rng = StdRng::seed_from_u64(31);
+    let draws = 400;
+    let mean: f64 = (0..draws)
+        .map(|_| {
+            let s = model.sample(&mut rng);
+            infeasible::two_sided_infeasible_index(&s, &groups, &bounds).unwrap() as f64
+        })
+        .sum::<f64>()
+        / draws as f64;
+    assert!(mean < base, "Cayley noise must reduce mean II: {mean:.2} vs {base:.2}");
+}
+
+#[test]
+fn soft_expected_index_interpolates_between_hard_and_uninformative() {
+    let n = 10;
+    let groups = GroupAssignment::binary_split(n, n / 2);
+    let bounds = FairnessBounds::from_assignment(&groups);
+    let pi = Permutation::identity(n);
+    use fairness_ranking::fairness::infeasible;
+    let hard = infeasible::two_sided_infeasible_index(&pi, &groups, &bounds).unwrap() as f64;
+    let soft0 = SoftGroupAssignment::from_noisy_labels(&groups, 0.0).unwrap();
+    assert!(
+        (soft0.expected_infeasible_index(&pi, &bounds).unwrap() - hard).abs() < 1e-9,
+        "ε = 0 must equal the hard index"
+    );
+    // at ε = 0.5 the labels are pure noise: the ranking identity is
+    // irrelevant, so any two rankings get (almost) the same expectation.
+    let soft_max = SoftGroupAssignment::from_noisy_labels(&groups, 0.5).unwrap();
+    let a = soft_max.expected_infeasible_index(&pi, &bounds).unwrap();
+    let other = Permutation::from_order((0..n).rev().collect::<Vec<_>>()).unwrap();
+    let b = soft_max.expected_infeasible_index(&other, &bounds).unwrap();
+    assert!((a - b).abs() < 1e-9, "uninformative labels must erase ranking identity");
+}
+
+#[test]
+fn pipeline_end_to_end_with_every_stage_combination() {
+    let n = 10;
+    let groups = GroupAssignment::binary_split(n, n / 2);
+    let bounds = FairnessBounds::from_assignment_with_tolerance(&groups, 0.1);
+    let mut rng = StdRng::seed_from_u64(17);
+    let votes: Vec<Permutation> = {
+        let model = MallowsModel::new(Permutation::identity(n), 1.0).unwrap();
+        model.sample_many(7, &mut rng)
+    };
+    for agg in [
+        Aggregator::Borda,
+        Aggregator::Copeland,
+        Aggregator::Footrule,
+        Aggregator::Kemeny,
+        Aggregator::MarkovMc4,
+    ] {
+        for post in [
+            PostProcessor::None,
+            PostProcessor::Mallows { theta: 1.0, samples: 5 },
+            PostProcessor::GrBinaryIpf,
+            PostProcessor::ApproxIpf,
+        ] {
+            let out = FairAggregationPipeline::new(agg, post.clone())
+                .run(&votes, &groups, &bounds, &mut rng)
+                .unwrap_or_else(|e| panic!("{agg:?}/{post:?}: {e}"));
+            assert_eq!(out.fair_ranking.len(), n);
+            assert!(out.fair_total_kt >= out.consensus_total_kt || !matches!(post, PostProcessor::None),
+                "consensus minimizes distance among these stages");
+            if matches!(post, PostProcessor::GrBinaryIpf) {
+                assert_eq!(out.fair_infeasible, 0, "{agg:?}: GrBinaryIPF must be exact");
+            }
+        }
+    }
+}

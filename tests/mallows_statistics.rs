@@ -1,0 +1,82 @@
+//! Statistical integration tests of the Mallows machinery through the
+//! umbrella crate's public API.
+
+use fairness_ranking::mallows::{dispersion, mle, MallowsModel};
+use fairness_ranking::ranking::{distance, Permutation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn sampling_estimation_round_trip() {
+    // sample from a known model, re-estimate centre and dispersion
+    let center = Permutation::from_order(vec![5, 2, 7, 0, 4, 1, 6, 3]).unwrap();
+    let true_theta = 1.2;
+    let model = MallowsModel::new(center.clone(), true_theta).unwrap();
+    let mut rng = StdRng::seed_from_u64(0x57A7);
+    let samples = model.sample_many(4000, &mut rng);
+
+    let est_center = mle::estimate_center_borda(&samples).unwrap();
+    assert_eq!(est_center, center, "Borda must recover the centre at θ = 1.2");
+
+    let est_theta = mle::estimate_theta(&est_center, &samples).unwrap();
+    assert!((est_theta - true_theta).abs() < 0.12, "estimated θ = {est_theta}");
+}
+
+#[test]
+fn dispersion_tuning_controls_observed_displacement() {
+    let n = 30;
+    let target_fraction = 0.08;
+    let theta = dispersion::theta_for_normalized_distance(n, target_fraction);
+    let model = MallowsModel::new(Permutation::identity(n), theta).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xD15);
+    let draws = 3000;
+    let max_d = (n * (n - 1) / 2) as f64;
+    let mean_fraction: f64 = (0..draws)
+        .map(|_| {
+            distance::kendall_tau(&model.sample(&mut rng), model.center()).unwrap() as f64 / max_d
+        })
+        .sum::<f64>()
+        / draws as f64;
+    assert!(
+        (mean_fraction - target_fraction).abs() < 0.01,
+        "observed displacement fraction {mean_fraction:.4} vs target {target_fraction}"
+    );
+}
+
+#[test]
+fn pmf_is_exchangeable_in_the_center() {
+    // relabelling items must not change the distribution's shape:
+    // pmf_M(π₀,θ)(π) depends only on d(π, π₀)
+    let theta = 0.9;
+    let a = MallowsModel::new(Permutation::identity(5), theta).unwrap();
+    let b = MallowsModel::new(Permutation::from_order(vec![4, 1, 3, 0, 2]).unwrap(), theta)
+        .unwrap();
+    for pi in Permutation::enumerate_all(5) {
+        let da = distance::kendall_tau(&pi, a.center()).unwrap();
+        // find a permutation at the same distance from b's centre
+        for rho in Permutation::enumerate_all(5) {
+            if distance::kendall_tau(&rho, b.center()).unwrap() == da {
+                let pa = a.pmf(&pi).unwrap();
+                let pb = b.pmf(&rho).unwrap();
+                assert!((pa - pb).abs() < 1e-12);
+                break;
+            }
+        }
+    }
+}
+
+#[test]
+fn distance_distribution_matches_theory_at_theta_zero() {
+    // at θ = 0 the expected KT distance is n(n−1)/4 and the distribution
+    // is the uniform inversion-number law
+    let n = 8;
+    let model = MallowsModel::new(Permutation::identity(n), 0.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(0x0);
+    let draws = 5000;
+    let mean: f64 = (0..draws)
+        .map(|_| distance::kendall_tau(&model.sample(&mut rng), model.center()).unwrap() as f64)
+        .sum::<f64>()
+        / draws as f64;
+    let expect = n as f64 * (n as f64 - 1.0) / 4.0;
+    assert!((mean - expect).abs() < 0.35, "mean {mean} vs {expect}");
+}

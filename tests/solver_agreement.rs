@@ -1,0 +1,135 @@
+//! Cross-solver agreement on randomized instances: every polynomial
+//! algorithm must match its exhaustive oracle, and the independent exact
+//! solvers must agree with each other.
+
+use fairness_ranking::baselines::{self, brute, IpfConfig};
+use fairness_ranking::fairness::{FairnessBounds, GroupAssignment};
+use fairness_ranking::ranking::quality::Discount;
+use fairness_ranking::ranking::{distance, quality, Permutation};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_groups(n: usize, g: usize, rng: &mut StdRng) -> GroupAssignment {
+    // ensure every group is non-empty so proportional bounds are sane
+    loop {
+        let v: Vec<usize> = (0..n).map(|_| rng.random_range(0..g)).collect();
+        let ga = GroupAssignment::new(v, g).unwrap();
+        if ga.group_sizes().iter().all(|&s| s > 0) {
+            return ga;
+        }
+    }
+}
+
+#[test]
+fn ipf_always_matches_footrule_oracle() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for trial in 0..25 {
+        let n = 6 + trial % 2;
+        let g = 2 + trial % 2;
+        let sigma = Permutation::random(n, &mut rng);
+        let groups = random_groups(n, g, &mut rng);
+        let bounds = FairnessBounds::from_assignment_with_tolerance(&groups, 0.05);
+        let out = baselines::approx_multi_valued_ipf(
+            &sigma,
+            &groups,
+            &bounds,
+            &IpfConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        match brute::min_footrule_fair(&sigma, &groups, &bounds) {
+            Some((_, best)) => {
+                assert!(out.feasible, "trial {trial}: oracle feasible but IPF flagged infeasible");
+                assert_eq!(out.footrule, best, "trial {trial}: footrule mismatch");
+            }
+            None => assert!(!out.feasible, "trial {trial}: oracle infeasible but IPF claims fair"),
+        }
+    }
+}
+
+#[test]
+fn gr_binary_always_matches_kendall_oracle() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for trial in 0..25 {
+        let n = 7;
+        let sigma = Permutation::random(n, &mut rng);
+        let groups = random_groups(n, 2, &mut rng);
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let oracle = brute::min_kendall_fair(&sigma, &groups, &bounds);
+        let out = baselines::gr_binary_ipf(&sigma, &groups, &bounds);
+        match (oracle, out) {
+            (Some((_, best)), Ok(pi)) => {
+                let got = distance::kendall_tau(&pi, &sigma).unwrap();
+                assert_eq!(got, best, "trial {trial}");
+            }
+            (None, Err(_)) => {}
+            (oracle, out) => panic!("trial {trial}: oracle {oracle:?} vs algorithm {out:?}"),
+        }
+    }
+}
+
+#[test]
+fn dp_ilp_and_oracle_agree_on_dcg() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for trial in 0..10 {
+        let n = 6;
+        let scores: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..1.0)).collect();
+        let groups = random_groups(n, 2, &mut rng);
+        let bounds = FairnessBounds::from_assignment_with_tolerance(&groups, 0.1);
+        let tables = bounds.tables(n);
+        let dcg = |pi: &Permutation| quality::dcg_at(pi, &scores, n, Discount::Log2).unwrap();
+
+        let oracle = brute::max_dcg_fair(&scores, &groups, &tables, Discount::Log2);
+        let dp = baselines::optimal_fair_ranking_dp(&scores, &groups, &tables, Discount::Log2);
+        let ilp = baselines::optimal_fair_ranking_ilp(&scores, &groups, &tables, Discount::Log2);
+        match oracle {
+            Some((_, best)) => {
+                let dp = dp.expect("oracle feasible");
+                let ilp = ilp.expect("oracle feasible");
+                assert!((dcg(&dp) - best).abs() < 1e-9, "trial {trial}: DP vs oracle");
+                assert!((dcg(&ilp) - best).abs() < 1e-6, "trial {trial}: ILP vs oracle");
+                assert!(brute::is_fair_tables(&dp, &groups, &tables));
+                assert!(brute::is_fair_tables(&ilp, &groups, &tables));
+            }
+            None => {
+                assert!(dp.is_err(), "trial {trial}: DP should be infeasible");
+                assert!(ilp.is_err(), "trial {trial}: ILP should be infeasible");
+            }
+        }
+    }
+}
+
+#[test]
+fn hungarian_agrees_with_ilp_on_assignment_instances() {
+    // the assignment solver and the generic ILP must find the same
+    // optimum on pure assignment problems
+    use fairness_ranking::assignment::{solve, CostMatrix};
+    use fairness_ranking::lp::{solve_ilp, Problem, Relation};
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..5 {
+        let n = 4;
+        let m = CostMatrix::from_fn(n, |_, _| rng.random_range(0.0..9.0)).unwrap();
+        let hung = solve(&m).unwrap();
+
+        let var = |i: usize, j: usize| i * n + j;
+        let mut obj = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                obj[var(i, j)] = m.at(i, j);
+            }
+        }
+        let mut p = Problem::minimize(obj);
+        for i in 0..n {
+            p.add_constraint((0..n).map(|j| (var(i, j), 1.0)).collect(), Relation::Eq, 1.0)
+                .unwrap();
+            p.add_constraint((0..n).map(|j| (var(j, i), 1.0)).collect(), Relation::Eq, 1.0)
+                .unwrap();
+        }
+        for v in 0..n * n {
+            p.set_integer(v, true);
+            p.set_upper_bound(v, 1.0).unwrap();
+        }
+        let ilp = solve_ilp(&p).unwrap();
+        assert!((hung.total_cost - ilp.objective).abs() < 1e-6);
+    }
+}
