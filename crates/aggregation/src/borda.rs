@@ -34,7 +34,10 @@ pub fn borda_weighted(votes: &[Permutation], weights: &[f64]) -> Result<Permutat
     }
     let mut items: Vec<usize> = (0..n).collect();
     items.sort_by(|&a, &b| {
-        total[a].partial_cmp(&total[b]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        total[a]
+            .partial_cmp(&total[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
     Ok(Permutation::from_order_unchecked(items))
 }

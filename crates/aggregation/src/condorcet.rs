@@ -55,8 +55,7 @@ pub fn smith_set(votes: &[Permutation]) -> Result<Vec<usize>> {
     let beats = |a: usize, b: usize| wins[a][b] > wins[b][a];
     // Copeland score: #strict wins; candidates sorted descending.
     let mut items: Vec<usize> = (0..n).collect();
-    let score =
-        |a: usize| (0..n).filter(|&b| b != a && beats(a, b)).count();
+    let score = |a: usize| (0..n).filter(|&b| b != a && beats(a, b)).count();
     items.sort_by_key(|&a| std::cmp::Reverse(score(a)));
     // grow the prefix until it dominates the suffix
     let mut size = 1usize;
@@ -82,7 +81,10 @@ mod tests {
     use crate::kemeny::kemeny_exact;
 
     fn votes(orders: &[&[usize]]) -> Vec<Permutation> {
-        orders.iter().map(|o| Permutation::from_order(o.to_vec()).unwrap()).collect()
+        orders
+            .iter()
+            .map(|o| Permutation::from_order(o.to_vec()).unwrap())
+            .collect()
     }
 
     #[test]
@@ -108,12 +110,7 @@ mod tests {
 
     #[test]
     fn kemeny_respects_condorcet_order() {
-        let v = votes(&[
-            &[0, 1, 2, 3],
-            &[0, 2, 1, 3],
-            &[1, 0, 2, 3],
-            &[0, 1, 3, 2],
-        ]);
+        let v = votes(&[&[0, 1, 2, 3], &[0, 2, 1, 3], &[1, 0, 2, 3], &[0, 1, 3, 2]]);
         let k = kemeny_exact(&v).unwrap();
         assert!(is_condorcet_order(&k, &v).unwrap());
     }

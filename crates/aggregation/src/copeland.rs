@@ -24,7 +24,10 @@ pub fn copeland(votes: &[Permutation]) -> Result<Permutation> {
     }
     let mut items: Vec<usize> = (0..n).collect();
     items.sort_by(|&a, &b| {
-        score[b].partial_cmp(&score[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        score[b]
+            .partial_cmp(&score[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
     Ok(Permutation::from_order_unchecked(items))
 }

@@ -19,7 +19,10 @@ pub fn footrule_optimal(votes: &[Permutation]) -> Result<Permutation> {
     }
     let positions: Vec<Vec<usize>> = votes.iter().map(|v| v.positions()).collect();
     let costs = CostMatrix::from_fn(n, |item, slot| {
-        positions.iter().map(|pos| pos[item].abs_diff(slot) as f64).sum()
+        positions
+            .iter()
+            .map(|pos| pos[item].abs_diff(slot) as f64)
+            .sum()
     })
     .expect("costs are finite");
     let sol = assignment_solver::solve(&costs).expect("square matrix");
@@ -82,7 +85,10 @@ mod tests {
             let kemeny = crate::kemeny::kemeny_exact(&votes).unwrap();
             let foot_kt = total_kendall_distance(&foot, &votes).unwrap();
             let opt_kt = total_kendall_distance(&kemeny, &votes).unwrap();
-            assert!(foot_kt <= 2 * opt_kt, "footrule aggregate KT {foot_kt} vs 2×{opt_kt}");
+            assert!(
+                foot_kt <= 2 * opt_kt,
+                "footrule aggregate KT {foot_kt} vs 2×{opt_kt}"
+            );
         }
     }
 

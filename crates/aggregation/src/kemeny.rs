@@ -8,7 +8,7 @@
 //! never worsens the objective.
 
 use crate::{pairwise_wins, validate, Result};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use ranking_core::{distance, Permutation};
 
 /// Total Kendall tau distance from `pi` to all votes — the Kemeny
@@ -17,10 +17,11 @@ pub fn total_kendall_distance(pi: &Permutation, votes: &[Permutation]) -> Result
     validate(votes)?;
     let mut total = 0u64;
     for v in votes {
-        total += distance::kendall_tau(pi, v).map_err(|_| crate::AggregationError::LengthMismatch {
-            expected: pi.len(),
-            got: v.len(),
-        })?;
+        total +=
+            distance::kendall_tau(pi, v).map_err(|_| crate::AggregationError::LengthMismatch {
+                expected: pi.len(),
+                got: v.len(),
+            })?;
     }
     Ok(total)
 }

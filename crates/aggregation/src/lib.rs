@@ -75,7 +75,10 @@ pub(crate) fn validate(votes: &[Permutation]) -> Result<usize> {
     let n = first.len();
     for v in votes {
         if v.len() != n {
-            return Err(AggregationError::LengthMismatch { expected: n, got: v.len() });
+            return Err(AggregationError::LengthMismatch {
+                expected: n,
+                got: v.len(),
+            });
         }
     }
     Ok(n)
@@ -110,7 +113,10 @@ mod tests {
         let votes = vec![Permutation::identity(3), Permutation::identity(4)];
         assert!(matches!(
             validate(&votes),
-            Err(AggregationError::LengthMismatch { expected: 3, got: 4 })
+            Err(AggregationError::LengthMismatch {
+                expected: 3,
+                got: 4
+            })
         ));
     }
 

@@ -42,7 +42,12 @@ pub struct MarkovConfig {
 
 impl Default for MarkovConfig {
     fn default() -> Self {
-        MarkovConfig { kind: ChainKind::Majority, damping: 0.05, tolerance: 1e-12, max_iters: 10_000 }
+        MarkovConfig {
+            kind: ChainKind::Majority,
+            damping: 0.05,
+            tolerance: 1e-12,
+            max_iters: 10_000,
+        }
     }
 }
 
@@ -60,10 +65,7 @@ impl Default for MarkovConfig {
 /// let consensus = markov_chain_aggregate(&votes, &MarkovConfig::default()).unwrap();
 /// assert_eq!(consensus.item_at(0), 0); // 0 beats both others pairwise
 /// ```
-pub fn markov_chain_aggregate(
-    votes: &[Permutation],
-    config: &MarkovConfig,
-) -> Result<Permutation> {
+pub fn markov_chain_aggregate(votes: &[Permutation], config: &MarkovConfig) -> Result<Permutation> {
     let stationary = stationary_distribution(votes, config)?;
     let mut items: Vec<usize> = (0..stationary.len()).collect();
     items.sort_by(|&a, &b| {
@@ -76,10 +78,7 @@ pub fn markov_chain_aggregate(
 }
 
 /// The stationary distribution of the configured chain over items.
-pub fn stationary_distribution(
-    votes: &[Permutation],
-    config: &MarkovConfig,
-) -> Result<Vec<f64>> {
+pub fn stationary_distribution(votes: &[Permutation], config: &MarkovConfig) -> Result<Vec<f64>> {
     let n = validate(votes)?;
     let wins = pairwise_wins(votes)?;
     let m = votes.len() as f64;
@@ -137,14 +136,20 @@ mod tests {
     use crate::condorcet::condorcet_winner;
 
     fn votes(orders: &[&[usize]]) -> Vec<Permutation> {
-        orders.iter().map(|o| Permutation::from_order(o.to_vec()).unwrap()).collect()
+        orders
+            .iter()
+            .map(|o| Permutation::from_order(o.to_vec()).unwrap())
+            .collect()
     }
 
     #[test]
     fn stationary_sums_to_one() {
         let v = votes(&[&[0, 1, 2, 3], &[1, 0, 3, 2], &[0, 1, 3, 2]]);
         for kind in [ChainKind::Majority, ChainKind::Proportional] {
-            let cfg = MarkovConfig { kind, ..Default::default() };
+            let cfg = MarkovConfig {
+                kind,
+                ..Default::default()
+            };
             let s = stationary_distribution(&v, &cfg).unwrap();
             assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
             assert!(s.iter().all(|&x| x >= 0.0));
@@ -164,7 +169,10 @@ mod tests {
         let order = vec![3, 1, 4, 0, 2];
         let v = vec![Permutation::from_order(order.clone()).unwrap(); 5];
         for kind in [ChainKind::Majority, ChainKind::Proportional] {
-            let cfg = MarkovConfig { kind, ..Default::default() };
+            let cfg = MarkovConfig {
+                kind,
+                ..Default::default()
+            };
             let consensus = markov_chain_aggregate(&v, &cfg).unwrap();
             assert_eq!(consensus.as_order(), &order[..], "{kind:?}");
         }
@@ -172,20 +180,21 @@ mod tests {
 
     #[test]
     fn mc3_and_mc4_agree_on_strong_majorities() {
-        let v = votes(&[
-            &[0, 1, 2, 3],
-            &[0, 1, 2, 3],
-            &[0, 1, 3, 2],
-            &[1, 0, 2, 3],
-        ]);
+        let v = votes(&[&[0, 1, 2, 3], &[0, 1, 2, 3], &[0, 1, 3, 2], &[1, 0, 2, 3]]);
         let mc4 = markov_chain_aggregate(
             &v,
-            &MarkovConfig { kind: ChainKind::Majority, ..Default::default() },
+            &MarkovConfig {
+                kind: ChainKind::Majority,
+                ..Default::default()
+            },
         )
         .unwrap();
         let mc3 = markov_chain_aggregate(
             &v,
-            &MarkovConfig { kind: ChainKind::Proportional, ..Default::default() },
+            &MarkovConfig {
+                kind: ChainKind::Proportional,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(mc4.item_at(0), 0);
@@ -197,7 +206,10 @@ mod tests {
         let v = votes(&[&[0, 1, 2], &[1, 2, 0], &[2, 0, 1]]);
         let s = stationary_distribution(&v, &MarkovConfig::default()).unwrap();
         for &x in &s {
-            assert!((x - 1.0 / 3.0).abs() < 1e-6, "cycle should be symmetric: {s:?}");
+            assert!(
+                (x - 1.0 / 3.0).abs() < 1e-6,
+                "cycle should be symmetric: {s:?}"
+            );
         }
     }
 

@@ -3,10 +3,12 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rank_aggregation::markov::{markov_chain_aggregate, stationary_distribution, ChainKind, MarkovConfig};
+use rank_aggregation::markov::{
+    markov_chain_aggregate, stationary_distribution, ChainKind, MarkovConfig,
+};
 use rank_aggregation::{
-    borda, condorcet_winner, copeland, is_condorcet_order, kemeny_exact, kwik_sort,
-    local_search, smith_set, total_kendall_distance,
+    borda, condorcet_winner, copeland, is_condorcet_order, kemeny_exact, kwik_sort, local_search,
+    smith_set, total_kendall_distance,
 };
 use ranking_core::Permutation;
 

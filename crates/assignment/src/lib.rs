@@ -41,7 +41,10 @@ impl std::fmt::Display for AssignmentError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AssignmentError::NotSquare { rows, cols } => {
-                write!(f, "cost matrix must be square, got {rows} rows and a row of length {cols}")
+                write!(
+                    f,
+                    "cost matrix must be square, got {rows} rows and a row of length {cols}"
+                )
             }
             AssignmentError::NanCost { row, col } => write!(f, "NaN cost at ({row}, {col})"),
         }
@@ -64,7 +67,10 @@ impl CostMatrix {
         let mut data = Vec::with_capacity(n * n);
         for (r, row) in rows.iter().enumerate() {
             if row.len() != n {
-                return Err(AssignmentError::NotSquare { rows: n, cols: row.len() });
+                return Err(AssignmentError::NotSquare {
+                    rows: n,
+                    cols: row.len(),
+                });
             }
             for (c, &v) in row.iter().enumerate() {
                 if v.is_nan() {
@@ -77,7 +83,10 @@ impl CostMatrix {
     }
 
     /// Build an `n×n` matrix by evaluating `f(row, col)`.
-    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Result<Self, AssignmentError> {
+    pub fn from_fn(
+        n: usize,
+        mut f: impl FnMut(usize, usize) -> f64,
+    ) -> Result<Self, AssignmentError> {
         let mut data = Vec::with_capacity(n * n);
         for r in 0..n {
             for c in 0..n {
@@ -123,7 +132,11 @@ pub struct Assignment {
 pub fn solve(costs: &CostMatrix) -> Result<Assignment, AssignmentError> {
     let n = costs.n;
     if n == 0 {
-        return Ok(Assignment { row_to_col: vec![], col_to_row: vec![], total_cost: 0.0 });
+        return Ok(Assignment {
+            row_to_col: vec![],
+            col_to_row: vec![],
+            total_cost: 0.0,
+        });
     }
 
     const INF: f64 = f64::INFINITY;
@@ -188,8 +201,16 @@ pub fn solve(costs: &CostMatrix) -> Result<Assignment, AssignmentError> {
         row_to_col[r] = j - 1;
         col_to_row[j - 1] = r;
     }
-    let total_cost = row_to_col.iter().enumerate().map(|(r, &c)| costs.at(r, c)).sum();
-    Ok(Assignment { row_to_col, col_to_row, total_cost })
+    let total_cost = row_to_col
+        .iter()
+        .enumerate()
+        .map(|(r, &c)| costs.at(r, c))
+        .sum();
+    Ok(Assignment {
+        row_to_col,
+        col_to_row,
+        total_cost,
+    })
 }
 
 /// Brute-force assignment by enumerating all permutations; test oracle
@@ -209,7 +230,11 @@ pub fn solve_brute_force(costs: &CostMatrix) -> Assignment {
     for (r, &c) in row_to_col.iter().enumerate() {
         col_to_row[c] = r;
     }
-    Assignment { row_to_col, col_to_row, total_cost }
+    Assignment {
+        row_to_col,
+        col_to_row,
+        total_cost,
+    }
 }
 
 fn permute(p: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {

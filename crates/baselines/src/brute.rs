@@ -112,10 +112,15 @@ mod tests {
     #[test]
     fn dcg_oracle_prefers_high_scores_up_front() {
         let groups = GroupAssignment::alternating(4);
-        let tables = FairnessBounds::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap().tables(4);
+        let tables = FairnessBounds::new(vec![0.0, 0.0], vec![1.0, 1.0])
+            .unwrap()
+            .tables(4);
         let scores = [0.1, 0.9, 0.2, 0.8];
         let (pi, _) = max_dcg_fair(&scores, &groups, &tables, Discount::Log2).unwrap();
-        assert_eq!(pi.as_order(), Permutation::sorted_by_scores_desc(&scores).as_order());
+        assert_eq!(
+            pi.as_order(),
+            Permutation::sorted_by_scores_desc(&scores).as_order()
+        );
     }
 
     #[test]

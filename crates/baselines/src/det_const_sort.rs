@@ -44,10 +44,14 @@ pub fn det_const_sort<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Permutation> {
     if scores.len() != groups.len() {
-        return Err(BaselineError::ShapeMismatch { what: "scores vs groups" });
+        return Err(BaselineError::ShapeMismatch {
+            what: "scores vs groups",
+        });
     }
     if bounds.num_groups() != groups.num_groups() {
-        return Err(BaselineError::ShapeMismatch { what: "bounds vs groups" });
+        return Err(BaselineError::ShapeMismatch {
+            what: "bounds vs groups",
+        });
     }
     let n = scores.len();
     let g = groups.num_groups();
@@ -57,7 +61,10 @@ pub fn det_const_sort<R: Rng + ?Sized>(
     let mut queues: Vec<Vec<usize>> = (0..g).map(|p| groups.members(p)).collect();
     for q in queues.iter_mut() {
         q.sort_by(|&a, &b| {
-            scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
         });
     }
     let mut next = vec![0usize; g];
@@ -82,8 +89,9 @@ pub fn det_const_sort<R: Rng + ?Sized>(
             temp_min[p] = (raw.floor().max(0.0) as usize).min(sizes[p]);
         }
         // Groups whose minimum requirement increased.
-        let mut changed: Vec<usize> =
-            (0..g).filter(|&p| min_counts[p] < temp_min[p] && next[p] < sizes[p]).collect();
+        let mut changed: Vec<usize> = (0..g)
+            .filter(|&p| min_counts[p] < temp_min[p] && next[p] < sizes[p])
+            .collect();
         if changed.is_empty() {
             continue;
         }
@@ -120,9 +128,14 @@ pub fn det_const_sort<R: Rng + ?Sized>(
     }
 
     // Append any items the minimum requirements never demanded, by score.
-    let mut rest: Vec<usize> = (0..g).flat_map(|p| queues[p][next[p]..].iter().copied()).collect();
+    let mut rest: Vec<usize> = (0..g)
+        .flat_map(|p| queues[p][next[p]..].iter().copied())
+        .collect();
     rest.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
     ranked.extend(rest);
 
@@ -145,8 +158,14 @@ mod tests {
         seed: u64,
     ) -> Permutation {
         let mut rng = StdRng::seed_from_u64(seed);
-        det_const_sort(scores, groups, bounds, &DetConstSortConfig { noise_sd: sd }, &mut rng)
-            .unwrap()
+        det_const_sort(
+            scores,
+            groups,
+            bounds,
+            &DetConstSortConfig { noise_sd: sd },
+            &mut rng,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -208,8 +227,13 @@ mod tests {
         let groups = GroupAssignment::binary_split(8, 4);
         let bounds = FairnessBounds::from_assignment(&groups);
         let base = run(&scores, &groups, &bounds, 0.0, 7);
-        let noisy: Vec<_> = (0..20).map(|s| run(&scores, &groups, &bounds, 2.0, s)).collect();
-        assert!(noisy.iter().any(|p| p != &base), "σ=2 noise never changed the ranking");
+        let noisy: Vec<_> = (0..20)
+            .map(|s| run(&scores, &groups, &bounds, 2.0, s))
+            .collect();
+        assert!(
+            noisy.iter().any(|p| p != &base),
+            "σ=2 noise never changed the ranking"
+        );
     }
 
     #[test]
@@ -218,7 +242,13 @@ mod tests {
         let bounds = FairnessBounds::from_assignment(&groups);
         let mut rng = StdRng::seed_from_u64(0);
         assert!(matches!(
-            det_const_sort(&[1.0], &groups, &bounds, &DetConstSortConfig::default(), &mut rng),
+            det_const_sort(
+                &[1.0],
+                &groups,
+                &bounds,
+                &DetConstSortConfig::default(),
+                &mut rng
+            ),
             Err(BaselineError::ShapeMismatch { .. })
         ));
     }

@@ -162,7 +162,9 @@ pub fn ranked_group_fairness_test(
     alpha: f64,
 ) -> Result<bool> {
     if pi.len() != groups.len() {
-        return Err(BaselineError::ShapeMismatch { what: "ranking vs groups length" });
+        return Err(BaselineError::ShapeMismatch {
+            what: "ranking vs groups length",
+        });
     }
     let table = mtable(pi.len(), p, alpha);
     let mut count = 0usize;
@@ -190,7 +192,11 @@ pub struct FaIrConfig {
 
 impl Default for FaIrConfig {
     fn default() -> Self {
-        FaIrConfig { min_proportion: 0.5, significance: 0.1, adjust: true }
+        FaIrConfig {
+            min_proportion: 0.5,
+            significance: 0.1,
+            adjust: true,
+        }
     }
 }
 
@@ -211,16 +217,22 @@ pub fn fa_ir(
     config: &FaIrConfig,
 ) -> Result<Vec<usize>> {
     if scores.len() != groups.len() {
-        return Err(BaselineError::ShapeMismatch { what: "scores vs groups length" });
+        return Err(BaselineError::ShapeMismatch {
+            what: "scores vs groups length",
+        });
     }
     if k > scores.len() {
-        return Err(BaselineError::ShapeMismatch { what: "k exceeds number of candidates" });
+        return Err(BaselineError::ShapeMismatch {
+            what: "k exceeds number of candidates",
+        });
     }
     if protected >= groups.num_groups() {
-        return Err(BaselineError::Fairness(fairness_metrics::FairnessError::InvalidGroup {
-            group: protected,
-            num_groups: groups.num_groups(),
-        }));
+        return Err(BaselineError::Fairness(
+            fairness_metrics::FairnessError::InvalidGroup {
+                group: protected,
+                num_groups: groups.num_groups(),
+            },
+        ));
     }
     let alpha = if config.adjust {
         adjusted_significance(k, config.min_proportion, config.significance)
@@ -260,8 +272,7 @@ pub fn fa_ir(
             // best remaining overall: compare queue heads by score.
             match (next_protected, next_open) {
                 (Some(a), Some(b)) => {
-                    let take_protected = scores[a] > scores[b]
-                        || (scores[a] == scores[b] && a < b);
+                    let take_protected = scores[a] > scores[b] || (scores[a] == scores[b] && a < b);
                     if take_protected {
                         pi += 1;
                         taken_protected += 1;
@@ -327,7 +338,10 @@ mod tests {
         // F(0;1,.5)=.5>.1 → 0; F(0;4,.5)=.0625≤.1, F(1;4,.5)=.3125>.1 → 1
         let t = mtable(10, 0.5, 0.1);
         assert_eq!(t[..4], [0, 0, 0, 1]);
-        assert!(t.windows(2).all(|w| w[0] <= w[1]), "m-table must be monotone");
+        assert!(
+            t.windows(2).all(|w| w[0] <= w[1]),
+            "m-table must be monotone"
+        );
         assert!(t.iter().enumerate().all(|(i, &m)| m <= i + 1));
     }
 
@@ -364,9 +378,7 @@ mod tests {
         let p = 0.4;
         let loose = mtable(12, p, 0.05);
         let tight = mtable(12, p, 0.3);
-        assert!(
-            mtable_failure_probability(&tight, p) >= mtable_failure_probability(&loose, p)
-        );
+        assert!(mtable_failure_probability(&tight, p) >= mtable_failure_probability(&loose, p));
     }
 
     #[test]
@@ -375,17 +387,27 @@ mod tests {
         let ac = adjusted_significance(k, p, alpha);
         assert!(ac <= alpha);
         let fail = mtable_failure_probability(&mtable(k, p, ac), p);
-        assert!(fail <= alpha + 1e-6, "corrected failure prob {fail} exceeds α");
+        assert!(
+            fail <= alpha + 1e-6,
+            "corrected failure prob {fail} exceeds α"
+        );
         // and the correction is not vacuous: uncorrected fails more often.
         let uncorrected = mtable_failure_probability(&mtable(k, p, alpha), p);
-        assert!(uncorrected > alpha, "test only meaningful when correction needed");
+        assert!(
+            uncorrected > alpha,
+            "test only meaningful when correction needed"
+        );
     }
 
     #[test]
     fn fa_ir_without_constraint_is_plain_top_k() {
         let scores = [0.9, 0.1, 0.8, 0.3, 0.7];
         let groups = groups_from(&[0, 1, 0, 1, 0]);
-        let cfg = FaIrConfig { min_proportion: 0.0, significance: 0.1, adjust: false };
+        let cfg = FaIrConfig {
+            min_proportion: 0.0,
+            significance: 0.1,
+            adjust: false,
+        };
         let out = fa_ir(&scores, &groups, 1, 3, &cfg).unwrap();
         assert_eq!(out, vec![0, 2, 4]);
     }
@@ -395,7 +417,11 @@ mod tests {
         // protected items score low: without the constraint none appear.
         let scores = [0.9, 0.8, 0.7, 0.6, 0.2, 0.1];
         let groups = groups_from(&[0, 0, 0, 0, 1, 1]);
-        let cfg = FaIrConfig { min_proportion: 0.5, significance: 0.1, adjust: false };
+        let cfg = FaIrConfig {
+            min_proportion: 0.5,
+            significance: 0.1,
+            adjust: false,
+        };
         let out = fa_ir(&scores, &groups, 1, 6, &cfg).unwrap();
         // output passes its own test by construction
         let table = mtable(6, 0.5, 0.1);
@@ -426,14 +452,24 @@ mod tests {
     fn fa_ir_respects_score_order_within_each_side() {
         let scores = [0.1, 0.9, 0.5, 0.7, 0.3, 0.8];
         let groups = groups_from(&[1, 0, 1, 0, 1, 0]);
-        let cfg = FaIrConfig { min_proportion: 0.5, significance: 0.1, adjust: false };
+        let cfg = FaIrConfig {
+            min_proportion: 0.5,
+            significance: 0.1,
+            adjust: false,
+        };
         let out = fa_ir(&scores, &groups, 1, 6, &cfg).unwrap();
         // protected items 0, 2, 4 must appear in descending-score order
-        let prot_order: Vec<usize> =
-            out.iter().copied().filter(|&i| groups.group_of(i) == 1).collect();
+        let prot_order: Vec<usize> = out
+            .iter()
+            .copied()
+            .filter(|&i| groups.group_of(i) == 1)
+            .collect();
         assert_eq!(prot_order, vec![2, 4, 0]);
-        let open_order: Vec<usize> =
-            out.iter().copied().filter(|&i| groups.group_of(i) == 0).collect();
+        let open_order: Vec<usize> = out
+            .iter()
+            .copied()
+            .filter(|&i| groups.group_of(i) == 0)
+            .collect();
         assert_eq!(open_order, vec![1, 5, 3]);
     }
 
@@ -442,7 +478,11 @@ mod tests {
         let scores = [0.9, 0.8, 0.7, 0.6];
         let groups = groups_from(&[0, 0, 0, 1]);
         // demand essentially all-protected prefixes
-        let cfg = FaIrConfig { min_proportion: 0.99, significance: 0.5, adjust: false };
+        let cfg = FaIrConfig {
+            min_proportion: 0.99,
+            significance: 0.5,
+            adjust: false,
+        };
         assert!(matches!(
             fa_ir(&scores, &groups, 1, 4, &cfg),
             Err(BaselineError::Infeasible)
@@ -463,8 +503,7 @@ mod tests {
         let groups = groups_from(&[0, 0, 0, 0, 1, 1, 1, 1]);
         let segregated = Permutation::identity(8); // protected all at bottom
         assert!(!ranked_group_fairness_test(&segregated, &groups, 1, 0.5, 0.1).unwrap());
-        let interleaved =
-            Permutation::from_order(vec![4, 0, 5, 1, 6, 2, 7, 3]).unwrap();
+        let interleaved = Permutation::from_order(vec![4, 0, 5, 1, 6, 2, 7, 3]).unwrap();
         assert!(ranked_group_fairness_test(&interleaved, &groups, 1, 0.5, 0.1).unwrap());
     }
 }

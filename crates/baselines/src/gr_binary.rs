@@ -23,13 +23,19 @@ pub fn gr_binary_ipf(
     bounds: &FairnessBounds,
 ) -> Result<Permutation> {
     if groups.num_groups() != 2 {
-        return Err(BaselineError::NotBinary { got: groups.num_groups() });
+        return Err(BaselineError::NotBinary {
+            got: groups.num_groups(),
+        });
     }
     if sigma.len() != groups.len() {
-        return Err(BaselineError::ShapeMismatch { what: "ranking vs groups" });
+        return Err(BaselineError::ShapeMismatch {
+            what: "ranking vs groups",
+        });
     }
     if bounds.num_groups() != 2 {
-        return Err(BaselineError::ShapeMismatch { what: "bounds vs groups" });
+        return Err(BaselineError::ShapeMismatch {
+            what: "bounds vs groups",
+        });
     }
     let n = sigma.len();
     let positions = sigma.positions();

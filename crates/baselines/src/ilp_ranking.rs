@@ -73,10 +73,14 @@ pub fn optimal_fair_ranking_dp(
 ) -> Result<Permutation> {
     let n = scores.len();
     if n != groups.len() {
-        return Err(BaselineError::ShapeMismatch { what: "scores vs groups" });
+        return Err(BaselineError::ShapeMismatch {
+            what: "scores vs groups",
+        });
     }
     if tables.len() != n {
-        return Err(BaselineError::ShapeMismatch { what: "tables vs items" });
+        return Err(BaselineError::ShapeMismatch {
+            what: "tables vs items",
+        });
     }
     if n == 0 {
         return Ok(Permutation::identity(0));
@@ -89,7 +93,10 @@ pub fn optimal_fair_ranking_dp(
     let mut members: Vec<Vec<usize>> = (0..g).map(|p| groups.members(p)).collect();
     for m in members.iter_mut() {
         m.sort_by(|&a, &b| {
-            scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
         });
     }
 
@@ -146,7 +153,9 @@ pub fn optimal_fair_ranking_dp(
     debug_assert!(frontier.contains_key(&state));
     let mut group_seq = vec![0usize; n];
     for l in (0..n).rev() {
-        let p = *parents[l].get(&state).expect("backpointer exists for reachable state");
+        let p = *parents[l]
+            .get(&state)
+            .expect("backpointer exists for reachable state");
         group_seq[l] = p;
         state[p] -= 1;
     }
@@ -171,10 +180,14 @@ pub fn optimal_fair_ranking_ilp(
 ) -> Result<Permutation> {
     let n = scores.len();
     if n != groups.len() {
-        return Err(BaselineError::ShapeMismatch { what: "scores vs groups" });
+        return Err(BaselineError::ShapeMismatch {
+            what: "scores vs groups",
+        });
     }
     if tables.len() != n {
-        return Err(BaselineError::ShapeMismatch { what: "tables vs items" });
+        return Err(BaselineError::ShapeMismatch {
+            what: "tables vs items",
+        });
     }
     if n == 0 {
         return Ok(Permutation::identity(0));
@@ -195,11 +208,19 @@ pub fn optimal_fair_ranking_ilp(
     }
     // each position takes exactly one item
     for j in 0..n {
-        problem.add_constraint((0..n).map(|i| (var(i, j), 1.0)).collect(), Relation::Eq, 1.0)?;
+        problem.add_constraint(
+            (0..n).map(|i| (var(i, j), 1.0)).collect(),
+            Relation::Eq,
+            1.0,
+        )?;
     }
     // each item fills at most one position
     for i in 0..n {
-        problem.add_constraint((0..n).map(|j| (var(i, j), 1.0)).collect(), Relation::Le, 1.0)?;
+        problem.add_constraint(
+            (0..n).map(|j| (var(i, j), 1.0)).collect(),
+            Relation::Le,
+            1.0,
+        )?;
     }
     // prefix group bounds
     for l in 1..=n {
@@ -256,8 +277,8 @@ mod tests {
             let bounds = FairnessBounds::from_assignment(&groups);
             let tables = bounds.tables(n);
             let dp = optimal_fair_ranking_dp(&scores, &groups, &tables, Discount::Log2).unwrap();
-            let (_, best) = brute::max_dcg_fair(&scores, &groups, &tables, Discount::Log2)
-                .expect("feasible");
+            let (_, best) =
+                brute::max_dcg_fair(&scores, &groups, &tables, Discount::Log2).expect("feasible");
             assert!(
                 (dcg(&dp, &scores) - best).abs() < 1e-9,
                 "trial {trial}: DP {} vs brute {best}",
@@ -302,9 +323,14 @@ mod tests {
     fn unconstrained_dp_sorts_by_score() {
         let scores = [0.2, 0.9, 0.4, 0.7];
         let groups = GroupAssignment::alternating(4);
-        let tables = FairnessBounds::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap().tables(4);
+        let tables = FairnessBounds::new(vec![0.0, 0.0], vec![1.0, 1.0])
+            .unwrap()
+            .tables(4);
         let dp = optimal_fair_ranking_dp(&scores, &groups, &tables, Discount::Log2).unwrap();
-        assert_eq!(dp.as_order(), Permutation::sorted_by_scores_desc(&scores).as_order());
+        assert_eq!(
+            dp.as_order(),
+            Permutation::sorted_by_scores_desc(&scores).as_order()
+        );
     }
 
     #[test]
@@ -332,8 +358,14 @@ mod tests {
         let noisy = noisy_tables(&bounds, 12, 1.0, &mut rng);
         for k in 0..12 {
             for p in 0..2 {
-                assert!(noisy.min[k][p] <= clean.min[k][p], "noise must lower minimums");
-                assert!(noisy.max[k][p] >= clean.max[k][p].min(k + 1), "noise must raise maximums");
+                assert!(
+                    noisy.min[k][p] <= clean.min[k][p],
+                    "noise must lower minimums"
+                );
+                assert!(
+                    noisy.max[k][p] >= clean.max[k][p].min(k + 1),
+                    "noise must raise maximums"
+                );
             }
         }
     }
@@ -367,8 +399,8 @@ mod tests {
         let scores: Vec<f64> = (0..8).map(|_| rng.random_range(0.0..1.0)).collect();
         let groups = GroupAssignment::binary_split(8, 4);
         let bounds = FairnessBounds::from_assignment(&groups);
-        let tight = optimal_fair_ranking_dp(&scores, &groups, &bounds.tables(8), Discount::Log2)
-            .unwrap();
+        let tight =
+            optimal_fair_ranking_dp(&scores, &groups, &bounds.tables(8), Discount::Log2).unwrap();
         let relaxed_tables = noisy_tables(&bounds, 8, 2.0, &mut rng);
         let relaxed =
             optimal_fair_ranking_dp(&scores, &groups, &relaxed_tables, Discount::Log2).unwrap();

@@ -68,14 +68,22 @@ pub fn approx_multi_valued_ipf<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<IpfOutput> {
     if sigma.len() != groups.len() {
-        return Err(BaselineError::ShapeMismatch { what: "ranking vs groups" });
+        return Err(BaselineError::ShapeMismatch {
+            what: "ranking vs groups",
+        });
     }
     if bounds.num_groups() != groups.num_groups() {
-        return Err(BaselineError::ShapeMismatch { what: "bounds vs groups" });
+        return Err(BaselineError::ShapeMismatch {
+            what: "bounds vs groups",
+        });
     }
     let n = sigma.len();
     if n == 0 {
-        return Ok(IpfOutput { ranking: Permutation::identity(0), feasible: true, footrule: 0 });
+        return Ok(IpfOutput {
+            ranking: Permutation::identity(0),
+            feasible: true,
+            footrule: 0,
+        });
     }
     let g = groups.num_groups();
 
@@ -144,9 +152,13 @@ pub fn approx_multi_valued_ipf<R: Rng + ?Sized>(
     // output directly.
     feasible = feasible
         && fairness_metrics::pfair::is_k_fair(&ranking, groups, bounds, 1).unwrap_or(false);
-    let footrule = ranking_core::distance::footrule(&ranking, sigma)
-        .expect("lengths match by construction");
-    Ok(IpfOutput { ranking, feasible, footrule })
+    let footrule =
+        ranking_core::distance::footrule(&ranking, sigma).expect("lengths match by construction");
+    Ok(IpfOutput {
+        ranking,
+        feasible,
+        footrule,
+    })
 }
 
 #[cfg(test)]
@@ -194,24 +206,23 @@ mod tests {
         for trial in 0..15 {
             let n = 6;
             let sigma = Permutation::random(n, &mut rng);
-            let groups = GroupAssignment::new(
-                (0..n).map(|i| (i + trial) % 2).collect(),
-                2,
-            )
-            .unwrap();
+            let groups =
+                GroupAssignment::new((0..n).map(|i| (i + trial) % 2).collect(), 2).unwrap();
             let bounds = FairnessBounds::from_assignment(&groups);
             let out = vanilla(&sigma, &groups, &bounds);
             let best = brute::min_footrule_fair(&sigma, &groups, &bounds)
                 .expect("feasible by proportional bounds");
             assert!(out.feasible);
-            assert_eq!(out.footrule, best.1, "trial {trial}: IPF footrule suboptimal");
+            assert_eq!(
+                out.footrule, best.1,
+                "trial {trial}: IPF footrule suboptimal"
+            );
         }
     }
 
     #[test]
     fn three_groups_supported() {
-        let groups =
-            GroupAssignment::new(vec![0, 0, 1, 1, 2, 2, 0, 1, 2], 3).unwrap();
+        let groups = GroupAssignment::new(vec![0, 0, 1, 1, 2, 2, 0, 1, 2], 3).unwrap();
         let bounds = FairnessBounds::from_assignment(&groups);
         let sigma = Permutation::identity(9);
         let out = vanilla(&sigma, &groups, &bounds);

@@ -44,10 +44,14 @@ pub fn optimal_fair_ranking_kt(
 ) -> Result<Permutation> {
     let n = sigma.len();
     if groups.len() != n {
-        return Err(BaselineError::ShapeMismatch { what: "ranking vs groups" });
+        return Err(BaselineError::ShapeMismatch {
+            what: "ranking vs groups",
+        });
     }
     if tables.len() != n {
-        return Err(BaselineError::ShapeMismatch { what: "tables vs items" });
+        return Err(BaselineError::ShapeMismatch {
+            what: "tables vs items",
+        });
     }
     let g = groups.num_groups();
     let positions = sigma.positions();
@@ -91,9 +95,7 @@ pub fn optimal_fair_ranking_kt(
                 let mut c2 = counts.clone();
                 c2[p] += 1;
                 // prefix-k feasibility for every group
-                if (0..g).any(|q| {
-                    c2[q] < tables.min[k - 1][q] || c2[q] > tables.max[k - 1][q]
-                }) {
+                if (0..g).any(|q| c2[q] < tables.min[k - 1][q] || c2[q] > tables.max[k - 1][q]) {
                     continue;
                 }
                 let candidate = cost + added;
@@ -214,7 +216,9 @@ mod tests {
     fn trivial_bounds_return_the_input() {
         let sigma = Permutation::from_order(vec![3, 0, 2, 1]).unwrap();
         let groups = GroupAssignment::new(vec![0, 1, 0, 1], 2).unwrap();
-        let tables = FairnessBounds::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap().tables(4);
+        let tables = FairnessBounds::new(vec![0.0, 0.0], vec![1.0, 1.0])
+            .unwrap()
+            .tables(4);
         let out = optimal_fair_ranking_kt(&sigma, &groups, &tables).unwrap();
         assert_eq!(out, sigma, "no constraints → zero-distance solution");
     }

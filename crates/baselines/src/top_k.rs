@@ -43,13 +43,19 @@ pub fn fair_top_k(
 ) -> Result<Vec<usize>> {
     let n = scores.len();
     if n != groups.len() {
-        return Err(BaselineError::ShapeMismatch { what: "scores vs groups" });
+        return Err(BaselineError::ShapeMismatch {
+            what: "scores vs groups",
+        });
     }
     if bounds.num_groups() != groups.num_groups() {
-        return Err(BaselineError::ShapeMismatch { what: "bounds vs groups" });
+        return Err(BaselineError::ShapeMismatch {
+            what: "bounds vs groups",
+        });
     }
     if k > n {
-        return Err(BaselineError::ShapeMismatch { what: "k exceeds item count" });
+        return Err(BaselineError::ShapeMismatch {
+            what: "k exceeds item count",
+        });
     }
     if k == 0 {
         return Ok(Vec::new());
@@ -60,7 +66,10 @@ pub fn fair_top_k(
     let mut members: Vec<Vec<usize>> = (0..g).map(|p| groups.members(p)).collect();
     for m in members.iter_mut() {
         m.sort_by(|&a, &b| {
-            scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
         });
     }
 
@@ -121,7 +130,9 @@ pub fn fair_top_k(
         .expect("non-empty frontier");
     let mut group_seq = vec![0usize; k];
     for l in (0..k).rev() {
-        let p = *parents[l].get(&state).expect("backpointer for reachable state");
+        let p = *parents[l]
+            .get(&state)
+            .expect("backpointer for reachable state");
         group_seq[l] = p;
         state[p] -= 1;
     }
@@ -149,7 +160,10 @@ pub fn fair_top_k_ranking(
     let chosen: std::collections::HashSet<usize> = head.iter().copied().collect();
     let mut rest: Vec<usize> = (0..scores.len()).filter(|i| !chosen.contains(i)).collect();
     rest.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
     let mut order = head;
     order.extend(rest);
@@ -172,19 +186,36 @@ mod tests {
     #[test]
     fn weak_selection_balances_the_shortlist() {
         let (scores, groups, bounds) = setup();
-        let top = fair_top_k(&scores, &groups, &bounds, 4, FairnessMode::Weak, Discount::Log2)
-            .unwrap();
+        let top = fair_top_k(
+            &scores,
+            &groups,
+            &bounds,
+            4,
+            FairnessMode::Weak,
+            Discount::Log2,
+        )
+        .unwrap();
         assert_eq!(top.len(), 4);
         let g1 = top.iter().filter(|&&i| groups.group_of(i) == 1).count();
-        assert_eq!(g1, 2, "weak 4-fairness with 50/50 bounds needs 2 from each group");
+        assert_eq!(
+            g1, 2,
+            "weak 4-fairness with 50/50 bounds needs 2 from each group"
+        );
     }
 
     #[test]
     fn weak_mode_orders_by_score_within_the_shortlist_constraint() {
         let (scores, groups, bounds) = setup();
         // DCG maximal: best items of each group first
-        let top = fair_top_k(&scores, &groups, &bounds, 4, FairnessMode::Weak, Discount::Log2)
-            .unwrap();
+        let top = fair_top_k(
+            &scores,
+            &groups,
+            &bounds,
+            4,
+            FairnessMode::Weak,
+            Discount::Log2,
+        )
+        .unwrap();
         // scores of selected: 9, 8 (group 0 best) and 4, 3 (group 1 best);
         // DCG-optimal order is descending score
         assert_eq!(top, vec![0, 1, 5, 6]);
@@ -193,8 +224,15 @@ mod tests {
     #[test]
     fn strong_mode_interleaves() {
         let (scores, groups, bounds) = setup();
-        let top = fair_top_k(&scores, &groups, &bounds, 6, FairnessMode::Strong, Discount::Log2)
-            .unwrap();
+        let top = fair_top_k(
+            &scores,
+            &groups,
+            &bounds,
+            6,
+            FairnessMode::Strong,
+            Discount::Log2,
+        )
+        .unwrap();
         let ranking = Permutation::from_order_unchecked(
             top.iter()
                 .copied()
@@ -222,10 +260,24 @@ mod tests {
                 .map(|(idx, &i)| scores[i] * Discount::Log2.at(idx + 1))
                 .sum()
         };
-        let weak =
-            fair_top_k(&scores, &groups, &bounds, 6, FairnessMode::Weak, Discount::Log2).unwrap();
-        let strong = fair_top_k(&scores, &groups, &bounds, 6, FairnessMode::Strong, Discount::Log2)
-            .unwrap();
+        let weak = fair_top_k(
+            &scores,
+            &groups,
+            &bounds,
+            6,
+            FairnessMode::Weak,
+            Discount::Log2,
+        )
+        .unwrap();
+        let strong = fair_top_k(
+            &scores,
+            &groups,
+            &bounds,
+            6,
+            FairnessMode::Strong,
+            Discount::Log2,
+        )
+        .unwrap();
         assert!(dcg(&weak) + 1e-9 >= dcg(&strong));
     }
 
@@ -236,7 +288,14 @@ mod tests {
         // demand half of the shortlist from group 0 (one member) at k = 4
         let bounds = FairnessBounds::new(vec![0.5, 0.0], vec![1.0, 1.0]).unwrap();
         assert_eq!(
-            fair_top_k(&scores, &groups, &bounds, 4, FairnessMode::Weak, Discount::Log2),
+            fair_top_k(
+                &scores,
+                &groups,
+                &bounds,
+                4,
+                FairnessMode::Weak,
+                Discount::Log2
+            ),
             Err(BaselineError::Infeasible)
         );
     }
@@ -244,11 +303,25 @@ mod tests {
     #[test]
     fn k_zero_and_k_equals_n() {
         let (scores, groups, bounds) = setup();
-        assert!(fair_top_k(&scores, &groups, &bounds, 0, FairnessMode::Weak, Discount::Log2)
-            .unwrap()
-            .is_empty());
-        let full = fair_top_k(&scores, &groups, &bounds, 10, FairnessMode::Strong, Discount::Log2)
-            .unwrap();
+        assert!(fair_top_k(
+            &scores,
+            &groups,
+            &bounds,
+            0,
+            FairnessMode::Weak,
+            Discount::Log2
+        )
+        .unwrap()
+        .is_empty());
+        let full = fair_top_k(
+            &scores,
+            &groups,
+            &bounds,
+            10,
+            FairnessMode::Strong,
+            Discount::Log2,
+        )
+        .unwrap();
         assert_eq!(full.len(), 10);
     }
 
@@ -256,7 +329,14 @@ mod tests {
     fn oversized_k_rejected() {
         let (scores, groups, bounds) = setup();
         assert!(matches!(
-            fair_top_k(&scores, &groups, &bounds, 11, FairnessMode::Weak, Discount::Log2),
+            fair_top_k(
+                &scores,
+                &groups,
+                &bounds,
+                11,
+                FairnessMode::Weak,
+                Discount::Log2
+            ),
             Err(BaselineError::ShapeMismatch { .. })
         ));
     }
@@ -264,9 +344,15 @@ mod tests {
     #[test]
     fn padded_ranking_is_weakly_fair_and_complete() {
         let (scores, groups, bounds) = setup();
-        let pi =
-            fair_top_k_ranking(&scores, &groups, &bounds, 4, FairnessMode::Weak, Discount::Log2)
-                .unwrap();
+        let pi = fair_top_k_ranking(
+            &scores,
+            &groups,
+            &bounds,
+            4,
+            FairnessMode::Weak,
+            Discount::Log2,
+        )
+        .unwrap();
         assert_eq!(pi.len(), 10);
         assert!(pfair::is_weak_k_fair(&pi, &groups, &bounds, 4).unwrap());
     }
@@ -279,8 +365,15 @@ mod tests {
         let full_dp =
             crate::ilp_ranking::optimal_fair_ranking_dp(&scores, &groups, &tables, Discount::Log2)
                 .unwrap();
-        let topn = fair_top_k(&scores, &groups, &bounds, 10, FairnessMode::Strong, Discount::Log2)
-            .unwrap();
+        let topn = fair_top_k(
+            &scores,
+            &groups,
+            &bounds,
+            10,
+            FairnessMode::Strong,
+            Discount::Log2,
+        )
+        .unwrap();
         let dcg = |order: &[usize]| -> f64 {
             order
                 .iter()

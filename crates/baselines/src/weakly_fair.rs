@@ -31,7 +31,11 @@ pub fn weakly_fair_ranking(
     bounds: &FairnessBounds,
 ) -> Permutation {
     assert_eq!(scores.len(), groups.len(), "scores and groups must align");
-    assert_eq!(bounds.num_groups(), groups.num_groups(), "bounds must cover all groups");
+    assert_eq!(
+        bounds.num_groups(),
+        groups.num_groups(),
+        "bounds must cover all groups"
+    );
     let n = scores.len();
     let g = groups.num_groups();
 
@@ -39,7 +43,10 @@ pub fn weakly_fair_ranking(
     let mut queues: Vec<Vec<usize>> = (0..g).map(|p| groups.members(p)).collect();
     for q in queues.iter_mut() {
         q.sort_by(|&a, &b| {
-            scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
         });
         q.reverse(); // pop() yields the best
     }
@@ -65,7 +72,9 @@ pub fn weakly_fair_ranking(
         if pick.is_none() {
             let mut best: Option<(f64, usize)> = None;
             for p in 0..g {
-                let Some(&head) = queues[p].last() else { continue };
+                let Some(&head) = queues[p].last() else {
+                    continue;
+                };
                 if counts[p] + 1 > bounds.max_count(p, k) {
                     continue;
                 }
@@ -80,7 +89,9 @@ pub fn weakly_fair_ranking(
         if pick.is_none() {
             let mut best: Option<(f64, usize)> = None;
             for p in 0..g {
-                let Some(&head) = queues[p].last() else { continue };
+                let Some(&head) = queues[p].last() else {
+                    continue;
+                };
                 let s = scores[head];
                 if best.is_none_or(|(bs, _)| s > bs) {
                     best = Some((s, p));
@@ -121,7 +132,10 @@ mod tests {
         let groups = GroupAssignment::alternating(4);
         let bounds = FairnessBounds::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
         let pi = weakly_fair_ranking(&scores, &groups, &bounds);
-        assert_eq!(pi.as_order(), Permutation::sorted_by_scores_desc(&scores).as_order());
+        assert_eq!(
+            pi.as_order(),
+            Permutation::sorted_by_scores_desc(&scores).as_order()
+        );
     }
 
     #[test]
@@ -141,7 +155,10 @@ mod tests {
         let groups = GroupAssignment::new(vec![0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2], 3).unwrap();
         let bounds = FairnessBounds::from_assignment(&groups);
         let pi = weakly_fair_ranking(&scores, &groups, &bounds);
-        assert_eq!(infeasible::two_sided_infeasible_index(&pi, &groups, &bounds).unwrap(), 0);
+        assert_eq!(
+            infeasible::two_sided_infeasible_index(&pi, &groups, &bounds).unwrap(),
+            0
+        );
     }
 
     #[test]

@@ -35,8 +35,7 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("exposure_parity", n), &n, |b, _| {
             b.iter(|| {
                 black_box(
-                    exposure::exposure_parity_ratio(&pi, &inst.unknown, Discount::Log2)
-                        .unwrap(),
+                    exposure::exposure_parity_ratio(&pi, &inst.unknown, Discount::Log2).unwrap(),
                 )
             })
         });

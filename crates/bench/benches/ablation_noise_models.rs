@@ -15,7 +15,9 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/noise_models_n100");
 
     let mallows = MallowsModel::new(center.clone(), 1.0).unwrap();
-    g.bench_function("mallows", |b| b.iter(|| black_box(mallows.sample(&mut rng))));
+    g.bench_function("mallows", |b| {
+        b.iter(|| black_box(mallows.sample(&mut rng)))
+    });
 
     let gmm = GeneralizedMallows::head_mixing(center.clone(), 2.0, 0.9).unwrap();
     g.bench_function("generalized_head_mixing", |b| {
@@ -23,7 +25,9 @@ fn bench(c: &mut Criterion) {
     });
 
     let pl = PlackettLuce::from_center(&center, 0.05).unwrap();
-    g.bench_function("plackett_luce", |b| b.iter(|| black_box(pl.sample(&mut rng))));
+    g.bench_function("plackett_luce", |b| {
+        b.iter(|| black_box(pl.sample(&mut rng)))
+    });
 
     g.finish();
 }

@@ -45,7 +45,11 @@ fn bench(c: &mut Criterion) {
             })
         });
         let share = inst.unknown.proportions()[0];
-        let cfg = FaIrConfig { min_proportion: share, significance: 0.1, adjust: true };
+        let cfg = FaIrConfig {
+            min_proportion: share,
+            significance: 0.1,
+            adjust: true,
+        };
         g.bench_with_input(BenchmarkId::new("fa_ir", n), &n, |b, _| {
             b.iter(|| black_box(fa_ir(&inst.scores, &inst.unknown, 0, K, &cfg).unwrap()))
         });

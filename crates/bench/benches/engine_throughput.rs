@@ -1,0 +1,120 @@
+//! Serving-engine hot path: cold submissions (cache miss → worker pool
+//! → algorithm) versus cached submissions (LRU hit), plus raw registry
+//! dispatch without the pool, across candidate-pool sizes.
+//!
+//! The cached case must come out ≥ 10× faster than the cold case — the
+//! whole point of keying the LRU on (algorithm, input digest, params).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairrank_engine::job::{JobInput, JobParams, RankJob};
+use fairrank_engine::registry::Registry;
+use fairrank_engine::{Engine, EngineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn mallows_job(n: usize, seed: u64) -> RankJob {
+    let scores: Vec<f64> = (0..n).map(|i| 1.0 - i as f64 / n as f64).collect();
+    let groups: Vec<usize> = (0..n).map(|i| usize::from(i >= n / 2)).collect();
+    RankJob {
+        algorithm: "mallows".to_string(),
+        input: JobInput::Scores { scores, groups },
+        params: JobParams {
+            theta: 0.8,
+            samples: 40,
+            seed,
+            ..JobParams::default()
+        },
+    }
+}
+
+fn engine() -> Arc<Engine> {
+    Engine::new(EngineConfig {
+        workers: 4,
+        queue_capacity: 1024,
+        cache_capacity: 4096,
+    })
+}
+
+fn bench_cold_vs_cached(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/rank_mallows_n50");
+    let n = 50;
+
+    // cold: every submission is a distinct job (fresh seed → cache miss)
+    let e = engine();
+    let mut seed = 0u64;
+    g.bench_function("cold", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(e.submit(mallows_job(n, seed)).unwrap())
+        })
+    });
+
+    // cached: the identical job over and over (all hits after the first)
+    let e = engine();
+    e.submit(mallows_job(n, 1)).unwrap();
+    g.bench_function("cached", |b| {
+        b.iter(|| black_box(e.submit(mallows_job(n, 1)).unwrap()))
+    });
+
+    // registry dispatch without pool/cache, for reference
+    let registry = Registry::standard();
+    let algo = registry.get("mallows").unwrap();
+    let job = mallows_job(n, 1);
+    g.bench_function("direct", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(job.params.seed);
+            black_box(algo.run(&job, &mut rng).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_pipeline_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/pipeline_borda_mallows");
+    for n in [8usize, 16, 32] {
+        let votes: Vec<Vec<usize>> = (0..5)
+            .map(|v| {
+                let mut order: Vec<usize> = (0..n).collect();
+                order.rotate_left(v % n);
+                order
+            })
+            .collect();
+        let groups: Vec<usize> = (0..n).map(|i| usize::from(i >= n / 2)).collect();
+        let e = engine();
+        let mut seed = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                seed += 1;
+                let job = RankJob {
+                    algorithm: "pipeline".to_string(),
+                    input: JobInput::Votes {
+                        votes: votes.clone(),
+                        groups: groups.clone(),
+                    },
+                    params: JobParams {
+                        method: "borda".into(),
+                        post: "mallows".into(),
+                        samples: 5,
+                        seed,
+                        ..JobParams::default()
+                    },
+                };
+                black_box(e.submit(job).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    targets = bench_cold_vs_cached, bench_pipeline_sizes
+}
+criterion_main!(benches);

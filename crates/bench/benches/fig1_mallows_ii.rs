@@ -20,9 +20,7 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(theta), &theta, |b, _| {
             b.iter(|| {
                 let s = model.sample(&mut rng);
-                black_box(
-                    infeasible::two_sided_infeasible_index(&s, &groups, &bounds).unwrap(),
-                )
+                black_box(infeasible::two_sided_infeasible_index(&s, &groups, &bounds).unwrap())
             })
         });
     }

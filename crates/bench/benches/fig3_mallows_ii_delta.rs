@@ -21,9 +21,7 @@ fn bench(c: &mut Criterion) {
                 let (_, center, _) = workload.sample_central(&mut rng);
                 let model = MallowsModel::new(center, t).unwrap();
                 let s = model.sample(&mut rng);
-                black_box(
-                    infeasible::two_sided_infeasible_index(&s, &groups, &bounds).unwrap(),
-                )
+                black_box(infeasible::two_sided_infeasible_index(&s, &groups, &bounds).unwrap())
             })
         });
     }

@@ -49,7 +49,14 @@ pub fn credit_instance(n: usize) -> CreditInstance {
     let known_bounds = FairnessBounds::from_assignment(&known);
     let unknown_bounds = FairnessBounds::from_assignment(&unknown);
     let input = fair_baselines::weakly_fair_ranking(&scores, &known, &known_bounds);
-    CreditInstance { scores, known, known_bounds, unknown, unknown_bounds, input }
+    CreditInstance {
+        scores,
+        known,
+        known_bounds,
+        unknown,
+        unknown_bounds,
+        input,
+    }
 }
 
 #[cfg(test)]

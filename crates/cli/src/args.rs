@@ -64,9 +64,9 @@ impl Args {
     pub fn get_usize(&self, name: &str, default: usize) -> Result<usize> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| {
-                CliError::Usage(format!("--{name} expects an integer, got `{v}`"))
-            }),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects an integer, got `{v}`"))),
         }
     }
 
@@ -74,9 +74,9 @@ impl Args {
     pub fn get_u64(&self, name: &str, default: u64) -> Result<u64> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| {
-                CliError::Usage(format!("--{name} expects an integer, got `{v}`"))
-            }),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects an integer, got `{v}`"))),
         }
     }
 }
@@ -106,7 +106,10 @@ mod tests {
 
     #[test]
     fn missing_value_errors() {
-        assert!(matches!(parse(&["rank", "--input"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&["rank", "--input"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -5,21 +5,21 @@ use crate::args::Args;
 use crate::csv::{CandidateTable, VoteProfile};
 use crate::{CliError, Result};
 use fair_baselines::{
-    approx_multi_valued_ipf, det_const_sort, fa_ir, optimal_fair_ranking_dp,
-    weakly_fair_ranking, DetConstSortConfig, FaIrConfig, FairnessMode, IpfConfig,
+    approx_multi_valued_ipf, det_const_sort, fa_ir, optimal_fair_ranking_dp, weakly_fair_ranking,
+    DetConstSortConfig, FaIrConfig, FairnessMode, IpfConfig,
 };
 use fair_mallows::{Criterion, MallowsFairRanker};
 use fairness_metrics::{divergence, exposure, infeasible, FairnessBounds};
+use fairness_ranking::pipeline::PipelineSpec;
 use mallows_model::MallowsModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use fairness_ranking::pipeline::{Aggregator, FairAggregationPipeline, PostProcessor};
 use rank_aggregation::markov::{markov_chain_aggregate, MarkovConfig};
 use ranking_core::quality::{self, Discount};
 use ranking_core::Permutation;
 
-fn algo_err<E: std::fmt::Display>(e: E) -> CliError {
-    CliError::Algorithm(e.to_string())
+fn algo_err<E: std::error::Error + Send + Sync + 'static>(e: E) -> CliError {
+    CliError::Algorithm(Box::new(e))
 }
 
 /// Dispatch a parsed command line to its implementation.
@@ -30,9 +30,46 @@ pub fn dispatch(args: &Args) -> Result<String> {
         "sample" => sample(args),
         "aggregate" => aggregate(args),
         "pipeline" => pipeline(args),
+        "serve" => serve(args),
         "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
+}
+
+/// `fairrank serve`: run the batch-serving engine's HTTP JSON API.
+///
+/// Binds `--host:--port` (port 0 picks an ephemeral port, printed on
+/// stdout before serving), builds an engine with `--workers` threads, a
+/// `--queue`-bounded job queue and a `--cache`-sized LRU result cache,
+/// then blocks serving requests until the process is terminated.
+pub fn serve(args: &Args) -> Result<String> {
+    use fairrank_engine::server::Server;
+    use fairrank_engine::{Engine, EngineConfig};
+
+    let host = args.get("host").unwrap_or("127.0.0.1");
+    let port = args.get_usize("port", 8080)?;
+    if port > u16::MAX as usize {
+        return Err(CliError::Usage(format!("--port {port} is out of range")));
+    }
+    let config = EngineConfig {
+        workers: args.get_usize("workers", 4)?,
+        queue_capacity: args.get_usize("queue", 256)?,
+        cache_capacity: args.get_usize("cache", 1024)?,
+    };
+    let workers = config.workers;
+    let engine = Engine::new(config);
+    let server = Server::bind(&format!("{host}:{port}"), engine)
+        .map_err(|e| CliError::Input(format!("cannot bind {host}:{port}: {e}")))?;
+    // announce the bound address eagerly (and flushed) so scripts and
+    // tests targeting `--port 0` can discover the ephemeral port
+    println!(
+        "fairrank: serving on http://{} ({workers} workers)",
+        server.local_addr()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run();
+    Ok(String::new())
 }
 
 /// `fairrank rank`: fair post-processing of a candidate CSV.
@@ -48,15 +85,17 @@ pub fn rank(args: &Args) -> Result<String> {
 
     let bounds = FairnessBounds::from_assignment_with_tolerance(&table.groups, tolerance);
     let order: Vec<usize> = match algorithm {
-        "weakly-fair" => {
-            weakly_fair_ranking(&table.scores, &table.groups, &bounds).into_order()
-        }
+        "weakly-fair" => weakly_fair_ranking(&table.scores, &table.groups, &bounds).into_order(),
         "mallows" => {
             let ranker =
                 MallowsFairRanker::new(theta, samples, Criterion::MaxNdcg(table.scores.clone()))
                     .map_err(algo_err)?;
             let center = weakly_fair_ranking(&table.scores, &table.groups, &bounds);
-            ranker.rank(&center, &mut rng).map_err(algo_err)?.ranking.into_order()
+            ranker
+                .rank(&center, &mut rng)
+                .map_err(algo_err)?
+                .ranking
+                .into_order()
         }
         "detconstsort" => det_const_sort(
             &table.scores,
@@ -106,8 +145,10 @@ pub fn rank(args: &Args) -> Result<String> {
         )
         .map_err(algo_err)?,
         "fa-ir" => {
-            let protected_label =
-                args.get("protected").unwrap_or(&table.group_labels[0]).to_string();
+            let protected_label = args
+                .get("protected")
+                .unwrap_or(&table.group_labels[0])
+                .to_string();
             let protected = table
                 .group_labels
                 .iter()
@@ -150,8 +191,8 @@ pub fn rank(args: &Args) -> Result<String> {
         .enumerate()
         .map(|(i, s)| s * Discount::Log2.at(i + 1))
         .sum();
-    let ii = infeasible::two_sided_infeasible_index(&pi, &sub_groups, &sub_bounds)
-        .map_err(algo_err)?;
+    let ii =
+        infeasible::two_sided_infeasible_index(&pi, &sub_groups, &sub_bounds).map_err(algo_err)?;
     let pf = infeasible::pfair_percentage(&pi, &sub_groups, &sub_bounds).map_err(algo_err)?;
     out.push_str(&format!("# ndcg_within_selection,{ndcg:.6}\n"));
     if pool_idcg > 0.0 {
@@ -173,8 +214,8 @@ pub fn metrics(args: &Args) -> Result<String> {
     let bounds = FairnessBounds::from_assignment_with_tolerance(&table.groups, tolerance);
 
     let ndcg = quality::ndcg(&pi, &table.scores).map_err(algo_err)?;
-    let ii = infeasible::two_sided_infeasible_index(&pi, &table.groups, &bounds)
-        .map_err(algo_err)?;
+    let ii =
+        infeasible::two_sided_infeasible_index(&pi, &table.groups, &bounds).map_err(algo_err)?;
     let pf = infeasible::pfair_percentage(&pi, &table.groups, &bounds).map_err(algo_err)?;
     let ndkl = divergence::ndkl(&pi, &table.groups).map_err(algo_err)?;
     let min_skew = divergence::min_skew_at(&pi, &table.groups, at).map_err(algo_err)?;
@@ -244,42 +285,39 @@ pub fn pipeline(args: &Args) -> Result<String> {
     let theta = args.get_f64("theta", 1.0)?;
     let samples = args.get_usize("samples", 15)?;
     let seed = args.get_u64("seed", 42)?;
-    let aggregator = match args.get("method").unwrap_or("kemeny") {
-        "borda" => Aggregator::Borda,
-        "copeland" => Aggregator::Copeland,
-        "footrule" => Aggregator::Footrule,
-        "kemeny" => Aggregator::Kemeny,
-        "markov" => Aggregator::MarkovMc4,
-        other => return Err(CliError::Usage(format!("unknown method `{other}`"))),
-    };
-    let post = match args.get("post").unwrap_or("mallows") {
-        "none" => PostProcessor::None,
-        "mallows" => PostProcessor::Mallows { theta, samples },
-        "gr-binary" => PostProcessor::GrBinaryIpf,
-        "exact-kt" => PostProcessor::ExactKtDp,
-        "ipf" => PostProcessor::ApproxIpf,
-        other => return Err(CliError::Usage(format!("unknown post-processor `{other}`"))),
-    };
+    let method = args.get("method").unwrap_or("kemeny");
+    let post = args.get("post").unwrap_or("mallows");
+    // one naming authority for stages, shared with the serving engine's
+    // registry and the HTTP API
+    let spec = PipelineSpec::parse(method, post, theta, samples).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown pipeline stage `--method {method}` / `--post {post}`"
+        ))
+    })?;
     let bounds = FairnessBounds::from_assignment_with_tolerance(&groups, tolerance);
     let mut rng = StdRng::seed_from_u64(seed);
-    let out = FairAggregationPipeline::new(aggregator, post)
+    let out = spec
+        .build()
         .run(&profile.votes, &groups, &bounds, &mut rng)
         .map_err(algo_err)?;
     let mut text = String::new();
     text.push_str(&format!("consensus,{}\n", profile.render(&out.consensus)));
     text.push_str(&format!("fair,{}\n", profile.render(&out.fair_ranking)));
-    text.push_str(&format!("# consensus_total_kt,{}\n", out.consensus_total_kt));
+    text.push_str(&format!(
+        "# consensus_total_kt,{}\n",
+        out.consensus_total_kt
+    ));
     text.push_str(&format!("# fair_total_kt,{}\n", out.fair_total_kt));
-    text.push_str(&format!("# consensus_infeasible,{}\n", out.consensus_infeasible));
+    text.push_str(&format!(
+        "# consensus_infeasible,{}\n",
+        out.consensus_infeasible
+    ));
     text.push_str(&format!("# fair_infeasible,{}\n", out.fair_infeasible));
     Ok(text)
 }
 
 /// Parse a `label,group` CSV mapping each vote label to a group.
-fn read_group_map(
-    path: &str,
-    labels: &[String],
-) -> Result<fairness_metrics::GroupAssignment> {
+fn read_group_map(path: &str, labels: &[String]) -> Result<fairness_metrics::GroupAssignment> {
     let content = std::fs::read_to_string(path)
         .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
     let mut group_of: Vec<Option<usize>> = vec![None; labels.len()];
@@ -335,8 +373,9 @@ pub fn aggregate(args: &Args) -> Result<String> {
             let start = rank_aggregation::kwik_sort(&profile.votes, &mut rng).map_err(algo_err)?;
             rank_aggregation::local_search(&start, &profile.votes).map_err(algo_err)?
         }
-        "markov" => markov_chain_aggregate(&profile.votes, &MarkovConfig::default())
-            .map_err(algo_err)?,
+        "markov" => {
+            markov_chain_aggregate(&profile.votes, &MarkovConfig::default()).map_err(algo_err)?
+        }
         other => return Err(CliError::Usage(format!("unknown method `{other}`"))),
     };
     let total =
@@ -368,14 +407,23 @@ mod tests {
     #[test]
     fn dispatch_help_and_unknown() {
         assert!(dispatch(&args(&["help"])).unwrap().contains("USAGE"));
-        assert!(matches!(dispatch(&args(&["bogus"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            dispatch(&args(&["bogus"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
     fn rank_weakly_fair_produces_all_rows_and_footer() {
         let input = write_temp("rank_wf.csv", CANDIDATES);
-        let out = rank(&args(&["rank", "--input", &input, "--algorithm", "weakly-fair"]))
-            .unwrap();
+        let out = rank(&args(&[
+            "rank",
+            "--input",
+            &input,
+            "--algorithm",
+            "weakly-fair",
+        ]))
+        .unwrap();
         assert_eq!(out.lines().filter(|l| !l.starts_with('#')).count(), 9); // header + 8
         assert!(out.contains("# infeasible_index,"));
         assert!(out.contains("# pfair_percentage,"));
@@ -384,9 +432,22 @@ mod tests {
     #[test]
     fn rank_each_algorithm_runs() {
         let input = write_temp("rank_all.csv", CANDIDATES);
-        for algo in ["mallows", "detconstsort", "ipf", "ilp", "exact-kt", "weakly-fair"] {
+        for algo in [
+            "mallows",
+            "detconstsort",
+            "ipf",
+            "ilp",
+            "exact-kt",
+            "weakly-fair",
+        ] {
             let out = rank(&args(&[
-                "rank", "--input", &input, "--algorithm", algo, "--samples", "5",
+                "rank",
+                "--input",
+                &input,
+                "--algorithm",
+                algo,
+                "--samples",
+                "5",
             ]))
             .unwrap_or_else(|e| panic!("{algo}: {e}"));
             assert!(out.starts_with("rank,id,score,group"), "{algo}");
@@ -397,10 +458,16 @@ mod tests {
     fn rank_fair_top_k_truncates() {
         let input = write_temp("rank_topk.csv", CANDIDATES);
         let out = rank(&args(&[
-            "rank", "--input", &input, "--algorithm", "fair-top-k", "--k", "4",
+            "rank",
+            "--input",
+            &input,
+            "--algorithm",
+            "fair-top-k",
+            "--k",
+            "4",
         ]))
         .unwrap();
-        assert_eq!(out.lines().filter(|l| !l.starts_with('#') ).count(), 5);
+        assert_eq!(out.lines().filter(|l| !l.starts_with('#')).count(), 5);
     }
 
     #[test]
@@ -452,9 +519,18 @@ mod tests {
 
     #[test]
     fn sample_is_deterministic_per_seed() {
-        let a = sample(&args(&["sample", "--n", "6", "--count", "3", "--seed", "9"])).unwrap();
-        let b = sample(&args(&["sample", "--n", "6", "--count", "3", "--seed", "9"])).unwrap();
-        let c = sample(&args(&["sample", "--n", "6", "--count", "3", "--seed", "10"])).unwrap();
+        let a = sample(&args(&[
+            "sample", "--n", "6", "--count", "3", "--seed", "9",
+        ]))
+        .unwrap();
+        let b = sample(&args(&[
+            "sample", "--n", "6", "--count", "3", "--seed", "9",
+        ]))
+        .unwrap();
+        let c = sample(&args(&[
+            "sample", "--n", "6", "--count", "3", "--seed", "10",
+        ]))
+        .unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(a.lines().count(), 3);
@@ -462,17 +538,18 @@ mod tests {
 
     #[test]
     fn sample_requires_size_or_input() {
-        assert!(matches!(sample(&args(&["sample"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            sample(&args(&["sample"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
     fn aggregate_unanimous_profile() {
         let input = write_temp("votes.csv", "x,y,z\nx,y,z\nx,z,y\n");
         for method in ["borda", "copeland", "footrule", "kemeny", "markov"] {
-            let out = aggregate(&args(&[
-                "aggregate", "--input", &input, "--method", method,
-            ]))
-            .unwrap_or_else(|e| panic!("{method}: {e}"));
+            let out = aggregate(&args(&["aggregate", "--input", &input, "--method", method]))
+                .unwrap_or_else(|e| panic!("{method}: {e}"));
             assert!(out.starts_with("x,"), "{method}: {out}");
             assert!(out.contains("# total_kendall_distance,"));
         }
@@ -484,8 +561,15 @@ mod tests {
         let groups = write_temp("pl_groups.csv", "a,x\nb,x\nc,y\nd,y\n");
         for post in ["none", "mallows", "gr-binary", "exact-kt", "ipf"] {
             let out = pipeline(&args(&[
-                "pipeline", "--input", &votes, "--groups", &groups, "--post", post,
-                "--tolerance", "0.2",
+                "pipeline",
+                "--input",
+                &votes,
+                "--groups",
+                &groups,
+                "--post",
+                post,
+                "--tolerance",
+                "0.2",
             ]))
             .unwrap_or_else(|e| panic!("{post}: {e}"));
             assert!(out.starts_with("consensus,"), "{post}: {out}");
@@ -507,7 +591,13 @@ mod tests {
     fn aggregate_unknown_method_errors() {
         let input = write_temp("votes2.csv", "x,y\ny,x\n");
         assert!(matches!(
-            aggregate(&args(&["aggregate", "--input", &input, "--method", "psychic"])),
+            aggregate(&args(&[
+                "aggregate",
+                "--input",
+                &input,
+                "--method",
+                "psychic"
+            ])),
             Err(CliError::Usage(_))
         ));
     }
@@ -515,7 +605,13 @@ mod tests {
     #[test]
     fn missing_file_is_input_error() {
         assert!(matches!(
-            rank(&args(&["rank", "--input", "/nonexistent.csv", "--algorithm", "ilp"])),
+            rank(&args(&[
+                "rank",
+                "--input",
+                "/nonexistent.csv",
+                "--algorithm",
+                "ilp"
+            ])),
             Err(CliError::Input(_))
         ));
     }

@@ -80,7 +80,12 @@ impl CandidateTable {
         let num_groups = group_labels.len();
         let groups = GroupAssignment::new(group_ids, num_groups)
             .expect("dense ids are in range by construction");
-        Ok(CandidateTable { ids, scores, groups, group_labels })
+        Ok(CandidateTable {
+            ids,
+            scores,
+            groups,
+            group_labels,
+        })
     }
 
     /// Read and parse a candidate file.
@@ -135,8 +140,7 @@ impl VoteProfile {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let fields: Vec<String> =
-                line.split(',').map(|s| s.trim().to_string()).collect();
+            let fields: Vec<String> = line.split(',').map(|s| s.trim().to_string()).collect();
             if labels.is_empty() {
                 labels = fields.clone();
                 let mut sorted = labels.clone();
@@ -166,7 +170,10 @@ impl VoteProfile {
                 })
                 .collect::<Result<_>>()?;
             let vote = Permutation::from_order(order).map_err(|_| {
-                CliError::Input(format!("line {}: not a permutation of the labels", lineno + 1))
+                CliError::Input(format!(
+                    "line {}: not a permutation of the labels",
+                    lineno + 1
+                ))
             })?;
             votes.push(vote);
         }

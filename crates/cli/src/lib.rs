@@ -27,8 +27,11 @@ pub enum CliError {
     Usage(String),
     /// Input file problem (I/O or malformed content).
     Input(String),
-    /// An algorithm reported failure (e.g. infeasible bounds).
-    Algorithm(String),
+    /// An algorithm reported failure (e.g. infeasible bounds). The
+    /// original error is kept so callers can walk the full chain via
+    /// [`std::error::Error::source`] instead of getting a flattened
+    /// string.
+    Algorithm(Box<dyn std::error::Error + Send + Sync>),
 }
 
 impl std::fmt::Display for CliError {
@@ -36,12 +39,19 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::Usage(m) => write!(f, "usage error: {m}"),
             CliError::Input(m) => write!(f, "input error: {m}"),
-            CliError::Algorithm(m) => write!(f, "algorithm error: {m}"),
+            CliError::Algorithm(e) => write!(f, "algorithm error: {e}"),
         }
     }
 }
 
-impl std::error::Error for CliError {}
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Algorithm(e) => Some(e.as_ref()),
+            CliError::Usage(_) | CliError::Input(_) => None,
+        }
+    }
+}
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CliError>;
@@ -59,6 +69,7 @@ COMMANDS:
     sample      draw permutations from a Mallows distribution
     aggregate   aggregate a vote profile into a consensus ranking
     pipeline    aggregate + fair post-process in one call
+    serve       run the batch-serving engine's HTTP JSON API
     help        print this message
 
 RANK:
@@ -90,7 +101,19 @@ PIPELINE:
         --method      aggregation stage (default kemeny)
         --post        none | mallows | gr-binary | exact-kt | ipf
                       (default mallows; --theta/--samples apply)
+        --seed        RNG seed for reproducible runs   (default 42)
+
+SERVE:
+    fairrank serve [--host H] [--port P] [--workers N]
+        --host        bind address                     (default 127.0.0.1)
+        --port        TCP port (0 = ephemeral)         (default 8080)
+        --workers     worker threads                   (default 4)
+        --queue       bounded job-queue capacity       (default 256)
+        --cache       LRU result-cache capacity        (default 1024)
+    Routes: POST /rank | /aggregate | /pipeline, GET /healthz | /stats.
+    Request fields mirror the flags above (scores/votes/groups inline).
 
 Candidate CSV: one `id,score,group` row per candidate (header allowed).
 Vote CSV: one comma-separated ranking of item labels per line.
+All randomized commands accept --seed; equal seeds give equal output.
 ";

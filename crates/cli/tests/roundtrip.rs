@@ -27,9 +27,24 @@ fn pool_csv(n: usize) -> String {
 #[test]
 fn rank_output_feeds_metrics() {
     let input = temp("pool.csv", &pool_csv(24));
-    for algo in ["mallows", "detconstsort", "ipf", "ilp", "exact-kt", "weakly-fair"] {
+    for algo in [
+        "mallows",
+        "detconstsort",
+        "ipf",
+        "ilp",
+        "exact-kt",
+        "weakly-fair",
+    ] {
         let ranked = commands::rank(&args(&[
-            "rank", "--input", &input, "--algorithm", algo, "--samples", "5", "--theta", "0.7",
+            "rank",
+            "--input",
+            &input,
+            "--algorithm",
+            algo,
+            "--samples",
+            "5",
+            "--theta",
+            "0.7",
         ]))
         .unwrap_or_else(|e| panic!("{algo}: {e}"));
         // strip the rank column and the comment footer → valid metrics input
@@ -63,11 +78,18 @@ fn sampled_permutations_aggregate_back_to_center() {
     let votes_file = temp("votes.csv", &out);
     for method in ["borda", "copeland", "footrule", "kemeny", "markov"] {
         let agg = commands::aggregate(&args(&[
-            "aggregate", "--input", &votes_file, "--method", method,
+            "aggregate",
+            "--input",
+            &votes_file,
+            "--method",
+            method,
         ]))
         .unwrap();
         let first_line = agg.lines().next().unwrap();
-        assert_eq!(first_line, "0,1,2,3,4,5", "{method} failed to recover the centre");
+        assert_eq!(
+            first_line, "0,1,2,3,4,5",
+            "{method} failed to recover the centre"
+        );
     }
 }
 
@@ -75,11 +97,22 @@ fn sampled_permutations_aggregate_back_to_center() {
 fn fair_top_k_via_cli_truncates_and_reports() {
     let input = temp("pool_topk.csv", &pool_csv(30));
     let out = commands::rank(&args(&[
-        "rank", "--input", &input, "--algorithm", "fair-top-k", "--k", "6", "--tolerance", "0.05",
+        "rank",
+        "--input",
+        &input,
+        "--algorithm",
+        "fair-top-k",
+        "--k",
+        "6",
+        "--tolerance",
+        "0.05",
     ]))
     .unwrap();
-    let rows: Vec<&str> =
-        out.lines().skip(1).filter(|l| !l.starts_with('#')).collect();
+    let rows: Vec<&str> = out
+        .lines()
+        .skip(1)
+        .filter(|l| !l.starts_with('#'))
+        .collect();
     assert_eq!(rows.len(), 6);
     // the shortlist must include at least one 'b'-group candidate
     // (pool share 1/3, tolerance ±5 % → floor(0.28·6) = 1 required)

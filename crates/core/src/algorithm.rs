@@ -40,13 +40,15 @@ impl Criterion {
     fn objective(&self, sample: &Permutation, center: &Permutation) -> Result<f64> {
         match self {
             Criterion::FirstSample => Ok(0.0),
-            Criterion::MaxNdcg(scores) => {
-                Ok(-quality::ndcg(sample, scores).map_err(|_| {
-                    FairMallowsError::CriterionShape { expected: scores.len(), got: sample.len() }
-                })?)
-            }
+            Criterion::MaxNdcg(scores) => Ok(-quality::ndcg(sample, scores).map_err(|_| {
+                FairMallowsError::CriterionShape {
+                    expected: scores.len(),
+                    got: sample.len(),
+                }
+            })?),
             Criterion::MinKendallTau => Ok(distance::kendall_tau(sample, center)
-                .expect("sample and centre share a length") as f64),
+                .expect("sample and centre share a length")
+                as f64),
             Criterion::MinInfeasibleIndex { groups, bounds } => {
                 Ok(infeasible::two_sided_infeasible_index(sample, groups, bounds)? as f64)
             }
@@ -81,7 +83,11 @@ impl Criterion {
 
     /// Crate-internal access to the minimized objective (used by the
     /// generic noise-model ranker).
-    pub(crate) fn objective_value(&self, sample: &Permutation, center: &Permutation) -> Result<f64> {
+    pub(crate) fn objective_value(
+        &self,
+        sample: &Permutation,
+        center: &Permutation,
+    ) -> Result<f64> {
         self.objective(sample, center)
     }
 
@@ -93,10 +99,16 @@ impl Criterion {
     fn check_shape(&self, n: usize) -> Result<()> {
         match self {
             Criterion::MaxNdcg(scores) if scores.len() != n => {
-                Err(FairMallowsError::CriterionShape { expected: scores.len(), got: n })
+                Err(FairMallowsError::CriterionShape {
+                    expected: scores.len(),
+                    got: n,
+                })
             }
             Criterion::MinInfeasibleIndex { groups, .. } if groups.len() != n => {
-                Err(FairMallowsError::CriterionShape { expected: groups.len(), got: n })
+                Err(FairMallowsError::CriterionShape {
+                    expected: groups.len(),
+                    got: n,
+                })
             }
             Criterion::Weighted(parts) => {
                 for (_, c) in parts {
@@ -140,11 +152,15 @@ impl MallowsFairRanker {
             return Err(FairMallowsError::NoSamples);
         }
         if !theta.is_finite() || theta < 0.0 {
-            return Err(FairMallowsError::Mallows(mallows_model::MallowsError::InvalidTheta {
-                theta,
-            }));
+            return Err(FairMallowsError::Mallows(
+                mallows_model::MallowsError::InvalidTheta { theta },
+            ));
         }
-        Ok(MallowsFairRanker { theta, num_samples, criterion })
+        Ok(MallowsFairRanker {
+            theta,
+            num_samples,
+            criterion,
+        })
     }
 
     /// Dispersion parameter θ.
@@ -279,12 +295,8 @@ mod tests {
         let center = Permutation::identity(10);
         let base_ii =
             infeasible::two_sided_infeasible_index(&center, &groups, &bounds).unwrap() as f64;
-        let r = MallowsFairRanker::new(
-            0.3,
-            30,
-            Criterion::MinInfeasibleIndex { groups, bounds },
-        )
-        .unwrap();
+        let r = MallowsFairRanker::new(0.3, 30, Criterion::MinInfeasibleIndex { groups, bounds })
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let out = r.rank(&center, &mut rng).unwrap();
         assert!(
@@ -322,7 +334,13 @@ mod tests {
         let center = Permutation::sorted_by_scores_desc(&s);
         let combined = Criterion::Weighted(vec![
             (1.0, Criterion::MaxNdcg(s.clone())),
-            (1.0, Criterion::MinInfeasibleIndex { groups: groups.clone(), bounds: bounds.clone() }),
+            (
+                1.0,
+                Criterion::MinInfeasibleIndex {
+                    groups: groups.clone(),
+                    bounds: bounds.clone(),
+                },
+            ),
         ]);
         let r = MallowsFairRanker::new(0.4, 30, combined).unwrap();
         let mut rng = StdRng::seed_from_u64(8);
@@ -331,12 +349,13 @@ mod tests {
         let center_ii =
             infeasible::two_sided_infeasible_index(&center, &groups, &bounds).unwrap() as f64;
         let out_ii =
-            infeasible::two_sided_infeasible_index(&out.ranking, &groups, &bounds).unwrap()
-                as f64;
+            infeasible::two_sided_infeasible_index(&out.ranking, &groups, &bounds).unwrap() as f64;
         let center_obj = -1.0 + center_ii / 20.0; // centre NDCG = 1
-        let out_obj =
-            -quality::ndcg(&out.ranking, &s).unwrap() + out_ii / 20.0;
-        assert!(out_obj <= center_obj + 0.2, "combined {out_obj} vs centre {center_obj}");
+        let out_obj = -quality::ndcg(&out.ranking, &s).unwrap() + out_ii / 20.0;
+        assert!(
+            out_obj <= center_obj + 0.2,
+            "combined {out_obj} vs centre {center_obj}"
+        );
     }
 
     #[test]
@@ -363,7 +382,9 @@ mod tests {
         // same seed → same sample stream → same winner (positive weight
         // preserves the argmin)
         let a = plain.rank(&center, &mut StdRng::seed_from_u64(42)).unwrap();
-        let b = wrapped.rank(&center, &mut StdRng::seed_from_u64(42)).unwrap();
+        let b = wrapped
+            .rank(&center, &mut StdRng::seed_from_u64(42))
+            .unwrap();
         assert_eq!(a.ranking, b.ranking);
     }
 

@@ -36,8 +36,8 @@ pub mod oblivious;
 pub mod tune;
 
 pub use algorithm::{Criterion, MallowsFairRanker, RankOutput};
-pub use tune::{expected_ndcg, theta_for_target_ndcg, NdcgCalibration};
 pub use noise::{CenteredPlackettLuce, GenericFairRanker, NoiseModel};
+pub use tune::{expected_ndcg, theta_for_target_ndcg, NdcgCalibration};
 
 /// Errors raised by the Mallows fair ranker.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,7 +63,10 @@ impl std::fmt::Display for FairMallowsError {
             FairMallowsError::NoSamples => write!(f, "num_samples must be ≥ 1"),
             FairMallowsError::Mallows(e) => write!(f, "mallows error: {e}"),
             FairMallowsError::CriterionShape { expected, got } => {
-                write!(f, "criterion expects rankings of length {expected}, centre has {got}")
+                write!(
+                    f,
+                    "criterion expects rankings of length {expected}, centre has {got}"
+                )
             }
             FairMallowsError::Fairness(e) => write!(f, "fairness error: {e}"),
         }
@@ -86,3 +89,22 @@ impl From<fairness_metrics::FairnessError> for FairMallowsError {
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, FairMallowsError>;
+
+// Thread-safety audit: the serving engine (`fairrank_engine`) shares
+// ranker instances across a fixed worker pool, so every public
+// algorithm type in this crate must be `Send + Sync`. Checked at
+// compile time; adding a non-thread-safe field (an `Rc`, a `RefCell`,
+// a raw pointer) to any of these types breaks the build here rather
+// than deep inside the engine.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MallowsFairRanker>();
+    assert_send_sync::<Criterion>();
+    assert_send_sync::<RankOutput>();
+    assert_send_sync::<GenericFairRanker>();
+    assert_send_sync::<CenteredPlackettLuce>();
+    assert_send_sync::<Box<dyn NoiseModel>>();
+    assert_send_sync::<mallows_model::MallowsModel>();
+    assert_send_sync::<NdcgCalibration>();
+    assert_send_sync::<FairMallowsError>();
+};

@@ -21,7 +21,11 @@ use ranking_core::Permutation;
 ///
 /// The `rng` is concretely [`StdRng`] to keep the trait object-safe
 /// (the ranker stores `Box<dyn NoiseModel>` in applications).
-pub trait NoiseModel {
+///
+/// `Send + Sync` is part of the contract: the serving engine shares
+/// noise models across its worker pool, so a model must never contain
+/// thread-local state (every implementor here is plain data).
+pub trait NoiseModel: Send + Sync {
     /// Draw one ranking.
     fn sample_ranking(&self, rng: &mut StdRng) -> Permutation;
 
@@ -110,7 +114,10 @@ impl GenericFairRanker {
         if num_samples == 0 {
             return Err(FairMallowsError::NoSamples);
         }
-        Ok(GenericFairRanker { num_samples, criterion })
+        Ok(GenericFairRanker {
+            num_samples,
+            criterion,
+        })
     }
 
     /// Run sample-and-select against the given noise model.
@@ -159,10 +166,11 @@ mod tests {
         let center = Permutation::identity(10);
         let model = MallowsModel::new(center.clone(), 0.8).unwrap();
         let generic = GenericFairRanker::new(5, Criterion::MinKendallTau).unwrap();
-        let specialized =
-            crate::MallowsFairRanker::new(0.8, 5, Criterion::MinKendallTau).unwrap();
+        let specialized = crate::MallowsFairRanker::new(0.8, 5, Criterion::MinKendallTau).unwrap();
         let a = generic.rank(&model, &mut StdRng::seed_from_u64(9)).unwrap();
-        let b = specialized.rank(&center, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = specialized
+            .rank(&center, &mut StdRng::seed_from_u64(9))
+            .unwrap();
         assert_eq!(a.ranking, b.ranking, "same seed, same samples, same winner");
     }
 

@@ -37,7 +37,11 @@ pub struct RobustRankerBuilder {
 impl Default for RobustRankerBuilder {
     fn default() -> Self {
         // paper defaults: θ = 1, single sample
-        RobustRankerBuilder { dispersion: Dispersion::Fixed(1.0), num_samples: 1, keep_best_ndcg: false }
+        RobustRankerBuilder {
+            dispersion: Dispersion::Fixed(1.0),
+            num_samples: 1,
+            keep_best_ndcg: false,
+        }
     }
 }
 
@@ -170,15 +174,15 @@ mod tests {
         // sees the groups, yet the randomized output is markedly fairer
         // in expectation than the deterministic score ranking.
         let n = 20;
-        let scores: Vec<f64> =
-            (0..n).map(|i| if i < 10 { 100.0 + i as f64 } else { i as f64 }).collect();
+        let scores: Vec<f64> = (0..n)
+            .map(|i| if i < 10 { 100.0 + i as f64 } else { i as f64 })
+            .collect();
         let groups = GroupAssignment::binary_split(n, 10);
         // tolerance bounds: exact floor/ceil bounds are violated by most
         // permutations of 20 items, leaving randomization no headroom
         let bounds = FairnessBounds::from_assignment_with_tolerance(&groups, 0.15);
         let baseline = Permutation::sorted_by_scores_desc(&scores);
-        let base_ii =
-            infeasible::two_sided_infeasible_index(&baseline, &groups, &bounds).unwrap();
+        let base_ii = infeasible::two_sided_infeasible_index(&baseline, &groups, &bounds).unwrap();
 
         let ranker = RobustRanker::builder().theta(0.05).build();
         let mut rng = StdRng::seed_from_u64(11);
@@ -201,7 +205,11 @@ mod tests {
     fn best_ndcg_variant_trades_less_utility() {
         let scores: Vec<f64> = (0..15).map(|i| 15.0 - i as f64).collect();
         let single = RobustRanker::builder().theta(0.5).samples(1).build();
-        let best = RobustRanker::builder().theta(0.5).samples(15).keep_best_ndcg(true).build();
+        let best = RobustRanker::builder()
+            .theta(0.5)
+            .samples(15)
+            .keep_best_ndcg(true)
+            .build();
         let mut rng = StdRng::seed_from_u64(3);
         let trials = 30;
         let (mut n_single, mut n_best) = (0.0, 0.0);

@@ -50,8 +50,9 @@ pub fn expected_ndcg(scores: &[f64], theta: f64, draws: usize, seed: u64) -> Res
     let mut total = 0.0;
     for _ in 0..draws {
         let sample = model.sample(&mut rng);
-        total += quality::ndcg(&sample, scores).map_err(|_| {
-            FairMallowsError::CriterionShape { expected: scores.len(), got: sample.len() }
+        total += quality::ndcg(&sample, scores).map_err(|_| FairMallowsError::CriterionShape {
+            expected: scores.len(),
+            got: sample.len(),
         })?;
     }
     Ok(total / draws as f64)
@@ -72,14 +73,23 @@ pub fn theta_for_target_ndcg(
     seed: u64,
 ) -> Result<NdcgCalibration> {
     if scores.is_empty() {
-        return Err(FairMallowsError::CriterionShape { expected: 1, got: 0 });
+        return Err(FairMallowsError::CriterionShape {
+            expected: 1,
+            got: 0,
+        });
     }
     let eval = |theta: f64| expected_ndcg(scores, theta, draws, seed);
     if eval(0.0)? >= target {
-        return Ok(NdcgCalibration { theta: 0.0, achieved_ndcg: eval(0.0)? });
+        return Ok(NdcgCalibration {
+            theta: 0.0,
+            achieved_ndcg: eval(0.0)?,
+        });
     }
     if eval(THETA_MAX)? < target {
-        return Ok(NdcgCalibration { theta: THETA_MAX, achieved_ndcg: eval(THETA_MAX)? });
+        return Ok(NdcgCalibration {
+            theta: THETA_MAX,
+            achieved_ndcg: eval(THETA_MAX)?,
+        });
     }
     let (mut lo, mut hi) = (0.0f64, THETA_MAX);
     for _ in 0..60 {
@@ -93,7 +103,10 @@ pub fn theta_for_target_ndcg(
             break;
         }
     }
-    Ok(NdcgCalibration { theta: hi, achieved_ndcg: eval(hi)? })
+    Ok(NdcgCalibration {
+        theta: hi,
+        achieved_ndcg: eval(hi)?,
+    })
 }
 
 #[cfg(test)]
@@ -110,7 +123,10 @@ mod tests {
         let mut last = 0.0;
         for theta in [0.0, 0.3, 0.8, 1.5, 3.0, 8.0] {
             let v = expected_ndcg(&s, theta, 200, 7).unwrap();
-            assert!(v >= last - 1e-9, "E[NDCG] dipped at θ={theta}: {v} < {last}");
+            assert!(
+                v >= last - 1e-9,
+                "E[NDCG] dipped at θ={theta}: {v} < {last}"
+            );
             last = v;
         }
         assert!((expected_ndcg(&s, 25.0, 100, 7).unwrap() - 1.0).abs() < 1e-6);

@@ -12,7 +12,7 @@
 use eval_stats::NormalSampler;
 use fairness_metrics::GroupAssignment;
 use rand::seq::SliceRandom;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Age bucket of the paper's combined attribute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,12 +82,7 @@ impl Record {
 
 /// Table I of the paper: counts per (Age-Sex row, Housing column).
 /// Rows: `<35 f`, `<35 m`, `≥35 f`, `≥35 m`; columns: free, own, rent.
-pub const TABLE_I: [[usize; 3]; 4] = [
-    [2, 131, 80],
-    [23, 261, 51],
-    [17, 65, 15],
-    [66, 256, 33],
-];
+pub const TABLE_I: [[usize; 3]; 4] = [[2, 131, 80], [23, 261, 51], [17, 65, 15], [66, 256, 33]];
 
 /// Log-normal location for credit amounts (`exp(μ)` ≈ 2320 DM median).
 const LN_AMOUNT_MU: f64 = 7.75;
@@ -122,9 +117,14 @@ impl GermanCredit {
             for (col, &housing) in cols.iter().enumerate() {
                 for _ in 0..TABLE_I[row][col] {
                     let raw = sampler.sample_lognormal(rng);
-                    let amount = raw.clamp(AMOUNT_RANGE.0, AMOUNT_RANGE.1)
-                        + rng.random::<f64>() * 1e-3; // strict total order
-                    records.push(Record { age, sex, housing, credit_amount: amount });
+                    let amount =
+                        raw.clamp(AMOUNT_RANGE.0, AMOUNT_RANGE.1) + rng.random::<f64>() * 1e-3; // strict total order
+                    records.push(Record {
+                        age,
+                        sex,
+                        housing,
+                        credit_amount: amount,
+                    });
                 }
             }
         }

@@ -1,7 +1,7 @@
 //! Synthetic score workloads (paper Sections V-A and V-B).
 
 use fairness_metrics::{infeasible, FairnessBounds, GroupAssignment};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use ranking_core::Permutation;
 
 /// The two-group uniform score workload of Section V-B:
@@ -19,7 +19,10 @@ pub struct TwoGroupUniform {
 impl TwoGroupUniform {
     /// The paper's setting: five individuals per group.
     pub fn paper(delta: f64) -> Self {
-        TwoGroupUniform { per_group: 5, delta }
+        TwoGroupUniform {
+            per_group: 5,
+            delta,
+        }
     }
 
     /// Group assignment: items `0..per_group` in group 0, the rest in
@@ -74,7 +77,9 @@ pub fn ranking_with_infeasible_index(
 ) -> (Permutation, usize) {
     let n = groups.len();
     // start: interleave groups round-robin (lowest achievable index)
-    let mut queues: Vec<Vec<usize>> = (0..groups.num_groups()).map(|p| groups.members(p)).collect();
+    let mut queues: Vec<Vec<usize>> = (0..groups.num_groups())
+        .map(|p| groups.members(p))
+        .collect();
     for q in queues.iter_mut() {
         q.reverse();
     }
@@ -149,7 +154,10 @@ mod tests {
 
     #[test]
     fn scores_respect_group_ranges() {
-        let w = TwoGroupUniform { per_group: 50, delta: 0.3 };
+        let w = TwoGroupUniform {
+            per_group: 50,
+            delta: 0.3,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let s = w.sample_scores(&mut rng);
         for (i, &v) in s.iter().enumerate() {
@@ -167,7 +175,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mean_ii = |delta: f64, rng: &mut StdRng| -> f64 {
             let w = TwoGroupUniform::paper(delta);
-            (0..200).map(|_| w.sample_central(rng).2 as f64).sum::<f64>() / 200.0
+            (0..200)
+                .map(|_| w.sample_central(rng).2 as f64)
+                .sum::<f64>()
+                / 200.0
         };
         let low = mean_ii(0.0, &mut rng);
         let high = mean_ii(1.0, &mut rng);

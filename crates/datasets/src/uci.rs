@@ -66,7 +66,11 @@ pub fn parse_statlog(content: &str) -> Result<GermanCredit> {
             }
         };
         records.push(Record {
-            age: if age_years < 35 { AgeGroup::Under35 } else { AgeGroup::AtLeast35 },
+            age: if age_years < 35 {
+                AgeGroup::Under35
+            } else {
+                AgeGroup::AtLeast35
+            },
             sex,
             housing,
             // deterministic tie-break keeps the induced order strict
@@ -74,15 +78,17 @@ pub fn parse_statlog(content: &str) -> Result<GermanCredit> {
         });
     }
     if records.is_empty() {
-        return Err(DatasetError::Malformed { line: 0, what: "no records found" });
+        return Err(DatasetError::Malformed {
+            line: 0,
+            what: "no records found",
+        });
     }
     Ok(GermanCredit::from_records(records))
 }
 
 /// Read and parse a Statlog file from disk.
 pub fn load_statlog(path: &str) -> Result<GermanCredit> {
-    let content =
-        std::fs::read_to_string(path).map_err(|e| DatasetError::Io(e.to_string()))?;
+    let content = std::fs::read_to_string(path).map_err(|e| DatasetError::Io(e.to_string()))?;
     parse_statlog(&content)
 }
 
@@ -135,7 +141,8 @@ A12 36 A32 A46 9055 A65 A73 2 A91 A101 4 A124 35 A143 A151 2 A172 2 A192 A201 1"
     #[test]
     fn credit_amounts_are_strictly_distinct() {
         // duplicate amounts on different lines stay distinct
-        let dup = "A11 6 A34 A43 1000 A65 A75 4 A93 A101 4 A121 40 A143 A152 2 A173 1 A192 A201 1\n\
+        let dup =
+            "A11 6 A34 A43 1000 A65 A75 4 A93 A101 4 A121 40 A143 A152 2 A173 1 A192 A201 1\n\
                    A11 6 A34 A43 1000 A65 A75 4 A92 A101 4 A121 30 A143 A151 2 A173 1 A192 A201 1";
         let data = parse_statlog(dup).unwrap();
         let a = data.records()[0].credit_amount;

@@ -1,0 +1,210 @@
+//! Fixed-capacity LRU cache for completed job results.
+//!
+//! Keys are job digests (`u64`); values are shared [`RankResult`]s so a
+//! cache hit costs one `Arc` clone. The recency list is an intrusive
+//! doubly-linked list over a slab `Vec`, giving O(1) get / insert /
+//! evict with zero unsafe code.
+
+use crate::job::RankResult;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: u64,
+    value: Arc<RankResult>,
+    prev: usize,
+    next: usize,
+}
+
+/// An LRU map from job digest to result.
+pub struct LruCache {
+    map: HashMap<u64, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+}
+
+impl LruCache {
+    /// Create a cache holding at most `capacity` results (a capacity of
+    /// 0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::with_capacity(capacity.min(4096)),
+            slab: Vec::with_capacity(capacity.min(4096)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up a digest, marking the entry most-recently-used.
+    pub fn get(&mut self, key: u64) -> Option<Arc<RankResult>> {
+        let idx = *self.map.get(&key)?;
+        self.detach(idx);
+        self.attach_front(idx);
+        Some(Arc::clone(&self.slab[idx].value))
+    }
+
+    /// Insert (or refresh) a result, evicting the least-recently-used
+    /// entry when full.
+    pub fn insert(&mut self, key: u64, value: Arc<RankResult>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            self.detach(idx);
+            self.attach_front(idx);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.detach(lru);
+            self.map.remove(&self.slab[lru].key);
+            self.free.push(lru);
+        }
+        let entry = Entry {
+            key,
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slab[idx] = entry;
+                idx
+            }
+            None => {
+                self.slab.push(entry);
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(tag: usize) -> Arc<RankResult> {
+        Arc::new(RankResult {
+            algorithm: "t".into(),
+            ranking: vec![tag],
+            consensus: None,
+            metrics: vec![],
+        })
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = LruCache::new(4);
+        assert!(c.get(1).is_none());
+        c.insert(1, result(1));
+        assert_eq!(c.get(1).unwrap().ranking, vec![1]);
+        assert!(c.get(2).is_none());
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(1, result(1));
+        c.insert(2, result(2));
+        assert!(c.get(1).is_some()); // 1 is now MRU, 2 is LRU
+        c.insert(3, result(3)); // evicts 2
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut c = LruCache::new(2);
+        c.insert(1, result(1));
+        c.insert(2, result(2));
+        c.insert(1, result(11)); // refresh: 2 becomes LRU
+        c.insert(3, result(3)); // evicts 2
+        assert_eq!(c.get(1).unwrap().ranking, vec![11]);
+        assert!(c.get(2).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        c.insert(1, result(1));
+        assert!(c.get(1).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn slab_slots_are_reused() {
+        let mut c = LruCache::new(2);
+        for key in 0..100u64 {
+            c.insert(key, result(key as usize));
+        }
+        assert_eq!(c.len(), 2);
+        assert!(c.slab.len() <= 3, "slab grew to {}", c.slab.len());
+        assert!(c.get(99).is_some());
+        assert!(c.get(98).is_some());
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut c = LruCache::new(1);
+        c.insert(1, result(1));
+        c.insert(2, result(2));
+        assert!(c.get(1).is_none());
+        assert_eq!(c.get(2).unwrap().ranking, vec![2]);
+    }
+}

@@ -1,0 +1,542 @@
+//! **fairrank-engine** — the workspace's concurrent batch-serving
+//! subsystem.
+//!
+//! The paper's pipeline (Mallows randomization around an aggregated
+//! consensus, plus the group-aware post-processors) existed only as
+//! one-shot library calls and a CLI. This crate turns it into a
+//! long-lived service:
+//!
+//! * a [`registry::Registry`] where every aggregator (`borda`,
+//!   `copeland`, `footrule`, `kemeny`, `markov`), every fair
+//!   post-processor (`mallows`, `gr-binary`, `exact-kt`, `ipf`, …) and
+//!   the two-stage `pipeline` is registered by name behind a common
+//!   `RankJob → RankResult` trait object;
+//! * an [`Engine`] running jobs on a fixed [`pool::WorkerPool`] with a
+//!   bounded queue, per-job deterministic RNG seeding and an
+//!   [`cache::LruCache`] keyed on the job digest (algorithm + input +
+//!   params), so repeated queries are served from memory;
+//! * an HTTP/1.1 JSON API ([`server`]) on `std::net::TcpListener` —
+//!   `POST /rank`, `POST /aggregate`, `POST /pipeline`, `GET /healthz`,
+//!   `GET /stats` — wired into the CLI as `fairrank serve`.
+//!
+//! ```
+//! use fairrank_engine::{Engine, EngineConfig};
+//! use fairrank_engine::job::{JobInput, JobParams, RankJob};
+//!
+//! let engine = Engine::new(EngineConfig::default());
+//! let job = RankJob {
+//!     algorithm: "borda".to_string(),
+//!     input: JobInput::Votes {
+//!         votes: vec![vec![0, 1, 2], vec![0, 2, 1], vec![1, 0, 2]],
+//!         groups: vec![],
+//!     },
+//!     params: JobParams::default(),
+//! };
+//! let result = engine.submit(job).unwrap();
+//! assert_eq!(result.ranking, vec![0, 1, 2]);
+//! ```
+
+pub mod cache;
+pub mod job;
+pub mod json;
+pub mod pool;
+pub mod registry;
+pub mod server;
+pub mod stats;
+
+use cache::LruCache;
+use job::{RankJob, RankResult};
+use pool::{SubmitError, WorkerPool};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use registry::Registry;
+use stats::EngineStats;
+use std::collections::HashMap;
+use std::sync::{mpsc, Arc, Mutex};
+
+/// Errors surfaced by the engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// No algorithm with this name is registered.
+    UnknownAlgorithm(String),
+    /// The job payload is malformed for the chosen algorithm.
+    InvalidJob(String),
+    /// The algorithm itself failed (wrapped library error, chained via
+    /// [`std::error::Error::source`]).
+    Algorithm(Box<dyn std::error::Error + Send + Sync>),
+    /// The bounded job queue is full — shed load and retry later.
+    Overloaded,
+    /// The engine is shutting down (or the job's worker died).
+    ShuttingDown,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownAlgorithm(name) => write!(f, "unknown algorithm `{name}`"),
+            EngineError::InvalidJob(m) => write!(f, "invalid job: {m}"),
+            EngineError::Algorithm(e) => write!(f, "algorithm failed: {e}"),
+            EngineError::Overloaded => write!(f, "job queue full"),
+            EngineError::ShuttingDown => write!(f, "engine shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Algorithm(e) => Some(e.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl EngineError {
+    /// A copy for broadcasting one failure to every coalesced waiter
+    /// (the wrapped algorithm error is not `Clone`, so its message is
+    /// preserved but the deeper source chain flattens to one level).
+    fn duplicate(&self) -> EngineError {
+        match self {
+            EngineError::UnknownAlgorithm(s) => EngineError::UnknownAlgorithm(s.clone()),
+            EngineError::InvalidJob(s) => EngineError::InvalidJob(s.clone()),
+            EngineError::Algorithm(e) => EngineError::Algorithm(e.to_string().into()),
+            EngineError::Overloaded => EngineError::Overloaded,
+            EngineError::ShuttingDown => EngineError::ShuttingDown,
+        }
+    }
+}
+
+/// Engine sizing knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Bounded job-queue capacity (jobs beyond it are rejected).
+    pub queue_capacity: usize,
+    /// LRU result-cache capacity (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 4,
+            queue_capacity: 256,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+type JobOutcome = Result<Arc<RankResult>, EngineError>;
+
+/// The serving engine: registry + worker pool + result cache + stats.
+pub struct Engine {
+    registry: Registry,
+    pool: WorkerPool,
+    cache: Mutex<LruCache>,
+    /// Digest → waiters of the in-flight execution of that digest.
+    /// Concurrent identical submissions coalesce onto one execution
+    /// instead of stampeding the pool. Lock order: `inflight` may be
+    /// held while taking `cache`, never the other way around.
+    inflight: Mutex<HashMap<u64, Vec<mpsc::Sender<JobOutcome>>>>,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// Build an engine with the standard registry.
+    pub fn new(config: EngineConfig) -> Arc<Engine> {
+        Engine::with_registry(config, Registry::standard())
+    }
+
+    /// Build an engine with a custom registry.
+    pub fn with_registry(config: EngineConfig, registry: Registry) -> Arc<Engine> {
+        Arc::new(Engine {
+            registry,
+            pool: WorkerPool::new(config.workers, config.queue_capacity),
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            inflight: Mutex::new(HashMap::new()),
+            stats: EngineStats::new(),
+        })
+    }
+
+    /// The algorithm registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Snapshot of the stats JSON served at `GET /stats`.
+    pub fn stats_json(&self) -> json::Json {
+        let (len, cap) = {
+            let cache = self.cache.lock().expect("cache lock");
+            (cache.len(), cache.capacity())
+        };
+        self.stats.to_json(len, cap, self.pool.workers())
+    }
+
+    /// Submit a job and wait for its result.
+    ///
+    /// The cache is consulted first (hits cost one `Arc` clone). A
+    /// submission identical to a job already in flight coalesces onto
+    /// that execution instead of running the algorithm again. On a
+    /// genuine miss the job runs on the worker pool with an RNG seeded
+    /// from `job.params.seed`, so results are reproducible regardless
+    /// of which worker picks the job up. Returns
+    /// [`EngineError::Overloaded`] without blocking when the bounded
+    /// queue is full.
+    pub fn submit(self: &Arc<Self>, job: RankJob) -> Result<Arc<RankResult>, EngineError> {
+        let algorithm = self
+            .registry
+            .get(&job.algorithm)
+            .ok_or_else(|| EngineError::UnknownAlgorithm(job.algorithm.clone()))?;
+        let key = job.digest();
+
+        // cache hit, coalesce onto an in-flight twin, or become the
+        // owner of a new execution — decided under the inflight lock so
+        // a completing twin cannot slip between the checks
+        let (tx, rx) = mpsc::channel::<JobOutcome>();
+        {
+            let mut inflight = self.inflight.lock().expect("inflight lock");
+            if let Some(hit) = self.cache.lock().expect("cache lock").get(key) {
+                EngineStats::bump(&self.stats.cache_hits);
+                return Ok(hit);
+            }
+            if let Some(waiters) = inflight.get_mut(&key) {
+                waiters.push(tx);
+                EngineStats::bump(&self.stats.jobs_coalesced);
+                drop(inflight);
+                return rx.recv().map_err(|_| EngineError::ShuttingDown)?;
+            }
+            inflight.insert(key, vec![tx]);
+        }
+
+        let engine = Arc::clone(self);
+        let submitted = self.pool.try_submit(Box::new(move || {
+            let mut rng = StdRng::seed_from_u64(job.params.seed);
+            // a panicking algorithm must still clear the in-flight
+            // entry below, or every future twin of this job would
+            // coalesce onto a dead execution and hang
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                algorithm.run(&job, &mut rng)
+            }))
+            .unwrap_or_else(|_| {
+                Err(EngineError::Algorithm(
+                    "job panicked on a worker".to_string().into(),
+                ))
+            });
+            let outcome: JobOutcome = match run {
+                Ok(result) => {
+                    let result = Arc::new(result);
+                    engine
+                        .cache
+                        .lock()
+                        .expect("cache lock")
+                        .insert(key, Arc::clone(&result));
+                    EngineStats::bump(&engine.stats.jobs_executed);
+                    Ok(result)
+                }
+                Err(e) => {
+                    EngineStats::bump(&engine.stats.jobs_failed);
+                    Err(e)
+                }
+            };
+            let waiters = engine
+                .inflight
+                .lock()
+                .expect("inflight lock")
+                .remove(&key)
+                .unwrap_or_default();
+            for waiter in waiters {
+                let _ = waiter.send(match &outcome {
+                    Ok(result) => Ok(Arc::clone(result)),
+                    Err(e) => Err(e.duplicate()),
+                });
+            }
+        }));
+        match submitted {
+            Ok(()) => {
+                // only admitted jobs count as misses, so
+                // misses == executed + failed holds in /stats
+                EngineStats::bump(&self.stats.cache_misses);
+            }
+            Err(rejection) => {
+                // disband the in-flight entry; anyone who coalesced
+                // onto it in the meantime is told to retry
+                let waiters = self
+                    .inflight
+                    .lock()
+                    .expect("inflight lock")
+                    .remove(&key)
+                    .unwrap_or_default();
+                for waiter in waiters {
+                    let _ = waiter.send(Err(EngineError::Overloaded));
+                }
+                return match rejection {
+                    SubmitError::QueueFull => {
+                        EngineStats::bump(&self.stats.queue_rejections);
+                        Err(EngineError::Overloaded)
+                    }
+                    SubmitError::ShuttingDown => Err(EngineError::ShuttingDown),
+                };
+            }
+        }
+        rx.recv().map_err(|_| EngineError::ShuttingDown)?
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use job::{JobInput, JobParams};
+
+    fn engine() -> Arc<Engine> {
+        Engine::new(EngineConfig {
+            workers: 2,
+            queue_capacity: 32,
+            cache_capacity: 8,
+        })
+    }
+
+    fn borda_job(seed: u64) -> RankJob {
+        RankJob {
+            algorithm: "borda".to_string(),
+            input: JobInput::Votes {
+                votes: vec![vec![0, 1, 2, 3], vec![1, 0, 2, 3], vec![0, 1, 3, 2]],
+                groups: vec![0, 0, 1, 1],
+            },
+            params: JobParams {
+                seed,
+                ..JobParams::default()
+            },
+        }
+    }
+
+    #[test]
+    fn submit_runs_and_caches() {
+        let e = engine();
+        let first = e.submit(borda_job(1)).unwrap();
+        let second = e.submit(borda_job(1)).unwrap();
+        assert_eq!(first, second);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "second call must be a cache hit"
+        );
+        let json = e.stats_json().to_string();
+        assert!(json.contains("\"cache_hits\":1"), "{json}");
+        assert!(json.contains("\"cache_misses\":1"), "{json}");
+    }
+
+    #[test]
+    fn different_seeds_are_different_cache_entries() {
+        let e = engine();
+        let _ = e.submit(borda_job(1)).unwrap();
+        let _ = e.submit(borda_job(2)).unwrap();
+        let json = e.stats_json().to_string();
+        assert!(json.contains("\"cache_misses\":2"), "{json}");
+    }
+
+    #[test]
+    fn unknown_algorithm_rejected_without_queueing() {
+        let e = engine();
+        let mut job = borda_job(1);
+        job.algorithm = "psychic".to_string();
+        assert!(matches!(
+            e.submit(job),
+            Err(EngineError::UnknownAlgorithm(_))
+        ));
+    }
+
+    #[test]
+    fn algorithm_errors_propagate() {
+        let e = engine();
+        let job = RankJob {
+            algorithm: "borda".to_string(),
+            input: JobInput::Votes {
+                votes: vec![],
+                groups: vec![],
+            },
+            params: JobParams::default(),
+        };
+        let err = e.submit(job).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidJob(_)), "{err}");
+    }
+
+    #[test]
+    fn concurrent_submissions_from_many_threads() {
+        let e = Engine::new(EngineConfig {
+            workers: 4,
+            queue_capacity: 256,
+            cache_capacity: 256,
+        });
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let e = Arc::clone(&e);
+                std::thread::spawn(move || {
+                    for i in 0..8 {
+                        let out = e.submit(borda_job(t * 8 + i)).unwrap();
+                        assert_eq!(out.ranking.len(), 4);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let json = e.stats_json().to_string();
+        assert!(json.contains("\"jobs_executed\":64"), "{json}");
+    }
+
+    #[test]
+    fn identical_concurrent_jobs_coalesce_to_one_execution() {
+        let e = Engine::new(EngineConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 64,
+        });
+        // a heavy job, raced by 8 threads: exactly one execution, the
+        // other 7 either coalesce onto it or hit the cache afterwards
+        let n = 80;
+        let job = move || RankJob {
+            algorithm: "mallows".to_string(),
+            input: JobInput::Scores {
+                scores: (0..n).map(|i| 1.0 - i as f64 / n as f64).collect(),
+                groups: (0..n).map(|i| usize::from(i >= n / 2)).collect(),
+            },
+            params: JobParams {
+                samples: 40,
+                seed: 3,
+                ..JobParams::default()
+            },
+        };
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let e = Arc::clone(&e);
+                std::thread::spawn(move || e.submit(job()).unwrap())
+            })
+            .collect();
+        let results: Vec<Arc<RankResult>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results {
+            assert_eq!(r, &results[0]);
+        }
+        let json = e.stats_json().to_string();
+        assert!(
+            json.contains("\"jobs_executed\":1"),
+            "stampede must collapse to one execution: {json}"
+        );
+    }
+
+    #[test]
+    fn rejected_submissions_do_not_count_as_cache_misses() {
+        use crate::registry::{Algorithm, AlgorithmKind};
+        use std::sync::mpsc::{channel, Sender};
+
+        // an algorithm that blocks until released, so the single
+        // worker stays busy and the queue (capacity 1) fills up
+        struct Gated {
+            release: Mutex<Option<std::sync::mpsc::Receiver<()>>>,
+            started: Sender<()>,
+        }
+        impl Algorithm for Gated {
+            fn name(&self) -> &str {
+                "gated"
+            }
+            fn kind(&self) -> AlgorithmKind {
+                AlgorithmKind::PostProcessor
+            }
+            fn run(&self, job: &RankJob, _rng: &mut StdRng) -> Result<RankResult, EngineError> {
+                let _ = self.started.send(());
+                if let Some(gate) = self.release.lock().unwrap().take() {
+                    let _ = gate.recv();
+                }
+                Ok(RankResult {
+                    algorithm: job.algorithm.clone(),
+                    ranking: vec![0],
+                    consensus: None,
+                    metrics: vec![],
+                })
+            }
+        }
+
+        let (release_tx, release_rx) = channel();
+        let (started_tx, started_rx) = channel();
+        let mut registry = Registry::new();
+        registry.register(Arc::new(Gated {
+            release: Mutex::new(Some(release_rx)),
+            started: started_tx,
+        }));
+        let e = Engine::with_registry(
+            EngineConfig {
+                workers: 1,
+                queue_capacity: 1,
+                cache_capacity: 8,
+            },
+            registry,
+        );
+        let gated_job = |seed| RankJob {
+            algorithm: "gated".to_string(),
+            input: JobInput::Scores {
+                scores: vec![1.0],
+                groups: vec![],
+            },
+            params: JobParams {
+                seed,
+                ..JobParams::default()
+            },
+        };
+
+        // occupy the worker, then fill the queue
+        let runner = {
+            let e = Arc::clone(&e);
+            let job = gated_job(1);
+            std::thread::spawn(move || e.submit(job).unwrap())
+        };
+        started_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .unwrap();
+        let queued = {
+            let e = Arc::clone(&e);
+            let job = gated_job(2);
+            std::thread::spawn(move || e.submit(job).unwrap())
+        };
+        // wait until the queued job is actually enqueued
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !e.stats_json().to_string().contains("\"cache_misses\":2") {
+            assert!(std::time::Instant::now() < deadline, "{}", e.stats_json());
+            std::thread::yield_now();
+        }
+
+        // queue full: this submission must be rejected without
+        // inflating the miss counter
+        let err = e.submit(gated_job(3)).unwrap_err();
+        assert!(matches!(err, EngineError::Overloaded), "{err}");
+        let json = e.stats_json().to_string();
+        assert!(json.contains("\"cache_misses\":2"), "{json}");
+        assert!(json.contains("\"queue_rejections\":1"), "{json}");
+
+        release_tx.send(()).unwrap();
+        runner.join().unwrap();
+        queued.join().unwrap();
+    }
+
+    #[test]
+    fn error_source_chains() {
+        use std::error::Error as _;
+        let e = engine();
+        let job = RankJob {
+            algorithm: "gr-binary".to_string(),
+            input: JobInput::Scores {
+                scores: vec![1.0, 0.8, 0.6],
+                groups: vec![0, 1, 2], // three groups: GrBinary must fail
+            },
+            params: JobParams::default(),
+        };
+        let err = e.submit(job).unwrap_err();
+        assert!(matches!(err, EngineError::Algorithm(_)), "{err}");
+        assert!(err.source().is_some(), "wrapped error must chain");
+    }
+}

@@ -1,0 +1,222 @@
+//! Fixed-size worker pool with a bounded job queue.
+//!
+//! Jobs are boxed closures; submission is non-blocking and fails fast
+//! with [`SubmitError::QueueFull`] when the queue is at capacity, which
+//! the HTTP layer maps to `503 Service Unavailable` — under overload
+//! the engine sheds load instead of queueing unboundedly.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity.
+    QueueFull,
+    /// The pool is shutting down.
+    ShuttingDown,
+}
+
+struct State {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    job_ready: Condvar,
+    queue_capacity: usize,
+}
+
+/// A pool of worker threads draining a bounded FIFO queue.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads (at least 1) with the given queue bound.
+    pub fn new(workers: usize, queue_capacity: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            queue_capacity: queue_capacity.max(1),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fairrank-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs currently queued (excludes jobs being executed).
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().expect("pool lock").jobs.len()
+    }
+
+    /// Enqueue a job, failing fast when the queue is full.
+    pub fn try_submit(&self, job: Job) -> Result<(), SubmitError> {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        if state.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.jobs.len() >= self.shared.queue_capacity {
+            return Err(SubmitError::QueueFull);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.shared.job_ready.notify_one();
+        Ok(())
+    }
+
+    /// Drain the queue and join every worker. Queued jobs still run;
+    /// new submissions are rejected.
+    pub fn shutdown(mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            state.shutdown = true;
+        }
+        self.shared.job_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Signal shutdown but do not join: detached workers finish the
+        // queue in the background. Call [`WorkerPool::shutdown`] for a
+        // clean join.
+        if let Ok(mut state) = self.shared.state.lock() {
+            state.shutdown = true;
+        }
+        self.shared.job_ready.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool lock");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.job_ready.wait(state).expect("pool lock");
+            }
+        };
+        // A panicking job must not kill the worker: catch and keep
+        // serving. The submitting side observes the panic as a
+        // disconnected result channel.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn executes_submitted_jobs() {
+        let pool = WorkerPool::new(4, 64);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..32 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.try_submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            }))
+            .unwrap();
+        }
+        for _ in 0..32 {
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overflow() {
+        // one worker blocked on a gate → queue fills
+        let pool = WorkerPool::new(1, 2);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel();
+        pool.try_submit(Box::new(move || {
+            started_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        }))
+        .unwrap();
+        started_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .unwrap();
+        // worker busy; fill the queue
+        pool.try_submit(Box::new(|| {})).unwrap();
+        pool.try_submit(Box::new(|| {})).unwrap();
+        assert_eq!(
+            pool.try_submit(Box::new(|| {})),
+            Err(SubmitError::QueueFull)
+        );
+        gate_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_worker() {
+        let pool = WorkerPool::new(1, 8);
+        pool.try_submit(Box::new(|| panic!("boom"))).unwrap();
+        let (tx, rx) = mpsc::channel();
+        pool.try_submit(Box::new(move || tx.send(42).unwrap()))
+            .unwrap();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(),
+            42
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_runs_queued_jobs() {
+        let pool = WorkerPool::new(2, 64);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let counter = Arc::clone(&counter);
+            pool.try_submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = WorkerPool::new(0, 1);
+        assert_eq!(pool.workers(), 1);
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,629 @@
+//! The algorithm registry: every aggregator and fair post-processor in
+//! the workspace, registered by its canonical name behind a common
+//! `RankJob → RankResult` trait object.
+//!
+//! Names are shared with the `fairrank` CLI and the umbrella crate's
+//! [`fairness_ranking::pipeline::PipelineSpec`], so a name accepted on
+//! the command line is accepted by `POST /rank` and vice versa.
+
+use crate::job::{JobInput, RankJob, RankResult};
+use crate::EngineError;
+use fair_baselines::{
+    approx_multi_valued_ipf, det_const_sort, fa_ir, fair_top_k, gr_binary_ipf,
+    optimal_fair_ranking_dp, optimal_fair_ranking_kt, weakly_fair_ranking, DetConstSortConfig,
+    FaIrConfig, FairnessMode, IpfConfig,
+};
+use fair_mallows::{Criterion, MallowsFairRanker};
+use fairness_metrics::{infeasible, FairnessBounds, GroupAssignment};
+use fairness_ranking::pipeline::{Aggregator, PipelineSpec, PostProcessor};
+use rand::rngs::StdRng;
+use ranking_core::quality::{self, Discount};
+use ranking_core::Permutation;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// What a registered algorithm consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmKind {
+    /// Consumes a vote profile, produces a consensus.
+    Aggregator,
+    /// Consumes a scored candidate pool, produces a fair(er) ranking.
+    PostProcessor,
+    /// Consumes a vote profile, produces consensus + fair ranking.
+    Pipeline,
+}
+
+/// A named algorithm the engine can execute. Implementations must be
+/// [`Send`]`+`[`Sync`]: one instance is shared by every worker thread.
+pub trait Algorithm: Send + Sync {
+    /// Registry name.
+    fn name(&self) -> &str;
+
+    /// Input contract.
+    fn kind(&self) -> AlgorithmKind;
+
+    /// Execute a job. `rng` is seeded per job by the engine, so equal
+    /// jobs produce equal results regardless of worker interleaving.
+    fn run(&self, job: &RankJob, rng: &mut StdRng) -> Result<RankResult, EngineError>;
+}
+
+type RunFn = Box<dyn Fn(&RankJob, &mut StdRng) -> Result<RankResult, EngineError> + Send + Sync>;
+
+struct FnAlgorithm {
+    name: &'static str,
+    kind: AlgorithmKind,
+    run: RunFn,
+}
+
+impl Algorithm for FnAlgorithm {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn kind(&self) -> AlgorithmKind {
+        self.kind
+    }
+
+    fn run(&self, job: &RankJob, rng: &mut StdRng) -> Result<RankResult, EngineError> {
+        (self.run)(job, rng)
+    }
+}
+
+/// Name → algorithm map.
+pub struct Registry {
+    map: BTreeMap<String, Arc<dyn Algorithm>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry {
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// The standard registry: all five aggregators, all fair
+    /// post-processors and baselines, and the two-stage pipeline.
+    pub fn standard() -> Self {
+        let mut r = Registry::new();
+        for agg in Aggregator::ALL {
+            r.register_fn(agg.name(), AlgorithmKind::Aggregator, move |job, rng| {
+                run_aggregator(agg, job, rng)
+            });
+        }
+        r.register_fn("pipeline", AlgorithmKind::Pipeline, run_pipeline);
+        for name in SCORE_ALGORITHMS {
+            r.register_fn(name, AlgorithmKind::PostProcessor, move |job, rng| {
+                run_score_algorithm(name, job, rng)
+            });
+        }
+        r
+    }
+
+    fn register_fn(
+        &mut self,
+        name: &'static str,
+        kind: AlgorithmKind,
+        run: impl Fn(&RankJob, &mut StdRng) -> Result<RankResult, EngineError> + Send + Sync + 'static,
+    ) {
+        self.register(Arc::new(FnAlgorithm {
+            name,
+            kind,
+            run: Box::new(run),
+        }));
+    }
+
+    /// Register an algorithm under its own name (replacing any previous
+    /// entry with that name).
+    pub fn register(&mut self, algorithm: Arc<dyn Algorithm>) {
+        self.map.insert(algorithm.name().to_string(), algorithm);
+    }
+
+    /// Look up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Algorithm>> {
+        self.map.get(name).cloned()
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.map.keys().map(String::as_str).collect()
+    }
+
+    /// Registered names of one kind, sorted.
+    pub fn names_of_kind(&self, kind: AlgorithmKind) -> Vec<&str> {
+        self.map
+            .iter()
+            .filter(|(_, a)| a.kind() == kind)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::standard()
+    }
+}
+
+/// Score-pool algorithms mirroring `fairrank rank --algorithm …`.
+const SCORE_ALGORITHMS: [&str; 9] = [
+    "weakly-fair",
+    "mallows",
+    "detconstsort",
+    "ipf",
+    "exact-kt",
+    "gr-binary",
+    "ilp",
+    "fair-top-k",
+    "fa-ir",
+];
+
+fn invalid(message: impl Into<String>) -> EngineError {
+    EngineError::InvalidJob(message.into())
+}
+
+fn algo_err<E: std::error::Error + Send + Sync + 'static>(e: E) -> EngineError {
+    EngineError::Algorithm(Box::new(e))
+}
+
+/// Dense group assignment from a job's `groups` column (empty ⇒ one
+/// group containing everything).
+fn group_assignment(groups: &[usize], n: usize) -> Result<GroupAssignment, EngineError> {
+    if groups.is_empty() {
+        return GroupAssignment::new(vec![0; n], 1).map_err(algo_err);
+    }
+    if groups.len() != n {
+        return Err(invalid(format!(
+            "groups has {} entries, expected {n}",
+            groups.len()
+        )));
+    }
+    let num_groups = groups.iter().max().map_or(1, |&g| g + 1);
+    GroupAssignment::new(groups.to_vec(), num_groups).map_err(algo_err)
+}
+
+fn votes_input(job: &RankJob) -> Result<(Vec<Permutation>, GroupAssignment), EngineError> {
+    let JobInput::Votes { votes, groups } = &job.input else {
+        return Err(invalid(format!(
+            "algorithm `{}` expects a vote profile",
+            job.algorithm
+        )));
+    };
+    if votes.is_empty() {
+        return Err(invalid("empty vote profile"));
+    }
+    let parsed: Vec<Permutation> = votes
+        .iter()
+        .map(|v| Permutation::from_order(v.clone()))
+        .collect::<Result<_, _>>()
+        .map_err(algo_err)?;
+    let n = parsed[0].len();
+    if parsed.iter().any(|p| p.len() != n) {
+        return Err(invalid("votes have mismatched lengths"));
+    }
+    Ok((parsed, group_assignment(groups, n)?))
+}
+
+fn scores_input(job: &RankJob) -> Result<(&[f64], GroupAssignment), EngineError> {
+    let JobInput::Scores { scores, groups } = &job.input else {
+        return Err(invalid(format!(
+            "algorithm `{}` expects a scored candidate pool",
+            job.algorithm
+        )));
+    };
+    if scores.is_empty() {
+        return Err(invalid("empty candidate pool"));
+    }
+    if scores.iter().any(|s| !s.is_finite()) {
+        return Err(invalid("scores must be finite"));
+    }
+    Ok((scores, group_assignment(groups, scores.len())?))
+}
+
+fn run_aggregator(
+    aggregator: Aggregator,
+    job: &RankJob,
+    rng: &mut StdRng,
+) -> Result<RankResult, EngineError> {
+    let (votes, groups) = votes_input(job)?;
+    let bounds = FairnessBounds::from_assignment_with_tolerance(&groups, job.params.tolerance);
+    let out = PipelineSpec {
+        aggregator,
+        post: PostProcessor::None,
+    }
+    .build()
+    .run(&votes, &groups, &bounds, rng)
+    .map_err(algo_err)?;
+    Ok(RankResult {
+        algorithm: job.algorithm.clone(),
+        ranking: out.consensus.as_order().to_vec(),
+        consensus: None,
+        metrics: vec![
+            (
+                "total_kendall_distance".into(),
+                out.consensus_total_kt as f64,
+            ),
+            ("infeasible_index".into(), out.consensus_infeasible as f64),
+        ],
+    })
+}
+
+fn run_pipeline(job: &RankJob, rng: &mut StdRng) -> Result<RankResult, EngineError> {
+    let (votes, groups) = votes_input(job)?;
+    let p = &job.params;
+    let spec = PipelineSpec::parse(&p.method, &p.post, p.theta, p.samples).ok_or_else(|| {
+        invalid(format!(
+            "unknown pipeline stage `{}` + `{}`",
+            p.method, p.post
+        ))
+    })?;
+    let bounds = FairnessBounds::from_assignment_with_tolerance(&groups, p.tolerance);
+    let out = spec
+        .build()
+        .run(&votes, &groups, &bounds, rng)
+        .map_err(algo_err)?;
+    Ok(RankResult {
+        algorithm: job.algorithm.clone(),
+        ranking: out.fair_ranking.as_order().to_vec(),
+        consensus: Some(out.consensus.as_order().to_vec()),
+        metrics: vec![
+            ("consensus_total_kt".into(), out.consensus_total_kt as f64),
+            ("fair_total_kt".into(), out.fair_total_kt as f64),
+            (
+                "consensus_infeasible".into(),
+                out.consensus_infeasible as f64,
+            ),
+            ("fair_infeasible".into(), out.fair_infeasible as f64),
+        ],
+    })
+}
+
+fn run_score_algorithm(
+    name: &str,
+    job: &RankJob,
+    rng: &mut StdRng,
+) -> Result<RankResult, EngineError> {
+    let (scores, groups) = scores_input(job)?;
+    let p = &job.params;
+    let n = scores.len();
+    let k = p.k.unwrap_or(n).min(n);
+    let bounds = FairnessBounds::from_assignment_with_tolerance(&groups, p.tolerance);
+    let order: Vec<usize> = match name {
+        "weakly-fair" => weakly_fair_ranking(scores, &groups, &bounds).into_order(),
+        "mallows" => {
+            let ranker =
+                MallowsFairRanker::new(p.theta, p.samples, Criterion::MaxNdcg(scores.to_vec()))
+                    .map_err(algo_err)?;
+            let center = weakly_fair_ranking(scores, &groups, &bounds);
+            ranker
+                .rank(&center, rng)
+                .map_err(algo_err)?
+                .ranking
+                .into_order()
+        }
+        "detconstsort" => det_const_sort(
+            scores,
+            &groups,
+            &bounds,
+            &DetConstSortConfig::default(),
+            rng,
+        )
+        .map_err(algo_err)?
+        .into_order(),
+        "ipf" => {
+            let sigma = Permutation::sorted_by_scores_desc(scores);
+            approx_multi_valued_ipf(&sigma, &groups, &bounds, &IpfConfig::default(), rng)
+                .map_err(algo_err)?
+                .ranking
+                .into_order()
+        }
+        "exact-kt" => {
+            let sigma = Permutation::sorted_by_scores_desc(scores);
+            optimal_fair_ranking_kt(&sigma, &groups, &bounds.tables(n))
+                .map_err(algo_err)?
+                .into_order()
+        }
+        "gr-binary" => {
+            let sigma = Permutation::sorted_by_scores_desc(scores);
+            gr_binary_ipf(&sigma, &groups, &bounds)
+                .map_err(algo_err)?
+                .into_order()
+        }
+        "ilp" => optimal_fair_ranking_dp(scores, &groups, &bounds.tables(n), Discount::Log2)
+            .map_err(algo_err)?
+            .into_order(),
+        "fair-top-k" => fair_top_k(
+            scores,
+            &groups,
+            &bounds,
+            k,
+            FairnessMode::Weak,
+            Discount::Log2,
+        )
+        .map_err(algo_err)?,
+        "fa-ir" => {
+            if p.protected >= groups.num_groups() {
+                return Err(invalid(format!(
+                    "protected group {} out of range ({} groups)",
+                    p.protected,
+                    groups.num_groups()
+                )));
+            }
+            let share = groups.proportions()[p.protected];
+            let config = FaIrConfig {
+                min_proportion: p.proportion.unwrap_or(share),
+                significance: p.alpha,
+                adjust: true,
+            };
+            fa_ir(scores, &groups, p.protected, k, &config).map_err(algo_err)?
+        }
+        other => return Err(EngineError::UnknownAlgorithm(other.to_string())),
+    };
+    let metrics = score_metrics(&order, scores, &groups, p.tolerance)?;
+    Ok(RankResult {
+        algorithm: job.algorithm.clone(),
+        ranking: order,
+        consensus: None,
+        metrics,
+    })
+}
+
+/// Utility + fairness report for a (possibly truncated) ranking,
+/// mirroring the `fairrank rank` footer: NDCG within the selection and
+/// versus the pool ideal, infeasible index and P-fair percentage over
+/// the selected items.
+fn score_metrics(
+    order: &[usize],
+    scores: &[f64],
+    groups: &GroupAssignment,
+    tolerance: f64,
+) -> Result<Vec<(String, f64)>, EngineError> {
+    let sub_scores: Vec<f64> = order.iter().map(|&i| scores[i]).collect();
+    let sub_groups = groups.subset(order);
+    let sub_bounds = FairnessBounds::from_assignment_with_tolerance(&sub_groups, tolerance);
+    let pi = Permutation::identity(order.len());
+    let ndcg = quality::ndcg(&pi, &sub_scores).map_err(algo_err)?;
+    let mut ideal = scores.to_vec();
+    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let pool_idcg: f64 = ideal
+        .iter()
+        .take(order.len())
+        .enumerate()
+        .map(|(i, s)| s * Discount::Log2.at(i + 1))
+        .sum();
+    let dcg: f64 = sub_scores
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s * Discount::Log2.at(i + 1))
+        .sum();
+    let ii =
+        infeasible::two_sided_infeasible_index(&pi, &sub_groups, &sub_bounds).map_err(algo_err)?;
+    let pf = infeasible::pfair_percentage(&pi, &sub_groups, &sub_bounds).map_err(algo_err)?;
+    let mut metrics = vec![
+        ("ndcg_within_selection".to_string(), ndcg),
+        ("infeasible_index".to_string(), ii as f64),
+        ("pfair_percentage".to_string(), pf),
+    ];
+    if pool_idcg > 0.0 {
+        metrics.insert(1, ("ndcg_vs_pool".to_string(), dcg / pool_idcg));
+    }
+    Ok(metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobParams;
+    use rand::SeedableRng;
+
+    fn scores_job(algorithm: &str) -> RankJob {
+        RankJob {
+            algorithm: algorithm.to_string(),
+            input: JobInput::Scores {
+                scores: vec![0.95, 0.9, 0.85, 0.8, 0.6, 0.55, 0.5, 0.45],
+                groups: vec![0, 0, 0, 0, 1, 1, 1, 1],
+            },
+            params: JobParams {
+                samples: 5,
+                ..JobParams::default()
+            },
+        }
+    }
+
+    fn votes_job(algorithm: &str) -> RankJob {
+        RankJob {
+            algorithm: algorithm.to_string(),
+            input: JobInput::Votes {
+                votes: vec![vec![0, 1, 2, 3], vec![0, 1, 3, 2], vec![1, 0, 2, 3]],
+                groups: vec![0, 0, 1, 1],
+            },
+            params: JobParams {
+                tolerance: 0.2,
+                ..JobParams::default()
+            },
+        }
+    }
+
+    #[test]
+    fn standard_registry_has_all_names() {
+        let r = Registry::standard();
+        for name in ["borda", "copeland", "footrule", "kemeny", "markov"] {
+            assert_eq!(
+                r.get(name).unwrap().kind(),
+                AlgorithmKind::Aggregator,
+                "{name}"
+            );
+        }
+        for name in SCORE_ALGORITHMS {
+            assert_eq!(
+                r.get(name).unwrap().kind(),
+                AlgorithmKind::PostProcessor,
+                "{name}"
+            );
+        }
+        assert_eq!(r.get("pipeline").unwrap().kind(), AlgorithmKind::Pipeline);
+        assert!(r.get("nope").is_none());
+        assert_eq!(r.names().len(), 15);
+    }
+
+    #[test]
+    fn every_score_algorithm_produces_a_valid_ranking() {
+        let r = Registry::standard();
+        for name in SCORE_ALGORITHMS {
+            let job = scores_job(name);
+            let mut rng = StdRng::seed_from_u64(7);
+            let out = r
+                .get(name)
+                .unwrap()
+                .run(&job, &mut rng)
+                .unwrap_or_else(|e| {
+                    panic!("{name}: {e}");
+                });
+            let mut sorted = out.ranking.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), out.ranking.len(), "{name}: duplicate items");
+            assert!(out.ranking.len() <= 8, "{name}");
+            assert!(out.metric("ndcg_within_selection").is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn every_aggregator_recovers_unanimity() {
+        let r = Registry::standard();
+        let votes = vec![vec![2, 0, 3, 1]; 4];
+        for name in ["borda", "copeland", "footrule", "kemeny", "markov"] {
+            let job = RankJob {
+                algorithm: name.to_string(),
+                input: JobInput::Votes {
+                    votes: votes.clone(),
+                    groups: vec![],
+                },
+                params: JobParams::default(),
+            };
+            let mut rng = StdRng::seed_from_u64(3);
+            let out = r.get(name).unwrap().run(&job, &mut rng).unwrap();
+            assert_eq!(out.ranking, vec![2, 0, 3, 1], "{name}");
+            assert_eq!(out.metric("total_kendall_distance"), Some(0.0), "{name}");
+        }
+    }
+
+    #[test]
+    fn pipeline_matches_direct_library_call() {
+        use fairness_ranking::pipeline::FairAggregationPipeline;
+
+        let job = RankJob {
+            algorithm: "pipeline".to_string(),
+            params: JobParams {
+                method: "borda".into(),
+                post: "mallows".into(),
+                theta: 1.0,
+                samples: 15,
+                tolerance: 0.2,
+                seed: 11,
+                ..JobParams::default()
+            },
+            ..votes_job("pipeline")
+        };
+        let r = Registry::standard();
+        let mut rng = StdRng::seed_from_u64(job.params.seed);
+        let out = r.get("pipeline").unwrap().run(&job, &mut rng).unwrap();
+
+        // identical library call with the same seed
+        let votes: Vec<Permutation> = [[0, 1, 2, 3], [0, 1, 3, 2], [1, 0, 2, 3]]
+            .iter()
+            .map(|v| Permutation::from_order(v.to_vec()).unwrap())
+            .collect();
+        let groups = GroupAssignment::new(vec![0, 0, 1, 1], 2).unwrap();
+        let bounds = FairnessBounds::from_assignment_with_tolerance(&groups, 0.2);
+        let mut lib_rng = StdRng::seed_from_u64(11);
+        let lib = FairAggregationPipeline::new(
+            Aggregator::Borda,
+            PostProcessor::Mallows {
+                theta: 1.0,
+                samples: 15,
+            },
+        )
+        .run(&votes, &groups, &bounds, &mut lib_rng)
+        .unwrap();
+        assert_eq!(out.ranking, lib.fair_ranking.as_order());
+        assert_eq!(out.consensus.as_deref(), Some(lib.consensus.as_order()));
+        assert_eq!(out.metric("fair_total_kt"), Some(lib.fair_total_kt as f64));
+        assert_eq!(
+            out.metric("consensus_infeasible"),
+            Some(lib.consensus_infeasible as f64)
+        );
+    }
+
+    #[test]
+    fn kind_mismatch_is_invalid_job() {
+        let r = Registry::standard();
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = r
+            .get("borda")
+            .unwrap()
+            .run(&scores_job("borda"), &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidJob(_)), "{err}");
+        let err = r
+            .get("mallows")
+            .unwrap()
+            .run(&votes_job("mallows"), &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidJob(_)), "{err}");
+    }
+
+    #[test]
+    fn malformed_votes_rejected() {
+        let r = Registry::standard();
+        let mut rng = StdRng::seed_from_u64(1);
+        for votes in [
+            vec![vec![0usize, 0, 1]],        // duplicate
+            vec![vec![0, 1, 2], vec![0, 1]], // length mismatch
+            vec![],                          // empty profile
+        ] {
+            let job = RankJob {
+                algorithm: "borda".to_string(),
+                input: JobInput::Votes {
+                    votes,
+                    groups: vec![],
+                },
+                params: JobParams::default(),
+            };
+            assert!(r.get("borda").unwrap().run(&job, &mut rng).is_err());
+        }
+    }
+
+    #[test]
+    fn fa_ir_protected_out_of_range_rejected() {
+        let r = Registry::standard();
+        let mut job = scores_job("fa-ir");
+        job.params.protected = 5;
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            r.get("fa-ir").unwrap().run(&job, &mut rng),
+            Err(EngineError::InvalidJob(_))
+        ));
+    }
+
+    #[test]
+    fn fair_top_k_truncates() {
+        let r = Registry::standard();
+        let mut job = scores_job("fair-top-k");
+        job.params.k = Some(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = r.get("fair-top-k").unwrap().run(&job, &mut rng).unwrap();
+        assert_eq!(out.ranking.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let r = Registry::standard();
+        let job = scores_job("mallows");
+        let mut a_rng = StdRng::seed_from_u64(job.params.seed);
+        let mut b_rng = StdRng::seed_from_u64(job.params.seed);
+        let a = r.get("mallows").unwrap().run(&job, &mut a_rng).unwrap();
+        let b = r.get("mallows").unwrap().run(&job, &mut b_rng).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,590 @@
+//! HTTP/1.1 JSON API over `std::net::TcpListener` — no async runtime.
+//!
+//! Routes:
+//!
+//! | route             | body                                           |
+//! |-------------------|------------------------------------------------|
+//! | `POST /rank`      | `{"algorithm","scores",["groups"],…params}`    |
+//! | `POST /aggregate` | `{"method","votes",["groups"],…params}`        |
+//! | `POST /pipeline`  | `{"votes","groups",["method","post"],…params}` |
+//! | `GET /healthz`    | —                                              |
+//! | `GET /stats`      | —                                              |
+//!
+//! Shared params: `theta`, `samples`, `tolerance`, `k`, `seed`,
+//! `protected`, `proportion`, `alpha` — same names and defaults as the
+//! `fairrank` CLI flags.
+//!
+//! Error mapping: malformed request → `400`, unknown algorithm → `404`,
+//! algorithm failure → `422`, full job queue → `503`.
+//!
+//! Concurrency model: one OS thread per connection (connections are
+//! short-lived; `Connection: close` is always sent), all of them
+//! funnelling into the engine's bounded worker pool, which is where
+//! admission control happens.
+
+use crate::job::{JobInput, JobParams, RankJob};
+use crate::json::Json;
+use crate::registry::AlgorithmKind;
+use crate::stats::EngineStats;
+use crate::{Engine, EngineError};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Maximum accepted request-body size (16 MiB).
+const MAX_BODY: usize = 16 << 20;
+/// Maximum accepted header-block size (16 KiB).
+const MAX_HEADER: usize = 16 << 10;
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: JoinHandle<()>,
+}
+
+impl Server {
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind(addr: &str, engine: Arc<Engine>) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            engine,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// Serve forever on the current thread.
+    pub fn run(self) {
+        let stop = Arc::new(AtomicBool::new(false));
+        self.accept_loop(&stop);
+    }
+
+    /// Serve on a background thread; the handle shuts it down.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_for_loop = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("fairrank-accept".to_string())
+            .spawn(move || self.accept_loop(&stop_for_loop))
+            .expect("spawning the accept thread");
+        ServerHandle { addr, stop, thread }
+    }
+
+    fn accept_loop(self, stop: &AtomicBool) {
+        for connection in self.listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match connection {
+                Ok(stream) => stream,
+                Err(_) => {
+                    // accept() fails in a tight loop under fd
+                    // exhaustion — back off instead of spinning at
+                    // 100% CPU while the worker threads drain
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    continue;
+                }
+            };
+            let engine = Arc::clone(&self.engine);
+            let spawned = std::thread::Builder::new()
+                .name("fairrank-conn".to_string())
+                .spawn(move || {
+                    let _ = handle_connection(stream, &engine);
+                });
+            if let Err(_e) = spawned {
+                // thread spawn failed (resource exhaustion): the moved
+                // stream is gone with the failed closure, so the client
+                // sees a closed connection; pause before accepting more
+                EngineStats::bump(&self.engine.stats().http_errors);
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+impl ServerHandle {
+    /// The address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept thread.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // kick the blocking accept() so it observes the flag
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.thread.join();
+    }
+}
+
+fn handle_connection(stream: TcpStream, engine: &Arc<Engine>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(std::time::Duration::from_secs(30)))?;
+    EngineStats::bump(&engine.stats().http_requests);
+    let mut reader = BufReader::new(stream);
+    let request = match read_request(&mut reader) {
+        Ok(request) => request,
+        Err(message) => {
+            let mut stream = reader.into_inner();
+            EngineStats::bump(&engine.stats().http_errors);
+            return write_response(&mut stream, 400, &error_body(&message));
+        }
+    };
+    let (status, body) = route(&request, engine);
+    if status >= 400 {
+        EngineStats::bump(&engine.stats().http_errors);
+    }
+    let mut stream = reader.into_inner();
+    write_response(&mut stream, status, &body)
+}
+
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+/// Read one `\n`-terminated line, buffering at most `max` bytes — a
+/// client streaming an endless unterminated line must not grow memory
+/// past the cap (plain `read_line` only checks limits after the whole
+/// line has been buffered).
+fn read_line_limited(reader: &mut BufReader<TcpStream>, max: usize) -> Result<String, String> {
+    let mut line = Vec::new();
+    (&mut *reader)
+        .take(max as u64 + 1)
+        .read_until(b'\n', &mut line)
+        .map_err(|e| format!("cannot read line: {e}"))?;
+    if line.len() > max {
+        return Err("header line too long".to_string());
+    }
+    String::from_utf8(line).map_err(|_| "header is not utf-8".to_string())
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, String> {
+    let request_line = read_line_limited(reader, MAX_HEADER)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err("malformed request line".to_string());
+    }
+
+    let mut content_length = 0usize;
+    let mut header_bytes = request_line.len();
+    loop {
+        let line = read_line_limited(reader, MAX_HEADER)?;
+        header_bytes += line.len();
+        if header_bytes > MAX_HEADER {
+            return Err("header block too large".to_string());
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "invalid content-length".to_string())?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY} limit"
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("cannot read body: {e}"))?;
+    let body = String::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
+    Ok(Request { method, path, body })
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+fn error_body(message: &str) -> String {
+    Json::object(vec![("error", Json::String(message.to_string()))]).to_string()
+}
+
+fn route(request: &Request, engine: &Arc<Engine>) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let body = Json::object(vec![
+                ("status", Json::String("ok".to_string())),
+                (
+                    "algorithms",
+                    Json::Array(
+                        engine
+                            .registry()
+                            .names()
+                            .into_iter()
+                            .map(|n| Json::String(n.to_string()))
+                            .collect(),
+                    ),
+                ),
+            ]);
+            (200, body.to_string())
+        }
+        ("GET", "/stats") => (200, engine.stats_json().to_string()),
+        ("POST", "/rank") => submit_route(request, engine, Route::Rank),
+        ("POST", "/aggregate") => submit_route(request, engine, Route::Aggregate),
+        ("POST", "/pipeline") => submit_route(request, engine, Route::Pipeline),
+        ("POST", _) | ("GET", _) => (404, error_body("no such route")),
+        _ => (405, error_body("method not allowed")),
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Route {
+    Rank,
+    Aggregate,
+    Pipeline,
+}
+
+fn submit_route(request: &Request, engine: &Arc<Engine>, route: Route) -> (u16, String) {
+    let job = match parse_job(&request.body, route) {
+        Ok(job) => job,
+        Err(message) => return (400, error_body(&message)),
+    };
+    // each route only accepts algorithms of its kind, so `POST /rank`
+    // cannot invoke an aggregator and vice versa
+    if let Some(algorithm) = engine.registry().get(&job.algorithm) {
+        let expected = match route {
+            Route::Rank => AlgorithmKind::PostProcessor,
+            Route::Aggregate => AlgorithmKind::Aggregator,
+            Route::Pipeline => AlgorithmKind::Pipeline,
+        };
+        if algorithm.kind() != expected {
+            return (
+                400,
+                error_body(&format!(
+                    "algorithm `{}` cannot be used on this route",
+                    job.algorithm
+                )),
+            );
+        }
+    }
+    match engine.submit(job) {
+        Ok(result) => (200, result.to_json().to_string()),
+        Err(e @ EngineError::UnknownAlgorithm(_)) => (404, error_body(&e.to_string())),
+        Err(e @ EngineError::InvalidJob(_)) => (400, error_body(&e.to_string())),
+        Err(e @ EngineError::Algorithm(_)) => (422, error_body(&e.to_string())),
+        Err(e @ EngineError::Overloaded) => (503, error_body(&e.to_string())),
+        Err(e @ EngineError::ShuttingDown) => (503, error_body(&e.to_string())),
+    }
+}
+
+fn parse_job(body: &str, route: Route) -> Result<RankJob, String> {
+    let doc = Json::parse(body).map_err(|e| e.to_string())?;
+    if !matches!(doc, Json::Object(_)) {
+        return Err("request body must be a JSON object".to_string());
+    }
+    let params = parse_params(&doc)?;
+
+    let groups: Vec<usize> = match doc.get("groups") {
+        None => Vec::new(),
+        Some(value) => value
+            .as_array()
+            .ok_or("`groups` must be an array")?
+            .iter()
+            .map(|g| {
+                g.as_usize()
+                    .ok_or("`groups` entries must be non-negative integers")
+            })
+            .collect::<Result<_, _>>()?,
+    };
+
+    match route {
+        Route::Rank => {
+            let algorithm = doc
+                .get("algorithm")
+                .and_then(Json::as_str)
+                .ok_or("`algorithm` (string) is required")?
+                .to_string();
+            let scores: Vec<f64> = doc
+                .get("scores")
+                .and_then(Json::as_array)
+                .ok_or("`scores` (array of numbers) is required")?
+                .iter()
+                .map(|s| s.as_f64().ok_or("`scores` entries must be numbers"))
+                .collect::<Result<_, _>>()?;
+            Ok(RankJob {
+                algorithm,
+                input: JobInput::Scores { scores, groups },
+                params,
+            })
+        }
+        Route::Aggregate | Route::Pipeline => {
+            let votes: Vec<Vec<usize>> = doc
+                .get("votes")
+                .and_then(Json::as_array)
+                .ok_or("`votes` (array of rankings) is required")?
+                .iter()
+                .map(|vote| {
+                    vote.as_array()
+                        .ok_or("each vote must be an array")?
+                        .iter()
+                        .map(|i| {
+                            i.as_usize()
+                                .ok_or("vote entries must be non-negative integers")
+                        })
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .collect::<Result<_, _>>()?;
+            let algorithm = if route == Route::Pipeline {
+                "pipeline".to_string()
+            } else {
+                doc.get("method")
+                    .or_else(|| doc.get("algorithm"))
+                    .and_then(Json::as_str)
+                    .ok_or("`method` (string) is required")?
+                    .to_string()
+            };
+            Ok(RankJob {
+                algorithm,
+                input: JobInput::Votes { votes, groups },
+                params,
+            })
+        }
+    }
+}
+
+fn parse_params(doc: &Json) -> Result<JobParams, String> {
+    let mut params = JobParams::default();
+    if let Some(v) = doc.get("theta") {
+        params.theta = v.as_f64().ok_or("`theta` must be a number")?;
+    }
+    if let Some(v) = doc.get("samples") {
+        params.samples = v
+            .as_usize()
+            .ok_or("`samples` must be a non-negative integer")?;
+    }
+    if let Some(v) = doc.get("tolerance") {
+        params.tolerance = v.as_f64().ok_or("`tolerance` must be a number")?;
+    }
+    if let Some(v) = doc.get("k") {
+        params.k = Some(v.as_usize().ok_or("`k` must be a non-negative integer")?);
+    }
+    if let Some(v) = doc.get("seed") {
+        params.seed = v.as_u64().ok_or("`seed` must be a non-negative integer")?;
+    }
+    if let Some(v) = doc.get("method") {
+        params.method = v.as_str().ok_or("`method` must be a string")?.to_string();
+    }
+    if let Some(v) = doc.get("post") {
+        params.post = v.as_str().ok_or("`post` must be a string")?.to_string();
+    }
+    if let Some(v) = doc.get("protected") {
+        params.protected = v
+            .as_usize()
+            .ok_or("`protected` must be a non-negative integer")?;
+    }
+    if let Some(v) = doc.get("proportion") {
+        params.proportion = Some(v.as_f64().ok_or("`proportion` must be a number")?);
+    }
+    if let Some(v) = doc.get("alpha") {
+        params.alpha = v.as_f64().ok_or("`alpha` must be a number")?;
+    }
+    Ok(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineConfig;
+
+    fn start() -> ServerHandle {
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            queue_capacity: 32,
+            cache_capacity: 32,
+        });
+        Server::bind("127.0.0.1:0", engine).unwrap().spawn()
+    }
+
+    /// Minimal HTTP client for the tests.
+    fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nhost: fairrank\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let status: u16 = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn healthz_lists_algorithms() {
+        let server = start();
+        let (status, body) = http(server.addr(), "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"mallows\""), "{body}");
+        assert!(body.contains("\"borda\""), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn rank_round_trip() {
+        let server = start();
+        let (status, body) = http(
+            server.addr(),
+            "POST",
+            "/rank",
+            r#"{"algorithm":"weakly-fair","scores":[0.9,0.8,0.4,0.3],"groups":[0,0,1,1],"tolerance":0.2}"#,
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"ranking\":["), "{body}");
+        assert!(body.contains("ndcg_within_selection"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn aggregate_round_trip() {
+        let server = start();
+        let (status, body) = http(
+            server.addr(),
+            "POST",
+            "/aggregate",
+            r#"{"method":"borda","votes":[[0,1,2],[0,1,2],[1,0,2]]}"#,
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"ranking\":[0,1,2]"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_reports_cache_hits() {
+        let server = start();
+        let body = r#"{"algorithm":"weakly-fair","scores":[0.9,0.1],"groups":[0,1],"seed":7}"#;
+        let (s1, _) = http(server.addr(), "POST", "/rank", body);
+        let (s2, _) = http(server.addr(), "POST", "/rank", body);
+        assert_eq!((s1, s2), (200, 200));
+        let (status, stats) = http(server.addr(), "GET", "/stats", "");
+        assert_eq!(status, 200);
+        assert!(stats.contains("\"cache_hits\":1"), "{stats}");
+        assert!(stats.contains("\"cache_misses\":1"), "{stats}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn error_statuses() {
+        let server = start();
+        // malformed JSON → 400
+        let (status, _) = http(server.addr(), "POST", "/rank", "{nope");
+        assert_eq!(status, 400);
+        // unknown algorithm → 404
+        let (status, _) = http(
+            server.addr(),
+            "POST",
+            "/rank",
+            r#"{"algorithm":"psychic","scores":[1.0]}"#,
+        );
+        assert_eq!(status, 404);
+        // wrong route for the algorithm's kind → 400
+        let (status, _) = http(
+            server.addr(),
+            "POST",
+            "/rank",
+            r#"{"algorithm":"borda","scores":[1.0]}"#,
+        );
+        assert_eq!(status, 400);
+        // algorithm failure (3 groups into gr-binary) → 422
+        let (status, _) = http(
+            server.addr(),
+            "POST",
+            "/rank",
+            r#"{"algorithm":"gr-binary","scores":[1.0,0.5,0.2],"groups":[0,1,2]}"#,
+        );
+        assert_eq!(status, 422);
+        // unknown route → 404
+        let (status, _) = http(server.addr(), "GET", "/nope", "");
+        assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_unterminated_header_is_rejected_not_buffered() {
+        let server = start();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // a request line that never ends: the server must cut it off at
+        // the header cap instead of buffering it forever (write just
+        // past the cap, then stop, so the 400 isn't lost to a reset)
+        let chunk = vec![b'A'; 20 << 10]; // 20 KiB > 16 KiB cap, no newline
+        stream.write_all(b"GET /").unwrap();
+        stream.write_all(&chunk).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        assert!(response.contains("header line too long"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipeline_round_trip_contains_both_rankings() {
+        let server = start();
+        let (status, body) = http(
+            server.addr(),
+            "POST",
+            "/pipeline",
+            r#"{"votes":[[0,1,2,3],[0,1,3,2],[1,0,2,3]],"groups":[0,0,1,1],"method":"borda","post":"mallows","theta":1.0,"samples":15,"tolerance":0.2,"seed":11}"#,
+        );
+        assert_eq!(status, 200, "{body}");
+        for key in [
+            "\"consensus\":[",
+            "\"fair_ranking\":[",
+            "consensus_total_kt",
+            "fair_total_kt",
+            "consensus_infeasible",
+            "fair_infeasible",
+        ] {
+            assert!(body.contains(key), "missing {key} in {body}");
+        }
+        server.shutdown();
+    }
+}

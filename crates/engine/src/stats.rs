@@ -1,0 +1,96 @@
+//! Engine-wide counters, exported over `GET /stats`.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotonic counters shared by the engine and HTTP layer. All loads
+/// and stores are `Relaxed`: the counters are advisory telemetry, not
+/// synchronization points.
+pub struct EngineStats {
+    started: Instant,
+    /// Jobs served straight from the LRU cache.
+    pub cache_hits: AtomicU64,
+    /// Jobs that had to be executed.
+    pub cache_misses: AtomicU64,
+    /// Jobs completed successfully on a worker.
+    pub jobs_executed: AtomicU64,
+    /// Jobs whose algorithm returned an error.
+    pub jobs_failed: AtomicU64,
+    /// Submissions coalesced onto an identical in-flight job.
+    pub jobs_coalesced: AtomicU64,
+    /// Jobs rejected because the queue was full.
+    pub queue_rejections: AtomicU64,
+    /// HTTP requests accepted (all routes).
+    pub http_requests: AtomicU64,
+    /// HTTP responses with a 4xx/5xx status.
+    pub http_errors: AtomicU64,
+}
+
+impl EngineStats {
+    /// Fresh counters; uptime starts now.
+    pub fn new() -> Self {
+        EngineStats {
+            started: Instant::now(),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            jobs_executed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_coalesced: AtomicU64::new(0),
+            queue_rejections: AtomicU64::new(0),
+            http_requests: AtomicU64::new(0),
+            http_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Bump a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot as the `GET /stats` JSON body.
+    pub fn to_json(&self, cache_len: usize, cache_capacity: usize, workers: usize) -> Json {
+        let read = |c: &AtomicU64| Json::Number(c.load(Ordering::Relaxed) as f64);
+        Json::object(vec![
+            (
+                "uptime_seconds",
+                Json::Number(self.started.elapsed().as_secs_f64()),
+            ),
+            ("workers", Json::Number(workers as f64)),
+            ("cache_hits", read(&self.cache_hits)),
+            ("cache_misses", read(&self.cache_misses)),
+            ("cache_entries", Json::Number(cache_len as f64)),
+            ("cache_capacity", Json::Number(cache_capacity as f64)),
+            ("jobs_executed", read(&self.jobs_executed)),
+            ("jobs_failed", read(&self.jobs_failed)),
+            ("jobs_coalesced", read(&self.jobs_coalesced)),
+            ("queue_rejections", read(&self.queue_rejections)),
+            ("http_requests", read(&self.http_requests)),
+            ("http_errors", read(&self.http_errors)),
+        ])
+    }
+}
+
+impl Default for EngineStats {
+    fn default() -> Self {
+        EngineStats::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_appear_in_json() {
+        let s = EngineStats::new();
+        EngineStats::bump(&s.cache_hits);
+        EngineStats::bump(&s.cache_hits);
+        EngineStats::bump(&s.cache_misses);
+        let json = s.to_json(5, 100, 4).to_string();
+        assert!(json.contains("\"cache_hits\":2"), "{json}");
+        assert!(json.contains("\"cache_misses\":1"), "{json}");
+        assert!(json.contains("\"cache_entries\":5"), "{json}");
+        assert!(json.contains("\"workers\":4"), "{json}");
+    }
+}

@@ -1,0 +1,58 @@
+//! Acceptance check for the result cache: a repeated identical job must
+//! be served at least 10× faster than the cold run.
+
+use fairrank_engine::job::{JobInput, JobParams, RankJob};
+use fairrank_engine::{Engine, EngineConfig};
+use std::time::Instant;
+
+/// A deliberately heavy Mallows job (n = 120, best-of-60 samples) so
+/// the cold run is comfortably in milliseconds while the cached run is
+/// a hash lookup — the 10× margin is then robust to CI jitter.
+fn heavy_job() -> RankJob {
+    let n = 120;
+    let scores: Vec<f64> = (0..n).map(|i| 1.0 - i as f64 / n as f64).collect();
+    let groups: Vec<usize> = (0..n).map(|i| usize::from(i >= n / 2)).collect();
+    RankJob {
+        algorithm: "mallows".to_string(),
+        input: JobInput::Scores { scores, groups },
+        params: JobParams {
+            theta: 0.5,
+            samples: 60,
+            seed: 7,
+            ..JobParams::default()
+        },
+    }
+}
+
+#[test]
+fn cached_submit_is_at_least_10x_faster_than_cold() {
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 16,
+    });
+
+    let cold_start = Instant::now();
+    let cold = engine.submit(heavy_job()).unwrap();
+    let cold_time = cold_start.elapsed();
+
+    // median of several warm lookups to smooth scheduler noise
+    let mut warm_times = Vec::new();
+    for _ in 0..5 {
+        let warm_start = Instant::now();
+        let warm = engine.submit(heavy_job()).unwrap();
+        warm_times.push(warm_start.elapsed());
+        assert_eq!(warm, cold, "cache must return the identical result");
+    }
+    warm_times.sort();
+    let warm_time = warm_times[warm_times.len() / 2];
+
+    assert!(
+        cold_time >= warm_time * 10,
+        "cold {cold_time:?} should be ≥ 10× warm {warm_time:?}"
+    );
+
+    let stats = engine.stats_json().to_string();
+    assert!(stats.contains("\"cache_hits\":5"), "{stats}");
+    assert!(stats.contains("\"cache_misses\":1"), "{stats}");
+}

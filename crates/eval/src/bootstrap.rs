@@ -6,7 +6,7 @@
 //! each resample and take percentile bounds.
 
 use crate::stats;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Statistic to bootstrap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,7 +57,11 @@ pub fn bootstrap_ci<R: Rng + ?Sized>(
 ) -> BootstrapCi {
     let point = statistic.eval(data);
     if data.is_empty() || resamples == 0 {
-        return BootstrapCi { point, lower: point, upper: point };
+        return BootstrapCi {
+            point,
+            lower: point,
+            upper: point,
+        };
     }
     let mut estimates = Vec::with_capacity(resamples);
     let mut resample = vec![0.0f64; data.len()];
@@ -71,7 +75,11 @@ pub fn bootstrap_ci<R: Rng + ?Sized>(
     let alpha = (1.0 - confidence.clamp(0.0, 1.0)) / 2.0;
     let lower = stats::percentile_of_sorted(&estimates, 100.0 * alpha);
     let upper = stats::percentile_of_sorted(&estimates, 100.0 * (1.0 - alpha));
-    BootstrapCi { point, lower, upper }
+    BootstrapCi {
+        point,
+        lower,
+        upper,
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +140,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let data: Vec<f64> = (0..1000).map(|_| rng.random_range(0..10) as f64).collect();
         let ci = bootstrap_ci(&data, Statistic::Mean, 1000, 0.95, &mut rng);
-        assert!(ci.lower < 4.5 && 4.5 < ci.upper, "CI [{}, {}]", ci.lower, ci.upper);
+        assert!(
+            ci.lower < 4.5 && 4.5 < ci.upper,
+            "CI [{}, {}]",
+            ci.lower,
+            ci.upper
+        );
     }
 }

@@ -84,12 +84,20 @@ pub fn mann_whitney_u(xs: &[f64], ys: &[f64]) -> Result<TestResult> {
     let var = n1 * n2 / 12.0 * ((nf + 1.0) - tie_term / (nf * (nf - 1.0)));
     if var <= 0.0 {
         // all observations identical → no evidence of difference
-        return Ok(TestResult { statistic: u1, z: 0.0, p_value: 1.0 });
+        return Ok(TestResult {
+            statistic: u1,
+            z: 0.0,
+            p_value: 1.0,
+        });
     }
     let diff = u1 - mean;
     let cc = 0.5 * diff.signum();
     let z = (diff - cc) / var.sqrt();
-    Ok(TestResult { statistic: u1, z, p_value: two_sided_p(z) })
+    Ok(TestResult {
+        statistic: u1,
+        z,
+        p_value: two_sided_p(z),
+    })
 }
 
 /// Wilcoxon signed-rank test for paired samples: is the median paired
@@ -99,7 +107,10 @@ pub fn mann_whitney_u(xs: &[f64], ys: &[f64]) -> Result<TestResult> {
 /// Errors on length mismatch or when every pair is tied.
 pub fn wilcoxon_signed_rank(xs: &[f64], ys: &[f64]) -> Result<TestResult> {
     if xs.len() != ys.len() {
-        return Err(EvalError::LengthMismatch { left: xs.len(), right: ys.len() });
+        return Err(EvalError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
     }
     let mut diffs: Vec<f64> = xs
         .iter()
@@ -111,7 +122,9 @@ pub fn wilcoxon_signed_rank(xs: &[f64], ys: &[f64]) -> Result<TestResult> {
         return Err(EvalError::EmptySample);
     }
     diffs.sort_by(|a, b| {
-        a.abs().partial_cmp(&b.abs()).unwrap_or(std::cmp::Ordering::Equal)
+        a.abs()
+            .partial_cmp(&b.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let n = diffs.len();
     let mut ranks = vec![0.0f64; n];
@@ -130,18 +143,30 @@ pub fn wilcoxon_signed_rank(xs: &[f64], ys: &[f64]) -> Result<TestResult> {
         tie_term += t * t * t - t;
         i = j + 1;
     }
-    let w_plus: f64 =
-        diffs.iter().zip(&ranks).filter(|(d, _)| **d > 0.0).map(|(_, &r)| r).sum();
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(&ranks)
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, &r)| r)
+        .sum();
     let nf = n as f64;
     let mean = nf * (nf + 1.0) / 4.0;
     let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_term / 48.0;
     if var <= 0.0 {
-        return Ok(TestResult { statistic: w_plus, z: 0.0, p_value: 1.0 });
+        return Ok(TestResult {
+            statistic: w_plus,
+            z: 0.0,
+            p_value: 1.0,
+        });
     }
     let diff = w_plus - mean;
     let cc = 0.5 * diff.signum();
     let z = (diff - cc) / var.sqrt();
-    Ok(TestResult { statistic: w_plus, z, p_value: two_sided_p(z) })
+    Ok(TestResult {
+        statistic: w_plus,
+        z,
+        p_value: two_sided_p(z),
+    })
 }
 
 /// χ² goodness-of-fit: do observed counts match expected frequencies?
@@ -152,7 +177,10 @@ pub fn wilcoxon_signed_rank(xs: &[f64], ys: &[f64]) -> Result<TestResult> {
 /// cell.
 pub fn chi_square_gof(observed: &[u64], expected: &[f64]) -> Result<TestResult> {
     if observed.len() != expected.len() {
-        return Err(EvalError::LengthMismatch { left: observed.len(), right: expected.len() });
+        return Err(EvalError::LengthMismatch {
+            left: observed.len(),
+            right: expected.len(),
+        });
     }
     if observed.len() < 2 {
         return Err(EvalError::EmptySample);
@@ -173,7 +201,11 @@ pub fn chi_square_gof(observed: &[u64], expected: &[f64]) -> Result<TestResult> 
         })
         .sum();
     let dof = (observed.len() - 1) as f64;
-    Ok(TestResult { statistic: stat, z: stat, p_value: chi_square_sf(stat, dof) })
+    Ok(TestResult {
+        statistic: stat,
+        z: stat,
+        p_value: chi_square_sf(stat, dof),
+    })
 }
 
 /// Two-sided p-value from a z-score: `2·(1 − Φ(|z|))`.
@@ -199,9 +231,8 @@ fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -360,7 +391,13 @@ mod tests {
         let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
         let ys: Vec<f64> = xs
             .iter()
-            .map(|&v| v + if (v as usize).is_multiple_of(2) { 0.1 } else { -0.1 })
+            .map(|&v| {
+                v + if (v as usize).is_multiple_of(2) {
+                    0.1
+                } else {
+                    -0.1
+                }
+            })
             .collect();
         let r = wilcoxon_signed_rank(&xs, &ys).unwrap();
         assert!(!r.significant_at(0.05), "p = {}", r.p_value);

@@ -5,7 +5,7 @@
 //! the Marsaglia polar method, which is exact (no series truncation) and
 //! needs only a uniform source.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A reusable `N(mean, sd)` sampler.
 ///
@@ -22,8 +22,15 @@ impl NormalSampler {
     /// Create a sampler with the given mean and standard deviation
     /// (`sd ≥ 0`; a zero sd is allowed and yields the constant `mean`).
     pub fn new(mean: f64, sd: f64) -> Self {
-        assert!(sd >= 0.0 && sd.is_finite(), "standard deviation must be finite and ≥ 0");
-        NormalSampler { mean, sd, spare: None }
+        assert!(
+            sd >= 0.0 && sd.is_finite(),
+            "standard deviation must be finite and ≥ 0"
+        );
+        NormalSampler {
+            mean,
+            sd,
+            spare: None,
+        }
     }
 
     /// Standard normal `N(0, 1)`.
@@ -76,8 +83,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let mut s = NormalSampler::new(3.0, 2.0);
         let xs: Vec<f64> = (0..50_000).map(|_| s.sample(&mut rng)).collect();
-        assert!((stats::mean(&xs) - 3.0).abs() < 0.05, "mean {}", stats::mean(&xs));
-        assert!((stats::std_dev(&xs) - 2.0).abs() < 0.05, "sd {}", stats::std_dev(&xs));
+        assert!(
+            (stats::mean(&xs) - 3.0).abs() < 0.05,
+            "mean {}",
+            stats::mean(&xs)
+        );
+        assert!(
+            (stats::std_dev(&xs) - 2.0).abs() < 0.05,
+            "sd {}",
+            stats::std_dev(&xs)
+        );
     }
 
     #[test]

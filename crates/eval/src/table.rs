@@ -20,7 +20,11 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new(headers: Vec<String>) -> Self {
-        Table { headers, rows: Vec::new(), title: None }
+        Table {
+            headers,
+            rows: Vec::new(),
+            title: None,
+        }
     }
 
     /// Attach a title printed above the table.
@@ -77,7 +81,9 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.headers));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for r in &self.rows {
             out.push_str(&fmt_row(r));
@@ -97,7 +103,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for r in &self.rows {
             out.push_str(&r.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));

@@ -43,14 +43,20 @@ fn bootstrap_median_ci_coverage_on_skewed_data() {
     let reps = 150;
     let mut covered = 0usize;
     for _ in 0..reps {
-        let data: Vec<f64> = (0..60).map(|_| sampler.sample_lognormal(&mut rng)).collect();
+        let data: Vec<f64> = (0..60)
+            .map(|_| sampler.sample_lognormal(&mut rng))
+            .collect();
         let ci = bootstrap_ci(&data, Statistic::Median, 1000, 0.95, &mut rng);
         if ci.lower <= true_median && true_median <= ci.upper {
             covered += 1;
         }
     }
     let coverage = covered as f64 / reps as f64;
-    assert!(coverage >= 0.85, "median CI coverage {:.1}%", 100.0 * coverage);
+    assert!(
+        coverage >= 0.85,
+        "median CI coverage {:.1}%",
+        100.0 * coverage
+    );
 }
 
 /// Under the null (same distribution), Mann–Whitney's p-values should be

@@ -26,7 +26,10 @@ fn main() {
     let bounds = FairnessBounds::from_assignment_with_tolerance(&groups, 0.1);
 
     println!("Extension: fair rank aggregation pipeline");
-    println!("n = {N}, votes = {VOTES} (two Mallows camps), repetitions = {}\n", opts.mc_reps().min(40));
+    println!(
+        "n = {N}, votes = {VOTES} (two Mallows camps), repetitions = {}\n",
+        opts.mc_reps().min(40)
+    );
 
     let aggregators = [
         ("Borda", Aggregator::Borda),
@@ -37,7 +40,13 @@ fn main() {
     ];
     let posts = [
         ("none", PostProcessor::None),
-        ("Mallows θ=1 m=15", PostProcessor::Mallows { theta: 1.0, samples: 15 }),
+        (
+            "Mallows θ=1 m=15",
+            PostProcessor::Mallows {
+                theta: 1.0,
+                samples: 15,
+            },
+        ),
         ("GrBinaryIPF", PostProcessor::GrBinaryIpf),
     ];
 

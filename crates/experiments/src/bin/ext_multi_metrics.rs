@@ -19,9 +19,9 @@ use eval_stats::Statistic;
 use experiments::Options;
 use fair_baselines as baselines;
 use fair_baselines::{FaIrConfig, IpfConfig};
+use fair_datasets::GermanCredit;
 use fair_mallows::{Criterion, MallowsFairRanker};
 use fairness_metrics::{divergence, exposure, infeasible, FairnessBounds};
-use fair_datasets::GermanCredit;
 use ranking_core::quality::{self, Discount};
 use ranking_core::Permutation;
 
@@ -106,7 +106,11 @@ fn main() {
                     &unknown,
                     rent,
                     N,
-                    &FaIrConfig { min_proportion: share, significance: 0.1, adjust: false },
+                    &FaIrConfig {
+                        min_proportion: share,
+                        significance: 0.1,
+                        adjust: false,
+                    },
                 )
                 .map(|o| Permutation::from_order(o).expect("fa*ir emits a permutation"))
                 .unwrap_or_else(|_| input.clone())
@@ -129,8 +133,7 @@ fn main() {
                     .expect("consistent shapes"),
             );
             ndkl[a].push(divergence::ndkl(ranking, &unknown).expect("consistent shapes"));
-            let s = divergence::min_skew_at(ranking, &unknown, N / 2)
-                .expect("consistent shapes");
+            let s = divergence::min_skew_at(ranking, &unknown, N / 2).expect("consistent shapes");
             skew[a].push(if s.is_finite() { s } else { -8.0 }); // clamp −∞ for averaging
             parity[a].push(
                 exposure::exposure_parity_ratio(ranking, &unknown, Discount::Log2)

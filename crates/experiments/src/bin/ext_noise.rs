@@ -21,27 +21,42 @@ fn main() {
     let bounds = workload.bounds();
 
     println!("Extension: noise-distribution comparison (delta = 0.5, n = 10)");
-    println!("draws per cell: {}, bootstrap resamples: {}\n", opts.mc_reps(), opts.bootstrap_n());
+    println!(
+        "draws per cell: {}, bootstrap resamples: {}\n",
+        opts.mc_reps(),
+        opts.bootstrap_n()
+    );
 
-    type Sampler<'a> = Box<dyn Fn(&ranking_core::Permutation, &mut rand::rngs::StdRng) -> ranking_core::Permutation + 'a>;
+    type Sampler<'a> = Box<
+        dyn Fn(&ranking_core::Permutation, &mut rand::rngs::StdRng) -> ranking_core::Permutation
+            + 'a,
+    >;
     let models: Vec<(String, Sampler)> = vec![
         (
             "Mallows".into(),
-            Box::new(|c: &ranking_core::Permutation, rng: &mut rand::rngs::StdRng| {
-                MallowsModel::new(c.clone(), 0.5).unwrap().sample(rng)
-            }),
+            Box::new(
+                |c: &ranking_core::Permutation, rng: &mut rand::rngs::StdRng| {
+                    MallowsModel::new(c.clone(), 0.5).unwrap().sample(rng)
+                },
+            ),
         ),
         (
             "GenMallows head-mixing".into(),
-            Box::new(|c: &ranking_core::Permutation, rng: &mut rand::rngs::StdRng| {
-                GeneralizedMallows::head_mixing(c.clone(), 2.0, 0.6).unwrap().sample(rng)
-            }),
+            Box::new(
+                |c: &ranking_core::Permutation, rng: &mut rand::rngs::StdRng| {
+                    GeneralizedMallows::head_mixing(c.clone(), 2.0, 0.6)
+                        .unwrap()
+                        .sample(rng)
+                },
+            ),
         ),
         (
             "Plackett-Luce".into(),
-            Box::new(|c: &ranking_core::Permutation, rng: &mut rand::rngs::StdRng| {
-                PlackettLuce::from_center(c, 0.25).unwrap().sample(rng)
-            }),
+            Box::new(
+                |c: &ranking_core::Permutation, rng: &mut rand::rngs::StdRng| {
+                    PlackettLuce::from_center(c, 0.25).unwrap().sample(rng)
+                },
+            ),
         ),
     ];
 
@@ -60,9 +75,7 @@ fn main() {
         for _ in 0..opts.mc_reps() {
             let (scores, center, c_ii) = workload.sample_central(&mut rng);
             let s = sampler(&center, &mut rng);
-            iis.push(
-                infeasible::two_sided_infeasible_index(&s, &groups, &bounds).unwrap() as f64,
-            );
+            iis.push(infeasible::two_sided_infeasible_index(&s, &groups, &bounds).unwrap() as f64);
             ndcgs.push(quality::ndcg(&s, &scores).unwrap());
             central.push(c_ii as f64);
         }

@@ -41,7 +41,12 @@ fn dcg_of(items: &[usize], scores: &[f64]) -> f64 {
 fn pool_idcg(scores: &[f64], k: usize) -> f64 {
     let mut sorted = scores.to_vec();
     sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
-    sorted.iter().take(k).enumerate().map(|(i, s)| s * Discount::Log2.at(i + 1)).sum()
+    sorted
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, s)| s * Discount::Log2.at(i + 1))
+        .sum()
 }
 
 fn main() {
@@ -56,8 +61,13 @@ fn main() {
     println!("Extension: fair shortlists (k = {K} of n = {POOL})");
     println!("protected group for FA*IR: Housing = rent; repetitions = {reps}\n");
 
-    let labels =
-        ["Top-k by score", "Fair top-k (weak)", "Fair top-k (strong)", "FA*IR", "Mallows top-k (best of 15)"];
+    let labels = [
+        "Top-k by score",
+        "Fair top-k (weak)",
+        "Fair top-k (strong)",
+        "FA*IR",
+        "Mallows top-k (best of 15)",
+    ];
     let mut rel_dcg = vec![Vec::with_capacity(reps); labels.len()];
     let mut rent_share = vec![Vec::with_capacity(reps); labels.len()];
     let mut ii_known = vec![Vec::with_capacity(reps); labels.len()];
@@ -74,17 +84,34 @@ fn main() {
         let score_order = Permutation::sorted_by_scores_desc(&scores);
         let plain: Vec<usize> = score_order.prefix(K).to_vec();
 
-        let weak = fair_top_k(&scores, &known, &bounds, K, FairnessMode::Weak, Discount::Log2)
-            .unwrap_or_else(|_| plain.clone());
-        let strong =
-            fair_top_k(&scores, &known, &bounds, K, FairnessMode::Strong, Discount::Log2)
-                .unwrap_or_else(|_| plain.clone());
+        let weak = fair_top_k(
+            &scores,
+            &known,
+            &bounds,
+            K,
+            FairnessMode::Weak,
+            Discount::Log2,
+        )
+        .unwrap_or_else(|_| plain.clone());
+        let strong = fair_top_k(
+            &scores,
+            &known,
+            &bounds,
+            K,
+            FairnessMode::Strong,
+            Discount::Log2,
+        )
+        .unwrap_or_else(|_| plain.clone());
         let fair = fa_ir(
             &scores,
             &unknown,
             rent,
             K,
-            &FaIrConfig { min_proportion: rent_pool_share, significance: 0.1, adjust: true },
+            &FaIrConfig {
+                min_proportion: rent_pool_share,
+                significance: 0.1,
+                adjust: true,
+            },
         )
         .unwrap_or_else(|_| plain.clone());
         let sampler = TopKMallows::new(score_order.clone(), THETA, K).expect("valid params");
@@ -98,11 +125,15 @@ fn main() {
             .expect("15 samples drawn");
 
         let idcg = pool_idcg(&scores, K);
-        for (a, shortlist) in
-            [&plain, &weak, &strong, &fair, &mallows].into_iter().enumerate()
+        for (a, shortlist) in [&plain, &weak, &strong, &fair, &mallows]
+            .into_iter()
+            .enumerate()
         {
             rel_dcg[a].push(dcg_of(shortlist, &scores) / idcg);
-            let n_rent = shortlist.iter().filter(|&&i| unknown.group_of(i) == rent).count();
+            let n_rent = shortlist
+                .iter()
+                .filter(|&&i| unknown.group_of(i) == rent)
+                .count();
             rent_share[a].push(n_rent as f64 / K as f64 / rent_pool_share.max(1e-9));
             let sub = known.subset(shortlist);
             let sub_bounds = FairnessBounds::from_assignment_with_tolerance(&sub, 0.15);

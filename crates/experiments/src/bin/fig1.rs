@@ -21,7 +21,11 @@ fn main() {
     let bounds = FairnessBounds::from_assignment(&groups);
 
     println!("Figure 1: Mallows distribution and Infeasible Index (n = 10, two groups of 5)");
-    println!("samples per cell: {}, bootstrap resamples: {}\n", opts.mc_reps(), opts.bootstrap_n());
+    println!(
+        "samples per cell: {}, bootstrap resamples: {}\n",
+        opts.mc_reps(),
+        opts.bootstrap_n()
+    );
 
     for (panel, &target) in [0usize, 2, 4, 6, 8].iter().enumerate() {
         let (center, achieved) = ranking_with_infeasible_index(&groups, &bounds, target);
@@ -30,7 +34,10 @@ fn main() {
             "mean sample II (95% CI)".into(),
             "central II".into(),
         ])
-        .with_title(format!("Subplot {}: central ranking Infeasible Index = {achieved}", panel + 1));
+        .with_title(format!(
+            "Subplot {}: central ranking Infeasible Index = {achieved}",
+            panel + 1
+        ));
 
         for (t_idx, &theta) in theta_sweep(opts.full).iter().enumerate() {
             let model = MallowsModel::new(center.clone(), theta).expect("θ ≥ 0");

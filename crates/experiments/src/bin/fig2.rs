@@ -13,17 +13,24 @@ use fair_datasets::TwoGroupUniform;
 fn main() {
     let opts = Options::from_env();
     println!("Figure 2: Infeasible Index of the central ranking vs score gap");
-    println!("draws per point: {}, bootstrap resamples: {}\n", opts.mc_reps(), opts.bootstrap_n());
+    println!(
+        "draws per point: {}, bootstrap resamples: {}\n",
+        opts.mc_reps(),
+        opts.bootstrap_n()
+    );
 
-    let mut table =
-        Table::new(vec!["delta".into(), "mean central II (95% CI)".into()]);
+    let mut table = Table::new(vec!["delta".into(), "mean central II (95% CI)".into()]);
     for (d_idx, &delta) in delta_sweep(opts.full).iter().enumerate() {
         let workload = TwoGroupUniform::paper(delta);
         let mut rng = opts.rng(d_idx as u64);
-        let iis: Vec<f64> =
-            (0..opts.mc_reps()).map(|_| workload.sample_central(&mut rng).2 as f64).collect();
+        let iis: Vec<f64> = (0..opts.mc_reps())
+            .map(|_| workload.sample_central(&mut rng).2 as f64)
+            .collect();
         let ci = opts.ci(&iis, Statistic::Mean, d_idx as u64);
-        table.add_row(vec![format!("{delta:.2}"), pm(ci.point, ci.half_width(), 2)]);
+        table.add_row(vec![
+            format!("{delta:.2}"),
+            pm(ci.point, ci.half_width(), 2),
+        ]);
     }
     opts.print_table(&table);
 }

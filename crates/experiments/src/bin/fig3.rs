@@ -18,7 +18,11 @@ use mallows_model::MallowsModel;
 fn main() {
     let opts = Options::from_env();
     println!("Figure 3: Mallows samples' Infeasible Index vs (delta, theta)");
-    println!("draws per cell: {}, bootstrap resamples: {}\n", opts.mc_reps(), opts.bootstrap_n());
+    println!(
+        "draws per cell: {}, bootstrap resamples: {}\n",
+        opts.mc_reps(),
+        opts.bootstrap_n()
+    );
 
     for (d_idx, &delta) in delta_sweep(opts.full).iter().enumerate() {
         let workload = TwoGroupUniform::paper(delta);

@@ -15,13 +15,16 @@ use ranking_core::quality;
 fn main() {
     let opts = Options::from_env();
     println!("Figure 4: Mallows samples' NDCG vs (delta, theta)");
-    println!("draws per cell: {}, bootstrap resamples: {}\n", opts.mc_reps(), opts.bootstrap_n());
+    println!(
+        "draws per cell: {}, bootstrap resamples: {}\n",
+        opts.mc_reps(),
+        opts.bootstrap_n()
+    );
 
     for (d_idx, &delta) in delta_sweep(opts.full).iter().enumerate() {
         let workload = TwoGroupUniform::paper(delta);
-        let mut table =
-            Table::new(vec!["theta".into(), "mean sample NDCG (95% CI)".into()])
-                .with_title(format!("Subplot delta = {delta:.2} (central NDCG = 1)"));
+        let mut table = Table::new(vec!["theta".into(), "mean sample NDCG (95% CI)".into()])
+            .with_title(format!("Subplot delta = {delta:.2} (central NDCG = 1)"));
 
         for (t_idx, &theta) in theta_sweep(opts.full).iter().enumerate() {
             let stream = 0x4000 | (d_idx as u64) << 8 | t_idx as u64;

@@ -11,5 +11,9 @@ use experiments::Options;
 
 fn main() {
     let opts = Options::from_env();
-    run_and_print(&opts, Metric::Ndcg, "Figure 7: mean NDCG of output rankings");
+    run_and_print(
+        &opts,
+        Metric::Ndcg,
+        "Figure 7: mean NDCG of output rankings",
+    );
 }

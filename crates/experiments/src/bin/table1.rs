@@ -13,7 +13,12 @@ fn main() {
     let data = GermanCredit::generate(&mut rng);
     let t = data.table_i();
 
-    let rows = ["< 35 - female", "< 35 - male", ">= 35 - female", ">= 35 - male"];
+    let rows = [
+        "< 35 - female",
+        "< 35 - male",
+        ">= 35 - female",
+        ">= 35 - male",
+    ];
     let mut table = Table::new(vec![
         "Age-Sex".into(),
         "free".into(),

@@ -78,10 +78,22 @@ impl Panel {
     /// The four panels (a)–(d) of the paper's Figs. 5–7.
     pub fn paper_panels() -> [Panel; 4] {
         [
-            Panel { theta: 0.5, noise_sd: 0.0 },
-            Panel { theta: 1.0, noise_sd: 0.0 },
-            Panel { theta: 0.5, noise_sd: 1.0 },
-            Panel { theta: 1.0, noise_sd: 1.0 },
+            Panel {
+                theta: 0.5,
+                noise_sd: 0.0,
+            },
+            Panel {
+                theta: 1.0,
+                noise_sd: 0.0,
+            },
+            Panel {
+                theta: 0.5,
+                noise_sd: 1.0,
+            },
+            Panel {
+                theta: 1.0,
+                noise_sd: 1.0,
+            },
         ]
     }
 
@@ -90,7 +102,10 @@ impl Panel {
         if self.noise_sd == 0.0 {
             format!("theta = {}, no constraint noise", self.theta)
         } else {
-            format!("theta = {}, constraint noise sigma = {}", self.theta, self.noise_sd)
+            format!(
+                "theta = {}, constraint noise sigma = {}",
+                self.theta, self.noise_sd
+            )
         }
     }
 }
@@ -118,7 +133,11 @@ impl PipelineConfig {
 
     /// Quick configuration for smoke runs and benches.
     pub fn quick() -> Self {
-        PipelineConfig { sizes: vec![10, 20, 30, 40, 50], repetitions: 5, mallows_samples: 15 }
+        PipelineConfig {
+            sizes: vec![10, 20, 30, 40, 50],
+            repetitions: 5,
+            mallows_samples: 15,
+        }
     }
 }
 
@@ -193,12 +212,17 @@ pub fn run_panel(
                     infeasible::pfair_percentage(&ranking, &unknown, &unknown_bounds)
                         .expect("consistent shapes"),
                 );
-                m.ndcg.push(quality::ndcg(&ranking, &scores).expect("consistent shapes"));
+                m.ndcg
+                    .push(quality::ndcg(&ranking, &scores).expect("consistent shapes"));
             }
         }
         per_size.push(cell);
     }
-    PanelResults { sizes: config.sizes.clone(), per_size, ilp_fallbacks }
+    PanelResults {
+        sizes: config.sizes.clone(),
+        per_size,
+        ilp_fallbacks,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -219,22 +243,27 @@ fn run_algorithm<R: Rng + ?Sized>(
             scores,
             known,
             known_bounds,
-            &baselines::DetConstSortConfig { noise_sd: panel.noise_sd },
+            &baselines::DetConstSortConfig {
+                noise_sd: panel.noise_sd,
+            },
             rng,
         )
         .expect("validated shapes"),
-        Algorithm::ApproxIpf => baselines::approx_multi_valued_ipf(
-            input,
-            known,
-            known_bounds,
-            &baselines::IpfConfig { noise_sd: panel.noise_sd },
-            rng,
-        )
-        .expect("validated shapes")
-        .ranking,
+        Algorithm::ApproxIpf => {
+            baselines::approx_multi_valued_ipf(
+                input,
+                known,
+                known_bounds,
+                &baselines::IpfConfig {
+                    noise_sd: panel.noise_sd,
+                },
+                rng,
+            )
+            .expect("validated shapes")
+            .ranking
+        }
         Algorithm::Ilp => {
-            let tables =
-                baselines::noisy_tables(known_bounds, scores.len(), panel.noise_sd, rng);
+            let tables = baselines::noisy_tables(known_bounds, scores.len(), panel.noise_sd, rng);
             match baselines::optimal_fair_ranking_dp(scores, known, &tables, Discount::Log2) {
                 Ok(pi) => pi,
                 Err(_) => {
@@ -243,20 +272,24 @@ fn run_algorithm<R: Rng + ?Sized>(
                 }
             }
         }
-        Algorithm::MallowsSingle => MallowsFairRanker::new(panel.theta, 1, Criterion::FirstSample)
+        Algorithm::MallowsSingle => {
+            MallowsFairRanker::new(panel.theta, 1, Criterion::FirstSample)
+                .expect("valid θ")
+                .rank(input, rng)
+                .expect("criterion shape matches")
+                .ranking
+        }
+        Algorithm::MallowsBestOf15 => {
+            MallowsFairRanker::new(
+                panel.theta,
+                mallows_samples,
+                Criterion::MaxNdcg(scores.to_vec()),
+            )
             .expect("valid θ")
             .rank(input, rng)
             .expect("criterion shape matches")
-            .ranking,
-        Algorithm::MallowsBestOf15 => MallowsFairRanker::new(
-            panel.theta,
-            mallows_samples,
-            Criterion::MaxNdcg(scores.to_vec()),
-        )
-        .expect("valid θ")
-        .rank(input, rng)
-        .expect("criterion shape matches")
-        .ranking,
+            .ranking
+        }
     }
 }
 
@@ -303,7 +336,11 @@ impl Metric {
 pub fn run_and_print(opts: &crate::Options, metric: Metric, figure_name: &str) {
     use eval_stats::table::{pm, Table};
 
-    let config = if opts.full { PipelineConfig::paper() } else { PipelineConfig::quick() };
+    let config = if opts.full {
+        PipelineConfig::paper()
+    } else {
+        PipelineConfig::quick()
+    };
     println!(
         "{figure_name}: sizes {:?}, {} repetitions, bootstrap resamples {}\n",
         config.sizes,
@@ -320,8 +357,11 @@ pub fn run_and_print(opts: &crate::Options, metric: Metric, figure_name: &str) {
 
         let mut headers = vec!["n".to_string()];
         headers.extend(Algorithm::all().iter().map(|a| a.label().to_string()));
-        let mut table =
-            Table::new(headers).with_title(format!("Panel ({}): {}", (b'a' + p_idx as u8) as char, panel.caption()));
+        let mut table = Table::new(headers).with_title(format!(
+            "Panel ({}): {}",
+            (b'a' + p_idx as u8) as char,
+            panel.caption()
+        ));
 
         for (s_idx, &n) in results.sizes.iter().enumerate() {
             let mut row = vec![n.to_string()];
@@ -335,7 +375,10 @@ pub fn run_and_print(opts: &crate::Options, metric: Metric, figure_name: &str) {
         }
         opts.print_table(&table);
         if results.ilp_fallbacks > 0 {
-            println!("note: ILP infeasible fallbacks in this panel: {}", results.ilp_fallbacks);
+            println!(
+                "note: ILP infeasible fallbacks in this panel: {}",
+                results.ilp_fallbacks
+            );
         }
     }
 }
@@ -346,14 +389,26 @@ mod tests {
     use rand::SeedableRng;
 
     fn tiny_config() -> PipelineConfig {
-        PipelineConfig { sizes: vec![10, 20], repetitions: 2, mallows_samples: 3 }
+        PipelineConfig {
+            sizes: vec![10, 20],
+            repetitions: 2,
+            mallows_samples: 3,
+        }
     }
 
     #[test]
     fn panel_produces_all_measurements() {
         let mut rng = StdRng::seed_from_u64(1);
         let data = GermanCredit::generate(&mut rng);
-        let res = run_panel(&data, &tiny_config(), Panel { theta: 1.0, noise_sd: 0.0 }, &mut rng);
+        let res = run_panel(
+            &data,
+            &tiny_config(),
+            Panel {
+                theta: 1.0,
+                noise_sd: 0.0,
+            },
+            &mut rng,
+        );
         assert_eq!(res.sizes, vec![10, 20]);
         assert_eq!(res.per_size.len(), 2);
         for cell in &res.per_size {
@@ -379,12 +434,26 @@ mod tests {
         // since Mallows does not enforce the constraints)
         let mut rng = StdRng::seed_from_u64(2);
         let data = GermanCredit::generate(&mut rng);
-        let res = run_panel(&data, &tiny_config(), Panel { theta: 1.0, noise_sd: 0.0 }, &mut rng);
-        assert_eq!(res.ilp_fallbacks, 0, "exact proportional bounds must be feasible");
+        let res = run_panel(
+            &data,
+            &tiny_config(),
+            Panel {
+                theta: 1.0,
+                noise_sd: 0.0,
+            },
+            &mut rng,
+        );
+        assert_eq!(
+            res.ilp_fallbacks, 0,
+            "exact proportional bounds must be feasible"
+        );
         for cell in &res.per_size {
             let ilp_mean = eval_stats::stats::mean(&cell[3].ndcg);
             let ipf_mean = eval_stats::stats::mean(&cell[2].ndcg);
-            assert!(ilp_mean + 1e-9 >= ipf_mean, "ILP {ilp_mean} vs IPF {ipf_mean}");
+            assert!(
+                ilp_mean + 1e-9 >= ipf_mean,
+                "ILP {ilp_mean} vs IPF {ipf_mean}"
+            );
         }
     }
 
@@ -392,7 +461,15 @@ mod tests {
     fn noisy_panel_runs() {
         let mut rng = StdRng::seed_from_u64(3);
         let data = GermanCredit::generate(&mut rng);
-        let res = run_panel(&data, &tiny_config(), Panel { theta: 0.5, noise_sd: 1.0 }, &mut rng);
+        let res = run_panel(
+            &data,
+            &tiny_config(),
+            Panel {
+                theta: 0.5,
+                noise_sd: 1.0,
+            },
+            &mut rng,
+        );
         assert_eq!(res.per_size.len(), 2);
     }
 

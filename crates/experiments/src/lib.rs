@@ -32,7 +32,11 @@ pub struct Options {
 impl Options {
     /// Parse from `std::env::args` (ignores unknown flags).
     pub fn from_env() -> Options {
-        let mut opts = Options { full: false, seed: 42, csv: false };
+        let mut opts = Options {
+            full: false,
+            seed: 42,
+            csv: false,
+        };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -70,7 +74,11 @@ impl Options {
     /// Fresh RNG derived from the master seed and a stream id, so each
     /// sweep point is independent yet reproducible.
     pub fn rng(&self, stream: u64) -> StdRng {
-        StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(stream))
+        StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(stream),
+        )
     }
 
     /// Bootstrap CI with the configured resample count (95 %).
@@ -125,7 +133,11 @@ mod tests {
     #[test]
     fn rng_streams_differ() {
         use rand::RngExt;
-        let o = Options { full: false, seed: 1, csv: false };
+        let o = Options {
+            full: false,
+            seed: 1,
+            csv: false,
+        };
         let a: u64 = o.rng(0).random();
         let b: u64 = o.rng(1).random();
         assert_ne!(a, b);

@@ -19,11 +19,18 @@ impl FairnessBounds {
     /// `0 ≤ lower[p] ≤ upper[p] ≤ 1` for every group.
     pub fn new(lower: Vec<f64>, upper: Vec<f64>) -> Result<Self> {
         if lower.len() != upper.len() {
-            return Err(FairnessError::BoundsShapeMismatch { got: lower.len(), expected: upper.len() });
+            return Err(FairnessError::BoundsShapeMismatch {
+                got: lower.len(),
+                expected: upper.len(),
+            });
         }
         for (p, (&lo, &hi)) in lower.iter().zip(&upper).enumerate() {
             if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo > hi {
-                return Err(FairnessError::InvalidProportion { group: p, lower: lo, upper: hi });
+                return Err(FairnessError::InvalidProportion {
+                    group: p,
+                    lower: lo,
+                    upper: hi,
+                });
             }
         }
         Ok(FairnessBounds { lower, upper })
@@ -39,7 +46,10 @@ impl FairnessBounds {
     /// Bounds matching the empirical proportions of a group assignment.
     pub fn from_assignment(groups: &GroupAssignment) -> Self {
         let p = groups.proportions();
-        FairnessBounds { lower: p.clone(), upper: p }
+        FairnessBounds {
+            lower: p.clone(),
+            upper: p,
+        }
     }
 
     /// Bounds matching the empirical proportions relaxed by ±`tolerance`

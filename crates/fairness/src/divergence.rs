@@ -31,7 +31,10 @@ use ranking_core::Permutation;
 /// Errors when the vectors differ in length.
 pub fn kl_divergence(p: &[f64], q: &[f64]) -> Result<f64> {
     if p.len() != q.len() {
-        return Err(FairnessError::BoundsShapeMismatch { got: q.len(), expected: p.len() });
+        return Err(FairnessError::BoundsShapeMismatch {
+            got: q.len(),
+            expected: p.len(),
+        });
     }
     let mut total = 0.0;
     for (&pi, &qi) in p.iter().zip(q) {
@@ -58,7 +61,10 @@ fn prefix_distribution(pi: &Permutation, groups: &GroupAssignment, k: usize) -> 
 
 fn check_lengths(pi: &Permutation, groups: &GroupAssignment) -> Result<()> {
     if pi.len() != groups.len() {
-        return Err(FairnessError::LengthMismatch { ranking: pi.len(), groups: groups.len() });
+        return Err(FairnessError::LengthMismatch {
+            ranking: pi.len(),
+            groups: groups.len(),
+        });
     }
     Ok(())
 }
@@ -160,7 +166,10 @@ pub fn rkl_with_step(pi: &Permutation, groups: &GroupAssignment, step: usize) ->
 pub fn skew_at(pi: &Permutation, groups: &GroupAssignment, k: usize, group: usize) -> Result<f64> {
     check_lengths(pi, groups)?;
     if group >= groups.num_groups() {
-        return Err(FairnessError::InvalidGroup { group, num_groups: groups.num_groups() });
+        return Err(FairnessError::InvalidGroup {
+            group,
+            num_groups: groups.num_groups(),
+        });
     }
     let overall = groups.proportions()[group];
     if overall == 0.0 {
@@ -229,7 +238,9 @@ mod tests {
 
     #[test]
     fn kl_infinite_when_support_escapes() {
-        assert!(kl_divergence(&[1.0, 0.0], &[0.0, 1.0]).unwrap().is_infinite());
+        assert!(kl_divergence(&[1.0, 0.0], &[0.0, 1.0])
+            .unwrap()
+            .is_infinite());
     }
 
     #[test]

@@ -20,7 +20,10 @@ use ranking_core::Permutation;
 
 fn check_lengths(pi: &Permutation, groups: &GroupAssignment) -> Result<()> {
     if pi.len() != groups.len() {
-        return Err(FairnessError::LengthMismatch { ranking: pi.len(), groups: groups.len() });
+        return Err(FairnessError::LengthMismatch {
+            ranking: pi.len(),
+            groups: groups.len(),
+        });
     }
     Ok(())
 }
@@ -79,7 +82,13 @@ pub fn exposure_parity_ratio(
 ) -> Result<f64> {
     let means = mean_group_exposures(pi, groups, discount)?;
     let sizes = groups.group_sizes();
-    min_over_max(means.iter().zip(&sizes).filter(|(_, &s)| s > 0).map(|(&m, _)| m))
+    min_over_max(
+        means
+            .iter()
+            .zip(&sizes)
+            .filter(|(_, &s)| s > 0)
+            .map(|(&m, _)| m),
+    )
 }
 
 /// Disparate-treatment ratio: min/max over non-empty groups of
@@ -99,7 +108,10 @@ pub fn disparate_treatment_ratio(
     discount: Discount,
 ) -> Result<f64> {
     if scores.len() != pi.len() {
-        return Err(FairnessError::LengthMismatch { ranking: pi.len(), groups: scores.len() });
+        return Err(FairnessError::LengthMismatch {
+            ranking: pi.len(),
+            groups: scores.len(),
+        });
     }
     let exposures = group_exposures(pi, groups, discount)?;
     let mut utility = vec![0.0; groups.num_groups()];
@@ -107,7 +119,11 @@ pub fn disparate_treatment_ratio(
         utility[groups.group_of(item)] += s;
     }
     min_over_max(
-        exposures.iter().zip(&utility).filter(|(_, &u)| u > 0.0).map(|(&e, &u)| e / u),
+        exposures
+            .iter()
+            .zip(&utility)
+            .filter(|(_, &u)| u > 0.0)
+            .map(|(&e, &u)| e / u),
     )
 }
 
@@ -196,7 +212,10 @@ mod tests {
     fn parity_ratio_single_group_is_one() {
         let groups = GroupAssignment::new(vec![0; 4], 1).unwrap();
         let pi = Permutation::identity(4);
-        assert_eq!(exposure_parity_ratio(&pi, &groups, Discount::Log2).unwrap(), 1.0);
+        assert_eq!(
+            exposure_parity_ratio(&pi, &groups, Discount::Log2).unwrap(),
+            1.0
+        );
     }
 
     #[test]
@@ -205,8 +224,7 @@ mod tests {
         // equal utility per group.
         let groups = GroupAssignment::new(vec![0, 1], 2).unwrap();
         let pi = Permutation::identity(2);
-        let dtr =
-            disparate_treatment_ratio(&pi, &[1.0, 1.0], &groups, Discount::None).unwrap();
+        let dtr = disparate_treatment_ratio(&pi, &[1.0, 1.0], &groups, Discount::None).unwrap();
         assert!((dtr - 1.0).abs() < 1e-12);
     }
 
@@ -219,8 +237,7 @@ mod tests {
         let ideal = Permutation::sorted_by_scores_desc(&scores);
         let d_buried =
             disparate_treatment_ratio(&buried, &scores, &groups, Discount::Log2).unwrap();
-        let d_ideal =
-            disparate_treatment_ratio(&ideal, &scores, &groups, Discount::Log2).unwrap();
+        let d_ideal = disparate_treatment_ratio(&ideal, &scores, &groups, Discount::Log2).unwrap();
         assert!(d_buried < d_ideal, "buried {d_buried} vs ideal {d_ideal}");
     }
 

@@ -18,7 +18,10 @@ impl GroupAssignment {
     /// Build from an explicit item → group vector.
     pub fn new(groups: Vec<usize>, num_groups: usize) -> Result<Self> {
         if let Some(&bad) = groups.iter().find(|&&g| g >= num_groups) {
-            return Err(FairnessError::InvalidGroup { group: bad, num_groups });
+            return Err(FairnessError::InvalidGroup {
+                group: bad,
+                num_groups,
+            });
         }
         Ok(GroupAssignment { groups, num_groups })
     }
@@ -27,7 +30,10 @@ impl GroupAssignment {
     /// the synthetic workload used by the paper's Figs. 1–4 (group of the
     /// item is its parity; callers re-map as needed).
     pub fn alternating(n: usize) -> Self {
-        GroupAssignment { groups: (0..n).map(|i| i % 2).collect(), num_groups: 2 }
+        GroupAssignment {
+            groups: (0..n).map(|i| i % 2).collect(),
+            num_groups: 2,
+        }
     }
 
     /// Binary split: items `0..first_len` in group 0, the rest in group 1.
@@ -81,7 +87,10 @@ impl GroupAssignment {
     /// assignments).
     pub fn proportions(&self) -> Vec<f64> {
         let n = self.groups.len().max(1) as f64;
-        self.group_sizes().into_iter().map(|s| s as f64 / n).collect()
+        self.group_sizes()
+            .into_iter()
+            .map(|s| s as f64 / n)
+            .collect()
     }
 
     /// Items belonging to `group`, in ascending item order.
@@ -98,7 +107,10 @@ impl GroupAssignment {
     /// `Sex − Age` construction).
     pub fn combine(a: &GroupAssignment, b: &GroupAssignment) -> Result<GroupAssignment> {
         if a.len() != b.len() {
-            return Err(FairnessError::LengthMismatch { ranking: a.len(), groups: b.len() });
+            return Err(FairnessError::LengthMismatch {
+                ranking: a.len(),
+                groups: b.len(),
+            });
         }
         let num_groups = a.num_groups * b.num_groups;
         let groups = a

@@ -52,7 +52,10 @@ pub fn infeasible_breakdown(
         lower += usize::from(lo_violated);
         upper += usize::from(hi_violated);
     }
-    Ok(InfeasibleBreakdown { lower_violations: lower, upper_violations: upper })
+    Ok(InfeasibleBreakdown {
+        lower_violations: lower,
+        upper_violations: upper,
+    })
 }
 
 /// Definition 3 — `TwoSidedInfInd(π) ∈ [0, 2n]`.
@@ -86,10 +89,7 @@ pub fn pfair_percentage(
 /// Convenience: infeasible index measured against bounds equal to the
 /// groups' own proportions (the setting of the paper's synthetic
 /// experiments, Figs. 1–4).
-pub fn infeasible_index_proportional(
-    pi: &Permutation,
-    groups: &GroupAssignment,
-) -> Result<usize> {
+pub fn infeasible_index_proportional(pi: &Permutation, groups: &GroupAssignment) -> Result<usize> {
     let bounds = FairnessBounds::from_assignment(groups);
     two_sided_infeasible_index(pi, groups, &bounds)
 }

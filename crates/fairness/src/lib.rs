@@ -83,11 +83,21 @@ impl std::fmt::Display for FairnessError {
             FairnessError::BoundsShapeMismatch { got, expected } => {
                 write!(f, "bounds have {got} entries, expected {expected}")
             }
-            FairnessError::InvalidProportion { group, lower, upper } => {
-                write!(f, "invalid proportions for group {group}: lower {lower}, upper {upper}")
+            FairnessError::InvalidProportion {
+                group,
+                lower,
+                upper,
+            } => {
+                write!(
+                    f,
+                    "invalid proportions for group {group}: lower {lower}, upper {upper}"
+                )
             }
             FairnessError::LengthMismatch { ranking, groups } => {
-                write!(f, "ranking length {ranking} != group assignment length {groups}")
+                write!(
+                    f,
+                    "ranking length {ranking} != group assignment length {groups}"
+                )
             }
         }
     }

@@ -57,9 +57,21 @@ pub fn violations(
             let lo = bounds.min_count(p, prefix_len);
             let hi = bounds.max_count(p, prefix_len);
             if c < lo {
-                out.push(Violation { prefix: prefix_len, group: p, count: c, bound: lo, kind: ViolationKind::Lower });
+                out.push(Violation {
+                    prefix: prefix_len,
+                    group: p,
+                    count: c,
+                    bound: lo,
+                    kind: ViolationKind::Lower,
+                });
             } else if c > hi {
-                out.push(Violation { prefix: prefix_len, group: p, count: c, bound: hi, kind: ViolationKind::Upper });
+                out.push(Violation {
+                    prefix: prefix_len,
+                    group: p,
+                    count: c,
+                    bound: hi,
+                    kind: ViolationKind::Upper,
+                });
             }
         }
     }
@@ -91,9 +103,10 @@ pub enum ViolationKind {
 }
 
 pub(crate) fn prefix_ok(counts: &[usize], bounds: &FairnessBounds, prefix_len: usize) -> bool {
-    counts.iter().enumerate().all(|(p, &c)| {
-        c >= bounds.min_count(p, prefix_len) && c <= bounds.max_count(p, prefix_len)
-    })
+    counts
+        .iter()
+        .enumerate()
+        .all(|(p, &c)| c >= bounds.min_count(p, prefix_len) && c <= bounds.max_count(p, prefix_len))
 }
 
 pub(crate) fn validate(
@@ -102,7 +115,10 @@ pub(crate) fn validate(
     bounds: &FairnessBounds,
 ) -> Result<()> {
     if pi.len() != groups.len() {
-        return Err(FairnessError::LengthMismatch { ranking: pi.len(), groups: groups.len() });
+        return Err(FairnessError::LengthMismatch {
+            ranking: pi.len(),
+            groups: groups.len(),
+        });
     }
     if bounds.num_groups() != groups.num_groups() {
         return Err(FairnessError::BoundsShapeMismatch {
@@ -160,8 +176,12 @@ mod tests {
         let pi = Permutation::identity(4);
         let v = violations(&pi, &g, &half_bounds()).unwrap();
         // prefix 2 = two group-0 items: group0 over (max ⌈1⌉=1), group1 under (min ⌊1⌋=1)
-        assert!(v.iter().any(|x| x.prefix == 2 && x.group == 0 && x.kind == ViolationKind::Upper));
-        assert!(v.iter().any(|x| x.prefix == 2 && x.group == 1 && x.kind == ViolationKind::Lower));
+        assert!(v
+            .iter()
+            .any(|x| x.prefix == 2 && x.group == 0 && x.kind == ViolationKind::Upper));
+        assert!(v
+            .iter()
+            .any(|x| x.prefix == 2 && x.group == 1 && x.kind == ViolationKind::Lower));
         // the full ranking is balanced: no violation at prefix 4
         assert!(!v.iter().any(|x| x.prefix == 4));
     }

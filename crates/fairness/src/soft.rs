@@ -18,7 +18,7 @@
 //!   uniform over the other groups).
 
 use crate::{FairnessBounds, FairnessError, GroupAssignment, Result};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use ranking_core::Permutation;
 
 /// Per-item probability distributions over `g` groups.
@@ -41,9 +41,7 @@ impl SoftGroupAssignment {
                 });
             }
             let sum: f64 = row.iter().sum();
-            if row.iter().any(|&p| !(0.0..=1.0 + 1e-12).contains(&p))
-                || (sum - 1.0).abs() > 1e-9
-            {
+            if row.iter().any(|&p| !(0.0..=1.0 + 1e-12).contains(&p)) || (sum - 1.0).abs() > 1e-9 {
                 return Err(FairnessError::InvalidProportion {
                     group: item,
                     lower: sum,
@@ -67,7 +65,10 @@ impl SoftGroupAssignment {
                 row
             })
             .collect();
-        SoftGroupAssignment { probs, num_groups: g }
+        SoftGroupAssignment {
+            probs,
+            num_groups: g,
+        }
     }
 
     /// Label-noise channel: each item keeps its true group with
@@ -91,10 +92,15 @@ impl SoftGroupAssignment {
             .as_slice()
             .iter()
             .map(|&gi| {
-                (0..g).map(|p| if p == gi { 1.0 - epsilon } else { off }).collect()
+                (0..g)
+                    .map(|p| if p == gi { 1.0 - epsilon } else { off })
+                    .collect()
             })
             .collect();
-        Ok(SoftGroupAssignment { probs, num_groups: g })
+        Ok(SoftGroupAssignment {
+            probs,
+            num_groups: g,
+        })
     }
 
     /// Number of items.
@@ -225,7 +231,11 @@ impl SoftGroupAssignment {
                     let lo = bounds.min_count(p, k);
                     let hi = bounds.max_count(p, k);
                     let p_low: f64 = d.iter().take(lo.min(k + 1)).sum();
-                    let p_high: f64 = if hi < k { d[hi + 1..=k].iter().sum() } else { 0.0 };
+                    let p_high: f64 = if hi < k {
+                        d[hi + 1..=k].iter().sum()
+                    } else {
+                        0.0
+                    };
                     lower += p_low;
                     upper += p_high;
                 }
@@ -357,8 +367,7 @@ mod tests {
             Permutation::identity(6),
             Permutation::from_order(vec![3, 0, 4, 1, 5, 2]).unwrap(),
         ] {
-            let exact =
-                infeasible::two_sided_infeasible_index(&pi, &g, &bounds).unwrap() as f64;
+            let exact = infeasible::two_sided_infeasible_index(&pi, &g, &bounds).unwrap() as f64;
             let expected = s.expected_infeasible_index(&pi, &bounds).unwrap();
             assert!(
                 (exact - expected).abs() < 1e-9,
@@ -413,11 +422,8 @@ mod tests {
 
     #[test]
     fn sample_marginals_match_probs() {
-        let s = SoftGroupAssignment::new(
-            vec![vec![0.8, 0.2], vec![0.3, 0.7], vec![0.5, 0.5]],
-            2,
-        )
-        .unwrap();
+        let s = SoftGroupAssignment::new(vec![vec![0.8, 0.2], vec![0.3, 0.7], vec![0.5, 0.5]], 2)
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let draws = 30_000;
         let mut count0 = [0usize; 3];
@@ -437,11 +443,8 @@ mod tests {
 
     #[test]
     fn map_assignment_takes_argmax() {
-        let s = SoftGroupAssignment::new(
-            vec![vec![0.9, 0.1], vec![0.4, 0.6], vec![0.5, 0.5]],
-            2,
-        )
-        .unwrap();
+        let s = SoftGroupAssignment::new(vec![vec![0.9, 0.1], vec![0.4, 0.6], vec![0.5, 0.5]], 2)
+            .unwrap();
         let m = s.map_assignment();
         assert_eq!(m.as_slice(), &[0, 1, 0]); // tie → lower id
     }

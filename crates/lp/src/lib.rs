@@ -198,7 +198,8 @@ mod tests {
         // min 2x + 3y s.t. x + y ≥ 4, x ≥ 1 → x=3? no: min puts weight on x.
         // optimum: x = 4, y = 0 → 8? x≥1 satisfied. 2·4=8 vs x=1,y=3 → 11.
         let mut p = Problem::minimize(vec![2.0, 3.0]);
-        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Ge, 4.0).unwrap();
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Ge, 4.0)
+            .unwrap();
         p.add_constraint(vec![(0, 1.0)], Relation::Ge, 1.0).unwrap();
         let s = solve_lp(&p).unwrap();
         assert!((s.objective - 8.0).abs() < 1e-9, "got {}", s.objective);
@@ -208,7 +209,8 @@ mod tests {
     fn lp_equality_constraints() {
         // max x s.t. x + y = 3, y ≥ 1 → x = 2
         let mut p = Problem::maximize(vec![1.0, 0.0]);
-        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 3.0).unwrap();
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 3.0)
+            .unwrap();
         p.add_constraint(vec![(1, 1.0)], Relation::Ge, 1.0).unwrap();
         let s = solve_lp(&p).unwrap();
         assert!((s.objective - 2.0).abs() < 1e-9);
@@ -218,7 +220,8 @@ mod tests {
     fn ilp_knapsack() {
         // max 10a + 6b + 4c s.t. a+b+c ≤ 2 (binary) → 16
         let mut p = Problem::maximize(vec![10.0, 6.0, 4.0]);
-        p.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], Relation::Le, 2.0).unwrap();
+        p.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], Relation::Le, 2.0)
+            .unwrap();
         for v in 0..3 {
             p.set_integer(v, true);
             p.set_upper_bound(v, 1.0).unwrap();
@@ -252,7 +255,8 @@ mod tests {
         // choose exactly 2 of 4 binaries maximizing weights
         let w = [3.0, 9.0, 1.0, 7.0];
         let mut p = Problem::maximize(w.to_vec());
-        p.add_constraint((0..4).map(|v| (v, 1.0)).collect(), Relation::Eq, 2.0).unwrap();
+        p.add_constraint((0..4).map(|v| (v, 1.0)).collect(), Relation::Eq, 2.0)
+            .unwrap();
         for v in 0..4 {
             p.set_integer(v, true);
             p.set_upper_bound(v, 1.0).unwrap();
@@ -277,8 +281,18 @@ mod tests {
         }
         let mut p = Problem::minimize(obj);
         for i in 0..3 {
-            p.add_constraint((0..3).map(|j| (var(i, j), 1.0)).collect(), Relation::Eq, 1.0).unwrap();
-            p.add_constraint((0..3).map(|j| (var(j, i), 1.0)).collect(), Relation::Eq, 1.0).unwrap();
+            p.add_constraint(
+                (0..3).map(|j| (var(i, j), 1.0)).collect(),
+                Relation::Eq,
+                1.0,
+            )
+            .unwrap();
+            p.add_constraint(
+                (0..3).map(|j| (var(j, i), 1.0)).collect(),
+                Relation::Eq,
+                1.0,
+            )
+            .unwrap();
         }
         for v in 0..9 {
             p.set_integer(v, true);

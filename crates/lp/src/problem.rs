@@ -84,10 +84,17 @@ impl Problem {
     ) -> Result<(), LpError> {
         for &(v, _) in &coeffs {
             if v >= self.num_vars() {
-                return Err(LpError::InvalidVariable { var: v, num_vars: self.num_vars() });
+                return Err(LpError::InvalidVariable {
+                    var: v,
+                    num_vars: self.num_vars(),
+                });
             }
         }
-        self.constraints.push(Constraint { coeffs, relation, rhs });
+        self.constraints.push(Constraint {
+            coeffs,
+            relation,
+            rhs,
+        });
         Ok(())
     }
 
@@ -99,7 +106,10 @@ impl Problem {
     /// Set an upper bound on variable `v`.
     pub fn set_upper_bound(&mut self, v: usize, ub: f64) -> Result<(), LpError> {
         if v >= self.num_vars() {
-            return Err(LpError::InvalidVariable { var: v, num_vars: self.num_vars() });
+            return Err(LpError::InvalidVariable {
+                var: v,
+                num_vars: self.num_vars(),
+            });
         }
         self.upper[v] = self.upper[v].min(ub);
         Ok(())
@@ -109,7 +119,10 @@ impl Problem {
     /// non-negative orthant).
     pub fn set_lower_bound(&mut self, v: usize, lb: f64) -> Result<(), LpError> {
         if v >= self.num_vars() {
-            return Err(LpError::InvalidVariable { var: v, num_vars: self.num_vars() });
+            return Err(LpError::InvalidVariable {
+                var: v,
+                num_vars: self.num_vars(),
+            });
         }
         self.lower[v] = self.lower[v].max(lb.max(0.0));
         Ok(())

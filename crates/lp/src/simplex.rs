@@ -162,7 +162,11 @@ pub fn solve_lp(problem: &Problem) -> Result<Solution, LpError> {
         }
     }
     let values: Vec<f64> = (0..n).map(|v| y[v] + problem.lower[v]).collect();
-    let objective: f64 = values.iter().zip(&problem.objective).map(|(x, c)| x * c).sum();
+    let objective: f64 = values
+        .iter()
+        .zip(&problem.objective)
+        .map(|(x, c)| x * c)
+        .sum();
     Ok(Solution { values, objective })
 }
 
@@ -188,8 +192,7 @@ fn run_simplex(
             if t[r][enter] > EPS {
                 let ratio = t[r][total] / t[r][enter];
                 let better = ratio < best - EPS
-                    || (ratio < best + EPS
-                        && leave.is_some_and(|l| basis[r] < basis[l]));
+                    || (ratio < best + EPS && leave.is_some_and(|l| basis[r] < basis[l]));
                 if better {
                     best = ratio;
                     leave = Some(r);
@@ -239,7 +242,8 @@ mod tests {
         // classic degeneracy: multiple identical constraints
         let mut p = Problem::maximize(vec![1.0, 1.0]);
         for _ in 0..4 {
-            p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Le, 1.0).unwrap();
+            p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Le, 1.0)
+                .unwrap();
         }
         let s = solve_lp(&p).unwrap();
         assert!((s.objective - 1.0).abs() < 1e-9);
@@ -269,7 +273,8 @@ mod tests {
     fn minimization_with_lower_bounds() {
         // min x + y s.t. x + y ≥ 2, x ≥ 0.5 → 2
         let mut p = Problem::minimize(vec![1.0, 1.0]);
-        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Ge, 2.0).unwrap();
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Ge, 2.0)
+            .unwrap();
         p.set_lower_bound(0, 0.5).unwrap();
         let s = solve_lp(&p).unwrap();
         assert!((s.objective - 2.0).abs() < 1e-9);
@@ -279,7 +284,8 @@ mod tests {
     fn negative_rhs_normalization() {
         // x − y ≤ −1 with x,y ≤ 5: max x → x = 4 (y = 5)
         let mut p = Problem::maximize(vec![1.0, 0.0]);
-        p.add_constraint(vec![(0, 1.0), (1, -1.0)], Relation::Le, -1.0).unwrap();
+        p.add_constraint(vec![(0, 1.0), (1, -1.0)], Relation::Le, -1.0)
+            .unwrap();
         p.set_upper_bound(0, 5.0).unwrap();
         p.set_upper_bound(1, 5.0).unwrap();
         let s = solve_lp(&p).unwrap();
@@ -290,8 +296,10 @@ mod tests {
     fn redundant_equality_rows_handled() {
         // x + y = 2 stated twice
         let mut p = Problem::maximize(vec![1.0, 0.0]);
-        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 2.0).unwrap();
-        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 2.0).unwrap();
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 2.0)
+            .unwrap();
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 2.0)
+            .unwrap();
         let s = solve_lp(&p).unwrap();
         assert!((s.objective - 2.0).abs() < 1e-9);
     }
@@ -300,7 +308,8 @@ mod tests {
     fn duplicate_coefficients_are_summed() {
         // (x + x) ≤ 4 → x ≤ 2
         let mut p = Problem::maximize(vec![1.0]);
-        p.add_constraint(vec![(0, 1.0), (0, 1.0)], Relation::Le, 4.0).unwrap();
+        p.add_constraint(vec![(0, 1.0), (0, 1.0)], Relation::Le, 4.0)
+            .unwrap();
         let s = solve_lp(&p).unwrap();
         assert!((s.objective - 2.0).abs() < 1e-9);
     }

@@ -20,7 +20,7 @@
 //! compares the fairness/utility trade-off of the two.
 
 use crate::{MallowsError, Result};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use ranking_core::{distance, Permutation};
 
 /// A Mallows distribution under Cayley distance (see module docs).
@@ -196,8 +196,10 @@ mod tests {
     fn pmf_sums_to_one() {
         for theta in [0.0, 0.5, 1.5] {
             let m = CayleyMallows::new(Permutation::identity(5), theta).unwrap();
-            let total: f64 =
-                Permutation::enumerate_all(5).iter().map(|p| m.pmf(p).unwrap()).sum();
+            let total: f64 = Permutation::enumerate_all(5)
+                .iter()
+                .map(|p| m.pmf(p).unwrap())
+                .sum();
             assert!((total - 1.0).abs() < 1e-9, "θ={theta}: Σpmf = {total}");
         }
     }
@@ -214,7 +216,10 @@ mod tests {
         assert_eq!(counts.len(), 6);
         for (_, c) in counts {
             let expected = draws as f64 / 6.0;
-            assert!((c as f64 - expected).abs() < 5.0 * expected.sqrt(), "count {c}");
+            assert!(
+                (c as f64 - expected).abs() < 5.0 * expected.sqrt(),
+                "count {c}"
+            );
         }
     }
 
@@ -245,7 +250,10 @@ mod tests {
         let m = CayleyMallows::new(center.clone(), 20.0).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         let same = (0..200).filter(|_| m.sample(&mut rng) == center).count();
-        assert!(same > 190, "only {same}/200 samples equal the centre at θ=20");
+        assert!(
+            same > 190,
+            "only {same}/200 samples equal the centre at θ=20"
+        );
     }
 
     #[test]
@@ -289,7 +297,10 @@ mod tests {
         for theta in [0.2, 0.8, 1.7] {
             let target = expected_cayley(n, theta);
             let recovered = theta_for_expected_cayley(n, target);
-            assert!((recovered - theta).abs() < 1e-6, "θ={theta} got {recovered}");
+            assert!(
+                (recovered - theta).abs() < 1e-6,
+                "θ={theta} got {recovered}"
+            );
         }
         assert_eq!(theta_for_expected_cayley(20, 1e9), 0.0);
     }

@@ -12,7 +12,7 @@
 //! [`crate::MallowsModel`].
 
 use crate::{MallowsError, Result};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use ranking_core::Permutation;
 
 /// A generalized Mallows distribution with per-stage dispersions.
@@ -150,9 +150,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let draws = 4000;
         let mean: f64 = (0..draws)
-            .map(|_| {
-                distance::kendall_tau(&gmm.sample(&mut rng), gmm.center()).unwrap() as f64
-            })
+            .map(|_| distance::kendall_tau(&gmm.sample(&mut rng), gmm.center()).unwrap() as f64)
             .sum::<f64>()
             / draws as f64;
         assert!(

@@ -58,7 +58,10 @@ impl std::fmt::Display for MallowsError {
         match self {
             MallowsError::InvalidTheta { theta } => write!(f, "invalid dispersion θ = {theta}"),
             MallowsError::LengthMismatch { center, other } => {
-                write!(f, "centre has length {center} but ranking has length {other}")
+                write!(
+                    f,
+                    "centre has length {center} but ranking has length {other}"
+                )
             }
             MallowsError::NoSamples => write!(f, "at least one sample is required"),
         }

@@ -24,7 +24,7 @@
 use crate::mle::solve_theta_for_distance;
 use crate::{MallowsError, MallowsModel, Result};
 use rand::seq::SliceRandom;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use ranking_core::{distance, Permutation};
 
 /// A finite mixture of Kendall-tau Mallows components.
@@ -49,7 +49,10 @@ impl MallowsMixture {
         }
         let n = components[0].len();
         if components.iter().any(|c| c.len() != n) {
-            return Err(MallowsError::LengthMismatch { center: n, other: 0 });
+            return Err(MallowsError::LengthMismatch {
+                center: n,
+                other: 0,
+            });
         }
         let total: f64 = weights.iter().sum();
         if total.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
@@ -58,7 +61,10 @@ impl MallowsMixture {
             return Err(MallowsError::InvalidTheta { theta: total });
         }
         let weights = weights.into_iter().map(|w| w / total).collect();
-        Ok(MallowsMixture { components, weights })
+        Ok(MallowsMixture {
+            components,
+            weights,
+        })
     }
 
     /// The mixture components.
@@ -107,7 +113,10 @@ impl MallowsMixture {
             }
             u -= w;
         }
-        self.components.last().expect("non-empty by construction").sample(rng)
+        self.components
+            .last()
+            .expect("non-empty by construction")
+            .sample(rng)
     }
 
     /// Posterior component responsibilities for each sample:
@@ -152,14 +161,20 @@ impl MallowsMixture {
         }
         let n = samples[0].len();
         if samples.iter().any(|s| s.len() != n) {
-            return Err(MallowsError::LengthMismatch { center: n, other: 0 });
+            return Err(MallowsError::LengthMismatch {
+                center: n,
+                other: 0,
+            });
         }
         let mut idx: Vec<usize> = (0..samples.len()).collect();
         idx.shuffle(rng);
         let components: Vec<MallowsModel> = idx
             .iter()
             .take(k)
-            .chain(std::iter::repeat_n(&idx[0], k.saturating_sub(samples.len())))
+            .chain(std::iter::repeat_n(
+                &idx[0],
+                k.saturating_sub(samples.len()),
+            ))
             .map(|&i| MallowsModel::new(samples[i].clone(), 1.0))
             .collect::<Result<_>>()?;
         let mut mixture = MallowsMixture::new(components, vec![1.0; k])?;
@@ -211,12 +226,7 @@ impl MallowsMixture {
 
 /// Responsibility-weighted Borda: rank items by their weighted mean
 /// position under component `c`.
-fn weighted_borda(
-    samples: &[Permutation],
-    resp: &[Vec<f64>],
-    c: usize,
-    n: usize,
-) -> Permutation {
+fn weighted_borda(samples: &[Permutation], resp: &[Vec<f64>], c: usize, n: usize) -> Permutation {
     let mut score = vec![0.0f64; n];
     for (s, r) in samples.iter().zip(resp) {
         for (pos, &item) in s.as_order().iter().enumerate() {
@@ -225,7 +235,10 @@ fn weighted_borda(
     }
     let mut items: Vec<usize> = (0..n).collect();
     items.sort_by(|&a, &b| {
-        score[a].partial_cmp(&score[b]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        score[a]
+            .partial_cmp(&score[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
     Permutation::from_order_unchecked(items)
 }
@@ -245,7 +258,11 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn two_cluster_data(n: usize, per_cluster: usize, seed: u64) -> (Vec<Permutation>, Permutation, Permutation) {
+    fn two_cluster_data(
+        n: usize,
+        per_cluster: usize,
+        seed: u64,
+    ) -> (Vec<Permutation>, Permutation, Permutation) {
         let c1 = Permutation::identity(n);
         let c2 = Permutation::from_order((0..n).rev().collect::<Vec<_>>()).unwrap();
         let m1 = MallowsModel::new(c1.clone(), 2.0).unwrap();
@@ -277,14 +294,12 @@ mod tests {
     #[test]
     fn mixture_pmf_sums_to_one() {
         let a = MallowsModel::new(Permutation::identity(4), 0.8).unwrap();
-        let b = MallowsModel::new(
-            Permutation::from_order(vec![3, 2, 1, 0]).unwrap(),
-            1.4,
-        )
-        .unwrap();
+        let b = MallowsModel::new(Permutation::from_order(vec![3, 2, 1, 0]).unwrap(), 1.4).unwrap();
         let mix = MallowsMixture::new(vec![a, b], vec![0.3, 0.7]).unwrap();
-        let total: f64 =
-            Permutation::enumerate_all(4).iter().map(|p| mix.pmf(p).unwrap()).sum();
+        let total: f64 = Permutation::enumerate_all(4)
+            .iter()
+            .map(|p| mix.pmf(p).unwrap())
+            .sum();
         assert!((total - 1.0).abs() < 1e-9, "Σpmf = {total}");
     }
 
@@ -311,11 +326,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mix = MallowsMixture::fit(&samples, 2, 30, 1e-6, &mut rng).unwrap();
         // the two fitted centres must be the two true centres (order-free)
-        let centers: Vec<&Permutation> =
-            mix.components().iter().map(|c| c.center()).collect();
+        let centers: Vec<&Permutation> = mix.components().iter().map(|c| c.center()).collect();
         assert!(
-            (centers[0] == &c1 && centers[1] == &c2)
-                || (centers[0] == &c2 && centers[1] == &c1),
+            (centers[0] == &c1 && centers[1] == &c2) || (centers[0] == &c2 && centers[1] == &c1),
             "centres {:?} differ from truth",
             centers
         );
@@ -371,8 +384,7 @@ mod tests {
     fn sampling_respects_weights() {
         let a = MallowsModel::new(Permutation::identity(5), 25.0).unwrap();
         let b =
-            MallowsModel::new(Permutation::from_order(vec![4, 3, 2, 1, 0]).unwrap(), 25.0)
-                .unwrap();
+            MallowsModel::new(Permutation::from_order(vec![4, 3, 2, 1, 0]).unwrap(), 25.0).unwrap();
         let mix = MallowsMixture::new(vec![a, b], vec![0.8, 0.2]).unwrap();
         let mut rng = StdRng::seed_from_u64(61);
         let from_a = (0..2000)

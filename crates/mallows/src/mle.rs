@@ -28,7 +28,10 @@ pub fn estimate_theta(center: &Permutation, samples: &[Permutation]) -> Result<f
     let mut total = 0.0f64;
     for s in samples {
         if s.len() != n {
-            return Err(MallowsError::LengthMismatch { center: n, other: s.len() });
+            return Err(MallowsError::LengthMismatch {
+                center: n,
+                other: s.len(),
+            });
         }
         total += distance::kendall_tau(s, center).expect("lengths checked") as f64;
     }
@@ -85,13 +88,19 @@ pub fn estimate_theta_topk(center: &Permutation, lists: &[Vec<usize>]) -> Result
     let mut stages: Vec<usize> = Vec::new(); // remaining-count m per pick
     for list in lists {
         if list.len() > n {
-            return Err(MallowsError::LengthMismatch { center: n, other: list.len() });
+            return Err(MallowsError::LengthMismatch {
+                center: n,
+                other: list.len(),
+            });
         }
         // displacement of each pick among the surviving centre positions
         let mut alive = vec![true; n];
         for (j, &item) in list.iter().enumerate() {
             if item >= n || !alive[center.position_of(item)] {
-                return Err(MallowsError::LengthMismatch { center: n, other: list.len() });
+                return Err(MallowsError::LengthMismatch {
+                    center: n,
+                    other: list.len(),
+                });
             }
             let pos = center.position_of(item);
             let v = alive.iter().take(pos).filter(|&&a| a).count();
@@ -104,7 +113,10 @@ pub fn estimate_theta_topk(center: &Permutation, lists: &[Vec<usize>]) -> Result
         return Err(MallowsError::NoSamples);
     }
     let expected_at = |theta: f64| -> f64 {
-        stages.iter().map(|&m| expected_truncated_geometric(m, theta)).sum()
+        stages
+            .iter()
+            .map(|&m| expected_truncated_geometric(m, theta))
+            .sum()
     };
     if total_v >= expected_at(0.0) {
         return Ok(0.0);
@@ -148,7 +160,10 @@ pub fn estimate_center_borda(samples: &[Permutation]) -> Result<Permutation> {
     let mut mean_pos = vec![0.0f64; n];
     for s in samples {
         if s.len() != n {
-            return Err(MallowsError::LengthMismatch { center: n, other: s.len() });
+            return Err(MallowsError::LengthMismatch {
+                center: n,
+                other: s.len(),
+            });
         }
         for (pos, &item) in s.as_order().iter().enumerate() {
             mean_pos[item] += pos as f64;
@@ -197,7 +212,9 @@ mod tests {
     fn uniform_samples_give_theta_zero() {
         let center = Permutation::identity(8);
         let mut rng = StdRng::seed_from_u64(5);
-        let samples: Vec<_> = (0..2000).map(|_| Permutation::random(8, &mut rng)).collect();
+        let samples: Vec<_> = (0..2000)
+            .map(|_| Permutation::random(8, &mut rng))
+            .collect();
         let est = estimate_theta(&center, &samples).unwrap();
         assert!(est < 0.1, "uniform data must give θ ≈ 0, got {est}");
     }
@@ -208,7 +225,10 @@ mod tests {
             estimate_theta(&Permutation::identity(3), &[]),
             Err(MallowsError::NoSamples)
         ));
-        assert!(matches!(estimate_center_borda(&[]), Err(MallowsError::NoSamples)));
+        assert!(matches!(
+            estimate_center_borda(&[]),
+            Err(MallowsError::NoSamples)
+        ));
     }
 
     #[test]
@@ -234,8 +254,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         let samples = model.sample_many(1000, &mut rng);
         let full = estimate_theta(&center, &samples).unwrap();
-        let lists: Vec<Vec<usize>> =
-            samples.iter().map(|s| s.as_order().to_vec()).collect();
+        let lists: Vec<Vec<usize>> = samples.iter().map(|s| s.as_order().to_vec()).collect();
         let topk = estimate_theta_topk(&center, &lists).unwrap();
         // Σv over a full list equals d_KT, and Σ E[V_m] over stages
         // equals E[D_n]: both estimators solve the same equation.

@@ -1,7 +1,7 @@
 //! Exact Mallows model: sampling, partition function, PMF.
 
 use crate::{MallowsError, Result};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use ranking_core::{distance, Permutation};
 
 /// A Mallows distribution `M(π₀, θ)` under Kendall tau distance.
@@ -66,8 +66,9 @@ impl MallowsModel {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Permutation {
         let n = self.center.len();
         let q = (-self.theta).exp();
-        let code: Vec<usize> =
-            (1..=n).map(|j| sample_truncated_geometric(q, j, rng)).collect();
+        let code: Vec<usize> = (1..=n)
+            .map(|j| sample_truncated_geometric(q, j, rng))
+            .collect();
         ranking_core::lehmer::decode_insertion_code(&self.center, &code)
             .expect("sampled code is stage-valid by construction")
     }
@@ -92,7 +93,10 @@ impl MallowsModel {
     /// Log probability mass of `pi` under the model.
     pub fn ln_pmf(&self, pi: &Permutation) -> Result<f64> {
         if pi.len() != self.center.len() {
-            return Err(MallowsError::LengthMismatch { center: self.center.len(), other: pi.len() });
+            return Err(MallowsError::LengthMismatch {
+                center: self.center.len(),
+                other: pi.len(),
+            });
         }
         let d = distance::kendall_tau(pi, &self.center).expect("lengths checked") as f64;
         Ok(-self.theta * d - self.ln_partition())
@@ -200,7 +204,10 @@ mod tests {
         let m = MallowsModel::new(center.clone(), 20.0).unwrap();
         let mut rng = StdRng::seed_from_u64(9);
         let same = (0..200).filter(|_| m.sample(&mut rng) == center).count();
-        assert!(same > 190, "only {same}/200 samples equal the centre at θ=20");
+        assert!(
+            same > 190,
+            "only {same}/200 samples equal the centre at θ=20"
+        );
     }
 
     #[test]
@@ -216,7 +223,10 @@ mod tests {
         assert_eq!(counts.len(), 6);
         for (_, c) in counts {
             let expected = draws as f64 / 6.0;
-            assert!((c as f64 - expected).abs() < 5.0 * expected.sqrt(), "count {c}");
+            assert!(
+                (c as f64 - expected).abs() < 5.0 * expected.sqrt(),
+                "count {c}"
+            );
         }
     }
 
@@ -268,9 +278,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(31);
             let draws = 4000;
             let mean: f64 = (0..draws)
-                .map(|_| {
-                    distance::kendall_tau(&m.sample(&mut rng), m.center()).unwrap() as f64
-                })
+                .map(|_| distance::kendall_tau(&m.sample(&mut rng), m.center()).unwrap() as f64)
                 .sum::<f64>()
                 / draws as f64;
             let expect = m.expected_kendall_tau();

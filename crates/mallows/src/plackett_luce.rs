@@ -11,7 +11,7 @@
 //! giving a differently-shaped fairness/utility trade-off.
 
 use crate::{MallowsError, Result};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use ranking_core::Permutation;
 
 /// A Plackett–Luce distribution over rankings of `n` items.
@@ -123,8 +123,10 @@ mod tests {
     #[test]
     fn pmf_sums_to_one() {
         let pl = PlackettLuce::new(vec![3.0, 1.0, 2.0, 0.5]).unwrap();
-        let total: f64 =
-            Permutation::enumerate_all(4).iter().map(|p| pl.pmf(p).unwrap()).sum();
+        let total: f64 = Permutation::enumerate_all(4)
+            .iter()
+            .map(|p| pl.pmf(p).unwrap())
+            .sum();
         assert!((total - 1.0).abs() < 1e-9);
     }
 

@@ -82,7 +82,10 @@ mod tests {
         let bound = (2.0 * theta).exp();
         for pi in Permutation::enumerate_all(n) {
             let ratio = ma.pmf(&pi).unwrap() / mb.pmf(&pi).unwrap();
-            assert!(ratio <= bound + 1e-9, "ratio {ratio} exceeds e^2θ = {bound}");
+            assert!(
+                ratio <= bound + 1e-9,
+                "ratio {ratio} exceeds e^2θ = {bound}"
+            );
         }
     }
 

@@ -40,7 +40,10 @@ impl TopKMallows {
             return Err(MallowsError::InvalidTheta { theta });
         }
         if k > center.len() {
-            return Err(MallowsError::LengthMismatch { center: center.len(), other: k });
+            return Err(MallowsError::LengthMismatch {
+                center: center.len(),
+                other: k,
+            });
         }
         Ok(TopKMallows { center, theta, k })
     }
@@ -256,7 +259,10 @@ mod tests {
         let hits = (0..100)
             .filter(|_| s.sample(&mut rng) == center.prefix(3))
             .count();
-        assert!(hits > 95, "only {hits}/100 samples match the centre prefix at θ=25");
+        assert!(
+            hits > 95,
+            "only {hits}/100 samples match the centre prefix at θ=25"
+        );
     }
 
     #[test]

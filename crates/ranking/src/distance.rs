@@ -56,7 +56,10 @@ pub fn max_kendall_tau(n: usize) -> u64 {
 /// Spearman distance `d₂(π, σ) = Σᵢ (π(i) − σ(i))²` over item positions.
 pub fn spearman(pi: &Permutation, sigma: &Permutation) -> Result<u64> {
     if pi.len() != sigma.len() {
-        return Err(RankingError::LengthMismatch { left: pi.len(), right: sigma.len() });
+        return Err(RankingError::LengthMismatch {
+            left: pi.len(),
+            right: sigma.len(),
+        });
     }
     let pp = pi.positions();
     let sp = sigma.positions();
@@ -74,11 +77,18 @@ pub fn spearman(pi: &Permutation, sigma: &Permutation) -> Result<u64> {
 /// This is the efficiency objective of ApproxMultiValuedIPF (Wei et al.).
 pub fn footrule(pi: &Permutation, sigma: &Permutation) -> Result<u64> {
     if pi.len() != sigma.len() {
-        return Err(RankingError::LengthMismatch { left: pi.len(), right: sigma.len() });
+        return Err(RankingError::LengthMismatch {
+            left: pi.len(),
+            right: sigma.len(),
+        });
     }
     let pp = pi.positions();
     let sp = sigma.positions();
-    Ok(pp.iter().zip(&sp).map(|(&a, &b)| a.abs_diff(b) as u64).sum())
+    Ok(pp
+        .iter()
+        .zip(&sp)
+        .map(|(&a, &b)| a.abs_diff(b) as u64)
+        .sum())
 }
 
 /// Ulam distance: `n` minus the length of the longest increasing
@@ -114,7 +124,10 @@ pub fn cayley(pi: &Permutation, sigma: &Permutation) -> Result<u64> {
 /// Hamming distance: number of positions holding different items.
 pub fn hamming(pi: &Permutation, sigma: &Permutation) -> Result<u64> {
     if pi.len() != sigma.len() {
-        return Err(RankingError::LengthMismatch { left: pi.len(), right: sigma.len() });
+        return Err(RankingError::LengthMismatch {
+            left: pi.len(),
+            right: sigma.len(),
+        });
     }
     Ok(pi
         .as_order()

@@ -23,11 +23,17 @@ const FENWICK_THRESHOLD: usize = 128;
 pub fn decode_insertion_code(reference: &Permutation, code: &[usize]) -> Result<Permutation> {
     let n = reference.len();
     if code.len() != n {
-        return Err(RankingError::LengthMismatch { left: n, right: code.len() });
+        return Err(RankingError::LengthMismatch {
+            left: n,
+            right: code.len(),
+        });
     }
     for (idx, &v) in code.iter().enumerate() {
         if v > idx {
-            return Err(RankingError::NotAPermutation { len: n, offending: Some(v) });
+            return Err(RankingError::NotAPermutation {
+                len: n,
+                offending: Some(v),
+            });
         }
     }
     if n < FENWICK_THRESHOLD {
@@ -41,15 +47,18 @@ pub fn decode_insertion_code(reference: &Permutation, code: &[usize]) -> Result<
 /// `reference` (such that `decode_insertion_code(reference, code) == pi`).
 pub fn encode_insertion_code(reference: &Permutation, pi: &Permutation) -> Result<Vec<usize>> {
     if reference.len() != pi.len() {
-        return Err(RankingError::LengthMismatch { left: reference.len(), right: pi.len() });
+        return Err(RankingError::LengthMismatch {
+            left: reference.len(),
+            right: pi.len(),
+        });
     }
     let pos = pi.positions();
     let n = reference.len();
     // code[j-1] = # of earlier reference items placed after item j
     let mut code = vec![0usize; n];
-    for j in 0..n {
+    for (j, slot) in code.iter_mut().enumerate() {
         let item = reference.item_at(j);
-        code[j] = (0..j)
+        *slot = (0..j)
             .filter(|&i| pos[reference.item_at(i)] > pos[item])
             .count();
     }
@@ -102,7 +111,10 @@ impl Fenwick {
                 tree[next] += tree[i];
             }
         }
-        Fenwick { tree, log: usize::BITS - n.leading_zeros() }
+        Fenwick {
+            tree,
+            log: usize::BITS - n.leading_zeros(),
+        }
     }
 
     /// Remove one unit from 0-based `slot`.
@@ -138,7 +150,9 @@ mod tests {
     use rand::{RngExt, SeedableRng};
 
     fn random_code(n: usize, rng: &mut StdRng) -> Vec<usize> {
-        (0..n).map(|j| if j == 0 { 0 } else { rng.random_range(0..=j) }).collect()
+        (0..n)
+            .map(|j| if j == 0 { 0 } else { rng.random_range(0..=j) })
+            .collect()
     }
 
     #[test]

@@ -55,7 +55,10 @@ impl std::fmt::Display for RankingError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RankingError::NotAPermutation { len, offending } => match offending {
-                Some(v) => write!(f, "input of length {len} is not a permutation (offending value {v})"),
+                Some(v) => write!(
+                    f,
+                    "input of length {len} is not a permutation (offending value {v})"
+                ),
                 None => write!(f, "input of length {len} is not a permutation"),
             },
             RankingError::LengthMismatch { left, right } => {

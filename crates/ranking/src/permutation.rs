@@ -26,7 +26,9 @@ pub struct Permutation {
 impl Permutation {
     /// The identity ranking `0, 1, …, n-1`.
     pub fn identity(n: usize) -> Self {
-        Permutation { order: (0..n).collect() }
+        Permutation {
+            order: (0..n).collect(),
+        }
     }
 
     /// Build from order form (`order[k]` = item at position `k`).
@@ -38,7 +40,10 @@ impl Permutation {
         let mut seen = vec![false; n];
         for &item in &order {
             if item >= n || seen[item] {
-                return Err(RankingError::NotAPermutation { len: n, offending: Some(item) });
+                return Err(RankingError::NotAPermutation {
+                    len: n,
+                    offending: Some(item),
+                });
             }
             seen[item] = true;
         }
@@ -51,7 +56,10 @@ impl Permutation {
         let mut order = vec![usize::MAX; n];
         for (item, &pos) in positions.iter().enumerate() {
             if pos >= n || order[pos] != usize::MAX {
-                return Err(RankingError::NotAPermutation { len: n, offending: Some(pos) });
+                return Err(RankingError::NotAPermutation {
+                    len: n,
+                    offending: Some(pos),
+                });
             }
             order[pos] = item;
         }
@@ -148,7 +156,9 @@ impl Permutation {
 
     /// Group inverse: the permutation mapping items back to positions.
     pub fn inverse(&self) -> Permutation {
-        Permutation { order: self.positions() }
+        Permutation {
+            order: self.positions(),
+        }
     }
 
     /// Composition `self ∘ other`: ranks items by applying `other` first,
@@ -158,7 +168,10 @@ impl Permutation {
     /// Returns an error when lengths differ.
     pub fn compose(&self, other: &Permutation) -> Result<Permutation> {
         if self.len() != other.len() {
-            return Err(RankingError::LengthMismatch { left: self.len(), right: other.len() });
+            return Err(RankingError::LengthMismatch {
+                left: self.len(),
+                right: other.len(),
+            });
         }
         let order = other.order.iter().map(|&i| self.order[i]).collect();
         Ok(Permutation { order })
@@ -170,7 +183,10 @@ impl Permutation {
     /// identity — the standard right-invariance reduction.
     pub fn relative_to(&self, reference: &Permutation) -> Result<Vec<usize>> {
         if self.len() != reference.len() {
-            return Err(RankingError::LengthMismatch { left: self.len(), right: reference.len() });
+            return Err(RankingError::LengthMismatch {
+                left: self.len(),
+                right: reference.len(),
+            });
         }
         let pos_self = self.positions();
         Ok(reference.order.iter().map(|&item| pos_self[item]).collect())
@@ -254,7 +270,10 @@ mod tests {
     fn from_order_rejects_duplicates() {
         assert!(matches!(
             Permutation::from_order(vec![0, 1, 1]),
-            Err(RankingError::NotAPermutation { offending: Some(1), .. })
+            Err(RankingError::NotAPermutation {
+                offending: Some(1),
+                ..
+            })
         ));
     }
 
@@ -287,7 +306,10 @@ mod tests {
     fn compose_length_mismatch_errors() {
         let p = Permutation::identity(3);
         let q = Permutation::identity(4);
-        assert!(matches!(p.compose(&q), Err(RankingError::LengthMismatch { .. })));
+        assert!(matches!(
+            p.compose(&q),
+            Err(RankingError::LengthMismatch { .. })
+        ));
     }
 
     #[test]

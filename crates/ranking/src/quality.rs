@@ -9,8 +9,7 @@
 use crate::{Permutation, RankingError, Result};
 
 /// Discount function applied at 1-based rank `i`.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Discount {
     /// `1 / log₂(1 + i)` — the standard NDCG discount (default).
     #[default]
@@ -33,7 +32,6 @@ impl Discount {
         }
     }
 }
-
 
 /// Cumulative gain of the top-`k` prefix: `Σ s(π(i))`.
 pub fn cumulative_gain(pi: &Permutation, scores: &[f64], k: usize) -> Result<f64> {
@@ -98,7 +96,10 @@ pub fn ndcg(pi: &Permutation, scores: &[f64]) -> Result<f64> {
 
 fn check(pi: &Permutation, scores: &[f64]) -> Result<()> {
     if pi.len() != scores.len() {
-        return Err(RankingError::LengthMismatch { left: pi.len(), right: scores.len() });
+        return Err(RankingError::LengthMismatch {
+            left: pi.len(),
+            right: scores.len(),
+        });
     }
     Ok(())
 }

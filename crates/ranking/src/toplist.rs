@@ -45,7 +45,10 @@ impl TopKList {
 
     /// The top-`k` prefix of a complete ranking.
     pub fn from_permutation(pi: &Permutation, k: usize) -> Self {
-        TopKList { items: pi.prefix(k).to_vec(), universe: pi.len() }
+        TopKList {
+            items: pi.prefix(k).to_vec(),
+            universe: pi.len(),
+        }
     }
 
     /// Number of ranked items `k`.
@@ -115,7 +118,10 @@ impl TopKList {
             });
         }
         if !(0.0..=0.5).contains(&p) {
-            return Err(RankingError::NotAPermutation { len: 0, offending: None });
+            return Err(RankingError::NotAPermutation {
+                len: 0,
+                offending: None,
+            });
         }
         let union: Vec<usize> = self.union_items(other);
         let mut total = 0.0;

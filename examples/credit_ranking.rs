@@ -83,12 +83,17 @@ fn main() {
         "%P-fair (Sex-Age, known)".into(),
         "%P-fair (Housing, unknown)".into(),
     ])
-    .with_title(format!("German Credit, n = {n} (algorithms only see Sex-Age)"));
+    .with_title(format!(
+        "German Credit, n = {n} (algorithms only see Sex-Age)"
+    ));
     for (name, pi) in &outputs {
         table.add_row(vec![
             name.to_string(),
             format!("{:.4}", quality::ndcg(pi, &scores).unwrap()),
-            format!("{:.1}", infeasible::pfair_percentage(pi, &known, &known_bounds).unwrap()),
+            format!(
+                "{:.1}",
+                infeasible::pfair_percentage(pi, &known, &known_bounds).unwrap()
+            ),
             format!(
                 "{:.1}",
                 infeasible::pfair_percentage(pi, &unknown, &unknown_bounds).unwrap()

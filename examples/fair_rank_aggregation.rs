@@ -12,8 +12,8 @@ use fairness_ranking::aggregation::{
 };
 use fairness_ranking::eval::table::Table;
 use fairness_ranking::fairness::{infeasible, FairnessBounds, GroupAssignment};
-use fairness_ranking::mallows_ranker::{Criterion, MallowsFairRanker};
 use fairness_ranking::mallows::MallowsModel;
+use fairness_ranking::mallows_ranker::{Criterion, MallowsFairRanker};
 use fairness_ranking::ranking::Permutation;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -36,7 +36,10 @@ fn main() {
     let aggregates: Vec<(&str, Permutation)> = vec![
         ("Borda", borda(&votes).unwrap()),
         ("Footrule-optimal", footrule_optimal(&votes).unwrap()),
-        ("KwikSort + local search", local_search(&kwik, &votes).unwrap()),
+        (
+            "KwikSort + local search",
+            local_search(&kwik, &votes).unwrap(),
+        ),
     ];
 
     let mut table = Table::new(vec![
@@ -45,7 +48,10 @@ fn main() {
         "infeasible index".into(),
         "after Mallows θ=0.5 (best-of-15 min-II)".into(),
     ])
-    .with_title(format!("Committee of {} voters ranking {n} candidates", votes.len()));
+    .with_title(format!(
+        "Committee of {} voters ranking {n} candidates",
+        votes.len()
+    ));
 
     for (name, consensus) in &aggregates {
         let d = total_kendall_distance(consensus, &votes).unwrap();
@@ -54,7 +60,10 @@ fn main() {
         let ranker = MallowsFairRanker::new(
             0.5,
             15,
-            Criterion::MinInfeasibleIndex { groups: groups.clone(), bounds: bounds.clone() },
+            Criterion::MinInfeasibleIndex {
+                groups: groups.clone(),
+                bounds: bounds.clone(),
+            },
         )
         .unwrap();
         let out = ranker.rank(consensus, &mut rng).unwrap();

@@ -69,8 +69,15 @@ fn main() {
     // 1. exact DCG-optimal fair top-k, minority share within ±2 % of
     //    its pool proportion, enforced on every shortlist prefix.
     let bounds = FairnessBounds::from_assignment_with_tolerance(&groups, 0.02);
-    let exact = fair_top_k(&scores, &groups, &bounds, K, FairnessMode::Strong, Discount::Log2)
-        .expect("bounds are feasible for this pool");
+    let exact = fair_top_k(
+        &scores,
+        &groups,
+        &bounds,
+        K,
+        FairnessMode::Strong,
+        Discount::Log2,
+    )
+    .expect("bounds are feasible for this pool");
     describe("exact fair top-k (strong)", &exact, &scores, &groups);
 
     // 2. FA*IR with the minority as protected group at its pool share.
@@ -79,7 +86,11 @@ fn main() {
         &groups,
         1,
         K,
-        &FaIrConfig { min_proportion: 0.4, significance: 0.1, adjust: false },
+        &FaIrConfig {
+            min_proportion: 0.4,
+            significance: 0.1,
+            adjust: false,
+        },
     )
     .expect("protected pool is large enough");
     describe("FA*IR (p=0.4, α=0.1)", &fa, &scores, &groups);

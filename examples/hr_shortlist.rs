@@ -60,5 +60,8 @@ fn main() {
         let out = ranker.rank(&scores, &mut rng).unwrap();
         report(&format!("robust ranking #{}", trial + 1), &out.ranking);
     }
-    println!("\n(resolved Mallows dispersion for n = {n}: θ = {:.3})", ranker.resolve_theta(n));
+    println!(
+        "\n(resolved Mallows dispersion for n = {n}: θ = {:.3})",
+        ranker.resolve_theta(n)
+    );
 }

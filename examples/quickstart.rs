@@ -18,10 +18,12 @@ fn main() {
 
     // The quality-optimal ranking is fully segregated.
     let baseline = Permutation::sorted_by_scores_desc(&scores);
-    let baseline_ii =
-        infeasible::two_sided_infeasible_index(&baseline, &groups, &bounds).unwrap();
+    let baseline_ii = infeasible::two_sided_infeasible_index(&baseline, &groups, &bounds).unwrap();
     println!("baseline ranking:       {baseline}");
-    println!("baseline NDCG:          {:.4}", quality::ndcg(&baseline, &scores).unwrap());
+    println!(
+        "baseline NDCG:          {:.4}",
+        quality::ndcg(&baseline, &scores).unwrap()
+    );
     println!("baseline infeasible idx: {baseline_ii}  (groups never seen by the algorithm)");
 
     // Algorithm 1: one sample from M(baseline, θ = 0.2). The algorithm
@@ -29,8 +31,7 @@ fn main() {
     let ranker = MallowsFairRanker::new(0.2, 1, Criterion::FirstSample).unwrap();
     let mut rng = StdRng::seed_from_u64(7);
     let out = ranker.rank(&baseline, &mut rng).unwrap();
-    let out_ii =
-        infeasible::two_sided_infeasible_index(&out.ranking, &groups, &bounds).unwrap();
+    let out_ii = infeasible::two_sided_infeasible_index(&out.ranking, &groups, &bounds).unwrap();
     let out_ndcg = quality::ndcg(&out.ranking, &scores).unwrap();
 
     println!("\nrandomized ranking:      {}", out.ranking);

@@ -38,8 +38,7 @@ fn main() {
         let mut ilp = Vec::new();
         let mut mallows = Vec::new();
         for _ in 0..reps {
-            let known =
-                GroupAssignment::new((0..n).map(|i| i % 2).collect(), 2).unwrap();
+            let known = GroupAssignment::new((0..n).map(|i| i % 2).collect(), 2).unwrap();
             let hidden =
                 GroupAssignment::new((0..n).map(|i| usize::from(i < n / 2)).collect(), 2).unwrap();
             let scores: Vec<f64> = (0..n)
@@ -56,9 +55,8 @@ fn main() {
             let hidden_bounds = FairnessBounds::from_assignment_with_tolerance(&hidden, 0.1);
 
             let baseline = fairness_ranking::ranking::Permutation::sorted_by_scores_desc(&scores);
-            score_sort.push(
-                infeasible::pfair_percentage(&baseline, &hidden, &hidden_bounds).unwrap(),
-            );
+            score_sort
+                .push(infeasible::pfair_percentage(&baseline, &hidden, &hidden_bounds).unwrap());
 
             let tables = known_bounds.tables(n);
             let ilp_pi =

@@ -33,8 +33,7 @@ fn main() {
     // True demographics: two equal groups; group 1's scores are biased
     // downward, so the score-sorted ranking over-represents group 0 on
     // top.
-    let truth =
-        GroupAssignment::new((0..N).map(|i| usize::from(i % 2 == 1)).collect(), 2).unwrap();
+    let truth = GroupAssignment::new((0..N).map(|i| usize::from(i % 2 == 1)).collect(), 2).unwrap();
     let scores: Vec<f64> = (0..N)
         .map(|i| {
             let base: f64 = rng.random_range(0.0..1.0);
@@ -49,15 +48,19 @@ fn main() {
     let sorted = Permutation::sorted_by_scores_desc(&scores);
 
     // Oblivious post-processing: one Mallows draw at θ = 0.4.
-    let ranker = MallowsFairRanker::new(0.4, 1, Criterion::FirstSample)
-        .expect("valid parameters");
-    let randomized = ranker.rank(&sorted, &mut rng).expect("consistent shapes").ranking;
+    let ranker = MallowsFairRanker::new(0.4, 1, Criterion::FirstSample).expect("valid parameters");
+    let randomized = ranker
+        .rank(&sorted, &mut rng)
+        .expect("consistent shapes")
+        .ranking;
 
     println!("expected two-sided infeasible index (exact, no sampling)\n");
-    println!("{:<14}{:>16}{:>20}", "label noise ε", "score-sorted", "Mallows θ=0.4");
+    println!(
+        "{:<14}{:>16}{:>20}",
+        "label noise ε", "score-sorted", "Mallows θ=0.4"
+    );
     for eps in [0.0, 0.1, 0.2, 0.3, 0.4] {
-        let soft = SoftGroupAssignment::from_noisy_labels(&truth, eps)
-            .expect("ε is a probability");
+        let soft = SoftGroupAssignment::from_noisy_labels(&truth, eps).expect("ε is a probability");
         let base = soft
             .expected_infeasible_index(&sorted, &bounds)
             .expect("consistent shapes");

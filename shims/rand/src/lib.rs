@@ -1,0 +1,420 @@
+//! Minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The build container has no network access and no vendored registry,
+//! so the workspace ships the narrow slice of the `rand` 0.9 API it
+//! actually uses: [`Rng`]/[`RngExt`] with `random`/`random_range`,
+//! [`SeedableRng::seed_from_u64`], a deterministic [`rngs::StdRng`]
+//! (xoshiro256++ seeded through SplitMix64), and
+//! [`seq::SliceRandom`] (`shuffle`/`choose`).
+//!
+//! Determinism is a feature here, not a compromise: every sampler in
+//! the workspace (and every engine job) is seeded explicitly, and the
+//! paper's experiments depend on bit-reproducible streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The object-safe core of a random generator: just the raw bit
+/// stream. Mirrors `rand::RngCore`.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of `next_u64`).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`] (the `rand 0.9` `Rng` extension-trait structure, which
+/// is what lets `rng.random()` resolve on `&mut R` even when
+/// `R: ?Sized`).
+pub trait Rng: RngCore {
+    /// A uniformly random value of a primitive type (`f64` in `[0, 1)`,
+    /// full-range integers, fair `bool`).
+    fn random<T: UniformPrimitive>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// A uniformly random value in the given (half-open or inclusive)
+    /// range. Panics on an empty range, like `rand` proper.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: IntoUniformRange<T>,
+    {
+        let (low, high_inclusive) = range.bounds();
+        T::sample_inclusive(low, high_inclusive, self)
+    }
+
+    /// A Bernoulli draw with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        f64::from_rng(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Extension alias kept for call sites written against `rand 0.9`'s
+/// split `Rng`/`RngExt` surface; everything lives on [`Rng`] here.
+pub use Rng as RngExt;
+
+/// Primitive types [`Rng::random`] can produce.
+pub trait UniformPrimitive {
+    /// Draw one uniformly random value.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl UniformPrimitive for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits → uniform in [0, 1)
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl UniformPrimitive for f32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl UniformPrimitive for u64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl UniformPrimitive for u32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl UniformPrimitive for usize {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl UniformPrimitive for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types [`Rng::random_range`] can sample.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[low, high_inclusive]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high_inclusive: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low <= high, "cannot sample from an empty range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                if span == 0 {
+                    // full 128-bit span cannot happen for <=64-bit types
+                    unreachable!("range span overflow");
+                }
+                // Lemire-style rejection to keep the draw unbiased.
+                let zone = u128::from(u64::MAX) + 1 - (u128::from(u64::MAX) + 1) % span;
+                loop {
+                    let v = u128::from(rng.next_u64());
+                    if v < zone {
+                        return (low as i128 + (v % span) as i128) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        assert!(
+            low <= high && low.is_finite() && high.is_finite(),
+            "bad float range"
+        );
+        let u = f64::from_rng(rng);
+        low + u * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        assert!(
+            low <= high && low.is_finite() && high.is_finite(),
+            "bad float range"
+        );
+        let u = f32::from_rng(rng);
+        low + u * (high - low)
+    }
+}
+
+/// Range forms accepted by [`Rng::random_range`].
+pub trait IntoUniformRange<T> {
+    /// `(low, high_inclusive)` bounds of the range.
+    fn bounds(self) -> (T, T);
+}
+
+impl IntoUniformRange<f64> for Range<f64> {
+    fn bounds(self) -> (f64, f64) {
+        // half-open float range: the top endpoint has probability ~0, so
+        // treating it as inclusive matches `rand` closely enough
+        (self.start, self.end)
+    }
+}
+
+impl IntoUniformRange<f32> for Range<f32> {
+    fn bounds(self) -> (f32, f32) {
+        (self.start, self.end)
+    }
+}
+
+impl IntoUniformRange<f64> for RangeInclusive<f64> {
+    fn bounds(self) -> (f64, f64) {
+        (*self.start(), *self.end())
+    }
+}
+
+macro_rules! impl_into_range_int {
+    ($($t:ty),*) => {$(
+        impl IntoUniformRange<$t> for Range<$t> {
+            fn bounds(self) -> ($t, $t) {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl IntoUniformRange<$t> for RangeInclusive<$t> {
+            fn bounds(self) -> ($t, $t) {
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+
+impl_into_range_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+/// Seedable RNGs (the workspace only uses [`SeedableRng::seed_from_u64`]).
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++
+    /// with SplitMix64 seed expansion. Not cryptographic — statistical
+    /// quality only, which is all the samplers need.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+            // xoshiro forbids the all-zero state; SplitMix64 cannot
+            // produce it from any seed, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Small-state alias (same engine; kept for API familiarity).
+    pub type SmallRng = StdRng;
+}
+
+pub mod seq {
+    //! Slice helpers (`shuffle`, `choose`).
+
+    use super::RngCore;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element (`None` on an empty slice).
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = usize::sample_uniform(i + 1, rng);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[usize::sample_uniform(self.len(), rng)])
+            }
+        }
+    }
+
+    trait SampleBelow {
+        fn sample_uniform<R: RngCore + ?Sized>(bound: usize, rng: &mut R) -> usize;
+    }
+
+    impl SampleBelow for usize {
+        fn sample_uniform<R: RngCore + ?Sized>(bound: usize, rng: &mut R) -> usize {
+            <usize as super::SampleUniform>::sample_inclusive(0, bound - 1, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn float_mean_is_half() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn int_ranges_hit_all_values_uniformly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[rng.random_range(0..5usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn inclusive_range_reaches_endpoint() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut saw_top = false;
+        for _ in 0..1_000 {
+            if rng.random_range(0..=3usize) == 3 {
+                saw_top = true;
+            }
+        }
+        assert!(saw_top);
+    }
+
+    #[test]
+    fn negative_float_ranges() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            let x: f64 = rng.random_range(-10.0..10.0);
+            assert!((-10.0..10.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut v: Vec<usize> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert!([42u8].choose(&mut rng).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let _: usize = rng.random_range(3..3usize);
+    }
+}

@@ -56,6 +56,34 @@ pub enum Aggregator {
     MarkovMc4,
 }
 
+impl Aggregator {
+    /// Every aggregation stage, in registry order.
+    pub const ALL: [Aggregator; 5] = [
+        Aggregator::Borda,
+        Aggregator::Copeland,
+        Aggregator::Footrule,
+        Aggregator::Kemeny,
+        Aggregator::MarkovMc4,
+    ];
+
+    /// Canonical name shared by the CLI, the serving engine's registry
+    /// and the HTTP API.
+    pub fn name(self) -> &'static str {
+        match self {
+            Aggregator::Borda => "borda",
+            Aggregator::Copeland => "copeland",
+            Aggregator::Footrule => "footrule",
+            Aggregator::Kemeny => "kemeny",
+            Aggregator::MarkovMc4 => "markov",
+        }
+    }
+
+    /// Inverse of [`Aggregator::name`].
+    pub fn parse(name: &str) -> Option<Aggregator> {
+        Aggregator::ALL.into_iter().find(|a| a.name() == name)
+    }
+}
+
 /// Fairness post-processing stage of the pipeline.
 #[derive(Debug, Clone)]
 pub enum PostProcessor {
@@ -80,6 +108,65 @@ pub enum PostProcessor {
     /// ApproxMultiValuedIPF: minimum-footrule fair matching (any number
     /// of groups).
     ApproxIpf,
+}
+
+impl PostProcessor {
+    /// Canonical names of every post-processing stage, in registry
+    /// order (shared by the CLI, the engine registry and the HTTP API).
+    pub const NAMES: [&'static str; 5] = ["none", "mallows", "gr-binary", "exact-kt", "ipf"];
+
+    /// Canonical name of this stage.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PostProcessor::None => "none",
+            PostProcessor::Mallows { .. } => "mallows",
+            PostProcessor::GrBinaryIpf => "gr-binary",
+            PostProcessor::ExactKtDp => "exact-kt",
+            PostProcessor::ApproxIpf => "ipf",
+        }
+    }
+
+    /// Inverse of [`PostProcessor::name`]; `theta`/`samples` provide
+    /// the Mallows parameters (ignored by the other stages).
+    pub fn parse(name: &str, theta: f64, samples: usize) -> Option<PostProcessor> {
+        match name {
+            "none" => Some(PostProcessor::None),
+            "mallows" => Some(PostProcessor::Mallows { theta, samples }),
+            "gr-binary" => Some(PostProcessor::GrBinaryIpf),
+            "exact-kt" => Some(PostProcessor::ExactKtDp),
+            "ipf" => Some(PostProcessor::ApproxIpf),
+            _ => None,
+        }
+    }
+}
+
+/// A named pipeline configuration: which aggregator feeds which
+/// post-processor. This is the single naming authority shared by
+/// `fairrank pipeline`, the engine's algorithm registry and the
+/// `POST /pipeline` HTTP endpoint, so a spec string accepted by one
+/// surface is accepted by all of them.
+#[derive(Debug, Clone)]
+pub struct PipelineSpec {
+    /// Aggregation stage.
+    pub aggregator: Aggregator,
+    /// Post-processing stage.
+    pub post: PostProcessor,
+}
+
+impl PipelineSpec {
+    /// Parse stage names (`theta`/`samples` configure a Mallows stage).
+    /// Returns `None` if either name is unknown.
+    pub fn parse(method: &str, post: &str, theta: f64, samples: usize) -> Option<PipelineSpec> {
+        Some(PipelineSpec {
+            aggregator: Aggregator::parse(method)?,
+            post: PostProcessor::parse(post, theta, samples)?,
+        })
+    }
+
+    /// Instantiate the runnable pipeline.
+    pub fn build(&self) -> FairAggregationPipeline {
+        FairAggregationPipeline::new(self.aggregator, self.post.clone())
+    }
 }
 
 /// Output of one pipeline run.
@@ -123,7 +210,16 @@ impl std::fmt::Display for PipelineError {
     }
 }
 
-impl std::error::Error for PipelineError {}
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Aggregation(e) => Some(e),
+            PipelineError::Baseline(e) => Some(e),
+            PipelineError::Mallows(e) => Some(e),
+            PipelineError::Fairness(e) => Some(e),
+        }
+    }
+}
 
 impl From<rank_aggregation::AggregationError> for PipelineError {
     fn from(e: rank_aggregation::AggregationError) -> Self {
@@ -183,8 +279,7 @@ impl FairAggregationPipeline {
     ) -> Result<PipelineOutput, PipelineError> {
         let consensus = self.aggregate(votes, rng)?;
         let fair_ranking = self.post_process(&consensus, groups, bounds, rng)?;
-        let consensus_total_kt =
-            rank_aggregation::total_kendall_distance(&consensus, votes)?;
+        let consensus_total_kt = rank_aggregation::total_kendall_distance(&consensus, votes)?;
         let fair_total_kt = rank_aggregation::total_kendall_distance(&fair_ranking, votes)?;
         let consensus_infeasible =
             infeasible::two_sided_infeasible_index(&consensus, groups, bounds)?;
@@ -215,7 +310,10 @@ impl FairAggregationPipeline {
             }
             Aggregator::MarkovMc4 => markov_chain_aggregate(
                 votes,
-                &MarkovConfig { kind: ChainKind::Majority, ..Default::default() },
+                &MarkovConfig {
+                    kind: ChainKind::Majority,
+                    ..Default::default()
+                },
             )?,
         })
     }
@@ -230,8 +328,7 @@ impl FairAggregationPipeline {
         Ok(match &self.post {
             PostProcessor::None => consensus.clone(),
             PostProcessor::Mallows { theta, samples } => {
-                let ranker =
-                    MallowsFairRanker::new(*theta, *samples, Criterion::MinKendallTau)?;
+                let ranker = MallowsFairRanker::new(*theta, *samples, Criterion::MinKendallTau)?;
                 ranker.rank(consensus, rng)?.ranking
             }
             PostProcessor::GrBinaryIpf => gr_binary_ipf(consensus, groups, bounds)?,
@@ -301,9 +398,18 @@ mod tests {
         let p = FairAggregationPipeline::new(Aggregator::Borda, PostProcessor::GrBinaryIpf);
         let mut rng = StdRng::seed_from_u64(5);
         let out = p.run(&votes, &g, &b, &mut rng).unwrap();
-        assert!(out.consensus_infeasible > 0, "segregated consensus must violate");
-        assert_eq!(out.fair_infeasible, 0, "GrBinaryIPF must produce a fair ranking");
-        assert!(out.fair_total_kt >= out.consensus_total_kt, "fairness costs distance");
+        assert!(
+            out.consensus_infeasible > 0,
+            "segregated consensus must violate"
+        );
+        assert_eq!(
+            out.fair_infeasible, 0,
+            "GrBinaryIPF must produce a fair ranking"
+        );
+        assert!(
+            out.fair_total_kt >= out.consensus_total_kt,
+            "fairness costs distance"
+        );
     }
 
     #[test]
@@ -318,7 +424,10 @@ mod tests {
             .run(&votes, &g, &b, &mut rng)
             .unwrap();
         assert_eq!(dp.fair_infeasible, 0);
-        assert_eq!(dp.fair_total_kt, merge.fair_total_kt, "both are exact minimizers");
+        assert_eq!(
+            dp.fair_total_kt, merge.fair_total_kt,
+            "both are exact minimizers"
+        );
     }
 
     #[test]
@@ -349,7 +458,10 @@ mod tests {
         let (g, b) = halves(10);
         let p = FairAggregationPipeline::new(
             Aggregator::Borda,
-            PostProcessor::Mallows { theta: 0.3, samples: 1 },
+            PostProcessor::Mallows {
+                theta: 0.3,
+                samples: 1,
+            },
         );
         let mut rng = StdRng::seed_from_u64(11);
         let trials = 30;
@@ -386,7 +498,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         assert!(matches!(
             p.run(&votes, &g, &b, &mut rng),
-            Err(PipelineError::Baseline(fair_baselines::BaselineError::NotBinary { .. }))
+            Err(PipelineError::Baseline(
+                fair_baselines::BaselineError::NotBinary { .. }
+            ))
         ));
     }
 }

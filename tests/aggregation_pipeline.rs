@@ -16,7 +16,9 @@ fn aggregate_then_randomize_preserves_validity_and_reduces_unfairness() {
     let n = 10;
     // votes concentrated around a segregated ground truth
     let truth = Permutation::identity(n);
-    let votes = MallowsModel::new(truth, 1.2).unwrap().sample_many(11, &mut rng);
+    let votes = MallowsModel::new(truth, 1.2)
+        .unwrap()
+        .sample_many(11, &mut rng);
     let groups = GroupAssignment::binary_split(n, n / 2);
     let bounds = FairnessBounds::from_assignment(&groups);
 
@@ -25,17 +27,18 @@ fn aggregate_then_randomize_preserves_validity_and_reduces_unfairness() {
         footrule_optimal(&votes).unwrap(),
         local_search(&kwik_sort(&votes, &mut rng).unwrap(), &votes).unwrap(),
     ] {
-        let before =
-            infeasible::two_sided_infeasible_index(&consensus, &groups, &bounds).unwrap();
+        let before = infeasible::two_sided_infeasible_index(&consensus, &groups, &bounds).unwrap();
         let ranker = MallowsFairRanker::new(
             0.4,
             20,
-            Criterion::MinInfeasibleIndex { groups: groups.clone(), bounds: bounds.clone() },
+            Criterion::MinInfeasibleIndex {
+                groups: groups.clone(),
+                bounds: bounds.clone(),
+            },
         )
         .unwrap();
         let out = ranker.rank(&consensus, &mut rng).unwrap();
-        let after =
-            infeasible::two_sided_infeasible_index(&out.ranking, &groups, &bounds).unwrap();
+        let after = infeasible::two_sided_infeasible_index(&out.ranking, &groups, &bounds).unwrap();
         assert_eq!(out.ranking.len(), n);
         assert!(
             after <= before,
@@ -50,7 +53,9 @@ fn all_aggregators_stay_close_to_cohesive_votes() {
     // aggregator must land within a small total distance of the optimum
     let mut rng = StdRng::seed_from_u64(0xB77);
     let truth = Permutation::from_order(vec![4, 1, 5, 0, 3, 2]).unwrap();
-    let votes = MallowsModel::new(truth, 2.5).unwrap().sample_many(9, &mut rng);
+    let votes = MallowsModel::new(truth, 2.5)
+        .unwrap()
+        .sample_many(9, &mut rng);
     let opt = kemeny_exact(&votes).unwrap();
     let opt_d = total_kendall_distance(&opt, &votes).unwrap();
 
@@ -61,6 +66,9 @@ fn all_aggregators_stay_close_to_cohesive_votes() {
         ("kwiksort+ls", local_search(&kwik, &votes).unwrap()),
     ] {
         let d = total_kendall_distance(&agg, &votes).unwrap();
-        assert!(d <= 2 * opt_d + 4, "{name}: total KT {d} vs optimum {opt_d}");
+        assert!(
+            d <= 2 * opt_d + 4,
+            "{name}: total KT {d} vs optimum {opt_d}"
+        );
     }
 }

@@ -62,7 +62,10 @@ fn full_pipeline_produces_consistent_outputs() {
         }
 
         // IPF and ILP outputs are exactly fair on the known attribute
-        assert!(ipf.feasible, "proportional bounds must be feasible at n = {n}");
+        assert!(
+            ipf.feasible,
+            "proportional bounds must be feasible at n = {n}"
+        );
         assert!(pfair::is_k_fair(&ipf.ranking, &known, &known_bounds, 1).unwrap());
         assert!(pfair::is_k_fair(&ilp, &known, &known_bounds, 1).unwrap());
 
@@ -81,11 +84,9 @@ fn oblivious_mallows_beats_ilp_on_hidden_attribute_under_segregation() {
     let mut rng = StdRng::seed_from_u64(0xAB);
     let n = 40;
     let reps = 25;
-    let known = fairness_ranking::fairness::GroupAssignment::new(
-        (0..n).map(|i| i % 2).collect(),
-        2,
-    )
-    .unwrap();
+    let known =
+        fairness_ranking::fairness::GroupAssignment::new((0..n).map(|i| i % 2).collect(), 2)
+            .unwrap();
     let hidden = fairness_ranking::fairness::GroupAssignment::binary_split(n, n / 2);
     let hidden_bounds = FairnessBounds::from_assignment_with_tolerance(&hidden, 0.1);
     let known_bounds = FairnessBounds::from_assignment(&known);
@@ -114,8 +115,7 @@ fn oblivious_mallows_beats_ilp_on_hidden_attribute_under_segregation() {
             .unwrap()
             .rank(&center, &mut rng)
             .unwrap();
-        mallows_total +=
-            infeasible::pfair_percentage(&m.ranking, &hidden, &hidden_bounds).unwrap();
+        mallows_total += infeasible::pfair_percentage(&m.ranking, &hidden, &hidden_bounds).unwrap();
     }
     assert!(
         mallows_total > ilp_total + 2.0 * reps as f64,

@@ -1,0 +1,212 @@
+//! End-to-end client/server round trip: POST a pipeline job to a live
+//! `fairrank-engine` HTTP server and verify the response is *identical*
+//! to the equivalent direct library call with the same seed.
+
+use fairness_ranking::fairness::{FairnessBounds, GroupAssignment};
+use fairness_ranking::pipeline::{Aggregator, FairAggregationPipeline, PostProcessor};
+use fairness_ranking::ranking::Permutation;
+use fairrank_engine::server::Server;
+use fairrank_engine::{Engine, EngineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+fn start_server() -> fairrank_engine::server::ServerHandle {
+    let engine = Engine::new(EngineConfig {
+        workers: 4,
+        queue_capacity: 64,
+        cache_capacity: 64,
+    });
+    Server::bind("127.0.0.1:0", engine)
+        .expect("binding an ephemeral port")
+        .spawn()
+}
+
+fn http_post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connecting to the server");
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nhost: localhost\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("HTTP status line");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nhost: localhost\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Pull `"key":[…]` out of a JSON body as a vector of indices.
+fn json_index_array(body: &str, key: &str) -> Vec<usize> {
+    let marker = format!("\"{key}\":[");
+    let start = body
+        .find(&marker)
+        .unwrap_or_else(|| panic!("no {key} in {body}"))
+        + marker.len();
+    let end = start + body[start..].find(']').expect("closing bracket");
+    body[start..end]
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.trim().parse().expect("index"))
+        .collect()
+}
+
+/// Pull a numeric `"key":value` out of a JSON body.
+fn json_number(body: &str, key: &str) -> f64 {
+    let marker = format!("\"{key}\":");
+    let start = body
+        .find(&marker)
+        .unwrap_or_else(|| panic!("no {key} in {body}"))
+        + marker.len();
+    let end = body[start..]
+        .find([',', '}'])
+        .map(|i| start + i)
+        .expect("value terminator");
+    body[start..end].trim().parse().expect("number")
+}
+
+#[test]
+fn pipeline_over_http_matches_library_call() {
+    let server = start_server();
+    let seed = 11u64;
+    let (status, body) = http_post(
+        server.addr(),
+        "/pipeline",
+        &format!(
+            r#"{{"votes":[[0,1,2,3,4,5],[0,1,2,3,5,4],[1,0,2,3,4,5],[0,2,1,3,4,5]],"groups":[0,0,0,1,1,1],"method":"borda","post":"mallows","theta":0.7,"samples":15,"tolerance":0.2,"seed":{seed}}}"#
+        ),
+    );
+    assert_eq!(status, 200, "{body}");
+
+    // the same computation, straight through the library
+    let votes: Vec<Permutation> = [
+        vec![0, 1, 2, 3, 4, 5],
+        vec![0, 1, 2, 3, 5, 4],
+        vec![1, 0, 2, 3, 4, 5],
+        vec![0, 2, 1, 3, 4, 5],
+    ]
+    .into_iter()
+    .map(|v| Permutation::from_order(v).unwrap())
+    .collect();
+    let groups = GroupAssignment::new(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+    let bounds = FairnessBounds::from_assignment_with_tolerance(&groups, 0.2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lib = FairAggregationPipeline::new(
+        Aggregator::Borda,
+        PostProcessor::Mallows {
+            theta: 0.7,
+            samples: 15,
+        },
+    )
+    .run(&votes, &groups, &bounds, &mut rng)
+    .unwrap();
+
+    assert_eq!(
+        json_index_array(&body, "consensus"),
+        lib.consensus.as_order()
+    );
+    assert_eq!(
+        json_index_array(&body, "fair_ranking"),
+        lib.fair_ranking.as_order()
+    );
+    assert_eq!(
+        json_number(&body, "consensus_total_kt"),
+        lib.consensus_total_kt as f64
+    );
+    assert_eq!(
+        json_number(&body, "fair_total_kt"),
+        lib.fair_total_kt as f64
+    );
+    assert_eq!(
+        json_number(&body, "consensus_infeasible"),
+        lib.consensus_infeasible as f64
+    );
+    assert_eq!(
+        json_number(&body, "fair_infeasible"),
+        lib.fair_infeasible as f64
+    );
+    server.shutdown();
+}
+
+#[test]
+fn repeated_requests_hit_the_cache_and_stats_report_it() {
+    let server = start_server();
+    let body = r#"{"algorithm":"mallows","scores":[0.9,0.8,0.7,0.4,0.3,0.2],"groups":[0,0,0,1,1,1],"theta":1.0,"samples":10,"seed":5}"#;
+    let (s1, r1) = http_post(server.addr(), "/rank", body);
+    let (s2, r2) = http_post(server.addr(), "/rank", body);
+    assert_eq!((s1, s2), (200, 200));
+    assert_eq!(r1, r2, "cached response must be byte-identical");
+    let (status, stats) = http_get(server.addr(), "/stats");
+    assert_eq!(status, 200);
+    assert_eq!(json_number(&stats, "cache_hits"), 1.0, "{stats}");
+    assert_eq!(json_number(&stats, "cache_misses"), 1.0, "{stats}");
+    server.shutdown();
+}
+
+#[test]
+fn healthz_and_aggregate_work_over_http() {
+    let server = start_server();
+    let (status, body) = http_get(server.addr(), "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+    let (status, body) = http_post(
+        server.addr(),
+        "/aggregate",
+        r#"{"method":"kemeny","votes":[[0,1,2],[0,1,2],[2,0,1]],"seed":3}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json_index_array(&body, "ranking"), vec![0, 1, 2]);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_http_clients_get_consistent_answers() {
+    let server = start_server();
+    let addr = server.addr();
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                http_post(
+                    addr,
+                    "/pipeline",
+                    r#"{"votes":[[0,1,2,3],[1,0,2,3],[0,1,3,2]],"groups":[0,0,1,1],"method":"borda","post":"none","seed":9}"#,
+                )
+            })
+        })
+        .collect();
+    let responses: Vec<(u16, String)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for (status, body) in &responses {
+        assert_eq!(*status, 200, "{body}");
+        assert_eq!(
+            body, &responses[0].1,
+            "all clients must see the same result"
+        );
+    }
+    server.shutdown();
+}

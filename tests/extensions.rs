@@ -87,7 +87,11 @@ fn mann_whitney_separates_mallows_sample_counts() {
         })
         .collect();
     let r = mann_whitney_u(&nd_single, &nd_best).unwrap();
-    assert!(r.significant_at(0.01), "p = {} should detect m=1 vs m=15", r.p_value);
+    assert!(
+        r.significant_at(0.01),
+        "p = {} should detect m=1 vs m=15",
+        r.p_value
+    );
     // sanity: identical samples are not flagged
     let same = mann_whitney_u(&nd_single, &nd_single).unwrap();
     assert!(!same.significant_at(0.05));
@@ -100,8 +104,7 @@ fn cayley_noise_reduces_infeasible_index_of_segregated_ranking() {
     let groups = GroupAssignment::binary_split(n, n / 2);
     let bounds = FairnessBounds::from_assignment(&groups);
     let center = Permutation::identity(n); // fully segregated
-    let base =
-        infeasible::two_sided_infeasible_index(&center, &groups, &bounds).unwrap() as f64;
+    let base = infeasible::two_sided_infeasible_index(&center, &groups, &bounds).unwrap() as f64;
     let model = CayleyMallows::new(center, 0.5).unwrap();
     let mut rng = StdRng::seed_from_u64(31);
     let draws = 400;
@@ -112,7 +115,10 @@ fn cayley_noise_reduces_infeasible_index_of_segregated_ranking() {
         })
         .sum::<f64>()
         / draws as f64;
-    assert!(mean < base, "Cayley noise must reduce mean II: {mean:.2} vs {base:.2}");
+    assert!(
+        mean < base,
+        "Cayley noise must reduce mean II: {mean:.2} vs {base:.2}"
+    );
 }
 
 #[test]
@@ -134,7 +140,10 @@ fn soft_expected_index_interpolates_between_hard_and_uninformative() {
     let a = soft_max.expected_infeasible_index(&pi, &bounds).unwrap();
     let other = Permutation::from_order((0..n).rev().collect::<Vec<_>>()).unwrap();
     let b = soft_max.expected_infeasible_index(&other, &bounds).unwrap();
-    assert!((a - b).abs() < 1e-9, "uninformative labels must erase ranking identity");
+    assert!(
+        (a - b).abs() < 1e-9,
+        "uninformative labels must erase ranking identity"
+    );
 }
 
 #[test]
@@ -156,7 +165,10 @@ fn pipeline_end_to_end_with_every_stage_combination() {
     ] {
         for post in [
             PostProcessor::None,
-            PostProcessor::Mallows { theta: 1.0, samples: 5 },
+            PostProcessor::Mallows {
+                theta: 1.0,
+                samples: 5,
+            },
             PostProcessor::GrBinaryIpf,
             PostProcessor::ApproxIpf,
         ] {
@@ -164,8 +176,10 @@ fn pipeline_end_to_end_with_every_stage_combination() {
                 .run(&votes, &groups, &bounds, &mut rng)
                 .unwrap_or_else(|e| panic!("{agg:?}/{post:?}: {e}"));
             assert_eq!(out.fair_ranking.len(), n);
-            assert!(out.fair_total_kt >= out.consensus_total_kt || !matches!(post, PostProcessor::None),
-                "consensus minimizes distance among these stages");
+            assert!(
+                out.fair_total_kt >= out.consensus_total_kt || !matches!(post, PostProcessor::None),
+                "consensus minimizes distance among these stages"
+            );
             if matches!(post, PostProcessor::GrBinaryIpf) {
                 assert_eq!(out.fair_infeasible, 0, "{agg:?}: GrBinaryIPF must be exact");
             }

@@ -16,10 +16,16 @@ fn sampling_estimation_round_trip() {
     let samples = model.sample_many(4000, &mut rng);
 
     let est_center = mle::estimate_center_borda(&samples).unwrap();
-    assert_eq!(est_center, center, "Borda must recover the centre at θ = 1.2");
+    assert_eq!(
+        est_center, center,
+        "Borda must recover the centre at θ = 1.2"
+    );
 
     let est_theta = mle::estimate_theta(&est_center, &samples).unwrap();
-    assert!((est_theta - true_theta).abs() < 0.12, "estimated θ = {est_theta}");
+    assert!(
+        (est_theta - true_theta).abs() < 0.12,
+        "estimated θ = {est_theta}"
+    );
 }
 
 #[test]
@@ -49,8 +55,8 @@ fn pmf_is_exchangeable_in_the_center() {
     // pmf_M(π₀,θ)(π) depends only on d(π, π₀)
     let theta = 0.9;
     let a = MallowsModel::new(Permutation::identity(5), theta).unwrap();
-    let b = MallowsModel::new(Permutation::from_order(vec![4, 1, 3, 0, 2]).unwrap(), theta)
-        .unwrap();
+    let b =
+        MallowsModel::new(Permutation::from_order(vec![4, 1, 3, 0, 2]).unwrap(), theta).unwrap();
     for pi in Permutation::enumerate_all(5) {
         let da = distance::kendall_tau(&pi, a.center()).unwrap();
         // find a permutation at the same distance from b's centre

@@ -39,10 +39,16 @@ fn ipf_always_matches_footrule_oracle() {
         .unwrap();
         match brute::min_footrule_fair(&sigma, &groups, &bounds) {
             Some((_, best)) => {
-                assert!(out.feasible, "trial {trial}: oracle feasible but IPF flagged infeasible");
+                assert!(
+                    out.feasible,
+                    "trial {trial}: oracle feasible but IPF flagged infeasible"
+                );
                 assert_eq!(out.footrule, best, "trial {trial}: footrule mismatch");
             }
-            None => assert!(!out.feasible, "trial {trial}: oracle infeasible but IPF claims fair"),
+            None => assert!(
+                !out.feasible,
+                "trial {trial}: oracle infeasible but IPF claims fair"
+            ),
         }
     }
 }
@@ -86,8 +92,14 @@ fn dp_ilp_and_oracle_agree_on_dcg() {
             Some((_, best)) => {
                 let dp = dp.expect("oracle feasible");
                 let ilp = ilp.expect("oracle feasible");
-                assert!((dcg(&dp) - best).abs() < 1e-9, "trial {trial}: DP vs oracle");
-                assert!((dcg(&ilp) - best).abs() < 1e-6, "trial {trial}: ILP vs oracle");
+                assert!(
+                    (dcg(&dp) - best).abs() < 1e-9,
+                    "trial {trial}: DP vs oracle"
+                );
+                assert!(
+                    (dcg(&ilp) - best).abs() < 1e-6,
+                    "trial {trial}: ILP vs oracle"
+                );
                 assert!(brute::is_fair_tables(&dp, &groups, &tables));
                 assert!(brute::is_fair_tables(&ilp, &groups, &tables));
             }
@@ -120,10 +132,18 @@ fn hungarian_agrees_with_ilp_on_assignment_instances() {
         }
         let mut p = Problem::minimize(obj);
         for i in 0..n {
-            p.add_constraint((0..n).map(|j| (var(i, j), 1.0)).collect(), Relation::Eq, 1.0)
-                .unwrap();
-            p.add_constraint((0..n).map(|j| (var(j, i), 1.0)).collect(), Relation::Eq, 1.0)
-                .unwrap();
+            p.add_constraint(
+                (0..n).map(|j| (var(i, j), 1.0)).collect(),
+                Relation::Eq,
+                1.0,
+            )
+            .unwrap();
+            p.add_constraint(
+                (0..n).map(|j| (var(j, i), 1.0)).collect(),
+                Relation::Eq,
+                1.0,
+            )
+            .unwrap();
         }
         for v in 0..n * n {
             p.set_integer(v, true);
