@@ -8,6 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fairrank_engine::job::{JobInput, JobParams, RankJob};
 use fairrank_engine::registry::Registry;
+use fairrank_engine::tables::ExecContext;
 use fairrank_engine::{Engine, EngineConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,6 +36,8 @@ fn engine() -> Arc<Engine> {
         workers: 4,
         queue_capacity: 1024,
         cache_capacity: 4096,
+
+        table_cache_capacity: 16,
     })
 }
 
@@ -63,10 +66,11 @@ fn bench_cold_vs_cached(c: &mut Criterion) {
     let registry = Registry::standard();
     let algo = registry.get("mallows").unwrap();
     let job = mallows_job(n, 1);
+    let ctx = ExecContext::default();
     g.bench_function("direct", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(job.params.seed);
-            black_box(algo.run(&job, &mut rng).unwrap())
+            black_box(algo.run(&job, &ctx, &mut rng).unwrap())
         })
     });
     g.finish();

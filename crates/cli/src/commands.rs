@@ -55,6 +55,7 @@ pub fn serve(args: &Args) -> Result<String> {
         workers: args.get_usize("workers", 4)?,
         queue_capacity: args.get_usize("queue", 256)?,
         cache_capacity: args.get_usize("cache", 1024)?,
+        table_cache_capacity: args.get_usize("table-cache", 64)?,
     };
     let workers = config.workers;
     let engine = Engine::new(config);
@@ -262,10 +263,13 @@ pub fn sample(args: &Args) -> Result<String> {
         }
     };
     let model = MallowsModel::new(center, theta).map_err(algo_err)?;
+    // one table + reused buffers across all --count draws
+    let mut sampler = model.sampler();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = String::new();
+    let mut s = Permutation::identity(0);
     for _ in 0..count {
-        let s = model.sample(&mut rng);
+        sampler.sample_into(&mut s, &mut rng);
         let line: Vec<String> = s.as_order().iter().map(|i| i.to_string()).collect();
         out.push_str(&line.join(","));
         out.push('\n');

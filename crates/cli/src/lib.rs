@@ -110,6 +110,7 @@ SERVE:
         --workers     worker threads                   (default 4)
         --queue       bounded job-queue capacity       (default 256)
         --cache       LRU result-cache capacity        (default 1024)
+        --table-cache sampler-table cache (n, θ) slots (default 64)
     Routes: POST /rank | /aggregate | /pipeline, GET /healthz | /stats.
     Request fields mirror the flags above (scores/votes/groups inline).
 

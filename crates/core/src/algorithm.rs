@@ -1,10 +1,22 @@
 //! Algorithm 1: fair ranking through Mallows noise.
+//!
+//! The sampling loop is the hottest path of the serving engine, so
+//! [`MallowsFairRanker::rank`] streams samples through the selection
+//! criterion instead of materializing them: each candidate is drawn by
+//! a zero-allocation [`RimSampler`], evaluated incrementally (IDCG
+//! precomputed once, infeasible-index counts buffer reused, Kendall tau
+//! read directly off the insertion code without decoding), and only a
+//! winning sample is ever decoded into the best-so-far buffer.
 
 use crate::{FairMallowsError, Result};
+use fairness_metrics::infeasible::InfeasibleEvaluator;
 use fairness_metrics::{infeasible, FairnessBounds, GroupAssignment};
-use mallows_model::MallowsModel;
-use rand::Rng;
+use mallows_model::tables::{RimSampler, SamplerTables};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ranking_core::quality::Discount;
 use ranking_core::{distance, quality, Permutation};
+use std::sync::Arc;
 
 /// Selection criterion for choosing among the `m` Mallows samples
 /// (Algorithm 1, line 8: `choose_ranking(c, samples)`).
@@ -121,6 +133,119 @@ impl Criterion {
     }
 }
 
+/// A [`Criterion`] compiled for streaming evaluation: whatever can be
+/// computed once per ranking task (the ideal DCG, normalization
+/// constants) is, and per-sample scratch (infeasible-index counts) is
+/// reused, so evaluating one sample allocates nothing.
+///
+/// Values are bit-identical to [`Criterion::objective`]; the only
+/// difference is where the invariant work happens.
+enum CriterionEval<'c> {
+    First,
+    Ndcg {
+        scores: &'c [f64],
+        idcg: f64,
+    },
+    KendallTau,
+    Infeasible {
+        groups: &'c GroupAssignment,
+        bounds: &'c FairnessBounds,
+        eval: InfeasibleEvaluator,
+    },
+    Weighted(Vec<(f64, f64, CriterionEval<'c>)>),
+}
+
+impl<'c> CriterionEval<'c> {
+    /// Compile `criterion` for rankings of `n` items.
+    fn compile(criterion: &'c Criterion, n: usize) -> CriterionEval<'c> {
+        match criterion {
+            Criterion::FirstSample => CriterionEval::First,
+            Criterion::MaxNdcg(scores) => CriterionEval::Ndcg {
+                scores,
+                idcg: quality::idcg(scores),
+            },
+            Criterion::MinKendallTau => CriterionEval::KendallTau,
+            Criterion::MinInfeasibleIndex { groups, bounds } => CriterionEval::Infeasible {
+                groups,
+                bounds,
+                eval: InfeasibleEvaluator::new(),
+            },
+            Criterion::Weighted(parts) => CriterionEval::Weighted(
+                parts
+                    .iter()
+                    .map(|(w, c)| {
+                        // same per-part normalizers as Criterion::objective
+                        let norm = match c {
+                            Criterion::MinKendallTau => distance::max_kendall_tau(n).max(1) as f64,
+                            Criterion::MinInfeasibleIndex { .. } => (2 * n.max(1)) as f64,
+                            _ => 1.0,
+                        };
+                        (*w, norm, CriterionEval::compile(c, n))
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// True when the objective is exactly the Kendall tau distance to
+    /// the centre — then `Σ code` substitutes for decoding the sample.
+    fn is_kendall_only(&self) -> bool {
+        matches!(self, CriterionEval::KendallTau)
+    }
+
+    /// Lower-is-better objective of one decoded sample.
+    ///
+    /// `code_total`, when available, is the sample's Kendall tau
+    /// distance to the centre read off its insertion code, sparing the
+    /// `O(n log n)` merge-count inside weighted criteria.
+    fn objective(
+        &mut self,
+        sample: &Permutation,
+        center: &Permutation,
+        code_total: Option<u64>,
+    ) -> Result<f64> {
+        match self {
+            CriterionEval::First => Ok(0.0),
+            CriterionEval::Ndcg { scores, idcg } => {
+                if scores.len() != sample.len() {
+                    return Err(FairMallowsError::CriterionShape {
+                        expected: scores.len(),
+                        got: sample.len(),
+                    });
+                }
+                if *idcg == 0.0 {
+                    // all-zero scores: NDCG defined as 1 (see quality::ndcg_at)
+                    return Ok(-1.0);
+                }
+                let dcg: f64 = sample
+                    .as_order()
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, &item)| scores[item] * Discount::Log2.at(idx + 1))
+                    .sum();
+                Ok(-(dcg / *idcg))
+            }
+            CriterionEval::KendallTau => Ok(match code_total {
+                Some(d) => d as f64,
+                None => distance::kendall_tau(sample, center)
+                    .expect("sample and centre share a length") as f64,
+            }),
+            CriterionEval::Infeasible {
+                groups,
+                bounds,
+                eval,
+            } => Ok(eval.index(sample, groups, bounds)? as f64),
+            CriterionEval::Weighted(parts) => {
+                let mut total = 0.0;
+                for (w, norm, part) in parts.iter_mut() {
+                    total += *w * (part.objective(sample, center, code_total)? / *norm);
+                }
+                Ok(total)
+            }
+        }
+    }
+}
+
 /// Output of one [`MallowsFairRanker::rank`] call.
 #[derive(Debug, Clone)]
 pub struct RankOutput {
@@ -177,23 +302,178 @@ impl MallowsFairRanker {
     ///
     /// Draws `m` samples from `M(center, θ)` and returns the best under
     /// the criterion (with [`Criterion::FirstSample`] only one sample is
-    /// drawn regardless of `m`).
+    /// drawn regardless of `m`). Samples stream through the criterion
+    /// one at a time — nothing but the current candidate and the best
+    /// so far is ever held, and after warm-up the loop allocates
+    /// nothing.
     pub fn rank<R: Rng + ?Sized>(&self, center: &Permutation, rng: &mut R) -> Result<RankOutput> {
-        self.criterion.check_shape(center.len())?;
-        let model = MallowsModel::new(center.clone(), self.theta)?;
+        let tables = Arc::new(SamplerTables::new(center.len(), self.theta)?);
+        self.rank_with_tables(center, &tables, rng)
+    }
+
+    /// [`MallowsFairRanker::rank`] against a shared, possibly cached
+    /// [`SamplerTables`] — the serving engine reuses one table across
+    /// every request with the same `(n, θ)`.
+    ///
+    /// The table must have been built for this ranker's `θ` and for at
+    /// least `center.len()` items.
+    ///
+    /// ```
+    /// use fair_mallows::{Criterion, MallowsFairRanker};
+    /// use mallows_model::tables::SamplerTables;
+    /// use ranking_core::Permutation;
+    /// use rand::{rngs::StdRng, SeedableRng};
+    /// use std::sync::Arc;
+    ///
+    /// let ranker = MallowsFairRanker::new(1.0, 5, Criterion::MinKendallTau).unwrap();
+    /// let tables = Arc::new(SamplerTables::new(12, 1.0).unwrap());
+    /// let out = ranker
+    ///     .rank_with_tables(&Permutation::identity(12), &tables, &mut StdRng::seed_from_u64(3))
+    ///     .unwrap();
+    /// assert_eq!(out.ranking.len(), 12);
+    /// ```
+    pub fn rank_with_tables<R: Rng + ?Sized>(
+        &self,
+        center: &Permutation,
+        tables: &Arc<SamplerTables>,
+        rng: &mut R,
+    ) -> Result<RankOutput> {
         let m = match self.criterion {
             Criterion::FirstSample => 1,
             _ => self.num_samples,
         };
-        let mut best: Option<(f64, Permutation)> = None;
+        let (obj, ranking) = self.rank_streaming(center, tables, m, rng)?;
+        Ok(RankOutput {
+            ranking,
+            samples_drawn: m,
+            criterion_value: self.criterion.report(obj),
+        })
+    }
+
+    /// The streaming best-of-`m` core: returns the raw (lower-is-
+    /// better) objective and the winning sample.
+    fn rank_streaming<R: Rng + ?Sized>(
+        &self,
+        center: &Permutation,
+        tables: &Arc<SamplerTables>,
+        m: usize,
+        rng: &mut R,
+    ) -> Result<(f64, Permutation)> {
+        self.criterion.check_shape(center.len())?;
+        if tables.theta() != self.theta {
+            return Err(FairMallowsError::Mallows(
+                mallows_model::MallowsError::InvalidTheta {
+                    theta: tables.theta(),
+                },
+            ));
+        }
+        let mut sampler = RimSampler::from_tables(center.clone(), Arc::clone(tables))?;
+        let mut eval = CriterionEval::compile(&self.criterion, center.len());
+        let kendall_only = eval.is_kendall_only();
+        let mut current = Permutation::identity(0);
+        let mut best = Permutation::identity(0);
+        let mut best_obj = f64::INFINITY;
+        let mut have_best = false;
         for _ in 0..m {
-            let sample = model.sample(rng);
-            let obj = self.criterion.objective(&sample, center)?;
-            if best.as_ref().is_none_or(|(b, _)| obj < *b) {
-                best = Some((obj, sample));
+            sampler.sample_code(rng);
+            if kendall_only {
+                // d_KT to the centre is Σ code: evaluate without
+                // decoding, and decode only the (rare) new winners
+                let obj = sampler.code_total() as f64;
+                if !have_best || obj < best_obj {
+                    sampler.decode_code_into(&mut best);
+                    best_obj = obj;
+                    have_best = true;
+                }
+            } else {
+                sampler.decode_code_into(&mut current);
+                let obj = eval.objective(&current, center, Some(sampler.code_total()))?;
+                if !have_best || obj < best_obj {
+                    std::mem::swap(&mut best, &mut current);
+                    best_obj = obj;
+                    have_best = true;
+                }
             }
         }
-        let (obj, ranking) = best.expect("m ≥ 1 samples were drawn");
+        debug_assert!(have_best, "m ≥ 1 samples were drawn");
+        Ok((best_obj, best))
+    }
+
+    /// Deterministic parallel variant: split the `m` samples into
+    /// `batches` independently seeded streams, run the batches on at
+    /// most `threads` OS threads, and keep the best winner (ties
+    /// broken by lowest batch index).
+    ///
+    /// The result depends only on `(center, θ, m, criterion,
+    /// base_seed, batches)` — never on `threads` or scheduling: the
+    /// *logical* batch split defines the RNG streams, the *physical*
+    /// thread count only sets how many run at once (each thread owns a
+    /// contiguous batch range; winners reduce in batch order). Callers
+    /// that already own a thread budget (the serving engine) pass a
+    /// `threads` matched to it without changing results. Note the
+    /// sample streams differ from the sequential
+    /// [`MallowsFairRanker::rank`] for the same seed; the distribution
+    /// over outputs is identical.
+    pub fn rank_batched(
+        &self,
+        center: &Permutation,
+        tables: &Arc<SamplerTables>,
+        base_seed: u64,
+        batches: usize,
+        threads: usize,
+    ) -> Result<RankOutput> {
+        let m = match self.criterion {
+            Criterion::FirstSample => 1,
+            _ => self.num_samples,
+        };
+        let batches = batches.clamp(1, m);
+        let threads = threads.clamp(1, batches);
+        let run_batch = |b: usize| {
+            // splitmix-style stream separation per batch
+            let seed = base_seed.wrapping_add((b as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let batch_m = m / batches + usize::from(b < m % batches);
+            self.rank_streaming(center, tables, batch_m, &mut rng)
+        };
+        type BatchOutcome = Option<Result<(f64, Permutation)>>;
+        let mut outcomes: Vec<BatchOutcome> = Vec::new();
+        outcomes.resize_with(batches, || None);
+        if threads == 1 {
+            for (b, slot) in outcomes.iter_mut().enumerate() {
+                *slot = Some(run_batch(b));
+            }
+        } else {
+            let mut chunks: Vec<&mut [BatchOutcome]> = Vec::new();
+            let mut rest = outcomes.as_mut_slice();
+            // thread t owns a contiguous range of batch indices
+            for t in 0..threads {
+                let take = batches / threads + usize::from(t < batches % threads);
+                let (head, tail) = rest.split_at_mut(take);
+                chunks.push(head);
+                rest = tail;
+            }
+            std::thread::scope(|scope| {
+                let mut start = 0usize;
+                for chunk in chunks {
+                    let first = start;
+                    start += chunk.len();
+                    let run_batch = &run_batch;
+                    scope.spawn(move || {
+                        for (offset, slot) in chunk.iter_mut().enumerate() {
+                            *slot = Some(run_batch(first + offset));
+                        }
+                    });
+                }
+            });
+        }
+        let mut best: Option<(f64, Permutation)> = None;
+        for outcome in outcomes {
+            let (obj, ranking) = outcome.expect("every batch ran")?;
+            if best.as_ref().is_none_or(|(b, _)| obj < *b) {
+                best = Some((obj, ranking));
+            }
+        }
+        let (obj, ranking) = best.expect("at least one batch ran");
         Ok(RankOutput {
             ranking,
             samples_drawn: m,
@@ -213,6 +493,7 @@ impl MallowsFairRanker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mallows_model::MallowsModel;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -395,5 +676,95 @@ mod tests {
         let a = r.rank(&center, &mut StdRng::seed_from_u64(42)).unwrap();
         let b = r.rank(&center, &mut StdRng::seed_from_u64(42)).unwrap();
         assert_eq!(a.ranking, b.ranking);
+    }
+
+    #[test]
+    fn cached_tables_reproduce_the_plain_path() {
+        let r = MallowsFairRanker::new(0.7, 8, Criterion::MinKendallTau).unwrap();
+        let center = Permutation::identity(20);
+        let tables = std::sync::Arc::new(SamplerTables::new(20, 0.7).unwrap());
+        let a = r.rank(&center, &mut StdRng::seed_from_u64(5)).unwrap();
+        let b = r
+            .rank_with_tables(&center, &tables, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        assert_eq!(a.ranking, b.ranking);
+        assert_eq!(a.criterion_value, b.criterion_value);
+    }
+
+    #[test]
+    fn mismatched_tables_rejected() {
+        let r = MallowsFairRanker::new(0.7, 8, Criterion::MinKendallTau).unwrap();
+        let center = Permutation::identity(20);
+        let wrong_theta = std::sync::Arc::new(SamplerTables::new(20, 0.9).unwrap());
+        assert!(r
+            .rank_with_tables(&center, &wrong_theta, &mut StdRng::seed_from_u64(1))
+            .is_err());
+        let too_small = std::sync::Arc::new(SamplerTables::new(10, 0.7).unwrap());
+        assert!(r
+            .rank_with_tables(&center, &too_small, &mut StdRng::seed_from_u64(1))
+            .is_err());
+    }
+
+    #[test]
+    fn batched_rank_is_deterministic_and_thread_count_free() {
+        let s = scores(16);
+        let center = Permutation::sorted_by_scores_desc(&s);
+        let r = MallowsFairRanker::new(0.5, 48, Criterion::MaxNdcg(s)).unwrap();
+        let tables = std::sync::Arc::new(SamplerTables::new(16, 0.5).unwrap());
+        let a = r.rank_batched(&center, &tables, 7, 4, 4).unwrap();
+        // a different physical thread count must not change the result
+        let b = r.rank_batched(&center, &tables, 7, 4, 2).unwrap();
+        assert_eq!(a.ranking, b.ranking);
+        assert_eq!(a.samples_drawn, 48);
+        // a different batching changes the streams but stays valid
+        let c = r.rank_batched(&center, &tables, 7, 3, 1).unwrap();
+        assert_eq!(c.ranking.len(), 16);
+        assert_eq!(c.samples_drawn, 48);
+    }
+
+    #[test]
+    fn batched_rank_beats_single_sample_on_average() {
+        let s = scores(12);
+        let center = Permutation::sorted_by_scores_desc(&s);
+        let batched = MallowsFairRanker::new(0.5, 32, Criterion::MaxNdcg(s.clone())).unwrap();
+        let single = MallowsFairRanker::new(0.5, 1, Criterion::FirstSample).unwrap();
+        let tables = std::sync::Arc::new(SamplerTables::new(12, 0.5).unwrap());
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut ndcg_batched = 0.0;
+        let mut ndcg_single = 0.0;
+        for seed in 0..20 {
+            let a = batched.rank_batched(&center, &tables, seed, 4, 2).unwrap();
+            let b = single.rank(&center, &mut rng).unwrap();
+            ndcg_batched += quality::ndcg(&a.ranking, &s).unwrap();
+            ndcg_single += quality::ndcg(&b.ranking, &s).unwrap();
+        }
+        assert!(
+            ndcg_batched > ndcg_single,
+            "batched best-of-32 NDCG {ndcg_batched} should beat single-sample {ndcg_single}"
+        );
+    }
+
+    #[test]
+    fn weighted_criterion_streams_identically_to_reference_objective() {
+        // the streaming evaluator must agree with Criterion::objective
+        // bit for bit on every sample it sees
+        let groups = GroupAssignment::binary_split(12, 6);
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let s = scores(12);
+        let criterion = Criterion::Weighted(vec![
+            (0.7, Criterion::MaxNdcg(s.clone())),
+            (0.3, Criterion::MinInfeasibleIndex { groups, bounds }),
+            (0.5, Criterion::MinKendallTau),
+        ]);
+        let center = Permutation::sorted_by_scores_desc(&s);
+        let mut eval = CriterionEval::compile(&criterion, 12);
+        let model = MallowsModel::new(center.clone(), 0.6).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..25 {
+            let sample = model.sample(&mut rng);
+            let fast = eval.objective(&sample, &center, None).unwrap();
+            let reference = criterion.objective_value(&sample, &center).unwrap();
+            assert_eq!(fast, reference);
+        }
     }
 }

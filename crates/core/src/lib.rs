@@ -30,6 +30,8 @@
 //! assert!(out.criterion_value <= 1.0);
 //! ```
 
+#![warn(missing_docs)]
+
 mod algorithm;
 pub mod noise;
 pub mod oblivious;
@@ -105,6 +107,9 @@ const _: () = {
     assert_send_sync::<CenteredPlackettLuce>();
     assert_send_sync::<Box<dyn NoiseModel>>();
     assert_send_sync::<mallows_model::MallowsModel>();
+    assert_send_sync::<mallows_model::SamplerTables>();
+    assert_send_sync::<mallows_model::RimSampler>();
+    assert_send_sync::<fairness_metrics::infeasible::InfeasibleEvaluator>();
     assert_send_sync::<NdcgCalibration>();
     assert_send_sync::<FairMallowsError>();
 };

@@ -43,6 +43,7 @@ pub mod pool;
 pub mod registry;
 pub mod server;
 pub mod stats;
+pub mod tables;
 
 use cache::LruCache;
 use job::{RankJob, RankResult};
@@ -53,6 +54,7 @@ use registry::Registry;
 use stats::EngineStats;
 use std::collections::HashMap;
 use std::sync::{mpsc, Arc, Mutex};
+use tables::{ExecContext, TableCache};
 
 /// Errors surfaced by the engine.
 #[derive(Debug)]
@@ -115,6 +117,8 @@ pub struct EngineConfig {
     pub queue_capacity: usize,
     /// LRU result-cache capacity (0 disables caching).
     pub cache_capacity: usize,
+    /// Sampler-table cache capacity in `(n, θ)` entries (0 disables).
+    pub table_cache_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -123,6 +127,7 @@ impl Default for EngineConfig {
             workers: 4,
             queue_capacity: 256,
             cache_capacity: 1024,
+            table_cache_capacity: 64,
         }
     }
 }
@@ -139,6 +144,9 @@ pub struct Engine {
     /// instead of stampeding the pool. Lock order: `inflight` may be
     /// held while taking `cache`, never the other way around.
     inflight: Mutex<HashMap<u64, Vec<mpsc::Sender<JobOutcome>>>>,
+    /// Shared per-run resources (the sampler-table cache), handed to
+    /// every algorithm execution.
+    exec: ExecContext,
     stats: EngineStats,
 }
 
@@ -155,6 +163,13 @@ impl Engine {
             pool: WorkerPool::new(config.workers, config.queue_capacity),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             inflight: Mutex::new(HashMap::new()),
+            // divide the machine between concurrently running jobs:
+            // workers × batch_threads ≲ CPU count, so wide-sample
+            // fan-out cannot defeat the pool's bounded concurrency
+            exec: ExecContext::new(Arc::new(TableCache::new(config.table_cache_capacity)))
+                .with_batch_threads(
+                    (tables::available_parallelism() / config.workers.max(1)).max(1),
+                ),
             stats: EngineStats::new(),
         })
     }
@@ -169,13 +184,19 @@ impl Engine {
         &self.stats
     }
 
+    /// The cross-request sampler-table cache.
+    pub fn table_cache(&self) -> &Arc<TableCache> {
+        &self.exec.tables
+    }
+
     /// Snapshot of the stats JSON served at `GET /stats`.
     pub fn stats_json(&self) -> json::Json {
         let (len, cap) = {
             let cache = self.cache.lock().expect("cache lock");
             (cache.len(), cache.capacity())
         };
-        self.stats.to_json(len, cap, self.pool.workers())
+        self.stats
+            .to_json(len, cap, self.pool.workers(), &self.exec.tables)
     }
 
     /// Submit a job and wait for its result.
@@ -221,7 +242,7 @@ impl Engine {
             // entry below, or every future twin of this job would
             // coalesce onto a dead execution and hang
             let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                algorithm.run(&job, &mut rng)
+                algorithm.run(&job, &engine.exec, &mut rng)
             }))
             .unwrap_or_else(|_| {
                 Err(EngineError::Algorithm(
@@ -298,6 +319,8 @@ mod tests {
             workers: 2,
             queue_capacity: 32,
             cache_capacity: 8,
+
+            table_cache_capacity: 16,
         })
     }
 
@@ -371,6 +394,8 @@ mod tests {
             workers: 4,
             queue_capacity: 256,
             cache_capacity: 256,
+
+            table_cache_capacity: 16,
         });
         let handles: Vec<_> = (0..8)
             .map(|t| {
@@ -396,6 +421,8 @@ mod tests {
             workers: 4,
             queue_capacity: 64,
             cache_capacity: 64,
+
+            table_cache_capacity: 16,
         });
         // a heavy job, raced by 8 threads: exactly one execution, the
         // other 7 either coalesce onto it or hit the cache afterwards
@@ -448,7 +475,12 @@ mod tests {
             fn kind(&self) -> AlgorithmKind {
                 AlgorithmKind::PostProcessor
             }
-            fn run(&self, job: &RankJob, _rng: &mut StdRng) -> Result<RankResult, EngineError> {
+            fn run(
+                &self,
+                job: &RankJob,
+                _ctx: &ExecContext,
+                _rng: &mut StdRng,
+            ) -> Result<RankResult, EngineError> {
                 let _ = self.started.send(());
                 if let Some(gate) = self.release.lock().unwrap().take() {
                     let _ = gate.recv();
@@ -474,6 +506,8 @@ mod tests {
                 workers: 1,
                 queue_capacity: 1,
                 cache_capacity: 8,
+
+                table_cache_capacity: 16,
             },
             registry,
         );

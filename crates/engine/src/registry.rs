@@ -7,6 +7,7 @@
 //! the command line is accepted by `POST /rank` and vice versa.
 
 use crate::job::{JobInput, RankJob, RankResult};
+use crate::tables::ExecContext;
 use crate::EngineError;
 use fair_baselines::{
     approx_multi_valued_ipf, det_const_sort, fa_ir, fair_top_k, gr_binary_ipf,
@@ -43,11 +44,20 @@ pub trait Algorithm: Send + Sync {
     fn kind(&self) -> AlgorithmKind;
 
     /// Execute a job. `rng` is seeded per job by the engine, so equal
-    /// jobs produce equal results regardless of worker interleaving.
-    fn run(&self, job: &RankJob, rng: &mut StdRng) -> Result<RankResult, EngineError>;
+    /// jobs produce equal results regardless of worker interleaving;
+    /// `ctx` carries engine-wide shared resources (the sampler-table
+    /// cache).
+    fn run(
+        &self,
+        job: &RankJob,
+        ctx: &ExecContext,
+        rng: &mut StdRng,
+    ) -> Result<RankResult, EngineError>;
 }
 
-type RunFn = Box<dyn Fn(&RankJob, &mut StdRng) -> Result<RankResult, EngineError> + Send + Sync>;
+type RunFn = Box<
+    dyn Fn(&RankJob, &ExecContext, &mut StdRng) -> Result<RankResult, EngineError> + Send + Sync,
+>;
 
 struct FnAlgorithm {
     name: &'static str,
@@ -64,8 +74,13 @@ impl Algorithm for FnAlgorithm {
         self.kind
     }
 
-    fn run(&self, job: &RankJob, rng: &mut StdRng) -> Result<RankResult, EngineError> {
-        (self.run)(job, rng)
+    fn run(
+        &self,
+        job: &RankJob,
+        ctx: &ExecContext,
+        rng: &mut StdRng,
+    ) -> Result<RankResult, EngineError> {
+        (self.run)(job, ctx, rng)
     }
 }
 
@@ -87,14 +102,18 @@ impl Registry {
     pub fn standard() -> Self {
         let mut r = Registry::new();
         for agg in Aggregator::ALL {
-            r.register_fn(agg.name(), AlgorithmKind::Aggregator, move |job, rng| {
-                run_aggregator(agg, job, rng)
-            });
+            r.register_fn(
+                agg.name(),
+                AlgorithmKind::Aggregator,
+                move |job, _ctx, rng| run_aggregator(agg, job, rng),
+            );
         }
-        r.register_fn("pipeline", AlgorithmKind::Pipeline, run_pipeline);
+        r.register_fn("pipeline", AlgorithmKind::Pipeline, |job, _ctx, rng| {
+            run_pipeline(job, rng)
+        });
         for name in SCORE_ALGORITHMS {
-            r.register_fn(name, AlgorithmKind::PostProcessor, move |job, rng| {
-                run_score_algorithm(name, job, rng)
+            r.register_fn(name, AlgorithmKind::PostProcessor, move |job, ctx, rng| {
+                run_score_algorithm(name, job, ctx, rng)
             });
         }
         r
@@ -104,7 +123,10 @@ impl Registry {
         &mut self,
         name: &'static str,
         kind: AlgorithmKind,
-        run: impl Fn(&RankJob, &mut StdRng) -> Result<RankResult, EngineError> + Send + Sync + 'static,
+        run: impl Fn(&RankJob, &ExecContext, &mut StdRng) -> Result<RankResult, EngineError>
+            + Send
+            + Sync
+            + 'static,
     ) {
         self.register(Arc::new(FnAlgorithm {
             name,
@@ -278,9 +300,20 @@ fn run_pipeline(job: &RankJob, rng: &mut StdRng) -> Result<RankResult, EngineErr
     })
 }
 
+/// Sample counts at or above this run Algorithm 1 in parallel batches
+/// (deterministic per job — the batch split depends only on `samples`).
+const PARALLEL_SAMPLE_THRESHOLD: usize = 64;
+
+/// Batch count for a parallel mallows job: ~16 samples per batch,
+/// capped so small machines are not oversubscribed.
+fn mallows_batches(samples: usize) -> usize {
+    samples.div_ceil(16).min(8)
+}
+
 fn run_score_algorithm(
     name: &str,
     job: &RankJob,
+    ctx: &ExecContext,
     rng: &mut StdRng,
 ) -> Result<RankResult, EngineError> {
     let (scores, groups) = scores_input(job)?;
@@ -295,11 +328,24 @@ fn run_score_algorithm(
                 MallowsFairRanker::new(p.theta, p.samples, Criterion::MaxNdcg(scores.to_vec()))
                     .map_err(algo_err)?;
             let center = weakly_fair_ranking(scores, &groups, &bounds);
-            ranker
-                .rank(&center, rng)
-                .map_err(algo_err)?
-                .ranking
-                .into_order()
+            // the insertion-CDF table is cached across requests keyed
+            // on (n, θ); wide sample counts fan out across threads
+            let tables = ctx
+                .tables
+                .get_or_build(center.len(), p.theta)
+                .map_err(algo_err)?;
+            let out = if p.samples >= PARALLEL_SAMPLE_THRESHOLD {
+                ranker.rank_batched(
+                    &center,
+                    &tables,
+                    p.seed,
+                    mallows_batches(p.samples),
+                    ctx.batch_threads,
+                )
+            } else {
+                ranker.rank_with_tables(&center, &tables, rng)
+            };
+            out.map_err(algo_err)?.ranking.into_order()
         }
         "detconstsort" => det_const_sort(
             scores,
@@ -475,7 +521,7 @@ mod tests {
             let out = r
                 .get(name)
                 .unwrap()
-                .run(&job, &mut rng)
+                .run(&job, &ExecContext::default(), &mut rng)
                 .unwrap_or_else(|e| {
                     panic!("{name}: {e}");
                 });
@@ -502,7 +548,11 @@ mod tests {
                 params: JobParams::default(),
             };
             let mut rng = StdRng::seed_from_u64(3);
-            let out = r.get(name).unwrap().run(&job, &mut rng).unwrap();
+            let out = r
+                .get(name)
+                .unwrap()
+                .run(&job, &ExecContext::default(), &mut rng)
+                .unwrap();
             assert_eq!(out.ranking, vec![2, 0, 3, 1], "{name}");
             assert_eq!(out.metric("total_kendall_distance"), Some(0.0), "{name}");
         }
@@ -527,7 +577,11 @@ mod tests {
         };
         let r = Registry::standard();
         let mut rng = StdRng::seed_from_u64(job.params.seed);
-        let out = r.get("pipeline").unwrap().run(&job, &mut rng).unwrap();
+        let out = r
+            .get("pipeline")
+            .unwrap()
+            .run(&job, &ExecContext::default(), &mut rng)
+            .unwrap();
 
         // identical library call with the same seed
         let votes: Vec<Permutation> = [[0, 1, 2, 3], [0, 1, 3, 2], [1, 0, 2, 3]]
@@ -562,13 +616,13 @@ mod tests {
         let err = r
             .get("borda")
             .unwrap()
-            .run(&scores_job("borda"), &mut rng)
+            .run(&scores_job("borda"), &ExecContext::default(), &mut rng)
             .unwrap_err();
         assert!(matches!(err, EngineError::InvalidJob(_)), "{err}");
         let err = r
             .get("mallows")
             .unwrap()
-            .run(&votes_job("mallows"), &mut rng)
+            .run(&votes_job("mallows"), &ExecContext::default(), &mut rng)
             .unwrap_err();
         assert!(matches!(err, EngineError::InvalidJob(_)), "{err}");
     }
@@ -590,7 +644,11 @@ mod tests {
                 },
                 params: JobParams::default(),
             };
-            assert!(r.get("borda").unwrap().run(&job, &mut rng).is_err());
+            assert!(r
+                .get("borda")
+                .unwrap()
+                .run(&job, &ExecContext::default(), &mut rng)
+                .is_err());
         }
     }
 
@@ -601,7 +659,9 @@ mod tests {
         job.params.protected = 5;
         let mut rng = StdRng::seed_from_u64(1);
         assert!(matches!(
-            r.get("fa-ir").unwrap().run(&job, &mut rng),
+            r.get("fa-ir")
+                .unwrap()
+                .run(&job, &ExecContext::default(), &mut rng),
             Err(EngineError::InvalidJob(_))
         ));
     }
@@ -612,8 +672,36 @@ mod tests {
         let mut job = scores_job("fair-top-k");
         job.params.k = Some(4);
         let mut rng = StdRng::seed_from_u64(1);
-        let out = r.get("fair-top-k").unwrap().run(&job, &mut rng).unwrap();
+        let out = r
+            .get("fair-top-k")
+            .unwrap()
+            .run(&job, &ExecContext::default(), &mut rng)
+            .unwrap();
         assert_eq!(out.ranking.len(), 4);
+    }
+
+    #[test]
+    fn wide_mallows_jobs_fan_out_deterministically() {
+        // samples ≥ PARALLEL_SAMPLE_THRESHOLD takes the batched path:
+        // results must not depend on scheduling, only on the job
+        let r = Registry::standard();
+        let ctx = ExecContext::default();
+        let mut job = scores_job("mallows");
+        job.params.samples = 128;
+        let runs: Vec<_> = (0..3)
+            .map(|_| {
+                let mut rng = StdRng::seed_from_u64(job.params.seed);
+                r.get("mallows").unwrap().run(&job, &ctx, &mut rng).unwrap()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[1], runs[2]);
+        let mut sorted = runs[0].ranking.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+        // both (narrow, wide) jobs shared one cached (n, θ) table
+        assert_eq!(ctx.tables.misses(), 1);
+        assert_eq!(ctx.tables.hits(), 2);
     }
 
     #[test]
@@ -622,8 +710,16 @@ mod tests {
         let job = scores_job("mallows");
         let mut a_rng = StdRng::seed_from_u64(job.params.seed);
         let mut b_rng = StdRng::seed_from_u64(job.params.seed);
-        let a = r.get("mallows").unwrap().run(&job, &mut a_rng).unwrap();
-        let b = r.get("mallows").unwrap().run(&job, &mut b_rng).unwrap();
+        let a = r
+            .get("mallows")
+            .unwrap()
+            .run(&job, &ExecContext::default(), &mut a_rng)
+            .unwrap();
+        let b = r
+            .get("mallows")
+            .unwrap()
+            .run(&job, &ExecContext::default(), &mut b_rng)
+            .unwrap();
         assert_eq!(a, b);
     }
 }

@@ -432,6 +432,8 @@ mod tests {
             workers: 2,
             queue_capacity: 32,
             cache_capacity: 32,
+
+            table_cache_capacity: 16,
         });
         Server::bind("127.0.0.1:0", engine).unwrap().spawn()
     }
@@ -509,6 +511,26 @@ mod tests {
         assert_eq!(status, 200);
         assert!(stats.contains("\"cache_hits\":1"), "{stats}");
         assert!(stats.contains("\"cache_misses\":1"), "{stats}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_reports_sampler_table_hits() {
+        let server = start();
+        // two mallows jobs with the same (n, θ) but different seeds:
+        // distinct result-cache entries, one shared sampler table
+        for seed in [1, 2] {
+            let body = format!(
+                r#"{{"algorithm":"mallows","scores":[0.9,0.7,0.5,0.3],"groups":[0,0,1,1],"samples":5,"seed":{seed}}}"#
+            );
+            let (status, response) = http(server.addr(), "POST", "/rank", &body);
+            assert_eq!(status, 200, "{response}");
+        }
+        let (status, stats) = http(server.addr(), "GET", "/stats", "");
+        assert_eq!(status, 200);
+        assert!(stats.contains("\"sampler_table_hits\":1"), "{stats}");
+        assert!(stats.contains("\"sampler_table_misses\":1"), "{stats}");
+        assert!(stats.contains("\"sampler_table_entries\":1"), "{stats}");
         server.shutdown();
     }
 

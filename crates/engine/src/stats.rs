@@ -1,6 +1,7 @@
 //! Engine-wide counters, exported over `GET /stats`.
 
 use crate::json::Json;
+use crate::tables::TableCache;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -48,8 +49,16 @@ impl EngineStats {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Snapshot as the `GET /stats` JSON body.
-    pub fn to_json(&self, cache_len: usize, cache_capacity: usize, workers: usize) -> Json {
+    /// Snapshot as the `GET /stats` JSON body. The sampler-table cache
+    /// keeps its own counters (it is shared below the job layer), so it
+    /// is read here rather than mirrored.
+    pub fn to_json(
+        &self,
+        cache_len: usize,
+        cache_capacity: usize,
+        workers: usize,
+        tables: &TableCache,
+    ) -> Json {
         let read = |c: &AtomicU64| Json::Number(c.load(Ordering::Relaxed) as f64);
         Json::object(vec![
             (
@@ -61,6 +70,9 @@ impl EngineStats {
             ("cache_misses", read(&self.cache_misses)),
             ("cache_entries", Json::Number(cache_len as f64)),
             ("cache_capacity", Json::Number(cache_capacity as f64)),
+            ("sampler_table_hits", Json::Number(tables.hits() as f64)),
+            ("sampler_table_misses", Json::Number(tables.misses() as f64)),
+            ("sampler_table_entries", Json::Number(tables.len() as f64)),
             ("jobs_executed", read(&self.jobs_executed)),
             ("jobs_failed", read(&self.jobs_failed)),
             ("jobs_coalesced", read(&self.jobs_coalesced)),
@@ -87,10 +99,16 @@ mod tests {
         EngineStats::bump(&s.cache_hits);
         EngineStats::bump(&s.cache_hits);
         EngineStats::bump(&s.cache_misses);
-        let json = s.to_json(5, 100, 4).to_string();
+        let tables = TableCache::new(8);
+        tables.get_or_build(10, 1.0).unwrap();
+        tables.get_or_build(10, 1.0).unwrap();
+        let json = s.to_json(5, 100, 4, &tables).to_string();
         assert!(json.contains("\"cache_hits\":2"), "{json}");
         assert!(json.contains("\"cache_misses\":1"), "{json}");
         assert!(json.contains("\"cache_entries\":5"), "{json}");
+        assert!(json.contains("\"sampler_table_hits\":1"), "{json}");
+        assert!(json.contains("\"sampler_table_misses\":1"), "{json}");
+        assert!(json.contains("\"sampler_table_entries\":1"), "{json}");
         assert!(json.contains("\"workers\":4"), "{json}");
     }
 }

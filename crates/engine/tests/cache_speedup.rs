@@ -30,6 +30,8 @@ fn cached_submit_is_at_least_10x_faster_than_cold() {
         workers: 2,
         queue_capacity: 16,
         cache_capacity: 16,
+
+        table_cache_capacity: 16,
     });
 
     let cold_start = Instant::now();

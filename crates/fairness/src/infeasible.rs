@@ -31,31 +31,87 @@ pub fn infeasible_breakdown(
     groups: &GroupAssignment,
     bounds: &FairnessBounds,
 ) -> Result<InfeasibleBreakdown> {
-    validate(pi, groups, bounds)?;
-    let g = groups.num_groups();
-    let mut running = vec![0usize; g];
-    let mut lower = 0usize;
-    let mut upper = 0usize;
-    for (idx, &item) in pi.as_order().iter().enumerate() {
-        running[groups.group_of(item)] += 1;
-        let k = idx + 1;
-        let mut lo_violated = false;
-        let mut hi_violated = false;
-        for p in 0..g {
-            if running[p] < bounds.min_count(p, k) {
-                lo_violated = true;
-            }
-            if running[p] > bounds.max_count(p, k) {
-                hi_violated = true;
-            }
-        }
-        lower += usize::from(lo_violated);
-        upper += usize::from(hi_violated);
+    InfeasibleEvaluator::new().breakdown(pi, groups, bounds)
+}
+
+/// Allocation-free infeasible-index evaluator for hot selection loops.
+///
+/// [`infeasible_breakdown`] allocates a fresh running-counts buffer per
+/// call; a best-of-`m` loop (the streaming Algorithm 1) evaluates the
+/// index `m` times per request, so the evaluator keeps that buffer and
+/// reuses it across calls. Results are identical to the free functions.
+///
+/// ```
+/// use fairness_metrics::infeasible::{two_sided_infeasible_index, InfeasibleEvaluator};
+/// use fairness_metrics::{FairnessBounds, GroupAssignment};
+/// use ranking_core::Permutation;
+///
+/// let groups = GroupAssignment::binary_split(6, 3);
+/// let bounds = FairnessBounds::from_assignment(&groups);
+/// let pi = Permutation::identity(6);
+/// let mut eval = InfeasibleEvaluator::new();
+/// assert_eq!(
+///     eval.index(&pi, &groups, &bounds).unwrap(),
+///     two_sided_infeasible_index(&pi, &groups, &bounds).unwrap()
+/// );
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InfeasibleEvaluator {
+    running: Vec<usize>,
+}
+
+impl InfeasibleEvaluator {
+    /// Empty evaluator; the counts buffer grows on first use.
+    pub fn new() -> Self {
+        InfeasibleEvaluator::default()
     }
-    Ok(InfeasibleBreakdown {
-        lower_violations: lower,
-        upper_violations: upper,
-    })
+
+    /// Per-term violation counts of Definition 3, reusing the internal
+    /// buffer.
+    pub fn breakdown(
+        &mut self,
+        pi: &Permutation,
+        groups: &GroupAssignment,
+        bounds: &FairnessBounds,
+    ) -> Result<InfeasibleBreakdown> {
+        validate(pi, groups, bounds)?;
+        let g = groups.num_groups();
+        let running = &mut self.running;
+        running.clear();
+        running.resize(g, 0);
+        let mut lower = 0usize;
+        let mut upper = 0usize;
+        for (idx, &item) in pi.as_order().iter().enumerate() {
+            running[groups.group_of(item)] += 1;
+            let k = idx + 1;
+            let mut lo_violated = false;
+            let mut hi_violated = false;
+            for p in 0..g {
+                if running[p] < bounds.min_count(p, k) {
+                    lo_violated = true;
+                }
+                if running[p] > bounds.max_count(p, k) {
+                    hi_violated = true;
+                }
+            }
+            lower += usize::from(lo_violated);
+            upper += usize::from(hi_violated);
+        }
+        Ok(InfeasibleBreakdown {
+            lower_violations: lower,
+            upper_violations: upper,
+        })
+    }
+
+    /// `TwoSidedInfInd(π)`, reusing the internal buffer.
+    pub fn index(
+        &mut self,
+        pi: &Permutation,
+        groups: &GroupAssignment,
+        bounds: &FairnessBounds,
+    ) -> Result<usize> {
+        Ok(self.breakdown(pi, groups, bounds)?.total())
+    }
 }
 
 /// Definition 3 — `TwoSidedInfInd(π) ∈ [0, 2n]`.

@@ -67,33 +67,59 @@ impl CayleyMallows {
     /// `P[τ] ∝ α^{cycles(τ)}`; relabelling by the centre turns the cycle
     /// deficit into Cayley distance from `π₀`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Permutation {
+        let mut out = Permutation::identity(0);
+        self.sample_into(&mut out, rng);
+        out
+    }
+
+    /// Draw one sample into `out`, reusing its buffer (one transient
+    /// CRP seating vector is still allocated per call).
+    ///
+    /// ```
+    /// use mallows_model::CayleyMallows;
+    /// use ranking_core::Permutation;
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// let model = CayleyMallows::new(Permutation::identity(7), 1.0).unwrap();
+    /// let mut rng = StdRng::seed_from_u64(2);
+    /// let mut out = Permutation::identity(0);
+    /// model.sample_into(&mut out, &mut rng);
+    /// assert_eq!(out.len(), 7);
+    /// ```
+    pub fn sample_into<R: Rng + ?Sized>(&self, out: &mut Permutation, rng: &mut R) {
         let n = self.center.len();
         let alpha = self.theta.exp();
-        // next[i] = customer to the right of i at its table.
+        // next[i] = customer to the right of i at its table. (Customers
+        // are seated in index order, so "a uniformly random seated
+        // customer" is just a uniform draw from 0..i.)
         let mut next: Vec<usize> = Vec::with_capacity(n);
-        let mut seated: Vec<usize> = Vec::with_capacity(n);
         for i in 0..n {
             let p_new = alpha / (alpha + i as f64);
             if rng.random::<f64>() < p_new {
                 next.push(i); // opens a new table: fixed point for now
             } else {
-                let j = seated[rng.random_range(0..i)];
+                let j = rng.random_range(0..i);
                 next.push(next[j]);
                 next[j] = i;
             }
-            seated.push(i);
         }
         // π.order[τ[k]] = π₀.order[k] makes relative_to(π, π₀) equal τ.
-        let mut order = vec![usize::MAX; n];
-        for (k, &tk) in next.iter().enumerate() {
-            order[tk] = self.center.item_at(k);
-        }
-        Permutation::from_order_unchecked(order)
+        out.refill_unchecked(|order| {
+            order.clear();
+            order.resize(n, usize::MAX);
+            for (k, &tk) in next.iter().enumerate() {
+                order[tk] = self.center.item_at(k);
+            }
+        });
     }
 
     /// Draw `m` independent samples.
     pub fn sample_many<R: Rng + ?Sized>(&self, m: usize, rng: &mut R) -> Vec<Permutation> {
-        (0..m).map(|_| self.sample(rng)).collect()
+        let mut out = Vec::with_capacity(m);
+        for _ in 0..m {
+            out.push(self.sample(rng));
+        }
+        out
     }
 
     /// Natural log of the partition function

@@ -11,6 +11,7 @@
 //! With all components equal the GMM coincides with the standard
 //! [`crate::MallowsModel`].
 
+use crate::tables::sample_truncated_geometric;
 use crate::{MallowsError, Result};
 use rand::Rng;
 use ranking_core::Permutation;
@@ -89,6 +90,34 @@ impl GeneralizedMallows {
             .expect("sampled code is stage-valid by construction")
     }
 
+    /// Draw one sample into `out`, reusing its buffer (no allocation
+    /// beyond `out`'s capacity).
+    ///
+    /// Decodes by streaming insertion, which moves `Σ V_j` elements in
+    /// total — cheap at the concentrated dispersions the GMM is used
+    /// with, `O(n²)` in the uniform `θ⃗ = 0` worst case.
+    ///
+    /// ```
+    /// use mallows_model::GeneralizedMallows;
+    /// use ranking_core::Permutation;
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// let gmm = GeneralizedMallows::uniform(Permutation::identity(8), 1.5).unwrap();
+    /// let mut rng = StdRng::seed_from_u64(1);
+    /// let mut out = Permutation::identity(0);
+    /// gmm.sample_into(&mut out, &mut rng);
+    /// assert_eq!(out.len(), 8);
+    /// ```
+    pub fn sample_into<R: Rng + ?Sized>(&self, out: &mut Permutation, rng: &mut R) {
+        ranking_core::lehmer::decode_streaming_into(&self.center, out, |j| {
+            if j == 1 {
+                0
+            } else {
+                sample_truncated_geometric((-self.thetas[j - 2]).exp(), j, rng)
+            }
+        });
+    }
+
     /// Closed-form expected Kendall tau distance:
     /// `Σ_j E[V_j(θ_j)]` with the truncated-geometric mean per stage.
     pub fn expected_kendall_tau(&self) -> f64 {
@@ -105,24 +134,6 @@ fn truncated_geometric_mean(q: f64, j: usize) -> f64 {
     }
     let qj = q.powi(j as i32);
     q / (1.0 - q) - j as f64 * qj / (1.0 - qj)
-}
-
-fn sample_truncated_geometric<R: Rng + ?Sized>(q: f64, j: usize, rng: &mut R) -> usize {
-    if j <= 1 {
-        return 0;
-    }
-    if q >= 1.0 {
-        return rng.random_range(0..j);
-    }
-    let u: f64 = rng.random::<f64>();
-    let mass = 1.0 - q.powi(j as i32);
-    let x = 1.0 - u * mass;
-    let v = (x.ln() / q.ln()).ceil() as isize - 1;
-    if (0..j as isize).contains(&v) {
-        v as usize
-    } else {
-        (j - 1).min(v.max(0) as usize)
-    }
 }
 
 #[cfg(test)]

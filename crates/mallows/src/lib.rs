@@ -15,7 +15,12 @@
 //!   distance) and Borda centre estimation;
 //! * [`dispersion`] — tuning `θ` to hit a target expected distance, the
 //!   knob the paper's conclusions propose for a systematic noise
-//!   methodology.
+//!   methodology;
+//! * [`tables`] — precomputed per-`(n, θ)` insertion-CDF tables
+//!   ([`SamplerTables`]) and the zero-allocation [`RimSampler`] fast
+//!   path the serving engine caches across requests.
+
+#![warn(missing_docs)]
 
 pub mod cayley;
 pub mod dispersion;
@@ -25,6 +30,7 @@ pub mod mle;
 mod model;
 pub mod plackett_luce;
 pub mod privacy;
+pub mod tables;
 pub mod truncated;
 
 pub use cayley::CayleyMallows;
@@ -32,6 +38,7 @@ pub use generalized::GeneralizedMallows;
 pub use mixture::MallowsMixture;
 pub use model::MallowsModel;
 pub use plackett_luce::PlackettLuce;
+pub use tables::{RimSampler, SamplerTables};
 pub use truncated::TopKMallows;
 
 /// Errors raised by the Mallows model.

@@ -1,8 +1,10 @@
 //! Exact Mallows model: sampling, partition function, PMF.
 
+use crate::tables::{RimSampler, SamplerTables};
 use crate::{MallowsError, Result};
 use rand::Rng;
 use ranking_core::{distance, Permutation};
+use std::sync::Arc;
 
 /// A Mallows distribution `M(π₀, θ)` under Kendall tau distance.
 ///
@@ -62,20 +64,66 @@ impl MallowsModel {
     /// `V_j` follows the truncated geometric law
     /// `P(V_j = v) ∝ e^{−θ v}` on `{0, …, j−1}`. The total inversion
     /// count equals `d_KT(sample, centre)`, which yields the exact
-    /// Mallows distribution.
+    /// Mallows distribution. Stage draws go through the table-driven
+    /// inverse CDF of [`SamplerTables`]; hold a [`RimSampler`] (see
+    /// [`MallowsModel::sampler`]) to amortize the table build and the
+    /// buffers across many draws.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Permutation {
-        let n = self.center.len();
-        let q = (-self.theta).exp();
-        let code: Vec<usize> = (1..=n)
-            .map(|j| sample_truncated_geometric(q, j, rng))
-            .collect();
-        ranking_core::lehmer::decode_insertion_code(&self.center, &code)
-            .expect("sampled code is stage-valid by construction")
+        let mut out = Permutation::identity(0);
+        self.sample_into(&mut out, rng);
+        out
     }
 
-    /// Draw `m` independent samples.
+    /// Draw one sample into `out`, reusing its buffer.
+    ///
+    /// The stage table is rebuilt per call (`O(n)`); for repeated
+    /// draws use [`MallowsModel::sampler`], which also reuses the code
+    /// and decode scratch and is allocation-free after warm-up.
+    ///
+    /// ```
+    /// use mallows_model::MallowsModel;
+    /// use ranking_core::Permutation;
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// let model = MallowsModel::new(Permutation::identity(6), 1.0).unwrap();
+    /// let mut rng = StdRng::seed_from_u64(5);
+    /// let mut out = Permutation::identity(0);
+    /// model.sample_into(&mut out, &mut rng);
+    /// assert_eq!(out.len(), 6);
+    /// ```
+    pub fn sample_into<R: Rng + ?Sized>(&self, out: &mut Permutation, rng: &mut R) {
+        let tables = self.tables();
+        let n = self.center.len();
+        let mut code = Vec::with_capacity(n);
+        tables.sample_code_into(n, &mut code, rng);
+        let mut scratch = ranking_core::lehmer::DecodeScratch::new();
+        ranking_core::lehmer::decode_insertion_code_into(&self.center, &code, &mut scratch, out)
+            .expect("sampled code is stage-valid by construction");
+    }
+
+    /// Draw `m` independent samples through one shared table and
+    /// decode scratch (the fast path benchmarked by
+    /// `bench/benches/sampler_tables.rs`).
     pub fn sample_many<R: Rng + ?Sized>(&self, m: usize, rng: &mut R) -> Vec<Permutation> {
-        (0..m).map(|_| self.sample(rng)).collect()
+        let mut sampler = self.sampler();
+        let mut out = Vec::with_capacity(m);
+        for _ in 0..m {
+            out.push(sampler.sample(rng));
+        }
+        out
+    }
+
+    /// The per-`(n, θ)` stage table for this model, freshly built.
+    /// Serving layers cache the returned value keyed on `(n, θ)`.
+    pub fn tables(&self) -> SamplerTables {
+        SamplerTables::new(self.center.len(), self.theta).expect("theta validated at construction")
+    }
+
+    /// A zero-allocation sampler owning a fresh table plus reusable
+    /// code/decode buffers.
+    pub fn sampler(&self) -> RimSampler {
+        RimSampler::from_tables(self.center.clone(), Arc::new(self.tables()))
+            .expect("table sized to the centre")
     }
 
     /// Natural log of the partition function
@@ -139,38 +187,6 @@ pub(crate) fn expected_kendall_tau(n: usize, theta: f64) -> f64 {
             head - j as f64 * qj / (1.0 - qj)
         })
         .sum()
-}
-
-/// Sample `V ∈ {0, …, j−1}` with `P(V = v) ∝ q^v` (`q = e^{−θ}`).
-///
-/// Uses closed-form CDF inversion for `q < 1`; uniform for `q = 1`
-/// (θ = 0). Falls back to a linear scan when floating-point inversion
-/// lands out of range.
-pub(crate) fn sample_truncated_geometric<R: Rng + ?Sized>(q: f64, j: usize, rng: &mut R) -> usize {
-    if j <= 1 {
-        return 0;
-    }
-    if q >= 1.0 {
-        return rng.random_range(0..j);
-    }
-    let u: f64 = rng.random::<f64>();
-    // CDF(v) = (1 − q^{v+1}) / (1 − q^j); solve CDF(v) ≥ u.
-    let mass = 1.0 - q.powi(j as i32);
-    let x = 1.0 - u * mass;
-    let v = (x.ln() / q.ln()).ceil() as isize - 1;
-    if (0..j as isize).contains(&v) {
-        return v as usize;
-    }
-    // Numerical edge: fall back to exact linear scan.
-    let mut acc = 0.0;
-    let norm: f64 = (0..j).map(|v| q.powi(v as i32)).sum();
-    for v in 0..j {
-        acc += q.powi(v as i32) / norm;
-        if u <= acc {
-            return v;
-        }
-    }
-    j - 1
 }
 
 #[cfg(test)]

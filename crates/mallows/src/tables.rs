@@ -1,0 +1,465 @@
+//! Precomputed sampler tables and the zero-allocation RIM fast path.
+//!
+//! Every stage `j` of the repeated insertion model draws an inversion
+//! count `V_j ∈ {0, …, j−1}` from the truncated geometric law
+//! `P(V = v) ∝ q^v` with `q = e^{−θ}`. The closed-form inversion used
+//! by [`sample_truncated_geometric`] pays two `ln` calls and a `powi`
+//! per stage; at serving scale (the engine re-runs Algorithm 1 for
+//! every request) that arithmetic — plus the per-sample allocations of
+//! the naive path — dominates the hot loop.
+//!
+//! [`SamplerTables`] removes both costs for a fixed `(n, θ)` pair:
+//!
+//! * one shared prefix table `S[v] = Σ_{u ≤ v} q^u` (`n` entries, L1
+//!   resident for `n` in the thousands) serves **all** stages, because
+//!   stage `j`'s CDF is `S[v] / S[j−1]`;
+//! * [`SamplerTables::sample_stage`] inverts the CDF with a galloping
+//!   search from `v = 0` — for concentrated dispersions (`E[V] =
+//!   q/(1−q)`, below 1 for `θ ≥ 0.7`) that is two or three comparisons
+//!   instead of transcendental math;
+//! * [`RimSampler`] owns the table plus code/decode scratch and writes
+//!   samples into caller-provided [`Permutation`] buffers, so a
+//!   best-of-`m` loop performs no allocation after warm-up.
+//!
+//! Tables are cheap to build (`O(n)` multiplications) and immutable, so
+//! the serving engine caches them per `(n, θ)` across requests.
+//!
+//! ```
+//! use mallows_model::tables::{RimSampler, SamplerTables};
+//! use ranking_core::Permutation;
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use std::sync::Arc;
+//!
+//! let tables = Arc::new(SamplerTables::new(50, 1.0).unwrap());
+//! let mut sampler = RimSampler::from_tables(Permutation::identity(50), tables).unwrap();
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut out = Permutation::identity(0);
+//! for _ in 0..10 {
+//!     sampler.sample_into(&mut out, &mut rng); // reuses `out`'s buffer
+//!     assert_eq!(out.len(), 50);
+//! }
+//! ```
+
+use crate::{MallowsError, Result};
+use rand::Rng;
+use ranking_core::lehmer::{self, DecodeScratch};
+use ranking_core::Permutation;
+use std::sync::Arc;
+
+/// Precomputed per-`(n, θ)` insertion-CDF table for RIM sampling.
+///
+/// Immutable and `Send + Sync`; share it behind an [`Arc`] across
+/// samplers, worker threads and the engine's table cache.
+#[derive(Debug, Clone)]
+pub struct SamplerTables {
+    n: usize,
+    theta: f64,
+    /// `prefix[v] = Σ_{u=0..=v} q^u`; saturates harmlessly once `q^u`
+    /// underflows (the tail mass is below one ulp of the total).
+    prefix: Vec<f64>,
+}
+
+impl SamplerTables {
+    /// Build the table for rankings of `n` items at dispersion
+    /// `θ ≥ 0`. Costs `O(n)` time and `n` floats of memory.
+    ///
+    /// ```
+    /// use mallows_model::tables::SamplerTables;
+    /// let t = SamplerTables::new(100, 0.5).unwrap();
+    /// assert_eq!((t.n(), t.theta()), (100, 0.5));
+    /// assert!(SamplerTables::new(100, -1.0).is_err());
+    /// ```
+    pub fn new(n: usize, theta: f64) -> Result<Self> {
+        if !theta.is_finite() || theta < 0.0 {
+            return Err(MallowsError::InvalidTheta { theta });
+        }
+        let q = (-theta).exp();
+        let mut prefix = Vec::with_capacity(n);
+        let mut power = 1.0f64;
+        let mut sum = 0.0f64;
+        for _ in 0..n {
+            sum += power;
+            prefix.push(sum);
+            power *= q;
+        }
+        Ok(SamplerTables { n, theta, prefix })
+    }
+
+    /// Maximum ranking length the table supports.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The dispersion `θ` the table was built for.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Approximate heap footprint in bytes (engine cache accounting).
+    pub fn bytes(&self) -> usize {
+        self.prefix.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Draw `V ∈ {0, …, j−1}` with `P(V = v) ∝ q^v` by inverse-CDF
+    /// lookup in the prefix table. Requires `j ≤ n`; consumes exactly
+    /// one `f64` from `rng` for `j ≥ 2` and none for `j ≤ 1`.
+    ///
+    /// The search gallops from `v = 0` (doubling steps, then a binary
+    /// search in the final gap), so concentrated stages resolve in a
+    /// couple of L1 reads while the uniform `θ = 0` worst case stays
+    /// `O(log j)`.
+    #[inline]
+    pub fn sample_stage<R: Rng + ?Sized>(&self, j: usize, rng: &mut R) -> usize {
+        if j <= 1 {
+            return 0;
+        }
+        debug_assert!(j <= self.n, "stage {j} exceeds table size {}", self.n);
+        let s = &self.prefix[..j];
+        let u: f64 = rng.random();
+        // smallest v with CDF(v) = s[v]/s[j−1] ≥ u; u < 1 guarantees
+        // v = j−1 qualifies, so the search cannot fall off the end
+        let target = u * s[j - 1];
+        if s[0] >= target {
+            return 0;
+        }
+        let mut lo = 0usize; // invariant: s[lo] < target
+        let mut step = 1usize;
+        while lo + step < j && s[lo + step] < target {
+            lo += step;
+            step <<= 1;
+        }
+        let mut hi = (lo + step).min(j - 1); // s[hi] ≥ target
+        while hi > lo + 1 {
+            let mid = lo + (hi - lo) / 2;
+            if s[mid] < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        hi
+    }
+
+    /// Fill `code` with a fresh stage-valid insertion code (`code[j−1]`
+    /// is stage `j`'s inversion count) for a ranking of `len ≤ n`
+    /// items, reusing the buffer.
+    pub fn sample_code_into<R: Rng + ?Sized>(
+        &self,
+        len: usize,
+        code: &mut Vec<usize>,
+        rng: &mut R,
+    ) {
+        debug_assert!(len <= self.n);
+        code.clear();
+        code.reserve(len);
+        for j in 1..=len {
+            code.push(self.sample_stage(j, rng));
+        }
+    }
+}
+
+/// Sample `V ∈ {0, …, j−1}` with `P(V = v) ∝ q^v` (`q = e^{−θ}`) by
+/// closed-form CDF inversion — the table-free reference sampler.
+///
+/// Uniform for `q ≥ 1` (`θ = 0`); falls back to an exact linear scan
+/// when floating-point inversion lands out of range. [`SamplerTables`]
+/// draws from the same distribution without the per-draw `ln`/`powi`
+/// cost; this form remains for one-off draws, the per-stage-θ
+/// generalized model, and as the independent reference the golden
+/// distribution tests compare the table path against.
+///
+/// ```
+/// use mallows_model::tables::sample_truncated_geometric;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let v = sample_truncated_geometric(0.5f64.exp().recip(), 6, &mut rng);
+/// assert!(v < 6);
+/// ```
+pub fn sample_truncated_geometric<R: Rng + ?Sized>(q: f64, j: usize, rng: &mut R) -> usize {
+    if j <= 1 {
+        return 0;
+    }
+    if q >= 1.0 {
+        return rng.random_range(0..j);
+    }
+    let u: f64 = rng.random::<f64>();
+    // CDF(v) = (1 − q^{v+1}) / (1 − q^j); solve CDF(v) ≥ u.
+    let mass = 1.0 - q.powi(j as i32);
+    let x = 1.0 - u * mass;
+    let v = (x.ln() / q.ln()).ceil() as isize - 1;
+    if (0..j as isize).contains(&v) {
+        return v as usize;
+    }
+    // Numerical edge: fall back to exact linear scan.
+    let mut acc = 0.0;
+    let norm: f64 = (0..j).map(|v| q.powi(v as i32)).sum();
+    for v in 0..j {
+        acc += q.powi(v as i32) / norm;
+        if u <= acc {
+            return v;
+        }
+    }
+    j - 1
+}
+
+/// One full draw of the pre-table reference sampler: closed-form stage
+/// inversion ([`sample_truncated_geometric`]) plus an allocating
+/// decode — exactly the original `MallowsModel::sample` implementation.
+///
+/// This is **not** a fast path. It exists as the independent baseline
+/// that the golden distribution tests
+/// (`crates/mallows/tests/golden_distribution.rs`) and the
+/// before/after benches (`bench/benches/sampler_tables.rs`) compare
+/// the table-driven sampler against; keeping it here prevents the two
+/// from reconstructing — and silently diverging on — their own copies.
+///
+/// ```
+/// use mallows_model::tables::sample_reference;
+/// use ranking_core::Permutation;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(6);
+/// let s = sample_reference(&Permutation::identity(9), 1.0, &mut rng);
+/// assert_eq!(s.len(), 9);
+/// ```
+pub fn sample_reference<R: Rng + ?Sized>(
+    center: &Permutation,
+    theta: f64,
+    rng: &mut R,
+) -> Permutation {
+    let n = center.len();
+    let q = (-theta).exp();
+    let code: Vec<usize> = (1..=n)
+        .map(|j| sample_truncated_geometric(q, j, rng))
+        .collect();
+    lehmer::decode_insertion_code(center, &code).expect("sampled code is stage-valid")
+}
+
+/// Zero-allocation Mallows sampler: shared [`SamplerTables`] plus owned
+/// code and decode scratch.
+///
+/// After the first sample has grown the buffers, every further
+/// [`RimSampler::sample_into`] performs no heap allocation. The
+/// two-phase API ([`RimSampler::sample_code`] then
+/// [`RimSampler::decode_code_into`]) lets selection loops that only
+/// need the Kendall tau distance (`d_KT = Σ code`) skip decoding
+/// non-winning samples entirely.
+#[derive(Debug, Clone)]
+pub struct RimSampler {
+    center: Permutation,
+    tables: Arc<SamplerTables>,
+    code: Vec<usize>,
+    scratch: DecodeScratch,
+}
+
+impl RimSampler {
+    /// Build a sampler around `center` at dispersion `θ`, constructing
+    /// a fresh table.
+    pub fn new(center: Permutation, theta: f64) -> Result<Self> {
+        let tables = Arc::new(SamplerTables::new(center.len(), theta)?);
+        RimSampler::from_tables(center, tables)
+    }
+
+    /// Build a sampler from a shared (possibly cached) table. Errors
+    /// when the table is too small for the centre.
+    pub fn from_tables(center: Permutation, tables: Arc<SamplerTables>) -> Result<Self> {
+        if tables.n() < center.len() {
+            return Err(MallowsError::LengthMismatch {
+                center: center.len(),
+                other: tables.n(),
+            });
+        }
+        Ok(RimSampler {
+            center,
+            tables,
+            code: Vec::new(),
+            scratch: DecodeScratch::new(),
+        })
+    }
+
+    /// The centre permutation samples are drawn around.
+    pub fn center(&self) -> &Permutation {
+        &self.center
+    }
+
+    /// The shared stage table.
+    pub fn tables(&self) -> &Arc<SamplerTables> {
+        &self.tables
+    }
+
+    /// Draw a fresh insertion code into the internal buffer and return
+    /// it. The code alone determines the sample; decode lazily via
+    /// [`RimSampler::decode_code_into`].
+    pub fn sample_code<R: Rng + ?Sized>(&mut self, rng: &mut R) -> &[usize] {
+        self.tables
+            .sample_code_into(self.center.len(), &mut self.code, rng);
+        &self.code
+    }
+
+    /// `Σ code` of the last drawn code — exactly the Kendall tau
+    /// distance between the (not yet decoded) sample and the centre.
+    pub fn code_total(&self) -> u64 {
+        self.code.iter().map(|&v| v as u64).sum()
+    }
+
+    /// Decode the last drawn code into `out`, reusing its buffer.
+    pub fn decode_code_into(&mut self, out: &mut Permutation) {
+        lehmer::decode_insertion_code_into(&self.center, &self.code, &mut self.scratch, out)
+            .expect("sampled code is stage-valid by construction");
+    }
+
+    /// Draw one exact Mallows sample into `out`, reusing its buffer —
+    /// the allocation-free equivalent of
+    /// [`MallowsModel::sample`](crate::MallowsModel::sample).
+    pub fn sample_into<R: Rng + ?Sized>(&mut self, out: &mut Permutation, rng: &mut R) {
+        self.sample_code(rng);
+        self.decode_code_into(out);
+    }
+
+    /// Convenience allocating form of [`RimSampler::sample_into`].
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Permutation {
+        let mut out = Permutation::identity(0);
+        self.sample_into(&mut out, rng);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_invalid_theta() {
+        assert!(SamplerTables::new(5, -0.1).is_err());
+        assert!(SamplerTables::new(5, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn prefix_matches_geometric_series() {
+        let t = SamplerTables::new(6, 1.0).unwrap();
+        let q = (-1.0f64).exp();
+        let mut expect = 0.0;
+        for v in 0..6 {
+            expect += q.powi(v as i32);
+            assert!((t.prefix[v] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stage_one_never_draws() {
+        let t = SamplerTables::new(4, 0.7).unwrap();
+        // a panicking RNG proves no randomness is consumed for j ≤ 1
+        struct NoDraw;
+        impl rand::RngCore for NoDraw {
+            fn next_u64(&mut self) -> u64 {
+                panic!("stage 1 must not draw");
+            }
+        }
+        assert_eq!(t.sample_stage(1, &mut NoDraw), 0);
+        assert_eq!(t.sample_stage(0, &mut NoDraw), 0);
+    }
+
+    #[test]
+    fn table_inversion_matches_closed_form_distribution() {
+        // per-stage χ²-style check against exact probabilities
+        let theta = 0.8f64;
+        let q = (-theta).exp();
+        let t = SamplerTables::new(8, theta).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let draws = 40_000;
+        for j in [2usize, 5, 8] {
+            let mut counts = vec![0usize; j];
+            for _ in 0..draws {
+                counts[t.sample_stage(j, &mut rng)] += 1;
+            }
+            let norm: f64 = (0..j).map(|v| q.powi(v as i32)).sum();
+            for v in 0..j {
+                let p = q.powi(v as i32) / norm;
+                let observed = counts[v] as f64 / draws as f64;
+                let sigma = (p * (1.0 - p) / draws as f64).sqrt();
+                assert!(
+                    (observed - p).abs() < 5.0 * sigma + 1e-4,
+                    "j={j} v={v}: exact {p:.5} vs observed {observed:.5}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theta_zero_stage_is_uniform() {
+        let t = SamplerTables::new(5, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let draws = 25_000;
+        let mut counts = vec![0usize; 5];
+        for _ in 0..draws {
+            counts[t.sample_stage(5, &mut rng)] += 1;
+        }
+        for &c in &counts {
+            let expected = draws as f64 / 5.0;
+            assert!(
+                (c as f64 - expected).abs() < 5.0 * expected.sqrt(),
+                "count {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_theta_underflow_is_safe() {
+        // q^v underflows almost immediately at θ = 40; every draw must
+        // still be the centre's choice (v = 0)
+        let t = SamplerTables::new(2000, 40.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for j in [2usize, 100, 2000] {
+            for _ in 0..50 {
+                assert_eq!(t.sample_stage(j, &mut rng), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_reuses_buffers_and_produces_valid_permutations() {
+        let center = Permutation::random(300, &mut StdRng::seed_from_u64(1));
+        let mut sampler = RimSampler::new(center, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut out = Permutation::identity(0);
+        for _ in 0..20 {
+            sampler.sample_into(&mut out, &mut rng);
+            let mut sorted = out.as_order().to_vec();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..300).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn code_total_equals_kendall_tau() {
+        use ranking_core::distance;
+        let center = Permutation::random(40, &mut StdRng::seed_from_u64(7));
+        let mut sampler = RimSampler::new(center.clone(), 0.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut out = Permutation::identity(0);
+        for _ in 0..25 {
+            sampler.sample_into(&mut out, &mut rng);
+            assert_eq!(
+                sampler.code_total(),
+                distance::kendall_tau(&out, &center).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn from_tables_rejects_short_tables() {
+        let tables = Arc::new(SamplerTables::new(3, 1.0).unwrap());
+        assert!(RimSampler::from_tables(Permutation::identity(5), tables).is_err());
+    }
+
+    #[test]
+    fn shared_tables_support_shorter_centers() {
+        let tables = Arc::new(SamplerTables::new(64, 1.0).unwrap());
+        let mut sampler =
+            RimSampler::from_tables(Permutation::identity(10), Arc::clone(&tables)).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(sampler.sample(&mut rng).len(), 10);
+    }
+}

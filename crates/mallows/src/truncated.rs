@@ -19,7 +19,7 @@
 //! tau exponent). The tests cross-validate the k = n case against
 //! [`MallowsModel`](crate::MallowsModel)'s PMF.
 
-use crate::model::sample_truncated_geometric;
+use crate::tables::SamplerTables;
 use crate::{MallowsError, Result};
 use rand::Rng;
 use ranking_core::Permutation;
@@ -30,22 +30,28 @@ pub struct TopKMallows {
     center: Permutation,
     theta: f64,
     k: usize,
+    /// Stage table built once at construction; selection step `s`
+    /// draws from the truncated geometric over the `n − s` survivors.
+    tables: SamplerTables,
 }
 
 impl TopKMallows {
     /// Create a sampler for the first `k ≤ n` positions of
     /// `M(π₀, θ)`.
     pub fn new(center: Permutation, theta: f64, k: usize) -> Result<Self> {
-        if !theta.is_finite() || theta < 0.0 {
-            return Err(MallowsError::InvalidTheta { theta });
-        }
         if k > center.len() {
             return Err(MallowsError::LengthMismatch {
                 center: center.len(),
                 other: k,
             });
         }
-        Ok(TopKMallows { center, theta, k })
+        let tables = SamplerTables::new(center.len(), theta)?;
+        Ok(TopKMallows {
+            center,
+            theta,
+            k,
+            tables,
+        })
     }
 
     /// The centre permutation.
@@ -66,18 +72,37 @@ impl TopKMallows {
     /// Draw the top-`k` items (in rank order) of one exact Mallows
     /// sample. `O(k log n)`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<usize> {
-        let n = self.center.len();
-        let q = (-self.theta).exp();
-        let mut alive = Fenwick::all_alive(n);
         let mut out = Vec::with_capacity(self.k);
+        self.sample_into(&mut out, rng);
+        out
+    }
+
+    /// Draw one top-`k` sample into `out`, reusing its buffer (the
+    /// Fenwick survivor tree is still allocated per call).
+    ///
+    /// ```
+    /// use mallows_model::TopKMallows;
+    /// use ranking_core::Permutation;
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// let sampler = TopKMallows::new(Permutation::identity(20), 1.0, 5).unwrap();
+    /// let mut rng = StdRng::seed_from_u64(8);
+    /// let mut out = Vec::new();
+    /// sampler.sample_into(&mut out, &mut rng);
+    /// assert_eq!(out.len(), 5);
+    /// ```
+    pub fn sample_into<R: Rng + ?Sized>(&self, out: &mut Vec<usize>, rng: &mut R) {
+        let n = self.center.len();
+        let mut alive = Fenwick::all_alive(n);
+        out.clear();
+        out.reserve(self.k);
         for step in 0..self.k {
             let remaining = n - step;
-            let v = sample_truncated_geometric(q, remaining, rng);
+            let v = self.tables.sample_stage(remaining, rng);
             let center_pos = alive.select_kth_alive(v);
             alive.kill(center_pos);
             out.push(self.center.item_at(center_pos));
         }
-        out
     }
 
     /// Draw `m` independent top-`k` samples.

@@ -1,0 +1,139 @@
+//! Golden-statistics tests: the table-driven sampler must draw from
+//! exactly the Mallows distribution the original closed-form sampler
+//! drew from.
+//!
+//! The "old" sampler is
+//! [`mallows_model::tables::sample_reference`] — per-stage truncated
+//! geometric via closed-form CDF inversion plus an allocating decode,
+//! kept bit-faithful to the original implementation — compared to the
+//! table path ([`mallows_model::RimSampler`]) under fixed seeds:
+//!
+//! * a two-sample χ² test over the Kendall-distance histogram at
+//!   realistic sizes, and
+//! * an exact-PMF χ² test on a fully enumerable `n = 4` model.
+
+use mallows_model::tables::sample_reference;
+use mallows_model::{MallowsModel, RimSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ranking_core::{distance, Permutation};
+use std::collections::HashMap;
+
+/// Two-sample χ² statistic over equal-size histograms, merging sparse
+/// cells (combined count < 10) into their left neighbour.
+fn two_sample_chi_square(a: &[u64], b: &[u64]) -> (f64, usize) {
+    let len = a.len().max(b.len());
+    let at = |h: &[u64], i: usize| h.get(i).copied().unwrap_or(0) as f64;
+    let mut cells: Vec<(f64, f64)> = Vec::new();
+    let mut acc = (0.0, 0.0);
+    for i in 0..len {
+        acc.0 += at(a, i);
+        acc.1 += at(b, i);
+        if acc.0 + acc.1 >= 10.0 {
+            cells.push(acc);
+            acc = (0.0, 0.0);
+        }
+    }
+    if acc.0 + acc.1 > 0.0 {
+        match cells.last_mut() {
+            Some(last) => {
+                last.0 += acc.0;
+                last.1 += acc.1;
+            }
+            None => cells.push(acc),
+        }
+    }
+    let statistic = cells
+        .iter()
+        .map(|&(x, y)| {
+            let d = x - y;
+            d * d / (x + y)
+        })
+        .sum();
+    (statistic, cells.len().saturating_sub(1))
+}
+
+#[test]
+fn kendall_distance_histograms_match_across_samplers() {
+    let draws = 20_000usize;
+    for (theta, seed) in [(0.2f64, 101u64), (1.0, 202), (3.0, 303)] {
+        let center = Permutation::random(30, &mut StdRng::seed_from_u64(seed));
+        let max_d = distance::max_kendall_tau(30) as usize;
+
+        let mut old_hist = vec![0u64; max_d + 1];
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        for _ in 0..draws {
+            let s = sample_reference(&center, theta, &mut rng);
+            old_hist[distance::kendall_tau(&s, &center).unwrap() as usize] += 1;
+        }
+
+        let mut new_hist = vec![0u64; max_d + 1];
+        let mut sampler = RimSampler::new(center.clone(), theta).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed + 2);
+        let mut out = Permutation::identity(0);
+        for _ in 0..draws {
+            sampler.sample_into(&mut out, &mut rng);
+            new_hist[distance::kendall_tau(&out, &center).unwrap() as usize] += 1;
+        }
+
+        let (statistic, dof) = two_sample_chi_square(&old_hist, &new_hist);
+        // far beyond the 99.99th percentile of χ²_dof; a distribution
+        // shift (not noise) is needed to trip it
+        let threshold = dof as f64 + 5.0 * (2.0 * dof as f64).sqrt() + 10.0;
+        assert!(
+            statistic < threshold,
+            "θ={theta}: χ² = {statistic:.1} over {dof} dof (threshold {threshold:.1})"
+        );
+    }
+}
+
+#[test]
+fn table_sampler_matches_exact_pmf_on_enumerable_model() {
+    let center = Permutation::from_order(vec![2, 0, 3, 1]).unwrap();
+    let theta = 0.8;
+    let model = MallowsModel::new(center.clone(), theta).unwrap();
+    let mut sampler = RimSampler::new(center, theta).unwrap();
+    let mut rng = StdRng::seed_from_u64(404);
+    let draws = 60_000;
+    let mut counts: HashMap<Vec<usize>, u64> = HashMap::new();
+    let mut out = Permutation::identity(0);
+    for _ in 0..draws {
+        sampler.sample_into(&mut out, &mut rng);
+        *counts.entry(out.as_order().to_vec()).or_default() += 1;
+    }
+    // one-sample χ² against the exact PMF over all 24 permutations
+    let mut statistic = 0.0;
+    for pi in Permutation::enumerate_all(4) {
+        let expected = model.pmf(&pi).unwrap() * draws as f64;
+        let observed = *counts.get(pi.as_order()).unwrap_or(&0) as f64;
+        let d = observed - expected;
+        statistic += d * d / expected;
+    }
+    // χ²_23: 99.99th percentile ≈ 58.6
+    assert!(statistic < 70.0, "χ² = {statistic:.1} over 23 dof");
+}
+
+#[test]
+fn expected_kendall_distance_is_preserved() {
+    // the closed-form E[d_KT] was derived for the original sampler;
+    // the table sampler must reproduce it
+    let n = 200;
+    for theta in [0.1f64, 0.5, 1.5] {
+        let model = MallowsModel::new(Permutation::identity(n), theta).unwrap();
+        let mut sampler = model.sampler();
+        let mut rng = StdRng::seed_from_u64(707);
+        let draws = 3_000;
+        let mut total = 0u64;
+        let mut out = Permutation::identity(0);
+        for _ in 0..draws {
+            sampler.sample_into(&mut out, &mut rng);
+            total += sampler.code_total();
+        }
+        let mean = total as f64 / draws as f64;
+        let expect = model.expected_kendall_tau();
+        assert!(
+            (mean - expect).abs() < 0.05 * expect.max(1.0),
+            "θ={theta}: MC mean {mean:.2} vs closed form {expect:.2}"
+        );
+    }
+}

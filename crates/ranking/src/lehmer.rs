@@ -43,6 +43,131 @@ pub fn decode_insertion_code(reference: &Permutation, code: &[usize]) -> Result<
     }
 }
 
+/// Streaming insert decode: stage `j`'s inversion count is produced on
+/// the fly by `stage(j)` (which must return a value in `0..j`) and the
+/// item is inserted immediately, so no code buffer exists at all. `out`
+/// is refilled in place, reusing its buffer.
+///
+/// Cost is `Σ stage(j)` moved elements — the right tool for samplers
+/// whose stage values are concentrated near zero. For adversarial or
+/// uniform codes prefer [`decode_insertion_code_into`], which can fall
+/// back to the `O(n log n)` Fenwick path.
+///
+/// # Panics
+/// Panics when `stage(j)` returns a value outside `0..j`.
+pub fn decode_streaming_into(
+    reference: &Permutation,
+    out: &mut Permutation,
+    mut stage: impl FnMut(usize) -> usize,
+) {
+    let n = reference.len();
+    let order = out.order_mut();
+    order.clear();
+    order.reserve(n);
+    for j in 1..=n {
+        let v = stage(j);
+        assert!(v < j, "stage {j} produced out-of-range inversion count {v}");
+        order.insert(j - 1 - v, reference.item_at(j - 1));
+    }
+}
+
+/// Reusable buffers for [`decode_insertion_code_into`], so hot sampling
+/// loops decode without touching the allocator.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeScratch {
+    tree: Vec<usize>,
+}
+
+impl DecodeScratch {
+    /// Empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        DecodeScratch::default()
+    }
+}
+
+/// Decode an insertion code into an existing permutation, reusing both
+/// the output buffer and `scratch` — zero allocations once the buffers
+/// have grown to size `n`.
+///
+/// The decode strategy is chosen per call from the code itself: the
+/// insert-based decoder moves `Σ code` elements in total (tiny for the
+/// concentrated codes Mallows sampling produces at moderate `θ`), the
+/// Fenwick decoder costs `O(n log n)` regardless; whichever bound is
+/// smaller wins. Output is identical either way.
+///
+/// Errors (leaving `out` in an unspecified but valid-to-drop state)
+/// when the code length mismatches or an entry is out of stage range.
+pub fn decode_insertion_code_into(
+    reference: &Permutation,
+    code: &[usize],
+    scratch: &mut DecodeScratch,
+    out: &mut Permutation,
+) -> Result<()> {
+    let n = reference.len();
+    if code.len() != n {
+        return Err(RankingError::LengthMismatch {
+            left: n,
+            right: code.len(),
+        });
+    }
+    for (idx, &v) in code.iter().enumerate() {
+        if v > idx {
+            return Err(RankingError::NotAPermutation {
+                len: n,
+                offending: Some(v),
+            });
+        }
+    }
+    let total: usize = code.iter().sum();
+    let fenwick_cost = 2 * n * (usize::BITS - n.leading_zeros()) as usize;
+    if n < FENWICK_THRESHOLD || total <= fenwick_cost {
+        let order = out.order_mut();
+        order.clear();
+        order.reserve(n);
+        for j in 1..=n {
+            order.insert(j - 1 - code[j - 1], reference.item_at(j - 1));
+        }
+    } else {
+        let order = out.order_mut();
+        order.clear();
+        order.resize(n, usize::MAX);
+        let tree = &mut scratch.tree;
+        tree.clear();
+        tree.resize(n + 1, 0);
+        for i in 1..=n {
+            tree[i] += 1;
+            let next = i + (i & i.wrapping_neg());
+            if next <= n {
+                tree[next] += tree[i];
+            }
+        }
+        let log = usize::BITS - n.leading_zeros();
+        for j in (1..=n).rev() {
+            let rank = j - code[j - 1];
+            // find the slot holding the `rank`-th remaining unit …
+            let mut k = rank;
+            let mut pos = 0usize;
+            let mut step = 1usize << log;
+            while step > 0 {
+                let next = pos + step;
+                if next <= n && tree[next] < k {
+                    k -= tree[next];
+                    pos = next;
+                }
+                step >>= 1;
+            }
+            // … remove it and place the item there
+            let mut i = pos + 1;
+            while i <= n {
+                tree[i] -= 1;
+                i += i & i.wrapping_neg();
+            }
+            order[pos] = reference.item_at(j - 1);
+        }
+    }
+    Ok(())
+}
+
 /// Inverse of decoding: the insertion code of `pi` relative to
 /// `reference` (such that `decode_insertion_code(reference, code) == pi`).
 pub fn encode_insertion_code(reference: &Permutation, pi: &Permutation) -> Result<Vec<usize>> {
@@ -222,5 +347,41 @@ mod tests {
     fn empty_code() {
         let r = Permutation::identity(0);
         assert_eq!(decode_insertion_code(&r, &[]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn decode_into_matches_decode_on_random_codes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut scratch = DecodeScratch::new();
+        let mut out = Permutation::identity(0);
+        for n in [0usize, 1, 5, 64, 200, 400] {
+            let r = Permutation::random(n, &mut rng);
+            for _ in 0..5 {
+                let code = random_code(n, &mut rng);
+                decode_insertion_code_into(&r, &code, &mut scratch, &mut out).unwrap();
+                assert_eq!(out, decode_insertion_code(&r, &code).unwrap(), "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_into_concentrated_codes_take_the_insert_path() {
+        // all-zero code (the θ → ∞ limit) must reproduce the reference
+        // through the memmove path even for large n
+        let n = 500;
+        let r = Permutation::random(n, &mut StdRng::seed_from_u64(5));
+        let mut scratch = DecodeScratch::new();
+        let mut out = Permutation::identity(0);
+        decode_insertion_code_into(&r, &vec![0; n], &mut scratch, &mut out).unwrap();
+        assert_eq!(out, r);
+    }
+
+    #[test]
+    fn decode_into_rejects_invalid_codes() {
+        let r = Permutation::identity(3);
+        let mut scratch = DecodeScratch::new();
+        let mut out = Permutation::identity(3);
+        assert!(decode_insertion_code_into(&r, &[0, 0], &mut scratch, &mut out).is_err());
+        assert!(decode_insertion_code_into(&r, &[0, 2, 0], &mut scratch, &mut out).is_err());
     }
 }

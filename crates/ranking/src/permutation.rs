@@ -18,9 +18,25 @@ use rand::Rng;
 /// assert_eq!(pi.position_of(2), 0);
 /// assert_eq!(pi.inverse().as_order(), &[1, 2, 0]); // position of each item
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct Permutation {
     order: Vec<usize>,
+}
+
+impl Clone for Permutation {
+    fn clone(&self) -> Self {
+        Permutation {
+            order: self.order.clone(),
+        }
+    }
+
+    /// Buffer-reusing clone: overwrites `self` in place without
+    /// reallocating when capacity suffices. Hot sampling loops
+    /// (`RimSampler`, the streaming Algorithm 1) rely on this to stay
+    /// allocation-free while tracking a best-so-far permutation.
+    fn clone_from(&mut self, source: &Self) {
+        self.order.clone_from(&source.order);
+    }
 }
 
 impl Permutation {
@@ -86,6 +102,30 @@ impl Permutation {
             "from_order_unchecked received a non-permutation"
         );
         Permutation { order }
+    }
+
+    /// In-place counterpart of [`Permutation::from_order_unchecked`]:
+    /// hands the internal buffer to `fill`, which must leave it a valid
+    /// order vector. Lets hot sampling paths rebuild a ranking without
+    /// reallocating.
+    ///
+    /// Debug builds assert validity after the closure runs.
+    pub fn refill_unchecked(&mut self, fill: impl FnOnce(&mut Vec<usize>)) {
+        fill(&mut self.order);
+        debug_assert!(
+            {
+                let mut seen = vec![false; self.order.len()];
+                self.order.iter().all(|&i| {
+                    if i < seen.len() && !seen[i] {
+                        seen[i] = true;
+                        true
+                    } else {
+                        false
+                    }
+                })
+            },
+            "refill_unchecked left a non-permutation"
+        );
     }
 
     /// Ranking that sorts items by **descending** score, ties broken by
@@ -211,6 +251,13 @@ impl Permutation {
     /// Consume into the order vector.
     pub fn into_order(self) -> Vec<usize> {
         self.order
+    }
+
+    /// Crate-internal mutable access to the order buffer, for decoders
+    /// that refill a permutation in place (callers must restore the
+    /// permutation invariant before returning).
+    pub(crate) fn order_mut(&mut self) -> &mut Vec<usize> {
+        &mut self.order
     }
 
     /// Enumerate all `n!` permutations of `n` items (test/bench helper;

@@ -17,6 +17,8 @@ fn start_server() -> fairrank_engine::server::ServerHandle {
         workers: 4,
         queue_capacity: 64,
         cache_capacity: 64,
+
+        table_cache_capacity: 16,
     });
     Server::bind("127.0.0.1:0", engine)
         .expect("binding an ephemeral port")
