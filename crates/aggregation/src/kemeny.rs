@@ -12,7 +12,10 @@ use rand::Rng;
 use ranking_core::{distance, Permutation};
 
 /// Total Kendall tau distance from `pi` to all votes — the Kemeny
-/// objective.
+/// objective. `O(v · n log n)`: one merge-sort-based distance per
+/// vote. Kept as the reference implementation (and test oracle) for
+/// [`total_kendall_distance_from_wins`], which is the one to call when
+/// evaluating many candidate rankings against the same votes.
 pub fn total_kendall_distance(pi: &Permutation, votes: &[Permutation]) -> Result<u64> {
     validate(votes)?;
     let mut total = 0u64;
@@ -26,13 +29,36 @@ pub fn total_kendall_distance(pi: &Permutation, votes: &[Permutation]) -> Result
     Ok(total)
 }
 
-/// Exact Kemeny consensus by enumeration — `O(n!)`; intended for
+/// The Kemeny objective read off a precomputed [`pairwise_wins`]
+/// matrix in `O(n²)`, independent of the number of votes: each ordered
+/// pair `(a, b)` with `a` ranked before `b` in `order` costs one
+/// inversion per vote preferring `b` — that is, `wins[b][a]`.
+///
+/// Equal to [`total_kendall_distance`] whenever `wins` came from
+/// `pairwise_wins(votes)` and `order` is a permutation of `0..n`;
+/// evaluating `k` candidates costs `O(v·n² + k·n²)` instead of
+/// `O(k · v · n log n)`, which is what makes exhaustive enumeration
+/// and repeated local-search scoring affordable.
+pub fn total_kendall_distance_from_wins(wins: &[Vec<usize>], order: &[usize]) -> u64 {
+    let mut total = 0u64;
+    for (pos, &a) in order.iter().enumerate() {
+        for &b in &order[pos + 1..] {
+            total += wins[b][a] as u64;
+        }
+    }
+    total
+}
+
+/// Exact Kemeny consensus by enumeration — `O(n!)` candidates, each
+/// scored in `O(n²)` off the pairwise-wins matrix (instead of the old
+/// `O(v · n log n)` per-vote merge sorts per candidate); intended for
 /// `n ≤ 9` (oracle in tests, exact answers for tiny instances).
 pub fn kemeny_exact(votes: &[Permutation]) -> Result<Permutation> {
     let n = validate(votes)?;
+    let wins = pairwise_wins(votes)?;
     let mut best: Option<(u64, Permutation)> = None;
     for pi in Permutation::enumerate_all(n) {
-        let d = total_kendall_distance(&pi, votes)?;
+        let d = total_kendall_distance_from_wins(&wins, pi.as_order());
         if best.as_ref().is_none_or(|(b, _)| d < *b) {
             best = Some((d, pi));
         }
@@ -86,12 +112,14 @@ fn quicksort<R: Rng + ?Sized>(
 
 /// Adjacent-transposition local search: repeatedly apply the best
 /// improving adjacent swap until a local optimum. Never worsens the
-/// Kemeny objective; `O(passes · n · votes · n log n)` worst case.
+/// Kemeny objective; `O(passes · n²)` off the pairwise-wins matrix —
+/// no per-candidate distance recomputation.
 pub fn local_search(start: &Permutation, votes: &[Permutation]) -> Result<Permutation> {
     validate(votes)?;
     let n = start.len();
     let wins = pairwise_wins(votes)?;
     let mut order = start.as_order().to_vec();
+    let mut objective = total_kendall_distance_from_wins(&wins, &order);
     // Swapping adjacent (a at k, b at k+1) changes the objective by
     // wins[a][b] − wins[b][a] (votes preferring a before b now pay one
     // more inversion each, the others one fewer).
@@ -101,13 +129,19 @@ pub fn local_search(start: &Permutation, votes: &[Permutation]) -> Result<Permut
             let (a, b) = (order[k], order[k + 1]);
             if wins[b][a] > wins[a][b] {
                 order.swap(k, k + 1);
+                objective -= (wins[b][a] - wins[a][b]) as u64;
                 improved = true;
             }
         }
+        // the running objective must agree with a from-scratch O(n²)
+        // evaluation after every pass — cheap insurance that the
+        // incremental deltas stay sound
+        debug_assert_eq!(objective, total_kendall_distance_from_wins(&wins, &order));
         if !improved {
             break;
         }
     }
+    let _ = objective;
     Ok(Permutation::from_order_unchecked(order))
 }
 
@@ -185,6 +219,43 @@ mod tests {
         let mut sorted = out.as_order().to_vec();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wins_matrix_objective_matches_per_vote_oracle() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [2usize, 5, 9, 14] {
+            for votes_count in [1usize, 4, 7] {
+                let votes: Vec<Permutation> = (0..votes_count)
+                    .map(|_| Permutation::random(n, &mut rng))
+                    .collect();
+                let wins = crate::pairwise_wins(&votes).unwrap();
+                for _ in 0..5 {
+                    let pi = Permutation::random(n, &mut rng);
+                    assert_eq!(
+                        total_kendall_distance_from_wins(&wins, pi.as_order()),
+                        total_kendall_distance(&pi, &votes).unwrap(),
+                        "n = {n}, votes = {votes_count}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_kemeny_agrees_with_per_vote_oracle_scoring() {
+        // kemeny_exact now scores candidates off the wins matrix; the
+        // winner must still minimize the per-vote oracle objective
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..10 {
+            let votes: Vec<Permutation> =
+                (0..5).map(|_| Permutation::random(5, &mut rng)).collect();
+            let best = kemeny_exact(&votes).unwrap();
+            let best_d = total_kendall_distance(&best, &votes).unwrap();
+            for pi in Permutation::enumerate_all(5) {
+                assert!(total_kendall_distance(&pi, &votes).unwrap() >= best_d);
+            }
+        }
     }
 
     #[test]

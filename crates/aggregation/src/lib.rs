@@ -33,7 +33,9 @@ pub use borda::borda;
 pub use condorcet::{condorcet_winner, is_condorcet_order, smith_set};
 pub use copeland::copeland;
 pub use footrule::footrule_optimal;
-pub use kemeny::{kemeny_exact, kwik_sort, local_search, total_kendall_distance};
+pub use kemeny::{
+    kemeny_exact, kwik_sort, local_search, total_kendall_distance, total_kendall_distance_from_wins,
+};
 pub use markov::{markov_chain_aggregate, ChainKind, MarkovConfig};
 
 use ranking_core::Permutation;

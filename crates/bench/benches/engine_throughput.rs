@@ -38,6 +38,7 @@ fn engine() -> Arc<Engine> {
         cache_capacity: 4096,
 
         table_cache_capacity: 16,
+        cache_shards: 0,
     })
 }
 

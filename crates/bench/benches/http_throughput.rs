@@ -1,0 +1,180 @@
+//! HTTP serving-path throughput: the keep-alive I/O reactor versus the
+//! pre-reactor thread-per-connection baseline (kept behind
+//! `ServerConfig::thread_per_conn`).
+//!
+//! N client threads issue small `/rank` bodies. Against the reactor
+//! each client holds one keep-alive connection for its whole batch;
+//! against the baseline each request opens a fresh connection and is
+//! answered `Connection: close` — exactly the old serving model (one
+//! thread spawn + one TCP handshake per request).
+//!
+//! The request body is identical across requests, so after the first
+//! execution every response is a result-cache hit and the measurement
+//! isolates the HTTP layer — which is the layer this bench guards
+//! (the reactor's warm path is allocation-free; see
+//! `crates/engine/tests/alloc_audit.rs` for the counting-allocator
+//! proof and `engine_throughput.rs` for the compute path).
+//!
+//! Not a criterion bench on purpose: it prints one JSON summary line
+//! per mode (and a final speedup line) so the perf trajectory can be
+//! tracked across PRs:
+//!
+//! ```text
+//! {"bench":"http_throughput","mode":"reactor_keepalive",...,"req_per_s":NNNN}
+//! ```
+//!
+//! Pass `--smoke` (CI does) for a 1-iteration-sized run that only
+//! checks the harness completes.
+
+use fairrank_engine::server::{Server, ServerConfig, ServerHandle};
+use fairrank_engine::{Engine, EngineConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Small, fixed `/rank` body (result-cache hit after the first run).
+const BODY: &str = r#"{"algorithm":"weakly-fair","scores":[0.9,0.8,0.4,0.3],"groups":[0,0,1,1],"tolerance":0.2,"seed":7}"#;
+
+const CLIENT_THREADS: usize = 8;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let per_thread = if smoke { 25 } else { 1000 };
+
+    let baseline = run_mode("thread_per_conn_close", true, per_thread);
+    let reactor = run_mode("reactor_keepalive", false, per_thread);
+    let speedup = reactor / baseline;
+    println!(
+        "{{\"bench\":\"http_throughput\",\"mode\":\"summary\",\"threads\":{CLIENT_THREADS},\"requests_per_thread\":{per_thread},\"speedup\":{speedup:.2}}}"
+    );
+}
+
+fn run_mode(name: &str, thread_per_conn: bool, per_thread: usize) -> f64 {
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        queue_capacity: 1024,
+        cache_capacity: 1024,
+        table_cache_capacity: 16,
+        cache_shards: 0,
+    });
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        engine,
+        ServerConfig {
+            thread_per_conn,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("binding an ephemeral port")
+    .spawn();
+    let addr = server.addr();
+
+    // warm: populate the result cache and any lazy state
+    one_shot_request(addr);
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..CLIENT_THREADS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                if thread_per_conn {
+                    for _ in 0..per_thread {
+                        one_shot_request(addr);
+                    }
+                } else {
+                    keep_alive_batch(addr, per_thread);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    shutdown(server);
+
+    let total = CLIENT_THREADS * per_thread;
+    let req_per_s = total as f64 / elapsed.as_secs_f64();
+    println!(
+        "{{\"bench\":\"http_throughput\",\"mode\":\"{name}\",\"threads\":{CLIENT_THREADS},\"requests\":{total},\"elapsed_ms\":{:.1},\"req_per_s\":{req_per_s:.0}}}",
+        elapsed.as_secs_f64() * 1e3
+    );
+    req_per_s
+}
+
+fn shutdown(server: ServerHandle) {
+    server.shutdown();
+}
+
+/// One request on a fresh connection, `Connection: close` — the old
+/// serving model's traffic shape.
+fn one_shot_request(addr: SocketAddr) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let request = format!(
+        "POST /rank HTTP/1.1\r\nhost: bench\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{BODY}",
+        BODY.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    assert_status_200(&response);
+}
+
+/// `count` sequential requests over one keep-alive connection.
+fn keep_alive_batch(addr: SocketAddr, count: usize) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let request = format!(
+        "POST /rank HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{BODY}",
+        BODY.len()
+    );
+    let mut buf: Vec<u8> = Vec::new();
+    for _ in 0..count {
+        stream.write_all(request.as_bytes()).expect("write request");
+        read_one_response(&mut stream, &mut buf);
+    }
+}
+
+/// Read exactly one `content-length`-framed response from the stream.
+/// (A sibling reader lives in `tests/engine_http.rs` — keep framing
+/// changes in sync.)
+fn read_one_response(stream: &mut TcpStream, buf: &mut Vec<u8>) {
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk).expect("read response head");
+        assert!(n > 0, "connection closed mid-response");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    assert_status_200(&buf[..head_end]);
+    let head = std::str::from_utf8(&buf[..head_end]).expect("utf-8 head");
+    let content_length: usize = head
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .expect("content-length header");
+    while buf.len() < head_end + content_length {
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk).expect("read response body");
+        assert!(n > 0, "connection closed mid-body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    buf.drain(..head_end + content_length);
+}
+
+fn assert_status_200(response: &[u8]) {
+    assert!(
+        response.starts_with(b"HTTP/1.1 200"),
+        "unexpected response: {}",
+        String::from_utf8_lossy(&response[..response.len().min(200)])
+    );
+}

@@ -41,9 +41,10 @@ pub fn dispatch(args: &Args) -> Result<String> {
 /// Binds `--host:--port` (port 0 picks an ephemeral port, printed on
 /// stdout before serving), builds an engine with `--workers` threads, a
 /// `--queue`-bounded job queue and a `--cache`-sized LRU result cache,
-/// then blocks serving requests until the process is terminated.
+/// and serves keep-alive HTTP/1.1 on a fixed pool of `--io-threads`
+/// I/O workers (0 = one per CPU) until the process is terminated.
 pub fn serve(args: &Args) -> Result<String> {
-    use fairrank_engine::server::Server;
+    use fairrank_engine::server::{Server, ServerConfig};
     use fairrank_engine::{Engine, EngineConfig};
 
     let host = args.get("host").unwrap_or("127.0.0.1");
@@ -56,16 +57,32 @@ pub fn serve(args: &Args) -> Result<String> {
         queue_capacity: args.get_usize("queue", 256)?,
         cache_capacity: args.get_usize("cache", 1024)?,
         table_cache_capacity: args.get_usize("table-cache", 64)?,
+        cache_shards: args.get_usize("cache-shards", 0)?,
+    };
+    let server_config = ServerConfig {
+        io_threads: args.get_usize("io-threads", 0)?,
+        max_requests_per_conn: args.get_usize("max-conn-requests", 1024)?.max(1),
+        idle_timeout: std::time::Duration::from_millis(
+            args.get_u64("idle-timeout-ms", 5_000)?.max(1),
+        ),
+        pending_connections: args.get_usize("pending", 1024)?.max(1),
+        thread_per_conn: false,
     };
     let workers = config.workers;
+    let io_threads = server_config.io_threads;
     let engine = Engine::new(config);
-    let server = Server::bind(&format!("{host}:{port}"), engine)
+    let server = Server::bind_with(&format!("{host}:{port}"), engine, server_config)
         .map_err(|e| CliError::Input(format!("cannot bind {host}:{port}: {e}")))?;
     // announce the bound address eagerly (and flushed) so scripts and
     // tests targeting `--port 0` can discover the ephemeral port
     println!(
-        "fairrank: serving on http://{} ({workers} workers)",
-        server.local_addr()
+        "fairrank: serving on http://{} ({workers} workers, {} io threads)",
+        server.local_addr(),
+        if io_threads == 0 {
+            "auto".to_string()
+        } else {
+            io_threads.to_string()
+        }
     );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();

@@ -104,15 +104,23 @@ PIPELINE:
         --seed        RNG seed for reproducible runs   (default 42)
 
 SERVE:
-    fairrank serve [--host H] [--port P] [--workers N]
+    fairrank serve [--host H] [--port P] [--workers N] [--io-threads N]
         --host        bind address                     (default 127.0.0.1)
         --port        TCP port (0 = ephemeral)         (default 8080)
-        --workers     worker threads                   (default 4)
+        --workers     job worker threads               (default 4)
         --queue       bounded job-queue capacity       (default 256)
         --cache       LRU result-cache capacity        (default 1024)
         --table-cache sampler-table cache (n, θ) slots (default 64)
+        --cache-shards     cache shard count (0 = auto)     (default 0)
+        --io-threads       keep-alive I/O workers (0 = one per CPU)
+        --max-conn-requests requests served per connection  (default 1024)
+        --idle-timeout-ms  keep-alive idle timeout          (default 5000)
+        --pending          accepted-connection backlog      (default 1024)
     Routes: POST /rank | /aggregate | /pipeline, GET /healthz | /stats.
     Request fields mirror the flags above (scores/votes/groups inline).
+    Connections are HTTP/1.1 keep-alive; send `Connection: close` to
+    end one, or it closes after --max-conn-requests requests or
+    --idle-timeout-ms of silence.
 
 Candidate CSV: one `id,score,group` row per candidate (header allowed).
 Vote CSV: one comma-separated ranking of item labels per line.

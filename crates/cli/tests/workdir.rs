@@ -308,7 +308,11 @@ fn serve_starts_and_answers_healthz() {
         .to_string();
 
     let mut stream = std::net::TcpStream::connect(&addr).expect("connecting to fairrank serve");
-    write!(stream, "GET /healthz HTTP/1.1\r\nhost: localhost\r\n\r\n").unwrap();
+    write!(
+        stream,
+        "GET /healthz HTTP/1.1\r\nhost: localhost\r\nconnection: close\r\n\r\n"
+    )
+    .unwrap();
     let mut response = String::new();
     stream.read_to_string(&mut response).unwrap();
     child.kill().expect("stopping the server");

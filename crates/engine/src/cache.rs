@@ -4,10 +4,15 @@
 //! cache hit costs one `Arc` clone. The recency list is an intrusive
 //! doubly-linked list over a slab `Vec`, giving O(1) get / insert /
 //! evict with zero unsafe code.
+//!
+//! The engine wraps the single-threaded [`LruCache`] in a
+//! [`ShardedLru`]: `N` independent shards, each behind its own mutex,
+//! selected by a mix of the key hash — so concurrent requests for
+//! different digests no longer serialize on one cache-wide lock.
 
 use crate::job::RankResult;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 const NIL: usize = usize::MAX;
 
@@ -133,6 +138,101 @@ impl LruCache {
     }
 }
 
+/// A result cache split into power-of-two shards, each an independent
+/// [`LruCache`] behind its own mutex. The shard for a key is chosen by
+/// a Fibonacci multiplicative mix of the digest, so contention scales
+/// down with the shard count while each shard keeps exact LRU order.
+pub struct ShardedLru {
+    shards: Vec<Mutex<LruCache>>,
+    mask: u64,
+}
+
+impl ShardedLru {
+    /// Build a cache of `capacity` total entries over `shards` shards
+    /// (rounded up to a power of two, at least 1). Each shard holds
+    /// `ceil(capacity / shards)` entries, so the effective total can
+    /// round up slightly; [`ShardedLru::capacity`] reports the real
+    /// bound. A `capacity` of 0 disables caching.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(shards)
+        };
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect(),
+            mask: shards as u64 - 1,
+        }
+    }
+
+    /// Pick a shard count for `capacity` on this machine: one shard per
+    /// CPU (capped at 16) but never so many that a shard would hold
+    /// fewer than ~4 entries, and a single shard for tiny caches so the
+    /// configured capacity stays exact.
+    pub fn auto_shards(capacity: usize) -> usize {
+        if capacity == 0 {
+            return 1;
+        }
+        let by_cpu = crate::tables::available_parallelism()
+            .next_power_of_two()
+            .min(16);
+        let by_capacity = (capacity / 4).max(1).next_power_of_two();
+        by_cpu.min(by_capacity)
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<LruCache> {
+        // Fibonacci hash: spread FNV digests (whose low bits carry the
+        // last input bytes) across shards via the high bits of a
+        // golden-ratio multiply
+        let mixed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(mixed & self.mask) as usize]
+    }
+
+    /// Look up a digest, marking the entry most-recently-used within
+    /// its shard.
+    pub fn get(&self, key: u64) -> Option<Arc<RankResult>> {
+        self.shard(key).lock().expect("cache shard lock").get(key)
+    }
+
+    /// Insert (or refresh) a result, evicting within the key's shard
+    /// when that shard is full.
+    pub fn insert(&self, key: u64, value: Arc<RankResult>) {
+        self.shard(key)
+            .lock()
+            .expect("cache shard lock")
+            .insert(key, value);
+    }
+
+    /// Number of cached results across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").len())
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity (per-shard capacity × shard count).
+    pub fn capacity(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").capacity())
+            .sum()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,5 +306,73 @@ mod tests {
         c.insert(2, result(2));
         assert!(c.get(1).is_none());
         assert_eq!(c.get(2).unwrap().ranking, vec![2]);
+    }
+
+    #[test]
+    fn sharded_hit_and_miss() {
+        let c = ShardedLru::new(64, 4);
+        assert_eq!(c.shard_count(), 4);
+        assert!(c.get(1).is_none());
+        c.insert(1, result(1));
+        assert_eq!(c.get(1).unwrap().ranking, vec![1]);
+        assert!(c.get(2).is_none());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.capacity(), 64);
+    }
+
+    #[test]
+    fn sharded_len_never_exceeds_capacity() {
+        let c = ShardedLru::new(16, 4);
+        for key in 0..500u64 {
+            c.insert(key, result(key as usize));
+        }
+        assert!(c.len() <= c.capacity(), "{} > {}", c.len(), c.capacity());
+        assert!(c.len() >= 4, "every shard should retain something");
+    }
+
+    #[test]
+    fn sharded_zero_capacity_disables_caching() {
+        let c = ShardedLru::new(0, 8);
+        c.insert(1, result(1));
+        assert!(c.get(1).is_none());
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 0);
+    }
+
+    #[test]
+    fn sharded_shard_count_rounds_to_power_of_two() {
+        assert_eq!(ShardedLru::new(64, 3).shard_count(), 4);
+        assert_eq!(ShardedLru::new(64, 0).shard_count(), 1);
+    }
+
+    #[test]
+    fn auto_shards_keeps_tiny_caches_exact() {
+        assert_eq!(ShardedLru::auto_shards(0), 1);
+        assert_eq!(ShardedLru::auto_shards(1), 1);
+        assert_eq!(ShardedLru::auto_shards(3), 1);
+        // large caches may shard (bounded by CPU count, so ≥ 1)
+        assert!(ShardedLru::auto_shards(4096) >= 1);
+        assert!(ShardedLru::auto_shards(4096) <= 16);
+    }
+
+    #[test]
+    fn sharded_concurrent_access_is_safe() {
+        let c = Arc::new(ShardedLru::new(256, 8));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..64u64 {
+                        let key = t * 64 + i;
+                        c.insert(key, result(key as usize));
+                        assert!(c.get(key).is_some());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.len() <= c.capacity());
     }
 }

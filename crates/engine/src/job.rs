@@ -181,6 +181,48 @@ impl RankResult {
             .map(|(_, v)| *v)
     }
 
+    /// Serialize the response body directly into `out`, byte-identical
+    /// to `to_json().to_string()` but without building the intermediate
+    /// [`Json`] tree — the HTTP workers call this with a reusable
+    /// buffer so a warm request serializes with zero allocations.
+    pub fn write_json(&self, out: &mut String) {
+        fn write_index_array(indices: &[usize], out: &mut String) {
+            out.push('[');
+            for (i, idx) in indices.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{idx}");
+            }
+            out.push(']');
+        }
+
+        out.push_str("{\"algorithm\":");
+        crate::json::write_string(&self.algorithm, out);
+        match &self.consensus {
+            Some(consensus) => {
+                out.push_str(",\"consensus\":");
+                write_index_array(consensus, out);
+                out.push_str(",\"fair_ranking\":");
+                write_index_array(&self.ranking, out);
+            }
+            None => {
+                out.push_str(",\"ranking\":");
+                write_index_array(&self.ranking, out);
+            }
+        }
+        out.push_str(",\"metrics\":{");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::write_string(name, out);
+            out.push(':');
+            crate::json::write_number(*value, out);
+        }
+        out.push_str("}}");
+    }
+
     /// JSON body served for this result. Pipeline results carry both
     /// `consensus` and `fair_ranking`; plain jobs carry `ranking`.
     pub fn to_json(&self) -> Json {
@@ -270,6 +312,35 @@ mod tests {
         let text = pipe.to_json().to_string();
         assert!(text.contains("\"consensus\":[0,1]"), "{text}");
         assert!(text.contains("\"fair_ranking\":[1,0]"), "{text}");
+    }
+
+    #[test]
+    fn write_json_matches_to_json_exactly() {
+        let results = [
+            RankResult {
+                algorithm: "borda".into(),
+                ranking: vec![2, 0, 1],
+                consensus: None,
+                metrics: vec![("ndcg".into(), 0.9321), ("count".into(), 4.0)],
+            },
+            RankResult {
+                algorithm: "pipeline".into(),
+                ranking: vec![1, 0],
+                consensus: Some(vec![0, 1]),
+                metrics: vec![],
+            },
+            RankResult {
+                algorithm: "weird \"name\"".into(),
+                ranking: vec![],
+                consensus: None,
+                metrics: vec![("nan".into(), f64::NAN)],
+            },
+        ];
+        for result in &results {
+            let mut direct = String::from("junk"); // appends, never clears
+            result.write_json(&mut direct);
+            assert_eq!(direct[4..], result.to_json().to_string());
+        }
     }
 
     #[test]

@@ -5,6 +5,19 @@
 //! UTF-8 strings with `\uXXXX` escapes, f64 numbers, arrays, objects
 //! (insertion-ordered, which keeps responses and job digests stable),
 //! booleans and null.
+//!
+//! Two parser front-ends share the grammar:
+//!
+//! * [`Json::parse`] builds an owned tree of `String`s and `Vec`s —
+//!   convenient for building responses and for tests;
+//! * [`JsonArena::parse`] parses into a caller-owned arena of flat
+//!   nodes plus one shared text buffer. Re-parsing into a warm arena
+//!   performs **zero heap allocations** (all buffers retain their
+//!   capacity), which is what the keep-alive HTTP workers use on their
+//!   per-request hot path.
+//!
+//! The serializer is likewise buffer-reusing: [`Json::write_into`]
+//! appends to a caller-provided `String` instead of allocating one.
 
 use std::fmt::Write as _;
 
@@ -68,21 +81,17 @@ impl Json {
         Ok(value)
     }
 
+    /// Serialize into `out` without allocating a fresh `String`
+    /// (beyond whatever growth `out` itself needs).
+    pub fn write_into(&self, out: &mut String) {
+        self.write(out);
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Number(x) => {
-                if x.is_finite() {
-                    if *x == x.trunc() && x.abs() < 9.0e15 {
-                        let _ = write!(out, "{}", *x as i64);
-                    } else {
-                        let _ = write!(out, "{x}");
-                    }
-                } else {
-                    out.push_str("null"); // JSON has no NaN/inf
-                }
-            }
+            Json::Number(x) => write_number(*x, out),
             Json::String(s) => write_string(s, out),
             Json::Array(items) => {
                 out.push('[');
@@ -173,7 +182,22 @@ impl Json {
     }
 }
 
-fn write_string(s: &str, out: &mut String) {
+/// Serialize an `f64` with the engine's canonical number format
+/// (integers without a fraction, non-finite values as `null`).
+pub(crate) fn write_number(x: f64, out: &mut String) {
+    if x.is_finite() {
+        if x == x.trunc() && x.abs() < 9.0e15 {
+            let _ = write!(out, "{}", x as i64);
+        } else {
+            let _ = write!(out, "{x}");
+        }
+    } else {
+        out.push_str("null"); // JSON has no NaN/inf
+    }
+}
+
+/// Serialize an escaped JSON string literal (quotes included).
+pub(crate) fn write_string(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -210,30 +234,33 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         None => fail("unexpected end of input", *pos),
         Some(b'{') => parse_object(bytes, pos),
         Some(b'[') => parse_array(bytes, pos),
-        Some(b'"') => Ok(Json::String(parse_string(bytes, pos)?)),
-        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
-        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
-        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(b'"') => {
+            let mut s = String::new();
+            parse_string_into(bytes, pos, &mut s)?;
+            Ok(Json::String(s))
+        }
+        Some(b't') => parse_literal(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null").map(|()| Json::Null),
         Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
         Some(_) => fail("unexpected character", *pos),
     }
 }
 
-fn parse_literal(
-    bytes: &[u8],
-    pos: &mut usize,
-    literal: &str,
-    value: Json,
-) -> Result<Json, JsonError> {
+fn parse_literal(bytes: &[u8], pos: &mut usize, literal: &str) -> Result<(), JsonError> {
     if bytes[*pos..].starts_with(literal.as_bytes()) {
         *pos += literal.len();
-        Ok(value)
+        Ok(())
     } else {
         fail("invalid literal", *pos)
     }
 }
 
 fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    parse_number_raw(bytes, pos).map(Json::Number)
+}
+
+fn parse_number_raw(bytes: &[u8], pos: &mut usize) -> Result<f64, JsonError> {
     let start = *pos;
     if bytes.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -248,21 +275,22 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         offset: start,
     })?;
     match text.parse::<f64>() {
-        Ok(x) if x.is_finite() => Ok(Json::Number(x)),
+        Ok(x) if x.is_finite() => Ok(x),
         _ => fail("invalid number", start),
     }
 }
 
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+/// Unescape a string literal, appending to `out` (no allocation when
+/// `out` has capacity — the arena parser's hot path).
+fn parse_string_into(bytes: &[u8], pos: &mut usize, out: &mut String) -> Result<(), JsonError> {
     debug_assert_eq!(bytes[*pos], b'"');
     *pos += 1;
-    let mut out = String::new();
     loop {
         match bytes.get(*pos) {
             None => return fail("unterminated string", *pos),
             Some(b'"') => {
                 *pos += 1;
-                return Ok(out);
+                return Ok(());
             }
             Some(b'\\') => {
                 *pos += 1;
@@ -345,7 +373,8 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         if bytes.get(*pos) != Some(&b'"') {
             return fail("expected string key", *pos);
         }
-        let key = parse_string(bytes, pos)?;
+        let mut key = String::new();
+        parse_string_into(bytes, pos, &mut key)?;
         skip_ws(bytes, pos);
         if bytes.get(*pos) != Some(&b':') {
             return fail("expected `:`", *pos);
@@ -364,6 +393,363 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         }
     }
 }
+
+const NIL: u32 = u32::MAX;
+
+/// Byte range into a [`JsonArena`]'s shared text buffer.
+#[derive(Debug, Clone, Copy)]
+struct TextSpan {
+    start: u32,
+    end: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ArenaValue {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(TextSpan),
+    Array { first: u32, len: u32 },
+    Object { first: u32, len: u32 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ArenaNode {
+    value: ArenaValue,
+    /// Next sibling inside the enclosing container (`NIL` when last).
+    next: u32,
+    /// Key range for object members (unused elsewhere).
+    key: TextSpan,
+}
+
+/// A reusable JSON parse arena: flat nodes plus one shared text buffer
+/// holding every unescaped string. Parsing clears and refills the
+/// buffers, so a warm arena (capacity from earlier requests) parses a
+/// same-shaped document with **zero heap allocations** — this is what
+/// each HTTP I/O worker owns in its connection scratch.
+#[derive(Default)]
+pub struct JsonArena {
+    nodes: Vec<ArenaNode>,
+    text: String,
+}
+
+impl JsonArena {
+    /// An empty arena; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        JsonArena::default()
+    }
+
+    /// Parse a complete JSON document into the arena (clearing any
+    /// previous document), returning a handle to the root value.
+    pub fn parse(&mut self, input: &str) -> Result<ValueRef<'_>, JsonError> {
+        self.nodes.clear();
+        self.text.clear();
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let root = self.parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError {
+                message: "trailing characters".into(),
+                offset: pos,
+            });
+        }
+        Ok(ValueRef {
+            arena: self,
+            idx: root,
+        })
+    }
+
+    fn push(&mut self, value: ArenaValue) -> Result<u32, JsonError> {
+        if self.nodes.len() >= NIL as usize {
+            return Err(JsonError {
+                message: "document too large".into(),
+                offset: 0,
+            });
+        }
+        self.nodes.push(ArenaNode {
+            value,
+            next: NIL,
+            key: TextSpan { start: 0, end: 0 },
+        });
+        Ok((self.nodes.len() - 1) as u32)
+    }
+
+    fn parse_string_span(&mut self, bytes: &[u8], pos: &mut usize) -> Result<TextSpan, JsonError> {
+        let start = self.text.len() as u32;
+        parse_string_into(bytes, pos, &mut self.text)?;
+        Ok(TextSpan {
+            start,
+            end: self.text.len() as u32,
+        })
+    }
+
+    fn parse_value(&mut self, bytes: &[u8], pos: &mut usize) -> Result<u32, JsonError> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            None => fail("unexpected end of input", *pos),
+            Some(b'{') => self.parse_object(bytes, pos),
+            Some(b'[') => self.parse_array(bytes, pos),
+            Some(b'"') => {
+                let span = self.parse_string_span(bytes, pos)?;
+                self.push(ArenaValue::String(span))
+            }
+            Some(b't') => {
+                parse_literal(bytes, pos, "true")?;
+                self.push(ArenaValue::Bool(true))
+            }
+            Some(b'f') => {
+                parse_literal(bytes, pos, "false")?;
+                self.push(ArenaValue::Bool(false))
+            }
+            Some(b'n') => {
+                parse_literal(bytes, pos, "null")?;
+                self.push(ArenaValue::Null)
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                let x = parse_number_raw(bytes, pos)?;
+                self.push(ArenaValue::Number(x))
+            }
+            Some(_) => fail("unexpected character", *pos),
+        }
+    }
+
+    fn parse_array(&mut self, bytes: &[u8], pos: &mut usize) -> Result<u32, JsonError> {
+        debug_assert_eq!(bytes[*pos], b'[');
+        *pos += 1;
+        let node = self.push(ArenaValue::Array { first: NIL, len: 0 })?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(node);
+        }
+        let mut first = NIL;
+        let mut prev = NIL;
+        let mut len = 0u32;
+        loop {
+            let child = self.parse_value(bytes, pos)?;
+            if first == NIL {
+                first = child;
+            } else {
+                self.nodes[prev as usize].next = child;
+            }
+            prev = child;
+            len += 1;
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    self.nodes[node as usize].value = ArenaValue::Array { first, len };
+                    return Ok(node);
+                }
+                _ => return fail("expected `,` or `]`", *pos),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, bytes: &[u8], pos: &mut usize) -> Result<u32, JsonError> {
+        debug_assert_eq!(bytes[*pos], b'{');
+        *pos += 1;
+        let node = self.push(ArenaValue::Object { first: NIL, len: 0 })?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(node);
+        }
+        let mut first = NIL;
+        let mut prev = NIL;
+        let mut len = 0u32;
+        loop {
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) != Some(&b'"') {
+                return fail("expected string key", *pos);
+            }
+            let key = self.parse_string_span(bytes, pos)?;
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) != Some(&b':') {
+                return fail("expected `:`", *pos);
+            }
+            *pos += 1;
+            let child = self.parse_value(bytes, pos)?;
+            self.nodes[child as usize].key = key;
+            if first == NIL {
+                first = child;
+            } else {
+                self.nodes[prev as usize].next = child;
+            }
+            prev = child;
+            len += 1;
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    self.nodes[node as usize].value = ArenaValue::Object { first, len };
+                    return Ok(node);
+                }
+                _ => return fail("expected `,` or `}`", *pos),
+            }
+        }
+    }
+
+    fn span(&self, s: TextSpan) -> &str {
+        &self.text[s.start as usize..s.end as usize]
+    }
+
+    /// Shrink internal buffers whose capacity exceeds `limit_bytes`,
+    /// discarding the current document — the HTTP workers call this
+    /// between requests so one huge body does not pin its high-water
+    /// mark per worker forever. (Taking `&mut self` guarantees no
+    /// [`ValueRef`] into the discarded document can outlive the call.)
+    pub fn shrink_to(&mut self, limit_bytes: usize) {
+        if self.text.capacity() > limit_bytes {
+            self.text.clear();
+            self.text.shrink_to(limit_bytes);
+        }
+        let node_limit = limit_bytes / std::mem::size_of::<ArenaNode>();
+        if self.nodes.capacity() > node_limit {
+            self.nodes.clear();
+            self.nodes.shrink_to(node_limit);
+        }
+    }
+}
+
+/// A handle to one value inside a [`JsonArena`]. Accessors mirror
+/// [`Json`]'s (same numeric conversion rules), but nothing is owned —
+/// strings borrow the arena's text buffer.
+#[derive(Clone, Copy)]
+pub struct ValueRef<'a> {
+    arena: &'a JsonArena,
+    idx: u32,
+}
+
+impl<'a> ValueRef<'a> {
+    fn node(&self) -> &'a ArenaNode {
+        &self.arena.nodes[self.idx as usize]
+    }
+
+    /// True for JSON objects.
+    pub fn is_object(&self) -> bool {
+        matches!(self.node().value, ArenaValue::Object { .. })
+    }
+
+    /// Object field lookup (None for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<ValueRef<'a>> {
+        let ArenaValue::Object { first, .. } = self.node().value else {
+            return None;
+        };
+        let mut idx = first;
+        while idx != NIL {
+            let node = &self.arena.nodes[idx as usize];
+            if self.arena.span(node.key) == key {
+                return Some(ValueRef {
+                    arena: self.arena,
+                    idx,
+                });
+            }
+            idx = node.next;
+        }
+        None
+    }
+
+    /// Boolean accessor.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self.node().value {
+            ArenaValue::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Number accessor.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.node().value {
+            ArenaValue::Number(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer accessor (rejects fractional values).
+    pub fn as_usize(&self) -> Option<usize> {
+        match self.node().value {
+            ArenaValue::Number(x) if x >= 0.0 && x == x.trunc() && x < 9.0e15 => Some(x as usize),
+            _ => None,
+        }
+    }
+
+    /// `u64` accessor (rejects fractional and negative values).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.node().value {
+            ArenaValue::Number(x) if x >= 0.0 && x == x.trunc() && x < 1.8e19 => Some(x as u64),
+            _ => None,
+        }
+    }
+
+    /// String accessor (borrowing the arena's text buffer).
+    pub fn as_str(&self) -> Option<&'a str> {
+        match self.node().value {
+            ArenaValue::String(span) => Some(self.arena.span(span)),
+            _ => None,
+        }
+    }
+
+    /// Element count of an array, member count of an object, 0
+    /// otherwise.
+    pub fn len(&self) -> usize {
+        match self.node().value {
+            ArenaValue::Array { len, .. } | ArenaValue::Object { len, .. } => len as usize,
+            _ => 0,
+        }
+    }
+
+    /// True when `len()` is 0.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Array accessor: an iterator over the elements, or `None` for
+    /// non-arrays.
+    pub fn as_array(&self) -> Option<ArenaElements<'a>> {
+        match self.node().value {
+            ArenaValue::Array { first, len } => Some(ArenaElements {
+                arena: self.arena,
+                next: first,
+                remaining: len as usize,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Iterator over the elements of an arena array.
+pub struct ArenaElements<'a> {
+    arena: &'a JsonArena,
+    next: u32,
+    remaining: usize,
+}
+
+impl<'a> Iterator for ArenaElements<'a> {
+    type Item = ValueRef<'a>;
+
+    fn next(&mut self) -> Option<ValueRef<'a>> {
+        if self.next == NIL {
+            return None;
+        }
+        let idx = self.next;
+        self.next = self.arena.nodes[idx as usize].next;
+        self.remaining = self.remaining.saturating_sub(1);
+        Some(ValueRef {
+            arena: self.arena,
+            idx,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for ArenaElements<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -445,5 +831,112 @@ mod tests {
     fn integers_serialize_without_fraction() {
         assert_eq!(Json::Number(42.0).to_string(), "42");
         assert_eq!(Json::Number(0.5).to_string(), "0.5");
+    }
+
+    #[test]
+    fn write_into_appends_without_clearing() {
+        let mut out = String::from("x=");
+        Json::Number(7.0).write_into(&mut out);
+        assert_eq!(out, "x=7");
+    }
+
+    #[test]
+    fn arena_parses_nested_documents() {
+        let mut arena = JsonArena::new();
+        let doc = arena
+            .parse(r#"{"algorithm":"mallows","scores":[0.9,0.5],"groups":[0,1],"deep":{"k":3},"flag":true,"nothing":null}"#)
+            .unwrap();
+        assert!(doc.is_object());
+        assert_eq!(doc.get("algorithm").unwrap().as_str(), Some("mallows"));
+        let scores: Vec<f64> = doc
+            .get("scores")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .map(|v| v.as_f64().unwrap())
+            .collect();
+        assert_eq!(scores, vec![0.9, 0.5]);
+        assert_eq!(
+            doc.get("deep").unwrap().get("k").unwrap().as_usize(),
+            Some(3)
+        );
+        assert_eq!(doc.get("flag").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("deep").unwrap().as_bool(), None);
+        assert_eq!(doc.get("scores").unwrap().len(), 2);
+        assert_eq!(doc.get("deep").unwrap().len(), 1);
+        assert!(!doc.is_empty());
+        assert_eq!(doc.get("flag").unwrap().len(), 0);
+        assert!(doc.get("missing").is_none());
+        assert_eq!(doc.get("scores").unwrap().as_str(), None);
+        assert!(doc.get("nothing").unwrap().as_f64().is_none());
+    }
+
+    #[test]
+    fn arena_matches_tree_parser_on_rejects() {
+        let mut arena = JsonArena::new();
+        for text in [
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "1.5.5",
+            "\"open",
+            "{\"a\" 1}",
+            "[1] x",
+        ] {
+            assert!(arena.parse(text).is_err(), "{text:?} should fail");
+            assert!(Json::parse(text).is_err(), "{text:?} should fail");
+        }
+    }
+
+    #[test]
+    fn arena_accessor_rules_match_tree_accessors() {
+        let text = r#"{"n":3,"f":1.5,"neg":-1,"big":1e18,"s":"x"}"#;
+        let tree = Json::parse(text).unwrap();
+        let mut arena = JsonArena::new();
+        let doc = arena.parse(text).unwrap();
+        for key in ["n", "f", "neg", "big", "s"] {
+            let t = tree.get(key).unwrap();
+            let a = doc.get(key).unwrap();
+            assert_eq!(t.as_f64(), a.as_f64(), "{key}");
+            assert_eq!(t.as_usize(), a.as_usize(), "{key}");
+            assert_eq!(t.as_u64(), a.as_u64(), "{key}");
+            assert_eq!(t.as_str(), a.as_str(), "{key}");
+        }
+    }
+
+    #[test]
+    fn arena_reuse_keeps_working_across_documents() {
+        let mut arena = JsonArena::new();
+        {
+            let doc = arena.parse(r#"{"a":[1,2,3]}"#).unwrap();
+            assert_eq!(doc.get("a").unwrap().as_array().unwrap().len(), 3);
+        }
+        // a later, differently-shaped document replaces the first
+        let doc = arena.parse(r#"{"b":"text","c":{}}"#).unwrap();
+        assert!(doc.get("a").is_none());
+        assert_eq!(doc.get("b").unwrap().as_str(), Some("text"));
+        assert!(doc.get("c").unwrap().is_object());
+    }
+
+    #[test]
+    fn arena_string_escapes_unescape() {
+        let mut arena = JsonArena::new();
+        let doc = arena.parse(r#"{"s":"line\nbreak \"q\" A"}"#).unwrap();
+        assert_eq!(doc.get("s").unwrap().as_str(), Some("line\nbreak \"q\" A"));
+    }
+
+    #[test]
+    fn warm_arena_parse_does_not_grow_buffers() {
+        let text =
+            r#"{"algorithm":"mallows","scores":[0.9,0.8,0.7,0.6],"groups":[0,0,1,1],"seed":7}"#;
+        let mut arena = JsonArena::new();
+        arena.parse(text).unwrap();
+        let (nodes_cap, text_cap) = (arena.nodes.capacity(), arena.text.capacity());
+        for _ in 0..10 {
+            arena.parse(text).unwrap();
+        }
+        assert_eq!(arena.nodes.capacity(), nodes_cap);
+        assert_eq!(arena.text.capacity(), text_cap);
     }
 }

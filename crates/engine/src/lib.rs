@@ -45,7 +45,7 @@ pub mod server;
 pub mod stats;
 pub mod tables;
 
-use cache::LruCache;
+use cache::ShardedLru;
 use job::{RankJob, RankResult};
 use pool::{SubmitError, WorkerPool};
 use rand::rngs::StdRng;
@@ -119,6 +119,9 @@ pub struct EngineConfig {
     pub cache_capacity: usize,
     /// Sampler-table cache capacity in `(n, θ)` entries (0 disables).
     pub table_cache_capacity: usize,
+    /// Shard count for the result and sampler-table caches (rounded up
+    /// to a power of two; 0 picks a machine-appropriate count).
+    pub cache_shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -128,6 +131,7 @@ impl Default for EngineConfig {
             queue_capacity: 256,
             cache_capacity: 1024,
             table_cache_capacity: 64,
+            cache_shards: 0,
         }
     }
 }
@@ -138,11 +142,11 @@ type JobOutcome = Result<Arc<RankResult>, EngineError>;
 pub struct Engine {
     registry: Registry,
     pool: WorkerPool,
-    cache: Mutex<LruCache>,
+    cache: ShardedLru,
     /// Digest → waiters of the in-flight execution of that digest.
     /// Concurrent identical submissions coalesce onto one execution
     /// instead of stampeding the pool. Lock order: `inflight` may be
-    /// held while taking `cache`, never the other way around.
+    /// held while taking a cache shard, never the other way around.
     inflight: Mutex<HashMap<u64, Vec<mpsc::Sender<JobOutcome>>>>,
     /// Shared per-run resources (the sampler-table cache), handed to
     /// every algorithm execution.
@@ -158,18 +162,29 @@ impl Engine {
 
     /// Build an engine with a custom registry.
     pub fn with_registry(config: EngineConfig, registry: Registry) -> Arc<Engine> {
+        let cache_shards = if config.cache_shards == 0 {
+            ShardedLru::auto_shards(config.cache_capacity)
+        } else {
+            config.cache_shards
+        };
+        let table_shards = if config.cache_shards == 0 {
+            ShardedLru::auto_shards(config.table_cache_capacity)
+        } else {
+            config.cache_shards
+        };
         Arc::new(Engine {
             registry,
             pool: WorkerPool::new(config.workers, config.queue_capacity),
-            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            cache: ShardedLru::new(config.cache_capacity, cache_shards),
             inflight: Mutex::new(HashMap::new()),
             // divide the machine between concurrently running jobs:
             // workers × batch_threads ≲ CPU count, so wide-sample
             // fan-out cannot defeat the pool's bounded concurrency
-            exec: ExecContext::new(Arc::new(TableCache::new(config.table_cache_capacity)))
-                .with_batch_threads(
-                    (tables::available_parallelism() / config.workers.max(1)).max(1),
-                ),
+            exec: ExecContext::new(Arc::new(TableCache::with_shards(
+                config.table_cache_capacity,
+                table_shards,
+            )))
+            .with_batch_threads((tables::available_parallelism() / config.workers.max(1)).max(1)),
             stats: EngineStats::new(),
         })
     }
@@ -191,12 +206,12 @@ impl Engine {
 
     /// Snapshot of the stats JSON served at `GET /stats`.
     pub fn stats_json(&self) -> json::Json {
-        let (len, cap) = {
-            let cache = self.cache.lock().expect("cache lock");
-            (cache.len(), cache.capacity())
-        };
-        self.stats
-            .to_json(len, cap, self.pool.workers(), &self.exec.tables)
+        self.stats.to_json(
+            self.cache.len(),
+            self.cache.capacity(),
+            self.pool.workers(),
+            &self.exec.tables,
+        )
     }
 
     /// Submit a job and wait for its result.
@@ -222,7 +237,7 @@ impl Engine {
         let (tx, rx) = mpsc::channel::<JobOutcome>();
         {
             let mut inflight = self.inflight.lock().expect("inflight lock");
-            if let Some(hit) = self.cache.lock().expect("cache lock").get(key) {
+            if let Some(hit) = self.cache.get(key) {
                 EngineStats::bump(&self.stats.cache_hits);
                 return Ok(hit);
             }
@@ -252,11 +267,7 @@ impl Engine {
             let outcome: JobOutcome = match run {
                 Ok(result) => {
                     let result = Arc::new(result);
-                    engine
-                        .cache
-                        .lock()
-                        .expect("cache lock")
-                        .insert(key, Arc::clone(&result));
+                    engine.cache.insert(key, Arc::clone(&result));
                     EngineStats::bump(&engine.stats.jobs_executed);
                     Ok(result)
                 }
@@ -321,6 +332,7 @@ mod tests {
             cache_capacity: 8,
 
             table_cache_capacity: 16,
+            cache_shards: 0,
         })
     }
 
@@ -396,6 +408,7 @@ mod tests {
             cache_capacity: 256,
 
             table_cache_capacity: 16,
+            cache_shards: 0,
         });
         let handles: Vec<_> = (0..8)
             .map(|t| {
@@ -423,6 +436,7 @@ mod tests {
             cache_capacity: 64,
 
             table_cache_capacity: 16,
+            cache_shards: 0,
         });
         // a heavy job, raced by 8 threads: exactly one execution, the
         // other 7 either coalesce onto it or hit the cache afterwards
@@ -508,6 +522,7 @@ mod tests {
                 cache_capacity: 8,
 
                 table_cache_capacity: 16,
+                cache_shards: 0,
             },
             registry,
         );

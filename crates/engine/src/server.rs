@@ -15,33 +15,101 @@
 //! `fairrank` CLI flags.
 //!
 //! Error mapping: malformed request → `400`, unknown algorithm → `404`,
-//! algorithm failure → `422`, full job queue → `503`.
+//! algorithm failure → `422`, full job queue → `503`, full
+//! pending-connection queue → `503` with `Retry-After` before the
+//! socket is dropped.
 //!
-//! Concurrency model: one OS thread per connection (connections are
-//! short-lived; `Connection: close` is always sent), all of them
-//! funnelling into the engine's bounded worker pool, which is where
-//! admission control happens.
+//! # Concurrency model: a keep-alive I/O reactor
+//!
+//! The accept loop pushes accepted sockets onto a bounded channel
+//! drained by a fixed pool of I/O worker threads
+//! ([`ServerConfig::io_threads`], default one per CPU). Each worker
+//! owns a connection for its whole lifetime and serves **sequential
+//! HTTP/1.1 keep-alive requests** on it — honoring `Connection: close`,
+//! an idle read timeout, and a max-requests-per-connection cap — so a
+//! client issuing many small requests pays for one TCP handshake and
+//! zero thread spawns. Jobs still funnel into the engine's bounded
+//! worker pool, which is where admission control happens.
+//!
+//! Each I/O worker owns a [`ConnScratch`]: reusable input, body,
+//! JSON-arena, and response buffers. After warm-up, a request performs
+//! **zero heap allocations in the HTTP layer** (head parse, JSON parse
+//! via [`JsonArena`], response serialization via
+//! [`RankResult::write_json`](crate::job::RankResult::write_json) and
+//! [`write_response_into`]); only the
+//! job layer (the owned `RankJob` handed to the engine) still
+//! allocates. `crates/engine/tests/alloc_audit.rs` pins this with a
+//! counting global allocator.
+//!
+//! The pre-reactor thread-per-connection model is retained behind
+//! [`ServerConfig::thread_per_conn`] as the benchmark baseline
+//! (`crates/bench/benches/http_throughput.rs` reports the before/after
+//! requests-per-second ratio).
 
 use crate::job::{JobInput, JobParams, RankJob};
-use crate::json::Json;
+use crate::json::{Json, JsonArena, ValueRef};
 use crate::registry::AlgorithmKind;
 use crate::stats::EngineStats;
 use crate::{Engine, EngineError};
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Maximum accepted request-body size (16 MiB).
 const MAX_BODY: usize = 16 << 20;
 /// Maximum accepted header-block size (16 KiB).
 const MAX_HEADER: usize = 16 << 10;
+/// Socket-write timeout (a stalled reader must not pin a worker).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Read timeout once a request has started arriving — slow senders get
+/// this much per read, independent of the (typically much shorter)
+/// keep-alive idle timeout that governs waiting *between* requests.
+const REQUEST_READ_TIMEOUT: Duration = Duration::from_secs(30);
+/// Scratch buffers above this size are shrunk after the request so one
+/// huge body does not pin megabytes per worker forever.
+const SCRATCH_TRIM: usize = 1 << 20;
+
+/// Serving-layer knobs (engine sizing lives in
+/// [`EngineConfig`](crate::EngineConfig)).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// I/O worker threads owning connections (0 = one per CPU).
+    pub io_threads: usize,
+    /// Keep-alive cap: a connection is closed after serving this many
+    /// requests (minimum 1).
+    pub max_requests_per_conn: usize,
+    /// Idle read timeout: a keep-alive connection with no next request
+    /// within this window is closed.
+    pub idle_timeout: Duration,
+    /// Bounded accept → worker queue; connections beyond it are shed
+    /// with `503` + `Retry-After`.
+    pub pending_connections: usize,
+    /// Legacy pre-reactor model: one OS thread and one request per
+    /// connection. Kept as the measurable baseline for the
+    /// `http_throughput` bench.
+    pub thread_per_conn: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            io_threads: 0,
+            max_requests_per_conn: 1024,
+            idle_timeout: Duration::from_secs(5),
+            pending_connections: 1024,
+            thread_per_conn: false,
+        }
+    }
+}
 
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
     engine: Arc<Engine>,
+    config: ServerConfig,
 }
 
 /// Handle to a server running on a background thread.
@@ -52,11 +120,22 @@ pub struct ServerHandle {
 }
 
 impl Server {
-    /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) with
+    /// the default [`ServerConfig`].
     pub fn bind(addr: &str, engine: Arc<Engine>) -> std::io::Result<Server> {
+        Server::bind_with(addr, engine, ServerConfig::default())
+    }
+
+    /// Bind with explicit serving-layer knobs.
+    pub fn bind_with(
+        addr: &str,
+        engine: Arc<Engine>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             engine,
+            config,
         })
     }
 
@@ -70,7 +149,7 @@ impl Server {
     /// Serve forever on the current thread.
     pub fn run(self) {
         let stop = Arc::new(AtomicBool::new(false));
-        self.accept_loop(&stop);
+        self.serve(&stop);
     }
 
     /// Serve on a background thread; the handle shuts it down.
@@ -80,12 +159,34 @@ impl Server {
         let stop_for_loop = Arc::clone(&stop);
         let thread = std::thread::Builder::new()
             .name("fairrank-accept".to_string())
-            .spawn(move || self.accept_loop(&stop_for_loop))
+            .spawn(move || self.serve(&stop_for_loop))
             .expect("spawning the accept thread");
         ServerHandle { addr, stop, thread }
     }
 
-    fn accept_loop(self, stop: &AtomicBool) {
+    fn serve(self, stop: &Arc<AtomicBool>) {
+        if self.config.thread_per_conn {
+            return self.serve_thread_per_conn(stop);
+        }
+        let io_threads = if self.config.io_threads == 0 {
+            crate::tables::available_parallelism()
+        } else {
+            self.config.io_threads
+        };
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(self.config.pending_connections.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<JoinHandle<()>> = (0..io_threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let engine = Arc::clone(&self.engine);
+                let config = self.config.clone();
+                let stop = Arc::clone(stop);
+                std::thread::Builder::new()
+                    .name(format!("fairrank-io-{i}"))
+                    .spawn(move || io_worker(&rx, &engine, &config, &stop))
+                    .expect("spawning an I/O worker thread")
+            })
+            .collect();
         for connection in self.listener.incoming() {
             if stop.load(Ordering::SeqCst) {
                 break;
@@ -96,22 +197,63 @@ impl Server {
                     // accept() fails in a tight loop under fd
                     // exhaustion — back off instead of spinning at
                     // 100% CPU while the worker threads drain
-                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    std::thread::sleep(Duration::from_millis(20));
                     continue;
                 }
             };
-            let engine = Arc::clone(&self.engine);
-            let spawned = std::thread::Builder::new()
-                .name("fairrank-conn".to_string())
-                .spawn(move || {
-                    let _ = handle_connection(stream, &engine);
-                });
-            if let Err(_e) = spawned {
-                // thread spawn failed (resource exhaustion): the moved
-                // stream is gone with the failed closure, so the client
-                // sees a closed connection; pause before accepting more
-                EngineStats::bump(&self.engine.stats().http_errors);
-                std::thread::sleep(std::time::Duration::from_millis(20));
+            EngineStats::bump(&self.engine.stats().connections);
+            match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(mpsc::TrySendError::Full(stream)) => {
+                    // every worker is busy and the backlog is full:
+                    // tell the client to come back instead of silently
+                    // hanging up on it
+                    reject_connection(stream, &self.engine);
+                }
+                Err(mpsc::TrySendError::Disconnected(_)) => break,
+            }
+        }
+        // disconnect the channel so idle workers observe shutdown
+        drop(tx);
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+
+    /// The legacy model: spawn a thread per connection, serve exactly
+    /// one request, always close.
+    fn serve_thread_per_conn(self, stop: &Arc<AtomicBool>) {
+        let mut config = self.config.clone();
+        config.max_requests_per_conn = 1;
+        for connection in self.listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match connection {
+                Ok(stream) => stream,
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                }
+            };
+            EngineStats::bump(&self.engine.stats().connections);
+            // hand the worker thread a dup of the socket so that on
+            // spawn failure we still own a handle to answer 503 on
+            let spawned = stream.try_clone().and_then(|worker_stream| {
+                let engine = Arc::clone(&self.engine);
+                let config = config.clone();
+                let stop = Arc::clone(stop);
+                std::thread::Builder::new()
+                    .name("fairrank-conn".to_string())
+                    .spawn(move || {
+                        let mut scratch = ConnScratch::default();
+                        let _ =
+                            handle_connection(worker_stream, &engine, &mut scratch, &config, &stop);
+                    })
+            });
+            if spawned.is_err() {
+                // resource exhaustion: shed load loudly
+                reject_connection(stream, &self.engine);
             }
         }
     }
@@ -123,7 +265,8 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stop accepting connections and join the accept thread.
+    /// Stop accepting connections and join the accept thread (which in
+    /// turn joins the I/O workers once their connections drain).
     pub fn shutdown(self) {
         self.stop.store(true, Ordering::SeqCst);
         // kick the blocking accept() so it observes the flag
@@ -132,93 +275,356 @@ impl ServerHandle {
     }
 }
 
-fn handle_connection(stream: TcpStream, engine: &Arc<Engine>) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
-    stream.set_write_timeout(Some(std::time::Duration::from_secs(30)))?;
-    EngineStats::bump(&engine.stats().http_requests);
-    let mut reader = BufReader::new(stream);
-    let request = match read_request(&mut reader) {
-        Ok(request) => request,
-        Err(message) => {
-            let mut stream = reader.into_inner();
-            EngineStats::bump(&engine.stats().http_errors);
-            return write_response(&mut stream, 400, &error_body(&message));
+fn io_worker(
+    rx: &Mutex<mpsc::Receiver<TcpStream>>,
+    engine: &Arc<Engine>,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+) {
+    let mut scratch = ConnScratch::default();
+    loop {
+        // holding the lock while blocked in recv() is the standard
+        // shared-receiver pattern: exactly one idle worker waits on the
+        // channel, the rest queue on the mutex
+        let stream = {
+            let receiver = rx.lock().expect("connection queue lock");
+            receiver.recv()
+        };
+        match stream {
+            Ok(stream) => {
+                let _ = handle_connection(stream, engine, &mut scratch, config, stop);
+            }
+            // accept loop dropped the sender: shutdown
+            Err(_) => return,
         }
-    };
-    let (status, body) = route(&request, engine);
-    if status >= 400 {
-        EngineStats::bump(&engine.stats().http_errors);
     }
-    let mut stream = reader.into_inner();
-    write_response(&mut stream, status, &body)
 }
 
-struct Request {
+/// Per-I/O-worker reusable buffers. A warm request (buffers at
+/// capacity from earlier requests) performs zero heap allocations in
+/// the HTTP layer.
+#[derive(Default)]
+struct ConnScratch {
+    /// Raw bytes read from the socket and not yet consumed (with
+    /// keep-alive pipelining, bytes of the next request may already be
+    /// here).
+    buf: Vec<u8>,
+    /// The current request's body.
+    body: Vec<u8>,
+    /// The current request's method and path (copied out of `buf` so
+    /// the buffer can be reused while routing).
     method: String,
     path: String,
-    body: String,
+    /// The connection must close after the current request (explicit
+    /// `Connection: close`, or an HTTP/1.0 client that did not opt into
+    /// keep-alive).
+    close_requested: bool,
+    /// The read timeout was switched to [`REQUEST_READ_TIMEOUT`]
+    /// mid-request and must be reset to the idle timeout before
+    /// waiting for the next request.
+    long_timeout_active: bool,
+    /// JSON parse arena for request bodies.
+    arena: JsonArena,
+    /// Response body under construction.
+    body_out: String,
+    /// Fully framed response bytes (headers + body), written in one
+    /// syscall.
+    out: Vec<u8>,
 }
 
-/// Read one `\n`-terminated line, buffering at most `max` bytes — a
-/// client streaming an endless unterminated line must not grow memory
-/// past the cap (plain `read_line` only checks limits after the whole
-/// line has been buffered).
-fn read_line_limited(reader: &mut BufReader<TcpStream>, max: usize) -> Result<String, String> {
-    let mut line = Vec::new();
-    (&mut *reader)
-        .take(max as u64 + 1)
-        .read_until(b'\n', &mut line)
-        .map_err(|e| format!("cannot read line: {e}"))?;
-    if line.len() > max {
-        return Err("header line too long".to_string());
-    }
-    String::from_utf8(line).map_err(|_| "header is not utf-8".to_string())
-}
-
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, String> {
-    let request_line = read_line_limited(reader, MAX_HEADER)?;
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or_default().to_string();
-    let path = parts.next().unwrap_or_default().to_string();
-    if method.is_empty() || path.is_empty() {
-        return Err("malformed request line".to_string());
-    }
-
-    let mut content_length = 0usize;
-    let mut header_bytes = request_line.len();
-    loop {
-        let line = read_line_limited(reader, MAX_HEADER)?;
-        header_bytes += line.len();
-        if header_bytes > MAX_HEADER {
-            return Err("header block too large".to_string());
+impl ConnScratch {
+    /// Shrink oversized buffers so one huge request does not pin its
+    /// high-water mark per worker forever.
+    fn trim(&mut self) {
+        if self.buf.capacity() > SCRATCH_TRIM {
+            self.buf.shrink_to(SCRATCH_TRIM);
         }
-        let line = line.trim_end();
+        if self.body.capacity() > SCRATCH_TRIM {
+            self.body.shrink_to(SCRATCH_TRIM);
+        }
+        if self.body_out.capacity() > SCRATCH_TRIM {
+            self.body_out.shrink_to(SCRATCH_TRIM);
+        }
+        if self.out.capacity() > SCRATCH_TRIM {
+            self.out.shrink_to(SCRATCH_TRIM);
+        }
+        self.arena.shrink_to(SCRATCH_TRIM);
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    engine: &Arc<Engine>,
+    scratch: &mut ConnScratch,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(config.idle_timeout))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    // sequential request/response on one connection: coalescing delays
+    // hurt and there is nothing to batch
+    let _ = stream.set_nodelay(true);
+    scratch.buf.clear();
+    scratch.long_timeout_active = false;
+    let stats = engine.stats();
+    let mut served = 0usize;
+    loop {
+        if scratch.long_timeout_active {
+            // the previous request trickled in slowly; restore the
+            // (shorter) keep-alive idle timeout for the wait ahead
+            stream.set_read_timeout(Some(config.idle_timeout))?;
+            scratch.long_timeout_active = false;
+        }
+        match read_request(&mut stream, scratch) {
+            // clean end of a keep-alive connection (EOF or idle
+            // timeout at a request boundary)
+            Ok(ReadOutcome::CleanEof) | Err(ReadError::Closed) => return Ok(()),
+            Err(ReadError::Malformed(message)) => {
+                // framing is no longer trustworthy: answer and close
+                EngineStats::bump(&stats.http_requests);
+                EngineStats::bump(&stats.http_errors);
+                scratch.body_out.clear();
+                write_error(&mut scratch.body_out, &message);
+                write_response_into(&mut scratch.out, 400, &scratch.body_out, false, None);
+                let _ = stream.write_all(&scratch.out);
+                graceful_close(&mut stream, Duration::from_millis(250), 64);
+                return Ok(());
+            }
+            Ok(ReadOutcome::Request) => {}
+        }
+        let started = Instant::now();
+        EngineStats::bump(&stats.http_requests);
+        served += 1;
+        let keep_alive = !scratch.close_requested
+            && served < config.max_requests_per_conn.max(1)
+            && !stop.load(Ordering::Relaxed);
+        let status = route_request(engine, scratch);
+        if status >= 400 {
+            EngineStats::bump(&stats.http_errors);
+        }
+        write_response_into(
+            &mut scratch.out,
+            status,
+            &scratch.body_out,
+            keep_alive,
+            None,
+        );
+        stream.write_all(&scratch.out)?;
+        stats.latency.record(started.elapsed());
+        scratch.trim();
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+/// Half-close the write side, then briefly drain remaining input, so
+/// the error response reaches a client that still has unread request
+/// bytes in flight (closing with data pending in the receive queue
+/// turns into an RST that destroys the response). `read_timeout` and
+/// `max_reads` bound how long a dribbling client can hold the caller.
+fn graceful_close(stream: &mut TcpStream, read_timeout: Duration, max_reads: usize) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let mut sink = [0u8; 4096];
+    for _ in 0..max_reads {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Best-effort `503` + `Retry-After` for a connection the reactor has
+/// no capacity to serve, counted in `rejected_connections`.
+fn reject_connection(mut stream: TcpStream, engine: &Arc<Engine>) {
+    EngineStats::bump(&engine.stats().rejected_connections);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut out = Vec::with_capacity(256);
+    write_response_into(
+        &mut out,
+        503,
+        "{\"error\":\"server overloaded, retry later\"}",
+        false,
+        Some(1),
+    );
+    let _ = stream.write_all(&out);
+    // the client has usually already sent its request; closing with
+    // those bytes unread would RST away the 503 we just wrote — but
+    // this runs on the accept loop, so the drain budget is tight
+    graceful_close(&mut stream, Duration::from_millis(100), 4);
+}
+
+enum ReadOutcome {
+    /// A complete request was parsed into the scratch.
+    Request,
+    /// The connection ended cleanly at a request boundary.
+    CleanEof,
+}
+
+enum ReadError {
+    /// The connection died mid-stream (reset, timeout inside a
+    /// request): close without a response.
+    Closed,
+    /// The request violates the protocol or a size cap: answer `400`
+    /// and close.
+    Malformed(String),
+}
+
+/// Read one request into the scratch: head into `method`/`path`/
+/// `close_requested`, body into `body`. Bytes past the request (the
+/// next pipelined request) stay buffered in `buf`.
+fn read_request(stream: &mut TcpStream, s: &mut ConnScratch) -> Result<ReadOutcome, ReadError> {
+    // 1. buffer socket bytes until the whole head ("\r\n\r\n") is in
+    let head_end = loop {
+        if let Some(end) = find_head_end(&s.buf) {
+            break end;
+        }
+        if s.buf.len() > MAX_HEADER {
+            return Err(ReadError::Malformed(if s.buf.contains(&b'\n') {
+                "header block too large".to_string()
+            } else {
+                "header line too long".to_string()
+            }));
+        }
+        if !s.buf.is_empty() && !s.long_timeout_active {
+            // a request has started arriving but is incomplete: give
+            // the slow sender the longer in-request read budget (the
+            // caller restores the idle timeout before the next wait)
+            let _ = stream.set_read_timeout(Some(REQUEST_READ_TIMEOUT));
+            s.long_timeout_active = true;
+        }
+        match fill(stream, &mut s.buf) {
+            // EOF or idle timeout before any byte of a next request is
+            // a clean keep-alive close; mid-head it is a dead peer
+            Ok(0) | Err(_) => {
+                return if s.buf.is_empty() {
+                    Ok(ReadOutcome::CleanEof)
+                } else {
+                    Err(ReadError::Closed)
+                };
+            }
+            Ok(_) => {}
+        }
+    };
+
+    // 2. parse the head in place (no allocation: `method`/`path` are
+    // copied into reusable buffers, everything else is scalar)
+    let head = std::str::from_utf8(&s.buf[..head_end])
+        .map_err(|_| ReadError::Malformed("header is not utf-8".to_string()))?;
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(method), Some(path)) => (method, path),
+        _ => return Err(ReadError::Malformed("malformed request line".to_string())),
+    };
+    // keep-alive is the HTTP/1.1 default; HTTP/1.0 (and anything
+    // older) defaults to close unless the client opts in
+    let http11 = parts.next() == Some("HTTP/1.1");
+    let mut content_length = 0usize;
+    let mut close_token = false;
+    let mut keep_alive_token = false;
+    for line in lines {
         if line.is_empty() {
-            break;
+            continue; // the blank terminator line
         }
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
                     .trim()
                     .parse()
-                    .map_err(|_| "invalid content-length".to_string())?;
+                    .map_err(|_| ReadError::Malformed("invalid content-length".to_string()))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                for token in value.split(',') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("close") {
+                        close_token = true;
+                    } else if token.eq_ignore_ascii_case("keep-alive") {
+                        keep_alive_token = true;
+                    }
+                }
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                // chunked bodies are not implemented; accepting the
+                // request would desync keep-alive framing (the chunk
+                // stream would be parsed as the next request), so
+                // reject it outright — the 400 path closes the
+                // connection
+                return Err(ReadError::Malformed(
+                    "transfer-encoding is not supported; send a content-length body".to_string(),
+                ));
             }
         }
     }
+    s.method.clear();
+    s.method.push_str(method);
+    s.path.clear();
+    s.path.push_str(path);
+    s.close_requested = close_token || (!http11 && !keep_alive_token);
     if content_length > MAX_BODY {
-        return Err(format!(
+        return Err(ReadError::Malformed(format!(
             "body of {content_length} bytes exceeds the {MAX_BODY} limit"
-        ));
+        )));
     }
-    let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| format!("cannot read body: {e}"))?;
-    let body = String::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
-    Ok(Request { method, path, body })
+
+    // 3. assemble the body: whatever is already buffered, then exact
+    // reads for the rest
+    s.body.clear();
+    let buffered = (s.buf.len() - head_end).min(content_length);
+    s.body
+        .extend_from_slice(&s.buf[head_end..head_end + buffered]);
+    s.buf.drain(..head_end + buffered);
+    if s.body.len() < content_length {
+        if !s.long_timeout_active {
+            let _ = stream.set_read_timeout(Some(REQUEST_READ_TIMEOUT));
+            s.long_timeout_active = true;
+        }
+        let already = s.body.len();
+        s.body.resize(content_length, 0);
+        stream
+            .read_exact(&mut s.body[already..])
+            .map_err(|e| ReadError::Malformed(format!("cannot read body: {e}")))?;
+    }
+    Ok(ReadOutcome::Request)
 }
 
-fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+/// Position just past the head terminator (`\r\n\r\n`, tolerating bare
+/// `\n\n`), or `None` while incomplete.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            match buf.get(i + 1) {
+                Some(b'\n') => return Some(i + 2),
+                Some(b'\r') if buf.get(i + 2) == Some(&b'\n') => return Some(i + 3),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Append up to 4 KiB of socket bytes to `buf` (via a stack chunk, so
+/// a warm `buf` never reallocates for small requests).
+fn fill(stream: &mut TcpStream, buf: &mut Vec<u8>) -> std::io::Result<usize> {
+    let mut chunk = [0u8; 4096];
+    let n = stream.read(&mut chunk)?;
+    buf.extend_from_slice(&chunk[..n]);
+    Ok(n)
+}
+
+/// Serialize a complete HTTP/1.1 response (status line, headers, body)
+/// into `out`, clearing it first and reusing its capacity — the
+/// zero-allocation response framer shared by the workers, the
+/// rejection path, and the allocation audit.
+pub fn write_response_into(
+    out: &mut Vec<u8>,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    retry_after_secs: Option<u32>,
+) {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -228,22 +634,44 @@ fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::R
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
-    let response = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+    out.clear();
+    let _ = write!(
+        out,
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
         body.len()
     );
-    stream.write_all(response.as_bytes())?;
-    stream.flush()
+    if let Some(secs) = retry_after_secs {
+        let _ = write!(out, "retry-after: {secs}\r\n");
+    }
+    out.extend_from_slice(if keep_alive {
+        b"connection: keep-alive\r\n\r\n"
+    } else {
+        b"connection: close\r\n\r\n"
+    });
+    out.extend_from_slice(body.as_bytes());
 }
 
-fn error_body(message: &str) -> String {
-    Json::object(vec![("error", Json::String(message.to_string()))]).to_string()
+fn write_error(out: &mut String, message: &str) {
+    out.push_str("{\"error\":");
+    crate::json::write_string(message, out);
+    out.push('}');
 }
 
-fn route(request: &Request, engine: &Arc<Engine>) -> (u16, String) {
-    match (request.method.as_str(), request.path.as_str()) {
+/// Dispatch the request in the scratch, writing the response body into
+/// `scratch.body_out` and returning the status code.
+fn route_request(engine: &Arc<Engine>, scratch: &mut ConnScratch) -> u16 {
+    let ConnScratch {
+        method,
+        path,
+        body,
+        arena,
+        body_out,
+        ..
+    } = scratch;
+    body_out.clear();
+    match (method.as_str(), path.as_str()) {
         ("GET", "/healthz") => {
-            let body = Json::object(vec![
+            let json = Json::object(vec![
                 ("status", Json::String("ok".to_string())),
                 (
                     "algorithms",
@@ -257,14 +685,24 @@ fn route(request: &Request, engine: &Arc<Engine>) -> (u16, String) {
                     ),
                 ),
             ]);
-            (200, body.to_string())
+            json.write_into(body_out);
+            200
         }
-        ("GET", "/stats") => (200, engine.stats_json().to_string()),
-        ("POST", "/rank") => submit_route(request, engine, Route::Rank),
-        ("POST", "/aggregate") => submit_route(request, engine, Route::Aggregate),
-        ("POST", "/pipeline") => submit_route(request, engine, Route::Pipeline),
-        ("POST", _) | ("GET", _) => (404, error_body("no such route")),
-        _ => (405, error_body("method not allowed")),
+        ("GET", "/stats") => {
+            engine.stats_json().write_into(body_out);
+            200
+        }
+        ("POST", "/rank") => submit_route(engine, Route::Rank, body, arena, body_out),
+        ("POST", "/aggregate") => submit_route(engine, Route::Aggregate, body, arena, body_out),
+        ("POST", "/pipeline") => submit_route(engine, Route::Pipeline, body, arena, body_out),
+        ("POST", _) | ("GET", _) => {
+            write_error(body_out, "no such route");
+            404
+        }
+        _ => {
+            write_error(body_out, "method not allowed");
+            405
+        }
     }
 }
 
@@ -275,10 +713,30 @@ enum Route {
     Pipeline,
 }
 
-fn submit_route(request: &Request, engine: &Arc<Engine>, route: Route) -> (u16, String) {
-    let job = match parse_job(&request.body, route) {
+fn submit_route(
+    engine: &Arc<Engine>,
+    route: Route,
+    body: &[u8],
+    arena: &mut JsonArena,
+    out: &mut String,
+) -> u16 {
+    let Ok(text) = std::str::from_utf8(body) else {
+        write_error(out, "body is not utf-8");
+        return 400;
+    };
+    let doc = match arena.parse(text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            write_error(out, &e.to_string());
+            return 400;
+        }
+    };
+    let job = match parse_job(doc, route) {
         Ok(job) => job,
-        Err(message) => return (400, error_body(&message)),
+        Err(message) => {
+            write_error(out, &message);
+            return 400;
+        }
     };
     // each route only accepts algorithms of its kind, so `POST /rank`
     // cannot invoke an aggregator and vice versa
@@ -289,38 +747,42 @@ fn submit_route(request: &Request, engine: &Arc<Engine>, route: Route) -> (u16, 
             Route::Pipeline => AlgorithmKind::Pipeline,
         };
         if algorithm.kind() != expected {
-            return (
-                400,
-                error_body(&format!(
-                    "algorithm `{}` cannot be used on this route",
-                    job.algorithm
-                )),
+            write_error(
+                out,
+                &format!("algorithm `{}` cannot be used on this route", job.algorithm),
             );
+            return 400;
         }
     }
     match engine.submit(job) {
-        Ok(result) => (200, result.to_json().to_string()),
-        Err(e @ EngineError::UnknownAlgorithm(_)) => (404, error_body(&e.to_string())),
-        Err(e @ EngineError::InvalidJob(_)) => (400, error_body(&e.to_string())),
-        Err(e @ EngineError::Algorithm(_)) => (422, error_body(&e.to_string())),
-        Err(e @ EngineError::Overloaded) => (503, error_body(&e.to_string())),
-        Err(e @ EngineError::ShuttingDown) => (503, error_body(&e.to_string())),
+        Ok(result) => {
+            result.write_json(out);
+            200
+        }
+        Err(e) => {
+            let status = match &e {
+                EngineError::UnknownAlgorithm(_) => 404,
+                EngineError::InvalidJob(_) => 400,
+                EngineError::Algorithm(_) => 422,
+                EngineError::Overloaded | EngineError::ShuttingDown => 503,
+            };
+            write_error(out, &e.to_string());
+            status
+        }
     }
 }
 
-fn parse_job(body: &str, route: Route) -> Result<RankJob, String> {
-    let doc = Json::parse(body).map_err(|e| e.to_string())?;
-    if !matches!(doc, Json::Object(_)) {
+fn parse_job(doc: ValueRef<'_>, route: Route) -> Result<RankJob, String> {
+    if !doc.is_object() {
         return Err("request body must be a JSON object".to_string());
     }
-    let params = parse_params(&doc)?;
+    let params = parse_params(doc)?;
 
     let groups: Vec<usize> = match doc.get("groups") {
         None => Vec::new(),
         Some(value) => value
             .as_array()
             .ok_or("`groups` must be an array")?
-            .iter()
             .map(|g| {
                 g.as_usize()
                     .ok_or("`groups` entries must be non-negative integers")
@@ -332,14 +794,13 @@ fn parse_job(body: &str, route: Route) -> Result<RankJob, String> {
         Route::Rank => {
             let algorithm = doc
                 .get("algorithm")
-                .and_then(Json::as_str)
+                .and_then(|v| v.as_str())
                 .ok_or("`algorithm` (string) is required")?
                 .to_string();
             let scores: Vec<f64> = doc
                 .get("scores")
-                .and_then(Json::as_array)
+                .and_then(|v| v.as_array())
                 .ok_or("`scores` (array of numbers) is required")?
-                .iter()
                 .map(|s| s.as_f64().ok_or("`scores` entries must be numbers"))
                 .collect::<Result<_, _>>()?;
             Ok(RankJob {
@@ -351,13 +812,11 @@ fn parse_job(body: &str, route: Route) -> Result<RankJob, String> {
         Route::Aggregate | Route::Pipeline => {
             let votes: Vec<Vec<usize>> = doc
                 .get("votes")
-                .and_then(Json::as_array)
+                .and_then(|v| v.as_array())
                 .ok_or("`votes` (array of rankings) is required")?
-                .iter()
                 .map(|vote| {
                     vote.as_array()
                         .ok_or("each vote must be an array")?
-                        .iter()
                         .map(|i| {
                             i.as_usize()
                                 .ok_or("vote entries must be non-negative integers")
@@ -370,7 +829,7 @@ fn parse_job(body: &str, route: Route) -> Result<RankJob, String> {
             } else {
                 doc.get("method")
                     .or_else(|| doc.get("algorithm"))
-                    .and_then(Json::as_str)
+                    .and_then(|v| v.as_str())
                     .ok_or("`method` (string) is required")?
                     .to_string()
             };
@@ -383,7 +842,7 @@ fn parse_job(body: &str, route: Route) -> Result<RankJob, String> {
     }
 }
 
-fn parse_params(doc: &Json) -> Result<JobParams, String> {
+fn parse_params(doc: ValueRef<'_>) -> Result<JobParams, String> {
     let mut params = JobParams::default();
     if let Some(v) = doc.get("theta") {
         params.theta = v.as_f64().ok_or("`theta` must be a number")?;
@@ -432,17 +891,18 @@ mod tests {
             workers: 2,
             queue_capacity: 32,
             cache_capacity: 32,
-
             table_cache_capacity: 16,
+            cache_shards: 0,
         });
         Server::bind("127.0.0.1:0", engine).unwrap().spawn()
     }
 
-    /// Minimal HTTP client for the tests.
+    /// Minimal HTTP client for the tests: one request per connection,
+    /// `connection: close` so `read_to_string` terminates.
     fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
         let request = format!(
-            "{method} {path} HTTP/1.1\r\nhost: fairrank\r\ncontent-length: {}\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nhost: fairrank\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
             body.len()
         );
         stream.write_all(request.as_bytes()).unwrap();
@@ -511,6 +971,8 @@ mod tests {
         assert_eq!(status, 200);
         assert!(stats.contains("\"cache_hits\":1"), "{stats}");
         assert!(stats.contains("\"cache_misses\":1"), "{stats}");
+        assert!(stats.contains("\"latency_p50_us\":"), "{stats}");
+        assert!(stats.contains("\"latency_p99_us\":"), "{stats}");
         server.shutdown();
     }
 
@@ -608,5 +1070,59 @@ mod tests {
             assert!(body.contains(key), "missing {key} in {body}");
         }
         server.shutdown();
+    }
+
+    #[test]
+    fn legacy_thread_per_conn_mode_still_serves() {
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            queue_capacity: 32,
+            cache_capacity: 32,
+            table_cache_capacity: 16,
+            cache_shards: 0,
+        });
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            engine,
+            ServerConfig {
+                thread_per_conn: true,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap()
+        .spawn();
+        let (status, body) = http(server.addr(), "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn response_framer_writes_expected_bytes() {
+        let mut out = Vec::new();
+        write_response_into(&mut out, 503, "{}", false, Some(2));
+        let text = String::from_utf8(out.clone()).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("retry-after: 2\r\n"), "{text}");
+        assert!(text.contains("connection: close\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+        // reuse clears previous content
+        write_response_into(&mut out, 200, "[1]", true, None);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("connection: keep-alive\r\n"), "{text}");
+        assert!(!text.contains("retry-after"), "{text}");
+        assert!(text.ends_with("\r\n\r\n[1]"), "{text}");
+    }
+
+    #[test]
+    fn find_head_end_handles_crlf_and_bare_lf() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(18));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\n\nrest"), Some(16));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+        assert_eq!(find_head_end(b""), None);
     }
 }

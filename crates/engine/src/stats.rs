@@ -1,9 +1,103 @@
-//! Engine-wide counters, exported over `GET /stats`.
+//! Engine-wide counters and the request-latency histogram, exported
+//! over `GET /stats`.
 
 use crate::json::Json;
 use crate::tables::TableCache;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Number of histogram buckets: 8 exact buckets for 0–7 µs plus 4
+/// sub-buckets per power of two above that, covering the full `u64`
+/// range.
+const BUCKETS: usize = 8 + 61 * 4;
+
+/// Lock-free log-scale latency histogram.
+///
+/// Values (microseconds) land in fixed buckets: exact below 8 µs, then
+/// four sub-buckets per octave (relative error ≤ 12.5 %), the same
+/// bucketing idea as HdrHistogram's low-precision mode. Recording is
+/// one relaxed `fetch_add` — no locks, no allocation — so every
+/// HTTP worker can record on the hot path.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one latency sample.
+    pub fn record(&self, elapsed: Duration) {
+        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        self.record_micros(micros);
+    }
+
+    /// Record one latency sample, in microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        self.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Approximate `q`-quantile (`0 < q ≤ 1`) in microseconds; 0 when
+    /// nothing has been recorded. Accurate to the bucket resolution
+    /// (≤ 12.5 % above 8 µs).
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64 * q.clamp(0.0, 1.0)).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return bucket_midpoint(idx);
+            }
+        }
+        bucket_midpoint(BUCKETS - 1)
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < 8 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros() as usize; // ≥ 3
+        let sub = ((v >> (exp - 2)) & 0b11) as usize;
+        8 + (exp - 3) * 4 + sub
+    }
+}
+
+/// Midpoint of a bucket's value range — the reported quantile value.
+fn bucket_midpoint(idx: usize) -> u64 {
+    if idx < 8 {
+        idx as u64
+    } else {
+        let exp = 3 + (idx - 8) / 4;
+        let sub = ((idx - 8) % 4) as u64;
+        let lower = (1u64 << exp) + (sub << (exp - 2));
+        lower + (1u64 << (exp - 2)) / 2
+    }
+}
 
 /// Monotonic counters shared by the engine and HTTP layer. All loads
 /// and stores are `Relaxed`: the counters are advisory telemetry, not
@@ -22,10 +116,20 @@ pub struct EngineStats {
     pub jobs_coalesced: AtomicU64,
     /// Jobs rejected because the queue was full.
     pub queue_rejections: AtomicU64,
-    /// HTTP requests accepted (all routes).
+    /// HTTP requests parsed (all routes; with keep-alive one
+    /// connection can contribute many).
     pub http_requests: AtomicU64,
     /// HTTP responses with a 4xx/5xx status.
     pub http_errors: AtomicU64,
+    /// Connections accepted by the listener.
+    pub connections: AtomicU64,
+    /// Connections shed with `503` + `Retry-After` because the
+    /// pending-connection queue was full (or a legacy-mode thread
+    /// could not be spawned).
+    pub rejected_connections: AtomicU64,
+    /// Per-request service latency (request parsed → response
+    /// written).
+    pub latency: LatencyHistogram,
 }
 
 impl EngineStats {
@@ -41,6 +145,9 @@ impl EngineStats {
             queue_rejections: AtomicU64::new(0),
             http_requests: AtomicU64::new(0),
             http_errors: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            rejected_connections: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
         }
     }
 
@@ -79,6 +186,16 @@ impl EngineStats {
             ("queue_rejections", read(&self.queue_rejections)),
             ("http_requests", read(&self.http_requests)),
             ("http_errors", read(&self.http_errors)),
+            ("connections", read(&self.connections)),
+            ("rejected_connections", read(&self.rejected_connections)),
+            (
+                "latency_p50_us",
+                Json::Number(self.latency.quantile_micros(0.50) as f64),
+            ),
+            (
+                "latency_p99_us",
+                Json::Number(self.latency.quantile_micros(0.99) as f64),
+            ),
         ])
     }
 }
@@ -99,6 +216,8 @@ mod tests {
         EngineStats::bump(&s.cache_hits);
         EngineStats::bump(&s.cache_hits);
         EngineStats::bump(&s.cache_misses);
+        EngineStats::bump(&s.rejected_connections);
+        s.latency.record_micros(100);
         let tables = TableCache::new(8);
         tables.get_or_build(10, 1.0).unwrap();
         tables.get_or_build(10, 1.0).unwrap();
@@ -110,5 +229,55 @@ mod tests {
         assert!(json.contains("\"sampler_table_misses\":1"), "{json}");
         assert!(json.contains("\"sampler_table_entries\":1"), "{json}");
         assert!(json.contains("\"workers\":4"), "{json}");
+        assert!(json.contains("\"rejected_connections\":1"), "{json}");
+        assert!(json.contains("\"latency_p50_us\":"), "{json}");
+        assert!(json.contains("\"latency_p99_us\":"), "{json}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone_and_total() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_micros(0.5), 0);
+        for v in [0u64, 1, 7, 8, 100, 1_000, 65_000, u64::MAX] {
+            h.record_micros(v);
+        }
+        assert_eq!(h.count(), 8);
+        // quantiles are non-decreasing in q
+        let mut last = 0;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile_micros(q);
+            assert!(v >= last, "quantile({q}) = {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_track_known_distribution() {
+        let h = LatencyHistogram::new();
+        // 99 samples at ~100 µs, 1 at ~10 ms
+        for _ in 0..99 {
+            h.record_micros(100);
+        }
+        h.record_micros(10_000);
+        let p50 = h.quantile_micros(0.50);
+        let p99 = h.quantile_micros(0.99);
+        let p999 = h.quantile_micros(0.999);
+        assert!((88..=113).contains(&p50), "p50 = {p50}");
+        assert!((88..=113).contains(&p99), "p99 = {p99}");
+        assert!((8_800..=11_300).contains(&p999), "p99.9 = {p999}");
+    }
+
+    #[test]
+    fn bucket_index_matches_midpoint_ranges() {
+        // every recorded value must land in a bucket whose midpoint is
+        // within 12.5 % of it (above the exact range)
+        for v in [8u64, 15, 16, 100, 999, 12_345, 1 << 40] {
+            let mid = bucket_midpoint(bucket_index(v));
+            let err = (mid as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 0.125, "v = {v}, midpoint = {mid}, err = {err}");
+        }
+        for v in 0..8u64 {
+            assert_eq!(bucket_midpoint(bucket_index(v)), v);
+        }
     }
 }

@@ -20,10 +20,13 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Shared, bounded cache of [`SamplerTables`] keyed on `(n, θ)`.
+/// Shared, bounded cache of [`SamplerTables`] keyed on `(n, θ)`,
+/// split into hash-selected shards (each behind its own mutex) so
+/// concurrent lookups of different keys do not contend on one lock.
 pub struct TableCache {
     capacity: usize,
-    inner: Mutex<Inner>,
+    shards: Vec<Mutex<Inner>>,
+    mask: u64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -38,17 +41,46 @@ struct Inner {
 
 impl TableCache {
     /// Cache holding at most `capacity` tables (0 disables caching —
-    /// every lookup builds a fresh table and counts as a miss).
+    /// every lookup builds a fresh table and counts as a miss), with a
+    /// machine-appropriate shard count.
     pub fn new(capacity: usize) -> Self {
+        TableCache::with_shards(capacity, crate::cache::ShardedLru::auto_shards(capacity))
+    }
+
+    /// Cache with an explicit shard count (rounded up to a power of
+    /// two, at least 1). Each shard holds `ceil(capacity / shards)`
+    /// entries; small caches should use one shard to keep the bound
+    /// exact.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
         TableCache {
             capacity,
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                order: VecDeque::new(),
-            }),
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Inner {
+                        map: HashMap::new(),
+                        order: VecDeque::new(),
+                    })
+                })
+                .collect(),
+            mask: shards as u64 - 1,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    fn shard(&self, key: (usize, u64)) -> &Mutex<Inner> {
+        // FNV-style fold of the two key halves, then a Fibonacci mix so
+        // the shard index comes from the high bits
+        let folded = (key.0 as u64)
+            .wrapping_mul(0x0000_0100_0000_01b3)
+            .wrapping_add(key.1);
+        let mixed = folded.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(mixed & self.mask) as usize]
+    }
+
+    fn per_shard_capacity(&self) -> usize {
+        self.capacity.div_ceil(self.shards.len())
     }
 
     /// Fetch the table for `(n, theta)`, building and caching it on a
@@ -59,8 +91,9 @@ impl TableCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::new(SamplerTables::new(n, theta)?));
         }
+        let shard = self.shard(key);
         {
-            let inner = self.inner.lock().expect("table cache lock");
+            let inner = shard.lock().expect("table cache lock");
             if let Some(tables) = inner.map.get(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(Arc::clone(tables));
@@ -70,13 +103,13 @@ impl TableCache {
         // serialize concurrent misses on different keys
         let tables = Arc::new(SamplerTables::new(n, theta)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut inner = self.inner.lock().expect("table cache lock");
+        let mut inner = shard.lock().expect("table cache lock");
         // a racing builder may have inserted an equivalent table for
         // this key already; overwriting it is harmless (same (n, θ) →
         // identical contents) and `order` keeps a single entry
         if inner.map.insert(key, Arc::clone(&tables)).is_none() {
             inner.order.push_back(key);
-            if inner.order.len() > self.capacity {
+            if inner.order.len() > self.per_shard_capacity() {
                 if let Some(evicted) = inner.order.pop_front() {
                     inner.map.remove(&evicted);
                 }
@@ -95,9 +128,12 @@ impl TableCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Tables currently cached.
+    /// Tables currently cached (across all shards).
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("table cache lock").map.len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("table cache lock").map.len())
+            .sum()
     }
 
     /// True when nothing is cached.
@@ -108,6 +144,11 @@ impl TableCache {
     /// Configured capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 }
 
@@ -205,6 +246,30 @@ mod tests {
         let cache = TableCache::new(4);
         assert!(cache.get_or_build(10, -1.0).is_err());
         assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn sharded_cache_shares_hits_across_shards() {
+        let cache = TableCache::with_shards(16, 4);
+        assert_eq!(cache.shard_count(), 4);
+        for _ in 0..3 {
+            for n in [10usize, 20, 30, 40, 50] {
+                cache.get_or_build(n, 1.0).unwrap();
+            }
+        }
+        assert_eq!(cache.misses(), 5);
+        assert_eq!(cache.hits(), 10);
+        assert_eq!(cache.len(), 5);
+    }
+
+    #[test]
+    fn sharded_eviction_bounds_each_shard() {
+        let cache = TableCache::with_shards(8, 2); // 4 per shard
+        for n in 10..60 {
+            cache.get_or_build(n, 1.0).unwrap();
+        }
+        assert!(cache.len() <= 8, "len = {}", cache.len());
+        assert!(cache.len() >= 4, "both shards should retain entries");
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Allocation audit for the HTTP layer's warm path.
+//!
+//! The keep-alive reactor promises that a warm request performs zero
+//! heap allocations in the HTTP parse/serialize layer: JSON parsing
+//! into a reused [`JsonArena`], response-body serialization via
+//! [`RankResult::write_json`] into a reused `String`, and response
+//! framing via [`write_response_into`] into a reused `Vec<u8>`. This
+//! test pins that with a counting global allocator: warm each buffer
+//! once, then run the same operations again and assert the allocation
+//! counter did not move.
+//!
+//! (The *job* layer — building the owned `RankJob` handed to the
+//! engine — allocates by design and is outside the audited boundary;
+//! so is the error path, which formats messages.)
+//!
+//! Single test on purpose: the tracking flag is process-global, so a
+//! concurrently running test would pollute the count.
+
+use fairrank_engine::job::RankResult;
+use fairrank_engine::json::JsonArena;
+use fairrank_engine::server::write_response_into;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static TRACKING: AtomicBool = AtomicBool::new(false);
+
+// SAFETY: delegates every operation to `System` unchanged; the counter
+// update has no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Run `f` with allocation tracking on; return how many allocations it
+/// performed.
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    TRACKING.store(true, Ordering::SeqCst);
+    f();
+    TRACKING.store(false, Ordering::SeqCst);
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn warm_http_parse_and_serialize_layer_does_not_allocate() {
+    let request_body = r#"{"algorithm":"mallows","scores":[0.9,0.8,0.7,0.6,0.5,0.4],"groups":[0,0,0,1,1,1],"theta":0.8,"samples":25,"seed":42}"#;
+    let result = RankResult {
+        algorithm: "mallows".to_string(),
+        ranking: vec![0, 1, 2, 4, 3, 5],
+        consensus: None,
+        metrics: vec![
+            ("expected_kt".to_string(), 3.25),
+            ("ndcg".to_string(), 0.98712),
+            ("infeasible_index".to_string(), 0.0),
+        ],
+    };
+
+    let mut arena = JsonArena::new();
+    let mut body_out = String::new();
+    let mut response = Vec::new();
+
+    // warm every buffer once (capacities stick)
+    let doc = arena.parse(request_body).expect("valid request body");
+    assert_eq!(doc.get("algorithm").unwrap().as_str(), Some("mallows"));
+    result.write_json(&mut body_out);
+    write_response_into(&mut response, 200, &body_out, true, None);
+    let framed_len = response.len();
+
+    // ... then the same request again must not touch the allocator
+    body_out.clear();
+    let allocations = allocations_during(|| {
+        let doc = arena.parse(request_body).expect("valid request body");
+        // drive the accessors the routing layer uses
+        assert_eq!(doc.get("seed").unwrap().as_u64(), Some(42));
+        assert_eq!(doc.get("scores").unwrap().as_array().unwrap().count(), 6);
+        result.write_json(&mut body_out);
+        write_response_into(&mut response, 200, &body_out, true, None);
+    });
+    assert_eq!(
+        allocations, 0,
+        "warm HTTP parse/serialize layer must not allocate"
+    );
+    assert_eq!(response.len(), framed_len, "output must be reproduced");
+}

@@ -32,6 +32,7 @@ fn cached_submit_is_at_least_10x_faster_than_cold() {
         cache_capacity: 16,
 
         table_cache_capacity: 16,
+        cache_shards: 0,
     });
 
     let cold_start = Instant::now();

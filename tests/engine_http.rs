@@ -1,34 +1,51 @@
-//! End-to-end client/server round trip: POST a pipeline job to a live
-//! `fairrank-engine` HTTP server and verify the response is *identical*
-//! to the equivalent direct library call with the same seed.
+//! End-to-end client/server tests: round trips against a live
+//! `fairrank-engine` HTTP server (responses identical to the
+//! equivalent direct library calls), plus the keep-alive reactor
+//! behaviours — sequential requests over one connection, the
+//! max-requests cap, `Connection: close` handling, connection shedding
+//! under overload, and a multi-threaded hammer whose `/stats` counters
+//! must add up.
 
 use fairness_ranking::fairness::{FairnessBounds, GroupAssignment};
 use fairness_ranking::pipeline::{Aggregator, FairAggregationPipeline, PostProcessor};
 use fairness_ranking::ranking::Permutation;
-use fairrank_engine::server::Server;
+use fairrank_engine::server::{Server, ServerConfig, ServerHandle};
 use fairrank_engine::{Engine, EngineConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
 
-fn start_server() -> fairrank_engine::server::ServerHandle {
-    let engine = Engine::new(EngineConfig {
+fn test_engine() -> Arc<Engine> {
+    Engine::new(EngineConfig {
         workers: 4,
         queue_capacity: 64,
         cache_capacity: 64,
-
         table_cache_capacity: 16,
-    });
-    Server::bind("127.0.0.1:0", engine)
+        cache_shards: 0,
+    })
+}
+
+fn start_server() -> ServerHandle {
+    Server::bind("127.0.0.1:0", test_engine())
         .expect("binding an ephemeral port")
         .spawn()
+}
+
+fn start_server_with(config: ServerConfig) -> (ServerHandle, Arc<Engine>) {
+    let engine = test_engine();
+    let handle = Server::bind_with("127.0.0.1:0", Arc::clone(&engine), config)
+        .expect("binding an ephemeral port")
+        .spawn();
+    (handle, engine)
 }
 
 fn http_post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connecting to the server");
     let request = format!(
-        "POST {path} HTTP/1.1\r\nhost: localhost\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+        "POST {path} HTTP/1.1\r\nhost: localhost\r\ncontent-type: application/json\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(request.as_bytes()).unwrap();
@@ -48,7 +65,11 @@ fn http_post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
 
 fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).unwrap();
-    write!(stream, "GET {path} HTTP/1.1\r\nhost: localhost\r\n\r\n").unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nhost: localhost\r\nconnection: close\r\n\r\n"
+    )
+    .unwrap();
     let mut response = String::new();
     stream.read_to_string(&mut response).unwrap();
     let status = response
@@ -61,6 +82,95 @@ fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
         .map(|(_, b)| b.to_string())
         .unwrap_or_default();
     (status, body)
+}
+
+/// A keep-alive HTTP client: one connection, sequential requests,
+/// responses framed by `content-length`. (A sibling minimal reader
+/// lives in `crates/bench/benches/http_throughput.rs` — keep framing
+/// changes in sync.)
+struct KeepAliveClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+/// One parsed keep-alive response.
+struct Response {
+    status: u16,
+    head: String,
+    body: String,
+}
+
+impl KeepAliveClient {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connecting to the server");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        KeepAliveClient {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Send one request; `close` adds `connection: close`.
+    fn send(&mut self, method: &str, path: &str, body: &str, close: bool) {
+        let connection = if close { "connection: close\r\n" } else { "" };
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nhost: localhost\r\n{connection}content-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(request.as_bytes()).unwrap();
+    }
+
+    /// Read one response off the connection.
+    fn read_response(&mut self) -> Response {
+        // buffer until the head terminator
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk).expect("reading response head");
+            assert!(n > 0, "connection closed mid-response head");
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8(self.buf[..head_end].to_vec()).unwrap();
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        let content_length: usize = head
+            .lines()
+            .find_map(|line| {
+                let (name, value) = line.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().ok())?
+            })
+            .expect("content-length header");
+        self.buf.drain(..head_end);
+        while self.buf.len() < content_length {
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk).expect("reading response body");
+            assert!(n > 0, "connection closed mid-response body");
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        let body = String::from_utf8(self.buf[..content_length].to_vec()).unwrap();
+        self.buf.drain(..content_length);
+        Response { status, head, body }
+    }
+
+    /// Convenience: send + read.
+    fn request(&mut self, method: &str, path: &str, body: &str, close: bool) -> Response {
+        self.send(method, path, body, close);
+        self.read_response()
+    }
+
+    /// True when the server has closed the connection (EOF).
+    fn server_closed(&mut self) -> bool {
+        let mut byte = [0u8; 1];
+        matches!(self.stream.read(&mut byte), Ok(0))
+    }
 }
 
 /// Pull `"key":[…]` out of a JSON body as a vector of indices.
@@ -210,5 +320,302 @@ fn concurrent_http_clients_get_consistent_answers() {
             "all clients must see the same result"
         );
     }
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_many_sequential_requests_on_one_connection() {
+    let server = start_server();
+    let mut client = KeepAliveClient::connect(server.addr());
+
+    // 30 mixed requests on a single connection: good /rank bodies of
+    // two different sizes, malformed JSON, and unknown algorithms —
+    // every response must match its own request (status, ranking
+    // length) with no state leaking between them
+    for i in 0..30usize {
+        match i % 5 {
+            // small pool: 2 items
+            0 | 3 => {
+                let body = format!(
+                    r#"{{"algorithm":"weakly-fair","scores":[0.9,0.1],"groups":[0,1],"seed":{i}}}"#
+                );
+                let response = client.request("POST", "/rank", &body, false);
+                assert_eq!(response.status, 200, "request {i}: {}", response.body);
+                let ranking = json_index_array(&response.body, "ranking");
+                assert_eq!(ranking.len(), 2, "request {i}: {}", response.body);
+            }
+            // larger pool: 4 items
+            1 => {
+                let body = format!(
+                    r#"{{"algorithm":"weakly-fair","scores":[0.9,0.8,0.4,0.3],"groups":[0,0,1,1],"seed":{i}}}"#
+                );
+                let response = client.request("POST", "/rank", &body, false);
+                assert_eq!(response.status, 200, "request {i}: {}", response.body);
+                let ranking = json_index_array(&response.body, "ranking");
+                assert_eq!(ranking.len(), 4, "request {i}: {}", response.body);
+            }
+            // malformed JSON → 400, connection survives
+            2 => {
+                let response = client.request("POST", "/rank", "{nope", false);
+                assert_eq!(response.status, 400, "request {i}: {}", response.body);
+                assert!(response.body.contains("error"), "{}", response.body);
+            }
+            // unknown algorithm → 404, connection survives
+            _ => {
+                let response = client.request(
+                    "POST",
+                    "/rank",
+                    r#"{"algorithm":"psychic","scores":[1.0]}"#,
+                    false,
+                );
+                assert_eq!(response.status, 404, "request {i}: {}", response.body);
+            }
+        }
+    }
+
+    // keep-alive responses advertise it; an explicit close is honored
+    let response = client.request("GET", "/healthz", "", false);
+    assert!(
+        response.head.contains("connection: keep-alive"),
+        "{}",
+        response.head
+    );
+    let response = client.request("GET", "/healthz", "", true);
+    assert!(
+        response.head.contains("connection: close"),
+        "{}",
+        response.head
+    );
+    assert!(
+        client.server_closed(),
+        "server must close after `Connection: close`"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn http_1_0_defaults_to_connection_close() {
+    let server = start_server();
+    // legacy HTTP/1.0 client, no keep-alive opt-in: the server must
+    // close so EOF-framed clients terminate
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.0\r\nhost: localhost\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert!(response.contains("connection: close"), "{response}");
+
+    // ... but an explicit HTTP/1.0 keep-alive opt-in is honored
+    let mut client = KeepAliveClient::connect(server.addr());
+    client
+        .stream
+        .write_all(b"GET /healthz HTTP/1.0\r\nhost: localhost\r\nconnection: keep-alive\r\n\r\n")
+        .unwrap();
+    let response = client.read_response();
+    assert_eq!(response.status, 200);
+    assert!(
+        response.head.contains("connection: keep-alive"),
+        "{}",
+        response.head
+    );
+    let response = client.request("GET", "/healthz", "", false);
+    assert_eq!(response.status, 200, "connection must still be usable");
+    server.shutdown();
+}
+
+#[test]
+fn chunked_transfer_encoding_is_rejected_and_closes() {
+    let server = start_server();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    // a chunked body would desync keep-alive framing, so the server
+    // must refuse it outright and close the connection
+    stream
+        .write_all(
+            b"POST /rank HTTP/1.1\r\nhost: localhost\r\ntransfer-encoding: chunked\r\n\r\n5\r\n{\"a\":\r\n0\r\n\r\n",
+        )
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    assert!(response.contains("transfer-encoding"), "{response}");
+    assert!(response.contains("connection: close"), "{response}");
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_responses_match_fresh_connection_responses() {
+    let server = start_server();
+    let body = r#"{"algorithm":"mallows","scores":[0.9,0.7,0.5,0.3],"groups":[0,0,1,1],"samples":10,"seed":21}"#;
+    let (status, fresh) = http_post(server.addr(), "/rank", body);
+    assert_eq!(status, 200, "{fresh}");
+
+    let mut client = KeepAliveClient::connect(server.addr());
+    for i in 0..5 {
+        let response = client.request("POST", "/rank", body, false);
+        assert_eq!(response.status, 200, "request {i}");
+        assert_eq!(
+            response.body, fresh,
+            "keep-alive request {i} must be byte-identical to a fresh-connection request"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn max_requests_per_connection_cap_closes_the_connection() {
+    let (server, _engine) = start_server_with(ServerConfig {
+        max_requests_per_conn: 3,
+        ..ServerConfig::default()
+    });
+    let mut client = KeepAliveClient::connect(server.addr());
+    for i in 0..3 {
+        let response = client.request("GET", "/healthz", "", false);
+        assert_eq!(response.status, 200);
+        let expected = if i < 2 {
+            "connection: keep-alive"
+        } else {
+            "connection: close"
+        };
+        assert!(
+            response.head.contains(expected),
+            "request {i}: {}",
+            response.head
+        );
+    }
+    assert!(
+        client.server_closed(),
+        "server must close after the per-connection request cap"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn idle_keep_alive_connection_is_closed_by_the_read_timeout() {
+    let (server, _engine) = start_server_with(ServerConfig {
+        idle_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+    let mut client = KeepAliveClient::connect(server.addr());
+    let response = client.request("GET", "/healthz", "", false);
+    assert_eq!(response.status, 200);
+    // no next request: the server must hang up on its own
+    std::thread::sleep(Duration::from_millis(900));
+    assert!(client.server_closed(), "idle connection must be closed");
+    server.shutdown();
+}
+
+#[test]
+fn overloaded_reactor_sheds_connections_with_503_retry_after() {
+    let (server, engine) = start_server_with(ServerConfig {
+        io_threads: 1,
+        pending_connections: 1,
+        ..ServerConfig::default()
+    });
+
+    // occupy the single I/O worker: a keep-alive connection whose
+    // response proves the worker has dequeued it and is now parked
+    // reading the (never-sent) next request
+    let mut occupant = KeepAliveClient::connect(server.addr());
+    let response = occupant.request("GET", "/healthz", "", false);
+    assert_eq!(response.status, 200);
+
+    // fill the pending queue with a second connection (wait until the
+    // accept loop has actually taken it)
+    let _queued = TcpStream::connect(server.addr()).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while engine
+        .stats()
+        .connections
+        .load(std::sync::atomic::Ordering::Relaxed)
+        < 2
+    {
+        assert!(std::time::Instant::now() < deadline, "accept loop stalled");
+        std::thread::yield_now();
+    }
+
+    // the third connection must be shed loudly, not silently dropped
+    let mut shed = TcpStream::connect(server.addr()).unwrap();
+    let mut response = String::new();
+    shed.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+    assert!(response.contains("retry-after:"), "{response}");
+    assert!(response.contains("overloaded"), "{response}");
+    assert_eq!(
+        engine
+            .stats()
+            .rejected_connections
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    drop(occupant);
+    drop(_queued);
+    server.shutdown();
+}
+
+#[test]
+fn hammer_stats_counters_add_up() {
+    let server = start_server();
+    let addr = server.addr();
+    const THREADS: usize = 4;
+    const REQUESTS: usize = 40;
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = KeepAliveClient::connect(addr);
+                for i in 0..REQUESTS {
+                    // every 5th request is malformed (400); the rest
+                    // are unique good jobs (each a cache miss)
+                    if i % 5 == 4 {
+                        let response = client.request("POST", "/rank", "{nope", false);
+                        assert_eq!(response.status, 400);
+                    } else {
+                        let body = format!(
+                            r#"{{"algorithm":"weakly-fair","scores":[0.9,0.1],"groups":[0,1],"seed":{}}}"#,
+                            t * REQUESTS + i
+                        );
+                        let response = client.request("POST", "/rank", &body, false);
+                        assert_eq!(response.status, 200, "{}", response.body);
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    let (status, stats) = http_get(addr, "/stats");
+    assert_eq!(status, 200);
+    let bad = THREADS * (REQUESTS / 5);
+    let good = THREADS * REQUESTS - bad;
+    // + 1: the /stats request itself is counted before it is served
+    assert_eq!(
+        json_number(&stats, "http_requests"),
+        (THREADS * REQUESTS + 1) as f64,
+        "{stats}"
+    );
+    assert_eq!(json_number(&stats, "http_errors"), bad as f64, "{stats}");
+    // every good job is unique → all misses, none coalesced or cached
+    assert_eq!(json_number(&stats, "cache_misses"), good as f64, "{stats}");
+    assert_eq!(json_number(&stats, "cache_hits"), 0.0, "{stats}");
+    assert_eq!(
+        json_number(&stats, "jobs_executed") + json_number(&stats, "jobs_failed"),
+        good as f64,
+        "{stats}"
+    );
+    // 4 hammer connections + this stats connection (the shutdown kick
+    // may or may not land before the snapshot, so allow it)
+    let connections = json_number(&stats, "connections");
+    assert!(
+        connections >= (THREADS + 1) as f64,
+        "connections = {connections}: {stats}"
+    );
+    assert_eq!(json_number(&stats, "rejected_connections"), 0.0, "{stats}");
+    // latency quantiles are live once requests have been served
+    assert!(json_number(&stats, "latency_p99_us") >= json_number(&stats, "latency_p50_us"));
+    assert!(json_number(&stats, "latency_p50_us") > 0.0, "{stats}");
     server.shutdown();
 }
