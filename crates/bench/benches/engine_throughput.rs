@@ -39,6 +39,7 @@ fn engine() -> Arc<Engine> {
 
         table_cache_capacity: 16,
         cache_shards: 0,
+        ..EngineConfig::default()
     })
 }
 

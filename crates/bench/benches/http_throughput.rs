@@ -56,6 +56,7 @@ fn run_mode(name: &str, thread_per_conn: bool, per_thread: usize) -> f64 {
         cache_capacity: 1024,
         table_cache_capacity: 16,
         cache_shards: 0,
+        ..EngineConfig::default()
     });
     let server = Server::bind_with(
         "127.0.0.1:0",

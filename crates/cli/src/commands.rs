@@ -30,6 +30,7 @@ pub fn dispatch(args: &Args) -> Result<String> {
         "sample" => sample(args),
         "aggregate" => aggregate(args),
         "pipeline" => pipeline(args),
+        "experiment" => crate::experiment::experiment(args),
         "serve" => serve(args),
         "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
@@ -58,6 +59,8 @@ pub fn serve(args: &Args) -> Result<String> {
         cache_capacity: args.get_usize("cache", 1024)?,
         table_cache_capacity: args.get_usize("table-cache", 64)?,
         cache_shards: args.get_usize("cache-shards", 0)?,
+        job_runners: args.get_usize("job-runners", 2)?.max(1),
+        job_capacity: args.get_usize("job-capacity", 256)?.max(1),
     };
     let server_config = ServerConfig {
         io_threads: args.get_usize("io-threads", 0)?,
@@ -125,7 +128,9 @@ pub fn rank(args: &Args) -> Result<String> {
         .map_err(algo_err)?
         .into_order(),
         "ipf" => {
-            let sigma = Permutation::sorted_by_scores_desc(&table.scores);
+            // IPF post-processes the weakly-fair ranking (the paper's
+            // pipeline input) — same input as the engine registry
+            let sigma = weakly_fair_ranking(&table.scores, &table.groups, &bounds);
             approx_multi_valued_ipf(
                 &sigma,
                 &table.groups,
@@ -337,31 +342,32 @@ pub fn pipeline(args: &Args) -> Result<String> {
     Ok(text)
 }
 
-/// Parse a `label,group` CSV mapping each vote label to a group.
+/// Parse a `label,group` CSV mapping each vote label to a group,
+/// streaming through the shared reader.
 fn read_group_map(path: &str, labels: &[String]) -> Result<fairness_metrics::GroupAssignment> {
-    let content = std::fs::read_to_string(path)
-        .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
+    let src = fairrank_dataset::open_file(path).map_err(|e| CliError::Input(e.to_string()))?;
+    let mut reader = fairrank_dataset::CsvReader::new(src).comment(b'#');
     let mut group_of: Vec<Option<usize>> = vec![None; labels.len()];
     let mut group_labels: Vec<String> = Vec::new();
-    for (lineno, line) in content.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let Some((label, group)) = line.split_once(',') else {
+    while let Some(record) = reader
+        .read_record()
+        .map_err(|e| CliError::Input(e.to_string()))?
+    {
+        if record.len() != 2 {
             return Err(CliError::Input(format!(
                 "line {}: expected `label,group`",
-                lineno + 1
+                record.line()
             )));
-        };
-        let (label, group) = (label.trim(), group.trim().to_string());
+        }
+        let label = record.get(0).expect("two fields");
+        let group = record.get(1).expect("two fields");
         let Some(item) = labels.iter().position(|l| l == label) else {
             continue; // extra labels not in the vote universe are ignored
         };
-        let gid = match group_labels.iter().position(|g| *g == group) {
+        let gid = match group_labels.iter().position(|g| g == group) {
             Some(g) => g,
             None => {
-                group_labels.push(group);
+                group_labels.push(group.to_string());
                 group_labels.len() - 1
             }
         };

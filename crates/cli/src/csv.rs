@@ -1,9 +1,14 @@
-//! CSV input/output for the CLI (std-only, no external parser).
+//! CSV input/output for the CLI, built on the workspace's shared
+//! streaming reader ([`fairrank_dataset`]) — no hand-rolled line
+//! splitting.
 //!
 //! **Candidate files** hold one `id,score,group` row per candidate.
 //! A header row is detected (and skipped) when its second field does
 //! not parse as a number. Group labels are arbitrary strings and are
-//! densified in first-appearance order.
+//! densified in first-appearance order. Quoted fields (ids or group
+//! labels containing commas), CRLF line endings and `#` comment lines
+//! are handled by the shared reader; duplicate candidate ids are
+//! rejected with both line numbers.
 //!
 //! **Vote files** hold one complete ranking per line: comma-separated
 //! item labels, best first. Every line must rank exactly the same label
@@ -11,7 +16,17 @@
 
 use crate::{CliError, Result};
 use fairness_metrics::GroupAssignment;
+use fairrank_dataset::{BatchDecoder, CsvReader, FieldType};
 use ranking_core::Permutation;
+use std::io::BufRead;
+
+/// Rows decoded per streaming batch: bounds memory on huge files
+/// without a read call per row.
+const BATCH_ROWS: usize = 4096;
+
+fn input_err(e: impl std::fmt::Display) -> CliError {
+    CliError::Input(e.to_string())
+}
 
 /// A parsed candidate table.
 #[derive(Debug, Clone)]
@@ -27,56 +42,54 @@ pub struct CandidateTable {
 }
 
 impl CandidateTable {
-    /// Parse candidate CSV content (see module docs).
+    /// Parse candidate CSV content held in memory (see module docs).
+    /// [`CandidateTable::from_reader`] streams instead.
     pub fn parse(content: &str) -> Result<Self> {
-        let mut ids = Vec::new();
+        Self::from_reader(content.as_bytes())
+    }
+
+    /// Stream candidate CSV from any buffered reader: rows are decoded
+    /// in bounded typed batches, so peak memory is the parsed columns,
+    /// never the raw file.
+    pub fn from_reader<R: BufRead>(src: R) -> Result<Self> {
+        let mut reader = CsvReader::new(src).comment(b'#');
+        let mut decoder = BatchDecoder::new(vec![FieldType::Str, FieldType::F64, FieldType::Str])
+            .sniff_header(true);
+        let mut ids: Vec<String> = Vec::new();
         let mut scores = Vec::new();
         let mut group_ids = Vec::new();
         let mut group_labels: Vec<String> = Vec::new();
-        for (lineno, line) in content.lines().enumerate() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
+        // source line per row, for exact duplicate-id reporting (a
+        // transient column: cheaper than a per-id hash map, which
+        // would re-own every id string and dominate peak memory)
+        let mut lines: Vec<u64> = Vec::new();
+        while let Some(batch) = decoder
+            .read_batch(&mut reader, BATCH_ROWS)
+            .map_err(input_err)?
+        {
+            let (mut columns, mut batch_lines) = batch.into_parts();
+            let batch_groups = columns.pop().and_then(|c| c.into_str()).expect("column 2");
+            let mut batch_scores = columns.pop().and_then(|c| c.into_f64()).expect("column 1");
+            let mut batch_ids = columns.pop().and_then(|c| c.into_str()).expect("column 0");
+            ids.append(&mut batch_ids);
+            scores.append(&mut batch_scores);
+            lines.append(&mut batch_lines);
+            for label in batch_groups {
+                let gid = match group_labels.iter().position(|l| *l == label) {
+                    Some(g) => g,
+                    None => {
+                        group_labels.push(label);
+                        group_labels.len() - 1
+                    }
+                };
+                group_ids.push(gid);
             }
-            let fields: Vec<&str> = line.split(',').map(str::trim).collect();
-            if fields.len() != 3 {
-                return Err(CliError::Input(format!(
-                    "line {}: expected `id,score,group`, found {} field(s)",
-                    lineno + 1,
-                    fields.len()
-                )));
-            }
-            let Ok(score) = fields[1].parse::<f64>() else {
-                if ids.is_empty() {
-                    continue; // header row
-                }
-                return Err(CliError::Input(format!(
-                    "line {}: score `{}` is not a number",
-                    lineno + 1,
-                    fields[1]
-                )));
-            };
-            if !score.is_finite() {
-                return Err(CliError::Input(format!(
-                    "line {}: score must be finite",
-                    lineno + 1
-                )));
-            }
-            ids.push(fields[0].to_string());
-            scores.push(score);
-            let label = fields[2].to_string();
-            let gid = match group_labels.iter().position(|l| *l == label) {
-                Some(g) => g,
-                None => {
-                    group_labels.push(label);
-                    group_labels.len() - 1
-                }
-            };
-            group_ids.push(gid);
         }
         if ids.is_empty() {
             return Err(CliError::Input("no candidate rows found".to_string()));
         }
+        reject_duplicate_ids(&ids, &lines)?;
+        drop(lines);
         let num_groups = group_labels.len();
         let groups = GroupAssignment::new(group_ids, num_groups)
             .expect("dense ids are in range by construction");
@@ -88,11 +101,9 @@ impl CandidateTable {
         })
     }
 
-    /// Read and parse a candidate file.
+    /// Read and parse a candidate file, streaming.
     pub fn read(path: &str) -> Result<Self> {
-        let content = std::fs::read_to_string(path)
-            .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
-        Self::parse(&content)
+        Self::from_reader(fairrank_dataset::open_file(path).map_err(input_err)?)
     }
 
     /// Number of candidates.
@@ -121,6 +132,54 @@ impl CandidateTable {
     }
 }
 
+/// Duplicate-candidate-id check: sort `(hash, row)` keys and compare
+/// actual strings only inside equal-hash runs — `O(n log n)` integer
+/// sort, one 12-byte-per-row transient vector (a `HashMap` of id
+/// strings would dominate the table's peak memory). Reports the
+/// earliest offending re-occurrence with both line numbers.
+fn reject_duplicate_ids(ids: &[String], lines: &[u64]) -> Result<()> {
+    fn fnv(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+    let mut keyed: Vec<(u64, u32)> = ids
+        .iter()
+        .enumerate()
+        .map(|(row, id)| (fnv(id), row as u32))
+        .collect();
+    keyed.sort_unstable();
+    let mut earliest: Option<(u32, u32)> = None; // (first row, duplicate row)
+    let mut run_start = 0;
+    for i in 1..=keyed.len() {
+        if i < keyed.len() && keyed[i].0 == keyed[run_start].0 {
+            continue;
+        }
+        // compare all pairs inside the equal-hash run (runs are tiny)
+        for a in run_start..i {
+            for b in a + 1..i {
+                let (first, dup) = (keyed[a].1, keyed[b].1);
+                if ids[first as usize] == ids[dup as usize]
+                    && earliest.is_none_or(|(_, d)| lines[dup as usize] < lines[d as usize])
+                {
+                    earliest = Some((first, dup));
+                }
+            }
+        }
+        run_start = i;
+    }
+    match earliest {
+        None => Ok(()),
+        Some((first, dup)) => Err(CliError::Input(format!(
+            "line {}: duplicate candidate id `{}` (first seen at line {})",
+            lines[dup as usize], ids[dup as usize], lines[first as usize]
+        ))),
+    }
+}
+
 /// A parsed vote profile over a shared label universe.
 #[derive(Debug, Clone)]
 pub struct VoteProfile {
@@ -131,49 +190,47 @@ pub struct VoteProfile {
 }
 
 impl VoteProfile {
-    /// Parse vote CSV content (one ranking per line).
+    /// Parse vote CSV content held in memory (one ranking per line).
     pub fn parse(content: &str) -> Result<Self> {
+        Self::from_reader(content.as_bytes())
+    }
+
+    /// Stream a vote profile from any buffered reader, one ranking at
+    /// a time.
+    pub fn from_reader<R: BufRead>(src: R) -> Result<Self> {
+        let mut reader = CsvReader::new(src).comment(b'#');
         let mut labels: Vec<String> = Vec::new();
         let mut votes = Vec::new();
-        for (lineno, line) in content.lines().enumerate() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            let fields: Vec<String> = line.split(',').map(|s| s.trim().to_string()).collect();
+        let mut order: Vec<usize> = Vec::new();
+        while let Some(record) = reader.read_record().map_err(input_err)? {
+            let lineno = record.line();
             if labels.is_empty() {
-                labels = fields.clone();
+                labels = record.iter().map(str::to_string).collect();
                 let mut sorted = labels.clone();
                 sorted.sort();
                 sorted.dedup();
                 if sorted.len() != labels.len() {
                     return Err(CliError::Input(format!(
-                        "line {}: duplicate label in ranking",
-                        lineno + 1
+                        "line {lineno}: duplicate label in ranking"
                     )));
                 }
             }
-            if fields.len() != labels.len() {
+            if record.len() != labels.len() {
                 return Err(CliError::Input(format!(
-                    "line {}: ranking has {} items, expected {}",
-                    lineno + 1,
-                    fields.len(),
+                    "line {lineno}: ranking has {} items, expected {}",
+                    record.len(),
                     labels.len()
                 )));
             }
-            let order: Vec<usize> = fields
-                .iter()
-                .map(|f| {
-                    labels.iter().position(|l| l == f).ok_or_else(|| {
-                        CliError::Input(format!("line {}: unknown label `{f}`", lineno + 1))
-                    })
-                })
-                .collect::<Result<_>>()?;
-            let vote = Permutation::from_order(order).map_err(|_| {
-                CliError::Input(format!(
-                    "line {}: not a permutation of the labels",
-                    lineno + 1
-                ))
+            order.clear();
+            for field in record.iter() {
+                let item = labels.iter().position(|l| l == field).ok_or_else(|| {
+                    CliError::Input(format!("line {lineno}: unknown label `{field}`"))
+                })?;
+                order.push(item);
+            }
+            let vote = Permutation::from_order(order.clone()).map_err(|_| {
+                CliError::Input(format!("line {lineno}: not a permutation of the labels"))
             })?;
             votes.push(vote);
         }
@@ -183,11 +240,9 @@ impl VoteProfile {
         Ok(VoteProfile { labels, votes })
     }
 
-    /// Read and parse a vote file.
+    /// Read and parse a vote file, streaming.
     pub fn read(path: &str) -> Result<Self> {
-        let content = std::fs::read_to_string(path)
-            .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
-        Self::parse(&content)
+        Self::from_reader(fairrank_dataset::open_file(path).map_err(input_err)?)
     }
 
     /// Render a consensus permutation as a label line.
@@ -235,11 +290,37 @@ mod tests {
     }
 
     #[test]
+    fn parses_quoted_ids_with_commas_and_crlf() {
+        let t = CandidateTable::parse("id,score,group\r\n\"smith, alice\",0.9,f\r\nbob,0.8,m\r\n")
+            .unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.ids[0], "smith, alice");
+        assert_eq!(t.group_labels, vec!["f", "m"]);
+    }
+
+    #[test]
+    fn rejects_duplicate_ids_with_both_line_numbers() {
+        let err = CandidateTable::parse("a,1.0,x\nb,0.9,x\na,0.8,y\n").unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("line 3"), "{message}");
+        assert!(message.contains("duplicate candidate id `a`"), "{message}");
+        assert!(message.contains("first seen at line 1"), "{message}");
+    }
+
+    #[test]
     fn rejects_malformed_rows() {
         assert!(CandidateTable::parse("a,1.0\n").is_err());
         assert!(CandidateTable::parse("a,1.0,x\nb,notanumber,x\n").is_err());
-        assert!(CandidateTable::parse("a,inf,x\n").is_err());
+        assert!(CandidateTable::parse("a,1.0,x\nb,inf,x\n").is_err());
         assert!(CandidateTable::parse("").is_err());
+    }
+
+    #[test]
+    fn malformed_rows_report_line_numbers() {
+        let err = CandidateTable::parse("a,1.0,x\nb,nope,x\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = CandidateTable::parse("a,1.0,x\nb,0.5\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
     }
 
     #[test]

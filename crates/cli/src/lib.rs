@@ -19,6 +19,7 @@
 pub mod args;
 pub mod commands;
 pub mod csv;
+pub mod experiment;
 
 /// Errors surfaced to the terminal user.
 #[derive(Debug)]
@@ -69,6 +70,7 @@ COMMANDS:
     sample      draw permutations from a Mallows distribution
     aggregate   aggregate a vote profile into a consensus ranking
     pipeline    aggregate + fair post-process in one call
+    experiment  run the German-Credit evaluation sweep as an engine batch job
     serve       run the batch-serving engine's HTTP JSON API
     help        print this message
 
@@ -103,6 +105,23 @@ PIPELINE:
                       (default mallows; --theta/--samples apply)
         --seed        RNG seed for reproducible runs   (default 42)
 
+EXPERIMENT:
+    fairrank experiment [--sizes 10,20,..] [--reps N] [--data FILE]
+        --sizes       ranking sizes to sweep           (default 10..50)
+        --reps        repetitions per size             (default 5)
+        --theta       Mallows dispersion θ             (default 1.0)
+        --noise       constraint-noise σ               (default 0)
+        --samples     Mallows best-of-m samples        (default 15)
+        --data        stream a dataset file instead of the synthetic
+                      generator (UCI Statlog `german.data`, or the
+                      `age,sex,housing,credit_amount` CSV)
+        --format      statlog | csv    (default: sniffed from extension)
+        --workers     engine worker threads            (default 2)
+        --csv         `true` emits CSV tables          (default false)
+        --seed        RNG seed                         (default 42)
+    Every (size, rep, algorithm) cell is one chunk of a single engine
+    batch job — the same execution core as POST /jobs.
+
 SERVE:
     fairrank serve [--host H] [--port P] [--workers N] [--io-threads N]
         --host        bind address                     (default 127.0.0.1)
@@ -116,7 +135,10 @@ SERVE:
         --max-conn-requests requests served per connection  (default 1024)
         --idle-timeout-ms  keep-alive idle timeout          (default 5000)
         --pending          accepted-connection backlog      (default 1024)
-    Routes: POST /rank | /aggregate | /pipeline, GET /healthz | /stats.
+        --job-runners      async batch-job runner threads   (default 2)
+        --job-capacity     batch-job store capacity         (default 256)
+    Routes: POST /rank | /aggregate | /pipeline | /jobs,
+            GET /jobs/{id} | /healthz | /stats, DELETE /jobs/{id}.
     Request fields mirror the flags above (scores/votes/groups inline).
     Connections are HTTP/1.1 keep-alive; send `Connection: close` to
     end one, or it closes after --max-conn-requests requests or

@@ -1,0 +1,511 @@
+//! The streaming, record-at-a-time CSV reader.
+
+use crate::{CsvError, CsvErrorKind, Result};
+use std::io::BufRead;
+
+/// A streaming CSV reader over any [`BufRead`].
+///
+/// One record is parsed at a time into reusable internal buffers, so
+/// memory is bounded by the largest single record regardless of file
+/// size. The dialect covers what the workspace's inputs need:
+///
+/// * quoted fields (`"smith, carol"`) with `""` escapes and embedded
+///   newlines (multi-line fields);
+/// * CRLF and bare-LF line endings;
+/// * blank lines and (optionally) comment lines, skipped;
+/// * a whitespace-merging mode for space-aligned files such as UCI
+///   Statlog (`delimiter(b' ')` + `merge_delimiters(true)`), where
+///   runs of the delimiter separate fields and empty fields are
+///   dropped;
+/// * unquoted fields trimmed of surrounding ASCII whitespace (the
+///   workspace's historical behaviour; quoted fields are verbatim).
+///
+/// Errors carry the 1-based line number where the record started.
+pub struct CsvReader<R> {
+    src: R,
+    delimiter: u8,
+    comment: Option<u8>,
+    merge: bool,
+    trim: bool,
+    /// 1-based number of the next physical line to read.
+    next_line: u64,
+    /// Line the current record started on.
+    record_line: u64,
+    /// Reusable physical-line buffer.
+    raw: String,
+    /// Current field under construction (unescaped).
+    field: String,
+    /// Unescaped text of every field of the current record.
+    buf: String,
+    /// End offset in `buf` of each field.
+    ends: Vec<usize>,
+}
+
+impl<R: BufRead> CsvReader<R> {
+    /// A comma-separated reader with no comment character.
+    pub fn new(src: R) -> Self {
+        CsvReader {
+            src,
+            delimiter: b',',
+            comment: None,
+            merge: false,
+            trim: true,
+            next_line: 1,
+            record_line: 0,
+            raw: String::new(),
+            field: String::new(),
+            buf: String::new(),
+            ends: Vec::new(),
+        }
+    }
+
+    /// A whitespace-separated reader (runs of spaces/tabs separate
+    /// fields) — the UCI Statlog dialect.
+    pub fn space_separated(src: R) -> Self {
+        CsvReader::new(src).delimiter(b' ').merge_delimiters(true)
+    }
+
+    /// Change the field delimiter (an ASCII byte). Tab delimiters also
+    /// match literal tabs when whitespace-merging is on.
+    pub fn delimiter(mut self, delimiter: u8) -> Self {
+        self.delimiter = delimiter;
+        self
+    }
+
+    /// Skip lines whose first non-blank byte is `comment`.
+    pub fn comment(mut self, comment: u8) -> Self {
+        self.comment = Some(comment);
+        self
+    }
+
+    /// Treat runs of the delimiter as one separator and drop empty
+    /// unquoted fields (for whitespace-aligned files).
+    pub fn merge_delimiters(mut self, merge: bool) -> Self {
+        self.merge = merge;
+        self
+    }
+
+    /// Whether unquoted fields are trimmed of surrounding ASCII
+    /// whitespace (default: true).
+    pub fn trim(mut self, trim: bool) -> Self {
+        self.trim = trim;
+        self
+    }
+
+    /// Read the next record, skipping blank and comment lines.
+    /// Returns `Ok(None)` at end of input. The returned record borrows
+    /// the reader's buffers and is invalidated by the next call.
+    pub fn read_record(&mut self) -> Result<Option<StrRecord<'_>>> {
+        loop {
+            if !self.next_content_line()? {
+                return Ok(None);
+            }
+            self.parse_record()?;
+            if self.ends.is_empty() {
+                // a line of pure delimiters in merge mode: nothing here
+                continue;
+            }
+            return Ok(Some(StrRecord {
+                buf: &self.buf,
+                ends: &self.ends,
+                line: self.record_line,
+            }));
+        }
+    }
+
+    /// Advance `raw` to the next non-blank, non-comment line. Returns
+    /// false at end of input.
+    fn next_content_line(&mut self) -> Result<bool> {
+        loop {
+            if !self.fill_raw_line()? {
+                return Ok(false);
+            }
+            self.record_line = self.next_line - 1;
+            let content = self.raw.trim_start();
+            if content.is_empty() {
+                continue;
+            }
+            if let Some(comment) = self.comment {
+                if content.as_bytes()[0] == comment {
+                    continue;
+                }
+            }
+            return Ok(true);
+        }
+    }
+
+    /// Read one physical line into `raw` (line ending stripped),
+    /// advancing the line counter. Returns false at end of input.
+    fn fill_raw_line(&mut self) -> Result<bool> {
+        self.raw.clear();
+        let n = self.src.read_line(&mut self.raw).map_err(|e| CsvError {
+            line: self.next_line,
+            kind: if e.kind() == std::io::ErrorKind::InvalidData {
+                CsvErrorKind::Utf8
+            } else {
+                CsvErrorKind::Io(e.to_string())
+            },
+        })?;
+        if n == 0 {
+            return Ok(false);
+        }
+        self.next_line += 1;
+        if self.raw.ends_with('\n') {
+            self.raw.pop();
+            if self.raw.ends_with('\r') {
+                self.raw.pop();
+            }
+        }
+        Ok(true)
+    }
+
+    /// Parse the record starting in `raw` into `buf`/`ends`, pulling
+    /// continuation lines while inside a quoted field.
+    fn parse_record(&mut self) -> Result<()> {
+        self.buf.clear();
+        self.ends.clear();
+        self.field.clear();
+        // fast path: no quote anywhere in the line — split on the
+        // delimiter directly, skipping the per-field scratch buffer
+        if !self.raw.as_bytes().contains(&b'"') {
+            let bytes = self.raw.as_bytes();
+            let mut start = 0;
+            for i in 0..=bytes.len() {
+                if i < bytes.len() && !self.is_delimiter(bytes[i]) {
+                    continue;
+                }
+                let mut text = &self.raw[start..i];
+                if self.trim {
+                    text = text.trim();
+                }
+                if !(self.merge && text.is_empty()) {
+                    self.buf.push_str(text);
+                    self.ends.push(self.buf.len());
+                }
+                start = i + 1;
+            }
+            return Ok(());
+        }
+        let mut in_quotes = false;
+        // whether the field under construction opened with a quote
+        let mut quoted = false;
+        loop {
+            let mut i = 0;
+            while i < self.raw.len() {
+                let bytes = self.raw.as_bytes();
+                if in_quotes {
+                    match bytes[i..].iter().position(|&b| b == b'"') {
+                        None => {
+                            self.field.push_str(&self.raw[i..]);
+                            i = self.raw.len();
+                        }
+                        Some(off) => {
+                            self.field.push_str(&self.raw[i..i + off]);
+                            i += off;
+                            if bytes.get(i + 1) == Some(&b'"') {
+                                self.field.push('"');
+                                i += 2;
+                            } else {
+                                in_quotes = false;
+                                i += 1;
+                            }
+                        }
+                    }
+                    continue;
+                }
+                let b = bytes[i];
+                if self.is_delimiter(b) {
+                    self.end_field(quoted);
+                    quoted = false;
+                    i += 1;
+                } else if b == b'"'
+                    && !quoted
+                    && (self.field.is_empty() || (self.trim && self.field.trim().is_empty()))
+                {
+                    // an opening quote (leading whitespace tolerated
+                    // when trimming): the field restarts verbatim
+                    self.field.clear();
+                    in_quotes = true;
+                    quoted = true;
+                    i += 1;
+                } else if quoted && (b == b' ' || b == b'\t') {
+                    // whitespace between a closing quote and the next
+                    // delimiter is not part of the field
+                    i += 1;
+                } else {
+                    // literal run up to the next delimiter or quote
+                    let end = bytes[i..]
+                        .iter()
+                        .position(|&b| self.is_delimiter(b) || b == b'"')
+                        .map_or(self.raw.len(), |off| i + off);
+                    if end == i {
+                        // a literal quote inside an unquoted field
+                        self.field.push('"');
+                        i += 1;
+                    } else {
+                        self.field.push_str(&self.raw[i..end]);
+                        i = end;
+                    }
+                }
+            }
+            if !in_quotes {
+                break;
+            }
+            // the quoted field continues on the next physical line
+            self.field.push('\n');
+            if !self.fill_raw_line()? {
+                return Err(CsvError {
+                    line: self.record_line,
+                    kind: CsvErrorKind::UnclosedQuote,
+                });
+            }
+        }
+        self.end_field(quoted);
+        Ok(())
+    }
+
+    fn is_delimiter(&self, b: u8) -> bool {
+        b == self.delimiter || (self.merge && self.delimiter == b' ' && b == b'\t')
+    }
+
+    /// Commit the field under construction to the record, applying
+    /// trimming and merge-mode empty-field dropping.
+    fn end_field(&mut self, quoted: bool) {
+        let text = if quoted || !self.trim {
+            self.field.as_str()
+        } else {
+            self.field.trim()
+        };
+        if !(self.merge && !quoted && text.is_empty()) {
+            self.buf.push_str(text);
+            self.ends.push(self.buf.len());
+        }
+        self.field.clear();
+    }
+}
+
+/// A zero-copy view of one record: fields borrow the reader's internal
+/// buffer and are valid until the next `read_record` call.
+#[derive(Debug, Clone, Copy)]
+pub struct StrRecord<'a> {
+    buf: &'a str,
+    ends: &'a [usize],
+    line: u64,
+}
+
+impl<'a> StrRecord<'a> {
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// True when the record has no fields (never returned by
+    /// `read_record`).
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// 1-based line number the record started on.
+    pub fn line(&self) -> u64 {
+        self.line
+    }
+
+    /// Field by 0-based index.
+    pub fn get(&self, index: usize) -> Option<&'a str> {
+        let end = *self.ends.get(index)?;
+        let start = if index == 0 { 0 } else { self.ends[index - 1] };
+        Some(&self.buf[start..end])
+    }
+
+    /// Iterate over the fields in order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a str> + '_ {
+        (0..self.len()).map(|i| self.get(i).expect("index in range"))
+    }
+
+    /// Field by index, or a line-numbered field-count error.
+    pub fn require(&self, index: usize) -> Result<&'a str> {
+        self.get(index).ok_or(CsvError {
+            line: self.line,
+            kind: CsvErrorKind::FieldCount {
+                expected: index + 1,
+                found: self.len(),
+            },
+        })
+    }
+
+    /// Error unless the record has exactly `expected` fields.
+    pub fn expect_len(&self, expected: usize) -> Result<()> {
+        if self.len() == expected {
+            Ok(())
+        } else {
+            Err(CsvError {
+                line: self.line,
+                kind: CsvErrorKind::FieldCount {
+                    expected,
+                    found: self.len(),
+                },
+            })
+        }
+    }
+
+    /// Parse field `index` as a finite `f64`, with a line- and
+    /// field-numbered error.
+    pub fn parse_f64(&self, index: usize) -> Result<f64> {
+        let text = self.require(index)?;
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(x),
+            _ => Err(self.parse_error(index, "a finite number", text)),
+        }
+    }
+
+    /// Parse field `index` as a `usize`, with a line- and
+    /// field-numbered error.
+    pub fn parse_usize(&self, index: usize) -> Result<usize> {
+        let text = self.require(index)?;
+        text.parse::<usize>()
+            .map_err(|_| self.parse_error(index, "a non-negative integer", text))
+    }
+
+    /// A [`CsvErrorKind::Parse`] error pinned to this record's line.
+    pub fn parse_error(&self, index: usize, expected: &str, value: &str) -> CsvError {
+        let mut value = value.to_string();
+        value.truncate(64);
+        CsvError {
+            line: self.line,
+            kind: CsvErrorKind::Parse {
+                field: index,
+                expected: expected.to_string(),
+                value,
+            },
+        }
+    }
+
+    /// Header sniffing: true when any of the listed fields does *not*
+    /// parse as a number — i.e. the record looks like a header row for
+    /// a schema whose `numeric_fields` should be numeric.
+    pub fn looks_like_header(&self, numeric_fields: &[usize]) -> bool {
+        numeric_fields
+            .iter()
+            .any(|&i| self.get(i).is_none_or(|f| f.parse::<f64>().is_err()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_all(reader: &mut CsvReader<&[u8]>) -> Vec<(u64, Vec<String>)> {
+        let mut out = Vec::new();
+        while let Some(record) = reader.read_record().unwrap() {
+            out.push((record.line(), record.iter().map(str::to_string).collect()));
+        }
+        out
+    }
+
+    #[test]
+    fn plain_fields_and_line_numbers() {
+        let mut r = CsvReader::new("a,1,x\nb,2,y\n".as_bytes());
+        let rows = read_all(&mut r);
+        assert_eq!(rows[0], (1, vec!["a".into(), "1".into(), "x".into()]));
+        assert_eq!(rows[1], (2, vec!["b".into(), "2".into(), "y".into()]));
+    }
+
+    #[test]
+    fn crlf_and_missing_final_newline() {
+        let mut r = CsvReader::new("a,1\r\nb,2".as_bytes());
+        let rows = read_all(&mut r);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].1, vec!["b", "2"]);
+    }
+
+    #[test]
+    fn quoted_fields_keep_commas_and_escapes() {
+        let mut r = CsvReader::new("\"smith, carol\",0.7\n\"say \"\"hi\"\"\",1\n".as_bytes());
+        let rows = read_all(&mut r);
+        assert_eq!(rows[0].1, vec!["smith, carol", "0.7"]);
+        assert_eq!(rows[1].1, vec!["say \"hi\"", "1"]);
+    }
+
+    #[test]
+    fn quoted_field_spans_lines_and_line_numbers_stay_right() {
+        let mut r = CsvReader::new("\"two\nlines\",1\nnext,2\n".as_bytes());
+        let rows = read_all(&mut r);
+        assert_eq!(rows[0], (1, vec!["two\nlines".into(), "1".into()]));
+        assert_eq!(rows[1], (3, vec!["next".into(), "2".into()]));
+    }
+
+    #[test]
+    fn unclosed_quote_is_an_error() {
+        let mut r = CsvReader::new("\"open,1\n".as_bytes());
+        let err = r.read_record().unwrap_err();
+        assert_eq!(err.kind, CsvErrorKind::UnclosedQuote);
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn blank_and_comment_lines_skipped() {
+        let mut r = CsvReader::new("# header\n\n  \na,1\n#x\nb,2\n".as_bytes()).comment(b'#');
+        let rows = read_all(&mut r);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, 4);
+        assert_eq!(rows[1].0, 6);
+    }
+
+    #[test]
+    fn unquoted_fields_are_trimmed_quoted_kept() {
+        let mut r = CsvReader::new(" a , \" b \" ,c\n".as_bytes());
+        let rows = read_all(&mut r);
+        assert_eq!(rows[0].1, vec!["a", " b ", "c"]);
+    }
+
+    #[test]
+    fn empty_fields_survive_in_csv_mode() {
+        let mut r = CsvReader::new("a,,c\n,,\n".as_bytes());
+        let rows = read_all(&mut r);
+        assert_eq!(rows[0].1, vec!["a", "", "c"]);
+        assert_eq!(rows[1].1, vec!["", "", ""]);
+    }
+
+    #[test]
+    fn whitespace_mode_merges_runs() {
+        let mut r = CsvReader::space_separated("A11  6\tA34   A43\n  B 1\n".as_bytes());
+        let rows = read_all(&mut r);
+        assert_eq!(rows[0].1, vec!["A11", "6", "A34", "A43"]);
+        assert_eq!(rows[1].1, vec!["B", "1"]);
+    }
+
+    #[test]
+    fn typed_accessors_pin_line_and_field() {
+        let mut r = CsvReader::new("a,nope\n".as_bytes());
+        let record = r.read_record().unwrap().unwrap();
+        assert_eq!(record.parse_f64(1).unwrap_err().line, 1);
+        let err = record.parse_usize(1).unwrap_err();
+        assert!(matches!(err.kind, CsvErrorKind::Parse { field: 1, .. }));
+        assert!(record.require(5).is_err());
+        assert!(record.expect_len(3).is_err());
+        assert_eq!(record.parse_f64(5).unwrap_err().line, 1);
+    }
+
+    #[test]
+    fn header_sniffing() {
+        let mut r = CsvReader::new("id,score,group\nalice,0.9,f\n".as_bytes());
+        let header = r.read_record().unwrap().unwrap();
+        assert!(header.looks_like_header(&[1]));
+        let data = r.read_record().unwrap().unwrap();
+        assert!(!data.looks_like_header(&[1]));
+    }
+
+    #[test]
+    fn literal_quote_inside_unquoted_field() {
+        let mut r = CsvReader::new("it\"s,1\n".as_bytes());
+        let rows = read_all(&mut r);
+        assert_eq!(rows[0].1, vec!["it\"s", "1"]);
+    }
+
+    #[test]
+    fn invalid_utf8_is_reported() {
+        let mut r = CsvReader::new(&[0x61u8, 0xFF, 0x0A][..]);
+        let err = r.read_record().unwrap_err();
+        assert_eq!(err.kind, CsvErrorKind::Utf8);
+    }
+}

@@ -1,0 +1,129 @@
+//! **fairrank_dataset** — the workspace's streaming dataset layer.
+//!
+//! Every batch workload in the workspace (CLI CSV commands, the
+//! `crates/datasets` loaders, the `crates/experiments` credit pipeline
+//! and the engine's batch-ingest path) used to slurp whole files into
+//! `String`s and split lines by hand, each with its own partial CSV
+//! dialect. This crate replaces those parsers with one shared,
+//! record-at-a-time reader in the spirit of BurntSushi's `xsv`:
+//!
+//! * [`CsvReader`] — a streaming reader over any [`std::io::BufRead`].
+//!   Handles quoted fields (embedded delimiters, escaped quotes,
+//!   multi-line fields), CRLF and bare-LF line endings, comment and
+//!   blank lines, and a whitespace-merging mode for space-aligned
+//!   files such as UCI Statlog. Memory is bounded by the largest
+//!   single record, not the file: all buffers are reused between
+//!   records.
+//! * [`StrRecord`] — a zero-copy view of the current record: fields
+//!   borrow the reader's internal buffer, and typed accessors
+//!   ([`StrRecord::parse_f64`], [`StrRecord::parse_usize`], …) attach
+//!   the 1-based line number and field index to every error.
+//! * [`RecordBatch`] / [`BatchDecoder`] — typed columnar decoding in
+//!   bounded chunks, for consumers that want `Vec<f64>` columns
+//!   without materializing the whole file first.
+//!
+//! ```
+//! use fairrank_dataset::{CsvReader, FieldType, BatchDecoder};
+//!
+//! let file = "alice,0.9,f\r\nbob,0.8,m\r\n\"smith, carol\",0.7,f\n";
+//! let mut reader = CsvReader::new(file.as_bytes());
+//! let mut decoder = BatchDecoder::new(vec![FieldType::Str, FieldType::F64, FieldType::Str]);
+//! let batch = decoder.read_batch(&mut reader, 1024).unwrap().unwrap();
+//! assert_eq!(batch.rows(), 3);
+//! assert_eq!(batch.column(1).as_f64().unwrap(), &[0.9, 0.8, 0.7]);
+//! assert_eq!(batch.column(0).as_str().unwrap()[2], "smith, carol");
+//! ```
+
+#![warn(missing_docs)]
+
+mod batch;
+mod csv;
+
+pub use batch::{BatchDecoder, Column, FieldType, RecordBatch};
+pub use csv::{CsvReader, StrRecord};
+
+/// Error raised while reading or decoding a record, carrying the
+/// 1-based line number where the record started.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based line number of the offending record (0 for whole-file
+    /// problems such as I/O failures before any record).
+    pub line: u64,
+    /// What went wrong.
+    pub kind: CsvErrorKind,
+}
+
+/// The failure classes of the streaming reader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvErrorKind {
+    /// Underlying I/O failure.
+    Io(String),
+    /// A quoted field was never closed before end of input.
+    UnclosedQuote,
+    /// The record has the wrong number of fields.
+    FieldCount {
+        /// Fields the schema expects.
+        expected: usize,
+        /// Fields actually present.
+        found: usize,
+    },
+    /// A field failed to parse as its expected type.
+    Parse {
+        /// 0-based field index within the record.
+        field: usize,
+        /// Human name of the expected type or value set.
+        expected: String,
+        /// The offending field text (truncated to 64 bytes).
+        value: String,
+    },
+    /// Input is not valid UTF-8.
+    Utf8,
+    /// Any other schema- or content-level problem.
+    Other(String),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            CsvErrorKind::Io(e) => write!(f, "i/o error: {e}"),
+            CsvErrorKind::UnclosedQuote => write!(f, "unclosed quoted field"),
+            CsvErrorKind::FieldCount { expected, found } => {
+                write!(f, "expected {expected} field(s), found {found}")
+            }
+            CsvErrorKind::Parse {
+                field,
+                expected,
+                value,
+            } => write!(f, "field {}: expected {expected}, got `{value}`", field + 1),
+            CsvErrorKind::Utf8 => write!(f, "input is not valid utf-8"),
+            CsvErrorKind::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl CsvError {
+    /// A content-level error pinned to `line`.
+    pub fn other(line: u64, message: impl Into<String>) -> Self {
+        CsvError {
+            line,
+            kind: CsvErrorKind::Other(message.into()),
+        }
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CsvError>;
+
+/// Open a file as a buffered reader with a path-qualified error — the
+/// shared I/O glue for every dataset loader (each used to re-implement
+/// this mapping by hand).
+pub fn open_file(path: &str) -> Result<std::io::BufReader<std::fs::File>> {
+    let file = std::fs::File::open(path).map_err(|e| CsvError {
+        line: 0,
+        kind: CsvErrorKind::Io(format!("cannot open {path}: {e}")),
+    })?;
+    Ok(std::io::BufReader::new(file))
+}

@@ -29,6 +29,9 @@ pub enum DatasetError {
         /// What was wrong.
         what: &'static str,
     },
+    /// The streaming CSV layer rejected the input (carries the line
+    /// number and field position).
+    Csv(fairrank_dataset::CsvError),
     /// Underlying I/O failure.
     Io(String),
 }
@@ -39,12 +42,26 @@ impl std::fmt::Display for DatasetError {
             DatasetError::Malformed { line, what } => {
                 write!(f, "malformed input at line {line}: {what}")
             }
+            DatasetError::Csv(e) => write!(f, "malformed input at {e}"),
             DatasetError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
 }
 
-impl std::error::Error for DatasetError {}
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Csv(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fairrank_dataset::CsvError> for DatasetError {
+    fn from(e: fairrank_dataset::CsvError) -> Self {
+        DatasetError::Csv(e)
+    }
+}
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, DatasetError>;

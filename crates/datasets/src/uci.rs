@@ -20,47 +20,41 @@
 
 use crate::german_credit::{AgeGroup, GermanCredit, Housing, Record, Sex};
 use crate::{DatasetError, Result};
+use fairrank_dataset::CsvReader;
+use std::io::BufRead;
 
-/// Parse the contents of a Statlog `german.data` file.
-pub fn parse_statlog(content: &str) -> Result<GermanCredit> {
+/// Parse a Statlog `german.data` stream record by record — memory is
+/// bounded by one line, not the file.
+pub fn read_statlog<R: BufRead>(src: R) -> Result<GermanCredit> {
+    let mut reader = CsvReader::space_separated(src);
     let mut records = Vec::new();
-    for (lineno, line) in content.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        let fields: Vec<&str> = line.split_whitespace().collect();
+    while let Some(fields) = reader.read_record()? {
+        let lineno = fields.line() as usize;
         if fields.len() < 15 {
             return Err(DatasetError::Malformed {
-                line: lineno + 1,
+                line: lineno,
                 what: "expected at least 15 Statlog fields",
             });
         }
-        let amount: f64 = fields[4].parse().map_err(|_| DatasetError::Malformed {
-            line: lineno + 1,
-            what: "credit amount (field 5) is not a number",
-        })?;
-        let sex = match fields[8] {
+        let amount = fields.parse_f64(4)?;
+        let sex = match fields.require(8)? {
             "A91" | "A93" | "A94" => Sex::Male,
             "A92" | "A95" => Sex::Female,
             _ => {
                 return Err(DatasetError::Malformed {
-                    line: lineno + 1,
+                    line: lineno,
                     what: "personal status (field 9) is not A91–A95",
                 })
             }
         };
-        let age_years: u32 = fields[12].parse().map_err(|_| DatasetError::Malformed {
-            line: lineno + 1,
-            what: "age (field 13) is not an integer",
-        })?;
-        let housing = match fields[14] {
+        let age_years = fields.parse_usize(12)?;
+        let housing = match fields.require(14)? {
             "A151" => Housing::Rent,
             "A152" => Housing::Own,
             "A153" => Housing::Free,
             _ => {
                 return Err(DatasetError::Malformed {
-                    line: lineno + 1,
+                    line: lineno,
                     what: "housing (field 15) is not A151–A153",
                 })
             }
@@ -74,7 +68,7 @@ pub fn parse_statlog(content: &str) -> Result<GermanCredit> {
             sex,
             housing,
             // deterministic tie-break keeps the induced order strict
-            credit_amount: amount + (lineno as f64) * 1e-6,
+            credit_amount: amount + (lineno.saturating_sub(1) as f64) * 1e-6,
         });
     }
     if records.is_empty() {
@@ -86,10 +80,15 @@ pub fn parse_statlog(content: &str) -> Result<GermanCredit> {
     Ok(GermanCredit::from_records(records))
 }
 
-/// Read and parse a Statlog file from disk.
+/// Parse the contents of a Statlog `german.data` file already held in
+/// memory (tests and small inputs; [`read_statlog`] streams).
+pub fn parse_statlog(content: &str) -> Result<GermanCredit> {
+    read_statlog(content.as_bytes())
+}
+
+/// Read and parse a Statlog file from disk, streaming.
 pub fn load_statlog(path: &str) -> Result<GermanCredit> {
-    let content = std::fs::read_to_string(path).map_err(|e| DatasetError::Io(e.to_string()))?;
-    parse_statlog(&content)
+    read_statlog(fairrank_dataset::open_file(path)?)
 }
 
 /// Load the real file when available, otherwise generate the synthetic

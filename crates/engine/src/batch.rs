@@ -1,0 +1,700 @@
+//! The asynchronous batch-job subsystem.
+//!
+//! A [`BatchSpec`] bundles many [`RankJob`] chunks (possibly over
+//! different datasets and algorithms) into one long-running job.
+//! Submission returns immediately with a job id; a bounded pool of
+//! batch-runner threads executes the chunks **through the same
+//! [`Engine::submit`] path as the synchronous endpoints** — registry
+//! dispatch, result cache, in-flight coalescing — so a finished job's
+//! per-chunk outputs are byte-identical to what `POST /rank` (or
+//! `/aggregate`, `/pipeline`) would have returned for the same chunk.
+//!
+//! Lifecycle:
+//!
+//! ```text
+//!           submit                    runner picks up
+//! client ──────────► queued ────────────────► running ──► done
+//!                      │                        │   │
+//!                      │ cancel                 │   └────► failed (chunk error)
+//!                      ▼                        ▼ cancel (between chunks)
+//!                  cancelled ◄───────────── cancelled
+//! ```
+//!
+//! Cancellation is cooperative: `DELETE /jobs/{id}` raises a flag the
+//! runner checks between chunks, so a cancelled job stops at the next
+//! chunk boundary and keeps the results finished so far.
+//!
+//! The [`JobStore`] tracks every live job, evicts the oldest finished
+//! jobs beyond its capacity, and exports queue-health gauges
+//! (`jobs_queued`, `jobs_running`, `jobs_completed`, `jobs_failed`,
+//! `jobs_cancelled`, `jobs_queue_high_water`) into `GET /stats`.
+
+use crate::job::{RankJob, RankResult};
+use crate::{Engine, EngineError};
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A batch of chunks submitted as one asynchronous job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSpec {
+    /// The chunks, executed in order. Each is a complete, seeded
+    /// [`RankJob`], so the batch is reproducible chunk for chunk.
+    pub chunks: Vec<RankJob>,
+}
+
+/// Lifecycle state of a batch job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a batch runner.
+    Queued,
+    /// A runner is executing chunks.
+    Running,
+    /// Every chunk finished successfully.
+    Done,
+    /// A chunk failed; earlier results are kept.
+    Failed,
+    /// Cancelled before or between chunks; earlier results are kept.
+    Cancelled,
+}
+
+impl JobState {
+    /// Wire name of the state (the `status` field of the job JSON).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// True for `done`, `failed` and `cancelled`.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+struct JobInner {
+    state: JobState,
+    results: Vec<Arc<RankResult>>,
+    /// Failing chunk index and error message, for `Failed` jobs.
+    error: Option<(usize, String)>,
+}
+
+/// One tracked batch job.
+pub struct BatchJob {
+    id: u64,
+    chunks: Vec<RankJob>,
+    cancel: AtomicBool,
+    inner: Mutex<JobInner>,
+    changed: Condvar,
+}
+
+/// A point-in-time copy of a job's observable state.
+#[derive(Debug, Clone)]
+pub struct JobSnapshot {
+    /// Job id.
+    pub id: u64,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Chunks in the batch.
+    pub chunks_total: usize,
+    /// Chunks finished successfully so far.
+    pub chunks_done: usize,
+    /// Failing chunk index and error message (`Failed` only).
+    pub error: Option<(usize, String)>,
+    /// Results of the finished chunks, in chunk order.
+    pub results: Vec<Arc<RankResult>>,
+}
+
+impl BatchJob {
+    fn new(id: u64, chunks: Vec<RankJob>) -> Self {
+        BatchJob {
+            id,
+            chunks,
+            cancel: AtomicBool::new(false),
+            inner: Mutex::new(JobInner {
+                state: JobState::Queued,
+                results: Vec::new(),
+                error: None,
+            }),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// Job id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Chunks in the batch.
+    pub fn chunks_total(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// True once cancellation was requested (the runner honors it at
+    /// the next chunk boundary).
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Copy the observable state.
+    pub fn snapshot(&self) -> JobSnapshot {
+        let inner = self.inner.lock().expect("job lock");
+        JobSnapshot {
+            id: self.id,
+            state: inner.state,
+            chunks_total: self.chunks.len(),
+            chunks_done: inner.results.len(),
+            error: inner.error.clone(),
+            results: inner.results.clone(),
+        }
+    }
+
+    /// Block until the job reaches a terminal state and return it.
+    pub fn wait(&self) -> JobSnapshot {
+        let mut inner = self.inner.lock().expect("job lock");
+        while !inner.state.is_terminal() {
+            inner = self.changed.wait(inner).expect("job lock");
+        }
+        JobSnapshot {
+            id: self.id,
+            state: inner.state,
+            chunks_total: self.chunks.len(),
+            chunks_done: inner.results.len(),
+            error: inner.error.clone(),
+            results: inner.results.clone(),
+        }
+    }
+
+    /// Serialize the current state as the `/jobs/{id}` JSON body.
+    /// Per-chunk results (present once the job is terminal) are
+    /// rendered with [`RankResult::write_json`], so each element is
+    /// byte-identical to the synchronous endpoint's response body for
+    /// the same chunk.
+    pub fn write_status_json(&self, out: &mut String) {
+        let snapshot = self.snapshot();
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"status\":\"{}\",\"chunks_total\":{},\"chunks_done\":{}",
+            snapshot.id,
+            snapshot.state.as_str(),
+            snapshot.chunks_total,
+            snapshot.chunks_done
+        );
+        if let Some((chunk, message)) = &snapshot.error {
+            let _ = write!(out, ",\"failed_chunk\":{chunk},\"error\":");
+            crate::json::write_string(message, out);
+        }
+        if snapshot.state.is_terminal() {
+            out.push_str(",\"results\":[");
+            for (i, result) in snapshot.results.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                result.write_json(out);
+            }
+            out.push(']');
+        }
+        out.push('}');
+    }
+}
+
+/// Bounded registry of live and recently finished batch jobs, plus the
+/// queue-health counters surfaced in `GET /stats`.
+pub struct JobStore {
+    capacity: usize,
+    next_id: AtomicU64,
+    inner: Mutex<StoreInner>,
+    /// Jobs currently waiting for a runner (gauge).
+    queued: AtomicU64,
+    /// Jobs currently executing (gauge).
+    running: AtomicU64,
+    /// Jobs that finished with every chunk successful.
+    completed: AtomicU64,
+    /// Jobs that stopped on a chunk error.
+    failed: AtomicU64,
+    /// Jobs cancelled before completion.
+    cancelled: AtomicU64,
+    /// Highest simultaneous queue depth observed.
+    queue_high_water: AtomicU64,
+}
+
+struct StoreInner {
+    map: HashMap<u64, Arc<BatchJob>>,
+    /// Insertion order, for finished-job eviction.
+    order: VecDeque<u64>,
+}
+
+impl JobStore {
+    /// A store keeping at most `capacity` jobs (minimum 1). Finished
+    /// jobs beyond the bound are evicted oldest-first; when every
+    /// stored job is still live the store refuses new submissions.
+    pub fn new(capacity: usize) -> Self {
+        JobStore {
+            capacity: capacity.max(1),
+            next_id: AtomicU64::new(1),
+            inner: Mutex::new(StoreInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            queued: AtomicU64::new(0),
+            running: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            queue_high_water: AtomicU64::new(0),
+        }
+    }
+
+    /// Register a new queued job, evicting old finished jobs as
+    /// needed. Errors with [`EngineError::Overloaded`] when the store
+    /// is full of live jobs.
+    fn insert(&self, chunks: Vec<RankJob>) -> Result<Arc<BatchJob>, EngineError> {
+        let mut inner = self.inner.lock().expect("job store lock");
+        while inner.map.len() >= self.capacity {
+            // evict the oldest *finished* job
+            let Some(pos) = inner.order.iter().position(|id| {
+                inner
+                    .map
+                    .get(id)
+                    .is_some_and(|job| job.inner.lock().expect("job lock").state.is_terminal())
+            }) else {
+                return Err(EngineError::Overloaded);
+            };
+            let id = inner.order.remove(pos).expect("position in range");
+            inner.map.remove(&id);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let job = Arc::new(BatchJob::new(id, chunks));
+        inner.map.insert(id, Arc::clone(&job));
+        inner.order.push_back(id);
+        drop(inner);
+        let depth = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+        Ok(job)
+    }
+
+    /// Remove a job that could not be handed to the runner pool.
+    fn discard(&self, id: u64) {
+        let mut inner = self.inner.lock().expect("job store lock");
+        if inner.map.remove(&id).is_some() {
+            inner.order.retain(|&other| other != id);
+            self.queued.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Look up a job by id.
+    pub fn get(&self, id: u64) -> Option<Arc<BatchJob>> {
+        self.inner
+            .lock()
+            .expect("job store lock")
+            .map
+            .get(&id)
+            .cloned()
+    }
+
+    /// Jobs currently stored (any state).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("job store lock").map.len()
+    }
+
+    /// True when no jobs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(queued, running, completed, failed, cancelled, high_water)`
+    /// counter snapshot for `GET /stats`.
+    pub fn counters(&self) -> (u64, u64, u64, u64, u64, u64) {
+        (
+            self.queued.load(Ordering::Relaxed),
+            self.running.load(Ordering::Relaxed),
+            self.completed.load(Ordering::Relaxed),
+            self.failed.load(Ordering::Relaxed),
+            self.cancelled.load(Ordering::Relaxed),
+            self.queue_high_water.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Request cancellation: raise the flag and, when the job is still
+    /// `Queued`, transition it to `Cancelled` immediately (a runner
+    /// that later pops it sees the terminal state and skips it).
+    /// Running jobs stop at their next chunk boundary instead.
+    fn cancel(&self, job: &BatchJob) {
+        job.cancel.store(true, Ordering::Relaxed);
+        let mut inner = job.inner.lock().expect("job lock");
+        if inner.state == JobState::Queued {
+            inner.state = JobState::Cancelled;
+            self.queued.fetch_sub(1, Ordering::Relaxed);
+            self.cancelled.fetch_add(1, Ordering::Relaxed);
+            drop(inner);
+            job.changed.notify_all();
+        }
+    }
+
+    /// Transition `Queued → Running`; false when the job was cancelled
+    /// while queued (already terminal, or the flag landed between the
+    /// terminal check and dequeue).
+    fn begin(&self, job: &BatchJob) -> bool {
+        let mut inner = job.inner.lock().expect("job lock");
+        if inner.state.is_terminal() {
+            return false; // cancelled while queued: gauges already settled
+        }
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+        if job.cancel_requested() {
+            inner.state = JobState::Cancelled;
+            self.cancelled.fetch_add(1, Ordering::Relaxed);
+            drop(inner);
+            job.changed.notify_all();
+            return false;
+        }
+        inner.state = JobState::Running;
+        self.running.fetch_add(1, Ordering::Relaxed);
+        drop(inner);
+        job.changed.notify_all();
+        true
+    }
+
+    /// Move a running job to its terminal state.
+    fn finish(&self, job: &BatchJob, state: JobState, error: Option<(usize, String)>) {
+        debug_assert!(state.is_terminal());
+        let mut inner = job.inner.lock().expect("job lock");
+        inner.state = state;
+        inner.error = error;
+        drop(inner);
+        self.running.fetch_sub(1, Ordering::Relaxed);
+        match state {
+            JobState::Done => self.completed.fetch_add(1, Ordering::Relaxed),
+            JobState::Failed => self.failed.fetch_add(1, Ordering::Relaxed),
+            _ => self.cancelled.fetch_add(1, Ordering::Relaxed),
+        };
+        job.changed.notify_all();
+    }
+}
+
+impl Engine {
+    /// Submit a batch job for asynchronous execution. Validates every
+    /// chunk's algorithm up front, registers the job as `queued` and
+    /// hands it to the batch-runner pool. Returns the tracked job (its
+    /// id is what HTTP clients poll).
+    pub fn submit_batch(self: &Arc<Self>, spec: BatchSpec) -> Result<Arc<BatchJob>, EngineError> {
+        if spec.chunks.is_empty() {
+            return Err(EngineError::InvalidJob(
+                "a batch needs at least one chunk".to_string(),
+            ));
+        }
+        for chunk in &spec.chunks {
+            if self.registry().get(&chunk.algorithm).is_none() {
+                return Err(EngineError::UnknownAlgorithm(chunk.algorithm.clone()));
+            }
+        }
+        let job = self.job_store().insert(spec.chunks)?;
+        let engine = Arc::clone(self);
+        let runner_job = Arc::clone(&job);
+        let submitted = self
+            .batch_pool()
+            .try_submit(Box::new(move || run_batch(&engine, &runner_job)));
+        if let Err(rejection) = submitted {
+            self.job_store().discard(job.id());
+            return Err(match rejection {
+                crate::pool::SubmitError::QueueFull => EngineError::Overloaded,
+                crate::pool::SubmitError::ShuttingDown => EngineError::ShuttingDown,
+            });
+        }
+        Ok(job)
+    }
+
+    /// Look up a batch job by id.
+    pub fn batch_job(&self, id: u64) -> Option<Arc<BatchJob>> {
+        self.job_store().get(id)
+    }
+
+    /// Request cooperative cancellation of a batch job. Queued jobs
+    /// cancel immediately; running jobs stop at the next chunk
+    /// boundary. Finished jobs are unaffected. Returns the job, or
+    /// `None` for unknown ids.
+    pub fn cancel_batch_job(&self, id: u64) -> Option<Arc<BatchJob>> {
+        let job = self.job_store().get(id)?;
+        self.job_store().cancel(&job);
+        Some(job)
+    }
+}
+
+/// Execute a batch on a runner thread: every chunk goes through
+/// [`Engine::submit`] (cache, coalescing, registry), with a retry loop
+/// when the sync queue is momentarily full — batch work waits politely
+/// instead of being shed.
+fn run_batch(engine: &Arc<Engine>, job: &Arc<BatchJob>) {
+    let store = engine.job_store();
+    if !store.begin(job) {
+        return; // cancelled while queued
+    }
+    for (index, chunk) in job.chunks.iter().enumerate() {
+        let outcome = loop {
+            if job.cancel_requested() {
+                break None;
+            }
+            match engine.submit(chunk.clone()) {
+                Err(EngineError::Overloaded) => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                other => break Some(other),
+            }
+        };
+        match outcome {
+            None => {
+                store.finish(job, JobState::Cancelled, None);
+                return;
+            }
+            Some(Ok(result)) => {
+                let mut inner = job.inner.lock().expect("job lock");
+                inner.results.push(result);
+                drop(inner);
+                job.changed.notify_all();
+            }
+            Some(Err(e)) => {
+                store.finish(job, JobState::Failed, Some((index, e.to_string())));
+                return;
+            }
+        }
+    }
+    store.finish(job, JobState::Done, None);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobInput, JobParams};
+    use crate::EngineConfig;
+
+    fn chunk(seed: u64) -> RankJob {
+        RankJob {
+            algorithm: "weakly-fair".to_string(),
+            input: JobInput::Scores {
+                scores: vec![0.9, 0.7, 0.4, 0.2],
+                groups: vec![0, 0, 1, 1],
+            },
+            params: JobParams {
+                seed,
+                ..JobParams::default()
+            },
+        }
+    }
+
+    fn engine() -> Arc<Engine> {
+        Engine::new(EngineConfig {
+            workers: 2,
+            queue_capacity: 32,
+            cache_capacity: 32,
+            table_cache_capacity: 8,
+            cache_shards: 1,
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn batch_runs_to_done_with_chunk_results_matching_sync() {
+        let e = engine();
+        let spec = BatchSpec {
+            chunks: (0..4).map(chunk).collect(),
+        };
+        let job = e.submit_batch(spec).unwrap();
+        let snapshot = job.wait();
+        assert_eq!(snapshot.state, JobState::Done);
+        assert_eq!(snapshot.chunks_done, 4);
+        // every chunk result equals the synchronous submission's
+        for (seed, result) in snapshot.results.iter().enumerate() {
+            let sync = e.submit(chunk(seed as u64)).unwrap();
+            assert_eq!(result, &sync);
+        }
+        let (queued, running, completed, failed, cancelled, high_water) = e.job_store().counters();
+        assert_eq!(
+            (queued, running, completed, failed, cancelled),
+            (0, 0, 1, 0, 0)
+        );
+        assert!(high_water >= 1);
+    }
+
+    #[test]
+    fn empty_and_unknown_batches_rejected_up_front() {
+        let e = engine();
+        assert!(matches!(
+            e.submit_batch(BatchSpec { chunks: vec![] }),
+            Err(EngineError::InvalidJob(_))
+        ));
+        let mut bad = chunk(0);
+        bad.algorithm = "psychic".to_string();
+        assert!(matches!(
+            e.submit_batch(BatchSpec { chunks: vec![bad] }),
+            Err(EngineError::UnknownAlgorithm(_))
+        ));
+        assert!(e.job_store().is_empty());
+    }
+
+    #[test]
+    fn failing_chunk_fails_the_job_but_keeps_earlier_results() {
+        let e = engine();
+        let mut failing = chunk(9);
+        // three groups break gr-binary → chunk 1 fails
+        failing.algorithm = "gr-binary".to_string();
+        failing.input = JobInput::Scores {
+            scores: vec![1.0, 0.8, 0.6],
+            groups: vec![0, 1, 2],
+        };
+        let job = e
+            .submit_batch(BatchSpec {
+                chunks: vec![chunk(0), failing, chunk(1)],
+            })
+            .unwrap();
+        let snapshot = job.wait();
+        assert_eq!(snapshot.state, JobState::Failed);
+        assert_eq!(snapshot.chunks_done, 1);
+        let (chunk_index, message) = snapshot.error.expect("failure recorded");
+        assert_eq!(chunk_index, 1);
+        assert!(message.contains("algorithm failed"), "{message}");
+        assert_eq!(e.job_store().counters().3, 1); // failed
+    }
+
+    #[test]
+    fn cancel_while_queued_is_immediate_and_never_runs() {
+        use crate::registry::{Algorithm, AlgorithmKind, Registry};
+        use crate::tables::ExecContext;
+        use rand::rngs::StdRng;
+        use std::sync::mpsc::{channel, Sender};
+
+        // an algorithm that blocks until released, so the single batch
+        // runner stays busy and the second job deterministically queues
+        struct Gated {
+            release: Mutex<Option<std::sync::mpsc::Receiver<()>>>,
+            started: Sender<()>,
+        }
+        impl Algorithm for Gated {
+            fn name(&self) -> &str {
+                "gated"
+            }
+            fn kind(&self) -> AlgorithmKind {
+                AlgorithmKind::PostProcessor
+            }
+            fn run(
+                &self,
+                job: &RankJob,
+                _ctx: &ExecContext,
+                _rng: &mut StdRng,
+            ) -> Result<crate::job::RankResult, EngineError> {
+                let _ = self.started.send(());
+                if let Some(gate) = self.release.lock().unwrap().take() {
+                    let _ = gate.recv();
+                }
+                Ok(crate::job::RankResult {
+                    algorithm: job.algorithm.clone(),
+                    ranking: vec![0],
+                    consensus: None,
+                    metrics: vec![],
+                })
+            }
+        }
+
+        let (release_tx, release_rx) = channel();
+        let (started_tx, started_rx) = channel();
+        let mut registry = Registry::standard();
+        registry.register(Arc::new(Gated {
+            release: Mutex::new(Some(release_rx)),
+            started: started_tx,
+        }));
+        let e = Engine::with_registry(
+            EngineConfig {
+                job_runners: 1,
+                ..EngineConfig::default()
+            },
+            registry,
+        );
+        let mut gated_chunk = chunk(0);
+        gated_chunk.algorithm = "gated".to_string();
+        let blocker = e
+            .submit_batch(BatchSpec {
+                chunks: vec![gated_chunk],
+            })
+            .unwrap();
+        // the runner is now inside the gated chunk; job 2 must queue
+        started_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .unwrap();
+        let queued = e
+            .submit_batch(BatchSpec {
+                chunks: (0..50).map(|i| chunk(2000 + i)).collect(),
+            })
+            .unwrap();
+        e.cancel_batch_job(queued.id()).unwrap();
+        // cancellation of a queued job is immediate — no waiting on
+        // the runner to come around
+        let snapshot = queued.snapshot();
+        assert_eq!(snapshot.state, JobState::Cancelled);
+        assert_eq!(snapshot.chunks_done, 0);
+        release_tx.send(()).unwrap();
+        assert_eq!(blocker.wait().state, JobState::Done);
+        // the runner skips the already-cancelled job without touching
+        // its state or the gauges
+        assert_eq!(queued.wait().state, JobState::Cancelled);
+        let (q, r, completed, failed, cancelled, _) = e.job_store().counters();
+        assert_eq!((q, r, completed, failed, cancelled), (0, 0, 1, 0, 1));
+    }
+
+    #[test]
+    fn unknown_id_lookups_are_none() {
+        let e = engine();
+        assert!(e.batch_job(999).is_none());
+        assert!(e.cancel_batch_job(999).is_none());
+    }
+
+    #[test]
+    fn store_evicts_finished_jobs_beyond_capacity() {
+        let store = JobStore::new(2);
+        let a = store.insert(vec![chunk(1)]).unwrap();
+        store.begin(&a);
+        store.finish(&a, JobState::Done, None);
+        let b = store.insert(vec![chunk(2)]).unwrap();
+        store.begin(&b);
+        store.finish(&b, JobState::Done, None);
+        let c = store.insert(vec![chunk(3)]).unwrap();
+        assert!(store.get(a.id()).is_none(), "oldest finished job evicted");
+        assert!(store.get(b.id()).is_some());
+        assert!(store.get(c.id()).is_some());
+    }
+
+    #[test]
+    fn store_full_of_live_jobs_rejects() {
+        let store = JobStore::new(1);
+        let _live = store.insert(vec![chunk(1)]).unwrap();
+        assert!(matches!(
+            store.insert(vec![chunk(2)]),
+            Err(EngineError::Overloaded)
+        ));
+    }
+
+    #[test]
+    fn status_json_shapes() {
+        let store = JobStore::new(4);
+        let job = store.insert(vec![chunk(1), chunk(2)]).unwrap();
+        let mut out = String::new();
+        job.write_status_json(&mut out);
+        assert!(out.contains("\"status\":\"queued\""), "{out}");
+        assert!(out.contains("\"chunks_total\":2"), "{out}");
+        assert!(!out.contains("results"), "queued jobs carry no results");
+        store.begin(&job);
+        store.finish(&job, JobState::Failed, Some((0, "boom \"quoted\"".into())));
+        out.clear();
+        job.write_status_json(&mut out);
+        assert!(out.contains("\"status\":\"failed\""), "{out}");
+        assert!(out.contains("\"failed_chunk\":0"), "{out}");
+        assert!(out.contains("\"error\":\"boom \\\"quoted\\\"\""), "{out}");
+        assert!(out.contains("\"results\":[]"), "{out}");
+    }
+}

@@ -63,6 +63,10 @@ pub struct JobParams {
     pub samples: usize,
     /// Fairness proportion tolerance.
     pub tolerance: f64,
+    /// Constraint-noise standard deviation σ for the noise-robustness
+    /// scenarios (`detconstsort`, `ipf` and `ilp` perturb their
+    /// fairness constraints by N(0, σ²) when σ > 0).
+    pub noise_sd: f64,
     /// Shortlist size (None = rank everything).
     pub k: Option<usize>,
     /// Deterministic RNG seed for this job.
@@ -85,6 +89,7 @@ impl Default for JobParams {
             theta: 1.0,
             samples: 15,
             tolerance: 0.1,
+            noise_sd: 0.0,
             k: None,
             seed: 42,
             method: "kemeny".to_string(),
@@ -116,9 +121,9 @@ impl RankJob {
         let p = &self.params;
         let _ = write!(
             s,
-            "algo={};theta={};samples={};tol={};k={:?};seed={};method={};post={};prot={};prop={:?};alpha={};",
-            self.algorithm, p.theta, p.samples, p.tolerance, p.k, p.seed, p.method, p.post,
-            p.protected, p.proportion, p.alpha
+            "algo={};theta={};samples={};tol={};noise={};k={:?};seed={};method={};post={};prot={};prop={:?};alpha={};",
+            self.algorithm, p.theta, p.samples, p.tolerance, p.noise_sd, p.k, p.seed, p.method,
+            p.post, p.protected, p.proportion, p.alpha
         );
         match &self.input {
             JobInput::Scores { scores, groups } => {

@@ -36,6 +36,7 @@
 //! assert_eq!(result.ranking, vec![0, 1, 2]);
 //! ```
 
+pub mod batch;
 pub mod cache;
 pub mod job;
 pub mod json;
@@ -45,6 +46,7 @@ pub mod server;
 pub mod stats;
 pub mod tables;
 
+use batch::JobStore;
 use cache::ShardedLru;
 use job::{RankJob, RankResult};
 use pool::{SubmitError, WorkerPool};
@@ -122,6 +124,12 @@ pub struct EngineConfig {
     /// Shard count for the result and sampler-table caches (rounded up
     /// to a power of two; 0 picks a machine-appropriate count).
     pub cache_shards: usize,
+    /// Batch-runner threads executing asynchronous `/jobs` batches
+    /// (each runs one batch at a time, chunk by chunk).
+    pub job_runners: usize,
+    /// Batch-job store capacity: live + recently finished jobs kept
+    /// for polling; the oldest finished jobs are evicted beyond it.
+    pub job_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -132,6 +140,8 @@ impl Default for EngineConfig {
             cache_capacity: 1024,
             table_cache_capacity: 64,
             cache_shards: 0,
+            job_runners: 2,
+            job_capacity: 256,
         }
     }
 }
@@ -151,6 +161,12 @@ pub struct Engine {
     /// Shared per-run resources (the sampler-table cache), handed to
     /// every algorithm execution.
     exec: ExecContext,
+    /// Asynchronous `/jobs` batches and their lifecycle counters.
+    jobs: JobStore,
+    /// Dedicated runners draining queued batches (separate from
+    /// `pool`, so a long batch can never starve synchronous requests —
+    /// its chunks still execute on `pool`, one at a time).
+    batch_pool: WorkerPool,
     stats: EngineStats,
 }
 
@@ -177,6 +193,8 @@ impl Engine {
             pool: WorkerPool::new(config.workers, config.queue_capacity),
             cache: ShardedLru::new(config.cache_capacity, cache_shards),
             inflight: Mutex::new(HashMap::new()),
+            jobs: JobStore::new(config.job_capacity),
+            batch_pool: WorkerPool::new(config.job_runners, config.job_capacity),
             // divide the machine between concurrently running jobs:
             // workers × batch_threads ≲ CPU count, so wide-sample
             // fan-out cannot defeat the pool's bounded concurrency
@@ -204,6 +222,16 @@ impl Engine {
         &self.exec.tables
     }
 
+    /// The asynchronous batch-job store.
+    pub fn job_store(&self) -> &JobStore {
+        &self.jobs
+    }
+
+    /// The batch-runner pool (crate-internal: `submit_batch` feeds it).
+    pub(crate) fn batch_pool(&self) -> &WorkerPool {
+        &self.batch_pool
+    }
+
     /// Snapshot of the stats JSON served at `GET /stats`.
     pub fn stats_json(&self) -> json::Json {
         self.stats.to_json(
@@ -211,6 +239,7 @@ impl Engine {
             self.cache.capacity(),
             self.pool.workers(),
             &self.exec.tables,
+            &self.jobs,
         )
     }
 
@@ -243,7 +272,7 @@ impl Engine {
             }
             if let Some(waiters) = inflight.get_mut(&key) {
                 waiters.push(tx);
-                EngineStats::bump(&self.stats.jobs_coalesced);
+                EngineStats::bump(&self.stats.chunks_coalesced);
                 drop(inflight);
                 return rx.recv().map_err(|_| EngineError::ShuttingDown)?;
             }
@@ -268,11 +297,11 @@ impl Engine {
                 Ok(result) => {
                     let result = Arc::new(result);
                     engine.cache.insert(key, Arc::clone(&result));
-                    EngineStats::bump(&engine.stats.jobs_executed);
+                    EngineStats::bump(&engine.stats.chunks_executed);
                     Ok(result)
                 }
                 Err(e) => {
-                    EngineStats::bump(&engine.stats.jobs_failed);
+                    EngineStats::bump(&engine.stats.chunks_failed);
                     Err(e)
                 }
             };
@@ -333,6 +362,7 @@ mod tests {
 
             table_cache_capacity: 16,
             cache_shards: 0,
+            ..EngineConfig::default()
         })
     }
 
@@ -409,6 +439,7 @@ mod tests {
 
             table_cache_capacity: 16,
             cache_shards: 0,
+            ..EngineConfig::default()
         });
         let handles: Vec<_> = (0..8)
             .map(|t| {
@@ -425,7 +456,7 @@ mod tests {
             h.join().unwrap();
         }
         let json = e.stats_json().to_string();
-        assert!(json.contains("\"jobs_executed\":64"), "{json}");
+        assert!(json.contains("\"chunks_executed\":64"), "{json}");
     }
 
     #[test]
@@ -437,6 +468,7 @@ mod tests {
 
             table_cache_capacity: 16,
             cache_shards: 0,
+            ..EngineConfig::default()
         });
         // a heavy job, raced by 8 threads: exactly one execution, the
         // other 7 either coalesce onto it or hit the cache afterwards
@@ -466,7 +498,7 @@ mod tests {
         }
         let json = e.stats_json().to_string();
         assert!(
-            json.contains("\"jobs_executed\":1"),
+            json.contains("\"chunks_executed\":1"),
             "stampede must collapse to one execution: {json}"
         );
     }
@@ -523,6 +555,7 @@ mod tests {
 
                 table_cache_capacity: 16,
                 cache_shards: 0,
+                ..EngineConfig::default()
             },
             registry,
         );

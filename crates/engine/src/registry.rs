@@ -351,17 +351,30 @@ fn run_score_algorithm(
             scores,
             &groups,
             &bounds,
-            &DetConstSortConfig::default(),
+            &DetConstSortConfig {
+                noise_sd: p.noise_sd,
+            },
             rng,
         )
         .map_err(algo_err)?
         .into_order(),
         "ipf" => {
-            let sigma = Permutation::sorted_by_scores_desc(scores);
-            approx_multi_valued_ipf(&sigma, &groups, &bounds, &IpfConfig::default(), rng)
-                .map_err(algo_err)?
-                .ranking
-                .into_order()
+            // IPF post-processes the weakly-fair ranking (the paper's
+            // pipeline input), not the raw score order — shared with
+            // `fairrank rank --algorithm ipf` and the experiments
+            let sigma = weakly_fair_ranking(scores, &groups, &bounds);
+            approx_multi_valued_ipf(
+                &sigma,
+                &groups,
+                &bounds,
+                &IpfConfig {
+                    noise_sd: p.noise_sd,
+                },
+                rng,
+            )
+            .map_err(algo_err)?
+            .ranking
+            .into_order()
         }
         "exact-kt" => {
             let sigma = Permutation::sorted_by_scores_desc(scores);
@@ -375,9 +388,16 @@ fn run_score_algorithm(
                 .map_err(algo_err)?
                 .into_order()
         }
-        "ilp" => optimal_fair_ranking_dp(scores, &groups, &bounds.tables(n), Discount::Log2)
-            .map_err(algo_err)?
-            .into_order(),
+        "ilp" => {
+            let tables = if p.noise_sd > 0.0 {
+                fair_baselines::noisy_tables(&bounds, n, p.noise_sd, rng)
+            } else {
+                bounds.tables(n)
+            };
+            optimal_fair_ranking_dp(scores, &groups, &tables, Discount::Log2)
+                .map_err(algo_err)?
+                .into_order()
+        }
         "fair-top-k" => fair_top_k(
             scores,
             &groups,

@@ -2,22 +2,26 @@
 //!
 //! Routes:
 //!
-//! | route             | body                                           |
-//! |-------------------|------------------------------------------------|
-//! | `POST /rank`      | `{"algorithm","scores",["groups"],…params}`    |
-//! | `POST /aggregate` | `{"method","votes",["groups"],…params}`        |
-//! | `POST /pipeline`  | `{"votes","groups",["method","post"],…params}` |
-//! | `GET /healthz`    | —                                              |
-//! | `GET /stats`      | —                                              |
+//! | route               | body                                           |
+//! |---------------------|------------------------------------------------|
+//! | `POST /rank`        | `{"algorithm","scores",["groups"],…params}`    |
+//! | `POST /aggregate`   | `{"method","votes",["groups"],…params}`        |
+//! | `POST /pipeline`    | `{"votes","groups",["method","post"],…params}` |
+//! | `POST /jobs`        | `{"chunks":[{["route"],…chunk body},…]}`       |
+//! | `GET /jobs/{id}`    | — (status + per-chunk results when finished)   |
+//! | `DELETE /jobs/{id}` | — (cooperative cancellation)                   |
+//! | `GET /healthz`      | —                                              |
+//! | `GET /stats`        | —                                              |
 //!
-//! Shared params: `theta`, `samples`, `tolerance`, `k`, `seed`,
-//! `protected`, `proportion`, `alpha` — same names and defaults as the
-//! `fairrank` CLI flags.
+//! Shared params: `theta`, `samples`, `tolerance`, `noise_sd`, `k`,
+//! `seed`, `protected`, `proportion`, `alpha` — same names and
+//! defaults as the `fairrank` CLI flags.
 //!
-//! Error mapping: malformed request → `400`, unknown algorithm → `404`,
-//! algorithm failure → `422`, full job queue → `503`, full
-//! pending-connection queue → `503` with `Retry-After` before the
-//! socket is dropped.
+//! Error mapping: malformed request → `400`, unknown algorithm or job
+//! id → `404`, algorithm failure → `422`, full job queue or job store
+//! → `503`, full pending-connection queue → `503` with `Retry-After`
+//! before the socket is dropped. `POST /jobs` answers `202 Accepted`
+//! with the job id to poll.
 //!
 //! # Concurrency model: a keep-alive I/O reactor
 //!
@@ -627,6 +631,7 @@ pub fn write_response_into(
 ) {
     let reason = match status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -695,7 +700,14 @@ fn route_request(engine: &Arc<Engine>, scratch: &mut ConnScratch) -> u16 {
         ("POST", "/rank") => submit_route(engine, Route::Rank, body, arena, body_out),
         ("POST", "/aggregate") => submit_route(engine, Route::Aggregate, body, arena, body_out),
         ("POST", "/pipeline") => submit_route(engine, Route::Pipeline, body, arena, body_out),
-        ("POST", _) | ("GET", _) => {
+        ("POST", "/jobs") => jobs_submit(engine, body, arena, body_out),
+        ("GET", path) if path.strip_prefix("/jobs/").is_some() => {
+            jobs_status(engine, &path["/jobs/".len()..], body_out)
+        }
+        ("DELETE", path) if path.strip_prefix("/jobs/").is_some() => {
+            jobs_cancel(engine, &path["/jobs/".len()..], body_out)
+        }
+        ("POST", _) | ("GET", _) | ("DELETE", _) => {
             write_error(body_out, "no such route");
             404
         }
@@ -704,6 +716,97 @@ fn route_request(engine: &Arc<Engine>, scratch: &mut ConnScratch) -> u16 {
             405
         }
     }
+}
+
+/// `POST /jobs`: parse `{"chunks":[…]}` (each chunk the body of a
+/// sync route, plus an optional `"route"` discriminator defaulting to
+/// `rank`), submit the batch, answer `202` with the id to poll.
+fn jobs_submit(engine: &Arc<Engine>, body: &[u8], arena: &mut JsonArena, out: &mut String) -> u16 {
+    let Ok(text) = std::str::from_utf8(body) else {
+        write_error(out, "body is not utf-8");
+        return 400;
+    };
+    let doc = match arena.parse(text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            write_error(out, &e.to_string());
+            return 400;
+        }
+    };
+    let spec = match parse_batch_spec(doc) {
+        Ok(spec) => spec,
+        Err(message) => {
+            write_error(out, &message);
+            return 400;
+        }
+    };
+    match engine.submit_batch(spec) {
+        Ok(job) => {
+            job.write_status_json(out);
+            202
+        }
+        Err(e) => {
+            let status = match &e {
+                EngineError::UnknownAlgorithm(_) => 404,
+                EngineError::InvalidJob(_) => 400,
+                EngineError::Algorithm(_) => 422,
+                EngineError::Overloaded | EngineError::ShuttingDown => 503,
+            };
+            write_error(out, &e.to_string());
+            status
+        }
+    }
+}
+
+/// `GET /jobs/{id}`: status snapshot, with per-chunk results once the
+/// job is terminal.
+fn jobs_status(engine: &Arc<Engine>, id: &str, out: &mut String) -> u16 {
+    let Some(job) = id.parse().ok().and_then(|id| engine.batch_job(id)) else {
+        write_error(out, "no such job");
+        return 404;
+    };
+    job.write_status_json(out);
+    200
+}
+
+/// `DELETE /jobs/{id}`: request cooperative cancellation and return
+/// the (possibly already terminal) status.
+fn jobs_cancel(engine: &Arc<Engine>, id: &str, out: &mut String) -> u16 {
+    let Some(job) = id.parse().ok().and_then(|id| engine.cancel_batch_job(id)) else {
+        write_error(out, "no such job");
+        return 404;
+    };
+    job.write_status_json(out);
+    200
+}
+
+/// Parse the `POST /jobs` body into a [`BatchSpec`].
+fn parse_batch_spec(doc: ValueRef<'_>) -> Result<crate::batch::BatchSpec, String> {
+    if !doc.is_object() {
+        return Err("request body must be a JSON object".to_string());
+    }
+    let chunks_value = doc
+        .get("chunks")
+        .ok_or("`chunks` (array of chunk objects) is required")?;
+    let chunk_docs = chunks_value.as_array().ok_or("`chunks` must be an array")?;
+    let mut chunks = Vec::with_capacity(chunks_value.len());
+    for (index, chunk_doc) in chunk_docs.enumerate() {
+        let route = match chunk_doc.get("route").map(|r| r.as_str()) {
+            None => Route::Rank,
+            Some(Some("rank")) => Route::Rank,
+            Some(Some("aggregate")) => Route::Aggregate,
+            Some(Some("pipeline")) => Route::Pipeline,
+            Some(_) => {
+                return Err(format!(
+                    "chunk {index}: `route` must be `rank`, `aggregate` or `pipeline`"
+                ))
+            }
+        };
+        let job =
+            parse_job(chunk_doc, route).map_err(|message| format!("chunk {index}: {message}"))?;
+        chunks.push(job);
+    }
+    Ok(crate::batch::BatchSpec { chunks })
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -855,6 +958,9 @@ fn parse_params(doc: ValueRef<'_>) -> Result<JobParams, String> {
     if let Some(v) = doc.get("tolerance") {
         params.tolerance = v.as_f64().ok_or("`tolerance` must be a number")?;
     }
+    if let Some(v) = doc.get("noise_sd") {
+        params.noise_sd = v.as_f64().ok_or("`noise_sd` must be a number")?;
+    }
     if let Some(v) = doc.get("k") {
         params.k = Some(v.as_usize().ok_or("`k` must be a non-negative integer")?);
     }
@@ -893,6 +999,7 @@ mod tests {
             cache_capacity: 32,
             table_cache_capacity: 16,
             cache_shards: 0,
+            ..EngineConfig::default()
         });
         Server::bind("127.0.0.1:0", engine).unwrap().spawn()
     }
@@ -1080,6 +1187,7 @@ mod tests {
             cache_capacity: 32,
             table_cache_capacity: 16,
             cache_shards: 0,
+            ..EngineConfig::default()
         });
         let server = Server::bind_with(
             "127.0.0.1:0",

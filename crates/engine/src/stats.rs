@@ -1,6 +1,7 @@
 //! Engine-wide counters and the request-latency histogram, exported
 //! over `GET /stats`.
 
+use crate::batch::JobStore;
 use crate::json::Json;
 use crate::tables::TableCache;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -109,11 +110,11 @@ pub struct EngineStats {
     /// Jobs that had to be executed.
     pub cache_misses: AtomicU64,
     /// Jobs completed successfully on a worker.
-    pub jobs_executed: AtomicU64,
+    pub chunks_executed: AtomicU64,
     /// Jobs whose algorithm returned an error.
-    pub jobs_failed: AtomicU64,
+    pub chunks_failed: AtomicU64,
     /// Submissions coalesced onto an identical in-flight job.
-    pub jobs_coalesced: AtomicU64,
+    pub chunks_coalesced: AtomicU64,
     /// Jobs rejected because the queue was full.
     pub queue_rejections: AtomicU64,
     /// HTTP requests parsed (all routes; with keep-alive one
@@ -139,9 +140,9 @@ impl EngineStats {
             started: Instant::now(),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
-            jobs_executed: AtomicU64::new(0),
-            jobs_failed: AtomicU64::new(0),
-            jobs_coalesced: AtomicU64::new(0),
+            chunks_executed: AtomicU64::new(0),
+            chunks_failed: AtomicU64::new(0),
+            chunks_coalesced: AtomicU64::new(0),
             queue_rejections: AtomicU64::new(0),
             http_requests: AtomicU64::new(0),
             http_errors: AtomicU64::new(0),
@@ -157,16 +158,20 @@ impl EngineStats {
     }
 
     /// Snapshot as the `GET /stats` JSON body. The sampler-table cache
-    /// keeps its own counters (it is shared below the job layer), so it
-    /// is read here rather than mirrored.
+    /// and the batch-job store keep their own counters (they are
+    /// shared below the chunk layer), so they are read here rather
+    /// than mirrored.
     pub fn to_json(
         &self,
         cache_len: usize,
         cache_capacity: usize,
         workers: usize,
         tables: &TableCache,
+        jobs: &JobStore,
     ) -> Json {
         let read = |c: &AtomicU64| Json::Number(c.load(Ordering::Relaxed) as f64);
+        let (jobs_queued, jobs_running, jobs_completed, jobs_failed, jobs_cancelled, high_water) =
+            jobs.counters();
         Json::object(vec![
             (
                 "uptime_seconds",
@@ -180,10 +185,17 @@ impl EngineStats {
             ("sampler_table_hits", Json::Number(tables.hits() as f64)),
             ("sampler_table_misses", Json::Number(tables.misses() as f64)),
             ("sampler_table_entries", Json::Number(tables.len() as f64)),
-            ("jobs_executed", read(&self.jobs_executed)),
-            ("jobs_failed", read(&self.jobs_failed)),
-            ("jobs_coalesced", read(&self.jobs_coalesced)),
+            ("chunks_executed", read(&self.chunks_executed)),
+            ("chunks_failed", read(&self.chunks_failed)),
+            ("chunks_coalesced", read(&self.chunks_coalesced)),
             ("queue_rejections", read(&self.queue_rejections)),
+            ("jobs_queued", Json::Number(jobs_queued as f64)),
+            ("jobs_running", Json::Number(jobs_running as f64)),
+            ("jobs_completed", Json::Number(jobs_completed as f64)),
+            ("jobs_failed", Json::Number(jobs_failed as f64)),
+            ("jobs_cancelled", Json::Number(jobs_cancelled as f64)),
+            ("jobs_queue_high_water", Json::Number(high_water as f64)),
+            ("jobs_stored", Json::Number(jobs.len() as f64)),
             ("http_requests", read(&self.http_requests)),
             ("http_errors", read(&self.http_errors)),
             ("connections", read(&self.connections)),
@@ -221,7 +233,8 @@ mod tests {
         let tables = TableCache::new(8);
         tables.get_or_build(10, 1.0).unwrap();
         tables.get_or_build(10, 1.0).unwrap();
-        let json = s.to_json(5, 100, 4, &tables).to_string();
+        let jobs = JobStore::new(4);
+        let json = s.to_json(5, 100, 4, &tables, &jobs).to_string();
         assert!(json.contains("\"cache_hits\":2"), "{json}");
         assert!(json.contains("\"cache_misses\":1"), "{json}");
         assert!(json.contains("\"cache_entries\":5"), "{json}");
@@ -229,6 +242,12 @@ mod tests {
         assert!(json.contains("\"sampler_table_misses\":1"), "{json}");
         assert!(json.contains("\"sampler_table_entries\":1"), "{json}");
         assert!(json.contains("\"workers\":4"), "{json}");
+        assert!(json.contains("\"jobs_queued\":0"), "{json}");
+        assert!(json.contains("\"jobs_running\":0"), "{json}");
+        assert!(json.contains("\"jobs_completed\":0"), "{json}");
+        assert!(json.contains("\"jobs_failed\":0"), "{json}");
+        assert!(json.contains("\"jobs_cancelled\":0"), "{json}");
+        assert!(json.contains("\"jobs_queue_high_water\":0"), "{json}");
         assert!(json.contains("\"rejected_connections\":1"), "{json}");
         assert!(json.contains("\"latency_p50_us\":"), "{json}");
         assert!(json.contains("\"latency_p99_us\":"), "{json}");

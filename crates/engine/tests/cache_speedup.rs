@@ -33,6 +33,7 @@ fn cached_submit_is_at_least_10x_faster_than_cold() {
 
         table_cache_capacity: 16,
         cache_shards: 0,
+        ..EngineConfig::default()
     });
 
     let cold_start = Instant::now();

@@ -1,13 +1,18 @@
-//! The German-Credit evaluation pipeline shared by Figs. 5, 6 and 7.
+//! The German-Credit evaluation pipeline shared by Figs. 5, 6 and 7 —
+//! re-expressed as **job specs executed on the engine core**.
 //!
 //! Per repetition (15 at paper scale):
 //!
-//! 1. sample `n` records from the synthetic German Credit dataset;
-//! 2. build the weakly-fair input ranking w.r.t. the *known* combined
-//!    Sex-Age attribute (4 groups) over descending Credit Amount;
-//! 3. run every algorithm — DetConstSort, ApproxMultiValuedIPF, the
-//!    ILP/DP, Mallows (1 sample), Mallows (best of 15 by NDCG) — in the
-//!    panel's configuration (θ ∈ {0.5, 1}, constraint noise σ ∈ {0, 1});
+//! 1. sample `n` records from the German Credit dataset (synthetic, or
+//!    streamed from disk by the caller);
+//! 2. build one [`RankJob`] chunk per algorithm — DetConstSort,
+//!    ApproxMultiValuedIPF, the ILP/DP, Mallows (1 sample), Mallows
+//!    (best of 15 by NDCG) — in the panel's configuration
+//!    (θ ∈ {0.5, 1}, constraint noise σ ∈ {0, 1}) via [`cell_job`];
+//! 3. execute every chunk through the engine's algorithm
+//!    [`Registry`] — the same `RankJob → RankResult` core behind
+//!    `POST /rank` and `POST /jobs` — so experiment cells and served
+//!    requests are literally the same computation;
 //! 4. record, per output ranking:
 //!    * `% P-fair positions` w.r.t. Sex-Age (Fig. 5, known attribute),
 //!    * `% P-fair positions` w.r.t. Housing (Fig. 6, unknown attribute),
@@ -15,11 +20,13 @@
 
 use fair_baselines as baselines;
 use fair_datasets::GermanCredit;
-use fair_mallows::{Criterion, MallowsFairRanker};
-use fairness_metrics::{infeasible, FairnessBounds, GroupAssignment};
+use fairness_metrics::{infeasible, FairnessBounds};
+use fairrank_engine::job::{JobInput, JobParams, RankJob};
+use fairrank_engine::registry::Registry;
+use fairrank_engine::tables::ExecContext;
 use rand::rngs::StdRng;
-use rand::Rng;
-use ranking_core::quality::{self, Discount};
+use rand::{Rng, SeedableRng};
+use ranking_core::quality;
 use ranking_core::Permutation;
 
 /// The algorithms evaluated in Figs. 5–7.
@@ -164,7 +171,45 @@ pub struct PanelResults {
     pub ilp_fallbacks: usize,
 }
 
-/// Run one panel of the German-Credit pipeline.
+/// Build the [`RankJob`] chunk for one experiment cell — the same job
+/// shape `POST /rank` and `POST /jobs` accept, so an experiment cell
+/// can be served, queued, cached and cancelled like any other engine
+/// work. `groups` is the *known* attribute column; the unknown
+/// attribute never enters the job, mirroring the paper's setup.
+pub fn cell_job(
+    alg: Algorithm,
+    scores: Vec<f64>,
+    groups: Vec<usize>,
+    panel: Panel,
+    mallows_samples: usize,
+    seed: u64,
+) -> RankJob {
+    let (algorithm, samples) = match alg {
+        Algorithm::WeaklyFairInput => ("weakly-fair", 1),
+        Algorithm::DetConstSort => ("detconstsort", 1),
+        Algorithm::ApproxIpf => ("ipf", 1),
+        Algorithm::Ilp => ("ilp", 1),
+        Algorithm::MallowsSingle => ("mallows", 1),
+        Algorithm::MallowsBestOf15 => ("mallows", mallows_samples),
+    };
+    RankJob {
+        algorithm: algorithm.to_string(),
+        input: JobInput::Scores { scores, groups },
+        params: JobParams {
+            theta: panel.theta,
+            samples,
+            // exact proportional bounds, as the paper's pipeline uses
+            tolerance: 0.0,
+            noise_sd: panel.noise_sd,
+            seed,
+            ..JobParams::default()
+        },
+    }
+}
+
+/// Run one panel of the German-Credit pipeline through the engine's
+/// algorithm registry (one [`RankJob`] per cell, executed on the same
+/// core as the HTTP endpoints).
 pub fn run_panel(
     data: &GermanCredit,
     config: &PipelineConfig,
@@ -172,6 +217,8 @@ pub fn run_panel(
     rng: &mut StdRng,
 ) -> PanelResults {
     let algorithms = Algorithm::all();
+    let registry = Registry::standard();
+    let ctx = ExecContext::default();
     let mut per_size = Vec::with_capacity(config.sizes.len());
     let mut ilp_fallbacks = 0usize;
 
@@ -192,17 +239,29 @@ pub fn run_panel(
             let input = baselines::weakly_fair_ranking(&scores, &known, &known_bounds);
 
             for (a_idx, alg) in algorithms.iter().enumerate() {
-                let ranking = run_algorithm(
+                let seed: u64 = rng.random();
+                let job = cell_job(
                     *alg,
-                    &input,
-                    &scores,
-                    &known,
-                    &known_bounds,
+                    scores.clone(),
+                    known.as_slice().to_vec(),
                     panel,
                     config.mallows_samples,
-                    &mut ilp_fallbacks,
-                    rng,
+                    seed,
                 );
+                let algorithm = registry.get(&job.algorithm).expect("registered algorithm");
+                // same per-job seeding discipline as `Engine::submit`
+                let mut job_rng = StdRng::seed_from_u64(seed);
+                let ranking = match algorithm.run(&job, &ctx, &mut job_rng) {
+                    Ok(result) => Permutation::from_order(result.ranking)
+                        .expect("registry returns permutations"),
+                    Err(_) if *alg == Algorithm::Ilp => {
+                        // noisy constraints can be infeasible: fall
+                        // back to the input ranking, as the paper does
+                        ilp_fallbacks += 1;
+                        input.clone()
+                    }
+                    Err(e) => panic!("{}: {e}", alg.label()),
+                };
                 let m = &mut cell[a_idx];
                 m.ppfair_known.push(
                     infeasible::pfair_percentage(&ranking, &known, &known_bounds)
@@ -222,74 +281,6 @@ pub fn run_panel(
         sizes: config.sizes.clone(),
         per_size,
         ilp_fallbacks,
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn run_algorithm<R: Rng + ?Sized>(
-    alg: Algorithm,
-    input: &Permutation,
-    scores: &[f64],
-    known: &GroupAssignment,
-    known_bounds: &FairnessBounds,
-    panel: Panel,
-    mallows_samples: usize,
-    ilp_fallbacks: &mut usize,
-    rng: &mut R,
-) -> Permutation {
-    match alg {
-        Algorithm::WeaklyFairInput => input.clone(),
-        Algorithm::DetConstSort => baselines::det_const_sort(
-            scores,
-            known,
-            known_bounds,
-            &baselines::DetConstSortConfig {
-                noise_sd: panel.noise_sd,
-            },
-            rng,
-        )
-        .expect("validated shapes"),
-        Algorithm::ApproxIpf => {
-            baselines::approx_multi_valued_ipf(
-                input,
-                known,
-                known_bounds,
-                &baselines::IpfConfig {
-                    noise_sd: panel.noise_sd,
-                },
-                rng,
-            )
-            .expect("validated shapes")
-            .ranking
-        }
-        Algorithm::Ilp => {
-            let tables = baselines::noisy_tables(known_bounds, scores.len(), panel.noise_sd, rng);
-            match baselines::optimal_fair_ranking_dp(scores, known, &tables, Discount::Log2) {
-                Ok(pi) => pi,
-                Err(_) => {
-                    *ilp_fallbacks += 1;
-                    input.clone()
-                }
-            }
-        }
-        Algorithm::MallowsSingle => {
-            MallowsFairRanker::new(panel.theta, 1, Criterion::FirstSample)
-                .expect("valid θ")
-                .rank(input, rng)
-                .expect("criterion shape matches")
-                .ranking
-        }
-        Algorithm::MallowsBestOf15 => {
-            MallowsFairRanker::new(
-                panel.theta,
-                mallows_samples,
-                Criterion::MaxNdcg(scores.to_vec()),
-            )
-            .expect("valid θ")
-            .rank(input, rng)
-            .expect("criterion shape matches")
-            .ranking
-        }
     }
 }
 

@@ -30,14 +30,21 @@ pub struct Options {
 }
 
 impl Options {
-    /// Parse from `std::env::args` (ignores unknown flags).
+    /// Parse from `std::env::args` (ignores unknown flags). Prefer
+    /// `fairrank experiment`, which runs the same pipeline as an
+    /// engine batch job with proper flag validation; this parser stays
+    /// for the per-figure binaries.
     pub fn from_env() -> Options {
+        Options::parse(std::env::args().skip(1))
+    }
+
+    /// Parse an explicit token stream (ignores unknown flags).
+    pub fn parse<I: Iterator<Item = String>>(mut args: I) -> Options {
         let mut opts = Options {
             full: false,
             seed: 42,
             csv: false,
         };
-        let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--full" => opts.full = true,

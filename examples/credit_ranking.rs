@@ -2,17 +2,25 @@
 //! on one size-60 instance, evaluated on both the known (Sex-Age) and
 //! the unknown (Housing) attribute.
 //!
+//! The comparison runs as **one asynchronous batch job on the serving
+//! engine**: each algorithm is a [`RankJob`] chunk built by the shared
+//! `cell_job` spec builder, submitted through `Engine::submit_batch` —
+//! the same subsystem behind `POST /jobs` — and the rankings come back
+//! as per-chunk results, byte-identical to what the HTTP API would
+//! serve.
+//!
 //! ```sh
 //! cargo run --example credit_ranking
 //! ```
 
-use fairness_ranking::baselines::{self, DetConstSortConfig, IpfConfig};
+use experiments::credit_pipeline::{cell_job, Algorithm, Panel};
 use fairness_ranking::datasets::GermanCredit;
 use fairness_ranking::eval::table::Table;
 use fairness_ranking::fairness::{infeasible, FairnessBounds};
-use fairness_ranking::mallows_ranker::{Criterion, MallowsFairRanker};
-use fairness_ranking::ranking::quality::{self, Discount};
+use fairness_ranking::ranking::quality;
 use fairness_ranking::ranking::Permutation;
+use fairrank_engine::batch::{BatchSpec, JobState};
+use fairrank_engine::{Engine, EngineConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -29,53 +37,33 @@ fn main() {
     let known_bounds = FairnessBounds::from_assignment(&known);
     let unknown_bounds = FairnessBounds::from_assignment(&unknown);
 
-    let input = baselines::weakly_fair_ranking(&scores, &known, &known_bounds);
+    // one chunk per algorithm; only the known attribute enters the jobs
+    let panel = Panel {
+        theta: 1.0,
+        noise_sd: 0.0,
+    };
+    let algorithms = Algorithm::all();
+    let chunks = algorithms
+        .iter()
+        .enumerate()
+        .map(|(i, &alg)| {
+            cell_job(
+                alg,
+                scores.clone(),
+                known.as_slice().to_vec(),
+                panel,
+                15,
+                99 + i as u64,
+            )
+        })
+        .collect();
 
-    let mut outputs: Vec<(&str, Permutation)> = vec![("weakly-fair input", input.clone())];
-    outputs.push((
-        "DetConstSort",
-        baselines::det_const_sort(
-            &scores,
-            &known,
-            &known_bounds,
-            &DetConstSortConfig::default(),
-            &mut rng,
-        )
-        .unwrap(),
-    ));
-    outputs.push((
-        "ApproxMultiValuedIPF",
-        baselines::approx_multi_valued_ipf(
-            &input,
-            &known,
-            &known_bounds,
-            &IpfConfig::default(),
-            &mut rng,
-        )
-        .unwrap()
-        .ranking,
-    ));
-    let tables = known_bounds.tables(n);
-    outputs.push((
-        "ILP (exact DP)",
-        baselines::optimal_fair_ranking_dp(&scores, &known, &tables, Discount::Log2).unwrap(),
-    ));
-    outputs.push((
-        "Mallows θ=1 (1 sample)",
-        MallowsFairRanker::new(1.0, 1, Criterion::FirstSample)
-            .unwrap()
-            .rank(&input, &mut rng)
-            .unwrap()
-            .ranking,
-    ));
-    outputs.push((
-        "Mallows θ=1 (best of 15)",
-        MallowsFairRanker::new(1.0, 15, Criterion::MaxNdcg(scores.clone()))
-            .unwrap()
-            .rank(&input, &mut rng)
-            .unwrap()
-            .ranking,
-    ));
+    let engine = Engine::new(EngineConfig::default());
+    let job = engine
+        .submit_batch(BatchSpec { chunks })
+        .expect("batch accepted");
+    let snapshot = job.wait();
+    assert_eq!(snapshot.state, JobState::Done, "{:?}", snapshot.error);
 
     let mut table = Table::new(vec![
         "algorithm".into(),
@@ -84,19 +72,21 @@ fn main() {
         "%P-fair (Housing, unknown)".into(),
     ])
     .with_title(format!(
-        "German Credit, n = {n} (algorithms only see Sex-Age)"
+        "German Credit, n = {n} (algorithms only see Sex-Age; job {} on the engine core)",
+        snapshot.id
     ));
-    for (name, pi) in &outputs {
+    for (alg, result) in algorithms.iter().zip(&snapshot.results) {
+        let pi = Permutation::from_order(result.ranking.clone()).expect("valid ranking");
         table.add_row(vec![
-            name.to_string(),
-            format!("{:.4}", quality::ndcg(pi, &scores).unwrap()),
+            alg.label().to_string(),
+            format!("{:.4}", quality::ndcg(&pi, &scores).unwrap()),
             format!(
                 "{:.1}",
-                infeasible::pfair_percentage(pi, &known, &known_bounds).unwrap()
+                infeasible::pfair_percentage(&pi, &known, &known_bounds).unwrap()
             ),
             format!(
                 "{:.1}",
-                infeasible::pfair_percentage(pi, &unknown, &unknown_bounds).unwrap()
+                infeasible::pfair_percentage(&pi, &unknown, &unknown_bounds).unwrap()
             ),
         ]);
     }

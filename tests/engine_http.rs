@@ -4,7 +4,10 @@
 //! behaviours — sequential requests over one connection, the
 //! max-requests cap, `Connection: close` handling, connection shedding
 //! under overload, and a multi-threaded hammer whose `/stats` counters
-//! must add up.
+//! must add up — and the asynchronous `/jobs` lifecycle: submit, poll
+//! to completion with per-chunk results byte-identical to the sync
+//! endpoints, cooperative cancellation mid-run, and 404s on unknown
+//! ids.
 
 use fairness_ranking::fairness::{FairnessBounds, GroupAssignment};
 use fairness_ranking::pipeline::{Aggregator, FairAggregationPipeline, PostProcessor};
@@ -25,6 +28,7 @@ fn test_engine() -> Arc<Engine> {
         cache_capacity: 64,
         table_cache_capacity: 16,
         cache_shards: 0,
+        ..EngineConfig::default()
     })
 }
 
@@ -554,6 +558,233 @@ fn overloaded_reactor_sheds_connections_with_503_retry_after() {
     server.shutdown();
 }
 
+fn http_delete(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "DELETE {path} HTTP/1.1\r\nhost: localhost\r\nconnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Poll `GET /jobs/{id}` until its `status` is one of `terminal`,
+/// with a generous deadline.
+fn poll_job_until(addr: SocketAddr, id: u64, terminal: &[&str]) -> String {
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = http_get(addr, &format!("/jobs/{id}"));
+        assert_eq!(status, 200, "{body}");
+        if terminal
+            .iter()
+            .any(|t| body.contains(&format!("\"status\":\"{t}\"")))
+        {
+            return body;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "job {id} never reached {terminal:?}: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn job_round_trip_matches_sync_endpoints_byte_for_byte() {
+    let server = start_server();
+    let addr = server.addr();
+
+    // the three sync answers the job's chunks must reproduce exactly
+    let rank_body = r#"{"algorithm":"mallows","scores":[0.9,0.7,0.5,0.3],"groups":[0,0,1,1],"samples":10,"seed":77}"#;
+    let (status, sync_rank) = http_post(addr, "/rank", rank_body);
+    assert_eq!(status, 200, "{sync_rank}");
+    let aggregate_body = r#"{"method":"kemeny","votes":[[0,1,2],[0,1,2],[2,0,1]],"seed":3}"#;
+    let (status, sync_aggregate) = http_post(addr, "/aggregate", aggregate_body);
+    assert_eq!(status, 200, "{sync_aggregate}");
+    let pipeline_body = r#"{"votes":[[0,1,2,3],[0,1,3,2],[1,0,2,3]],"groups":[0,0,1,1],"method":"borda","post":"mallows","theta":0.7,"samples":15,"tolerance":0.2,"seed":11}"#;
+    let (status, sync_pipeline) = http_post(addr, "/pipeline", pipeline_body);
+    assert_eq!(status, 200, "{sync_pipeline}");
+
+    // one batch job covering all three routes
+    let rank_chunk = format!(r#"{{"route":"rank",{}"#, &rank_body[1..]);
+    let aggregate_chunk = format!(r#"{{"route":"aggregate",{}"#, &aggregate_body[1..]);
+    let pipeline_chunk = format!(r#"{{"route":"pipeline",{}"#, &pipeline_body[1..]);
+    let job_body = format!(r#"{{"chunks":[{rank_chunk},{aggregate_chunk},{pipeline_chunk}]}}"#);
+    let (status, accepted) = http_post(addr, "/jobs", &job_body);
+    assert_eq!(status, 202, "{accepted}");
+    assert!(accepted.contains("\"chunks_total\":3"), "{accepted}");
+    let id = json_number(&accepted, "id") as u64;
+
+    let done = poll_job_until(addr, id, &["done", "failed", "cancelled"]);
+    assert!(done.contains("\"status\":\"done\""), "{done}");
+    assert!(done.contains("\"chunks_done\":3"), "{done}");
+    // per-chunk results are byte-identical substrings of the status
+    for sync in [&sync_rank, &sync_aggregate, &sync_pipeline] {
+        assert!(
+            done.contains(sync.as_str()),
+            "job results must embed the sync body `{sync}`:\n{done}"
+        );
+    }
+
+    // queue health surfaced in /stats
+    let (status, stats) = http_get(addr, "/stats");
+    assert_eq!(status, 200);
+    assert_eq!(json_number(&stats, "jobs_completed"), 1.0, "{stats}");
+    assert_eq!(json_number(&stats, "jobs_running"), 0.0, "{stats}");
+    assert_eq!(json_number(&stats, "jobs_queued"), 0.0, "{stats}");
+    assert!(
+        json_number(&stats, "jobs_queue_high_water") >= 1.0,
+        "{stats}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn job_with_failing_chunk_reports_failure_and_keeps_prefix() {
+    let server = start_server();
+    let addr = server.addr();
+    // chunk 0 succeeds; chunk 1 fails (gr-binary rejects 3 groups)
+    let (status, accepted) = http_post(
+        addr,
+        "/jobs",
+        r#"{"chunks":[
+            {"algorithm":"weakly-fair","scores":[0.9,0.1],"groups":[0,1],"seed":1},
+            {"algorithm":"gr-binary","scores":[1.0,0.5,0.2],"groups":[0,1,2],"seed":2},
+            {"algorithm":"weakly-fair","scores":[0.9,0.1],"groups":[0,1],"seed":3}]}"#,
+    );
+    assert_eq!(status, 202, "{accepted}");
+    let id = json_number(&accepted, "id") as u64;
+    let done = poll_job_until(addr, id, &["done", "failed", "cancelled"]);
+    assert!(done.contains("\"status\":\"failed\""), "{done}");
+    assert!(done.contains("\"failed_chunk\":1"), "{done}");
+    assert!(done.contains("\"chunks_done\":1"), "{done}");
+    assert!(done.contains("algorithm failed"), "{done}");
+    server.shutdown();
+}
+
+#[test]
+fn job_cancellation_mid_run_stops_between_chunks() {
+    use fairrank_engine::job::RankResult;
+    use fairrank_engine::registry::{Algorithm, AlgorithmKind, Registry};
+    use fairrank_engine::tables::ExecContext;
+
+    /// A deliberately slow algorithm so the batch is mid-run when the
+    /// DELETE lands.
+    struct Sleepy;
+    impl Algorithm for Sleepy {
+        fn name(&self) -> &str {
+            "sleepy"
+        }
+        fn kind(&self) -> AlgorithmKind {
+            AlgorithmKind::PostProcessor
+        }
+        fn run(
+            &self,
+            job: &fairrank_engine::job::RankJob,
+            _ctx: &ExecContext,
+            _rng: &mut StdRng,
+        ) -> Result<RankResult, fairrank_engine::EngineError> {
+            std::thread::sleep(Duration::from_millis(20));
+            Ok(RankResult {
+                algorithm: job.algorithm.clone(),
+                ranking: vec![0],
+                consensus: None,
+                metrics: vec![],
+            })
+        }
+    }
+
+    let mut registry = Registry::standard();
+    registry.register(Arc::new(Sleepy));
+    let engine = Engine::with_registry(EngineConfig::default(), registry);
+    let server = Server::bind_with("127.0.0.1:0", engine, ServerConfig::default())
+        .expect("binding an ephemeral port")
+        .spawn();
+    let addr = server.addr();
+
+    // 200 slow chunks with distinct seeds (no cache short-circuits)
+    let chunks: Vec<String> = (0..200)
+        .map(|i| format!(r#"{{"algorithm":"sleepy","scores":[1.0],"seed":{i}}}"#))
+        .collect();
+    let (status, accepted) = http_post(
+        addr,
+        "/jobs",
+        &format!(r#"{{"chunks":[{}]}}"#, chunks.join(",")),
+    );
+    assert_eq!(status, 202, "{accepted}");
+    let id = json_number(&accepted, "id") as u64;
+
+    // wait until it is genuinely mid-run (some chunk finished)...
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let (_, body) = http_get(addr, &format!("/jobs/{id}"));
+        if body.contains("\"status\":\"running\"") && json_number(&body, "chunks_done") >= 1.0 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "{body}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // ...then cancel and watch it stop at a chunk boundary
+    let (status, cancelled) = http_delete(addr, &format!("/jobs/{id}"));
+    assert_eq!(status, 200, "{cancelled}");
+    let done = poll_job_until(addr, id, &["done", "failed", "cancelled"]);
+    assert!(done.contains("\"status\":\"cancelled\""), "{done}");
+    let partial = json_number(&done, "chunks_done");
+    assert!(
+        (1.0..200.0).contains(&partial),
+        "cancelled mid-run, finished {partial} of 200:\n{done}"
+    );
+
+    let (_, stats) = http_get(addr, "/stats");
+    assert_eq!(json_number(&stats, "jobs_cancelled"), 1.0, "{stats}");
+    server.shutdown();
+}
+
+#[test]
+fn unknown_and_malformed_job_ids_are_404() {
+    let server = start_server();
+    let addr = server.addr();
+    let (status, body) = http_get(addr, "/jobs/424242");
+    assert_eq!(status, 404, "{body}");
+    let (status, _) = http_delete(addr, "/jobs/424242");
+    assert_eq!(status, 404);
+    let (status, _) = http_get(addr, "/jobs/not-a-number");
+    assert_eq!(status, 404);
+    // DELETE on a non-jobs route is an unknown route, not a 405
+    let (status, _) = http_delete(addr, "/rank");
+    assert_eq!(status, 404);
+    // malformed batch bodies are 400s
+    let (status, _) = http_post(addr, "/jobs", r#"{"chunks":"nope"}"#);
+    assert_eq!(status, 400);
+    let (status, _) = http_post(addr, "/jobs", r#"{"chunks":[]}"#);
+    assert_eq!(status, 400);
+    let (status, body) = http_post(
+        addr,
+        "/jobs",
+        r#"{"chunks":[{"route":"warp","algorithm":"weakly-fair","scores":[1.0]}]}"#,
+    );
+    assert_eq!(status, 400, "{body}");
+    // unknown algorithm anywhere in the batch → 404, nothing queued
+    let (status, _) = http_post(
+        addr,
+        "/jobs",
+        r#"{"chunks":[{"algorithm":"psychic","scores":[1.0]}]}"#,
+    );
+    assert_eq!(status, 404);
+    server.shutdown();
+}
+
 #[test]
 fn hammer_stats_counters_add_up() {
     let server = start_server();
@@ -602,7 +833,7 @@ fn hammer_stats_counters_add_up() {
     assert_eq!(json_number(&stats, "cache_misses"), good as f64, "{stats}");
     assert_eq!(json_number(&stats, "cache_hits"), 0.0, "{stats}");
     assert_eq!(
-        json_number(&stats, "jobs_executed") + json_number(&stats, "jobs_failed"),
+        json_number(&stats, "chunks_executed") + json_number(&stats, "chunks_failed"),
         good as f64,
         "{stats}"
     );
