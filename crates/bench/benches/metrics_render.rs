@@ -1,0 +1,85 @@
+//! Prometheus `/metrics` render throughput.
+//!
+//! A scraper hits `/metrics` every few seconds; the render must stay
+//! cheap enough to be invisible next to real traffic. This bench
+//! populates every counter and histogram the exporter serves (all
+//! route classes, every registered algorithm, ~600 sample lines),
+//! renders into a reused buffer, and reports renders/second plus the
+//! document size. Every rendered document is re-validated with the
+//! strict checker on the first iteration, so the bench doubles as a
+//! format regression test.
+//!
+//! Not a criterion bench on purpose: it prints one JSON summary line
+//! so the trajectory is trackable across PRs:
+//!
+//! ```text
+//! {"bench":"metrics_render","renders_per_s":NNNN,"bytes":NNNN}
+//! ```
+//!
+//! Pass `--smoke` (CI does) for a short run that only checks the
+//! harness completes and the document validates.
+
+use fairrank_engine::job::{JobInput, JobParams, RankJob};
+use fairrank_engine::stats::validate_prometheus_text;
+use fairrank_engine::{Engine, EngineConfig};
+use std::time::Instant;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let iterations = if smoke { 50 } else { 5000 };
+
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        queue_capacity: 256,
+        cache_capacity: 256,
+        table_cache_capacity: 16,
+        cache_shards: 0,
+        ..EngineConfig::default()
+    });
+
+    // populate the per-algorithm histograms and the engine counters
+    // with real executions across a few algorithms
+    for (seed, algorithm) in ["weakly-fair", "detconstsort", "mallows"]
+        .iter()
+        .cycle()
+        .take(12)
+        .enumerate()
+    {
+        let job = RankJob {
+            algorithm: algorithm.to_string(),
+            input: JobInput::Scores {
+                scores: vec![0.9, 0.8, 0.5, 0.3],
+                groups: vec![0, 0, 1, 1],
+            },
+            params: JobParams {
+                samples: 5,
+                seed: seed as u64,
+                ..JobParams::default()
+            },
+        };
+        engine.submit(job).expect("populating counters");
+    }
+    // populate every route-latency histogram directly
+    for route in fairrank_engine::stats::RouteClass::ALL {
+        for micros in [3u64, 90, 1500, 70_000] {
+            engine.stats().route_latency(route).record_micros(micros);
+        }
+    }
+
+    let mut out = String::new();
+    engine.render_metrics(&mut out);
+    validate_prometheus_text(&out).expect("exporter must emit valid Prometheus text");
+    let bytes = out.len();
+
+    let started = Instant::now();
+    for _ in 0..iterations {
+        out.clear();
+        engine.render_metrics(&mut out);
+        std::hint::black_box(out.len());
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let renders_per_s = iterations as f64 / elapsed;
+    println!(
+        "{{\"bench\":\"metrics_render\",\"iterations\":{iterations},\"bytes\":{bytes},\"renders_per_s\":{renders_per_s:.0}}}"
+    );
+}

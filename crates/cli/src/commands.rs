@@ -43,10 +43,16 @@ pub fn dispatch(args: &Args) -> Result<String> {
 /// stdout before serving), builds an engine with `--workers` threads, a
 /// `--queue`-bounded job queue and a `--cache`-sized LRU result cache,
 /// and serves keep-alive HTTP/1.1 on a fixed pool of `--io-threads`
-/// I/O workers (0 = one per CPU) until the process is terminated.
+/// I/O workers (0 = one per CPU). SIGTERM (or SIGINT) starts a
+/// graceful drain: readiness (`GET /readyz`) flips to 503, in-flight
+/// keep-alive requests finish and close, new connections are shed with
+/// 503, queued batch jobs are cancelled and running ones complete —
+/// then the process exits cleanly. `--access-log FILE` (or `-` for
+/// stderr) writes one JSON line per request.
 pub fn serve(args: &Args) -> Result<String> {
-    use fairrank_engine::server::{Server, ServerConfig};
+    use fairrank_engine::server::{AccessLog, Server, ServerConfig};
     use fairrank_engine::{Engine, EngineConfig};
+    use std::sync::Arc;
 
     let host = args.get("host").unwrap_or("127.0.0.1");
     let port = args.get_usize("port", 8080)?;
@@ -62,6 +68,14 @@ pub fn serve(args: &Args) -> Result<String> {
         job_runners: args.get_usize("job-runners", 2)?.max(1),
         job_capacity: args.get_usize("job-capacity", 256)?.max(1),
     };
+    let access_log = match args.get("access-log") {
+        None => None,
+        Some("-") => Some(AccessLog::stderr()),
+        Some(path) => Some(
+            AccessLog::create(path)
+                .map_err(|e| CliError::Input(format!("cannot open access log `{path}`: {e}")))?,
+        ),
+    };
     let server_config = ServerConfig {
         io_threads: args.get_usize("io-threads", 0)?,
         max_requests_per_conn: args.get_usize("max-conn-requests", 1024)?.max(1),
@@ -70,12 +84,33 @@ pub fn serve(args: &Args) -> Result<String> {
         ),
         pending_connections: args.get_usize("pending", 1024)?.max(1),
         thread_per_conn: false,
+        access_log,
     };
     let workers = config.workers;
     let io_threads = server_config.io_threads;
     let engine = Engine::new(config);
-    let server = Server::bind_with(&format!("{host}:{port}"), engine, server_config)
-        .map_err(|e| CliError::Input(format!("cannot bind {host}:{port}: {e}")))?;
+    let server = Server::bind_with(
+        &format!("{host}:{port}"),
+        Arc::clone(&engine),
+        server_config,
+    )
+    .map_err(|e| CliError::Input(format!("cannot bind {host}:{port}: {e}")))?;
+
+    // SIGTERM/SIGINT → graceful drain, via a minimal self-pipe: the
+    // handler writes one byte, the watcher thread reads it and starts
+    // the drain; `server.run()` then returns once the HTTP side has
+    // wound down, and the batch tail is awaited below
+    let control = server.drain_control();
+    if let Some(wait_for_signal) = crate::signals::install() {
+        std::thread::Builder::new()
+            .name("fairrank-signal".to_string())
+            .spawn(move || {
+                wait_for_signal();
+                control.begin_drain();
+            })
+            .map_err(|e| CliError::Input(format!("cannot spawn the signal watcher: {e}")))?;
+    }
+
     // announce the bound address eagerly (and flushed) so scripts and
     // tests targeting `--port 0` can discover the ephemeral port
     println!(
@@ -90,7 +125,9 @@ pub fn serve(args: &Args) -> Result<String> {
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     server.run();
-    Ok(String::new())
+    // HTTP drained; let running batch jobs finish before exiting
+    engine.wait_batches_idle();
+    Ok("fairrank: drained, exiting\n".to_string())
 }
 
 /// `fairrank rank`: fair post-processing of a candidate CSV.

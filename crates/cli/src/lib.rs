@@ -20,6 +20,7 @@ pub mod args;
 pub mod commands;
 pub mod csv;
 pub mod experiment;
+pub mod signals;
 
 /// Errors surfaced to the terminal user.
 #[derive(Debug)]
@@ -137,12 +138,20 @@ SERVE:
         --pending          accepted-connection backlog      (default 1024)
         --job-runners      async batch-job runner threads   (default 2)
         --job-capacity     batch-job store capacity         (default 256)
+        --access-log       JSON access-log file (`-` = stderr; one
+                           line per request)                (default off)
     Routes: POST /rank | /aggregate | /pipeline | /jobs,
-            GET /jobs/{id} | /healthz | /stats, DELETE /jobs/{id}.
+            GET /jobs/{id} | /healthz | /readyz | /stats | /metrics,
+            DELETE /jobs/{id}.
     Request fields mirror the flags above (scores/votes/groups inline).
     Connections are HTTP/1.1 keep-alive; send `Connection: close` to
     end one, or it closes after --max-conn-requests requests or
     --idle-timeout-ms of silence.
+    /metrics is Prometheus text format (per-route + per-algorithm
+    latency histograms). SIGTERM/SIGINT drain gracefully: /readyz
+    flips to 503, in-flight requests and running batch jobs finish,
+    queued jobs cancel, new connections get 503, then the process
+    exits.
 
 Candidate CSV: one `id,score,group` row per candidate (header allowed).
 Vote CSV: one comma-separated ranking of item labels per line.

@@ -1,0 +1,78 @@
+//! Minimal SIGTERM/SIGINT self-pipe for `fairrank serve`.
+//!
+//! A signal handler may only do async-signal-safe work, so the classic
+//! pattern is a *self-pipe*: the handler performs one `write(2)` to a
+//! pipe and nothing else, and an ordinary watcher thread blocks in
+//! `read(2)` on the other end. When the byte arrives the watcher runs
+//! arbitrary shutdown logic (here: the server's graceful drain) in a
+//! normal thread context.
+//!
+//! No external crates: the `pipe`/`read`/`write`/`signal` symbols come
+//! from the C library every unix Rust binary already links. On
+//! non-unix targets [`install`] returns `None` and serving simply has
+//! no signal-triggered drain.
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::{AtomicI32, Ordering};
+
+    /// Write end of the self-pipe, stashed for the signal handler
+    /// (which cannot take arguments).
+    static WRITE_FD: AtomicI32 = AtomicI32::new(-1);
+
+    extern "C" {
+        fn pipe(fds: *mut i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    /// The handler: one async-signal-safe `write` of one byte.
+    extern "C" fn on_signal(_signum: i32) {
+        let fd = WRITE_FD.load(Ordering::Relaxed);
+        if fd >= 0 {
+            let byte = 1u8;
+            unsafe {
+                write(fd, &byte, 1);
+            }
+        }
+    }
+
+    /// Install SIGTERM/SIGINT handlers; the returned closure blocks
+    /// until one of them fires (retrying interrupted reads). `None`
+    /// when the pipe cannot be created.
+    pub fn install() -> Option<impl FnOnce() + Send + 'static> {
+        let mut fds = [-1i32; 2];
+        if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+            return None;
+        }
+        WRITE_FD.store(fds[1], Ordering::SeqCst);
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+        let read_fd = fds[0];
+        Some(move || loop {
+            let mut byte = 0u8;
+            let got = unsafe { read(read_fd, &mut byte, 1) };
+            if got > 0 {
+                return;
+            }
+            // got < 0 is EINTR or a transient error: keep waiting (the
+            // write end lives in a static, so EOF cannot happen)
+        })
+    }
+}
+
+#[cfg(unix)]
+pub use imp::install;
+
+/// Non-unix fallback: no signal-triggered drain.
+#[cfg(not(unix))]
+pub fn install() -> Option<impl FnOnce() + Send + 'static> {
+    None::<fn()>
+}

@@ -340,6 +340,37 @@ impl JobStore {
         }
     }
 
+    /// Drain helper: cancel every still-`Queued` job immediately
+    /// (each flips to `Cancelled` and wakes its waiters), leaving
+    /// `Running` jobs untouched so they can finish their remaining
+    /// chunks. Returns how many jobs were cancelled.
+    pub fn cancel_queued(&self) -> usize {
+        let jobs: Vec<Arc<BatchJob>> = self
+            .inner
+            .lock()
+            .expect("job store lock")
+            .map
+            .values()
+            .cloned()
+            .collect();
+        let mut cancelled = 0;
+        for job in jobs {
+            let mut inner = job.inner.lock().expect("job lock");
+            if inner.state == JobState::Queued {
+                inner.state = JobState::Cancelled;
+                drop(inner);
+                // the flag makes a runner that already dequeued the job
+                // (but has not called `begin` yet) skip it cleanly
+                job.cancel.store(true, Ordering::Relaxed);
+                self.queued.fetch_sub(1, Ordering::Relaxed);
+                self.cancelled.fetch_add(1, Ordering::Relaxed);
+                job.changed.notify_all();
+                cancelled += 1;
+            }
+        }
+        cancelled
+    }
+
     /// Transition `Queued → Running`; false when the job was cancelled
     /// while queued (already terminal, or the flag landed between the
     /// terminal check and dequeue).
@@ -348,16 +379,20 @@ impl JobStore {
         if inner.state.is_terminal() {
             return false; // cancelled while queued: gauges already settled
         }
-        self.queued.fetch_sub(1, Ordering::Relaxed);
         if job.cancel_requested() {
             inner.state = JobState::Cancelled;
+            self.queued.fetch_sub(1, Ordering::Relaxed);
             self.cancelled.fetch_add(1, Ordering::Relaxed);
             drop(inner);
             job.changed.notify_all();
             return false;
         }
         inner.state = JobState::Running;
+        // `running` rises BEFORE `queued` falls: a drain polling both
+        // gauges (`Engine::wait_batches_idle`) may transiently see the
+        // job counted twice but never see it vanish mid-transition
         self.running.fetch_add(1, Ordering::Relaxed);
+        self.queued.fetch_sub(1, Ordering::Relaxed);
         drop(inner);
         job.changed.notify_all();
         true
@@ -386,6 +421,10 @@ impl Engine {
     /// hands it to the batch-runner pool. Returns the tracked job (its
     /// id is what HTTP clients poll).
     pub fn submit_batch(self: &Arc<Self>, spec: BatchSpec) -> Result<Arc<BatchJob>, EngineError> {
+        if self.is_draining() {
+            // draining: running batches finish, but no new ones start
+            return Err(EngineError::ShuttingDown);
+        }
         if spec.chunks.is_empty() {
             return Err(EngineError::InvalidJob(
                 "a batch needs at least one chunk".to_string(),
@@ -643,6 +682,97 @@ mod tests {
         // the runner skips the already-cancelled job without touching
         // its state or the gauges
         assert_eq!(queued.wait().state, JobState::Cancelled);
+        let (q, r, completed, failed, cancelled, _) = e.job_store().counters();
+        assert_eq!((q, r, completed, failed, cancelled), (0, 0, 1, 0, 1));
+    }
+
+    #[test]
+    fn drain_finishes_running_batches_and_cancels_queued_ones() {
+        use crate::registry::{Algorithm, AlgorithmKind, Registry};
+        use crate::tables::ExecContext;
+        use rand::rngs::StdRng;
+        use std::sync::mpsc::{channel, Sender};
+
+        struct Gated {
+            release: Mutex<Option<std::sync::mpsc::Receiver<()>>>,
+            started: Sender<()>,
+        }
+        impl Algorithm for Gated {
+            fn name(&self) -> &str {
+                "gated"
+            }
+            fn kind(&self) -> AlgorithmKind {
+                AlgorithmKind::PostProcessor
+            }
+            fn run(
+                &self,
+                job: &RankJob,
+                _ctx: &ExecContext,
+                _rng: &mut StdRng,
+            ) -> Result<crate::job::RankResult, EngineError> {
+                let _ = self.started.send(());
+                if let Some(gate) = self.release.lock().unwrap().take() {
+                    let _ = gate.recv();
+                }
+                Ok(crate::job::RankResult {
+                    algorithm: job.algorithm.clone(),
+                    ranking: vec![0],
+                    consensus: None,
+                    metrics: vec![],
+                })
+            }
+        }
+
+        let (release_tx, release_rx) = channel();
+        let (started_tx, started_rx) = channel();
+        let mut registry = Registry::standard();
+        registry.register(Arc::new(Gated {
+            release: Mutex::new(Some(release_rx)),
+            started: started_tx,
+        }));
+        let e = Engine::with_registry(
+            EngineConfig {
+                job_runners: 1,
+                ..EngineConfig::default()
+            },
+            registry,
+        );
+        let mut gated_chunk = chunk(0);
+        gated_chunk.algorithm = "gated".to_string();
+        // batch A occupies the single runner mid-chunk...
+        let running = e
+            .submit_batch(BatchSpec {
+                chunks: vec![gated_chunk, chunk(1)],
+            })
+            .unwrap();
+        started_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .unwrap();
+        // ...batch B queues behind it
+        let queued = e
+            .submit_batch(BatchSpec {
+                chunks: vec![chunk(2)],
+            })
+            .unwrap();
+
+        e.begin_drain();
+        // the queued batch fails fast as cancelled, immediately
+        assert_eq!(queued.snapshot().state, JobState::Cancelled);
+        assert_eq!(queued.snapshot().chunks_done, 0);
+        // new batches are rejected while draining
+        assert!(matches!(
+            e.submit_batch(BatchSpec {
+                chunks: vec![chunk(3)]
+            }),
+            Err(EngineError::ShuttingDown)
+        ));
+        // the running batch is NOT cut off: it finishes every chunk
+        release_tx.send(()).unwrap();
+        let done = running.wait();
+        assert_eq!(done.state, JobState::Done);
+        assert_eq!(done.chunks_done, 2);
+        // and the drain tail observes a fully idle job subsystem
+        e.wait_batches_idle();
         let (q, r, completed, failed, cancelled, _) = e.job_store().counters();
         assert_eq!((q, r, completed, failed, cancelled), (0, 0, 1, 0, 1));
     }

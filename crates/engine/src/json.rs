@@ -30,6 +30,11 @@ pub enum Json {
     Bool(bool),
     /// Any number (always carried as `f64`, like JavaScript).
     Number(f64),
+    /// An exact unsigned integer. The parser never produces this
+    /// variant (numbers parse as `f64`); it exists so **emitters** of
+    /// monotonic counters can serialize values above 2^53 without the
+    /// `f64` round-trip silently rounding them.
+    Integer(u64),
     /// A string.
     String(String),
     /// An array.
@@ -92,6 +97,9 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Number(x) => write_number(*x, out),
+            Json::Integer(v) => {
+                let _ = write!(out, "{v}");
+            }
             Json::String(s) => write_string(s, out),
             Json::Array(items) => {
                 out.push('[');
@@ -126,10 +134,11 @@ impl Json {
         }
     }
 
-    /// Number accessor.
+    /// Number accessor (lossy for `Integer` values above 2^53).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Number(x) => Some(*x),
+            Json::Integer(v) => Some(*v as f64),
             _ => None,
         }
     }
@@ -138,6 +147,7 @@ impl Json {
     pub fn as_usize(&self) -> Option<usize> {
         match self {
             Json::Number(x) if *x >= 0.0 && *x == x.trunc() && *x < 9.0e15 => Some(*x as usize),
+            Json::Integer(v) => usize::try_from(*v).ok(),
             _ => None,
         }
     }
@@ -146,6 +156,7 @@ impl Json {
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Number(x) if *x >= 0.0 && *x == x.trunc() && *x < 1.8e19 => Some(*x as u64),
+            Json::Integer(v) => Some(*v),
             _ => None,
         }
     }
@@ -280,6 +291,17 @@ fn parse_number_raw(bytes: &[u8], pos: &mut usize) -> Result<f64, JsonError> {
     }
 }
 
+/// Read the 4 hex digits of a `\uXXXX` escape starting at `at`
+/// (strict: exactly 4 ASCII hex digits, no sign or whitespace).
+fn read_hex4(bytes: &[u8], at: usize) -> Option<u32> {
+    let digits = bytes.get(at..at + 4)?;
+    if !digits.iter().all(u8::is_ascii_hexdigit) {
+        return None;
+    }
+    let text = std::str::from_utf8(digits).ok()?;
+    u32::from_str_radix(text, 16).ok()
+}
+
 /// Unescape a string literal, appending to `out` (no allocation when
 /// `out` has capacity — the arena parser's hot path).
 fn parse_string_into(bytes: &[u8], pos: &mut usize, out: &mut String) -> Result<(), JsonError> {
@@ -304,19 +326,48 @@ fn parse_string_into(bytes: &[u8], pos: &mut usize, out: &mut String) -> Result<
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .and_then(|h| u32::from_str_radix(h, 16).ok());
-                        match hex.and_then(char::from_u32) {
-                            Some(c) => {
-                                out.push(c);
-                                *pos += 4;
+                        // offset of the backslash, so unpaired-surrogate
+                        // errors point at the escape that went wrong
+                        let escape_offset = *pos - 1;
+                        let Some(unit) = read_hex4(bytes, *pos + 1) else {
+                            return fail("invalid \\u escape", escape_offset);
+                        };
+                        *pos += 4; // on the last hex digit; +1 below
+                        let c = match unit {
+                            // high surrogate: a low surrogate escape
+                            // must follow immediately, and the pair
+                            // decodes to one supplementary-plane char
+                            0xD800..=0xDBFF => {
+                                let lo = match (bytes.get(*pos + 1), bytes.get(*pos + 2)) {
+                                    (Some(b'\\'), Some(b'u')) => read_hex4(bytes, *pos + 3),
+                                    _ => None,
+                                };
+                                match lo {
+                                    Some(lo @ 0xDC00..=0xDFFF) => {
+                                        *pos += 6; // the `\uXXXX` of the low half
+                                        let scalar =
+                                            0x10000 + ((unit - 0xD800) << 10) + (lo - 0xDC00);
+                                        char::from_u32(scalar)
+                                            .expect("surrogate pairs decode to valid scalars")
+                                    }
+                                    _ => {
+                                        return fail(
+                                            "unpaired high surrogate (expected a \\uDC00-\\uDFFF escape to follow)",
+                                            escape_offset,
+                                        )
+                                    }
+                                }
                             }
-                            // surrogate pairs unsupported: reject rather
-                            // than corrupt
-                            None => return fail("invalid \\u escape", *pos),
-                        }
+                            0xDC00..=0xDFFF => {
+                                return fail(
+                                    "unpaired low surrogate (no preceding \\uD800-\\uDBFF escape)",
+                                    escape_offset,
+                                )
+                            }
+                            _ => char::from_u32(unit)
+                                .expect("non-surrogate code units below 0x10000 are scalars"),
+                        };
+                        out.push(c);
                     }
                     _ => return fail("invalid escape", *pos),
                 }
@@ -796,6 +847,52 @@ mod tests {
     }
 
     #[test]
+    fn surrogate_pairs_decode_in_both_parsers() {
+        let text = r#""\uD83D\uDE00 and \uD834\uDD1E""#; // 😀 and 𝄞
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.as_str().unwrap(), "😀 and 𝄞");
+        let mut arena = JsonArena::new();
+        let doc = arena.parse(text).unwrap();
+        assert_eq!(doc.as_str(), Some("😀 and 𝄞"));
+        // lower-case hex digits are equally valid
+        assert_eq!(
+            Json::parse(r#""\ud83d\ude00""#).unwrap().as_str().unwrap(),
+            "😀"
+        );
+    }
+
+    #[test]
+    fn unpaired_surrogates_rejected_at_the_escape_offset() {
+        // high surrogate with ordinary text after
+        let err = Json::parse(r#""ab\uD83Dcd""#).unwrap_err();
+        assert!(err.message.contains("unpaired high surrogate"), "{err}");
+        assert_eq!(err.offset, 3, "points at the backslash: {err}");
+        // lone low surrogate
+        let err = Json::parse(r#""\uDE00""#).unwrap_err();
+        assert!(err.message.contains("unpaired low surrogate"), "{err}");
+        assert_eq!(err.offset, 1, "{err}");
+        // high surrogate followed by a non-surrogate escape
+        let err = Json::parse(r#""\uD83DA""#).unwrap_err();
+        assert!(err.message.contains("unpaired high surrogate"), "{err}");
+        // a sign is not a hex digit (`from_str_radix` alone would
+        // accept "+12f")
+        assert!(Json::parse(r#""\u+12f""#).is_err());
+        // truncated escape at end of input
+        assert!(Json::parse(r#""\uD8"#).is_err());
+    }
+
+    #[test]
+    fn integer_variant_serializes_exactly_above_2_pow_53() {
+        let v = (1u64 << 53) + 1;
+        assert_eq!(Json::Integer(v).to_string(), "9007199254740993");
+        assert_eq!(Json::Integer(u64::MAX).to_string(), "18446744073709551615");
+        // the f64 path demonstrably rounds the same value
+        assert_ne!(Json::Number(v as f64).to_string(), "9007199254740993");
+        assert_eq!(Json::Integer(v).as_u64(), Some(v));
+        assert_eq!(Json::Integer(7).as_usize(), Some(7));
+    }
+
+    #[test]
     fn rejects_garbage() {
         for text in [
             "",
@@ -938,5 +1035,45 @@ mod tests {
         }
         assert_eq!(arena.nodes.capacity(), nodes_cap);
         assert_eq!(arena.text.capacity(), text_cap);
+    }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        /// Arbitrary `char` draws over the whole scalar range;
+        /// surrogate code points (not `char`s) are remapped to an
+        /// astral-plane char, which also boosts astral coverage.
+        fn arbitrary_text() -> impl Strategy<Value = String> {
+            prop::collection::vec(0u32..0x11_0000u32, 0..24).prop_map(|codes| {
+                codes
+                    .into_iter()
+                    .map(|c| char::from_u32(c).unwrap_or('\u{1F600}'))
+                    .collect()
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn any_string_round_trips_through_both_parsers(s in arbitrary_text()) {
+                let mut literal = String::new();
+                write_string(&s, &mut literal);
+                let parsed = Json::parse(&literal).unwrap();
+                prop_assert_eq!(parsed.as_str(), Some(s.as_str()));
+                let mut arena = JsonArena::new();
+                let doc = arena.parse(&literal).unwrap();
+                prop_assert_eq!(doc.as_str(), Some(s.as_str()));
+            }
+
+            #[test]
+            fn escaped_surrogate_pairs_equal_raw_astral_chars(code in 0x10000u32..0x11_0000u32) {
+                let c = char::from_u32(code).expect("supplementary-plane scalar");
+                let unit = code - 0x10000;
+                let (hi, lo) = (0xD800 + (unit >> 10), 0xDC00 + (unit & 0x3FF));
+                let escaped = format!("\"\\u{hi:04X}\\u{lo:04X}\"");
+                let parsed = Json::parse(&escaped).unwrap();
+                prop_assert_eq!(parsed.as_str(), Some(c.to_string().as_str()));
+            }
+        }
     }
 }

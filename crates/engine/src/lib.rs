@@ -17,7 +17,14 @@
 //!   params), so repeated queries are served from memory;
 //! * an HTTP/1.1 JSON API ([`server`]) on `std::net::TcpListener` —
 //!   `POST /rank`, `POST /aggregate`, `POST /pipeline`, `GET /healthz`,
-//!   `GET /stats` — wired into the CLI as `fairrank serve`.
+//!   `GET /readyz`, `GET /stats`, `GET /metrics` — wired into the CLI
+//!   as `fairrank serve`;
+//! * an operability layer: Prometheus metrics with per-route and
+//!   per-algorithm latency histograms ([`stats`],
+//!   [`Engine::render_metrics`]), an optional structured access log,
+//!   and a graceful drain ([`Engine::begin_drain`],
+//!   [`server::DrainControl`]) that finishes in-flight requests and
+//!   running batch jobs while shedding new work.
 //!
 //! ```
 //! use fairrank_engine::{Engine, EngineConfig};
@@ -53,9 +60,11 @@ use pool::{SubmitError, WorkerPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use registry::Registry;
-use stats::EngineStats;
+use stats::{EngineStats, LatencyHistogram, MetricFamily, MetricSample, MetricValue, RouteClass};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 use tables::{ExecContext, TableCache};
 
 /// Errors surfaced by the engine.
@@ -168,6 +177,13 @@ pub struct Engine {
     /// its chunks still execute on `pool`, one at a time).
     batch_pool: WorkerPool,
     stats: EngineStats,
+    /// Per-algorithm execution-latency histograms, name-sorted and
+    /// fixed at construction from the registry, so recording is a
+    /// lock-free binary search + atomic add.
+    algo_latency: Vec<(String, LatencyHistogram)>,
+    /// Raised by [`Engine::begin_drain`]: new batch jobs are rejected,
+    /// queued batches are cancelled, readiness reports not-ready.
+    draining: AtomicBool,
 }
 
 impl Engine {
@@ -188,6 +204,12 @@ impl Engine {
         } else {
             config.cache_shards
         };
+        let mut algo_latency: Vec<(String, LatencyHistogram)> = registry
+            .names()
+            .into_iter()
+            .map(|name| (name.to_string(), LatencyHistogram::new()))
+            .collect();
+        algo_latency.sort_by(|a, b| a.0.cmp(&b.0));
         Arc::new(Engine {
             registry,
             pool: WorkerPool::new(config.workers, config.queue_capacity),
@@ -204,7 +226,50 @@ impl Engine {
             )))
             .with_batch_threads((tables::available_parallelism() / config.workers.max(1)).max(1)),
             stats: EngineStats::new(),
+            algo_latency,
+            draining: AtomicBool::new(false),
         })
+    }
+
+    /// Start draining: reject new batch jobs with
+    /// [`EngineError::ShuttingDown`], cancel every still-queued batch
+    /// job immediately, let running batches finish their remaining
+    /// chunks, and report not-ready on `GET /readyz`. Synchronous
+    /// submissions keep working so in-flight HTTP requests complete.
+    /// Idempotent.
+    pub fn begin_drain(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.jobs.cancel_queued();
+    }
+
+    /// True once [`Engine::begin_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Block until no batch job is queued or running — the drain tail
+    /// `fairrank serve` waits on after the HTTP side has stopped, so
+    /// running batches are never cut off mid-chunk.
+    pub fn wait_batches_idle(&self) {
+        loop {
+            let (queued, running, ..) = self.jobs.counters();
+            if queued == 0 && running == 0 {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Record one algorithm execution into its latency histogram.
+    fn record_algo_latency(&self, name: &str, elapsed: Duration) {
+        if let Ok(i) = self
+            .algo_latency
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+        {
+            self.algo_latency[i].1.record(elapsed);
+        }
     }
 
     /// The algorithm registry.
@@ -241,6 +306,177 @@ impl Engine {
             &self.exec.tables,
             &self.jobs,
         )
+    }
+
+    /// Render the Prometheus text document served at `GET /metrics`
+    /// into `out` (appending): every `/stats` counter as an exact
+    /// integer, queue/cache gauges, readiness, and the per-route and
+    /// per-algorithm latency histograms with cumulative buckets.
+    pub fn render_metrics(&self, out: &mut String) {
+        let s = &self.stats;
+        let read = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
+        let (jobs_queued, jobs_running, jobs_completed, jobs_failed, jobs_cancelled, high_water) =
+            self.jobs.counters();
+        let route_samples: Vec<MetricSample<'_>> = RouteClass::ALL
+            .iter()
+            .map(|&route| MetricSample {
+                labels: vec![("route", route.as_str())],
+                value: MetricValue::Histogram(s.route_latency(route)),
+            })
+            .collect();
+        let algo_samples: Vec<MetricSample<'_>> = self
+            .algo_latency
+            .iter()
+            .map(|(name, histogram)| MetricSample {
+                labels: vec![("algorithm", name.as_str())],
+                value: MetricValue::Histogram(histogram),
+            })
+            .collect();
+        let scalar = MetricFamily::scalar;
+        let families = [
+            scalar(
+                "fairrank_uptime_seconds",
+                "Seconds since the engine started",
+                MetricValue::GaugeF64(s.uptime_seconds()),
+            ),
+            scalar(
+                "fairrank_ready",
+                "1 while serving, 0 once draining has begun",
+                MetricValue::Gauge(u64::from(!self.is_draining())),
+            ),
+            scalar(
+                "fairrank_workers",
+                "Worker threads executing chunks",
+                MetricValue::Gauge(self.pool.workers() as u64),
+            ),
+            scalar(
+                "fairrank_workers_busy",
+                "Worker threads currently executing a chunk",
+                MetricValue::Gauge(self.pool.busy()),
+            ),
+            scalar(
+                "fairrank_cache_hits_total",
+                "Chunks served from the result cache",
+                MetricValue::Counter(read(&s.cache_hits)),
+            ),
+            scalar(
+                "fairrank_cache_misses_total",
+                "Chunks that had to be executed",
+                MetricValue::Counter(read(&s.cache_misses)),
+            ),
+            scalar(
+                "fairrank_cache_entries",
+                "Result-cache entries currently stored",
+                MetricValue::Gauge(self.cache.len() as u64),
+            ),
+            scalar(
+                "fairrank_cache_capacity",
+                "Result-cache capacity",
+                MetricValue::Gauge(self.cache.capacity() as u64),
+            ),
+            scalar(
+                "fairrank_sampler_table_hits_total",
+                "Sampler-table cache hits",
+                MetricValue::Counter(self.exec.tables.hits()),
+            ),
+            scalar(
+                "fairrank_sampler_table_misses_total",
+                "Sampler-table cache misses (table builds)",
+                MetricValue::Counter(self.exec.tables.misses()),
+            ),
+            scalar(
+                "fairrank_sampler_table_entries",
+                "Sampler tables currently cached",
+                MetricValue::Gauge(self.exec.tables.len() as u64),
+            ),
+            scalar(
+                "fairrank_chunks_executed_total",
+                "Chunks completed successfully on a worker",
+                MetricValue::Counter(read(&s.chunks_executed)),
+            ),
+            scalar(
+                "fairrank_chunks_failed_total",
+                "Chunks whose algorithm returned an error",
+                MetricValue::Counter(read(&s.chunks_failed)),
+            ),
+            scalar(
+                "fairrank_chunks_coalesced_total",
+                "Submissions coalesced onto an identical in-flight chunk",
+                MetricValue::Counter(read(&s.chunks_coalesced)),
+            ),
+            scalar(
+                "fairrank_queue_rejections_total",
+                "Chunks shed because the bounded queue was full",
+                MetricValue::Counter(read(&s.queue_rejections)),
+            ),
+            scalar(
+                "fairrank_jobs_queued",
+                "Batch jobs waiting for a runner",
+                MetricValue::Gauge(jobs_queued),
+            ),
+            scalar(
+                "fairrank_jobs_running",
+                "Batch jobs currently executing",
+                MetricValue::Gauge(jobs_running),
+            ),
+            scalar(
+                "fairrank_jobs_completed_total",
+                "Batch jobs finished with every chunk successful",
+                MetricValue::Counter(jobs_completed),
+            ),
+            scalar(
+                "fairrank_jobs_failed_total",
+                "Batch jobs stopped on a chunk error",
+                MetricValue::Counter(jobs_failed),
+            ),
+            scalar(
+                "fairrank_jobs_cancelled_total",
+                "Batch jobs cancelled before completion",
+                MetricValue::Counter(jobs_cancelled),
+            ),
+            scalar(
+                "fairrank_jobs_queue_high_water",
+                "Highest simultaneous batch-queue depth observed",
+                MetricValue::Gauge(high_water),
+            ),
+            scalar(
+                "fairrank_jobs_stored",
+                "Batch jobs (any state) held for polling",
+                MetricValue::Gauge(self.jobs.len() as u64),
+            ),
+            scalar(
+                "fairrank_http_requests_total",
+                "HTTP requests parsed",
+                MetricValue::Counter(read(&s.http_requests)),
+            ),
+            scalar(
+                "fairrank_http_errors_total",
+                "HTTP responses with a 4xx/5xx status",
+                MetricValue::Counter(read(&s.http_errors)),
+            ),
+            scalar(
+                "fairrank_connections_total",
+                "Connections accepted by the listener",
+                MetricValue::Counter(read(&s.connections)),
+            ),
+            scalar(
+                "fairrank_rejected_connections_total",
+                "Connections shed with 503 + Retry-After",
+                MetricValue::Counter(read(&s.rejected_connections)),
+            ),
+            MetricFamily {
+                name: "fairrank_http_request_duration_us",
+                help:
+                    "Per-route service latency in microseconds (request parsed to response written)",
+                samples: route_samples,
+            },
+            MetricFamily {
+                name: "fairrank_algorithm_duration_us",
+                help: "Per-algorithm execution latency in microseconds, over the worker pool",
+                samples: algo_samples,
+            },
+        ];
+        stats::render_prometheus(&families, out);
     }
 
     /// Submit a job and wait for its result.
@@ -285,6 +521,7 @@ impl Engine {
             // a panicking algorithm must still clear the in-flight
             // entry below, or every future twin of this job would
             // coalesce onto a dead execution and hang
+            let run_started = Instant::now();
             let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 algorithm.run(&job, &engine.exec, &mut rng)
             }))
@@ -293,6 +530,7 @@ impl Engine {
                     "job panicked on a worker".to_string().into(),
                 ))
             });
+            engine.record_algo_latency(&job.algorithm, run_started.elapsed());
             let outcome: JobOutcome = match run {
                 Ok(result) => {
                     let result = Arc::new(result);

@@ -6,6 +6,7 @@
 //! the engine sheds load instead of queueing unboundedly.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -29,6 +30,8 @@ struct Shared {
     state: Mutex<State>,
     job_ready: Condvar,
     queue_capacity: usize,
+    /// Workers currently executing a job (observability gauge).
+    busy: AtomicU64,
 }
 
 /// A pool of worker threads draining a bounded FIFO queue.
@@ -47,6 +50,7 @@ impl WorkerPool {
             }),
             job_ready: Condvar::new(),
             queue_capacity: queue_capacity.max(1),
+            busy: AtomicU64::new(0),
         });
         let workers = (0..workers.max(1))
             .map(|i| {
@@ -68,6 +72,12 @@ impl WorkerPool {
     /// Jobs currently queued (excludes jobs being executed).
     pub fn queued(&self) -> usize {
         self.shared.state.lock().expect("pool lock").jobs.len()
+    }
+
+    /// Workers currently executing a job (an observability gauge,
+    /// exported as `fairrank_workers_busy` in `GET /metrics`).
+    pub fn busy(&self) -> u64 {
+        self.shared.busy.load(Ordering::Relaxed)
     }
 
     /// Enqueue a job, failing fast when the queue is full.
@@ -128,7 +138,9 @@ fn worker_loop(shared: &Shared) {
         // A panicking job must not kill the worker: catch and keep
         // serving. The submitting side observes the panic as a
         // disconnected result channel.
+        shared.busy.fetch_add(1, Ordering::Relaxed);
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        shared.busy.fetch_sub(1, Ordering::Relaxed);
     }
 }
 

@@ -10,8 +10,10 @@
 //! | `POST /jobs`        | `{"chunks":[{["route"],…chunk body},…]}`       |
 //! | `GET /jobs/{id}`    | — (status + per-chunk results when finished)   |
 //! | `DELETE /jobs/{id}` | — (cooperative cancellation)                   |
-//! | `GET /healthz`      | —                                              |
-//! | `GET /stats`        | —                                              |
+//! | `GET /healthz`      | — (liveness; 200 even while draining)          |
+//! | `GET /readyz`       | — (readiness; 503 once draining)               |
+//! | `GET /stats`        | — (JSON counters)                              |
+//! | `GET /metrics`      | — (Prometheus text exposition format)          |
 //!
 //! Shared params: `theta`, `samples`, `tolerance`, `noise_sd`, `k`,
 //! `seed`, `protected`, `proportion`, `alpha` — same names and
@@ -53,11 +55,12 @@
 use crate::job::{JobInput, JobParams, RankJob};
 use crate::json::{Json, JsonArena, ValueRef};
 use crate::registry::AlgorithmKind;
-use crate::stats::EngineStats;
+use crate::stats::{EngineStats, RouteClass};
 use crate::{Engine, EngineError};
+use std::fmt::Write as _;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -66,6 +69,9 @@ use std::time::{Duration, Instant};
 const MAX_BODY: usize = 16 << 20;
 /// Maximum accepted header-block size (16 KiB).
 const MAX_HEADER: usize = 16 << 10;
+/// Maximum accepted header count per request — with the byte cap this
+/// bounds both dimensions a slow-header client could grow.
+const MAX_HEADER_LINES: usize = 128;
 /// Socket-write timeout (a stalled reader must not pin a worker).
 const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 /// Read timeout once a request has started arriving — slow senders get
@@ -95,6 +101,10 @@ pub struct ServerConfig {
     /// connection. Kept as the measurable baseline for the
     /// `http_throughput` bench.
     pub thread_per_conn: bool,
+    /// Optional structured access log: one JSON line per request
+    /// (connection id, request sequence, method, path, route, status,
+    /// body bytes, service µs). `None` disables logging entirely.
+    pub access_log: Option<AccessLog>,
 }
 
 impl Default for ServerConfig {
@@ -105,22 +115,101 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(5),
             pending_connections: 1024,
             thread_per_conn: false,
+            access_log: None,
         }
     }
 }
+
+/// Shared line-oriented sink for the structured access log. Cloning is
+/// cheap (the writer is behind one mutex shared by every I/O worker);
+/// each request appends exactly one `\n`-terminated JSON line.
+#[derive(Clone)]
+pub struct AccessLog {
+    sink: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl AccessLog {
+    /// Log to any writer (tests pass an in-memory buffer).
+    pub fn to_writer(writer: Box<dyn Write + Send>) -> AccessLog {
+        AccessLog {
+            sink: Arc::new(Mutex::new(writer)),
+        }
+    }
+
+    /// Append to a log file, creating it if needed.
+    pub fn create(path: &str) -> std::io::Result<AccessLog> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(AccessLog::to_writer(Box::new(file)))
+    }
+
+    /// Log to standard error.
+    pub fn stderr() -> AccessLog {
+        AccessLog::to_writer(Box::new(std::io::stderr()))
+    }
+
+    /// Write one pre-formatted line (must include its `\n`). Errors
+    /// are swallowed: a full disk must not take down serving.
+    fn write_line(&self, line: &str) {
+        if let Ok(mut sink) = self.sink.lock() {
+            let _ = sink.write_all(line.as_bytes());
+            let _ = sink.flush();
+        }
+    }
+}
+
+impl std::fmt::Debug for AccessLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AccessLog(..)")
+    }
+}
+
+/// Monotonic connection ids for the access log.
+static CONN_SEQ: AtomicU64 = AtomicU64::new(1);
 
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
     engine: Arc<Engine>,
     config: ServerConfig,
+    stop: Arc<AtomicBool>,
 }
 
 /// Handle to a server running on a background thread.
 pub struct ServerHandle {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    control: DrainControl,
     thread: JoinHandle<()>,
+}
+
+/// Starts a graceful drain from any thread — the CLI's SIGTERM watcher
+/// and the drain tests hold one of these.
+///
+/// `begin_drain` flips the engine into draining (readiness 503, new
+/// batch jobs rejected, queued batches cancelled) and tells the accept
+/// loop to stop feeding workers: in-flight keep-alive requests finish
+/// and then close with `Connection: close`, new connections are shed
+/// with `503` until the workers have wound down, and running batch
+/// jobs keep executing (wait on
+/// [`Engine::wait_batches_idle`](crate::Engine::wait_batches_idle)
+/// after the HTTP side returns).
+#[derive(Clone)]
+pub struct DrainControl {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+    engine: Arc<Engine>,
+}
+
+impl DrainControl {
+    /// Begin the graceful drain (idempotent).
+    pub fn begin_drain(&self) {
+        self.engine.begin_drain();
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            // kick the blocking accept() so it observes the flag
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
 }
 
 impl Server {
@@ -140,6 +229,7 @@ impl Server {
             listener: TcpListener::bind(addr)?,
             engine,
             config,
+            stop: Arc::new(AtomicBool::new(false)),
         })
     }
 
@@ -150,22 +240,38 @@ impl Server {
             .expect("bound listener has an address")
     }
 
-    /// Serve forever on the current thread.
+    /// A handle that can start a graceful drain while the server runs
+    /// (grab it before [`Server::run`] consumes the server).
+    pub fn drain_control(&self) -> DrainControl {
+        DrainControl {
+            stop: Arc::clone(&self.stop),
+            addr: self.local_addr(),
+            engine: Arc::clone(&self.engine),
+        }
+    }
+
+    /// Begin a graceful drain (see [`DrainControl::begin_drain`]).
+    pub fn begin_drain(&self) {
+        self.drain_control().begin_drain();
+    }
+
+    /// Serve on the current thread; returns once a drain completes
+    /// (all I/O workers wound down — batch runners may still be
+    /// finishing, see [`Engine::wait_batches_idle`](crate::Engine::wait_batches_idle)).
     pub fn run(self) {
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&self.stop);
         self.serve(&stop);
     }
 
     /// Serve on a background thread; the handle shuts it down.
     pub fn spawn(self) -> ServerHandle {
-        let addr = self.local_addr();
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop_for_loop = Arc::clone(&stop);
+        let control = self.drain_control();
+        let stop = Arc::clone(&self.stop);
         let thread = std::thread::Builder::new()
             .name("fairrank-accept".to_string())
-            .spawn(move || self.serve(&stop_for_loop))
+            .spawn(move || self.serve(&stop))
             .expect("spawning the accept thread");
-        ServerHandle { addr, stop, thread }
+        ServerHandle { control, thread }
     }
 
     fn serve(self, stop: &Arc<AtomicBool>) {
@@ -212,13 +318,28 @@ impl Server {
                     // every worker is busy and the backlog is full:
                     // tell the client to come back instead of silently
                     // hanging up on it
-                    reject_connection(stream, &self.engine);
+                    shed_connection(stream, &self.engine, OVERLOADED_BODY, Some(1));
                 }
                 Err(mpsc::TrySendError::Disconnected(_)) => break,
             }
         }
-        // disconnect the channel so idle workers observe shutdown
+        // disconnect the channel so idle workers observe shutdown;
+        // connections already queued are still served (their first
+        // response says `Connection: close`)
         drop(tx);
+        // drain tail: keep answering brand-new connections with an
+        // explicit 503 (instead of a hung or reset socket) until every
+        // worker has finished its in-flight connections
+        let _ = self.listener.set_nonblocking(true);
+        while workers.iter().any(|worker| !worker.is_finished()) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    EngineStats::bump(&self.engine.stats().connections);
+                    shed_connection(stream, &self.engine, DRAINING_BODY, None);
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
         for worker in workers {
             let _ = worker.join();
         }
@@ -257,7 +378,7 @@ impl Server {
             });
             if spawned.is_err() {
                 // resource exhaustion: shed load loudly
-                reject_connection(stream, &self.engine);
+                shed_connection(stream, &self.engine, OVERLOADED_BODY, Some(1));
             }
         }
     }
@@ -266,16 +387,27 @@ impl Server {
 impl ServerHandle {
     /// The address the server listens on.
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.control.addr
     }
 
-    /// Stop accepting connections and join the accept thread (which in
-    /// turn joins the I/O workers once their connections drain).
+    /// Begin a graceful drain without waiting for it to finish (see
+    /// [`DrainControl::begin_drain`]); `shutdown` joins afterwards.
+    pub fn begin_drain(&self) {
+        self.control.begin_drain();
+    }
+
+    /// A cloneable handle that can start the drain from another thread.
+    pub fn drain_control(&self) -> DrainControl {
+        self.control.clone()
+    }
+
+    /// Gracefully drain and join the accept thread (which in turn
+    /// joins the I/O workers once their in-flight connections finish).
     pub fn shutdown(self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // kick the blocking accept() so it observes the flag
-        let _ = TcpStream::connect(self.addr);
+        self.control.begin_drain();
         let _ = self.thread.join();
+        // let running batch jobs finish before tearing the engine down
+        self.control.engine.wait_batches_idle();
     }
 }
 
@@ -334,6 +466,8 @@ struct ConnScratch {
     /// Fully framed response bytes (headers + body), written in one
     /// syscall.
     out: Vec<u8>,
+    /// Access-log line under construction (reused per request).
+    log_line: String,
 }
 
 impl ConnScratch {
@@ -371,6 +505,7 @@ fn handle_connection(
     scratch.buf.clear();
     scratch.long_timeout_active = false;
     let stats = engine.stats();
+    let conn_id = CONN_SEQ.fetch_add(1, Ordering::Relaxed);
     let mut served = 0usize;
     loop {
         if scratch.long_timeout_active {
@@ -391,6 +526,14 @@ fn handle_connection(
                 write_error(&mut scratch.body_out, &message);
                 write_response_into(&mut scratch.out, 400, &scratch.body_out, false, None);
                 let _ = stream.write_all(&scratch.out);
+                if let Some(log) = &config.access_log {
+                    // read_request failed before (re)filling method/
+                    // path; clear them so the log line cannot carry a
+                    // previous request's route
+                    scratch.method.clear();
+                    scratch.path.clear();
+                    write_access_line(scratch, conn_id, served + 1, RouteClass::Other, 400, 0, log);
+                }
                 graceful_close(&mut stream, Duration::from_millis(250), 64);
                 return Ok(());
             }
@@ -399,27 +542,69 @@ fn handle_connection(
         let started = Instant::now();
         EngineStats::bump(&stats.http_requests);
         served += 1;
+        let (status, route) = route_request(engine, scratch);
+        // the stop check comes AFTER routing: a drain that began while
+        // this request executed must close the connection right after
+        // answering it, not one request later
         let keep_alive = !scratch.close_requested
             && served < config.max_requests_per_conn.max(1)
             && !stop.load(Ordering::Relaxed);
-        let status = route_request(engine, scratch);
         if status >= 400 {
             EngineStats::bump(&stats.http_errors);
         }
-        write_response_into(
+        let content_type = if route == RouteClass::Metrics && status == 200 {
+            METRICS_CONTENT_TYPE
+        } else {
+            JSON_CONTENT_TYPE
+        };
+        write_response_with_type_into(
             &mut scratch.out,
             status,
             &scratch.body_out,
             keep_alive,
             None,
+            content_type,
         );
         stream.write_all(&scratch.out)?;
-        stats.latency.record(started.elapsed());
+        let elapsed = started.elapsed();
+        stats.latency.record(elapsed);
+        stats.route_latency(route).record(elapsed);
+        if let Some(log) = &config.access_log {
+            let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+            write_access_line(scratch, conn_id, served, route, status, micros, log);
+        }
         scratch.trim();
         if !keep_alive {
             return Ok(());
         }
     }
+}
+
+/// Format and emit one structured access-log line:
+/// `{"conn":…,"seq":…,"method":…,"path":…,"route":…,"status":…,"bytes":…,"us":…}`.
+fn write_access_line(
+    scratch: &mut ConnScratch,
+    conn_id: u64,
+    seq: usize,
+    route: RouteClass,
+    status: u16,
+    micros: u64,
+    log: &AccessLog,
+) {
+    let line = &mut scratch.log_line;
+    line.clear();
+    let _ = write!(line, "{{\"conn\":{conn_id},\"seq\":{seq},\"method\":");
+    crate::json::write_string(&scratch.method, line);
+    line.push_str(",\"path\":");
+    crate::json::write_string(&scratch.path, line);
+    let _ = write!(
+        line,
+        ",\"route\":\"{}\",\"status\":{status},\"bytes\":{},\"us\":{micros}}}",
+        route.as_str(),
+        scratch.body_out.len(),
+    );
+    line.push('\n');
+    log.write_line(line);
 }
 
 /// Half-close the write side, then briefly drain remaining input, so
@@ -439,19 +624,25 @@ fn graceful_close(stream: &mut TcpStream, read_timeout: Duration, max_reads: usi
     }
 }
 
-/// Best-effort `503` + `Retry-After` for a connection the reactor has
-/// no capacity to serve, counted in `rejected_connections`.
-fn reject_connection(mut stream: TcpStream, engine: &Arc<Engine>) {
+/// Overload-shedding response body (`Retry-After` applies).
+const OVERLOADED_BODY: &str = "{\"error\":\"server overloaded, retry later\"}";
+/// Drain-shedding response body (no retry hint — this instance is
+/// going away; clients should fail over).
+const DRAINING_BODY: &str = "{\"error\":\"server draining\"}";
+
+/// Best-effort `503` for a connection the reactor will not serve
+/// (overload backlog full, or draining), counted in
+/// `rejected_connections`.
+fn shed_connection(
+    mut stream: TcpStream,
+    engine: &Arc<Engine>,
+    body: &str,
+    retry_after_secs: Option<u32>,
+) {
     EngineStats::bump(&engine.stats().rejected_connections);
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     let mut out = Vec::with_capacity(256);
-    write_response_into(
-        &mut out,
-        503,
-        "{\"error\":\"server overloaded, retry later\"}",
-        false,
-        Some(1),
-    );
+    write_response_into(&mut out, 503, body, false, retry_after_secs);
     let _ = stream.write_all(&out);
     // the client has usually already sent its request; closing with
     // those bytes unread would RST away the 503 we just wrote — but
@@ -526,19 +717,36 @@ fn read_request(stream: &mut TcpStream, s: &mut ConnScratch) -> Result<ReadOutco
     // keep-alive is the HTTP/1.1 default; HTTP/1.0 (and anything
     // older) defaults to close unless the client opts in
     let http11 = parts.next() == Some("HTTP/1.1");
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut close_token = false;
     let mut keep_alive_token = false;
+    let mut header_count = 0usize;
     for line in lines {
         if line.is_empty() {
             continue; // the blank terminator line
         }
+        header_count += 1;
+        if header_count > MAX_HEADER_LINES {
+            return Err(ReadError::Malformed(format!(
+                "more than {MAX_HEADER_LINES} headers"
+            )));
+        }
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
+                let parsed: usize = value
                     .trim()
                     .parse()
                     .map_err(|_| ReadError::Malformed("invalid content-length".to_string()))?;
+                // repeated identical values are tolerated (RFC 9110
+                // allows folding them); *conflicting* duplicates mean
+                // the framing is ambiguous — request smuggling
+                // territory — so reject and close
+                if content_length.is_some_and(|previous| previous != parsed) {
+                    return Err(ReadError::Malformed(
+                        "conflicting duplicate content-length headers".to_string(),
+                    ));
+                }
+                content_length = Some(parsed);
             } else if name.eq_ignore_ascii_case("connection") {
                 for token in value.split(',') {
                     let token = token.trim();
@@ -552,14 +760,15 @@ fn read_request(stream: &mut TcpStream, s: &mut ConnScratch) -> Result<ReadOutco
                 // chunked bodies are not implemented; accepting the
                 // request would desync keep-alive framing (the chunk
                 // stream would be parsed as the next request), so
-                // reject it outright — the 400 path closes the
-                // connection
+                // reject it outright — whether alone or combined with
+                // content-length — the 400 path closes the connection
                 return Err(ReadError::Malformed(
                     "transfer-encoding is not supported; send a content-length body".to_string(),
                 ));
             }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     s.method.clear();
     s.method.push_str(method);
     s.path.clear();
@@ -618,8 +827,13 @@ fn fill(stream: &mut TcpStream, buf: &mut Vec<u8>) -> std::io::Result<usize> {
     Ok(n)
 }
 
-/// Serialize a complete HTTP/1.1 response (status line, headers, body)
-/// into `out`, clearing it first and reusing its capacity — the
+/// `content-type` of every JSON response.
+const JSON_CONTENT_TYPE: &str = "application/json";
+/// `content-type` of the Prometheus text exposition format.
+const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Serialize a complete HTTP/1.1 JSON response (status line, headers,
+/// body) into `out`, clearing it first and reusing its capacity — the
 /// zero-allocation response framer shared by the workers, the
 /// rejection path, and the allocation audit.
 pub fn write_response_into(
@@ -628,6 +842,26 @@ pub fn write_response_into(
     body: &str,
     keep_alive: bool,
     retry_after_secs: Option<u32>,
+) {
+    write_response_with_type_into(
+        out,
+        status,
+        body,
+        keep_alive,
+        retry_after_secs,
+        JSON_CONTENT_TYPE,
+    );
+}
+
+/// [`write_response_into`] with an explicit `content-type` (the
+/// `/metrics` route serves Prometheus text, not JSON).
+pub fn write_response_with_type_into(
+    out: &mut Vec<u8>,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    retry_after_secs: Option<u32>,
+    content_type: &str,
 ) {
     let reason = match status {
         200 => "OK",
@@ -642,7 +876,7 @@ pub fn write_response_into(
     out.clear();
     let _ = write!(
         out,
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n",
         body.len()
     );
     if let Some(secs) = retry_after_secs {
@@ -663,8 +897,9 @@ fn write_error(out: &mut String, message: &str) {
 }
 
 /// Dispatch the request in the scratch, writing the response body into
-/// `scratch.body_out` and returning the status code.
-fn route_request(engine: &Arc<Engine>, scratch: &mut ConnScratch) -> u16 {
+/// `scratch.body_out` and returning the status code plus the
+/// [`RouteClass`] the request was accounted to.
+fn route_request(engine: &Arc<Engine>, scratch: &mut ConnScratch) -> (u16, RouteClass) {
     let ConnScratch {
         method,
         path,
@@ -676,6 +911,8 @@ fn route_request(engine: &Arc<Engine>, scratch: &mut ConnScratch) -> u16 {
     body_out.clear();
     match (method.as_str(), path.as_str()) {
         ("GET", "/healthz") => {
+            // liveness: answers 200 for as long as the process serves,
+            // draining included (readiness is `/readyz`)
             let json = Json::object(vec![
                 ("status", Json::String("ok".to_string())),
                 (
@@ -691,29 +928,59 @@ fn route_request(engine: &Arc<Engine>, scratch: &mut ConnScratch) -> u16 {
                 ),
             ]);
             json.write_into(body_out);
-            200
+            (200, RouteClass::Healthz)
+        }
+        ("GET", "/readyz") => {
+            // readiness: flips to 503 the moment a drain begins, so
+            // load balancers stop routing here before the listener
+            // actually goes away
+            if engine.is_draining() {
+                body_out.push_str("{\"status\":\"draining\"}");
+                (503, RouteClass::Readyz)
+            } else {
+                body_out.push_str("{\"status\":\"ready\"}");
+                (200, RouteClass::Readyz)
+            }
         }
         ("GET", "/stats") => {
             engine.stats_json().write_into(body_out);
-            200
+            (200, RouteClass::Stats)
         }
-        ("POST", "/rank") => submit_route(engine, Route::Rank, body, arena, body_out),
-        ("POST", "/aggregate") => submit_route(engine, Route::Aggregate, body, arena, body_out),
-        ("POST", "/pipeline") => submit_route(engine, Route::Pipeline, body, arena, body_out),
-        ("POST", "/jobs") => jobs_submit(engine, body, arena, body_out),
-        ("GET", path) if path.strip_prefix("/jobs/").is_some() => {
-            jobs_status(engine, &path["/jobs/".len()..], body_out)
+        ("GET", "/metrics") => {
+            engine.render_metrics(body_out);
+            (200, RouteClass::Metrics)
         }
-        ("DELETE", path) if path.strip_prefix("/jobs/").is_some() => {
-            jobs_cancel(engine, &path["/jobs/".len()..], body_out)
-        }
+        ("POST", "/rank") => (
+            submit_route(engine, Route::Rank, body, arena, body_out),
+            RouteClass::Rank,
+        ),
+        ("POST", "/aggregate") => (
+            submit_route(engine, Route::Aggregate, body, arena, body_out),
+            RouteClass::Aggregate,
+        ),
+        ("POST", "/pipeline") => (
+            submit_route(engine, Route::Pipeline, body, arena, body_out),
+            RouteClass::Pipeline,
+        ),
+        ("POST", "/jobs") => (
+            jobs_submit(engine, body, arena, body_out),
+            RouteClass::JobsSubmit,
+        ),
+        ("GET", path) if path.strip_prefix("/jobs/").is_some() => (
+            jobs_status(engine, &path["/jobs/".len()..], body_out),
+            RouteClass::JobsGet,
+        ),
+        ("DELETE", path) if path.strip_prefix("/jobs/").is_some() => (
+            jobs_cancel(engine, &path["/jobs/".len()..], body_out),
+            RouteClass::JobsCancel,
+        ),
         ("POST", _) | ("GET", _) | ("DELETE", _) => {
             write_error(body_out, "no such route");
-            404
+            (404, RouteClass::Other)
         }
         _ => {
             write_error(body_out, "method not allowed");
-            405
+            (405, RouteClass::Other)
         }
     }
 }

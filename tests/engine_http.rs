@@ -786,6 +786,335 @@ fn unknown_and_malformed_job_ids_are_404() {
 }
 
 #[test]
+fn metrics_endpoint_serves_valid_prometheus_text() {
+    let server = start_server();
+    let addr = server.addr();
+    // traffic so the histograms and counters are non-trivial
+    let (status, _) = http_post(
+        addr,
+        "/rank",
+        r#"{"algorithm":"weakly-fair","scores":[0.9,0.1],"groups":[0,1],"seed":1}"#,
+    );
+    assert_eq!(status, 200);
+    let (status, _) = http_post(addr, "/rank", "{nope");
+    assert_eq!(status, 400);
+
+    // raw request so the content-type header is visible
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nhost: localhost\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    let (head, body) = response.split_once("\r\n\r\n").expect("head/body split");
+    assert!(
+        head.contains("content-type: text/plain; version=0.0.4"),
+        "{head}"
+    );
+
+    // the strict checker: HELP/TYPE lines, monotone cumulative
+    // buckets, +Inf == _count for every histogram series
+    fairrank_engine::stats::validate_prometheus_text(body).expect(body);
+    for needle in [
+        "# TYPE fairrank_http_requests_total counter",
+        "# TYPE fairrank_http_request_duration_us histogram",
+        "fairrank_http_request_duration_us_bucket{route=\"rank\",le=\"+Inf\"} 2",
+        "fairrank_http_request_duration_us_count{route=\"rank\"} 2",
+        "# TYPE fairrank_algorithm_duration_us histogram",
+        "fairrank_algorithm_duration_us_count{algorithm=\"weakly-fair\"} 1",
+        "fairrank_cache_misses_total 1",
+        "fairrank_ready 1",
+        "fairrank_workers 4",
+    ] {
+        assert!(body.contains(needle), "missing `{needle}` in:\n{body}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn counters_above_2_pow_53_render_exactly_in_stats_and_metrics() {
+    let (server, engine) = start_server_with(ServerConfig::default());
+    let addr = server.addr();
+    let big = (1u64 << 53) + 5; // 9007199254740997: unrepresentable as f64
+    engine
+        .stats()
+        .queue_rejections
+        .store(big, std::sync::atomic::Ordering::Relaxed);
+    let (status, stats) = http_get(addr, "/stats");
+    assert_eq!(status, 200);
+    assert!(
+        stats.contains("\"queue_rejections\":9007199254740997"),
+        "f64 would round to ...996: {stats}"
+    );
+    let (status, metrics) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("fairrank_queue_rejections_total 9007199254740997\n"),
+        "{metrics}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn surrogate_pair_json_round_trips_byte_exactly_through_rank() {
+    let server = start_server();
+    // the algorithm name carries an escaped astral-plane char; the 404
+    // error echoes the *decoded* name, proving the surrogate pair was
+    // decoded and re-emitted as raw UTF-8 — byte-exact round trip
+    let (status, body) = http_post(
+        server.addr(),
+        "/rank",
+        r#"{"algorithm":"go-\uD83D\uDE00-rank","scores":[1.0]}"#,
+    );
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("go-😀-rank"), "{body}");
+    // unpaired surrogates are a 400 with the parser's precise offset
+    let (status, body) = http_post(
+        server.addr(),
+        "/rank",
+        r#"{"algorithm":"\uD83D","scores":[1.0]}"#,
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("unpaired high surrogate"), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn conflicting_duplicate_content_length_is_rejected() {
+    let server = start_server();
+    // conflicting values: ambiguous framing, must 400 + close
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .write_all(
+            b"POST /rank HTTP/1.1\r\nhost: localhost\r\ncontent-length: 5\r\ncontent-length: 6\r\n\r\n{nope}",
+        )
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    assert!(response.contains("conflicting duplicate"), "{response}");
+    assert!(response.contains("connection: close"), "{response}");
+
+    // identical duplicates are unambiguous and tolerated
+    let body = r#"{"algorithm":"weakly-fair","scores":[0.9,0.1],"groups":[0,1]}"#;
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let request = format!(
+        "POST /rank HTTP/1.1\r\nhost: localhost\r\nconnection: close\r\ncontent-length: {len}\r\ncontent-length: {len}\r\n\r\n{body}",
+        len = body.len()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    server.shutdown();
+}
+
+#[test]
+fn header_count_cap_rejects_header_bombs() {
+    let server = start_server();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut request = String::from("GET /healthz HTTP/1.1\r\nhost: localhost\r\n");
+    for i in 0..200 {
+        use std::fmt::Write as _;
+        let _ = write!(request, "x-pad-{i}: y\r\n");
+    }
+    request.push_str("\r\n");
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    assert!(response.contains("headers"), "{response}");
+    server.shutdown();
+}
+
+/// `Write` sink capturing access-log lines for inspection.
+#[derive(Clone)]
+struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn access_log_writes_one_json_line_per_request() {
+    use fairrank_engine::server::AccessLog;
+    let sink = SharedBuf(Arc::new(std::sync::Mutex::new(Vec::new())));
+    let (server, _engine) = start_server_with(ServerConfig {
+        access_log: Some(AccessLog::to_writer(Box::new(sink.clone()))),
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+
+    let mut client = KeepAliveClient::connect(addr);
+    let ok = client.request(
+        "POST",
+        "/rank",
+        r#"{"algorithm":"weakly-fair","scores":[0.9,0.1],"groups":[0,1],"seed":3}"#,
+        false,
+    );
+    assert_eq!(ok.status, 200);
+    let bad = client.request("POST", "/nope", "{}", true);
+    assert_eq!(bad.status, 404);
+    server.shutdown();
+
+    let raw = sink.0.lock().unwrap().clone();
+    let text = String::from_utf8(raw).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text}");
+    // every line is one structured JSON record
+    for line in &lines {
+        let record = fairrank_engine::json::Json::parse(line).unwrap_or_else(|e| {
+            panic!("access-log line is not JSON ({e}): {line}");
+        });
+        for key in [
+            "conn", "seq", "method", "path", "route", "status", "bytes", "us",
+        ] {
+            assert!(record.get(key).is_some(), "missing {key} in {line}");
+        }
+    }
+    assert!(lines[0].contains("\"path\":\"/rank\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"route\":\"rank\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"status\":200"), "{}", lines[0]);
+    assert!(lines[1].contains("\"status\":404"), "{}", lines[1]);
+    assert!(lines[1].contains("\"seq\":2"), "{}", lines[1]);
+    // both requests rode the same connection
+    let conn = json_number(lines[0], "conn");
+    assert_eq!(json_number(lines[1], "conn"), conn);
+}
+
+#[test]
+fn graceful_drain_finishes_in_flight_work_and_sheds_new_connections() {
+    use fairrank_engine::job::RankResult;
+    use fairrank_engine::registry::{Algorithm, AlgorithmKind, Registry};
+    use fairrank_engine::tables::ExecContext;
+    use std::sync::mpsc::{channel, Sender};
+    use std::sync::Mutex;
+
+    /// Blocks mid-request until released, so the drain demonstrably
+    /// begins while a request is in flight.
+    struct Gated {
+        release: Mutex<Option<std::sync::mpsc::Receiver<()>>>,
+        started: Sender<()>,
+    }
+    impl Algorithm for Gated {
+        fn name(&self) -> &str {
+            "gated"
+        }
+        fn kind(&self) -> AlgorithmKind {
+            AlgorithmKind::PostProcessor
+        }
+        fn run(
+            &self,
+            job: &fairrank_engine::job::RankJob,
+            _ctx: &ExecContext,
+            _rng: &mut StdRng,
+        ) -> Result<RankResult, fairrank_engine::EngineError> {
+            let _ = self.started.send(());
+            if let Some(gate) = self.release.lock().unwrap().take() {
+                let _ = gate.recv();
+            }
+            Ok(RankResult {
+                algorithm: job.algorithm.clone(),
+                ranking: vec![0],
+                consensus: None,
+                metrics: vec![],
+            })
+        }
+    }
+
+    let (release_tx, release_rx) = channel();
+    let (started_tx, started_rx) = channel();
+    let mut registry = Registry::standard();
+    registry.register(Arc::new(Gated {
+        release: Mutex::new(Some(release_rx)),
+        started: started_tx,
+    }));
+    let engine = Engine::with_registry(EngineConfig::default(), registry);
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        ServerConfig {
+            io_threads: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("binding an ephemeral port")
+    .spawn();
+    let addr = server.addr();
+
+    // readiness says ready pre-drain
+    let mut ready_client = KeepAliveClient::connect(addr);
+    let response = ready_client.request("GET", "/readyz", "", false);
+    assert_eq!(response.status, 200);
+    assert!(response.body.contains("\"ready\""), "{}", response.body);
+
+    // an in-flight request: sent, executing, response not yet read
+    let mut gated_client = KeepAliveClient::connect(addr);
+    gated_client.send(
+        "POST",
+        "/rank",
+        r#"{"algorithm":"gated","scores":[1.0],"seed":1}"#,
+        false,
+    );
+    started_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+
+    server.begin_drain();
+
+    // new connections are shed with an explicit 503 "draining" (poll:
+    // the accept loop needs a moment to observe the stop flag)
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut probe = TcpStream::connect(addr).expect("listener still bound during drain");
+        let mut response = String::new();
+        let _ = probe.read_to_string(&mut response);
+        if response.starts_with("HTTP/1.1 503") && response.contains("draining") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "drain shedding never engaged; last response: {response:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // an established keep-alive connection still gets its request
+    // served — readiness now 503 — and is then closed
+    let response = ready_client.request("GET", "/readyz", "", false);
+    assert_eq!(response.status, 503);
+    assert!(response.body.contains("draining"), "{}", response.body);
+    assert!(
+        response.head.contains("connection: close"),
+        "{}",
+        response.head
+    );
+    assert!(ready_client.server_closed());
+
+    // the in-flight request completes (zero dropped requests) and the
+    // connection closes afterwards
+    release_tx.send(()).unwrap();
+    let response = gated_client.read_response();
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert!(response.body.contains("\"gated\""), "{}", response.body);
+    assert!(
+        response.head.contains("connection: close"),
+        "{}",
+        response.head
+    );
+    assert!(gated_client.server_closed());
+
+    server.shutdown();
+    // post-drain the engine reports not-ready
+    assert!(engine.is_draining());
+}
+
+#[test]
 fn hammer_stats_counters_add_up() {
     let server = start_server();
     let addr = server.addr();
