@@ -221,6 +221,18 @@ fn main() {
         scan_peak as f64 / file_size as f64,
         legacy_ms / table_ms
     );
+    if !smoke {
+        // full-scale runs can feed the committed perf trajectory
+        // (no-op unless FAIRRANK_BENCH_RECORD=1)
+        bench::summary::record(
+            "batch_ingest",
+            &[
+                ("table_speedup", legacy_ms / table_ms),
+                ("table_peak_ratio", table_peak as f64 / legacy_peak as f64),
+                ("scan_peak_ratio", scan_peak as f64 / file_size as f64),
+            ],
+        );
+    }
     let _ = std::fs::remove_file(path);
 }
 

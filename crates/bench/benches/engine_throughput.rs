@@ -5,7 +5,7 @@
 //! The cached case must come out ≥ 10× faster than the cold case — the
 //! whole point of keying the LRU on (algorithm, input digest, params).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use fairrank_engine::job::{JobInput, JobParams, RankJob};
 use fairrank_engine::registry::Registry;
 use fairrank_engine::tables::ExecContext;
@@ -123,4 +123,40 @@ criterion_group! {
         .measurement_time(Duration::from_millis(600));
     targets = bench_cold_vs_cached, bench_pipeline_sizes
 }
-criterion_main!(benches);
+/// Seconds per iteration of `f`, after one warm-up call.
+fn time_per_iter(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let started = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    started.elapsed().as_secs_f64() / iters as f64
+}
+
+fn main() {
+    benches();
+
+    // Headline cold/cached pair for the committed perf trajectory
+    // (no-op unless FAIRRANK_BENCH_RECORD=1) — the ≥ 10× cache claim
+    // in numbers.
+    let n = 50;
+    let e = engine();
+    let mut seed = 0u64;
+    let cold_s = time_per_iter(20, || {
+        seed += 1;
+        black_box(e.submit(mallows_job(n, seed)).unwrap());
+    });
+    let e = engine();
+    e.submit(mallows_job(n, 1)).unwrap();
+    let cached_s = time_per_iter(2_000, || {
+        black_box(e.submit(mallows_job(n, 1)).unwrap());
+    });
+    bench::summary::record(
+        "engine_throughput",
+        &[
+            ("cold_ms", cold_s * 1e3),
+            ("cached_us", cached_s * 1e6),
+            ("cached_speedup", cold_s / cached_s),
+        ],
+    );
+}

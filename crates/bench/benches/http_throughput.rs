@@ -47,6 +47,18 @@ fn main() {
     println!(
         "{{\"bench\":\"http_throughput\",\"mode\":\"summary\",\"threads\":{CLIENT_THREADS},\"requests_per_thread\":{per_thread},\"speedup\":{speedup:.2}}}"
     );
+    if !smoke {
+        // full-scale runs can feed the committed perf trajectory
+        // (no-op unless FAIRRANK_BENCH_RECORD=1)
+        bench::summary::record(
+            "http_throughput",
+            &[
+                ("req_per_s_reactor", reactor),
+                ("req_per_s_baseline", baseline),
+                ("speedup", speedup),
+            ],
+        );
+    }
 }
 
 fn run_mode(name: &str, thread_per_conn: bool, per_thread: usize) -> f64 {

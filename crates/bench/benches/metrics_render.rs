@@ -82,4 +82,12 @@ fn main() {
     println!(
         "{{\"bench\":\"metrics_render\",\"iterations\":{iterations},\"bytes\":{bytes},\"renders_per_s\":{renders_per_s:.0}}}"
     );
+    if !smoke {
+        // full-scale runs can feed the committed perf trajectory
+        // (no-op unless FAIRRANK_BENCH_RECORD=1)
+        bench::summary::record(
+            "metrics_render",
+            &[("renders_per_s", renders_per_s), ("bytes", bytes as f64)],
+        );
+    }
 }

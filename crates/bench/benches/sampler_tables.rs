@@ -8,7 +8,7 @@
 //! `tables/old_closed_form` vs `tables/table_driven` measures exactly
 //! that pair.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use fairrank_engine::tables::TableCache;
 use mallows_model::tables::{sample_reference, SamplerTables};
 use mallows_model::MallowsModel;
@@ -80,4 +80,44 @@ criterion_group! {
         .measurement_time(Duration::from_millis(1200));
     targets = bench_sample_many, bench_table_cache
 }
-criterion_main!(benches);
+/// Seconds per iteration of `f`, after one warm-up call.
+fn time_per_iter(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let started = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    started.elapsed().as_secs_f64() / iters as f64
+}
+
+fn main() {
+    benches();
+
+    // Headline pair for the committed perf trajectory (no-op unless
+    // FAIRRANK_BENCH_RECORD=1): the before/after `sample_many` times
+    // the acceptance target is stated against, plus the cache-hit cost.
+    let center = Permutation::identity(N);
+    let model = MallowsModel::new(center.clone(), THETA).unwrap();
+    let mut rng = bench::bench_rng();
+    let closed_form_s = time_per_iter(5, || {
+        black_box(sample_many_closed_form(&center, &mut rng));
+    });
+    let mut rng = bench::bench_rng();
+    let table_s = time_per_iter(5, || {
+        black_box(model.sample_many(M, &mut rng));
+    });
+    let cache = TableCache::new(8);
+    cache.get_or_build(N, THETA).unwrap();
+    let cache_hit_s = time_per_iter(10_000, || {
+        black_box(cache.get_or_build(N, THETA).unwrap());
+    });
+    bench::summary::record(
+        "sampler_tables",
+        &[
+            ("closed_form_ms", closed_form_s * 1e3),
+            ("table_driven_ms", table_s * 1e3),
+            ("speedup", closed_form_s / table_s),
+            ("cache_hit_ns", cache_hit_s * 1e9),
+        ],
+    );
+}

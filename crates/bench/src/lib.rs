@@ -1,8 +1,11 @@
-//! Shared fixtures for the Criterion benches.
+//! Shared fixtures for the Criterion benches, plus the [`summary`]
+//! module feeding the committed perf-trajectory files.
 //!
 //! One bench target exists per paper table/figure (regenerating its
 //! inner loop at reduced scale) plus ablation benches for the design
 //! choices called out in DESIGN.md. Run with `cargo bench`.
+
+pub mod summary;
 
 use fair_datasets::GermanCredit;
 use fairness_metrics::{FairnessBounds, GroupAssignment};

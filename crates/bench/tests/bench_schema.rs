@@ -1,0 +1,53 @@
+//! Schema check for the committed perf-trajectory files.
+//!
+//! Every bench in [`bench::summary::TRACKED_BENCHES`] keeps a
+//! `BENCH_<name>.json` file at the workspace root, appended to by
+//! release-mode runs with `FAIRRANK_BENCH_RECORD=1` and committed with
+//! the PR. This test (which CI runs as part of the ordinary suite)
+//! pins two invariants:
+//!
+//! * every tracked bench has a trajectory file with at least one
+//!   record — a new bench cannot be added to the tracked set without
+//!   seeding its history;
+//! * every record validates against the strict schema
+//!   (`{date: YYYY-MM-DD, bench: <name>, metrics: {finite numbers}}`),
+//!   so a hand-edit or merge accident breaks the build, not the
+//!   downstream tooling that replays `git log -p BENCH_*.json`.
+
+use bench::summary::{trajectory_path, validate_trajectory, TRACKED_BENCHES};
+
+#[test]
+fn every_tracked_bench_has_a_valid_committed_trajectory() {
+    for bench in TRACKED_BENCHES {
+        let path = trajectory_path(bench);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let records = validate_trajectory(bench, &text)
+            .unwrap_or_else(|e| panic!("{} is invalid: {e}", path.display()));
+        assert!(
+            records >= 1,
+            "{} must hold at least one committed record",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn trajectory_files_end_with_exactly_one_newline() {
+    // keeps textual appends producing clean one-record diffs
+    for bench in TRACKED_BENCHES {
+        let path = trajectory_path(bench);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        assert!(
+            text.ends_with("]\n"),
+            "{} must end with `]\\n`",
+            path.display()
+        );
+        assert!(
+            !text.ends_with("\n\n"),
+            "{} has trailing blank lines",
+            path.display()
+        );
+    }
+}

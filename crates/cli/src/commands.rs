@@ -48,7 +48,11 @@ pub fn dispatch(args: &Args) -> Result<String> {
 /// keep-alive requests finish and close, new connections are shed with
 /// 503, queued batch jobs are cancelled and running ones complete —
 /// then the process exits cleanly. `--access-log FILE` (or `-` for
-/// stderr) writes one JSON line per request.
+/// stderr) writes one JSON line per request; the sink is flushed and
+/// fsynced before exit so the tail of the log survives the drain.
+/// Every request is traced (see `GET /debug/traces`): `--trace-recent`
+/// and `--trace-slow` size the flight recorder's two tracks, and
+/// `--trace-slow-us` is the slow-request threshold in microseconds.
 pub fn serve(args: &Args) -> Result<String> {
     use fairrank_engine::server::{AccessLog, Server, ServerConfig};
     use fairrank_engine::{Engine, EngineConfig};
@@ -67,6 +71,9 @@ pub fn serve(args: &Args) -> Result<String> {
         cache_shards: args.get_usize("cache-shards", 0)?,
         job_runners: args.get_usize("job-runners", 2)?.max(1),
         job_capacity: args.get_usize("job-capacity", 256)?.max(1),
+        trace_recent: args.get_usize("trace-recent", 128)?,
+        trace_slow: args.get_usize("trace-slow", 32)?,
+        trace_slow_us: args.get_u64("trace-slow-us", 10_000)?,
     };
     let access_log = match args.get("access-log") {
         None => None,
@@ -76,6 +83,9 @@ pub fn serve(args: &Args) -> Result<String> {
                 .map_err(|e| CliError::Input(format!("cannot open access log `{path}`: {e}")))?,
         ),
     };
+    // kept for the post-drain sync below (the server's own drain path
+    // also syncs; this covers the window between that and exit)
+    let access_log_handle = access_log.clone();
     let server_config = ServerConfig {
         io_threads: args.get_usize("io-threads", 0)?,
         max_requests_per_conn: args.get_usize("max-conn-requests", 1024)?.max(1),
@@ -127,6 +137,9 @@ pub fn serve(args: &Args) -> Result<String> {
     server.run();
     // HTTP drained; let running batch jobs finish before exiting
     engine.wait_batches_idle();
+    if let Some(log) = &access_log_handle {
+        log.sync();
+    }
     Ok("fairrank: drained, exiting\n".to_string())
 }
 

@@ -139,16 +139,25 @@ SERVE:
         --job-runners      async batch-job runner threads   (default 2)
         --job-capacity     batch-job store capacity         (default 256)
         --access-log       JSON access-log file (`-` = stderr; one
-                           line per request)                (default off)
+                           line per request, fsynced on drain)
+                                                            (default off)
+        --trace-recent     flight-recorder recent-trace ring (default 128)
+        --trace-slow       flight-recorder slow-trace slots  (default 32)
+        --trace-slow-us    slow-trace threshold in µs        (default 10000)
     Routes: POST /rank | /aggregate | /pipeline | /jobs,
-            GET /jobs/{id} | /healthz | /readyz | /stats | /metrics,
+            GET /jobs/{id} | /healthz | /readyz | /stats | /metrics
+                | /debug/traces,
             DELETE /jobs/{id}.
     Request fields mirror the flags above (scores/votes/groups inline).
     Connections are HTTP/1.1 keep-alive; send `Connection: close` to
     end one, or it closes after --max-conn-requests requests or
     --idle-timeout-ms of silence.
     /metrics is Prometheus text format (per-route + per-algorithm
-    latency histograms). SIGTERM/SIGINT drain gracefully: /readyz
+    latency histograms, queue-wait/service breakdowns and process
+    self-metrics). Every request gets an `x-trace-id`;
+    GET /debug/traces (filter with ?route=…&algorithm=…) returns the
+    flight recorder's recent and slowest span breakdowns.
+    SIGTERM/SIGINT drain gracefully: /readyz
     flips to 503, in-flight requests and running batch jobs finish,
     queued jobs cancel, new connections get 503, then the process
     exits.

@@ -1,0 +1,303 @@
+//! Spawned-binary tracing checks: start the real `fairrank serve`,
+//! drive sync (`POST /rank`) and batch (`POST /jobs`) traffic, then
+//! scrape `GET /debug/traces` and verify the flight recorder's span
+//! breakdowns — the trace id returned in `x-trace-id` joins the
+//! recorded trace, sub-spans stay within the request total, batch
+//! chunks carry their parent/job lineage, the queue-wait/service
+//! histograms show up in `/metrics`, and after SIGTERM the fsynced
+//! access log carries the same trace ids.
+
+use fairrank_engine::json::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// Start `fairrank serve --port 0 …` and return the child plus the
+/// ephemeral port announced on stdout.
+fn spawn_serve(extra: &[&str]) -> (Child, u16, BufReader<std::process::ChildStdout>) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fairrank"));
+    cmd.args([
+        "serve",
+        "--port",
+        "0",
+        "--workers",
+        "2",
+        "--io-threads",
+        "2",
+    ])
+    .args(extra)
+    .stdout(Stdio::piped())
+    .stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawning fairrank serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut banner = String::new();
+    reader.read_line(&mut banner).expect("reading the banner");
+    let port: u16 = banner
+        .split("127.0.0.1:")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|token| token.parse().ok())
+        .unwrap_or_else(|| panic!("no port in banner: {banner:?}"));
+    (child, port, reader)
+}
+
+fn http(port: u16, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connecting to fairrank");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nhost: localhost\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let (head, body) = response.split_once("\r\n\r\n").expect("head/body split");
+    (status, head.to_string(), body.to_string())
+}
+
+/// The `x-trace-id` header value from a response head.
+fn trace_id(head: &str) -> u64 {
+    head.lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.eq_ignore_ascii_case("x-trace-id")
+                .then(|| value.trim().parse().ok())?
+        })
+        .unwrap_or_else(|| panic!("no x-trace-id header in:\n{head}"))
+}
+
+/// All traces (recent + slow tracks) from a `/debug/traces` document.
+fn all_traces(doc: &Json) -> Vec<&Json> {
+    ["recent", "slow"]
+        .iter()
+        .flat_map(|track| {
+            doc.get(track)
+                .and_then(Json::as_array)
+                .unwrap_or_default()
+                .iter()
+        })
+        .collect()
+}
+
+fn field_u64(trace: &Json, key: &str) -> u64 {
+    trace
+        .get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("trace lacks `{key}`")) as u64
+}
+
+fn span_us(trace: &Json, key: &str) -> u64 {
+    let spans = trace.get("spans").expect("trace has `spans`");
+    field_u64(spans, key)
+}
+
+#[test]
+fn serve_traces_sync_and_batch_requests() {
+    let log_path =
+        std::env::temp_dir().join(format!("fairrank_serve_trace_{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    // --trace-slow-us 0: every request qualifies for the slow track,
+    // so the test never depends on machine speed
+    let (mut child, port, mut stdout) = spawn_serve(&[
+        "--access-log",
+        log_path.to_str().unwrap(),
+        "--trace-slow-us",
+        "0",
+    ]);
+
+    // one sync request, joining the response header to the recorder
+    let (status, head, _) = http(
+        port,
+        "POST",
+        "/rank",
+        r#"{"algorithm":"weakly-fair","scores":[0.9,0.7,0.4,0.1],"groups":[0,0,1,1],"seed":3}"#,
+    );
+    assert_eq!(status, 200);
+    let rank_trace = trace_id(&head);
+
+    // one batch job of two chunks, polled to completion
+    let (status, head, body) = http(
+        port,
+        "POST",
+        "/jobs",
+        r#"{"chunks":[
+            {"algorithm":"weakly-fair","scores":[0.9,0.1],"groups":[0,1],"seed":1},
+            {"route":"aggregate","votes":[[0,1,2],[2,1,0],[0,2,1]],"method":"borda"}
+        ]}"#,
+    );
+    assert_eq!(status, 202, "{body}");
+    let jobs_trace = trace_id(&head);
+    let job_id = Json::parse(&body)
+        .expect("jobs response is JSON")
+        .get("id")
+        .and_then(Json::as_f64)
+        .expect("jobs response has an id") as u64;
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, _, body) = http(port, "GET", &format!("/jobs/{job_id}"), "");
+        assert_eq!(status, 200, "{body}");
+        let state = Json::parse(&body)
+            .expect("status is JSON")
+            .get("status")
+            .and_then(|s| s.as_str().map(str::to_string))
+            .expect("status field");
+        if state == "done" {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "batch job stuck in `{state}`"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // the flight recorder must hold both breakdowns
+    let (status, head, body) = http(port, "GET", "/debug/traces", "");
+    assert_eq!(status, 200);
+    assert!(head.contains("content-type: application/json"), "{head}");
+    let doc = Json::parse(&body).unwrap_or_else(|e| panic!("invalid JSON ({e}):\n{body}"));
+    let traces = all_traces(&doc);
+
+    let rank = traces
+        .iter()
+        .find(|t| field_u64(t, "id") == rank_trace)
+        .unwrap_or_else(|| panic!("rank trace {rank_trace} not recorded:\n{body}"));
+    assert_eq!(rank.get("route").and_then(Json::as_str), Some("rank"));
+    assert_eq!(
+        rank.get("algorithm").and_then(Json::as_str),
+        Some("weakly-fair")
+    );
+    assert_eq!(field_u64(rank, "status"), 200);
+    // span monotonicity: the sub-spans are disjoint sub-intervals of
+    // the request, so their sum cannot exceed the measured total
+    let total = field_u64(rank, "total_us");
+    let span_sum: u64 = [
+        "parse_us",
+        "cache_us",
+        "queue_us",
+        "run_us",
+        "serialize_us",
+        "write_us",
+    ]
+    .iter()
+    .map(|k| span_us(rank, k))
+    .sum();
+    assert!(
+        span_sum <= total,
+        "span sum {span_sum} exceeds total {total}:\n{body}"
+    );
+    assert!(
+        span_us(rank, "queue_us") + span_us(rank, "run_us") <= total,
+        "queue-wait + service must fit in the total:\n{body}"
+    );
+
+    // both chunks traced under the parent job's lineage
+    let chunks: Vec<_> = traces
+        .iter()
+        .filter(|t| {
+            t.get("route").and_then(Json::as_str) == Some("jobs_chunk")
+                && field_u64(t, "job") == job_id
+        })
+        .collect();
+    let mut chunk_ids: Vec<u64> = chunks.iter().map(|t| field_u64(t, "chunk")).collect();
+    chunk_ids.sort_unstable();
+    chunk_ids.dedup();
+    assert_eq!(chunk_ids, [0, 1], "both chunks must be traced:\n{body}");
+    for chunk in &chunks {
+        assert_eq!(
+            field_u64(chunk, "parent"),
+            jobs_trace,
+            "chunk must carry the submitting request's trace id:\n{body}"
+        );
+        assert!(span_us(chunk, "run_us") <= field_u64(chunk, "total_us"));
+    }
+
+    // filters narrow the view; a non-matching filter empties it
+    let (status, _, filtered) = http(port, "GET", "/debug/traces?route=rank", "");
+    assert_eq!(status, 200);
+    let filtered = Json::parse(&filtered).expect("filtered view is JSON");
+    assert!(
+        all_traces(&filtered)
+            .iter()
+            .all(|t| t.get("route").and_then(Json::as_str) == Some("rank")),
+        "route filter must drop other routes"
+    );
+    let (status, _, none) = http(
+        port,
+        "GET",
+        "/debug/traces?route=rank&algorithm=no-such-algo",
+        "",
+    );
+    assert_eq!(status, 200);
+    assert!(none.contains("\"recent\":[]"), "{none}");
+    assert!(none.contains("\"slow\":[]"), "{none}");
+
+    // the breakdown histograms are exported and the format stays valid
+    let (status, _, metrics) = http(port, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    fairrank_engine::stats::validate_prometheus_text(&metrics).expect(&metrics);
+    for needle in [
+        "# TYPE fairrank_queue_wait_us histogram",
+        "# TYPE fairrank_service_us histogram",
+        "fairrank_queue_wait_us_count{route=\"rank\"}",
+        "fairrank_service_us_count{route=\"batch\"}",
+        "fairrank_algorithm_queue_wait_us_count{algorithm=\"weakly-fair\"}",
+        "process_uptime_seconds",
+    ] {
+        assert!(
+            metrics.contains(needle),
+            "missing `{needle}` in:\n{metrics}"
+        );
+    }
+
+    // SIGTERM → drain → the access log is flushed+fsynced, and its
+    // lines join the recorder by trace id
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("running kill -TERM");
+    assert!(kill.success());
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let exit = loop {
+        if let Some(status) = child.try_wait().expect("polling the child") {
+            break status;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "fairrank serve did not exit after SIGTERM"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(exit.success(), "drained exit must be clean: {exit}");
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("drained, exiting"), "{rest:?}");
+
+    let log = std::fs::read_to_string(&log_path).expect("access log must exist after drain");
+    let rank_line = log
+        .lines()
+        .find(|line| line.contains("\"path\":\"/rank\""))
+        .unwrap_or_else(|| panic!("no /rank access line in:\n{log}"));
+    assert!(
+        rank_line.contains(&format!("\"trace\":{rank_trace}")),
+        "access line must carry the response's trace id:\n{rank_line}"
+    );
+    let jobs_line = log
+        .lines()
+        .find(|line| line.contains("\"path\":\"/jobs\""))
+        .unwrap_or_else(|| panic!("no /jobs access line in:\n{log}"));
+    assert!(
+        jobs_line.contains(&format!("\"trace\":{jobs_trace}")),
+        "access line must carry the response's trace id:\n{jobs_line}"
+    );
+    let _ = std::fs::remove_file(&log_path);
+}

@@ -30,12 +30,14 @@
 //! `jobs_cancelled`, `jobs_queue_high_water`) into `GET /stats`.
 
 use crate::job::{RankJob, RankResult};
-use crate::{Engine, EngineError};
+use crate::stats::JobOrigin;
+use crate::trace::{SpanRecorder, Trace, TraceHandle, TraceStr};
+use crate::{duration_us, Engine, EngineError};
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A batch of chunks submitted as one asynchronous job.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,6 +93,10 @@ struct JobInner {
 /// One tracked batch job.
 pub struct BatchJob {
     id: u64,
+    /// Trace ID of the `POST /jobs` request that created this job
+    /// (0 for untraced library submissions); every chunk trace points
+    /// back at it via [`Trace::parent`].
+    parent_trace: u64,
     chunks: Vec<RankJob>,
     cancel: AtomicBool,
     inner: Mutex<JobInner>,
@@ -115,9 +121,10 @@ pub struct JobSnapshot {
 }
 
 impl BatchJob {
-    fn new(id: u64, chunks: Vec<RankJob>) -> Self {
+    fn new(id: u64, parent_trace: u64, chunks: Vec<RankJob>) -> Self {
         BatchJob {
             id,
+            parent_trace,
             chunks,
             cancel: AtomicBool::new(false),
             inner: Mutex::new(JobInner {
@@ -132,6 +139,12 @@ impl BatchJob {
     /// Job id.
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Trace ID of the request that submitted this job (0 when the
+    /// job was submitted outside a traced request).
+    pub fn parent_trace(&self) -> u64 {
+        self.parent_trace
     }
 
     /// Chunks in the batch.
@@ -257,7 +270,11 @@ impl JobStore {
     /// Register a new queued job, evicting old finished jobs as
     /// needed. Errors with [`EngineError::Overloaded`] when the store
     /// is full of live jobs.
-    fn insert(&self, chunks: Vec<RankJob>) -> Result<Arc<BatchJob>, EngineError> {
+    fn insert(
+        &self,
+        chunks: Vec<RankJob>,
+        parent_trace: u64,
+    ) -> Result<Arc<BatchJob>, EngineError> {
         let mut inner = self.inner.lock().expect("job store lock");
         while inner.map.len() >= self.capacity {
             // evict the oldest *finished* job
@@ -273,7 +290,7 @@ impl JobStore {
             inner.map.remove(&id);
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let job = Arc::new(BatchJob::new(id, chunks));
+        let job = Arc::new(BatchJob::new(id, parent_trace, chunks));
         inner.map.insert(id, Arc::clone(&job));
         inner.order.push_back(id);
         drop(inner);
@@ -421,6 +438,18 @@ impl Engine {
     /// hands it to the batch-runner pool. Returns the tracked job (its
     /// id is what HTTP clients poll).
     pub fn submit_batch(self: &Arc<Self>, spec: BatchSpec) -> Result<Arc<BatchJob>, EngineError> {
+        self.submit_batch_traced(spec, 0)
+    }
+
+    /// [`Engine::submit_batch`] with trace lineage: `parent_trace` is
+    /// the trace ID of the submitting request, recorded on the job so
+    /// every chunk trace in `GET /debug/traces` carries a `parent`
+    /// pointing back at the `POST /jobs` request that created it.
+    pub fn submit_batch_traced(
+        self: &Arc<Self>,
+        spec: BatchSpec,
+        parent_trace: u64,
+    ) -> Result<Arc<BatchJob>, EngineError> {
         if self.is_draining() {
             // draining: running batches finish, but no new ones start
             return Err(EngineError::ShuttingDown);
@@ -435,12 +464,12 @@ impl Engine {
                 return Err(EngineError::UnknownAlgorithm(chunk.algorithm.clone()));
             }
         }
-        let job = self.job_store().insert(spec.chunks)?;
+        let job = self.job_store().insert(spec.chunks, parent_trace)?;
         let engine = Arc::clone(self);
         let runner_job = Arc::clone(&job);
         let submitted = self
             .batch_pool()
-            .try_submit(Box::new(move || run_batch(&engine, &runner_job)));
+            .try_submit(Box::new(move |_| run_batch(&engine, &runner_job)));
         if let Err(rejection) = submitted {
             self.job_store().discard(job.id());
             return Err(match rejection {
@@ -476,18 +505,45 @@ fn run_batch(engine: &Arc<Engine>, job: &Arc<BatchJob>) {
     if !store.begin(job) {
         return; // cancelled while queued
     }
+    let flight = engine.flight_recorder();
     for (index, chunk) in job.chunks.iter().enumerate() {
+        // each chunk is its own trace, parented to the submitting
+        // request's trace; spans come back through the shared recorder
+        let handle = TraceHandle {
+            id: flight.next_id(),
+            spans: Arc::new(SpanRecorder::default()),
+        };
+        let chunk_started = Instant::now();
         let outcome = loop {
             if job.cancel_requested() {
                 break None;
             }
-            match engine.submit(chunk.clone()) {
+            match engine.submit_traced(chunk.clone(), JobOrigin::Batch, Some(&handle)) {
                 Err(EngineError::Overloaded) => {
                     std::thread::sleep(Duration::from_millis(2));
                 }
                 other => break Some(other),
             }
         };
+        if let Some(result) = &outcome {
+            let spans = &handle.spans;
+            flight.record(&Trace {
+                id: handle.id,
+                parent: job.parent_trace,
+                job: job.id,
+                chunk: index as u32,
+                status: if result.is_ok() { 200 } else { 500 },
+                cache_hit: spans.cache_hit.load(Ordering::Relaxed),
+                route: "jobs_chunk",
+                algorithm: TraceStr::new(&chunk.algorithm),
+                cache_us: spans.cache_us.load(Ordering::Relaxed),
+                queue_us: spans.queue_us.load(Ordering::Relaxed),
+                run_us: spans.run_us.load(Ordering::Relaxed),
+                total_us: duration_us(chunk_started.elapsed()),
+                end_us: flight.now_us(),
+                ..Trace::default()
+            });
+        }
         match outcome {
             None => {
                 store.finish(job, JobState::Cancelled, None);
@@ -787,13 +843,13 @@ mod tests {
     #[test]
     fn store_evicts_finished_jobs_beyond_capacity() {
         let store = JobStore::new(2);
-        let a = store.insert(vec![chunk(1)]).unwrap();
+        let a = store.insert(vec![chunk(1)], 0).unwrap();
         store.begin(&a);
         store.finish(&a, JobState::Done, None);
-        let b = store.insert(vec![chunk(2)]).unwrap();
+        let b = store.insert(vec![chunk(2)], 0).unwrap();
         store.begin(&b);
         store.finish(&b, JobState::Done, None);
-        let c = store.insert(vec![chunk(3)]).unwrap();
+        let c = store.insert(vec![chunk(3)], 0).unwrap();
         assert!(store.get(a.id()).is_none(), "oldest finished job evicted");
         assert!(store.get(b.id()).is_some());
         assert!(store.get(c.id()).is_some());
@@ -802,9 +858,9 @@ mod tests {
     #[test]
     fn store_full_of_live_jobs_rejects() {
         let store = JobStore::new(1);
-        let _live = store.insert(vec![chunk(1)]).unwrap();
+        let _live = store.insert(vec![chunk(1)], 0).unwrap();
         assert!(matches!(
-            store.insert(vec![chunk(2)]),
+            store.insert(vec![chunk(2)], 0),
             Err(EngineError::Overloaded)
         ));
     }
@@ -812,7 +868,7 @@ mod tests {
     #[test]
     fn status_json_shapes() {
         let store = JobStore::new(4);
-        let job = store.insert(vec![chunk(1), chunk(2)]).unwrap();
+        let job = store.insert(vec![chunk(1), chunk(2)], 0).unwrap();
         let mut out = String::new();
         job.write_status_json(&mut out);
         assert!(out.contains("\"status\":\"queued\""), "{out}");

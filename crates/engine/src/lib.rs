@@ -52,6 +52,7 @@ pub mod registry;
 pub mod server;
 pub mod stats;
 pub mod tables;
+pub mod trace;
 
 use batch::JobStore;
 use cache::ShardedLru;
@@ -60,12 +61,15 @@ use pool::{SubmitError, WorkerPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use registry::Registry;
-use stats::{EngineStats, LatencyHistogram, MetricFamily, MetricSample, MetricValue, RouteClass};
+use stats::{
+    EngineStats, JobOrigin, LatencyHistogram, MetricFamily, MetricSample, MetricValue, RouteClass,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 use tables::{ExecContext, TableCache};
+use trace::{FlightRecorder, TraceHandle};
 
 /// Errors surfaced by the engine.
 #[derive(Debug)]
@@ -139,6 +143,14 @@ pub struct EngineConfig {
     /// Batch-job store capacity: live + recently finished jobs kept
     /// for polling; the oldest finished jobs are evicted beyond it.
     pub job_capacity: usize,
+    /// Flight-recorder ring capacity: the most recent traces kept for
+    /// `GET /debug/traces`.
+    pub trace_recent: usize,
+    /// Flight-recorder slow-track capacity: the slowest traces kept.
+    pub trace_slow: usize,
+    /// Requests at/above this end-to-end duration (µs) enter the
+    /// slow track (`--trace-slow-us`).
+    pub trace_slow_us: u64,
 }
 
 impl Default for EngineConfig {
@@ -151,11 +163,19 @@ impl Default for EngineConfig {
             cache_shards: 0,
             job_runners: 2,
             job_capacity: 256,
+            trace_recent: 128,
+            trace_slow: 32,
+            trace_slow_us: 10_000,
         }
     }
 }
 
 type JobOutcome = Result<Arc<RankResult>, EngineError>;
+
+/// Saturating microsecond conversion for span arithmetic.
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
 
 /// The serving engine: registry + worker pool + result cache + stats.
 pub struct Engine {
@@ -177,13 +197,25 @@ pub struct Engine {
     /// its chunks still execute on `pool`, one at a time).
     batch_pool: WorkerPool,
     stats: EngineStats,
-    /// Per-algorithm execution-latency histograms, name-sorted and
-    /// fixed at construction from the registry, so recording is a
-    /// lock-free binary search + atomic add.
-    algo_latency: Vec<(String, LatencyHistogram)>,
+    /// Per-algorithm latency histograms (service time and queue wait),
+    /// name-sorted and fixed at construction from the registry, so
+    /// recording is a lock-free binary search + atomic add.
+    algo_latency: Vec<AlgoLatency>,
+    /// Bounded store of recent and slow request traces, served at
+    /// `GET /debug/traces`.
+    flight: FlightRecorder,
     /// Raised by [`Engine::begin_drain`]: new batch jobs are rejected,
     /// queued batches are cancelled, readiness reports not-ready.
     draining: AtomicBool,
+}
+
+/// One algorithm's latency series.
+struct AlgoLatency {
+    name: String,
+    /// `Algorithm::run` wall-clock (`fairrank_algorithm_duration_us`).
+    service: LatencyHistogram,
+    /// Worker-pool queue wait (`fairrank_algorithm_queue_wait_us`).
+    queue_wait: LatencyHistogram,
 }
 
 impl Engine {
@@ -204,12 +236,16 @@ impl Engine {
         } else {
             config.cache_shards
         };
-        let mut algo_latency: Vec<(String, LatencyHistogram)> = registry
+        let mut algo_latency: Vec<AlgoLatency> = registry
             .names()
             .into_iter()
-            .map(|name| (name.to_string(), LatencyHistogram::new()))
+            .map(|name| AlgoLatency {
+                name: name.to_string(),
+                service: LatencyHistogram::new(),
+                queue_wait: LatencyHistogram::new(),
+            })
             .collect();
-        algo_latency.sort_by(|a, b| a.0.cmp(&b.0));
+        algo_latency.sort_by(|a, b| a.name.cmp(&b.name));
         Arc::new(Engine {
             registry,
             pool: WorkerPool::new(config.workers, config.queue_capacity),
@@ -227,6 +263,11 @@ impl Engine {
             .with_batch_threads((tables::available_parallelism() / config.workers.max(1)).max(1)),
             stats: EngineStats::new(),
             algo_latency,
+            flight: FlightRecorder::new(
+                config.trace_recent,
+                config.trace_slow,
+                config.trace_slow_us,
+            ),
             draining: AtomicBool::new(false),
         })
     }
@@ -262,14 +303,21 @@ impl Engine {
         }
     }
 
-    /// Record one algorithm execution into its latency histogram.
-    fn record_algo_latency(&self, name: &str, elapsed: Duration) {
+    /// Record one algorithm execution into its latency histograms.
+    fn record_algo_latency(&self, name: &str, run: Duration, waited: Duration) {
         if let Ok(i) = self
             .algo_latency
-            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .binary_search_by(|a| a.name.as_str().cmp(name))
         {
-            self.algo_latency[i].1.record(elapsed);
+            self.algo_latency[i].service.record(run);
+            self.algo_latency[i].queue_wait.record(waited);
         }
+    }
+
+    /// The flight recorder behind `GET /debug/traces` — also the trace
+    /// ID allocator ([`FlightRecorder::next_id`]).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.flight
     }
 
     /// The algorithm registry.
@@ -327,13 +375,30 @@ impl Engine {
         let algo_samples: Vec<MetricSample<'_>> = self
             .algo_latency
             .iter()
-            .map(|(name, histogram)| MetricSample {
-                labels: vec![("algorithm", name.as_str())],
-                value: MetricValue::Histogram(histogram),
+            .map(|a| MetricSample {
+                labels: vec![("algorithm", a.name.as_str())],
+                value: MetricValue::Histogram(&a.service),
             })
             .collect();
+        let algo_queue_samples: Vec<MetricSample<'_>> = self
+            .algo_latency
+            .iter()
+            .map(|a| MetricSample {
+                labels: vec![("algorithm", a.name.as_str())],
+                value: MetricValue::Histogram(&a.queue_wait),
+            })
+            .collect();
+        let origin_samples = |pick: fn(&EngineStats, JobOrigin) -> &LatencyHistogram| {
+            JobOrigin::ALL
+                .iter()
+                .map(|&origin| MetricSample {
+                    labels: vec![("route", origin.as_str())],
+                    value: MetricValue::Histogram(pick(s, origin)),
+                })
+                .collect::<Vec<_>>()
+        };
         let scalar = MetricFamily::scalar;
-        let families = [
+        let mut families = vec![
             scalar(
                 "fairrank_uptime_seconds",
                 "Seconds since the engine started",
@@ -471,11 +536,44 @@ impl Engine {
                 samples: route_samples,
             },
             MetricFamily {
+                name: "fairrank_queue_wait_us",
+                help: "Time chunks sat in the bounded worker-pool queue, in microseconds, \
+                       by submission route (measured where the pool dequeues)",
+                samples: origin_samples(EngineStats::queue_wait),
+            },
+            MetricFamily {
+                name: "fairrank_service_us",
+                help: "Algorithm execution time in microseconds, by submission route",
+                samples: origin_samples(EngineStats::service),
+            },
+            MetricFamily {
                 name: "fairrank_algorithm_duration_us",
                 help: "Per-algorithm execution latency in microseconds, over the worker pool",
                 samples: algo_samples,
             },
+            MetricFamily {
+                name: "fairrank_algorithm_queue_wait_us",
+                help: "Per-algorithm worker-pool queue wait in microseconds",
+                samples: algo_queue_samples,
+            },
+            scalar(
+                "process_uptime_seconds",
+                "Seconds since the engine process started",
+                MetricValue::GaugeF64(s.uptime_seconds()),
+            ),
         ];
+        if let Some(process) = stats::process_self_metrics() {
+            families.push(scalar(
+                "process_resident_memory_bytes",
+                "Resident set size from /proc/self/status",
+                MetricValue::Gauge(process.rss_bytes),
+            ));
+            families.push(scalar(
+                "process_open_fds",
+                "Open file descriptors from /proc/self/fd",
+                MetricValue::Gauge(process.open_fds),
+            ));
+        }
         stats::render_prometheus(&families, out);
     }
 
@@ -490,10 +588,28 @@ impl Engine {
     /// [`EngineError::Overloaded`] without blocking when the bounded
     /// queue is full.
     pub fn submit(self: &Arc<Self>, job: RankJob) -> Result<Arc<RankResult>, EngineError> {
+        self.submit_traced(job, JobOrigin::Direct, None)
+    }
+
+    /// [`Engine::submit`] with observability attribution: `origin`
+    /// labels the queue-wait/service histograms in `GET /metrics`, and
+    /// `trace` (when present) receives the engine-side spans — cache
+    /// lookup on this thread, queue wait and run time from the worker
+    /// — and threads its trace ID into the [`ExecContext`] handed to
+    /// `Algorithm::run`. The HTTP layer and the batch runner call this
+    /// so every request and every `/jobs` chunk shows up in
+    /// `GET /debug/traces`.
+    pub fn submit_traced(
+        self: &Arc<Self>,
+        job: RankJob,
+        origin: JobOrigin,
+        trace: Option<&TraceHandle>,
+    ) -> Result<Arc<RankResult>, EngineError> {
         let algorithm = self
             .registry
             .get(&job.algorithm)
             .ok_or_else(|| EngineError::UnknownAlgorithm(job.algorithm.clone()))?;
+        let lookup_started = Instant::now();
         let key = job.digest();
 
         // cache hit, coalesce onto an in-flight twin, or become the
@@ -504,33 +620,74 @@ impl Engine {
             let mut inflight = self.inflight.lock().expect("inflight lock");
             if let Some(hit) = self.cache.get(key) {
                 EngineStats::bump(&self.stats.cache_hits);
+                if let Some(t) = trace {
+                    t.spans
+                        .cache_us
+                        .store(duration_us(lookup_started.elapsed()), Ordering::Relaxed);
+                    t.spans.cache_hit.store(true, Ordering::Relaxed);
+                }
                 return Ok(hit);
             }
             if let Some(waiters) = inflight.get_mut(&key) {
                 waiters.push(tx);
                 EngineStats::bump(&self.stats.chunks_coalesced);
                 drop(inflight);
+                if let Some(t) = trace {
+                    t.spans
+                        .cache_us
+                        .store(duration_us(lookup_started.elapsed()), Ordering::Relaxed);
+                    // coalesced: served by the in-flight twin's
+                    // execution, like a (slightly early) cache hit
+                    t.spans.cache_hit.store(true, Ordering::Relaxed);
+                }
                 return rx.recv().map_err(|_| EngineError::ShuttingDown)?;
             }
             inflight.insert(key, vec![tx]);
         }
+        if let Some(t) = trace {
+            t.spans
+                .cache_us
+                .store(duration_us(lookup_started.elapsed()), Ordering::Relaxed);
+        }
 
         let engine = Arc::clone(self);
-        let submitted = self.pool.try_submit(Box::new(move || {
+        let trace = trace.cloned();
+        let submitted = self.pool.try_submit(Box::new(move |waited| {
+            engine.stats.queue_wait(origin).record(waited);
+            if let Some(t) = &trace {
+                t.spans
+                    .queue_us
+                    .store(duration_us(waited), Ordering::Relaxed);
+            }
             let mut rng = StdRng::seed_from_u64(job.params.seed);
+            let exec_traced;
+            let exec = match &trace {
+                Some(t) => {
+                    exec_traced = engine.exec.clone().with_trace_id(t.id);
+                    &exec_traced
+                }
+                None => &engine.exec,
+            };
             // a panicking algorithm must still clear the in-flight
             // entry below, or every future twin of this job would
             // coalesce onto a dead execution and hang
             let run_started = Instant::now();
             let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                algorithm.run(&job, &engine.exec, &mut rng)
+                algorithm.run(&job, exec, &mut rng)
             }))
             .unwrap_or_else(|_| {
                 Err(EngineError::Algorithm(
                     "job panicked on a worker".to_string().into(),
                 ))
             });
-            engine.record_algo_latency(&job.algorithm, run_started.elapsed());
+            let run_elapsed = run_started.elapsed();
+            engine.record_algo_latency(&job.algorithm, run_elapsed, waited);
+            engine.stats.service(origin).record(run_elapsed);
+            if let Some(t) = &trace {
+                t.spans
+                    .run_us
+                    .store(duration_us(run_elapsed), Ordering::Relaxed);
+            }
             let outcome: JobOutcome = match run {
                 Ok(result) => {
                     let result = Arc::new(result);

@@ -4,13 +4,27 @@
 //! with [`SubmitError::QueueFull`] when the queue is at capacity, which
 //! the HTTP layer maps to `503 Service Unavailable` — under overload
 //! the engine sheds load instead of queueing unboundedly.
+//!
+//! Each job is stamped with its enqueue time; the worker that dequeues
+//! it measures the queue wait and hands it to the closure, which is
+//! how the `fairrank_queue_wait_us` histograms and per-trace
+//! `queue_us` spans are fed — the measurement happens exactly where
+//! the queue is drained, not where the submitter guesses.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// A pool job: the closure receives the time it spent queued.
+type Job = Box<dyn FnOnce(Duration) + Send + 'static>;
+
+/// A queued job with its enqueue timestamp.
+struct QueuedJob {
+    job: Job,
+    enqueued: Instant,
+}
 
 /// Why a submission was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,7 +36,7 @@ pub enum SubmitError {
 }
 
 struct State {
-    jobs: VecDeque<Job>,
+    jobs: VecDeque<QueuedJob>,
     shutdown: bool,
 }
 
@@ -89,7 +103,10 @@ impl WorkerPool {
         if state.jobs.len() >= self.shared.queue_capacity {
             return Err(SubmitError::QueueFull);
         }
-        state.jobs.push_back(job);
+        state.jobs.push_back(QueuedJob {
+            job,
+            enqueued: Instant::now(),
+        });
         drop(state);
         self.shared.job_ready.notify_one();
         Ok(())
@@ -138,8 +155,9 @@ fn worker_loop(shared: &Shared) {
         // A panicking job must not kill the worker: catch and keep
         // serving. The submitting side observes the panic as a
         // disconnected result channel.
+        let waited = job.enqueued.elapsed();
         shared.busy.fetch_add(1, Ordering::Relaxed);
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || (job.job)(waited)));
         shared.busy.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -158,7 +176,7 @@ mod tests {
         for _ in 0..32 {
             let counter = Arc::clone(&counter);
             let tx = tx.clone();
-            pool.try_submit(Box::new(move || {
+            pool.try_submit(Box::new(move |_| {
                 counter.fetch_add(1, Ordering::SeqCst);
                 tx.send(()).unwrap();
             }))
@@ -177,7 +195,7 @@ mod tests {
         let pool = WorkerPool::new(1, 2);
         let (gate_tx, gate_rx) = mpsc::channel::<()>();
         let (started_tx, started_rx) = mpsc::channel();
-        pool.try_submit(Box::new(move || {
+        pool.try_submit(Box::new(move |_| {
             started_tx.send(()).unwrap();
             gate_rx.recv().unwrap();
         }))
@@ -186,10 +204,10 @@ mod tests {
             .recv_timeout(std::time::Duration::from_secs(10))
             .unwrap();
         // worker busy; fill the queue
-        pool.try_submit(Box::new(|| {})).unwrap();
-        pool.try_submit(Box::new(|| {})).unwrap();
+        pool.try_submit(Box::new(|_| {})).unwrap();
+        pool.try_submit(Box::new(|_| {})).unwrap();
         assert_eq!(
-            pool.try_submit(Box::new(|| {})),
+            pool.try_submit(Box::new(|_| {})),
             Err(SubmitError::QueueFull)
         );
         gate_tx.send(()).unwrap();
@@ -199,9 +217,9 @@ mod tests {
     #[test]
     fn panicking_job_does_not_kill_worker() {
         let pool = WorkerPool::new(1, 8);
-        pool.try_submit(Box::new(|| panic!("boom"))).unwrap();
+        pool.try_submit(Box::new(|_| panic!("boom"))).unwrap();
         let (tx, rx) = mpsc::channel();
-        pool.try_submit(Box::new(move || tx.send(42).unwrap()))
+        pool.try_submit(Box::new(move |_| tx.send(42).unwrap()))
             .unwrap();
         assert_eq!(
             rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(),
@@ -216,7 +234,7 @@ mod tests {
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..16 {
             let counter = Arc::clone(&counter);
-            pool.try_submit(Box::new(move || {
+            pool.try_submit(Box::new(move |_| {
                 counter.fetch_add(1, Ordering::SeqCst);
             }))
             .unwrap();
@@ -229,6 +247,26 @@ mod tests {
     fn zero_workers_clamps_to_one() {
         let pool = WorkerPool::new(0, 1);
         assert_eq!(pool.workers(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn queue_wait_reflects_time_spent_queued() {
+        // single worker held at a gate: the second job's measured wait
+        // must cover the time the gate stayed closed
+        let pool = WorkerPool::new(1, 8);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (wait_tx, wait_rx) = mpsc::channel();
+        pool.try_submit(Box::new(move |_| gate_rx.recv().unwrap()))
+            .unwrap();
+        pool.try_submit(Box::new(move |waited| wait_tx.send(waited).unwrap()))
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        gate_tx.send(()).unwrap();
+        let waited = wait_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .unwrap();
+        assert!(waited >= std::time::Duration::from_millis(15), "{waited:?}");
         pool.shutdown();
     }
 }

@@ -14,6 +14,14 @@
 //! | `GET /readyz`       | — (readiness; 503 once draining)               |
 //! | `GET /stats`        | — (JSON counters)                              |
 //! | `GET /metrics`      | — (Prometheus text exposition format)          |
+//! | `GET /debug/traces` | — (flight recorder; `?route=`, `?algorithm=`)  |
+//!
+//! Every parsed request is assigned a trace ID (echoed in the
+//! `x-trace-id` response header and the access log's `trace` field)
+//! and its span breakdown — parse, cache lookup, queue wait, run,
+//! serialize, write — is recorded into the engine's
+//! [`FlightRecorder`](crate::trace::FlightRecorder), which
+//! `GET /debug/traces` serves as JSON.
 //!
 //! Shared params: `theta`, `samples`, `tolerance`, `noise_sd`, `k`,
 //! `seed`, `protected`, `proportion`, `alpha` — same names and
@@ -55,8 +63,9 @@
 use crate::job::{JobInput, JobParams, RankJob};
 use crate::json::{Json, JsonArena, ValueRef};
 use crate::registry::AlgorithmKind;
-use crate::stats::{EngineStats, RouteClass};
-use crate::{Engine, EngineError};
+use crate::stats::{EngineStats, JobOrigin, RouteClass};
+use crate::trace::{SpanRecorder, Trace, TraceHandle, TraceStr};
+use crate::{duration_us, Engine, EngineError};
 use std::fmt::Write as _;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -125,14 +134,30 @@ impl Default for ServerConfig {
 /// each request appends exactly one `\n`-terminated JSON line.
 #[derive(Clone)]
 pub struct AccessLog {
-    sink: Arc<Mutex<Box<dyn Write + Send>>>,
+    sink: Arc<Mutex<LogSink>>,
+}
+
+/// The writer behind an [`AccessLog`]. Files are kept as files (not
+/// type-erased) so [`AccessLog::sync`] can `fsync` them on drain.
+enum LogSink {
+    File(std::fs::File),
+    Writer(Box<dyn Write + Send>),
+}
+
+impl LogSink {
+    fn writer(&mut self) -> &mut dyn Write {
+        match self {
+            LogSink::File(file) => file,
+            LogSink::Writer(writer) => writer,
+        }
+    }
 }
 
 impl AccessLog {
     /// Log to any writer (tests pass an in-memory buffer).
     pub fn to_writer(writer: Box<dyn Write + Send>) -> AccessLog {
         AccessLog {
-            sink: Arc::new(Mutex::new(writer)),
+            sink: Arc::new(Mutex::new(LogSink::Writer(writer))),
         }
     }
 
@@ -142,7 +167,9 @@ impl AccessLog {
             .create(true)
             .append(true)
             .open(path)?;
-        Ok(AccessLog::to_writer(Box::new(file)))
+        Ok(AccessLog {
+            sink: Arc::new(Mutex::new(LogSink::File(file))),
+        })
     }
 
     /// Log to standard error.
@@ -154,8 +181,22 @@ impl AccessLog {
     /// are swallowed: a full disk must not take down serving.
     fn write_line(&self, line: &str) {
         if let Ok(mut sink) = self.sink.lock() {
-            let _ = sink.write_all(line.as_bytes());
-            let _ = sink.flush();
+            let writer = sink.writer();
+            let _ = writer.write_all(line.as_bytes());
+            let _ = writer.flush();
+        }
+    }
+
+    /// Flush the sink and, for file sinks, `fsync` it to disk. The
+    /// drain path calls this so the final log lines of a terminating
+    /// process survive the exit (a buffered line lost to SIGTERM is a
+    /// request that never happened as far as the operator can tell).
+    pub fn sync(&self) {
+        if let Ok(mut sink) = self.sink.lock() {
+            let _ = sink.writer().flush();
+            if let LogSink::File(file) = &*sink {
+                let _ = file.sync_all();
+            }
         }
     }
 }
@@ -343,6 +384,11 @@ impl Server {
         for worker in workers {
             let _ = worker.join();
         }
+        // every request that will ever be logged has been logged: make
+        // the tail durable before the process exits
+        if let Some(log) = &self.config.access_log {
+            log.sync();
+        }
     }
 
     /// The legacy model: spawn a thread per connection, serve exactly
@@ -380,6 +426,9 @@ impl Server {
                 // resource exhaustion: shed load loudly
                 shed_connection(stream, &self.engine, OVERLOADED_BODY, Some(1));
             }
+        }
+        if let Some(log) = &self.config.access_log {
+            log.sync();
         }
     }
 }
@@ -468,6 +517,34 @@ struct ConnScratch {
     out: Vec<u8>,
     /// Access-log line under construction (reused per request).
     log_line: String,
+    /// Per-request trace scratch (the span recorder `Arc` is pooled
+    /// here so a warm traced request allocates nothing).
+    trace: TraceScratch,
+}
+
+/// The pieces of a request's trace that the routing layer fills in:
+/// HTTP-thread spans plus the engine-side [`SpanRecorder`] handed into
+/// [`Engine::submit_traced`]. Reset at the start of every request.
+#[derive(Default)]
+struct TraceScratch {
+    /// Engine-side span cells (cache lookup, queue wait, run),
+    /// shared with the worker executing the job.
+    spans: Arc<SpanRecorder>,
+    /// Algorithm name for submit routes; empty otherwise.
+    algorithm: TraceStr,
+    /// Body JSON → job parse time.
+    parse_us: u64,
+    /// Result-JSON serialization time.
+    serialize_us: u64,
+}
+
+impl TraceScratch {
+    fn reset(&mut self) {
+        self.spans.reset();
+        self.algorithm = TraceStr::default();
+        self.parse_us = 0;
+        self.serialize_us = 0;
+    }
 }
 
 impl ConnScratch {
@@ -532,7 +609,18 @@ fn handle_connection(
                     // previous request's route
                     scratch.method.clear();
                     scratch.path.clear();
-                    write_access_line(scratch, conn_id, served + 1, RouteClass::Other, 400, 0, log);
+                    write_access_line(
+                        scratch,
+                        &AccessRecord {
+                            conn: conn_id,
+                            seq: served + 1,
+                            route: RouteClass::Other,
+                            status: 400,
+                            micros: 0,
+                            trace: None,
+                        },
+                        log,
+                    );
                 }
                 graceful_close(&mut stream, Duration::from_millis(250), 64);
                 return Ok(());
@@ -542,7 +630,9 @@ fn handle_connection(
         let started = Instant::now();
         EngineStats::bump(&stats.http_requests);
         served += 1;
-        let (status, route) = route_request(engine, scratch);
+        let trace_id = engine.flight_recorder().next_id();
+        scratch.trace.reset();
+        let (status, route) = route_request(engine, scratch, trace_id);
         // the stop check comes AFTER routing: a drain that began while
         // this request executed must close the connection right after
         // answering it, not one request later
@@ -557,21 +647,54 @@ fn handle_connection(
         } else {
             JSON_CONTENT_TYPE
         };
-        write_response_with_type_into(
+        write_response_traced_into(
             &mut scratch.out,
             status,
             &scratch.body_out,
             keep_alive,
             None,
             content_type,
+            Some(trace_id),
         );
+        let write_started = Instant::now();
         stream.write_all(&scratch.out)?;
+        let write_us = duration_us(write_started.elapsed());
         let elapsed = started.elapsed();
         stats.latency.record(elapsed);
         stats.route_latency(route).record(elapsed);
+        let spans = &scratch.trace.spans;
+        engine.flight_recorder().record(&Trace {
+            id: trace_id,
+            conn: conn_id,
+            seq: served as u64,
+            status,
+            cache_hit: spans.cache_hit.load(Ordering::Relaxed),
+            route: route.as_str(),
+            algorithm: scratch.trace.algorithm,
+            parse_us: scratch.trace.parse_us,
+            cache_us: spans.cache_us.load(Ordering::Relaxed),
+            queue_us: spans.queue_us.load(Ordering::Relaxed),
+            run_us: spans.run_us.load(Ordering::Relaxed),
+            serialize_us: scratch.trace.serialize_us,
+            write_us,
+            total_us: duration_us(elapsed),
+            end_us: engine.flight_recorder().now_us(),
+            ..Trace::default()
+        });
         if let Some(log) = &config.access_log {
             let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-            write_access_line(scratch, conn_id, served, route, status, micros, log);
+            write_access_line(
+                scratch,
+                &AccessRecord {
+                    conn: conn_id,
+                    seq: served,
+                    route,
+                    status,
+                    micros,
+                    trace: Some(trace_id),
+                },
+                log,
+            );
         }
         scratch.trim();
         if !keep_alive {
@@ -580,29 +703,44 @@ fn handle_connection(
     }
 }
 
-/// Format and emit one structured access-log line:
-/// `{"conn":…,"seq":…,"method":…,"path":…,"route":…,"status":…,"bytes":…,"us":…}`.
-fn write_access_line(
-    scratch: &mut ConnScratch,
-    conn_id: u64,
+/// The scalar fields of one access-log line (method, path and body
+/// size come from the scratch).
+struct AccessRecord {
+    conn: u64,
     seq: usize,
     route: RouteClass,
     status: u16,
     micros: u64,
-    log: &AccessLog,
-) {
+    /// Trace ID joining the line to `GET /debug/traces`; `None` for
+    /// requests rejected before a trace was assigned (malformed head).
+    trace: Option<u64>,
+}
+
+/// Format and emit one structured access-log line:
+/// `{"conn":…,"seq":…,"method":…,"path":…,"route":…,"status":…,"bytes":…,"us":…,"trace":…}`.
+fn write_access_line(scratch: &mut ConnScratch, record: &AccessRecord, log: &AccessLog) {
     let line = &mut scratch.log_line;
     line.clear();
-    let _ = write!(line, "{{\"conn\":{conn_id},\"seq\":{seq},\"method\":");
+    let _ = write!(
+        line,
+        "{{\"conn\":{},\"seq\":{},\"method\":",
+        record.conn, record.seq
+    );
     crate::json::write_string(&scratch.method, line);
     line.push_str(",\"path\":");
     crate::json::write_string(&scratch.path, line);
     let _ = write!(
         line,
-        ",\"route\":\"{}\",\"status\":{status},\"bytes\":{},\"us\":{micros}}}",
-        route.as_str(),
+        ",\"route\":\"{}\",\"status\":{},\"bytes\":{},\"us\":{}",
+        record.route.as_str(),
+        record.status,
         scratch.body_out.len(),
+        record.micros,
     );
+    if let Some(trace) = record.trace {
+        let _ = write!(line, ",\"trace\":{trace}");
+    }
+    line.push('}');
     line.push('\n');
     log.write_line(line);
 }
@@ -863,6 +1001,30 @@ pub fn write_response_with_type_into(
     retry_after_secs: Option<u32>,
     content_type: &str,
 ) {
+    write_response_traced_into(
+        out,
+        status,
+        body,
+        keep_alive,
+        retry_after_secs,
+        content_type,
+        None,
+    );
+}
+
+/// The full response framer: [`write_response_with_type_into`] plus an
+/// optional `x-trace-id` header joining the response to its
+/// `GET /debug/traces` entry and access-log line. Still allocation-free
+/// on a warm `out` buffer.
+pub fn write_response_traced_into(
+    out: &mut Vec<u8>,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    retry_after_secs: Option<u32>,
+    content_type: &str,
+    trace_id: Option<u64>,
+) {
     let reason = match status {
         200 => "OK",
         202 => "Accepted",
@@ -882,6 +1044,9 @@ pub fn write_response_with_type_into(
     if let Some(secs) = retry_after_secs {
         let _ = write!(out, "retry-after: {secs}\r\n");
     }
+    if let Some(id) = trace_id {
+        let _ = write!(out, "x-trace-id: {id}\r\n");
+    }
     out.extend_from_slice(if keep_alive {
         b"connection: keep-alive\r\n\r\n"
     } else {
@@ -898,14 +1063,21 @@ fn write_error(out: &mut String, message: &str) {
 
 /// Dispatch the request in the scratch, writing the response body into
 /// `scratch.body_out` and returning the status code plus the
-/// [`RouteClass`] the request was accounted to.
-fn route_request(engine: &Arc<Engine>, scratch: &mut ConnScratch) -> (u16, RouteClass) {
+/// [`RouteClass`] the request was accounted to. `trace_id` is the
+/// request's already-assigned trace ID; the submit routes thread it
+/// (and the scratch's span recorder) into the engine.
+fn route_request(
+    engine: &Arc<Engine>,
+    scratch: &mut ConnScratch,
+    trace_id: u64,
+) -> (u16, RouteClass) {
     let ConnScratch {
         method,
         path,
         body,
         arena,
         body_out,
+        trace,
         ..
     } = scratch;
     body_out.clear();
@@ -950,20 +1122,44 @@ fn route_request(engine: &Arc<Engine>, scratch: &mut ConnScratch) -> (u16, Route
             engine.render_metrics(body_out);
             (200, RouteClass::Metrics)
         }
+        ("GET", path) if debug_traces_query(path).is_some() => {
+            let query = debug_traces_query(path).unwrap_or("");
+            let (route_filter, algorithm_filter) = parse_trace_filters(query);
+            engine
+                .flight_recorder()
+                .write_json(body_out, route_filter, algorithm_filter);
+            (200, RouteClass::DebugTraces)
+        }
         ("POST", "/rank") => (
-            submit_route(engine, Route::Rank, body, arena, body_out),
+            submit_route(engine, Route::Rank, body, arena, body_out, trace_id, trace),
             RouteClass::Rank,
         ),
         ("POST", "/aggregate") => (
-            submit_route(engine, Route::Aggregate, body, arena, body_out),
+            submit_route(
+                engine,
+                Route::Aggregate,
+                body,
+                arena,
+                body_out,
+                trace_id,
+                trace,
+            ),
             RouteClass::Aggregate,
         ),
         ("POST", "/pipeline") => (
-            submit_route(engine, Route::Pipeline, body, arena, body_out),
+            submit_route(
+                engine,
+                Route::Pipeline,
+                body,
+                arena,
+                body_out,
+                trace_id,
+                trace,
+            ),
             RouteClass::Pipeline,
         ),
         ("POST", "/jobs") => (
-            jobs_submit(engine, body, arena, body_out),
+            jobs_submit(engine, body, arena, body_out, trace_id, trace),
             RouteClass::JobsSubmit,
         ),
         ("GET", path) if path.strip_prefix("/jobs/").is_some() => (
@@ -985,31 +1181,61 @@ fn route_request(engine: &Arc<Engine>, scratch: &mut ConnScratch) -> (u16, Route
     }
 }
 
+/// The query string of a `/debug/traces` request, or `None` when
+/// `path` is a different route entirely.
+fn debug_traces_query(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("/debug/traces")?;
+    if rest.is_empty() {
+        Some("")
+    } else {
+        rest.strip_prefix('?')
+    }
+}
+
+/// Parse `route=…&algorithm=…` filters for `GET /debug/traces`.
+/// Unknown keys are ignored; values are matched exactly (labels are
+/// plain identifiers, so no percent-decoding is needed).
+fn parse_trace_filters(query: &str) -> (Option<&str>, Option<&str>) {
+    let mut route = None;
+    let mut algorithm = None;
+    for pair in query.split('&') {
+        match pair.split_once('=') {
+            Some(("route", value)) if !value.is_empty() => route = Some(value),
+            Some(("algorithm", value)) if !value.is_empty() => algorithm = Some(value),
+            _ => {}
+        }
+    }
+    (route, algorithm)
+}
+
 /// `POST /jobs`: parse `{"chunks":[…]}` (each chunk the body of a
 /// sync route, plus an optional `"route"` discriminator defaulting to
-/// `rank`), submit the batch, answer `202` with the id to poll.
-fn jobs_submit(engine: &Arc<Engine>, body: &[u8], arena: &mut JsonArena, out: &mut String) -> u16 {
-    let Ok(text) = std::str::from_utf8(body) else {
-        write_error(out, "body is not utf-8");
-        return 400;
-    };
-    let doc = match arena.parse(text) {
-        Ok(doc) => doc,
-        Err(e) => {
-            write_error(out, &e.to_string());
-            return 400;
-        }
-    };
-    let spec = match parse_batch_spec(doc) {
+/// `rank`), submit the batch, answer `202` with the id to poll. The
+/// request's trace ID becomes the batch's parent trace so every chunk
+/// trace links back to the submission that created it.
+fn jobs_submit(
+    engine: &Arc<Engine>,
+    body: &[u8],
+    arena: &mut JsonArena,
+    out: &mut String,
+    trace_id: u64,
+    trace: &mut TraceScratch,
+) -> u16 {
+    let parse_started = Instant::now();
+    let parsed = parse_jobs_body(body, arena);
+    trace.parse_us = duration_us(parse_started.elapsed());
+    let spec = match parsed {
         Ok(spec) => spec,
         Err(message) => {
             write_error(out, &message);
             return 400;
         }
     };
-    match engine.submit_batch(spec) {
+    match engine.submit_batch_traced(spec, trace_id) {
         Ok(job) => {
+            let serialize_started = Instant::now();
             job.write_status_json(out);
+            trace.serialize_us = duration_us(serialize_started.elapsed());
             202
         }
         Err(e) => {
@@ -1023,6 +1249,14 @@ fn jobs_submit(engine: &Arc<Engine>, body: &[u8], arena: &mut JsonArena, out: &m
             status
         }
     }
+}
+
+/// Decode a `POST /jobs` body into a [`BatchSpec`](crate::batch::BatchSpec)
+/// (UTF-8 check, JSON parse, spec extraction — every failure is a 400).
+fn parse_jobs_body(body: &[u8], arena: &mut JsonArena) -> Result<crate::batch::BatchSpec, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
+    let doc = arena.parse(text).map_err(|e| e.to_string())?;
+    parse_batch_spec(doc)
 }
 
 /// `GET /jobs/{id}`: status snapshot, with per-chunk results once the
@@ -1089,25 +1323,20 @@ fn submit_route(
     body: &[u8],
     arena: &mut JsonArena,
     out: &mut String,
+    trace_id: u64,
+    trace: &mut TraceScratch,
 ) -> u16 {
-    let Ok(text) = std::str::from_utf8(body) else {
-        write_error(out, "body is not utf-8");
-        return 400;
-    };
-    let doc = match arena.parse(text) {
-        Ok(doc) => doc,
-        Err(e) => {
-            write_error(out, &e.to_string());
-            return 400;
-        }
-    };
-    let job = match parse_job(doc, route) {
+    let parse_started = Instant::now();
+    let parsed = parse_submit_body(body, arena, route);
+    trace.parse_us = duration_us(parse_started.elapsed());
+    let job = match parsed {
         Ok(job) => job,
         Err(message) => {
             write_error(out, &message);
             return 400;
         }
     };
+    trace.algorithm = TraceStr::new(&job.algorithm);
     // each route only accepts algorithms of its kind, so `POST /rank`
     // cannot invoke an aggregator and vice versa
     if let Some(algorithm) = engine.registry().get(&job.algorithm) {
@@ -1124,9 +1353,20 @@ fn submit_route(
             return 400;
         }
     }
-    match engine.submit(job) {
+    let origin = match route {
+        Route::Rank => JobOrigin::Rank,
+        Route::Aggregate => JobOrigin::Aggregate,
+        Route::Pipeline => JobOrigin::Pipeline,
+    };
+    let handle = TraceHandle {
+        id: trace_id,
+        spans: Arc::clone(&trace.spans),
+    };
+    match engine.submit_traced(job, origin, Some(&handle)) {
         Ok(result) => {
+            let serialize_started = Instant::now();
             result.write_json(out);
+            trace.serialize_us = duration_us(serialize_started.elapsed());
             200
         }
         Err(e) => {
@@ -1140,6 +1380,14 @@ fn submit_route(
             status
         }
     }
+}
+
+/// Decode a sync-route body into a [`RankJob`] (UTF-8 check, JSON
+/// parse, job extraction — every failure is a 400).
+fn parse_submit_body(body: &[u8], arena: &mut JsonArena, route: Route) -> Result<RankJob, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
+    let doc = arena.parse(text).map_err(|e| e.to_string())?;
+    parse_job(doc, route)
 }
 
 fn parse_job(doc: ValueRef<'_>, route: Route) -> Result<RankJob, String> {
@@ -1470,6 +1718,88 @@ mod tests {
         assert_eq!(status, 200);
         assert!(body.contains("\"status\":\"ok\""), "{body}");
         server.shutdown();
+    }
+
+    #[test]
+    fn trace_header_joins_debug_traces_entry() {
+        let server = start();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let body = r#"{"algorithm":"weakly-fair","scores":[0.9,0.1],"groups":[0,1]}"#;
+        let request = format!(
+            "POST /rank HTTP/1.1\r\nhost: fairrank\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        let trace_id: u64 = response
+            .split("x-trace-id: ")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|id| id.parse().ok())
+            .expect("x-trace-id header");
+
+        let (status, traces) = http(server.addr(), "GET", "/debug/traces?route=rank", "");
+        assert_eq!(status, 200, "{traces}");
+        assert!(traces.contains(&format!("\"id\":{trace_id}")), "{traces}");
+        assert!(traces.contains("\"algorithm\":\"weakly-fair\""), "{traces}");
+        assert!(traces.contains("\"run_us\":"), "{traces}");
+
+        // a filter that matches nothing leaves both tracks empty
+        let (status, filtered) = http(
+            server.addr(),
+            "GET",
+            "/debug/traces?route=rank&algorithm=nope",
+            "",
+        );
+        assert_eq!(status, 200);
+        assert!(filtered.contains("\"recent\":[]"), "{filtered}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn access_log_line_carries_trace_id() {
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            queue_capacity: 32,
+            cache_capacity: 32,
+            table_cache_capacity: 16,
+            cache_shards: 0,
+            ..EngineConfig::default()
+        });
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            engine,
+            ServerConfig {
+                access_log: Some(AccessLog::to_writer(Box::new(SharedBuf(Arc::clone(
+                    &lines,
+                ))))),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap()
+        .spawn();
+        let (status, _) = http(server.addr(), "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        server.shutdown();
+        let logged = String::from_utf8(lines.lock().unwrap().clone()).unwrap();
+        let line = logged
+            .lines()
+            .find(|l| l.contains("\"path\":\"/healthz\""))
+            .expect("healthz access-log line");
+        assert!(line.contains("\"trace\":"), "{line}");
     }
 
     #[test]

@@ -202,13 +202,15 @@ pub enum RouteClass {
     Stats,
     /// `GET /metrics`
     Metrics,
+    /// `GET /debug/traces`
+    DebugTraces,
     /// Anything else (404s, bad methods, malformed requests).
     Other,
 }
 
 impl RouteClass {
     /// Every route class, in export order.
-    pub const ALL: [RouteClass; 11] = [
+    pub const ALL: [RouteClass; 12] = [
         RouteClass::Rank,
         RouteClass::Aggregate,
         RouteClass::Pipeline,
@@ -219,6 +221,7 @@ impl RouteClass {
         RouteClass::Readyz,
         RouteClass::Stats,
         RouteClass::Metrics,
+        RouteClass::DebugTraces,
         RouteClass::Other,
     ];
 
@@ -235,6 +238,7 @@ impl RouteClass {
             RouteClass::Readyz => "readyz",
             RouteClass::Stats => "stats",
             RouteClass::Metrics => "metrics",
+            RouteClass::DebugTraces => "debug_traces",
             RouteClass::Other => "other",
         }
     }
@@ -243,6 +247,57 @@ impl RouteClass {
         RouteClass::ALL
             .iter()
             .position(|&r| r == self)
+            .expect("ALL covers every variant")
+    }
+}
+
+/// Where a chunk submission came from — the `route` label of the
+/// `fairrank_queue_wait_us` and `fairrank_service_us` histograms in
+/// `GET /metrics`. Batch chunks get their own label (they share the
+/// worker pool with synchronous requests but arrive via `/jobs`), and
+/// direct library callers of [`Engine::submit`] are kept apart from
+/// HTTP traffic.
+///
+/// [`Engine::submit`]: crate::Engine::submit
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOrigin {
+    /// `POST /rank`
+    Rank,
+    /// `POST /aggregate`
+    Aggregate,
+    /// `POST /pipeline`
+    Pipeline,
+    /// A chunk of an asynchronous `/jobs` batch.
+    Batch,
+    /// A library caller outside the HTTP server.
+    Direct,
+}
+
+impl JobOrigin {
+    /// Every origin, in export order.
+    pub const ALL: [JobOrigin; 5] = [
+        JobOrigin::Rank,
+        JobOrigin::Aggregate,
+        JobOrigin::Pipeline,
+        JobOrigin::Batch,
+        JobOrigin::Direct,
+    ];
+
+    /// The `route` label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobOrigin::Rank => "rank",
+            JobOrigin::Aggregate => "aggregate",
+            JobOrigin::Pipeline => "pipeline",
+            JobOrigin::Batch => "batch",
+            JobOrigin::Direct => "direct",
+        }
+    }
+
+    fn index(self) -> usize {
+        JobOrigin::ALL
+            .iter()
+            .position(|&o| o == self)
             .expect("ALL covers every variant")
     }
 }
@@ -280,6 +335,11 @@ pub struct EngineStats {
     pub latency: LatencyHistogram,
     /// Per-route service latency, indexed by [`RouteClass`].
     route_latency: [LatencyHistogram; RouteClass::ALL.len()],
+    /// Time chunks sat in the bounded worker-pool queue, indexed by
+    /// [`JobOrigin`] (measured where the pool dequeues).
+    queue_wait: [LatencyHistogram; JobOrigin::ALL.len()],
+    /// `Algorithm::run` execution time, indexed by [`JobOrigin`].
+    service: [LatencyHistogram; JobOrigin::ALL.len()],
 }
 
 impl EngineStats {
@@ -299,6 +359,8 @@ impl EngineStats {
             rejected_connections: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
             route_latency: std::array::from_fn(|_| LatencyHistogram::new()),
+            queue_wait: std::array::from_fn(|_| LatencyHistogram::new()),
+            service: std::array::from_fn(|_| LatencyHistogram::new()),
         }
     }
 
@@ -310,6 +372,16 @@ impl EngineStats {
     /// The latency histogram of one route.
     pub fn route_latency(&self, route: RouteClass) -> &LatencyHistogram {
         &self.route_latency[route.index()]
+    }
+
+    /// The queue-wait histogram of one submission origin.
+    pub fn queue_wait(&self, origin: JobOrigin) -> &LatencyHistogram {
+        &self.queue_wait[origin.index()]
+    }
+
+    /// The service-time (`Algorithm::run`) histogram of one origin.
+    pub fn service(&self, origin: JobOrigin) -> &LatencyHistogram {
+        &self.service[origin.index()]
     }
 
     /// Seconds since the engine was built.
@@ -645,6 +717,41 @@ pub fn validate_prometheus_text(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Point-in-time process self-gauges for `GET /metrics`.
+pub struct ProcessMetrics {
+    /// Resident set size in bytes (`VmRSS` from `/proc/self/status`).
+    pub rss_bytes: u64,
+    /// Open file descriptors (`/proc/self/fd` entries, including the
+    /// descriptor used to list them).
+    pub open_fds: u64,
+}
+
+/// Read RSS and fd-count from `/proc/self`. Linux-only: on other
+/// platforms (and on any read/parse failure) this returns `None` and
+/// the corresponding metric families are simply absent.
+#[cfg(target_os = "linux")]
+pub fn process_self_metrics() -> Option<ProcessMetrics> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let rss_kb: u64 = status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmRSS:"))?
+        .split_whitespace()
+        .next()?
+        .parse()
+        .ok()?;
+    let open_fds = std::fs::read_dir("/proc/self/fd").ok()?.count() as u64;
+    Some(ProcessMetrics {
+        rss_bytes: rss_kb * 1024,
+        open_fds,
+    })
+}
+
+/// Read RSS and fd-count from `/proc/self` (always `None` off Linux).
+#[cfg(not(target_os = "linux"))]
+pub fn process_self_metrics() -> Option<ProcessMetrics> {
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -807,6 +914,37 @@ mod tests {
         for (i, route) in RouteClass::ALL.iter().enumerate() {
             assert_eq!(route.index(), i);
         }
+    }
+
+    #[test]
+    fn job_origins_have_unique_labels() {
+        let mut labels: Vec<&str> = JobOrigin::ALL.iter().map(|o| o.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), JobOrigin::ALL.len());
+        for (i, origin) in JobOrigin::ALL.iter().enumerate() {
+            assert_eq!(origin.index(), i);
+        }
+    }
+
+    #[test]
+    fn origin_histograms_record_independently() {
+        let s = EngineStats::new();
+        s.queue_wait(JobOrigin::Rank).record_micros(10);
+        s.service(JobOrigin::Rank).record_micros(500);
+        s.service(JobOrigin::Batch).record_micros(900);
+        assert_eq!(s.queue_wait(JobOrigin::Rank).count(), 1);
+        assert_eq!(s.queue_wait(JobOrigin::Batch).count(), 0);
+        assert_eq!(s.service(JobOrigin::Rank).sum_micros(), 500);
+        assert_eq!(s.service(JobOrigin::Batch).sum_micros(), 900);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn process_self_metrics_read_proc() {
+        let m = process_self_metrics().expect("/proc/self should be readable on Linux");
+        assert!(m.rss_bytes > 0);
+        assert!(m.open_fds > 0);
     }
 
     #[test]

@@ -166,6 +166,11 @@ pub struct ExecContext {
     /// machine (the logical batch split — and therefore every result —
     /// is independent of it).
     pub batch_threads: usize,
+    /// Trace ID of the request (or batch chunk) this execution belongs
+    /// to; 0 for untraced library calls. Algorithms may stamp it into
+    /// their own diagnostics — the engine threads it here so a run is
+    /// attributable to its `GET /debug/traces` entry.
+    pub trace_id: u64,
 }
 
 impl ExecContext {
@@ -175,12 +180,21 @@ impl ExecContext {
         ExecContext {
             tables,
             batch_threads: available_parallelism(),
+            trace_id: 0,
         }
     }
 
     /// Cap the per-job fan-out thread budget (minimum 1).
     pub fn with_batch_threads(mut self, batch_threads: usize) -> Self {
         self.batch_threads = batch_threads.max(1);
+        self
+    }
+
+    /// Attribute this context to a trace (the engine clones its shared
+    /// context per traced execution — an `Arc` clone plus scalars, no
+    /// deep copy).
+    pub fn with_trace_id(mut self, trace_id: u64) -> Self {
+        self.trace_id = trace_id;
         self
     }
 }

@@ -4,7 +4,10 @@
 //! heap allocations in the HTTP parse/serialize layer: JSON parsing
 //! into a reused [`JsonArena`], response-body serialization via
 //! [`RankResult::write_json`] into a reused `String`, and response
-//! framing via [`write_response_into`] into a reused `Vec<u8>`. This
+//! framing via [`write_response_into`] into a reused `Vec<u8>` — and,
+//! since the tracing subsystem landed, span recording plus flight-
+//! recorder insertion (preallocated slots, `Copy` traces, a pooled
+//! span-recorder `Arc`) and the `x-trace-id` framing variant. This
 //! test pins that with a counting global allocator: warm each buffer
 //! once, then run the same operations again and assert the allocation
 //! counter did not move.
@@ -18,9 +21,11 @@
 
 use fairrank_engine::job::RankResult;
 use fairrank_engine::json::JsonArena;
-use fairrank_engine::server::write_response_into;
+use fairrank_engine::server::write_response_traced_into;
+use fairrank_engine::trace::{FlightRecorder, SpanRecorder, Trace, TraceHandle, TraceStr};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 struct CountingAllocator;
 
@@ -80,11 +85,52 @@ fn warm_http_parse_and_serialize_layer_does_not_allocate() {
     let mut body_out = String::new();
     let mut response = Vec::new();
 
-    // warm every buffer once (capacities stick)
+    // the tracing warm path: a pooled span recorder, a preallocated
+    // flight recorder whose slow track (threshold 0 admits everything)
+    // is already full, so a new record exercises the min-replace path
+    let flight = FlightRecorder::new(16, 4, 0);
+    let spans = Arc::new(SpanRecorder::default());
+    let record_trace = |flight: &FlightRecorder, spans: &Arc<SpanRecorder>| {
+        spans.reset();
+        let handle = TraceHandle {
+            id: flight.next_id(),
+            spans: Arc::clone(spans),
+        };
+        handle.spans.cache_us.store(3, Ordering::Relaxed);
+        handle.spans.queue_us.store(12, Ordering::Relaxed);
+        handle.spans.run_us.store(150, Ordering::Relaxed);
+        flight.record(&Trace {
+            id: handle.id,
+            route: "rank",
+            algorithm: TraceStr::new("mallows"),
+            status: 200,
+            cache_us: handle.spans.cache_us.load(Ordering::Relaxed),
+            queue_us: handle.spans.queue_us.load(Ordering::Relaxed),
+            run_us: handle.spans.run_us.load(Ordering::Relaxed),
+            total_us: 200,
+            end_us: flight.now_us(),
+            ..Trace::default()
+        });
+        handle.id
+    };
+
+    // warm every buffer once (capacities stick) and fill the slow track
     let doc = arena.parse(request_body).expect("valid request body");
     assert_eq!(doc.get("algorithm").unwrap().as_str(), Some("mallows"));
     result.write_json(&mut body_out);
-    write_response_into(&mut response, 200, &body_out, true, None);
+    let mut warm_id = 0;
+    for _ in 0..8 {
+        warm_id = record_trace(&flight, &spans);
+    }
+    write_response_traced_into(
+        &mut response,
+        200,
+        &body_out,
+        true,
+        None,
+        "application/json",
+        Some(warm_id),
+    );
     let framed_len = response.len();
 
     // ... then the same request again must not touch the allocator
@@ -95,11 +141,20 @@ fn warm_http_parse_and_serialize_layer_does_not_allocate() {
         assert_eq!(doc.get("seed").unwrap().as_u64(), Some(42));
         assert_eq!(doc.get("scores").unwrap().as_array().unwrap().count(), 6);
         result.write_json(&mut body_out);
-        write_response_into(&mut response, 200, &body_out, true, None);
+        let id = record_trace(&flight, &spans);
+        write_response_traced_into(
+            &mut response,
+            200,
+            &body_out,
+            true,
+            None,
+            "application/json",
+            Some(id),
+        );
     });
     assert_eq!(
         allocations, 0,
-        "warm HTTP parse/serialize layer must not allocate"
+        "warm HTTP parse/serialize/trace layer must not allocate"
     );
     assert_eq!(response.len(), framed_len, "output must be reproduced");
 }
