@@ -3,11 +3,15 @@
 use crate::{CliError, Result};
 use std::collections::HashMap;
 
+/// Flags that may be given more than once (each occurrence appends).
+/// Everything else stays single-valued and duplicates are an error.
+const REPEATABLE: [&str; 1] = ["backend"];
+
 /// Parsed command line: a subcommand plus `--flag value` pairs.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     command: String,
-    flags: HashMap<String, String>,
+    flags: HashMap<String, Vec<String>>,
 }
 
 impl Args {
@@ -16,7 +20,7 @@ impl Args {
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self> {
         let mut iter = raw.into_iter();
         let command = iter.next().unwrap_or_else(|| "help".to_string());
-        let mut flags = HashMap::new();
+        let mut flags: HashMap<String, Vec<String>> = HashMap::new();
         while let Some(tok) = iter.next() {
             let Some(name) = tok.strip_prefix("--") else {
                 return Err(CliError::Usage(format!("expected --flag, found `{tok}`")));
@@ -27,9 +31,11 @@ impl Args {
             let Some(value) = iter.next() else {
                 return Err(CliError::Usage(format!("flag --{name} is missing a value")));
             };
-            if flags.insert(name.to_string(), value).is_some() {
+            let values = flags.entry(name.to_string()).or_default();
+            if !values.is_empty() && !REPEATABLE.contains(&name) {
                 return Err(CliError::Usage(format!("flag --{name} given twice")));
             }
+            values.push(value);
         }
         Ok(Args { command, flags })
     }
@@ -39,9 +45,29 @@ impl Args {
         &self.command
     }
 
-    /// Raw string value of a flag.
+    /// Raw string value of a flag (the first occurrence).
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.flags.get(name).map(String::as_str)
+        self.flags
+            .get(name)
+            .and_then(|values| values.first())
+            .map(String::as_str)
+    }
+
+    /// Every value of a repeatable flag, with comma-separated values
+    /// split, in the order given: `--backend a --backend b,c` →
+    /// `["a", "b", "c"]`. Empty when the flag is absent.
+    pub fn get_all(&self, name: &str) -> Vec<String> {
+        self.flags
+            .get(name)
+            .map(|values| {
+                values
+                    .iter()
+                    .flat_map(|value| value.split(','))
+                    .filter(|part| !part.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// Required string flag.
@@ -123,6 +149,25 @@ mod tests {
             parse(&["rank", "--k", "1", "--k", "2"]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn repeatable_backend_flag_accumulates_and_splits_commas() {
+        let a = parse(&[
+            "router",
+            "--backend",
+            "127.0.0.1:8080",
+            "--backend",
+            "127.0.0.1:8081,127.0.0.1:8082",
+        ])
+        .unwrap();
+        assert_eq!(
+            a.get_all("backend"),
+            vec!["127.0.0.1:8080", "127.0.0.1:8081", "127.0.0.1:8082"]
+        );
+        // `get` still sees the first occurrence; absent flags are empty
+        assert_eq!(a.get("backend"), Some("127.0.0.1:8080"));
+        assert!(a.get_all("missing").is_empty());
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub fn dispatch(args: &Args) -> Result<String> {
         "pipeline" => pipeline(args),
         "experiment" => crate::experiment::experiment(args),
         "serve" => serve(args),
+        "router" => router(args),
         "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
@@ -141,6 +142,82 @@ pub fn serve(args: &Args) -> Result<String> {
         log.sync();
     }
     Ok("fairrank: drained, exiting\n".to_string())
+}
+
+/// `fairrank router`: consistent-hash front for N `fairrank serve`
+/// replicas.
+///
+/// Binds `--host:--port` (port 0 picks an ephemeral port, printed on
+/// stdout before serving) and shards `/rank|/aggregate|/pipeline|/jobs`
+/// traffic across the `--backend` replicas (repeatable, or one
+/// comma-separated list) by the same algorithm+input digest the
+/// engine's result cache is keyed by. Membership is health-gated: each
+/// backend's `/readyz` is probed every `--probe-ms`; a draining or
+/// dead replica leaves the ring and its queued batch jobs are
+/// resubmitted to the next owner. `--hedge-after-us N` (0 = off)
+/// duplicates a still-unanswered request to the key's next owner
+/// after N microseconds and takes whichever answers first. SIGTERM
+/// (or SIGINT) stops accepting, finishes in-flight requests and
+/// exits. See `docs/CLUSTER.md` for ring and failure semantics.
+pub fn router(args: &Args) -> Result<String> {
+    use fairrank_router::server::RouterServer;
+    use fairrank_router::{RouterConfig, RouterCore};
+    use std::time::Duration;
+
+    let host = args.get("host").unwrap_or("127.0.0.1");
+    let port = args.get_usize("port", 8088)?;
+    if port > u16::MAX as usize {
+        return Err(CliError::Usage(format!("--port {port} is out of range")));
+    }
+    let backends = args.get_all("backend");
+    if backends.is_empty() {
+        return Err(CliError::Usage(
+            "router needs at least one --backend host:port".to_string(),
+        ));
+    }
+    {
+        let mut sorted = backends.clone();
+        sorted.sort();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(CliError::Usage("duplicate --backend address".to_string()));
+        }
+    }
+    let probe_ms = args.get_u64("probe-ms", 200)?.max(1);
+    let hedge_after_us = args.get_u64("hedge-after-us", 0)?;
+    let request_timeout = Duration::from_millis(args.get_u64("request-timeout-ms", 30_000)?.max(1));
+    let backend_count = backends.len();
+    let core = RouterCore::new(RouterConfig {
+        backends,
+        probe_interval: Duration::from_millis(probe_ms),
+        hedge_after: (hedge_after_us > 0).then(|| Duration::from_micros(hedge_after_us)),
+        request_timeout,
+    });
+    let server = RouterServer::bind(&format!("{host}:{port}"), core)
+        .map_err(|e| CliError::Input(format!("cannot bind {host}:{port}: {e}")))?;
+    let handle = server
+        .spawn()
+        .map_err(|e| CliError::Input(format!("cannot start the router: {e}")))?;
+
+    // announce the bound address eagerly (and flushed) so scripts and
+    // tests targeting `--port 0` can discover the ephemeral port
+    println!(
+        "fairrank: routing on http://{} ({backend_count} backends, probe {probe_ms}ms)",
+        handle.addr()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    // block until SIGTERM/SIGINT, then stop accepting and finish
+    // in-flight requests. Without signal support (non-unix), serve
+    // until the process is killed.
+    match crate::signals::install() {
+        Some(wait_for_signal) => wait_for_signal(),
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    handle.shutdown();
+    Ok("fairrank: router drained, exiting\n".to_string())
 }
 
 /// `fairrank rank`: fair post-processing of a candidate CSV.

@@ -73,6 +73,7 @@ COMMANDS:
     pipeline    aggregate + fair post-process in one call
     experiment  run the German-Credit evaluation sweep as an engine batch job
     serve       run the batch-serving engine's HTTP JSON API
+    router      consistent-hash front for N serve replicas
     help        print this message
 
 RANK:
@@ -161,6 +162,27 @@ SERVE:
     flips to 503, in-flight requests and running batch jobs finish,
     queued jobs cancel, new connections get 503, then the process
     exits.
+
+ROUTER:
+    fairrank router --backend H:P [--backend H:P ...] [--host H] [--port P]
+        --backend     a `fairrank serve` replica address; repeat the
+                      flag (or pass one comma-separated list) for more
+        --host        bind address                     (default 127.0.0.1)
+        --port        TCP port (0 = ephemeral)         (default 8088)
+        --probe-ms    /readyz probe interval           (default 200)
+        --hedge-after-us    hedge a slow request to the next owner
+                            after N µs (0 = off)       (default 0)
+        --request-timeout-ms per-attempt backend read timeout
+                                                       (default 30000)
+    Requests are consistent-hashed across ready backends by the same
+    algorithm+input digest the result cache uses, so a request lands
+    on the replica already holding its cached result. A draining or
+    dead replica leaves the ring (probe-gated; connection errors evict
+    immediately) and its queued batch jobs are resubmitted to the next
+    owner. Responses add `x-backend` and `x-backend-trace-id` headers;
+    GET /metrics aggregates all backend scrapes plus router counters.
+    With no ready backend, requests get `503 {\"error\":\"no backends
+    ready\"}`. See docs/CLUSTER.md.
 
 Candidate CSV: one `id,score,group` row per candidate (header allowed).
 Vote CSV: one comma-separated ranking of item labels per line.

@@ -1,0 +1,315 @@
+//! Real-binary cluster fault injection: a `fairrank router` front over
+//! three `fairrank serve` replicas, driven with mixed sync and batch
+//! traffic while one backend is SIGKILLed mid-batch and another is
+//! SIGTERM-drained. The bar is the tentpole's promise: zero failed
+//! client requests, every resubmitted job completes, and every result
+//! is byte-identical to a single-backend reference run. Finally the
+//! last backend is killed too and the router must degrade to a
+//! well-formed 503 — while still serving already-observed terminal
+//! job results from its own cache.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const JOBS: u64 = 12;
+const CHUNKS_PER_JOB: u64 = 40;
+
+/// Spawn the real binary with `args`, returning the child plus the
+/// ephemeral port announced in its stdout banner.
+fn spawn_fairrank(args: &[&str]) -> (Child, u16) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fairrank"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawning fairrank");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut banner = String::new();
+    reader.read_line(&mut banner).expect("reading the banner");
+    let port: u16 = banner
+        .split("127.0.0.1:")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|token| token.parse().ok())
+        .unwrap_or_else(|| panic!("no port in banner: {banner:?}"));
+    (child, port)
+}
+
+fn spawn_serve() -> (Child, u16) {
+    // explicit --io-threads: the router holds pooled keep-alive
+    // connections, and each one pins a reactor I/O worker for life
+    spawn_fairrank(&[
+        "serve",
+        "--port",
+        "0",
+        "--workers",
+        "2",
+        "--io-threads",
+        "8",
+    ])
+}
+
+fn http(port: u16, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nhost: localhost\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in: {response:?}"));
+    let (head, body) = response.split_once("\r\n\r\n").expect("head/body split");
+    (status, head.to_string(), body.to_string())
+}
+
+fn header<'a>(head: &'a str, name: &str) -> Option<&'a str> {
+    head.lines().find_map(|line| {
+        let (key, value) = line.split_once(':')?;
+        key.eq_ignore_ascii_case(name).then(|| value.trim())
+    })
+}
+
+fn job_id(body: &str) -> u64 {
+    body.strip_prefix("{\"id\":")
+        .and_then(|rest| {
+            rest.split(|c: char| !c.is_ascii_digit())
+                .next()?
+                .parse()
+                .ok()
+        })
+        .unwrap_or_else(|| panic!("bad submit response: {body}"))
+}
+
+/// Everything after the leading `{"id":N` — the id is the only field
+/// that may differ between runs and replicas.
+fn body_tail(body: &str) -> &str {
+    let comma = body
+        .find(',')
+        .unwrap_or_else(|| panic!("no fields: {body}"));
+    &body[comma..]
+}
+
+fn sigterm(child: &Child) {
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("running kill -TERM");
+    assert!(status.success());
+}
+
+fn wait_exit(child: &mut Child, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if child.try_wait().expect("polling child").is_some() {
+            return;
+        }
+        assert!(Instant::now() < deadline, "{what} did not exit");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// A deterministic mallows chunk: enough sampling work that a batch of
+/// them outlives the kill window, seeded so any replica (or re-run)
+/// produces byte-identical results.
+fn chunk_body(seed: u64) -> String {
+    let scores: Vec<String> = (0..60)
+        .map(|i| format!("{:.2}", 1.0 - i as f64 * 0.01))
+        .collect();
+    let groups: Vec<String> = (0..60).map(|i| (i % 2).to_string()).collect();
+    format!(
+        r#"{{"algorithm":"mallows","scores":[{}],"groups":[{}],"samples":300,"seed":{seed}}}"#,
+        scores.join(","),
+        groups.join(",")
+    )
+}
+
+fn jobs_body(job: u64) -> String {
+    let chunks: Vec<String> = (0..CHUNKS_PER_JOB)
+        .map(|chunk| chunk_body(job * 1_000 + chunk))
+        .collect();
+    format!(r#"{{"chunks":[{}]}}"#, chunks.join(","))
+}
+
+fn rank_body(seed: u64) -> String {
+    format!(
+        r#"{{"algorithm":"weakly-fair","scores":[0.9,0.8,0.4,0.3],"groups":[0,0,1,1],"tolerance":0.2,"seed":{seed}}}"#
+    )
+}
+
+/// Poll `port` until `GET /jobs/{id}` reports `done`, then return the
+/// status body. Every intermediate poll must itself succeed.
+fn poll_until_done(port: u16, id: u64, deadline: Instant) -> String {
+    loop {
+        let (status, _, body) = http(port, "GET", &format!("/jobs/{id}"), "");
+        assert_eq!(status, 200, "poll of job {id} failed: {body}");
+        assert!(
+            !body.contains("\"status\":\"failed\""),
+            "job {id} failed: {body}"
+        );
+        if body.contains("\"status\":\"done\"") {
+            return body;
+        }
+        assert!(Instant::now() < deadline, "job {id} never finished: {body}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn cluster_survives_kill_and_drain_with_byte_identical_results() {
+    // ---- reference run: one backend, no router ----
+    let (mut reference, ref_port) = spawn_serve();
+    let mut job_tails = Vec::new();
+    for job in 0..JOBS {
+        let (status, _, body) = http(ref_port, "POST", "/jobs", &jobs_body(job));
+        assert_eq!(status, 202, "{body}");
+        job_tails.push((job, job_id(&body)));
+    }
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let job_tails: Vec<String> = job_tails
+        .into_iter()
+        .map(|(_, id)| body_tail(&poll_until_done(ref_port, id, deadline)).to_string())
+        .collect();
+    let sync_reference: Vec<String> = (0..4u64)
+        .map(|seed| {
+            let (status, _, body) = http(ref_port, "POST", "/rank", &rank_body(seed));
+            assert_eq!(status, 200, "{body}");
+            body
+        })
+        .collect();
+    sigterm(&reference);
+    wait_exit(&mut reference, "reference backend");
+
+    // ---- the cluster: three replicas behind the router ----
+    let mut backends: Vec<(Child, u16)> = (0..3).map(|_| spawn_serve()).collect();
+    let backend_args: Vec<String> = backends
+        .iter()
+        .flat_map(|(_, port)| ["--backend".to_string(), format!("127.0.0.1:{port}")])
+        .collect();
+    let mut router_args = vec!["router", "--port", "0", "--probe-ms", "50"];
+    router_args.extend(backend_args.iter().map(String::as_str));
+    let (mut router, router_port) = spawn_fairrank(&router_args);
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (_, _, body) = http(router_port, "GET", "/healthz", "");
+        if body.contains("\"backends_ready\":3") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "backends never joined: {body}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // routed sync requests are byte-identical to the reference run,
+    // and both hops are traced
+    for (seed, reference_body) in sync_reference.iter().enumerate() {
+        let (status, head, body) = http(router_port, "POST", "/rank", &rank_body(seed as u64));
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(&body, reference_body, "routed /rank must match direct");
+        assert!(header(&head, "x-trace-id").is_some(), "{head}");
+        assert!(header(&head, "x-backend-trace-id").is_some(), "{head}");
+        let owner = header(&head, "x-backend").expect("x-backend header");
+        assert!(
+            backend_args.contains(&owner.to_string()),
+            "unknown owner {owner}"
+        );
+    }
+
+    // ---- submit the batch, then break the cluster under it ----
+    let mut routed_jobs: Vec<(u64, String)> = Vec::new();
+    for job in 0..JOBS {
+        let (status, head, body) = http(router_port, "POST", "/jobs", &jobs_body(job));
+        assert_eq!(status, 202, "{body}");
+        let owner = header(&head, "x-backend").expect("x-backend header");
+        routed_jobs.push((job_id(&body), owner.to_string()));
+    }
+
+    // SIGKILL the owner of the first still-running job (a job with
+    // work left is guaranteed to need resubmission), then
+    // SIGTERM-drain one of the two survivors
+    let kill_addr = routed_jobs
+        .iter()
+        .find_map(|(id, owner)| {
+            let (status, _, body) = http(router_port, "GET", &format!("/jobs/{id}"), "");
+            assert_eq!(status, 200, "{body}");
+            (!body.contains("\"status\":\"done\"")).then(|| owner.clone())
+        })
+        .expect("at least one job must still be running");
+    let kill_index = backends
+        .iter()
+        .position(|(_, port)| kill_addr == format!("127.0.0.1:{port}"))
+        .expect("owner is one of ours");
+    backends[kill_index].0.kill().expect("SIGKILL backend");
+    let drain_index = (kill_index + 1) % backends.len();
+    sigterm(&backends[drain_index].0);
+
+    // every poll must keep answering 200 while the cluster reshuffles,
+    // with sync traffic interleaved — and every job must complete with
+    // results byte-identical to the single-backend reference
+    let deadline = Instant::now() + Duration::from_secs(120);
+    for (index, (id, _)) in routed_jobs.iter().enumerate() {
+        let body = poll_until_done(router_port, *id, deadline);
+        assert_eq!(
+            body_tail(&body),
+            job_tails[index],
+            "job {index} diverged from the reference run"
+        );
+        let (status, _, body) = http(router_port, "POST", "/rank", &rank_body(index as u64 % 4));
+        assert_eq!(status, 200, "sync request failed mid-failover: {body}");
+        assert_eq!(&body, &sync_reference[index % 4]);
+    }
+
+    // the killed backend owned at least one unfinished job, so the
+    // router must have re-placed work
+    let (_, _, metrics) = http(router_port, "GET", "/metrics", "");
+    let resubmissions: u64 = metrics
+        .lines()
+        .find_map(|line| line.strip_prefix("fairrank_router_resubmissions_total "))
+        .and_then(|value| value.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no resubmission counter in:\n{metrics}"));
+    assert!(resubmissions >= 1, "no job was ever resubmitted");
+
+    // the drained backend exits cleanly; the killed one is reaped
+    wait_exit(&mut backends[drain_index].0, "drained backend");
+    wait_exit(&mut backends[kill_index].0, "killed backend");
+
+    // ---- total loss: kill the survivor too ----
+    let survivor = 3 - kill_index - drain_index;
+    backends[survivor].0.kill().expect("SIGKILL survivor");
+    wait_exit(&mut backends[survivor].0, "survivor backend");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, _, _) = http(router_port, "GET", "/readyz", "");
+        if status == 503 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "router never noticed total loss");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let (status, _, body) = http(router_port, "POST", "/rank", &rank_body(0));
+    assert_eq!(status, 503);
+    assert_eq!(body, "{\"error\":\"no backends ready\"}");
+    // terminal results observed before the loss are still served from
+    // the router's cache
+    let (status, _, body) = http(
+        router_port,
+        "GET",
+        &format!("/jobs/{}", routed_jobs[0].0),
+        "",
+    );
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body_tail(&body), job_tails[0]);
+
+    sigterm(&router);
+    wait_exit(&mut router, "router");
+}

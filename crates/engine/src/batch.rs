@@ -47,6 +47,23 @@ pub struct BatchSpec {
     pub chunks: Vec<RankJob>,
 }
 
+impl BatchSpec {
+    /// Content digest of the whole batch: FNV-1a folded over the
+    /// per-chunk [`RankJob::digest`] values. Two batches with the same
+    /// chunks in the same order share a digest, which is what a
+    /// consistent-hash router uses as the batch's ring key.
+    pub fn digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for chunk in &self.chunks {
+            for byte in chunk.digest().to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        hash
+    }
+}
+
 /// Lifecycle state of a batch job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobState {

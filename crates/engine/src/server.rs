@@ -1105,14 +1105,17 @@ fn route_request(
         ("GET", "/readyz") => {
             // readiness: flips to 503 the moment a drain begins, so
             // load balancers stop routing here before the listener
-            // actually goes away
-            if engine.is_draining() {
-                body_out.push_str("{\"status\":\"draining\"}");
-                (503, RouteClass::Readyz)
-            } else {
-                body_out.push_str("{\"status\":\"ready\"}");
-                (200, RouteClass::Readyz)
-            }
+            // actually goes away. The body carries the batch-job queue
+            // depth so a cluster router can reason about how much work
+            // is still parked on a draining replica.
+            let (queued, running, ..) = engine.job_store().counters();
+            let draining = engine.is_draining();
+            let status = if draining { "draining" } else { "ready" };
+            let _ = write!(
+                body_out,
+                "{{\"status\":\"{status}\",\"draining\":{draining},\"jobs_queued\":{queued},\"jobs_running\":{running}}}"
+            );
+            (if draining { 503 } else { 200 }, RouteClass::Readyz)
         }
         ("GET", "/stats") => {
             engine.stats_json().write_into(body_out);
@@ -1257,6 +1260,26 @@ fn parse_jobs_body(body: &[u8], arena: &mut JsonArena) -> Result<crate::batch::B
     let text = std::str::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
     let doc = arena.parse(text).map_err(|e| e.to_string())?;
     parse_batch_spec(doc)
+}
+
+/// Cluster placement key for a request to `path` with `body`: the same
+/// algorithm+input digest the result cache is keyed by, so a
+/// consistent-hash router lands a request on the replica that already
+/// holds its cached result. `None` when the route does not take a
+/// rankable body or the body does not parse — the router then falls
+/// back to a raw-byte hash and forwards anyway, letting the backend
+/// produce its canonical 400.
+pub fn ring_key(path: &str, body: &[u8], arena: &mut JsonArena) -> Option<u64> {
+    let route = match path {
+        "/rank" => Route::Rank,
+        "/aggregate" => Route::Aggregate,
+        "/pipeline" => Route::Pipeline,
+        "/jobs" => return parse_jobs_body(body, arena).ok().map(|spec| spec.digest()),
+        _ => return None,
+    };
+    parse_submit_body(body, arena, route)
+        .ok()
+        .map(|job| job.digest())
 }
 
 /// `GET /jobs/{id}`: status snapshot, with per-chunk results once the

@@ -1,0 +1,325 @@
+//! Cluster batch-job bookkeeping.
+//!
+//! The router owns the job-id namespace clients see: a `POST /jobs`
+//! is placed on the ring owner of the batch's digest, the backend's
+//! own id is remembered, and the response's `"id"` field is rewritten
+//! to the router's id. Polls and cancels translate back. The original
+//! request body is retained so that when a backend leaves the ring,
+//! every non-terminal job it owned is resubmitted verbatim to the
+//! key's next owner — deterministic seeds make the re-run
+//! byte-identical, so clients polling across the failover observe at
+//! most a transient regression of `chunks_done`, never an error.
+//!
+//! Once a poll sees a terminal state the full status body is cached in
+//! the entry and later polls are served from the router, so even
+//! losing the whole cluster cannot lose a result that was already
+//! observed terminal.
+
+use crate::client::Response;
+use crate::{ForwardOutcome, RouterCore};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One routed batch job.
+#[derive(Clone)]
+struct JobEntry {
+    /// The original `POST /jobs` body, kept for resubmission.
+    body: Arc<Vec<u8>>,
+    /// The batch's ring key (`BatchSpec::digest`, or a raw-byte hash
+    /// for bodies the engine could not parse — those never get here,
+    /// since an unparsable submit is answered 400 by the backend).
+    key: u64,
+    /// Current owner's address.
+    backend: String,
+    /// The id the current owner knows this job by.
+    backend_id: u64,
+    /// Final status body, cached on the first terminal poll.
+    terminal_body: Option<Arc<Vec<u8>>>,
+    /// Whether the client itself asked for cancellation (`DELETE`).
+    /// A `cancelled` status that the client never requested means the
+    /// owner drained and swept its queue — the router resubmits those
+    /// instead of caching the cancellation as the job's result.
+    client_cancelled: bool,
+}
+
+/// Router-id → entry map plus the id sequence.
+#[derive(Default)]
+pub struct JobTable {
+    seq: AtomicU64,
+    entries: Mutex<HashMap<u64, JobEntry>>,
+}
+
+/// Outcome of a job-route request, ready for the HTTP front.
+pub struct JobAnswer {
+    pub status: u16,
+    pub body: Vec<u8>,
+    pub backend: Option<String>,
+    pub backend_trace: Option<String>,
+}
+
+fn error_answer(status: u16, message: &str) -> JobAnswer {
+    JobAnswer {
+        status,
+        body: format!("{{\"error\":\"{message}\"}}").into_bytes(),
+        backend: None,
+        backend_trace: None,
+    }
+}
+
+fn no_backends() -> JobAnswer {
+    error_answer(503, "no backends ready")
+}
+
+/// `POST /jobs`: place the batch on its ring owner, remember the
+/// mapping, rewrite the response id.
+pub fn submit(core: &RouterCore, body: &[u8], key: u64, scratch: &mut Vec<u8>) -> JobAnswer {
+    match core.forward("POST", "/jobs", body, key, scratch) {
+        ForwardOutcome::NoBackends => no_backends(),
+        ForwardOutcome::Forwarded { backend, response } => {
+            if response.status != 202 {
+                // 400 and friends pass through untouched — no job was
+                // created, so there is nothing to remember
+                return passthrough(backend, response);
+            }
+            let Some(backend_id) = parse_id(&response.body) else {
+                return error_answer(502, "backend returned an unparsable job id");
+            };
+            let router_id = core.jobs.seq.fetch_add(1, Ordering::Relaxed) + 1;
+            core.jobs.entries.lock().unwrap().insert(
+                router_id,
+                JobEntry {
+                    body: Arc::new(body.to_vec()),
+                    key,
+                    backend: backend.clone(),
+                    backend_id,
+                    terminal_body: None,
+                    client_cancelled: false,
+                },
+            );
+            JobAnswer {
+                status: 202,
+                body: rewrite_id(&response.body, router_id),
+                backend: Some(backend),
+                backend_trace: response.trace_id,
+            }
+        }
+    }
+}
+
+/// `GET /jobs/{id}` (`method = "GET"`) or `DELETE /jobs/{id}`: proxy
+/// to the job's current owner, relocating the job first if that owner
+/// has left the ring (or lost the job, e.g. across a restart).
+pub fn poll(core: &RouterCore, id: &str, method: &str, scratch: &mut Vec<u8>) -> JobAnswer {
+    let Ok(router_id) = id.parse::<u64>() else {
+        return error_answer(404, "no such job");
+    };
+    if method == "DELETE" {
+        if let Some(entry) = core.jobs.entries.lock().unwrap().get_mut(&router_id) {
+            entry.client_cancelled = true;
+        }
+    }
+    // relocation can race with other polls of the same job; each loop
+    // iteration re-reads the entry, and the transition count is
+    // bounded by the backend count, so the walk terminates
+    for _ in 0..core.backends().len().max(1) + 1 {
+        let entry = {
+            let entries = core.jobs.entries.lock().unwrap();
+            match entries.get(&router_id) {
+                Some(entry) => entry.clone(),
+                None => return error_answer(404, "no such job"),
+            }
+        };
+        if let Some(final_body) = &entry.terminal_body {
+            return JobAnswer {
+                status: 200,
+                body: rewrite_id(final_body, router_id),
+                backend: Some(entry.backend.clone()),
+                backend_trace: None,
+            };
+        }
+        let Some(client) = core.client(&entry.backend) else {
+            return no_backends();
+        };
+        let path = format!("/jobs/{}", entry.backend_id);
+        match client.request(method, &path, b"", core.config.request_timeout, scratch) {
+            Ok(response) if response.status == 200 => {
+                match terminal_status(&response.body) {
+                    // a cancellation the client never asked for is the
+                    // owner draining its queue: re-place the job and
+                    // poll the new owner instead of surfacing it
+                    Some("cancelled") if !entry.client_cancelled => {
+                        if !resubmit_one(core, router_id, &entry, scratch) {
+                            return no_backends();
+                        }
+                        continue;
+                    }
+                    Some(_) => {
+                        let mut entries = core.jobs.entries.lock().unwrap();
+                        if let Some(entry) = entries.get_mut(&router_id) {
+                            entry.terminal_body = Some(Arc::new(response.body.clone()));
+                        }
+                    }
+                    None => {}
+                }
+                return JobAnswer {
+                    status: 200,
+                    body: rewrite_id(&response.body, router_id),
+                    backend: Some(entry.backend),
+                    backend_trace: response.trace_id,
+                };
+            }
+            // the owner is up but no longer knows the job (restarted)
+            // or is shedding/draining: re-place the job and retry
+            Ok(response) if response.status == 404 || response.status == 503 => {
+                if !resubmit_one(core, router_id, &entry, scratch) {
+                    return no_backends();
+                }
+            }
+            Ok(response) => return passthrough(entry.backend, response),
+            Err(_) => {
+                // transport failure: evict the owner (which resubmits
+                // all of its jobs, this one included) and retry
+                core.mark_down(&entry.backend);
+                let relocated = {
+                    let entries = core.jobs.entries.lock().unwrap();
+                    entries
+                        .get(&router_id)
+                        .is_some_and(|e| e.backend != entry.backend || e.terminal_body.is_some())
+                };
+                if !relocated && !resubmit_one(core, router_id, &entry, scratch) {
+                    return no_backends();
+                }
+            }
+        }
+    }
+    no_backends()
+}
+
+fn passthrough(backend: String, response: Response) -> JobAnswer {
+    JobAnswer {
+        status: response.status,
+        body: response.body,
+        backend: Some(backend),
+        backend_trace: response.trace_id,
+    }
+}
+
+/// Re-place every non-terminal job owned by `addr` onto its key's
+/// current owner. Called (with `addr` already out of the ring) from
+/// [`RouterCore::mark_down`]. Failures leave the entry pointing at the
+/// dead backend; the next poll retries the relocation.
+pub fn resubmit_for(core: &RouterCore, addr: &str) {
+    let orphans: Vec<(u64, JobEntry)> = {
+        let entries = core.jobs.entries.lock().unwrap();
+        entries
+            .iter()
+            .filter(|(_, e)| e.backend == addr && e.terminal_body.is_none())
+            .map(|(id, e)| (*id, e.clone()))
+            .collect()
+    };
+    let mut scratch = Vec::new();
+    for (router_id, entry) in orphans {
+        resubmit_one(core, router_id, &entry, &mut scratch);
+    }
+}
+
+/// Resubmit a single job to its key's current ring owner and update
+/// the table if the entry still points at the stale backend. Returns
+/// false when no backend could take the job.
+fn resubmit_one(
+    core: &RouterCore,
+    router_id: u64,
+    stale: &JobEntry,
+    scratch: &mut Vec<u8>,
+) -> bool {
+    match core.forward("POST", "/jobs", &stale.body, stale.key, scratch) {
+        ForwardOutcome::Forwarded { backend, response } if response.status == 202 => {
+            let Some(backend_id) = parse_id(&response.body) else {
+                return false;
+            };
+            let mut entries = core.jobs.entries.lock().unwrap();
+            if let Some(entry) = entries.get_mut(&router_id) {
+                // a concurrent relocation may have won; only overwrite
+                // the exact stale placement we observed
+                if entry.backend == stale.backend && entry.backend_id == stale.backend_id {
+                    entry.backend = backend;
+                    entry.backend_id = backend_id;
+                    core.stats.resubmissions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Parse the leading `{"id":N` of a job status body.
+fn parse_id(body: &[u8]) -> Option<u64> {
+    let rest = body.strip_prefix(b"{\"id\":")?;
+    let digits: &[u8] = &rest[..rest.iter().position(|b| !b.is_ascii_digit())?];
+    std::str::from_utf8(digits).ok()?.parse().ok()
+}
+
+/// Rewrite the leading `{"id":N` to the router's id, leaving the rest
+/// of the body untouched (byte-identical results across replicas
+/// depend on this being the only rewrite).
+fn rewrite_id(body: &[u8], router_id: u64) -> Vec<u8> {
+    let Some(rest) = body.strip_prefix(b"{\"id\":") else {
+        return body.to_vec();
+    };
+    let digits_end = rest
+        .iter()
+        .position(|b| !b.is_ascii_digit())
+        .unwrap_or(rest.len());
+    let mut out = format!("{{\"id\":{router_id}").into_bytes();
+    out.extend_from_slice(&rest[digits_end..]);
+    out
+}
+
+/// The terminal `"status"` a job body carries, if any.
+fn terminal_status(body: &[u8]) -> Option<&'static str> {
+    let text = std::str::from_utf8(&body[..body.len().min(128)]).ok()?;
+    let status_at = text.find("\"status\":\"")?;
+    let value = &text[status_at + "\"status\":\"".len()..];
+    ["done", "failed", "cancelled"]
+        .into_iter()
+        .find(|s| value.starts_with(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_parse_and_rewrite_round_trip() {
+        let body = br#"{"id":17,"status":"queued","chunks_total":3,"chunks_done":0}"#;
+        assert_eq!(parse_id(body), Some(17));
+        let rewritten = rewrite_id(body, 900);
+        assert_eq!(
+            rewritten,
+            br#"{"id":900,"status":"queued","chunks_total":3,"chunks_done":0}"#
+        );
+        assert_eq!(parse_id(b"oops"), None);
+        assert_eq!(rewrite_id(b"oops", 1), b"oops");
+    }
+
+    #[test]
+    fn terminal_status_detection() {
+        assert_eq!(
+            terminal_status(br#"{"id":1,"status":"done","x":1}"#),
+            Some("done")
+        );
+        assert_eq!(
+            terminal_status(br#"{"id":1,"status":"failed"}"#),
+            Some("failed")
+        );
+        assert_eq!(
+            terminal_status(br#"{"id":1,"status":"cancelled"}"#),
+            Some("cancelled")
+        );
+        assert_eq!(terminal_status(br#"{"id":1,"status":"queued"}"#), None);
+        assert_eq!(terminal_status(br#"{"id":1,"status":"running"}"#), None);
+        assert_eq!(terminal_status(b"{}"), None);
+    }
+}

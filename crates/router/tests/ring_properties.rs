@@ -1,0 +1,131 @@
+//! Property tests for the consistent-hash ring (the tentpole's
+//! placement guarantees, pinned as properties):
+//!
+//! 1. assignment is deterministic — a pure function of the backend
+//!    *set*, independent of listing order;
+//! 2. load is uniform — every backend owns its fair share of 1k
+//!    synthetic keys within ±20%;
+//! 3. membership changes are monotone — adding a backend only moves
+//!    keys *onto* the new backend (~1/N of them), removing one only
+//!    moves keys that lived on it.
+
+use fairrank_router::ring::HashRing;
+use proptest::prelude::*;
+
+/// A synthetic backend fleet: `count` distinct addresses, salted so
+/// different cases exercise different point layouts.
+fn fleet(count: usize, salt: u64) -> Vec<String> {
+    (0..count)
+        .map(|i| format!("10.{}.{}.{i}:8080", salt % 251, (salt >> 8) % 251))
+        .collect()
+}
+
+fn keys(seed: u64) -> Vec<u64> {
+    // splitmix64 stream: deterministic, well-dispersed synthetic keys
+    (0..1000u64)
+        .map(|i| {
+            let mut z = seed
+                .wrapping_add(1)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn assignment_is_deterministic_and_order_independent(
+        (count, salt, seed) in (2usize..=5, any::<u64>(), any::<u64>())
+    ) {
+        let addrs = fleet(count, salt);
+        let ring = HashRing::build(&addrs);
+        let again = HashRing::build(&addrs);
+        let mut shuffled = addrs.clone();
+        shuffled.reverse();
+        shuffled.rotate_left(1);
+        let reordered = HashRing::build(&shuffled);
+        for key in keys(seed) {
+            let owner = ring.owner(key);
+            prop_assert!(owner.is_some());
+            prop_assert_eq!(owner, again.owner(key));
+            prop_assert_eq!(owner, reordered.owner(key));
+        }
+    }
+
+    #[test]
+    fn load_is_uniform_within_twenty_percent(
+        (count, salt, seed) in (2usize..=5, any::<u64>(), any::<u64>())
+    ) {
+        let addrs = fleet(count, salt);
+        let ring = HashRing::build(&addrs);
+        let keys = keys(seed);
+        let mut per_backend = vec![0usize; count];
+        for &key in &keys {
+            let owner = ring.owner(key).unwrap();
+            let index = addrs.iter().position(|a| a == owner).unwrap();
+            per_backend[index] += 1;
+        }
+        let fair = keys.len() as f64 / count as f64;
+        for (index, &owned) in per_backend.iter().enumerate() {
+            let deviation = (owned as f64 - fair) / fair;
+            prop_assert!(
+                deviation.abs() <= 0.20,
+                "backend {index} owns {owned} of {} keys (fair share {fair:.0}, off by {:.0}%)",
+                keys.len(),
+                deviation * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_backend_remaps_only_onto_it_and_about_one_nth(
+        (count, salt, seed) in (2usize..=5, any::<u64>(), any::<u64>())
+    ) {
+        let addrs = fleet(count, salt);
+        let before = HashRing::build(&addrs);
+        let mut grown = addrs.clone();
+        grown.push("10.254.254.254:8080".to_string());
+        let after = HashRing::build(&grown);
+        let keys = keys(seed);
+        let mut moved = 0usize;
+        for &key in &keys {
+            let old = before.owner(key).unwrap();
+            let new = after.owner(key).unwrap();
+            if old != new {
+                // monotone: a key may only move onto the new backend
+                prop_assert_eq!(new, "10.254.254.254:8080");
+                moved += 1;
+            }
+        }
+        let expected = keys.len() as f64 / (count + 1) as f64;
+        prop_assert!(
+            (moved as f64) < 2.5 * expected && (moved as f64) > 0.25 * expected,
+            "{moved} keys moved; expected about {expected:.0} (1/{})",
+            count + 1
+        );
+    }
+
+    #[test]
+    fn removing_a_backend_remaps_only_its_own_keys(
+        (count, salt, seed, victim) in (2usize..=6, any::<u64>(), any::<u64>(), any::<u64>())
+    ) {
+        let addrs = fleet(count, salt);
+        let before = HashRing::build(&addrs);
+        let victim = &addrs[(victim % count as u64) as usize];
+        let shrunk: Vec<&String> = addrs.iter().filter(|a| *a != victim).collect();
+        let after = HashRing::build(&shrunk);
+        for key in keys(seed) {
+            let old = before.owner(key).unwrap();
+            let new = after.owner(key).unwrap();
+            if old != victim {
+                // survivors keep every key they owned (cache-warm)
+                prop_assert_eq!(old, new);
+            } else {
+                prop_assert!(new != victim);
+            }
+        }
+    }
+}
