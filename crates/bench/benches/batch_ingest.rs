@@ -12,20 +12,33 @@
 //!   record batches off a `BufReader` (what the CLI now does);
 //! * `streaming_scan` — a pure record-at-a-time fold through
 //!   `CsvReader` (count + checksum), the bounded-memory shape batch
-//!   jobs use when nothing needs materializing.
+//!   jobs use when nothing needs materializing;
+//! * `index_build` — building the `.frix` sidecar (`fairrank index`);
+//! * `indexed_table_1t` / `indexed_table_4t` — `CandidateTable` ingest
+//!   through the sidecar's chunk-parallel path on 1 and 4 threads.
 //!
 //! A counting global allocator tracks **peak live bytes** per mode, so
 //! the "streams without materializing the whole file" claim is an
 //! assertion, not a hope: the scan's peak must stay far below the file
 //! size, and the streaming table parse must beat the legacy parse
-//! (which pays for the file string on top of the columns).
+//! (which pays for the file string on top of the columns). Timed legs
+//! take the minimum over several runs so the committed speedups are
+//! not one scheduler hiccup.
+//!
+//! The parallel legs additionally assert that the decoded batches are
+//! **byte-identical** across thread counts. `parallel_speedup_4t` is
+//! recorded as measured; its `>= 3×` bound is only asserted when the
+//! host actually has ≥ 4 CPUs — on smaller machines (including this
+//! project's usual 1-CPU container) the honest number is ~1× and is
+//! recorded as such. See docs/DATASET.md for the methodology.
 //!
 //! Prints one JSON summary line per mode plus a final summary line.
 //! Pass `--smoke` (CI does) for a 10k-row run that only checks the
 //! harness and the assertions.
 
-use fairrank_cli::csv::CandidateTable;
-use fairrank_dataset::CsvReader;
+use fairrank_cli::csv::{cli_dialect, CandidateTable};
+use fairrank_dataset::index::CsvIndex;
+use fairrank_dataset::{CsvReader, IndexedCsv};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::io::BufReader;
@@ -122,9 +135,32 @@ fn legacy_parse(content: &str) -> (usize, f64) {
     (rows, checksum)
 }
 
+/// Run `f` `iters` times; return (min elapsed ms, first-run peak live
+/// bytes, last result). The minimum is the honest speed of the code —
+/// single-shot timings on a shared machine measure the scheduler.
+fn best_of<T>(iters: usize, mut f: impl FnMut() -> T) -> (f64, usize, T) {
+    let mut best_ms = f64::INFINITY;
+    let mut peak = 0usize;
+    let mut out = None;
+    for i in 0..iters.max(1) {
+        drop(out.take()); // free the previous run's result before measuring
+        let baseline = ALLOC.reset_peak();
+        let start = Instant::now();
+        let value = f();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        if i == 0 {
+            peak = ALLOC.peak_since(baseline);
+        }
+        best_ms = best_ms.min(ms);
+        out = Some(value);
+    }
+    (best_ms, peak, out.expect("at least one iteration"))
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let rows = if smoke { 10_000 } else { 100_000 };
+    let iters = if smoke { 1 } else { 5 };
 
     // generate the file up front; none of its buffers survive into
     // the measured sections
@@ -141,32 +177,27 @@ fn main() {
         content.len()
     };
     let path = path.to_str().expect("utf-8 temp path");
+    // a crashed earlier run can leave a sidecar that the regenerated
+    // (byte-identical) file would validate as fresh — which would
+    // silently flip the `streaming_table` leg onto the indexed path
+    let _ = std::fs::remove_file(fairrank_dataset::index::sidecar_path(path));
 
     // legacy: slurp + split
-    let baseline = ALLOC.reset_peak();
-    let start = Instant::now();
-    let content = std::fs::read_to_string(path).expect("reading the bench file");
-    let (legacy_rows, legacy_checksum) = legacy_parse(&content);
-    drop(content);
-    let legacy_ms = start.elapsed().as_secs_f64() * 1e3;
-    let legacy_peak = ALLOC.peak_since(baseline);
+    let (legacy_ms, legacy_peak, (legacy_rows, legacy_checksum)) = best_of(iters, || {
+        let content = std::fs::read_to_string(path).expect("reading the bench file");
+        legacy_parse(&content)
+    });
     report("legacy_whole_file", rows, file_size, legacy_ms, legacy_peak);
 
     // streaming typed batches into the same columns
-    let baseline = ALLOC.reset_peak();
-    let start = Instant::now();
-    let table = CandidateTable::read(path).expect("streaming parse");
-    let table_rows = table.len();
-    let table_checksum: f64 = table.scores.iter().sum();
-    drop(table);
-    let table_ms = start.elapsed().as_secs_f64() * 1e3;
-    let table_peak = ALLOC.peak_since(baseline);
+    let (table_ms, table_peak, (table_rows, table_checksum)) = best_of(iters, || {
+        let table = CandidateTable::read(path).expect("streaming parse");
+        (table.len(), table.scores.iter().sum::<f64>())
+    });
     report("streaming_table", rows, file_size, table_ms, table_peak);
 
     // pure streaming fold: nothing materialized
-    let baseline = ALLOC.reset_peak();
-    let start = Instant::now();
-    let (scan_rows, scan_checksum) = {
+    let (scan_ms, scan_peak, (scan_rows, scan_checksum)) = best_of(iters, || {
         let file = std::fs::File::open(path).expect("opening the bench file");
         let mut reader = CsvReader::new(BufReader::new(file)).comment(b'#');
         let mut count = 0usize;
@@ -183,17 +214,69 @@ fn main() {
             count += 1;
         }
         (count, checksum)
-    };
-    let scan_ms = start.elapsed().as_secs_f64() * 1e3;
-    let scan_peak = ALLOC.peak_since(baseline);
+    });
     report("streaming_scan", rows, file_size, scan_ms, scan_peak);
 
-    // all three parsers must agree before any perf claim
+    // build the `.frix` sidecar — the cost `fairrank index` pays once
+    let (index_build_ms, index_peak, index_records) = best_of(iters, || {
+        let index = CsvIndex::build(path, cli_dialect()).expect("indexing the bench file");
+        index.write_sidecar(path).expect("writing the sidecar");
+        index.record_count()
+    });
+    report("index_build", rows, file_size, index_build_ms, index_peak);
+
+    // indexed chunk-parallel ingest, 1 thread vs 4 threads
+    let (indexed_1t_ms, indexed_1t_peak, table_1t) = best_of(iters, || {
+        CandidateTable::read_with_jobs(path, 1).expect("indexed parse (1 thread)")
+    });
+    report(
+        "indexed_table_1t",
+        rows,
+        file_size,
+        indexed_1t_ms,
+        indexed_1t_peak,
+    );
+    let (indexed_4t_ms, indexed_4t_peak, table_4t) = best_of(iters, || {
+        CandidateTable::read_with_jobs(path, 4).expect("indexed parse (4 threads)")
+    });
+    report(
+        "indexed_table_4t",
+        rows,
+        file_size,
+        indexed_4t_ms,
+        indexed_4t_peak,
+    );
+    let parallel_speedup_4t = indexed_1t_ms / indexed_4t_ms;
+
+    // all parsers must agree before any perf claim
     assert_eq!(legacy_rows, rows);
     assert_eq!(table_rows, rows);
     assert_eq!(scan_rows, rows);
+    assert_eq!(index_records, rows + 1, "index covers data rows + header");
     assert!((legacy_checksum - table_checksum).abs() < 1e-6);
     assert!((legacy_checksum - scan_checksum).abs() < 1e-6);
+    for t in [&table_1t, &table_4t] {
+        assert_eq!(t.len(), rows);
+        assert!((t.scores.iter().sum::<f64>() - legacy_checksum).abs() < 1e-6);
+        assert_eq!(t.ids, table_1t.ids);
+        assert_eq!(t.groups.as_slice(), table_1t.groups.as_slice());
+    }
+
+    // the determinism claim, pinned: decoded batches are byte-identical
+    // across thread counts, not merely equivalent
+    {
+        let indexed = IndexedCsv::open(path, cli_dialect()).expect("fresh sidecar");
+        let schema = CandidateTable::schema();
+        let one = indexed
+            .read_batches_parallel(&schema, true, 1)
+            .expect("sequential-order decode");
+        for jobs in [2, 8] {
+            let many = indexed
+                .read_batches_parallel(&schema, true, jobs)
+                .expect("parallel decode");
+            assert_eq!(one, many, "batches must be byte-identical at jobs={jobs}");
+        }
+    }
 
     // the memory claims, pinned: the scan never holds more than a
     // sliver of the file (its peak is the fixed read buffer plus one
@@ -215,11 +298,30 @@ fn main() {
         "streaming table parse must peak below the legacy slurp ({table_peak} vs {legacy_peak})"
     );
 
+    // the speed claims: the streaming parse must beat the legacy slurp
+    // at full scale, and chunk-parallel ingest must scale when the
+    // host actually has the CPUs (the measured number is recorded
+    // honestly either way)
+    let table_speedup = legacy_ms / table_ms;
+    if !smoke {
+        assert!(
+            table_speedup > 1.0,
+            "streaming table parse must beat the legacy slurp ({table_ms:.1}ms vs {legacy_ms:.1}ms)"
+        );
+    }
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if !smoke && cpus >= 4 {
+        assert!(
+            parallel_speedup_4t >= 3.0,
+            "4-thread indexed ingest must be >= 3x the 1-thread run on a >=4-CPU host \
+             ({indexed_4t_ms:.1}ms vs {indexed_1t_ms:.1}ms)"
+        );
+    }
+
     println!(
-        "{{\"bench\":\"batch_ingest\",\"mode\":\"summary\",\"rows\":{rows},\"file_bytes\":{file_size},\"table_peak_ratio\":{:.2},\"scan_peak_ratio\":{:.3},\"table_speedup\":{:.2}}}",
+        "{{\"bench\":\"batch_ingest\",\"mode\":\"summary\",\"rows\":{rows},\"file_bytes\":{file_size},\"cpus\":{cpus},\"table_peak_ratio\":{:.2},\"scan_peak_ratio\":{:.3},\"table_speedup\":{table_speedup:.2},\"index_build_ms\":{index_build_ms:.1},\"parallel_speedup_4t\":{parallel_speedup_4t:.2}}}",
         table_peak as f64 / legacy_peak as f64,
         scan_peak as f64 / file_size as f64,
-        legacy_ms / table_ms
     );
     if !smoke {
         // full-scale runs can feed the committed perf trajectory
@@ -227,12 +329,15 @@ fn main() {
         bench::summary::record(
             "batch_ingest",
             &[
-                ("table_speedup", legacy_ms / table_ms),
+                ("table_speedup", table_speedup),
                 ("table_peak_ratio", table_peak as f64 / legacy_peak as f64),
                 ("scan_peak_ratio", scan_peak as f64 / file_size as f64),
+                ("index_build_ms", index_build_ms),
+                ("parallel_speedup_4t", parallel_speedup_4t),
             ],
         );
     }
+    let _ = std::fs::remove_file(fairrank_dataset::index::sidecar_path(path));
     let _ = std::fs::remove_file(path);
 }
 

@@ -37,6 +37,36 @@ pub const TRACKED_BENCHES: [&str; 5] = [
     "metrics_render",
 ];
 
+/// Metric keys every **new** record of `bench` must carry. Appends
+/// missing one are refused, and `crates/bench/tests/bench_schema.rs`
+/// checks the committed files' latest records, so a bench cannot
+/// silently stop reporting a headline number (historical records keep
+/// whatever keys they were written with).
+pub fn required_metrics(bench: &str) -> &'static [&'static str] {
+    match bench {
+        "batch_ingest" => &[
+            "table_speedup",
+            "table_peak_ratio",
+            "scan_peak_ratio",
+            "index_build_ms",
+            "parallel_speedup_4t",
+        ],
+        _ => &[],
+    }
+}
+
+/// Metric keys of the trajectory's latest (last) record, or an error
+/// when the document does not parse as a record array.
+pub fn latest_metric_keys(text: &str) -> Result<Vec<String>, String> {
+    let doc = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let records = doc.as_array().ok_or("trajectory must be a JSON array")?;
+    let last = records.last().ok_or("trajectory holds no records")?;
+    let Some(Json::Object(metrics)) = last.get("metrics") else {
+        return Err("latest record has no `metrics` object".to_string());
+    };
+    Ok(metrics.iter().map(|(key, _)| key.clone()).collect())
+}
+
 /// The workspace root (this crate lives at `crates/bench`).
 pub fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
@@ -73,6 +103,13 @@ pub fn append_to_file(
     date: &str,
     metrics: &[(&str, f64)],
 ) -> Result<(), String> {
+    for required in required_metrics(bench) {
+        if !metrics.iter().any(|(key, _)| key == required) {
+            return Err(format!(
+                "record for `{bench}` is missing required metric `{required}`"
+            ));
+        }
+    }
     let mut record = String::new();
     write_record(&mut record, bench, date, metrics);
     let existing = match std::fs::read_to_string(path) {

@@ -14,7 +14,9 @@
 //!   so a hand-edit or merge accident breaks the build, not the
 //!   downstream tooling that replays `git log -p BENCH_*.json`.
 
-use bench::summary::{trajectory_path, validate_trajectory, TRACKED_BENCHES};
+use bench::summary::{
+    latest_metric_keys, required_metrics, trajectory_path, validate_trajectory, TRACKED_BENCHES,
+};
 
 #[test]
 fn every_tracked_bench_has_a_valid_committed_trajectory() {
@@ -29,6 +31,28 @@ fn every_tracked_bench_has_a_valid_committed_trajectory() {
             "{} must hold at least one committed record",
             path.display()
         );
+    }
+}
+
+#[test]
+fn latest_records_carry_the_required_metrics() {
+    // historical records keep their original keys, but the newest
+    // record of each bench must report every current headline metric
+    // (for batch_ingest that includes `index_build_ms` and
+    // `parallel_speedup_4t` from the indexed-ingest legs)
+    for bench in TRACKED_BENCHES {
+        let path = trajectory_path(bench);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let keys = latest_metric_keys(&text)
+            .unwrap_or_else(|e| panic!("{} is invalid: {e}", path.display()));
+        for required in required_metrics(bench) {
+            assert!(
+                keys.iter().any(|k| k == required),
+                "{}'s latest record is missing required metric `{required}`",
+                path.display()
+            );
+        }
     }
 }
 

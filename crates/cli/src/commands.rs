@@ -30,6 +30,7 @@ pub fn dispatch(args: &Args) -> Result<String> {
         "sample" => sample(args),
         "aggregate" => aggregate(args),
         "pipeline" => pipeline(args),
+        "index" => index(args),
         "experiment" => crate::experiment::experiment(args),
         "serve" => serve(args),
         "router" => router(args),
@@ -222,7 +223,7 @@ pub fn router(args: &Args) -> Result<String> {
 
 /// `fairrank rank`: fair post-processing of a candidate CSV.
 pub fn rank(args: &Args) -> Result<String> {
-    let table = CandidateTable::read(args.require("input")?)?;
+    let table = CandidateTable::read_with_jobs(args.require("input")?, args.get_usize("jobs", 0)?)?;
     let algorithm = args.require("algorithm")?;
     let tolerance = args.get_f64("tolerance", 0.1)?;
     let theta = args.get_f64("theta", 1.0)?;
@@ -356,7 +357,7 @@ pub fn rank(args: &Args) -> Result<String> {
 /// `fairrank metrics`: report on an already-ranked candidate CSV (file
 /// order is the ranking).
 pub fn metrics(args: &Args) -> Result<String> {
-    let table = CandidateTable::read(args.require("input")?)?;
+    let table = CandidateTable::read_with_jobs(args.require("input")?, args.get_usize("jobs", 0)?)?;
     let tolerance = args.get_f64("tolerance", 0.1)?;
     let n = table.len();
     let at = args.get_usize("at", n.div_ceil(2))?.clamp(1, n);
@@ -398,7 +399,7 @@ pub fn sample(args: &Args) -> Result<String> {
     let seed = args.get_u64("seed", 42)?;
     let center = match args.get("input") {
         Some(path) => {
-            let table = CandidateTable::read(path)?;
+            let table = CandidateTable::read_with_jobs(path, args.get_usize("jobs", 0)?)?;
             Permutation::sorted_by_scores_desc(&table.scores)
         }
         None => {
@@ -432,7 +433,7 @@ pub fn sample(args: &Args) -> Result<String> {
 /// `--groups` maps vote labels to protected groups (`label,group` rows);
 /// `--post` picks the fairness stage.
 pub fn pipeline(args: &Args) -> Result<String> {
-    let profile = VoteProfile::read(args.require("input")?)?;
+    let profile = VoteProfile::read_with_jobs(args.require("input")?, args.get_usize("jobs", 0)?)?;
     let groups = read_group_map(args.require("groups")?, &profile.labels)?;
     let tolerance = args.get_f64("tolerance", 0.1)?;
     let theta = args.get_f64("theta", 1.0)?;
@@ -467,6 +468,48 @@ pub fn pipeline(args: &Args) -> Result<String> {
     ));
     text.push_str(&format!("# fair_infeasible,{}\n", out.fair_infeasible));
     Ok(text)
+}
+
+/// `fairrank index`: build (or refresh) the `.frix` sidecar index for
+/// a dataset file, enabling O(1) record seeks and `--jobs`
+/// chunk-parallel ingest everywhere the file is read.
+///
+/// The dialect follows `--format` (`csv` = comma fields with `#`
+/// comments — candidate, vote and interchange files; `statlog` =
+/// space-separated UCI `german.data`; sniffed from the extension by
+/// default, matching `fairrank experiment`). A fresh existing index is
+/// reused unless `--force true`. See `docs/DATASET.md`.
+pub fn index(args: &Args) -> Result<String> {
+    use fairrank_dataset::index::{sidecar_path, CsvIndex};
+    let path = args.require("input")?;
+    let dialect = match crate::experiment::dataset_format(args, path)? {
+        crate::experiment::DataFormat::Statlog => fairrank_dataset::Dialect::space_separated(),
+        crate::experiment::DataFormat::Csv => crate::csv::cli_dialect(),
+    };
+    let input_err = |e: fairrank_dataset::CsvError| CliError::Input(e.to_string());
+    let force = args.get("force").is_some_and(|v| v == "true");
+    let sidecar = sidecar_path(path);
+    if !force && sidecar.exists() {
+        if let Ok(existing) = CsvIndex::load(&sidecar) {
+            if existing.dialect() == dialect && existing.is_fresh(path) {
+                return Ok(format!(
+                    "index {} is fresh ({} records); pass --force true to rebuild\n",
+                    sidecar.display(),
+                    existing.record_count()
+                ));
+            }
+        }
+    }
+    let start = std::time::Instant::now();
+    let built = CsvIndex::build(path, dialect).map_err(input_err)?;
+    let written = built.write_sidecar(path).map_err(input_err)?;
+    let bytes = std::fs::metadata(&written).map(|m| m.len()).unwrap_or(0);
+    Ok(format!(
+        "indexed {path}: {} records -> {} ({bytes} bytes, {:.1} ms)\n",
+        built.record_count(),
+        written.display(),
+        start.elapsed().as_secs_f64() * 1e3
+    ))
 }
 
 /// Parse a `label,group` CSV mapping each vote label to a group,
@@ -515,7 +558,7 @@ fn read_group_map(path: &str, labels: &[String]) -> Result<fairness_metrics::Gro
 
 /// `fairrank aggregate`: consensus ranking of a vote profile.
 pub fn aggregate(args: &Args) -> Result<String> {
-    let profile = VoteProfile::read(args.require("input")?)?;
+    let profile = VoteProfile::read_with_jobs(args.require("input")?, args.get_usize("jobs", 0)?)?;
     let method = args.require("method")?;
     let seed = args.get_u64("seed", 42)?;
     let mut rng = StdRng::seed_from_u64(seed);

@@ -16,13 +16,20 @@
 
 use crate::{CliError, Result};
 use fairness_metrics::GroupAssignment;
-use fairrank_dataset::{BatchDecoder, CsvReader, FieldType};
+use fairrank_dataset::{BatchDecoder, Dialect, FieldType, IndexedCsv, RecordBatch};
 use ranking_core::Permutation;
 use std::io::BufRead;
 
 /// Rows decoded per streaming batch: bounds memory on huge files
 /// without a read call per row.
 const BATCH_ROWS: usize = 4096;
+
+/// The dialect of every CLI CSV input (candidates and votes): comma
+/// fields, `#` comments. Also what `fairrank index` builds sidecars
+/// under for these files.
+pub fn cli_dialect() -> Dialect {
+    Dialect::csv().comment(b'#')
+}
 
 fn input_err(e: impl std::fmt::Display) -> CliError {
     CliError::Input(e.to_string())
@@ -52,58 +59,56 @@ impl CandidateTable {
     /// in bounded typed batches, so peak memory is the parsed columns,
     /// never the raw file.
     pub fn from_reader<R: BufRead>(src: R) -> Result<Self> {
-        let mut reader = CsvReader::new(src).comment(b'#');
-        let mut decoder = BatchDecoder::new(vec![FieldType::Str, FieldType::F64, FieldType::Str])
-            .sniff_header(true);
-        let mut ids: Vec<String> = Vec::new();
-        let mut scores = Vec::new();
-        let mut group_ids = Vec::new();
-        let mut group_labels: Vec<String> = Vec::new();
-        // source line per row, for exact duplicate-id reporting (a
-        // transient column: cheaper than a per-id hash map, which
-        // would re-own every id string and dominate peak memory)
-        let mut lines: Vec<u64> = Vec::new();
+        let mut reader = cli_dialect().reader(src);
+        let mut decoder = BatchDecoder::new(Self::schema().to_vec()).sniff_header(true);
+        let mut builder = TableBuilder::default();
         while let Some(batch) = decoder
             .read_batch(&mut reader, BATCH_ROWS)
             .map_err(input_err)?
         {
-            let (mut columns, mut batch_lines) = batch.into_parts();
-            let batch_groups = columns.pop().and_then(|c| c.into_str()).expect("column 2");
-            let mut batch_scores = columns.pop().and_then(|c| c.into_f64()).expect("column 1");
-            let mut batch_ids = columns.pop().and_then(|c| c.into_str()).expect("column 0");
-            ids.append(&mut batch_ids);
-            scores.append(&mut batch_scores);
-            lines.append(&mut batch_lines);
-            for label in batch_groups {
-                let gid = match group_labels.iter().position(|l| *l == label) {
-                    Some(g) => g,
-                    None => {
-                        group_labels.push(label);
-                        group_labels.len() - 1
-                    }
-                };
-                group_ids.push(gid);
-            }
+            builder.push_batch(batch);
         }
-        if ids.is_empty() {
-            return Err(CliError::Input("no candidate rows found".to_string()));
-        }
-        reject_duplicate_ids(&ids, &lines)?;
-        drop(lines);
-        let num_groups = group_labels.len();
-        let groups = GroupAssignment::new(group_ids, num_groups)
-            .expect("dense ids are in range by construction");
-        Ok(CandidateTable {
-            ids,
-            scores,
-            groups,
-            group_labels,
-        })
+        builder.finish()
     }
 
-    /// Read and parse a candidate file, streaming.
-    pub fn read(path: &str) -> Result<Self> {
+    /// Assemble a table from already-decoded batches (the indexed
+    /// parallel ingest path) — identical to [`Self::from_reader`] on
+    /// the same rows.
+    pub fn from_batches(batches: Vec<RecordBatch>) -> Result<Self> {
+        let mut builder = TableBuilder::default();
+        for batch in batches {
+            builder.push_batch(batch);
+        }
+        builder.finish()
+    }
+
+    /// The candidate-file schema: `id,score,group`. The group column
+    /// is dictionary-encoded at decode time — group labels are few, so
+    /// this avoids a per-row `String` allocation that used to make the
+    /// streaming path slower than the legacy whole-file slurp.
+    pub fn schema() -> [FieldType; 3] {
+        [FieldType::Str, FieldType::F64, FieldType::Category]
+    }
+
+    /// Read and parse a candidate file. With a fresh `.frix` sidecar
+    /// next to it (see `fairrank index`) the file is decoded
+    /// chunk-parallel on up to `jobs` threads (0 = one per CPU);
+    /// otherwise — or when the sidecar is stale — it streams
+    /// sequentially. The resulting table is identical either way.
+    pub fn read_with_jobs(path: &str, jobs: usize) -> Result<Self> {
+        if let Some(indexed) = IndexedCsv::open(path, cli_dialect()) {
+            let batches = indexed
+                .read_batches_parallel(&Self::schema(), true, jobs)
+                .map_err(input_err)?;
+            return Self::from_batches(batches);
+        }
         Self::from_reader(fairrank_dataset::open_file(path).map_err(input_err)?)
+    }
+
+    /// Read and parse a candidate file (auto-detects a sidecar index;
+    /// equivalent to [`Self::read_with_jobs`] with `jobs = 0`).
+    pub fn read(path: &str) -> Result<Self> {
+        Self::read_with_jobs(path, 0)
     }
 
     /// Number of candidates.
@@ -132,11 +137,77 @@ impl CandidateTable {
     }
 }
 
-/// Duplicate-candidate-id check: sort `(hash, row)` keys and compare
-/// actual strings only inside equal-hash runs — `O(n log n)` integer
-/// sort, one 12-byte-per-row transient vector (a `HashMap` of id
-/// strings would dominate the table's peak memory). Reports the
-/// earliest offending re-occurrence with both line numbers.
+/// Incremental [`CandidateTable`] assembly shared by the sequential
+/// and chunk-parallel ingest paths: batches are merged in record
+/// order, group labels densified in first-appearance order.
+#[derive(Default)]
+struct TableBuilder {
+    ids: Vec<String>,
+    scores: Vec<f64>,
+    group_ids: Vec<usize>,
+    group_labels: Vec<String>,
+    // source line per row, for exact duplicate-id reporting (a
+    // transient column: cheaper than a per-id hash map, which would
+    // re-own every id string and dominate peak memory)
+    lines: Vec<u64>,
+}
+
+impl TableBuilder {
+    fn push_batch(&mut self, batch: RecordBatch) {
+        let (mut columns, mut batch_lines) = batch.into_parts();
+        let batch_groups = columns
+            .pop()
+            .and_then(|c| c.into_category())
+            .expect("column 2");
+        let mut batch_scores = columns.pop().and_then(|c| c.into_f64()).expect("column 1");
+        let mut batch_ids = columns.pop().and_then(|c| c.into_str()).expect("column 0");
+        self.ids.append(&mut batch_ids);
+        self.scores.append(&mut batch_scores);
+        self.lines.append(&mut batch_lines);
+        // remap the batch's dictionary to the global one: per-batch
+        // dictionaries are in first-appearance order, and batches
+        // arrive in record order, so the merged order equals the
+        // sequential first-appearance order
+        let (batch_labels, codes) = batch_groups.into_parts();
+        let remap: Vec<usize> = batch_labels
+            .into_iter()
+            .map(
+                |label| match self.group_labels.iter().position(|l| *l == label) {
+                    Some(g) => g,
+                    None => {
+                        self.group_labels.push(label);
+                        self.group_labels.len() - 1
+                    }
+                },
+            )
+            .collect();
+        self.group_ids
+            .extend(codes.into_iter().map(|c| remap[c as usize]));
+    }
+
+    fn finish(self) -> Result<CandidateTable> {
+        if self.ids.is_empty() {
+            return Err(CliError::Input("no candidate rows found".to_string()));
+        }
+        reject_duplicate_ids(&self.ids, &self.lines)?;
+        let num_groups = self.group_labels.len();
+        let groups = GroupAssignment::new(self.group_ids, num_groups)
+            .expect("dense ids are in range by construction");
+        Ok(CandidateTable {
+            ids: self.ids,
+            scores: self.scores,
+            groups,
+            group_labels: self.group_labels,
+        })
+    }
+}
+
+/// Duplicate-candidate-id check via a transient open-addressing table
+/// of row indices (4 bytes per slot at 2× occupancy — a `HashMap` of
+/// id strings would re-own every id and dominate the table's peak
+/// memory). Rows are probed in file order, so the first collision hit
+/// is the earliest re-occurrence; it is reported with both line
+/// numbers.
 fn reject_duplicate_ids(ids: &[String], lines: &[u64]) -> Result<()> {
     fn fnv(s: &str) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -146,38 +217,28 @@ fn reject_duplicate_ids(ids: &[String], lines: &[u64]) -> Result<()> {
         }
         h
     }
-    let mut keyed: Vec<(u64, u32)> = ids
-        .iter()
-        .enumerate()
-        .map(|(row, id)| (fnv(id), row as u32))
-        .collect();
-    keyed.sort_unstable();
-    let mut earliest: Option<(u32, u32)> = None; // (first row, duplicate row)
-    let mut run_start = 0;
-    for i in 1..=keyed.len() {
-        if i < keyed.len() && keyed[i].0 == keyed[run_start].0 {
-            continue;
-        }
-        // compare all pairs inside the equal-hash run (runs are tiny)
-        for a in run_start..i {
-            for b in a + 1..i {
-                let (first, dup) = (keyed[a].1, keyed[b].1);
-                if ids[first as usize] == ids[dup as usize]
-                    && earliest.is_none_or(|(_, d)| lines[dup as usize] < lines[d as usize])
-                {
-                    earliest = Some((first, dup));
+    const EMPTY: u32 = u32::MAX;
+    let mask = (ids.len() * 2).next_power_of_two().max(16) - 1;
+    let mut slots: Vec<u32> = vec![EMPTY; mask + 1];
+    for (row, id) in ids.iter().enumerate() {
+        let mut slot = fnv(id) as usize & mask;
+        loop {
+            match slots[slot] {
+                EMPTY => {
+                    slots[slot] = row as u32;
+                    break;
                 }
+                first if ids[first as usize] == *id => {
+                    return Err(CliError::Input(format!(
+                        "line {}: duplicate candidate id `{}` (first seen at line {})",
+                        lines[row], id, lines[first as usize]
+                    )));
+                }
+                _ => slot = (slot + 1) & mask,
             }
         }
-        run_start = i;
     }
-    match earliest {
-        None => Ok(()),
-        Some((first, dup)) => Err(CliError::Input(format!(
-            "line {}: duplicate candidate id `{}` (first seen at line {})",
-            lines[dup as usize], ids[dup as usize], lines[first as usize]
-        ))),
-    }
+    Ok(())
 }
 
 /// A parsed vote profile over a shared label universe.
@@ -198,41 +259,14 @@ impl VoteProfile {
     /// Stream a vote profile from any buffered reader, one ranking at
     /// a time.
     pub fn from_reader<R: BufRead>(src: R) -> Result<Self> {
-        let mut reader = CsvReader::new(src).comment(b'#');
+        let mut reader = cli_dialect().reader(src);
         let mut labels: Vec<String> = Vec::new();
         let mut votes = Vec::new();
-        let mut order: Vec<usize> = Vec::new();
         while let Some(record) = reader.read_record().map_err(input_err)? {
-            let lineno = record.line();
             if labels.is_empty() {
-                labels = record.iter().map(str::to_string).collect();
-                let mut sorted = labels.clone();
-                sorted.sort();
-                sorted.dedup();
-                if sorted.len() != labels.len() {
-                    return Err(CliError::Input(format!(
-                        "line {lineno}: duplicate label in ranking"
-                    )));
-                }
+                labels = Self::label_universe(&record)?;
             }
-            if record.len() != labels.len() {
-                return Err(CliError::Input(format!(
-                    "line {lineno}: ranking has {} items, expected {}",
-                    record.len(),
-                    labels.len()
-                )));
-            }
-            order.clear();
-            for field in record.iter() {
-                let item = labels.iter().position(|l| l == field).ok_or_else(|| {
-                    CliError::Input(format!("line {lineno}: unknown label `{field}`"))
-                })?;
-                order.push(item);
-            }
-            let vote = Permutation::from_order(order.clone()).map_err(|_| {
-                CliError::Input(format!("line {lineno}: not a permutation of the labels"))
-            })?;
-            votes.push(vote);
+            votes.push(Self::parse_vote(&record, &labels)?);
         }
         if votes.is_empty() {
             return Err(CliError::Input("no vote rows found".to_string()));
@@ -240,9 +274,95 @@ impl VoteProfile {
         Ok(VoteProfile { labels, votes })
     }
 
-    /// Read and parse a vote file, streaming.
+    /// The label universe from the file's first record (which is also
+    /// the first vote), with a duplicate-label check.
+    fn label_universe(record: &fairrank_dataset::StrRecord<'_>) -> Result<Vec<String>> {
+        let labels: Vec<String> = record.iter().map(str::to_string).collect();
+        let mut sorted = labels.clone();
+        sorted.sort();
+        sorted.dedup();
+        if sorted.len() != labels.len() {
+            return Err(CliError::Input(format!(
+                "line {}: duplicate label in ranking",
+                record.line()
+            )));
+        }
+        Ok(labels)
+    }
+
+    /// Decode one ranking record against the label universe.
+    fn parse_vote(
+        record: &fairrank_dataset::StrRecord<'_>,
+        labels: &[String],
+    ) -> Result<Permutation> {
+        let lineno = record.line();
+        if record.len() != labels.len() {
+            return Err(CliError::Input(format!(
+                "line {lineno}: ranking has {} items, expected {}",
+                record.len(),
+                labels.len()
+            )));
+        }
+        let mut order = Vec::with_capacity(labels.len());
+        for field in record.iter() {
+            let item = labels.iter().position(|l| l == field).ok_or_else(|| {
+                CliError::Input(format!("line {lineno}: unknown label `{field}`"))
+            })?;
+            order.push(item);
+        }
+        Permutation::from_order(order)
+            .map_err(|_| CliError::Input(format!("line {lineno}: not a permutation of the labels")))
+    }
+
+    /// Read and parse a vote file. With a fresh `.frix` sidecar the
+    /// votes are parsed chunk-parallel on up to `jobs` threads (0 =
+    /// one per CPU), reassembled in file order; otherwise the file
+    /// streams sequentially. The profile is identical either way.
+    pub fn read_with_jobs(path: &str, jobs: usize) -> Result<Self> {
+        let Some(indexed) = IndexedCsv::open(path, cli_dialect()) else {
+            return Self::from_reader(fairrank_dataset::open_file(path).map_err(input_err)?);
+        };
+        if indexed.record_count() == 0 {
+            return Err(CliError::Input("no vote rows found".to_string()));
+        }
+        // the label universe comes from record 0 (which chunk 0 will
+        // also parse as the first vote, exactly like the streaming path)
+        let labels = {
+            let mut reader = indexed.seek_to(0).map_err(input_err)?;
+            let record = reader
+                .read_record()
+                .map_err(input_err)?
+                .ok_or_else(|| CliError::Input("no vote rows found".to_string()))?;
+            Self::label_universe(&record)?
+        };
+        // parse errors come back as chunk values so the lowest-line
+        // error wins in chunk order, matching the sequential scan
+        let per_chunk = indexed
+            .process_chunks(jobs, |_, mut chunk| {
+                use fairrank_dataset::RecordSource;
+                let mut votes = Vec::with_capacity(chunk.remaining());
+                loop {
+                    match chunk.next_record()? {
+                        None => return Ok(Ok(votes)),
+                        Some(record) => match Self::parse_vote(&record, &labels) {
+                            Ok(vote) => votes.push(vote),
+                            Err(e) => return Ok(Err(e)),
+                        },
+                    }
+                }
+            })
+            .map_err(input_err)?;
+        let mut votes = Vec::with_capacity(indexed.record_count());
+        for chunk in per_chunk {
+            votes.extend(chunk?);
+        }
+        Ok(VoteProfile { labels, votes })
+    }
+
+    /// Read and parse a vote file (auto-detects a sidecar index;
+    /// equivalent to [`Self::read_with_jobs`] with `jobs = 0`).
     pub fn read(path: &str) -> Result<Self> {
-        Self::from_reader(fairrank_dataset::open_file(path).map_err(input_err)?)
+        Self::read_with_jobs(path, 0)
     }
 
     /// Render a consensus permutation as a label line.

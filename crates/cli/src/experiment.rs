@@ -201,29 +201,45 @@ fn parse_sizes(text: &str) -> Result<Vec<usize>> {
 
 /// Load the dataset: `--data` streams a file through the shared
 /// reader (`--format statlog|csv`, sniffed from the extension by
-/// default); otherwise the seeded synthetic generator.
+/// default); otherwise the seeded synthetic generator. A fresh `.frix`
+/// sidecar next to the file (see `fairrank index`) switches ingest to
+/// the chunk-parallel path on up to `--jobs` threads (0 = one per
+/// CPU) — the loaded dataset is identical either way.
 fn load_data(args: &Args, seed: u64) -> Result<GermanCredit> {
     match args.get("data") {
         None => Ok(GermanCredit::generate(&mut StdRng::seed_from_u64(
             seed ^ 0xDA7A,
         ))),
         Some(path) => {
-            let format = match args.get("format") {
-                Some(f) => f.to_string(),
-                None if path.ends_with(".csv") => "csv".to_string(),
-                None => "statlog".to_string(),
-            };
-            let loaded = match format.as_str() {
-                "statlog" => uci::load_statlog(path),
-                "csv" => GermanCredit::load_csv(path),
-                other => {
-                    return Err(CliError::Usage(format!(
-                        "--format must be `statlog` or `csv`, got `{other}`"
-                    )))
-                }
+            let jobs = args.get_usize("jobs", 0)?;
+            let loaded = match dataset_format(args, path)? {
+                DataFormat::Statlog => uci::load_statlog_with_jobs(path, jobs),
+                DataFormat::Csv => GermanCredit::load_csv_with_jobs(path, jobs),
             };
             loaded.map_err(|e| CliError::Input(e.to_string()))
         }
+    }
+}
+
+/// The two on-disk dataset formats `--data` accepts.
+pub(crate) enum DataFormat {
+    /// UCI Statlog `german.data` (space-separated).
+    Statlog,
+    /// The `age,sex,housing,credit_amount` interchange CSV.
+    Csv,
+}
+
+/// Resolve `--format` (sniffed from the extension when absent) — also
+/// used by `fairrank index` so both commands agree on the dialect.
+pub(crate) fn dataset_format(args: &Args, path: &str) -> Result<DataFormat> {
+    match args.get("format") {
+        Some("statlog") => Ok(DataFormat::Statlog),
+        Some("csv") => Ok(DataFormat::Csv),
+        Some(other) => Err(CliError::Usage(format!(
+            "--format must be `statlog` or `csv`, got `{other}`"
+        ))),
+        None if path.ends_with(".csv") => Ok(DataFormat::Csv),
+        None => Ok(DataFormat::Statlog),
     }
 }
 

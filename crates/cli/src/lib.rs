@@ -10,7 +10,9 @@
 //! * [`commands::sample`] — draw Mallows permutations;
 //! * [`commands::aggregate`] — aggregate a vote-profile CSV;
 //! * [`commands::pipeline`] — aggregate and fair post-process in one
-//!   call.
+//!   call;
+//! * [`commands::index`] — build a `.frix` sidecar index so the file
+//!   commands above can ingest chunk-parallel (`--jobs`).
 //!
 //! File formats are deliberately minimal (`id,score,group` rows for
 //! candidates; one comma-separated ranking per line for votes) and are
@@ -71,6 +73,7 @@ COMMANDS:
     sample      draw permutations from a Mallows distribution
     aggregate   aggregate a vote profile into a consensus ranking
     pipeline    aggregate + fair post-process in one call
+    index       build a `.frix` sidecar index for fast parallel ingest
     experiment  run the German-Credit evaluation sweep as an engine batch job
     serve       run the batch-serving engine's HTTP JSON API
     router      consistent-hash front for N serve replicas
@@ -88,15 +91,16 @@ RANK:
         --proportion  fa-ir minimum proportion p     (default group share)
         --alpha       fa-ir significance             (default 0.1)
         --seed        RNG seed                       (default 42)
+        --jobs        ingest threads with an index   (default 0 = CPUs)
 
 METRICS:
-    fairrank metrics --input FILE [--tolerance T] [--at K]
+    fairrank metrics --input FILE [--tolerance T] [--at K] [--jobs N]
 
 SAMPLE:
     fairrank sample --n N [--theta T] [--count M] [--seed S]
 
 AGGREGATE:
-    fairrank aggregate --input FILE --method METHOD [--seed S]
+    fairrank aggregate --input FILE --method METHOD [--seed S] [--jobs N]
         --method      borda | copeland | footrule | kemeny | markov
 
 PIPELINE:
@@ -106,6 +110,19 @@ PIPELINE:
         --post        none | mallows | gr-binary | exact-kt | ipf
                       (default mallows; --theta/--samples apply)
         --seed        RNG seed for reproducible runs   (default 42)
+        --jobs        ingest threads with an index     (default 0 = CPUs)
+
+INDEX:
+    fairrank index --input FILE [--format csv|statlog] [--force true]
+        Builds FILE.frix — a sidecar index holding one byte offset per
+        record — enabling O(1) record seeks and `--jobs` chunk-parallel
+        ingest for every command that reads FILE. A fresh existing
+        index is reused; --force true rebuilds. Indexed reads verify
+        the source's length/checksum and fall back to a sequential
+        scan (with a stderr warning) when the file has changed since
+        indexing. See docs/DATASET.md.
+        --format      csv (comma, `#` comments) | statlog (spaces)
+                      (default: sniffed from the extension)
 
 EXPERIMENT:
     fairrank experiment [--sizes 10,20,..] [--reps N] [--data FILE]
@@ -118,6 +135,8 @@ EXPERIMENT:
                       generator (UCI Statlog `german.data`, or the
                       `age,sex,housing,credit_amount` CSV)
         --format      statlog | csv    (default: sniffed from extension)
+        --jobs        ingest threads when --data has a `.frix` index
+                      (default 0 = one per CPU; see `fairrank index`)
         --workers     engine worker threads            (default 2)
         --csv         `true` emits CSV tables          (default false)
         --seed        RNG seed                         (default 42)

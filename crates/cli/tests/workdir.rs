@@ -284,6 +284,85 @@ fn usage_errors_exit_2_and_algorithm_errors_exit_1() {
 }
 
 #[test]
+fn index_builds_reuses_forces_and_detects_stale() {
+    let wrk = Workdir::new("index_lifecycle");
+    wrk.create("pool.csv", &candidate_rows());
+
+    // build: reports record count and sidecar path
+    let mut cmd = wrk.command("index");
+    cmd.args(["--input", "pool.csv"]);
+    let got = wrk.stdout(&mut cmd);
+    assert!(got.starts_with("indexed pool.csv: 9 records"), "{got}");
+    assert!(wrk.path("pool.csv.frix").exists());
+
+    // a fresh sidecar is reused, not rebuilt
+    let mut cmd = wrk.command("index");
+    cmd.args(["--input", "pool.csv"]);
+    let got = wrk.stdout(&mut cmd);
+    assert!(got.contains("is fresh (9 records)"), "{got}");
+    assert!(got.contains("--force true"), "{got}");
+
+    // --force true rebuilds even when fresh
+    let mut cmd = wrk.command("index");
+    cmd.args(["--input", "pool.csv", "--force", "true"]);
+    let got = wrk.stdout(&mut cmd);
+    assert!(got.starts_with("indexed pool.csv: 9 records"), "{got}");
+
+    // growing the file invalidates the sidecar: reads fall back to the
+    // sequential scan (with a warning) instead of trusting stale offsets
+    let grown = std::fs::read_to_string(wrk.path("pool.csv")).unwrap() + "i,0.40,g2\n";
+    std::fs::write(wrk.path("pool.csv"), grown).unwrap();
+    let mut cmd = wrk.command("metrics");
+    cmd.args(["--input", "pool.csv", "--jobs", "2"]);
+    let out = wrk.output(&mut cmd);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("falling back to sequential scan"),
+        "{stderr}"
+    );
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("candidates,9"), "{report}");
+
+    // and `index` rebuilds rather than reusing the stale sidecar
+    let mut cmd = wrk.command("index");
+    cmd.args(["--input", "pool.csv"]);
+    let got = wrk.stdout(&mut cmd);
+    assert!(got.starts_with("indexed pool.csv: 10 records"), "{got}");
+}
+
+#[test]
+fn indexed_parallel_rank_matches_unindexed_output() {
+    let wrk = Workdir::new("index_rank_equality");
+    wrk.create("pool.csv", &candidate_rows());
+    let run = |jobs: &str| {
+        let mut cmd = wrk.command("rank");
+        cmd.args([
+            "--input",
+            "pool.csv",
+            "--algorithm",
+            "weakly-fair",
+            "--tolerance",
+            "0.2",
+            "--jobs",
+            jobs,
+        ]);
+        wrk.stdout(&mut cmd)
+    };
+    let unindexed = run("2");
+    let mut cmd = wrk.command("index");
+    cmd.args(["--input", "pool.csv"]);
+    wrk.stdout(&mut cmd);
+    for jobs in ["1", "2", "8"] {
+        assert_eq!(
+            run(jobs),
+            unindexed,
+            "indexed ingest at --jobs {jobs} must not change the ranking"
+        );
+    }
+}
+
+#[test]
 fn serve_starts_and_answers_healthz() {
     use std::io::{BufRead, BufReader, Read, Write};
 

@@ -1,9 +1,8 @@
 //! Typed, bounded-size columnar decoding on top of the streaming
 //! reader.
 
-use crate::csv::{CsvReader, StrRecord};
+use crate::csv::{RecordSource, StrRecord};
 use crate::Result;
-use std::io::BufRead;
 
 /// Declared type of one CSV column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -14,6 +13,11 @@ pub enum FieldType {
     F64,
     /// A non-negative integer.
     USize,
+    /// Low-cardinality text, dictionary-encoded: each distinct label
+    /// is allocated once per batch, rows carry `u32` codes. The right
+    /// type for group/category columns — decoding allocates per
+    /// distinct label, not per row.
+    Category,
 }
 
 /// One decoded column of a [`RecordBatch`].
@@ -25,6 +29,53 @@ pub enum Column {
     F64(Vec<f64>),
     /// Integer column.
     USize(Vec<usize>),
+    /// Dictionary-encoded text column.
+    Category(DictColumn),
+}
+
+/// A dictionary-encoded text column: `labels` holds each distinct
+/// value once, in first-appearance order; `codes` holds one index into
+/// `labels` per row. Lookup is a linear scan of the dictionary, so
+/// this is for genuinely low-cardinality columns (groups, categories),
+/// where it eliminates the per-row `String` allocation a
+/// [`Column::Str`] column would pay.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DictColumn {
+    labels: Vec<String>,
+    codes: Vec<u32>,
+}
+
+impl DictColumn {
+    /// Distinct labels, in first-appearance order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Per-row codes into [`DictColumn::labels`].
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The label of row `row` (panics when out of range).
+    pub fn label_of(&self, row: usize) -> &str {
+        &self.labels[self.codes[row] as usize]
+    }
+
+    /// Decompose into `(labels, codes)`.
+    pub fn into_parts(self) -> (Vec<String>, Vec<u32>) {
+        (self.labels, self.codes)
+    }
+
+    fn push(&mut self, text: &str) {
+        let code = match self.labels.iter().position(|l| l == text) {
+            Some(code) => code,
+            None => {
+                self.labels.push(text.to_string());
+                self.labels.len() - 1
+            }
+        };
+        self.codes.push(code as u32);
+    }
 }
 
 impl Column {
@@ -33,6 +84,10 @@ impl Column {
             FieldType::Str => Column::Str(Vec::with_capacity(capacity)),
             FieldType::F64 => Column::F64(Vec::with_capacity(capacity)),
             FieldType::USize => Column::USize(Vec::with_capacity(capacity)),
+            FieldType::Category => Column::Category(DictColumn {
+                labels: Vec::new(),
+                codes: Vec::with_capacity(capacity),
+            }),
         }
     }
 
@@ -41,6 +96,7 @@ impl Column {
             Column::Str(v) => v.push(record.require(index)?.to_string()),
             Column::F64(v) => v.push(record.parse_f64(index)?),
             Column::USize(v) => v.push(record.parse_usize(index)?),
+            Column::Category(d) => d.push(record.require(index)?),
         }
         Ok(())
     }
@@ -51,6 +107,7 @@ impl Column {
             Column::Str(v) => v.len(),
             Column::F64(v) => v.len(),
             Column::USize(v) => v.len(),
+            Column::Category(d) => d.codes.len(),
         }
     }
 
@@ -83,6 +140,14 @@ impl Column {
         }
     }
 
+    /// Dictionary view (None for non-category columns).
+    pub fn as_category(&self) -> Option<&DictColumn> {
+        match self {
+            Column::Category(d) => Some(d),
+            _ => None,
+        }
+    }
+
     /// Take ownership of a text column (None for non-text columns) —
     /// lets consumers move decoded strings out instead of cloning.
     pub fn into_str(self) -> Option<Vec<String>> {
@@ -104,6 +169,14 @@ impl Column {
     pub fn into_usize(self) -> Option<Vec<usize>> {
         match self {
             Column::USize(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Take ownership of a dictionary-encoded column.
+    pub fn into_category(self) -> Option<DictColumn> {
+        match self {
+            Column::Category(d) => Some(d),
             _ => None,
         }
     }
@@ -191,9 +264,12 @@ impl BatchDecoder {
     /// Decode up to `max_rows` records into one batch. Returns
     /// `Ok(None)` when the stream is exhausted. Any malformed record
     /// aborts with its line-numbered error.
-    pub fn read_batch<R: BufRead>(
+    ///
+    /// The source can be a plain [`crate::CsvReader`] or an indexed
+    /// chunk ([`crate::index::ChunkReader`]) — any [`RecordSource`].
+    pub fn read_batch<S: RecordSource>(
         &mut self,
-        reader: &mut CsvReader<R>,
+        reader: &mut S,
         max_rows: usize,
     ) -> Result<Option<RecordBatch>> {
         let max_rows = max_rows.max(1);
@@ -212,7 +288,7 @@ impl BatchDecoder {
                 .filter(|(_, ty)| matches!(ty, FieldType::F64 | FieldType::USize))
                 .map(|(i, _)| i)
                 .collect();
-            match reader.read_record()? {
+            match reader.next_record()? {
                 None => return Ok(None),
                 // a data row after all: decode it like any other
                 Some(record) if !record.looks_like_header(&numeric) => {
@@ -226,7 +302,7 @@ impl BatchDecoder {
             }
         }
         while lines.len() < max_rows {
-            let Some(record) = reader.read_record()? else {
+            let Some(record) = reader.next_record()? else {
                 break;
             };
             record.expect_len(self.types.len())?;
@@ -245,7 +321,7 @@ impl BatchDecoder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::CsvErrorKind;
+    use crate::{CsvErrorKind, CsvReader};
 
     #[test]
     fn decodes_typed_chunks() {
@@ -294,6 +370,29 @@ mod tests {
         let mut reader = CsvReader::new("a,inf\n".as_bytes());
         let mut decoder = BatchDecoder::new(vec![FieldType::Str, FieldType::F64]);
         assert!(decoder.read_batch(&mut reader, 4).is_err());
+    }
+
+    #[test]
+    fn category_columns_dictionary_encode() {
+        let data = "a,g1\nb,g0\nc,g1\nd,g1\ne,g2\n";
+        let mut reader = CsvReader::new(data.as_bytes());
+        let mut decoder = BatchDecoder::new(vec![FieldType::Str, FieldType::Category]);
+        let batch = decoder.read_batch(&mut reader, 16).unwrap().unwrap();
+        let dict = batch.column(1).as_category().unwrap();
+        assert_eq!(dict.labels(), &["g1", "g0", "g2"]);
+        assert_eq!(dict.codes(), &[0, 1, 0, 0, 2]);
+        assert_eq!(dict.label_of(4), "g2");
+        assert_eq!(batch.column(1).len(), 5);
+        let (labels, codes) = batch
+            .into_parts()
+            .0
+            .pop()
+            .unwrap()
+            .into_category()
+            .unwrap()
+            .into_parts();
+        assert_eq!(labels.len(), 3);
+        assert_eq!(codes.len(), 5);
     }
 
     #[test]

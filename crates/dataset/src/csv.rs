@@ -3,6 +3,64 @@
 use crate::{CsvError, CsvErrorKind, Result};
 use std::io::BufRead;
 
+/// The parsing dialect of a CSV-ish file: delimiter, comment
+/// character, whitespace-merge and trim behaviour.
+///
+/// A `Dialect` is what the sidecar index (see [`crate::index`]) stores
+/// in its header, so an index built under one dialect is never used to
+/// seek a reader configured with another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dialect {
+    /// Field delimiter (an ASCII byte).
+    pub delimiter: u8,
+    /// Lines whose first non-blank byte is this are skipped.
+    pub comment: Option<u8>,
+    /// Treat runs of the delimiter as one separator and drop empty
+    /// unquoted fields (whitespace-aligned files).
+    pub merge: bool,
+    /// Trim unquoted fields of surrounding ASCII whitespace.
+    pub trim: bool,
+}
+
+impl Dialect {
+    /// Comma-separated, no comment character, trimming (the
+    /// [`CsvReader::new`] defaults).
+    pub fn csv() -> Dialect {
+        Dialect {
+            delimiter: b',',
+            comment: None,
+            merge: false,
+            trim: true,
+        }
+    }
+
+    /// Whitespace-separated (runs of spaces/tabs separate fields) —
+    /// the UCI Statlog dialect.
+    pub fn space_separated() -> Dialect {
+        Dialect {
+            delimiter: b' ',
+            comment: None,
+            merge: true,
+            trim: true,
+        }
+    }
+
+    /// Skip lines whose first non-blank byte is `comment`.
+    pub fn comment(mut self, comment: u8) -> Dialect {
+        self.comment = Some(comment);
+        self
+    }
+
+    /// Build a [`CsvReader`] over `src` with this dialect.
+    pub fn reader<R: BufRead>(self, src: R) -> CsvReader<R> {
+        CsvReader::with_dialect(src, self)
+    }
+
+    fn is_delimiter(&self, b: u8) -> bool {
+        b == self.delimiter || (self.merge && self.delimiter == b' ' && b == b'\t')
+    }
+}
+
 /// A streaming CSV reader over any [`BufRead`].
 ///
 /// One record is parsed at a time into reusable internal buffers, so
@@ -20,76 +78,125 @@ use std::io::BufRead;
 /// * unquoted fields trimmed of surrounding ASCII whitespace (the
 ///   workspace's historical behaviour; quoted fields are verbatim).
 ///
+/// Records whose first physical line contains no quote — the hot path
+/// for machine-written files — are returned **zero-copy**: field
+/// bounds point straight into the line buffer, nothing is re-copied.
+/// Only records with quoting go through the unescaping scratch buffer.
+///
+/// The reader tracks the byte offset of every record it returns
+/// ([`CsvReader::record_start`]), which is what the sidecar index
+/// builder records, and it can be opened mid-file at a known offset
+/// and line number ([`CsvReader::starting_at`]) so an indexed chunk
+/// reports exactly the same line numbers as a sequential scan.
+///
 /// Errors carry the 1-based line number where the record started.
 pub struct CsvReader<R> {
     src: R,
-    delimiter: u8,
-    comment: Option<u8>,
-    merge: bool,
-    trim: bool,
+    dialect: Dialect,
     /// 1-based number of the next physical line to read.
     next_line: u64,
     /// Line the current record started on.
     record_line: u64,
+    /// Byte offset (from the start of the source) of the next unread
+    /// byte.
+    pos: u64,
+    /// Byte offset where the current record's first line starts.
+    record_pos: u64,
     /// Reusable physical-line buffer.
     raw: String,
-    /// Current field under construction (unescaped).
+    /// Current field under construction (unescaped; quoted path only).
     field: String,
-    /// Unescaped text of every field of the current record.
+    /// Unescaped text of every field of the current record (quoted
+    /// path only — the fast path borrows from `raw` instead).
     buf: String,
-    /// End offset in `buf` of each field.
-    ends: Vec<usize>,
+    /// `(start, end)` bounds of each field, into `raw` or `buf`.
+    bounds: Vec<(usize, usize)>,
+    /// Whether `bounds` refers to `raw` (fast path) or `buf`.
+    from_raw: bool,
 }
 
 impl<R: BufRead> CsvReader<R> {
     /// A comma-separated reader with no comment character.
     pub fn new(src: R) -> Self {
+        CsvReader::with_dialect(src, Dialect::csv())
+    }
+
+    /// A reader with an explicit [`Dialect`].
+    pub fn with_dialect(src: R, dialect: Dialect) -> Self {
         CsvReader {
             src,
-            delimiter: b',',
-            comment: None,
-            merge: false,
-            trim: true,
+            dialect,
             next_line: 1,
             record_line: 0,
+            pos: 0,
+            record_pos: 0,
             raw: String::new(),
             field: String::new(),
             buf: String::new(),
-            ends: Vec::new(),
+            bounds: Vec::new(),
+            from_raw: true,
         }
     }
 
     /// A whitespace-separated reader (runs of spaces/tabs separate
     /// fields) — the UCI Statlog dialect.
     pub fn space_separated(src: R) -> Self {
-        CsvReader::new(src).delimiter(b' ').merge_delimiters(true)
+        CsvReader::with_dialect(src, Dialect::space_separated())
     }
 
     /// Change the field delimiter (an ASCII byte). Tab delimiters also
     /// match literal tabs when whitespace-merging is on.
     pub fn delimiter(mut self, delimiter: u8) -> Self {
-        self.delimiter = delimiter;
+        self.dialect.delimiter = delimiter;
         self
     }
 
     /// Skip lines whose first non-blank byte is `comment`.
     pub fn comment(mut self, comment: u8) -> Self {
-        self.comment = Some(comment);
+        self.dialect.comment = Some(comment);
         self
     }
 
     /// Treat runs of the delimiter as one separator and drop empty
     /// unquoted fields (for whitespace-aligned files).
     pub fn merge_delimiters(mut self, merge: bool) -> Self {
-        self.merge = merge;
+        self.dialect.merge = merge;
         self
     }
 
     /// Whether unquoted fields are trimmed of surrounding ASCII
     /// whitespace (default: true).
     pub fn trim(mut self, trim: bool) -> Self {
-        self.trim = trim;
+        self.dialect.trim = trim;
         self
+    }
+
+    /// Declare that `src` is positioned `offset` bytes into the file,
+    /// at the start of 1-based physical line `line` — the indexed-seek
+    /// entry point: a reader opened mid-file reports the same byte
+    /// offsets and line numbers a sequential scan would.
+    pub fn starting_at(mut self, offset: u64, line: u64) -> Self {
+        self.pos = offset;
+        self.record_pos = offset;
+        self.next_line = line;
+        self
+    }
+
+    /// The dialect this reader parses with.
+    pub fn dialect(&self) -> Dialect {
+        self.dialect
+    }
+
+    /// Byte offset (from the start of the source) of the next unread
+    /// byte.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Byte offset where the most recently returned record's first
+    /// physical line starts.
+    pub fn record_start(&self) -> u64 {
+        self.record_pos
     }
 
     /// Read the next record, skipping blank and comment lines.
@@ -101,13 +208,13 @@ impl<R: BufRead> CsvReader<R> {
                 return Ok(None);
             }
             self.parse_record()?;
-            if self.ends.is_empty() {
+            if self.bounds.is_empty() {
                 // a line of pure delimiters in merge mode: nothing here
                 continue;
             }
             return Ok(Some(StrRecord {
-                buf: &self.buf,
-                ends: &self.ends,
+                text: if self.from_raw { &self.raw } else { &self.buf },
+                bounds: &self.bounds,
                 line: self.record_line,
             }));
         }
@@ -117,6 +224,7 @@ impl<R: BufRead> CsvReader<R> {
     /// false at end of input.
     fn next_content_line(&mut self) -> Result<bool> {
         loop {
+            let line_start = self.pos;
             if !self.fill_raw_line()? {
                 return Ok(false);
             }
@@ -125,17 +233,19 @@ impl<R: BufRead> CsvReader<R> {
             if content.is_empty() {
                 continue;
             }
-            if let Some(comment) = self.comment {
+            if let Some(comment) = self.dialect.comment {
                 if content.as_bytes()[0] == comment {
                     continue;
                 }
             }
+            self.record_pos = line_start;
             return Ok(true);
         }
     }
 
     /// Read one physical line into `raw` (line ending stripped),
-    /// advancing the line counter. Returns false at end of input.
+    /// advancing the line counter and byte position. Returns false at
+    /// end of input.
     fn fill_raw_line(&mut self) -> Result<bool> {
         self.raw.clear();
         let n = self.src.read_line(&mut self.raw).map_err(|e| CsvError {
@@ -149,6 +259,7 @@ impl<R: BufRead> CsvReader<R> {
         if n == 0 {
             return Ok(false);
         }
+        self.pos += n as u64;
         self.next_line += 1;
         if self.raw.ends_with('\n') {
             self.raw.pop();
@@ -159,33 +270,49 @@ impl<R: BufRead> CsvReader<R> {
         Ok(true)
     }
 
-    /// Parse the record starting in `raw` into `buf`/`ends`, pulling
-    /// continuation lines while inside a quoted field.
+    /// Parse the record starting in `raw` into `bounds` (and `buf`
+    /// when quoting forces unescaping), pulling continuation lines
+    /// while inside a quoted field.
     fn parse_record(&mut self) -> Result<()> {
-        self.buf.clear();
-        self.ends.clear();
-        self.field.clear();
-        // fast path: no quote anywhere in the line — split on the
-        // delimiter directly, skipping the per-field scratch buffer
+        self.bounds.clear();
+        // fast path: no quote anywhere in the line — record field
+        // bounds straight into `raw`, zero copies
         if !self.raw.as_bytes().contains(&b'"') {
-            let bytes = self.raw.as_bytes();
-            let mut start = 0;
-            for i in 0..=bytes.len() {
-                if i < bytes.len() && !self.is_delimiter(bytes[i]) {
-                    continue;
+            self.from_raw = true;
+            let dialect = self.dialect;
+            let raw = self.raw.as_str();
+            let bytes = raw.as_bytes();
+            let bounds = &mut self.bounds;
+            if dialect.merge {
+                let mut start = 0;
+                for i in 0..=bytes.len() {
+                    if i < bytes.len() && !dialect.is_delimiter(bytes[i]) {
+                        continue;
+                    }
+                    push_raw_field(raw, &dialect, bounds, start, i);
+                    start = i + 1;
                 }
-                let mut text = &self.raw[start..i];
-                if self.trim {
-                    text = text.trim();
+            } else {
+                let delimiter = dialect.delimiter;
+                let mut start = 0;
+                loop {
+                    match bytes[start..].iter().position(|&b| b == delimiter) {
+                        Some(off) => {
+                            push_raw_field(raw, &dialect, bounds, start, start + off);
+                            start += off + 1;
+                        }
+                        None => {
+                            push_raw_field(raw, &dialect, bounds, start, bytes.len());
+                            break;
+                        }
+                    }
                 }
-                if !(self.merge && text.is_empty()) {
-                    self.buf.push_str(text);
-                    self.ends.push(self.buf.len());
-                }
-                start = i + 1;
             }
             return Ok(());
         }
+        self.from_raw = false;
+        self.buf.clear();
+        self.field.clear();
         let mut in_quotes = false;
         // whether the field under construction opened with a quote
         let mut quoted = false;
@@ -214,13 +341,14 @@ impl<R: BufRead> CsvReader<R> {
                     continue;
                 }
                 let b = bytes[i];
-                if self.is_delimiter(b) {
+                if self.dialect.is_delimiter(b) {
                     self.end_field(quoted);
                     quoted = false;
                     i += 1;
                 } else if b == b'"'
                     && !quoted
-                    && (self.field.is_empty() || (self.trim && self.field.trim().is_empty()))
+                    && (self.field.is_empty()
+                        || (self.dialect.trim && self.field.trim().is_empty()))
                 {
                     // an opening quote (leading whitespace tolerated
                     // when trimming): the field restarts verbatim
@@ -236,7 +364,7 @@ impl<R: BufRead> CsvReader<R> {
                     // literal run up to the next delimiter or quote
                     let end = bytes[i..]
                         .iter()
-                        .position(|&b| self.is_delimiter(b) || b == b'"')
+                        .position(|&b| self.dialect.is_delimiter(b) || b == b'"')
                         .map_or(self.raw.len(), |off| i + off);
                     if end == i {
                         // a literal quote inside an unquoted field
@@ -264,23 +392,57 @@ impl<R: BufRead> CsvReader<R> {
         Ok(())
     }
 
-    fn is_delimiter(&self, b: u8) -> bool {
-        b == self.delimiter || (self.merge && self.delimiter == b' ' && b == b'\t')
-    }
-
-    /// Commit the field under construction to the record, applying
-    /// trimming and merge-mode empty-field dropping.
+    /// Commit the field under construction to the record (quoted
+    /// path), applying trimming and merge-mode empty-field dropping.
     fn end_field(&mut self, quoted: bool) {
-        let text = if quoted || !self.trim {
+        let text = if quoted || !self.dialect.trim {
             self.field.as_str()
         } else {
             self.field.trim()
         };
-        if !(self.merge && !quoted && text.is_empty()) {
+        if !(self.dialect.merge && !quoted && text.is_empty()) {
+            let start = self.buf.len();
             self.buf.push_str(text);
-            self.ends.push(self.buf.len());
+            self.bounds.push((start, self.buf.len()));
         }
         self.field.clear();
+    }
+}
+
+/// Commit the unquoted field `raw[start..end]` to the record as
+/// trimmed bounds into `raw` — no text is copied (the fast path).
+fn push_raw_field(
+    raw: &str,
+    dialect: &Dialect,
+    bounds: &mut Vec<(usize, usize)>,
+    start: usize,
+    end: usize,
+) {
+    let (mut s, mut e) = (start, end);
+    if dialect.trim {
+        let trimmed = raw[start..end].trim();
+        s = trimmed.as_ptr() as usize - raw.as_ptr() as usize;
+        e = s + trimmed.len();
+    }
+    if !(dialect.merge && s == e) {
+        bounds.push((s, e));
+    }
+}
+
+/// One parsed record at a time, from any source — a plain
+/// [`CsvReader`] or an indexed chunk view (see
+/// [`crate::index::ChunkReader`]). [`crate::BatchDecoder`] decodes
+/// from any `RecordSource`, so the sequential and chunk-parallel
+/// ingest paths share one decoding loop.
+pub trait RecordSource {
+    /// Read the next record; `Ok(None)` at end of the source. The
+    /// record borrows this source and is invalidated by the next call.
+    fn next_record(&mut self) -> Result<Option<StrRecord<'_>>>;
+}
+
+impl<R: BufRead> RecordSource for CsvReader<R> {
+    fn next_record(&mut self) -> Result<Option<StrRecord<'_>>> {
+        self.read_record()
     }
 }
 
@@ -288,21 +450,21 @@ impl<R: BufRead> CsvReader<R> {
 /// buffer and are valid until the next `read_record` call.
 #[derive(Debug, Clone, Copy)]
 pub struct StrRecord<'a> {
-    buf: &'a str,
-    ends: &'a [usize],
+    text: &'a str,
+    bounds: &'a [(usize, usize)],
     line: u64,
 }
 
 impl<'a> StrRecord<'a> {
     /// Number of fields.
     pub fn len(&self) -> usize {
-        self.ends.len()
+        self.bounds.len()
     }
 
     /// True when the record has no fields (never returned by
     /// `read_record`).
     pub fn is_empty(&self) -> bool {
-        self.ends.is_empty()
+        self.bounds.is_empty()
     }
 
     /// 1-based line number the record started on.
@@ -312,9 +474,8 @@ impl<'a> StrRecord<'a> {
 
     /// Field by 0-based index.
     pub fn get(&self, index: usize) -> Option<&'a str> {
-        let end = *self.ends.get(index)?;
-        let start = if index == 0 { 0 } else { self.ends[index - 1] };
-        Some(&self.buf[start..end])
+        let &(start, end) = self.bounds.get(index)?;
+        Some(&self.text[start..end])
     }
 
     /// Iterate over the fields in order.
@@ -507,5 +668,55 @@ mod tests {
         let mut r = CsvReader::new(&[0x61u8, 0xFF, 0x0A][..]);
         let err = r.read_record().unwrap_err();
         assert_eq!(err.kind, CsvErrorKind::Utf8);
+    }
+
+    #[test]
+    fn record_start_tracks_byte_offsets() {
+        // comment and blank lines advance the position but are never a
+        // record start; CRLF line endings count both bytes
+        let data = "# c\n\na,1\r\nb,2\n\"x\ny\",3\nlast,4";
+        let mut r = CsvReader::new(data.as_bytes()).comment(b'#');
+        let mut starts = Vec::new();
+        while let Some(line) = r.read_record().unwrap().map(|record| record.line()) {
+            starts.push((r.record_start(), line));
+        }
+        // offsets of "a,1", "b,2", the multi-line quoted record, "last,4"
+        assert_eq!(starts, vec![(5, 3), (10, 4), (14, 5), (22, 7)]);
+        assert_eq!(r.position(), data.len() as u64);
+    }
+
+    #[test]
+    fn starting_at_reproduces_mid_file_reads() {
+        let data = "a,1\nb,2\nc,3\n";
+        // a full scan records where record 2 ("c,3") starts
+        let mut full = CsvReader::new(data.as_bytes());
+        full.read_record().unwrap();
+        full.read_record().unwrap();
+        full.read_record().unwrap();
+        let (offset, line) = (full.record_start(), 3u64);
+        // a reader opened at that offset sees identical content
+        let mut mid = CsvReader::new(&data.as_bytes()[offset as usize..]).starting_at(offset, line);
+        let record = mid.read_record().unwrap().unwrap();
+        assert_eq!(record.line(), 3);
+        assert_eq!(record.iter().collect::<Vec<_>>(), vec!["c", "3"]);
+        assert_eq!(mid.record_start(), offset);
+    }
+
+    #[test]
+    fn dialect_round_trips_through_builders() {
+        let r = CsvReader::new("".as_bytes())
+            .delimiter(b';')
+            .comment(b'%')
+            .merge_delimiters(true)
+            .trim(false);
+        let d = r.dialect();
+        assert_eq!(d.delimiter, b';');
+        assert_eq!(d.comment, Some(b'%'));
+        assert!(d.merge);
+        assert!(!d.trim);
+        let s = Dialect::space_separated();
+        assert_eq!(s.delimiter, b' ');
+        assert!(s.merge);
+        assert_eq!(Dialect::csv().comment(b'#').comment, Some(b'#'));
     }
 }

@@ -1,0 +1,300 @@
+//! Property tests for the `.frix` sidecar index: on randomly generated
+//! CSV files — quoted fields with embedded delimiters and newlines,
+//! CRLF endings, comment and blank lines, with and without a trailing
+//! newline — reading through index chunks must reproduce the
+//! sequential scan exactly (fields, line numbers and byte offsets),
+//! and the chunk-parallel typed decode must be byte-identical at any
+//! thread count.
+
+use fairrank_dataset::index::CsvIndex;
+use fairrank_dataset::{Dialect, FieldType, IndexedCsv, RecordSource};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Width (fields per record) used by every generated file.
+const WIDTH: usize = 3;
+
+fn dialect() -> Dialect {
+    Dialect::csv().comment(b'#')
+}
+
+/// A temp file that cleans up after itself (and its sidecar).
+struct TempCsv {
+    path: PathBuf,
+}
+
+static TEMP_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+impl TempCsv {
+    fn write(text: &str) -> TempCsv {
+        let id = TEMP_COUNT.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "fairrank_index_roundtrip_{}_{id}.csv",
+            std::process::id()
+        ));
+        std::fs::write(&path, text).expect("writing temp csv");
+        TempCsv { path }
+    }
+
+    fn path(&self) -> &str {
+        self.path.to_str().expect("utf-8 temp path")
+    }
+}
+
+impl Drop for TempCsv {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(fairrank_dataset::index::sidecar_path(self.path()));
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// One generated field, rendered with quoting exactly when needed.
+fn render_field(out: &mut String, field: &str) {
+    let needs_quotes = field.is_empty()
+        || field.contains([',', '"', '\n', '\r'])
+        || field.starts_with([' ', '#'])
+        || field.ends_with(' ');
+    if needs_quotes {
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// A generated line: a record of `WIDTH` fields, a comment, or a blank.
+#[derive(Debug, Clone)]
+enum Line {
+    Record(Vec<String>),
+    Comment(String),
+    Blank,
+}
+
+/// Render the file: every line gets the ending `crlf` says, except the
+/// last line which is left unterminated when `trailing_newline` is
+/// false.
+fn render_file(lines: &[(Line, bool)], trailing_newline: bool) -> String {
+    let mut out = String::new();
+    for (i, (line, crlf)) in lines.iter().enumerate() {
+        match line {
+            Line::Record(fields) => {
+                for (f, field) in fields.iter().enumerate() {
+                    if f > 0 {
+                        out.push(',');
+                    }
+                    render_field(&mut out, field);
+                }
+            }
+            Line::Comment(text) => {
+                out.push('#');
+                out.push_str(text);
+            }
+            Line::Blank => {}
+        }
+        if i + 1 < lines.len() || trailing_newline {
+            out.push_str(if *crlf { "\r\n" } else { "\n" });
+        }
+    }
+    out
+}
+
+/// Strategy for one field: draws from an alphabet heavy in the
+/// characters that stress the reader (delimiters, quotes, newlines,
+/// comment markers, spaces).
+fn field_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..16, 0..8).prop_map(|picks| {
+        const ALPHABET: [&str; 16] = [
+            "a",
+            "b",
+            "z9",
+            "ü",
+            ",",
+            "\"",
+            "\n",
+            "\r\n",
+            "#",
+            " ",
+            "x,y",
+            "\"\"",
+            "0.5",
+            "-",
+            "long-field-value",
+            "q",
+        ];
+        picks.iter().map(|&p| ALPHABET[p]).collect()
+    })
+}
+
+fn line_strategy() -> impl Strategy<Value = (Line, bool)> {
+    (
+        0usize..10,
+        prop::collection::vec(field_strategy(), WIDTH),
+        any::<bool>(),
+    )
+        .prop_map(|(kind, fields, crlf)| {
+            let line = match kind {
+                0 => Line::Comment(" generated comment, with a comma".to_string()),
+                1 => Line::Blank,
+                _ => Line::Record(fields),
+            };
+            (line, crlf)
+        })
+}
+
+/// Sequentially scan the file: (line, fields) per record, plus the
+/// record-start byte offsets the index should reproduce.
+#[allow(clippy::type_complexity)]
+fn sequential_scan(path: &str) -> (Vec<(u64, Vec<String>)>, Vec<u64>) {
+    let file = std::fs::File::open(path).expect("opening csv");
+    let mut reader = dialect().reader(std::io::BufReader::new(file));
+    let mut rows = Vec::new();
+    let mut offsets = Vec::new();
+    loop {
+        let fields = match reader.read_record().expect("well-formed generated csv") {
+            None => break,
+            Some(record) => (record.line(), record.iter().map(str::to_string).collect()),
+        };
+        offsets.push(reader.record_start());
+        rows.push(fields);
+    }
+    (rows, offsets)
+}
+
+/// Read every record of `indexed` through `n`-way chunking.
+fn chunked_scan(indexed: &IndexedCsv, n: usize) -> Vec<(u64, Vec<String>)> {
+    let mut rows = Vec::new();
+    for chunk in indexed.chunks(n) {
+        let mut reader = indexed.chunk_reader(chunk).expect("chunk reader");
+        while let Some(record) = reader.next_record().expect("chunk record") {
+            rows.push((record.line(), record.iter().map(str::to_string).collect()));
+        }
+    }
+    rows
+}
+
+proptest! {
+    #[test]
+    fn chunked_reads_equal_sequential_scan(
+        lines in prop::collection::vec(line_strategy(), 0..40),
+        trailing_newline in any::<bool>(),
+    ) {
+        let text = render_file(&lines, trailing_newline);
+        let tmp = TempCsv::write(&text);
+        let (rows, offsets) = sequential_scan(tmp.path());
+
+        let index = CsvIndex::build(tmp.path(), dialect()).expect("building index");
+        prop_assert_eq!(index.record_count(), rows.len());
+        index.write_sidecar(tmp.path()).expect("writing sidecar");
+        let indexed = IndexedCsv::open(tmp.path(), dialect()).expect("fresh sidecar opens");
+
+        // the index stores exactly the sequential record-start offsets
+        for (record, offset) in offsets.iter().enumerate() {
+            prop_assert_eq!(indexed.index().entry(record).expect("entry").offset, *offset);
+        }
+        // any chunking reproduces the sequential records exactly
+        for n in [1usize, 2, 3, 7, 100] {
+            prop_assert_eq!(&chunked_scan(&indexed, n), &rows, "chunks({})", n);
+        }
+        // seeking to any record reproduces the sequential suffix
+        if !rows.is_empty() {
+            let mid = rows.len() / 2;
+            let mut reader = indexed.seek_to(mid).expect("seek");
+            let mut suffix = Vec::new();
+            while let Some(record) = reader.read_record().expect("suffix record") {
+                suffix.push((record.line(), record.iter().map(str::to_string).collect()));
+            }
+            prop_assert_eq!(&suffix[..], &rows[mid..]);
+        }
+    }
+
+    #[test]
+    fn parallel_typed_decode_is_thread_count_invariant(
+        lines in prop::collection::vec(line_strategy(), 0..40),
+        trailing_newline in any::<bool>(),
+    ) {
+        let text = render_file(&lines, trailing_newline);
+        let tmp = TempCsv::write(&text);
+        let index = CsvIndex::build(tmp.path(), dialect()).expect("building index");
+        index.write_sidecar(tmp.path()).expect("writing sidecar");
+        let indexed = IndexedCsv::open(tmp.path(), dialect()).expect("fresh sidecar opens");
+
+        let schema = [FieldType::Str; WIDTH];
+        let one = indexed.read_batches_parallel(&schema, false, 1).expect("jobs=1");
+        for jobs in [2usize, 8] {
+            let many = indexed.read_batches_parallel(&schema, false, jobs).expect("jobs>1");
+            prop_assert_eq!(&one, &many, "jobs={}", jobs);
+        }
+    }
+
+    #[test]
+    fn stale_sidecars_fall_back_to_sequential(
+        lines in prop::collection::vec(line_strategy(), 1..20),
+        appended in field_strategy(),
+    ) {
+        let text = render_file(&lines, true);
+        let tmp = TempCsv::write(&text);
+        let index = CsvIndex::build(tmp.path(), dialect()).expect("building index");
+        index.write_sidecar(tmp.path()).expect("writing sidecar");
+
+        // appending any content (even re-appending identical bytes)
+        // changes the length signature: the sidecar must stop opening
+        let mut grown = text.clone();
+        grown.push_str("tail");
+        grown.push_str(&appended.replace(['\r', '\n'], ""));
+        grown.push('\n');
+        std::fs::write(&tmp.path, &grown).expect("appending");
+        prop_assert!(IndexedCsv::open(tmp.path(), dialect()).is_none());
+
+        // restoring the original bytes makes the sidecar fresh again
+        std::fs::write(&tmp.path, &text).expect("restoring");
+        prop_assert!(IndexedCsv::open(tmp.path(), dialect()).is_some());
+    }
+}
+
+/// Multi-chunk threaded decode on a file large enough to span several
+/// fixed-size chunks, with quoted newlines and CRLF mixed in — the
+/// real fan-out path, asserted byte-identical across thread counts.
+#[test]
+fn large_file_parallel_decode_is_identical_across_thread_counts() {
+    let mut text = String::from("id,score,group\r\n");
+    for i in 0..9500 {
+        match i % 5 {
+            0 => text.push_str(&format!("\"row,{i}\",{}.5,g{}\r\n", i % 97, i % 3)),
+            1 => text.push_str(&format!("\"multi\nline {i}\",{}.25,g{}\n", i % 89, i % 3)),
+            2 => text.push_str(&format!(
+                "# comment {i}\nplain{i},{}.75,g{}\n",
+                i % 83,
+                i % 3
+            )),
+            _ => text.push_str(&format!("row{i},{}.0,g{}\n", i % 101, i % 3)),
+        }
+    }
+    let tmp = TempCsv::write(&text);
+    let index = CsvIndex::build(tmp.path(), dialect()).expect("building index");
+    assert!(
+        index.record_count() > fairrank_dataset::index::CHUNK_RECORDS * 2,
+        "file must span several chunks"
+    );
+    index.write_sidecar(tmp.path()).expect("writing sidecar");
+    let indexed = IndexedCsv::open(tmp.path(), dialect()).expect("fresh sidecar opens");
+
+    let schema = [FieldType::Str, FieldType::F64, FieldType::Str];
+    let one = indexed
+        .read_batches_parallel(&schema, true, 1)
+        .expect("jobs=1");
+    let rows: usize = one.iter().map(|b| b.rows()).sum();
+    assert_eq!(rows, 9500);
+    for jobs in [2usize, 3, 8] {
+        let many = indexed
+            .read_batches_parallel(&schema, true, jobs)
+            .expect("jobs>1");
+        assert_eq!(one, many, "batches must be byte-identical at jobs={jobs}");
+    }
+}

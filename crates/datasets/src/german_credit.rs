@@ -12,7 +12,7 @@
 use crate::{DatasetError, Result};
 use eval_stats::NormalSampler;
 use fairness_metrics::GroupAssignment;
-use fairrank_dataset::{BatchDecoder, CsvReader, FieldType};
+use fairrank_dataset::{ingest_batches, BatchDecoder, CsvReader, Dialect, FieldType, RecordBatch};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::io::BufRead;
@@ -222,64 +222,100 @@ impl GermanCredit {
         out
     }
 
-    /// Stream `age,sex,housing,credit_amount` CSV back into a dataset
-    /// through the shared typed-batch decoder — bounded memory, exact
-    /// per-line errors, header row optional.
-    pub fn read_csv<R: BufRead>(src: R) -> Result<GermanCredit> {
-        let mut reader = CsvReader::new(src).comment(b'#');
-        let mut decoder = BatchDecoder::new(vec![
-            FieldType::Str,
-            FieldType::Str,
-            FieldType::Str,
+    /// The interchange-CSV schema: `age,sex,housing,credit_amount`.
+    /// The three attribute columns are dictionary-encoded — each has a
+    /// handful of distinct labels, so decoding allocates per label per
+    /// batch, not per row.
+    fn csv_schema() -> [FieldType; 4] {
+        [
+            FieldType::Category,
+            FieldType::Category,
+            FieldType::Category,
             FieldType::F64,
-        ])
-        .sniff_header(true);
-        let mut records = Vec::new();
-        while let Some(batch) = decoder.read_batch(&mut reader, 4096)? {
-            let ages = batch.column(0).as_str().expect("schema column 0");
-            let sexes = batch.column(1).as_str().expect("schema column 1");
-            let housings = batch.column(2).as_str().expect("schema column 2");
-            let amounts = batch.column(3).as_f64().expect("schema column 3");
-            for row in 0..batch.rows() {
-                let line = batch.line(row) as usize;
-                let age = match ages[row].to_ascii_lowercase().as_str() {
-                    "under35" | "<35" => AgeGroup::Under35,
-                    "atleast35" | ">=35" => AgeGroup::AtLeast35,
-                    _ => {
-                        return Err(DatasetError::Malformed {
-                            line,
-                            what: "age must be `under35` or `atleast35`",
-                        })
-                    }
-                };
-                let sex = match sexes[row].to_ascii_lowercase().as_str() {
-                    "female" | "f" => Sex::Female,
-                    "male" | "m" => Sex::Male,
-                    _ => {
-                        return Err(DatasetError::Malformed {
-                            line,
-                            what: "sex must be `female` or `male`",
-                        })
-                    }
-                };
-                let housing = match housings[row].to_ascii_lowercase().as_str() {
-                    "free" => Housing::Free,
-                    "own" => Housing::Own,
-                    "rent" => Housing::Rent,
-                    _ => {
-                        return Err(DatasetError::Malformed {
-                            line,
-                            what: "housing must be `free`, `own` or `rent`",
-                        })
-                    }
-                };
-                records.push(Record {
-                    age,
-                    sex,
-                    housing,
-                    credit_amount: amounts[row],
-                });
-            }
+        ]
+    }
+
+    /// Convert one decoded batch's rows into [`Record`]s. Each
+    /// dictionary label is validated once per batch; rows then map
+    /// through the per-batch code table. A bad label is reported with
+    /// the line of its first occurrence — the same line the row-by-row
+    /// scan would have flagged.
+    fn records_from_batch(batch: &RecordBatch, records: &mut Vec<Record>) -> Result<()> {
+        fn decode_labels<'a, T: Copy>(
+            batch: &'a RecordBatch,
+            column: usize,
+            decode: impl Fn(&str) -> Option<T>,
+            what: &'static str,
+        ) -> Result<(Vec<T>, &'a [u32])> {
+            let dict = batch.column(column).as_category().expect("schema column");
+            let decoded: Vec<T> = dict
+                .labels()
+                .iter()
+                .enumerate()
+                .map(|(code, label)| {
+                    decode(&label.to_ascii_lowercase()).ok_or_else(|| {
+                        let row = dict
+                            .codes()
+                            .iter()
+                            .position(|&c| c as usize == code)
+                            .expect("every dictionary label has a row");
+                        DatasetError::Malformed {
+                            line: batch.line(row) as usize,
+                            what,
+                        }
+                    })
+                })
+                .collect::<Result<_>>()?;
+            Ok((decoded, dict.codes()))
+        }
+        let (ages, age_codes) = decode_labels(
+            batch,
+            0,
+            |label| match label {
+                "under35" | "<35" => Some(AgeGroup::Under35),
+                "atleast35" | ">=35" => Some(AgeGroup::AtLeast35),
+                _ => None,
+            },
+            "age must be `under35` or `atleast35`",
+        )?;
+        let (sexes, sex_codes) = decode_labels(
+            batch,
+            1,
+            |label| match label {
+                "female" | "f" => Some(Sex::Female),
+                "male" | "m" => Some(Sex::Male),
+                _ => None,
+            },
+            "sex must be `female` or `male`",
+        )?;
+        let (housings, housing_codes) = decode_labels(
+            batch,
+            2,
+            |label| match label {
+                "free" => Some(Housing::Free),
+                "own" => Some(Housing::Own),
+                "rent" => Some(Housing::Rent),
+                _ => None,
+            },
+            "housing must be `free`, `own` or `rent`",
+        )?;
+        let amounts = batch.column(3).as_f64().expect("schema column 3");
+        records.reserve(batch.rows());
+        for row in 0..batch.rows() {
+            records.push(Record {
+                age: ages[age_codes[row] as usize],
+                sex: sexes[sex_codes[row] as usize],
+                housing: housings[housing_codes[row] as usize],
+                credit_amount: amounts[row],
+            });
+        }
+        Ok(())
+    }
+
+    fn from_record_batches(batches: &[RecordBatch]) -> Result<GermanCredit> {
+        let mut records = Vec::with_capacity(batches.iter().map(RecordBatch::rows).sum());
+        for batch in batches {
+            Self::records_from_batch(batch, &mut records)?;
         }
         if records.is_empty() {
             return Err(DatasetError::Malformed {
@@ -290,9 +326,43 @@ impl GermanCredit {
         Ok(GermanCredit { records })
     }
 
-    /// Load the interchange CSV from disk, streaming.
+    /// Stream `age,sex,housing,credit_amount` CSV back into a dataset
+    /// through the shared typed-batch decoder — bounded memory, exact
+    /// per-line errors, header row optional.
+    pub fn read_csv<R: BufRead>(src: R) -> Result<GermanCredit> {
+        let mut reader = CsvReader::new(src).comment(b'#');
+        let mut decoder = BatchDecoder::new(Self::csv_schema().to_vec()).sniff_header(true);
+        let mut records = Vec::new();
+        let mut any = false;
+        while let Some(batch) = decoder.read_batch(&mut reader, 4096)? {
+            any = true;
+            Self::records_from_batch(&batch, &mut records)?;
+        }
+        if !any || records.is_empty() {
+            return Err(DatasetError::Malformed {
+                line: 0,
+                what: "no records found",
+            });
+        }
+        Ok(GermanCredit { records })
+    }
+
+    /// Load the interchange CSV from disk. With a fresh `.frix`
+    /// sidecar (see `fairrank index`) the file is decoded
+    /// chunk-parallel on up to `jobs` threads (0 = one per CPU);
+    /// otherwise it streams sequentially. The dataset is identical
+    /// either way.
+    pub fn load_csv_with_jobs(path: &str, jobs: usize) -> Result<GermanCredit> {
+        let dialect = Dialect::csv().comment(b'#');
+        let batches = ingest_batches(path, dialect, &Self::csv_schema(), true, jobs)?;
+        Self::from_record_batches(&batches)
+    }
+
+    /// Load the interchange CSV from disk (auto-detects a sidecar
+    /// index; equivalent to [`GermanCredit::load_csv_with_jobs`] with
+    /// `jobs = 0`).
     pub fn load_csv(path: &str) -> Result<GermanCredit> {
-        GermanCredit::read_csv(fairrank_dataset::open_file(path)?)
+        GermanCredit::load_csv_with_jobs(path, 0)
     }
 }
 

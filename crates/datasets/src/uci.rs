@@ -20,57 +20,58 @@
 
 use crate::german_credit::{AgeGroup, GermanCredit, Housing, Record, Sex};
 use crate::{DatasetError, Result};
-use fairrank_dataset::CsvReader;
+use fairrank_dataset::{CsvReader, Dialect, IndexedCsv, RecordSource, StrRecord};
 use std::io::BufRead;
 
-/// Parse a Statlog `german.data` stream record by record — memory is
-/// bounded by one line, not the file.
-pub fn read_statlog<R: BufRead>(src: R) -> Result<GermanCredit> {
-    let mut reader = CsvReader::space_separated(src);
-    let mut records = Vec::new();
-    while let Some(fields) = reader.read_record()? {
-        let lineno = fields.line() as usize;
-        if fields.len() < 15 {
-            return Err(DatasetError::Malformed {
-                line: lineno,
-                what: "expected at least 15 Statlog fields",
-            });
-        }
-        let amount = fields.parse_f64(4)?;
-        let sex = match fields.require(8)? {
-            "A91" | "A93" | "A94" => Sex::Male,
-            "A92" | "A95" => Sex::Female,
-            _ => {
-                return Err(DatasetError::Malformed {
-                    line: lineno,
-                    what: "personal status (field 9) is not A91–A95",
-                })
-            }
-        };
-        let age_years = fields.parse_usize(12)?;
-        let housing = match fields.require(14)? {
-            "A151" => Housing::Rent,
-            "A152" => Housing::Own,
-            "A153" => Housing::Free,
-            _ => {
-                return Err(DatasetError::Malformed {
-                    line: lineno,
-                    what: "housing (field 15) is not A151–A153",
-                })
-            }
-        };
-        records.push(Record {
-            age: if age_years < 35 {
-                AgeGroup::Under35
-            } else {
-                AgeGroup::AtLeast35
-            },
-            sex,
-            housing,
-            // deterministic tie-break keeps the induced order strict
-            credit_amount: amount + (lineno.saturating_sub(1) as f64) * 1e-6,
+/// Decode one Statlog line into a [`Record`]. Line numbers feed the
+/// deterministic tie-break, and indexed chunk readers report true
+/// source line numbers — so the chunk-parallel path produces exactly
+/// the records the sequential scan does.
+fn statlog_record(fields: &StrRecord<'_>) -> Result<Record> {
+    let lineno = fields.line() as usize;
+    if fields.len() < 15 {
+        return Err(DatasetError::Malformed {
+            line: lineno,
+            what: "expected at least 15 Statlog fields",
         });
     }
+    let amount = fields.parse_f64(4)?;
+    let sex = match fields.require(8)? {
+        "A91" | "A93" | "A94" => Sex::Male,
+        "A92" | "A95" => Sex::Female,
+        _ => {
+            return Err(DatasetError::Malformed {
+                line: lineno,
+                what: "personal status (field 9) is not A91–A95",
+            })
+        }
+    };
+    let age_years = fields.parse_usize(12)?;
+    let housing = match fields.require(14)? {
+        "A151" => Housing::Rent,
+        "A152" => Housing::Own,
+        "A153" => Housing::Free,
+        _ => {
+            return Err(DatasetError::Malformed {
+                line: lineno,
+                what: "housing (field 15) is not A151–A153",
+            })
+        }
+    };
+    Ok(Record {
+        age: if age_years < 35 {
+            AgeGroup::Under35
+        } else {
+            AgeGroup::AtLeast35
+        },
+        sex,
+        housing,
+        // deterministic tie-break keeps the induced order strict
+        credit_amount: amount + (lineno.saturating_sub(1) as f64) * 1e-6,
+    })
+}
+
+fn finish(records: Vec<Record>) -> Result<GermanCredit> {
     if records.is_empty() {
         return Err(DatasetError::Malformed {
             line: 0,
@@ -80,15 +81,57 @@ pub fn read_statlog<R: BufRead>(src: R) -> Result<GermanCredit> {
     Ok(GermanCredit::from_records(records))
 }
 
+/// Parse a Statlog `german.data` stream record by record — memory is
+/// bounded by one line, not the file.
+pub fn read_statlog<R: BufRead>(src: R) -> Result<GermanCredit> {
+    let mut reader = CsvReader::space_separated(src);
+    let mut records = Vec::new();
+    while let Some(fields) = reader.read_record()? {
+        records.push(statlog_record(&fields)?);
+    }
+    finish(records)
+}
+
 /// Parse the contents of a Statlog `german.data` file already held in
 /// memory (tests and small inputs; [`read_statlog`] streams).
 pub fn parse_statlog(content: &str) -> Result<GermanCredit> {
     read_statlog(content.as_bytes())
 }
 
-/// Read and parse a Statlog file from disk, streaming.
+/// Read and parse a Statlog file from disk. With a fresh `.frix`
+/// sidecar (see `fairrank index --format statlog`) the file is parsed
+/// chunk-parallel on up to `jobs` threads (0 = one per CPU) and
+/// reassembled in file order; otherwise it streams sequentially. The
+/// dataset is identical either way.
+pub fn load_statlog_with_jobs(path: &str, jobs: usize) -> Result<GermanCredit> {
+    let Some(indexed) = IndexedCsv::open(path, Dialect::space_separated()) else {
+        return read_statlog(fairrank_dataset::open_file(path)?);
+    };
+    // record-level errors come back as chunk values so the
+    // lowest-line error wins in chunk order, like the sequential scan
+    let per_chunk = indexed.process_chunks(jobs, |_, mut chunk| {
+        let mut records = Vec::with_capacity(chunk.remaining());
+        loop {
+            match chunk.next_record()? {
+                None => return Ok(Ok(records)),
+                Some(fields) => match statlog_record(&fields) {
+                    Ok(record) => records.push(record),
+                    Err(e) => return Ok(Err(e)),
+                },
+            }
+        }
+    })?;
+    let mut records = Vec::with_capacity(indexed.record_count());
+    for chunk in per_chunk {
+        records.extend(chunk?);
+    }
+    finish(records)
+}
+
+/// Read and parse a Statlog file from disk (auto-detects a sidecar
+/// index; equivalent to [`load_statlog_with_jobs`] with `jobs = 0`).
 pub fn load_statlog(path: &str) -> Result<GermanCredit> {
-    read_statlog(fairrank_dataset::open_file(path)?)
+    load_statlog_with_jobs(path, 0)
 }
 
 /// Load the real file when available, otherwise generate the synthetic

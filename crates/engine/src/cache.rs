@@ -357,6 +357,10 @@ mod tests {
 
     #[test]
     fn sharded_concurrent_access_is_safe() {
+        // retention is not asserted per-insert: a thread preempted
+        // between its insert and get can lose the race to 32 evicting
+        // inserts on the same shard — only value integrity and the
+        // capacity bound are deterministic under concurrency
         let c = Arc::new(ShardedLru::new(256, 8));
         let handles: Vec<_> = (0..8)
             .map(|t| {
@@ -365,7 +369,9 @@ mod tests {
                     for i in 0..64u64 {
                         let key = t * 64 + i;
                         c.insert(key, result(key as usize));
-                        assert!(c.get(key).is_some());
+                        if let Some(hit) = c.get(key) {
+                            assert_eq!(hit.ranking, vec![key as usize]);
+                        }
                     }
                 })
             })
@@ -374,5 +380,11 @@ mod tests {
             h.join().unwrap();
         }
         assert!(c.len() <= c.capacity());
+        assert!(!c.is_empty(), "the final inserts can't all be evicted");
+        for key in 0..512u64 {
+            if let Some(hit) = c.get(key) {
+                assert_eq!(hit.ranking, vec![key as usize]);
+            }
+        }
     }
 }
