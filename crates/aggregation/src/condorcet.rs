@@ -23,7 +23,7 @@ use ranking_core::Permutation;
 pub fn condorcet_winner(votes: &[Permutation]) -> Result<Option<usize>> {
     let n = validate(votes)?;
     let wins = pairwise_wins(votes)?;
-    Ok((0..n).find(|&a| (0..n).all(|b| a == b || wins[a][b] > wins[b][a])))
+    Ok((0..n).find(|&a| (0..n).all(|b| a == b || wins.at(a, b) > wins.at(b, a))))
 }
 
 /// Does `pi` agree with every *strict* pairwise majority? Pairs tied in
@@ -35,7 +35,7 @@ pub fn is_condorcet_order(pi: &Permutation, votes: &[Permutation]) -> Result<boo
     let n = pi.len();
     for a in 0..n {
         for b in 0..n {
-            if wins[a][b] > wins[b][a] && pos[a] > pos[b] {
+            if wins.at(a, b) > wins.at(b, a) && pos[a] > pos[b] {
                 return Ok(false);
             }
         }
@@ -52,7 +52,7 @@ pub fn is_condorcet_order(pi: &Permutation, votes: &[Permutation]) -> Result<boo
 pub fn smith_set(votes: &[Permutation]) -> Result<Vec<usize>> {
     let n = validate(votes)?;
     let wins = pairwise_wins(votes)?;
-    let beats = |a: usize, b: usize| wins[a][b] > wins[b][a];
+    let beats = |a: usize, b: usize| wins.at(a, b) > wins.at(b, a);
     // Copeland score: #strict wins; candidates sorted descending.
     let mut items: Vec<usize> = (0..n).collect();
     let score = |a: usize| (0..n).filter(|&b| b != a && beats(a, b)).count();

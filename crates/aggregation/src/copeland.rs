@@ -8,14 +8,14 @@ use ranking_core::Permutation;
 /// ties broken by item index.
 pub fn copeland(votes: &[Permutation]) -> Result<Permutation> {
     let wins = pairwise_wins(votes)?;
-    let n = wins.len();
+    let n = wins.n();
     let mut score = vec![0.0f64; n];
     for a in 0..n {
         for b in 0..n {
             if a == b {
                 continue;
             }
-            match wins[a][b].cmp(&wins[b][a]) {
+            match wins.at(a, b).cmp(&wins.at(b, a)) {
                 std::cmp::Ordering::Greater => score[a] += 1.0,
                 std::cmp::Ordering::Equal => score[a] += 0.5,
                 std::cmp::Ordering::Less => {}

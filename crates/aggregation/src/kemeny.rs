@@ -7,7 +7,7 @@
 //! approximation) and an adjacent-transposition local-search polish that
 //! never worsens the objective.
 
-use crate::{pairwise_wins, validate, Result};
+use crate::{pairwise_wins, validate, Result, WinsMatrix};
 use rand::Rng;
 use ranking_core::{distance, Permutation};
 
@@ -32,18 +32,18 @@ pub fn total_kendall_distance(pi: &Permutation, votes: &[Permutation]) -> Result
 /// The Kemeny objective read off a precomputed [`pairwise_wins`]
 /// matrix in `O(n²)`, independent of the number of votes: each ordered
 /// pair `(a, b)` with `a` ranked before `b` in `order` costs one
-/// inversion per vote preferring `b` — that is, `wins[b][a]`.
+/// inversion per vote preferring `b` — that is, `wins.at(b, a)`.
 ///
 /// Equal to [`total_kendall_distance`] whenever `wins` came from
 /// `pairwise_wins(votes)` and `order` is a permutation of `0..n`;
 /// evaluating `k` candidates costs `O(v·n² + k·n²)` instead of
 /// `O(k · v · n log n)`, which is what makes exhaustive enumeration
 /// and repeated local-search scoring affordable.
-pub fn total_kendall_distance_from_wins(wins: &[Vec<usize>], order: &[usize]) -> u64 {
+pub fn total_kendall_distance_from_wins(wins: &WinsMatrix, order: &[usize]) -> u64 {
     let mut total = 0u64;
     for (pos, &a) in order.iter().enumerate() {
         for &b in &order[pos + 1..] {
-            total += wins[b][a] as u64;
+            total += wins.at(b, a) as u64;
         }
     }
     total
@@ -81,7 +81,7 @@ pub fn kwik_sort<R: Rng + ?Sized>(votes: &[Permutation], rng: &mut R) -> Result<
 
 fn quicksort<R: Rng + ?Sized>(
     items: &mut Vec<usize>,
-    wins: &[Vec<usize>],
+    wins: &WinsMatrix,
     rng: &mut R,
     out: &mut Vec<usize>,
 ) {
@@ -98,7 +98,7 @@ fn quicksort<R: Rng + ?Sized>(
         }
         // x before pivot iff a majority of votes put it there;
         // ties go right for determinism of the partition rule.
-        if wins[x][pivot] > wins[pivot][x] {
+        if wins.at(x, pivot) > wins.at(pivot, x) {
             left.push(x);
         } else {
             right.push(x);
@@ -121,15 +121,15 @@ pub fn local_search(start: &Permutation, votes: &[Permutation]) -> Result<Permut
     let mut order = start.as_order().to_vec();
     let mut objective = total_kendall_distance_from_wins(&wins, &order);
     // Swapping adjacent (a at k, b at k+1) changes the objective by
-    // wins[a][b] − wins[b][a] (votes preferring a before b now pay one
+    // wins(a,b) − wins(b,a) (votes preferring a before b now pay one
     // more inversion each, the others one fewer).
     loop {
         let mut improved = false;
         for k in 0..n.saturating_sub(1) {
             let (a, b) = (order[k], order[k + 1]);
-            if wins[b][a] > wins[a][b] {
+            if wins.at(b, a) > wins.at(a, b) {
                 order.swap(k, k + 1);
-                objective -= (wins[b][a] - wins[a][b]) as u64;
+                objective -= (wins.at(b, a) - wins.at(a, b)) as u64;
                 improved = true;
             }
         }

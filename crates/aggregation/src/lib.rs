@@ -86,10 +86,54 @@ pub(crate) fn validate(votes: &[Permutation]) -> Result<usize> {
     Ok(n)
 }
 
-/// Pairwise preference matrix: `wins[a][b]` = number of votes ranking
+/// Pairwise preference matrix: `at(a, b)` = number of votes ranking
 /// `a` before `b`. The common input to Copeland, KwikSort and the
 /// Kemeny lower bound.
-pub fn pairwise_wins(votes: &[Permutation]) -> Result<Vec<Vec<usize>>> {
+///
+/// Stored as one row-major flat `u32` buffer — one allocation and a
+/// cache-friendly layout instead of `n` separate heap rows, which is
+/// what the `O(n²)`-per-candidate Kemeny scoring loops walk over and
+/// over. [`pairwise_wins_nested`] keeps the nested-`Vec` construction
+/// as the test oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WinsMatrix {
+    n: usize,
+    counts: Vec<u32>,
+}
+
+impl WinsMatrix {
+    /// Number of items (the matrix is `n × n`).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Votes ranking `a` before `b` (0 on the diagonal).
+    #[inline]
+    pub fn at(&self, a: usize, b: usize) -> u32 {
+        self.counts[a * self.n + b]
+    }
+}
+
+/// Build the [`WinsMatrix`] of a vote profile.
+pub fn pairwise_wins(votes: &[Permutation]) -> Result<WinsMatrix> {
+    let n = validate(votes)?;
+    let mut counts = vec![0u32; n * n];
+    for v in votes {
+        let order = v.as_order();
+        for (i, &a) in order.iter().enumerate() {
+            let row = &mut counts[a * n..(a + 1) * n];
+            for &b in &order[i + 1..] {
+                row[b] += 1;
+            }
+        }
+    }
+    Ok(WinsMatrix { n, counts })
+}
+
+/// Nested-`Vec` pairwise preference matrix, `wins[a][b]` = votes
+/// ranking `a` before `b` — the original formulation, kept as the
+/// oracle the flat [`pairwise_wins`] is tested against.
+pub fn pairwise_wins_nested(votes: &[Permutation]) -> Result<Vec<Vec<usize>>> {
     let n = validate(votes)?;
     let mut wins = vec![vec![0usize; n]; n];
     for v in votes {
@@ -130,15 +174,41 @@ mod tests {
             Permutation::from_order(vec![1, 0, 2]).unwrap(),
         ];
         let w = pairwise_wins(&votes).unwrap();
-        assert_eq!(w[0][1], 2); // item 0 beats 1 in two votes
-        assert_eq!(w[1][0], 1);
-        assert_eq!(w[0][2], 3);
-        assert_eq!(w[2][0], 0);
-        // antisymmetry: wins[a][b] + wins[b][a] = |votes|
+        assert_eq!(w.at(0, 1), 2); // item 0 beats 1 in two votes
+        assert_eq!(w.at(1, 0), 1);
+        assert_eq!(w.at(0, 2), 3);
+        assert_eq!(w.at(2, 0), 0);
+        // antisymmetry: wins(a,b) + wins(b,a) = |votes|
         for a in 0..3 {
             for b in 0..3 {
                 if a != b {
-                    assert_eq!(w[a][b] + w[b][a], 3);
+                    assert_eq!(w.at(a, b) + w.at(b, a), 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_wins_matrix_matches_nested_oracle() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(31);
+        for n in [1usize, 2, 6, 13] {
+            for votes_count in [1usize, 3, 8] {
+                let votes: Vec<Permutation> = (0..votes_count)
+                    .map(|_| Permutation::random(n, &mut rng))
+                    .collect();
+                let flat = pairwise_wins(&votes).unwrap();
+                let nested = pairwise_wins_nested(&votes).unwrap();
+                assert_eq!(flat.n(), n);
+                for a in 0..n {
+                    for b in 0..n {
+                        assert_eq!(
+                            flat.at(a, b) as usize,
+                            nested[a][b],
+                            "n = {n}, votes = {votes_count}, ({a}, {b})"
+                        );
+                    }
                 }
             }
         }

@@ -92,13 +92,13 @@ pub fn stationary_distribution(votes: &[Permutation], config: &MarkovConfig) -> 
             }
             let step = match config.kind {
                 ChainKind::Majority => {
-                    if wins[b][a] > wins[a][b] {
+                    if wins.at(b, a) > wins.at(a, b) {
                         1.0
                     } else {
                         0.0
                     }
                 }
-                ChainKind::Proportional => wins[b][a] as f64 / m,
+                ChainKind::Proportional => wins.at(b, a) as f64 / m,
             };
             // choose b uniformly among n, then step with the rule's prob.
             p[a][b] = step / n as f64;

@@ -71,7 +71,7 @@ proptest! {
             for out in 0..6 {
                 if !s.contains(&out) {
                     prop_assert!(
-                        wins[inn][out] > wins[out][inn],
+                        wins.at(inn, out) > wins.at(out, inn),
                         "{} does not beat outsider {}",
                         inn,
                         out

@@ -59,6 +59,27 @@ fn bench_sample_many(c: &mut Criterion) {
     g.finish();
 }
 
+/// Large-n serving legs: one streaming draw per iteration at
+/// n = 10⁴ and 10⁵ (the criterion-kernel acceptance sizes). The
+/// table stays O(n) floats and the decode is O(n log n) worst case,
+/// so both sizes complete comfortably; the bench pins that claim.
+fn bench_large_n(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables/large_n");
+    for n in [10_000usize, 100_000] {
+        let model = MallowsModel::new(Permutation::identity(n), THETA).unwrap();
+        let mut sampler = model.sampler();
+        let mut rng = bench::bench_rng();
+        let mut out = Permutation::identity(0);
+        g.bench_function(format!("table_driven_streaming/n{n}_m1"), |b| {
+            b.iter(|| {
+                sampler.sample_into(&mut out, &mut rng);
+                black_box(out.len());
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_table_cache(c: &mut Criterion) {
     let mut g = c.benchmark_group("tables/cache");
     g.bench_function("cold_build_n1000", |b| {
@@ -78,7 +99,7 @@ criterion_group! {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(1200));
-    targets = bench_sample_many, bench_table_cache
+    targets = bench_sample_many, bench_large_n, bench_table_cache
 }
 /// Seconds per iteration of `f`, after one warm-up call.
 fn time_per_iter(iters: usize, mut f: impl FnMut()) -> f64 {
@@ -111,6 +132,21 @@ fn main() {
     let cache_hit_s = time_per_iter(10_000, || {
         black_box(cache.get_or_build(N, THETA).unwrap());
     });
+    // large-n serving legs: seconds per streaming draw at the
+    // criterion-kernel acceptance sizes
+    let large_n_ms: Vec<f64> = [10_000usize, 100_000]
+        .iter()
+        .map(|&n| {
+            let model = MallowsModel::new(Permutation::identity(n), THETA).unwrap();
+            let mut sampler = model.sampler();
+            let mut rng = bench::bench_rng();
+            let mut out = Permutation::identity(0);
+            time_per_iter(10, || {
+                sampler.sample_into(&mut out, &mut rng);
+                black_box(out.len());
+            }) * 1e3
+        })
+        .collect();
     bench::summary::record(
         "sampler_tables",
         &[
@@ -118,6 +154,8 @@ fn main() {
             ("table_driven_ms", table_s * 1e3),
             ("speedup", closed_form_s / table_s),
             ("cache_hit_ns", cache_hit_s * 1e9),
+            ("stream_n1e4_ms", large_n_ms[0]),
+            ("stream_n1e5_ms", large_n_ms[1]),
         ],
     );
 }

@@ -29,12 +29,13 @@ use std::path::{Path, PathBuf};
 use std::time::{SystemTime, UNIX_EPOCH};
 
 /// The benches that maintain a committed trajectory file.
-pub const TRACKED_BENCHES: [&str; 5] = [
+pub const TRACKED_BENCHES: [&str; 6] = [
     "http_throughput",
     "engine_throughput",
     "sampler_tables",
     "batch_ingest",
     "metrics_render",
+    "criterion_kernels",
 ];
 
 /// Metric keys every **new** record of `bench` must carry. Appends
@@ -51,6 +52,7 @@ pub fn required_metrics(bench: &str) -> &'static [&'static str] {
             "index_build_ms",
             "parallel_speedup_4t",
         ],
+        "criterion_kernels" => &["rank_n1e4_ms", "abandon_rate", "infeasible_speedup"],
         _ => &[],
     }
 }

@@ -233,18 +233,31 @@ pub fn rank(args: &Args) -> Result<String> {
     let mut rng = StdRng::seed_from_u64(seed);
 
     let bounds = FairnessBounds::from_assignment_with_tolerance(&table.groups, tolerance);
+    let mut mallows_abandoned: Option<u64> = None;
     let order: Vec<usize> = match algorithm {
         "weakly-fair" => weakly_fair_ranking(&table.scores, &table.groups, &bounds).into_order(),
         "mallows" => {
-            let ranker =
-                MallowsFairRanker::new(theta, samples, Criterion::MaxNdcg(table.scores.clone()))
-                    .map_err(algo_err)?;
+            // selection criterion for best-of-m (paper Algorithm 1):
+            // utility (default), known-group fairness, or closeness to
+            // the centre ranking
+            let criterion = match args.get("criterion").unwrap_or("ndcg") {
+                "ndcg" => Criterion::MaxNdcg(table.scores.clone()),
+                "infeasible" => Criterion::MinInfeasibleIndex {
+                    groups: table.groups.clone(),
+                    bounds: bounds.clone(),
+                },
+                "kendall" => Criterion::MinKendallTau,
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown criterion `{other}` (expected ndcg, infeasible or kendall)"
+                    )));
+                }
+            };
+            let ranker = MallowsFairRanker::new(theta, samples, criterion).map_err(algo_err)?;
             let center = weakly_fair_ranking(&table.scores, &table.groups, &bounds);
-            ranker
-                .rank(&center, &mut rng)
-                .map_err(algo_err)?
-                .ranking
-                .into_order()
+            let ranked = ranker.rank(&center, &mut rng).map_err(algo_err)?;
+            mallows_abandoned = Some(ranked.samples_abandoned);
+            ranked.ranking.into_order()
         }
         "detconstsort" => det_const_sort(
             &table.scores,
@@ -351,6 +364,9 @@ pub fn rank(args: &Args) -> Result<String> {
     }
     out.push_str(&format!("# infeasible_index,{ii}\n"));
     out.push_str(&format!("# pfair_percentage,{pf:.2}\n"));
+    if let Some(abandoned) = mallows_abandoned {
+        out.push_str(&format!("# criterion_samples_abandoned,{abandoned}\n"));
+    }
     Ok(out)
 }
 

@@ -85,6 +85,8 @@ RANK:
                       fair-top-k | fa-ir | weakly-fair
         --theta       Mallows dispersion θ           (default 1.0)
         --samples     Mallows best-of-m samples      (default 1)
+        --criterion   mallows selection criterion    (default ndcg)
+                      ndcg | infeasible | kendall
         --tolerance   fairness proportion tolerance  (default 0.1)
         --k           shortlist size                 (default all)
         --protected   protected group label (fa-ir)  (default first label)

@@ -8,15 +8,19 @@
 //! read directly off the insertion code without decoding), and only a
 //! winning sample is ever decoded into the best-so-far buffer.
 
+use crate::kernel::{CriterionKernel, CriterionPlan};
 use crate::{FairMallowsError, Result};
-use fairness_metrics::infeasible::InfeasibleEvaluator;
 use fairness_metrics::{infeasible, FairnessBounds, GroupAssignment};
 use mallows_model::tables::{RimSampler, SamplerTables};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use ranking_core::quality::Discount;
 use ranking_core::{distance, quality, Permutation};
 use std::sync::Arc;
+
+/// Samples decoded and evaluated per block by the streaming loop: the
+/// codes are drawn up front, then the block's rows run through the
+/// compiled kernels over reused scratch buffers.
+const EVAL_BLOCK: usize = 8;
 
 /// Selection criterion for choosing among the `m` Mallows samples
 /// (Algorithm 1, line 8: `choose_ranking(c, samples)`).
@@ -95,11 +99,8 @@ impl Criterion {
 
     /// Crate-internal access to the minimized objective (used by the
     /// generic noise-model ranker).
-    pub(crate) fn objective_value(
-        &self,
-        sample: &Permutation,
-        center: &Permutation,
-    ) -> Result<f64> {
+    #[doc(hidden)]
+    pub fn objective_value(&self, sample: &Permutation, center: &Permutation) -> Result<f64> {
         self.objective(sample, center)
     }
 
@@ -133,119 +134,6 @@ impl Criterion {
     }
 }
 
-/// A [`Criterion`] compiled for streaming evaluation: whatever can be
-/// computed once per ranking task (the ideal DCG, normalization
-/// constants) is, and per-sample scratch (infeasible-index counts) is
-/// reused, so evaluating one sample allocates nothing.
-///
-/// Values are bit-identical to [`Criterion::objective`]; the only
-/// difference is where the invariant work happens.
-enum CriterionEval<'c> {
-    First,
-    Ndcg {
-        scores: &'c [f64],
-        idcg: f64,
-    },
-    KendallTau,
-    Infeasible {
-        groups: &'c GroupAssignment,
-        bounds: &'c FairnessBounds,
-        eval: InfeasibleEvaluator,
-    },
-    Weighted(Vec<(f64, f64, CriterionEval<'c>)>),
-}
-
-impl<'c> CriterionEval<'c> {
-    /// Compile `criterion` for rankings of `n` items.
-    fn compile(criterion: &'c Criterion, n: usize) -> CriterionEval<'c> {
-        match criterion {
-            Criterion::FirstSample => CriterionEval::First,
-            Criterion::MaxNdcg(scores) => CriterionEval::Ndcg {
-                scores,
-                idcg: quality::idcg(scores),
-            },
-            Criterion::MinKendallTau => CriterionEval::KendallTau,
-            Criterion::MinInfeasibleIndex { groups, bounds } => CriterionEval::Infeasible {
-                groups,
-                bounds,
-                eval: InfeasibleEvaluator::new(),
-            },
-            Criterion::Weighted(parts) => CriterionEval::Weighted(
-                parts
-                    .iter()
-                    .map(|(w, c)| {
-                        // same per-part normalizers as Criterion::objective
-                        let norm = match c {
-                            Criterion::MinKendallTau => distance::max_kendall_tau(n).max(1) as f64,
-                            Criterion::MinInfeasibleIndex { .. } => (2 * n.max(1)) as f64,
-                            _ => 1.0,
-                        };
-                        (*w, norm, CriterionEval::compile(c, n))
-                    })
-                    .collect(),
-            ),
-        }
-    }
-
-    /// True when the objective is exactly the Kendall tau distance to
-    /// the centre — then `Σ code` substitutes for decoding the sample.
-    fn is_kendall_only(&self) -> bool {
-        matches!(self, CriterionEval::KendallTau)
-    }
-
-    /// Lower-is-better objective of one decoded sample.
-    ///
-    /// `code_total`, when available, is the sample's Kendall tau
-    /// distance to the centre read off its insertion code, sparing the
-    /// `O(n log n)` merge-count inside weighted criteria.
-    fn objective(
-        &mut self,
-        sample: &Permutation,
-        center: &Permutation,
-        code_total: Option<u64>,
-    ) -> Result<f64> {
-        match self {
-            CriterionEval::First => Ok(0.0),
-            CriterionEval::Ndcg { scores, idcg } => {
-                if scores.len() != sample.len() {
-                    return Err(FairMallowsError::CriterionShape {
-                        expected: scores.len(),
-                        got: sample.len(),
-                    });
-                }
-                if *idcg == 0.0 {
-                    // all-zero scores: NDCG defined as 1 (see quality::ndcg_at)
-                    return Ok(-1.0);
-                }
-                let dcg: f64 = sample
-                    .as_order()
-                    .iter()
-                    .enumerate()
-                    .map(|(idx, &item)| scores[item] * Discount::Log2.at(idx + 1))
-                    .sum();
-                Ok(-(dcg / *idcg))
-            }
-            CriterionEval::KendallTau => Ok(match code_total {
-                Some(d) => d as f64,
-                None => distance::kendall_tau(sample, center)
-                    .expect("sample and centre share a length") as f64,
-            }),
-            CriterionEval::Infeasible {
-                groups,
-                bounds,
-                eval,
-            } => Ok(eval.index(sample, groups, bounds)? as f64),
-            CriterionEval::Weighted(parts) => {
-                let mut total = 0.0;
-                for (w, norm, part) in parts.iter_mut() {
-                    total += *w * (part.objective(sample, center, code_total)? / *norm);
-                }
-                Ok(total)
-            }
-        }
-    }
-}
-
 /// Output of one [`MallowsFairRanker::rank`] call.
 #[derive(Debug, Clone)]
 pub struct RankOutput {
@@ -258,6 +146,11 @@ pub struct RankOutput {
     /// index for [`Criterion::MinInfeasibleIndex`], 0 for
     /// [`Criterion::FirstSample`]).
     pub criterion_value: f64,
+    /// Samples dropped by the exact early-abandon bound before their
+    /// full evaluation (they were proven unable to beat the best
+    /// objective so far — the winner is unaffected). Surfaced by the
+    /// serving engine as `criterion_samples_abandoned`.
+    pub samples_abandoned: u64,
 }
 
 /// The paper's Algorithm 1: sample `m` rankings from `M(π₀, θ)` and keep
@@ -342,24 +235,35 @@ impl MallowsFairRanker {
             Criterion::FirstSample => 1,
             _ => self.num_samples,
         };
-        let (obj, ranking) = self.rank_streaming(center, tables, m, rng)?;
+        let plan = CriterionPlan::compile(&self.criterion, center.len())?;
+        let (obj, ranking, abandoned) = self.rank_streaming(center, tables, &plan, m, rng)?;
         Ok(RankOutput {
             ranking,
             samples_drawn: m,
             criterion_value: self.criterion.report(obj),
+            samples_abandoned: abandoned,
         })
     }
 
     /// The streaming best-of-`m` core: returns the raw (lower-is-
-    /// better) objective and the winning sample.
+    /// better) objective, the winning sample and the number of samples
+    /// dropped by the early-abandon bound.
+    ///
+    /// Samples are processed in blocks of [`EVAL_BLOCK`]: the block's
+    /// insertion codes are drawn first (the RNG stream is identical to
+    /// drawing them one at a time, since evaluation consumes no
+    /// randomness), then each row is decoded into a reused scratch
+    /// permutation and run through the compiled kernels — rows whose
+    /// pre-decode bound (exact Kendall term plus plan constants)
+    /// already disqualifies them skip the decode entirely.
     fn rank_streaming<R: Rng + ?Sized>(
         &self,
         center: &Permutation,
         tables: &Arc<SamplerTables>,
+        plan: &CriterionPlan<'_>,
         m: usize,
         rng: &mut R,
-    ) -> Result<(f64, Permutation)> {
-        self.criterion.check_shape(center.len())?;
+    ) -> Result<(f64, Permutation, u64)> {
         if tables.theta() != self.theta {
             return Err(FairMallowsError::Mallows(
                 mallows_model::MallowsError::InvalidTheta {
@@ -367,16 +271,15 @@ impl MallowsFairRanker {
                 },
             ));
         }
+        let n = center.len();
+        debug_assert_eq!(plan.n(), n, "plan compiled for a different length");
         let mut sampler = RimSampler::from_tables(center.clone(), Arc::clone(tables))?;
-        let mut eval = CriterionEval::compile(&self.criterion, center.len());
-        let kendall_only = eval.is_kendall_only();
-        let mut current = Permutation::identity(0);
         let mut best = Permutation::identity(0);
         let mut best_obj = f64::INFINITY;
         let mut have_best = false;
-        for _ in 0..m {
-            sampler.sample_code(rng);
-            if kendall_only {
+        if plan.is_kendall_only() {
+            for _ in 0..m {
+                sampler.sample_code(rng);
                 // d_KT to the centre is Σ code: evaluate without
                 // decoding, and decode only the (rare) new winners
                 let obj = sampler.code_total() as f64;
@@ -385,18 +288,95 @@ impl MallowsFairRanker {
                     best_obj = obj;
                     have_best = true;
                 }
-            } else {
-                sampler.decode_code_into(&mut current);
-                let obj = eval.objective(&current, center, Some(sampler.code_total()))?;
-                if !have_best || obj < best_obj {
-                    std::mem::swap(&mut best, &mut current);
-                    best_obj = obj;
-                    have_best = true;
+            }
+            debug_assert!(have_best, "m ≥ 1 samples were drawn");
+            return Ok((best_obj, best, 0));
+        }
+        let mut kernel = CriterionKernel::new(plan);
+        let block = EVAL_BLOCK.min(m.max(1));
+        let mut codes: Vec<Vec<usize>> = vec![Vec::new(); block];
+        let mut rows: Vec<Permutation> = vec![Permutation::identity(0); block];
+        let mut abandoned = 0u64;
+        let mut drawn = 0usize;
+        while drawn < m {
+            let b = (m - drawn).min(block);
+            for code in codes.iter_mut().take(b) {
+                tables.sample_code_into(n, code, rng);
+            }
+            for (code, row) in codes.iter().zip(rows.iter_mut()).take(b) {
+                let code_total: u64 = code.iter().map(|&v| v as u64).sum();
+                let threshold = have_best.then_some(best_obj);
+                if plan.abandons_predecode(code_total, threshold) {
+                    abandoned += 1;
+                    continue;
+                }
+                sampler.decode_external_code_into(code, row);
+                match kernel.evaluate(plan, row, center, Some(code_total), threshold) {
+                    None => abandoned += 1,
+                    Some(obj) => {
+                        if !have_best || obj < best_obj {
+                            std::mem::swap(&mut best, row);
+                            best_obj = obj;
+                            have_best = true;
+                        }
+                    }
                 }
             }
+            drawn += b;
         }
         debug_assert!(have_best, "m ≥ 1 samples were drawn");
-        Ok((best_obj, best))
+        Ok((best_obj, best, abandoned))
+    }
+
+    /// The unabridged scalar reference of the streaming loop: draw,
+    /// decode and fully evaluate every sample through
+    /// [`Criterion::objective`], no compiled tables, no early abandon,
+    /// no blocking — but the identical RNG stream and the identical
+    /// strict `obj < best_obj` winner test.
+    ///
+    /// Property tests and the `criterion_kernels` bench pin
+    /// [`MallowsFairRanker::rank_with_tables`] byte-identical to this
+    /// path; it is not meant for production use.
+    #[doc(hidden)]
+    pub fn rank_with_tables_reference<R: Rng + ?Sized>(
+        &self,
+        center: &Permutation,
+        tables: &Arc<SamplerTables>,
+        rng: &mut R,
+    ) -> Result<RankOutput> {
+        self.criterion.check_shape(center.len())?;
+        if tables.theta() != self.theta {
+            return Err(FairMallowsError::Mallows(
+                mallows_model::MallowsError::InvalidTheta {
+                    theta: tables.theta(),
+                },
+            ));
+        }
+        let m = match self.criterion {
+            Criterion::FirstSample => 1,
+            _ => self.num_samples,
+        };
+        let mut sampler = RimSampler::from_tables(center.clone(), Arc::clone(tables))?;
+        let mut current = Permutation::identity(0);
+        let mut best = Permutation::identity(0);
+        let mut best_obj = f64::INFINITY;
+        let mut have_best = false;
+        for _ in 0..m {
+            sampler.sample_code(rng);
+            sampler.decode_code_into(&mut current);
+            let obj = self.criterion.objective(&current, center)?;
+            if !have_best || obj < best_obj {
+                std::mem::swap(&mut best, &mut current);
+                best_obj = obj;
+                have_best = true;
+            }
+        }
+        Ok(RankOutput {
+            ranking: best,
+            samples_drawn: m,
+            criterion_value: self.criterion.report(best_obj),
+            samples_abandoned: 0,
+        })
     }
 
     /// Deterministic parallel variant: split the `m` samples into
@@ -428,14 +408,16 @@ impl MallowsFairRanker {
         };
         let batches = batches.clamp(1, m);
         let threads = threads.clamp(1, batches);
+        let plan = CriterionPlan::compile(&self.criterion, center.len())?;
+        let plan = &plan;
         let run_batch = |b: usize| {
             // splitmix-style stream separation per batch
             let seed = base_seed.wrapping_add((b as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let mut rng = StdRng::seed_from_u64(seed);
             let batch_m = m / batches + usize::from(b < m % batches);
-            self.rank_streaming(center, tables, batch_m, &mut rng)
+            self.rank_streaming(center, tables, plan, batch_m, &mut rng)
         };
-        type BatchOutcome = Option<Result<(f64, Permutation)>>;
+        type BatchOutcome = Option<Result<(f64, Permutation, u64)>>;
         let mut outcomes: Vec<BatchOutcome> = Vec::new();
         outcomes.resize_with(batches, || None);
         if threads == 1 {
@@ -467,8 +449,10 @@ impl MallowsFairRanker {
             });
         }
         let mut best: Option<(f64, Permutation)> = None;
+        let mut abandoned = 0u64;
         for outcome in outcomes {
-            let (obj, ranking) = outcome.expect("every batch ran")?;
+            let (obj, ranking, batch_abandoned) = outcome.expect("every batch ran")?;
+            abandoned += batch_abandoned;
             if best.as_ref().is_none_or(|(b, _)| obj < *b) {
                 best = Some((obj, ranking));
             }
@@ -478,6 +462,7 @@ impl MallowsFairRanker {
             ranking,
             samples_drawn: m,
             criterion_value: self.criterion.report(obj),
+            samples_abandoned: abandoned,
         })
     }
 
@@ -745,26 +730,45 @@ mod tests {
     }
 
     #[test]
-    fn weighted_criterion_streams_identically_to_reference_objective() {
-        // the streaming evaluator must agree with Criterion::objective
-        // bit for bit on every sample it sees
+    fn streaming_rank_is_byte_identical_to_the_reference_path() {
+        // blocked decode + compiled kernels + early abandon must pick
+        // the exact winner (and report the exact objective) the
+        // unabridged scalar path picks, on the same RNG stream
         let groups = GroupAssignment::binary_split(12, 6);
         let bounds = FairnessBounds::from_assignment(&groups);
         let s = scores(12);
-        let criterion = Criterion::Weighted(vec![
-            (0.7, Criterion::MaxNdcg(s.clone())),
-            (0.3, Criterion::MinInfeasibleIndex { groups, bounds }),
-            (0.5, Criterion::MinKendallTau),
-        ]);
+        let criteria = [
+            Criterion::MaxNdcg(s.clone()),
+            Criterion::MinKendallTau,
+            Criterion::MinInfeasibleIndex {
+                groups: groups.clone(),
+                bounds: bounds.clone(),
+            },
+            Criterion::Weighted(vec![
+                (0.7, Criterion::MaxNdcg(s.clone())),
+                (0.3, Criterion::MinInfeasibleIndex { groups, bounds }),
+                (0.5, Criterion::MinKendallTau),
+            ]),
+        ];
         let center = Permutation::sorted_by_scores_desc(&s);
-        let mut eval = CriterionEval::compile(&criterion, 12);
-        let model = MallowsModel::new(center.clone(), 0.6).unwrap();
-        let mut rng = StdRng::seed_from_u64(13);
-        for _ in 0..25 {
-            let sample = model.sample(&mut rng);
-            let fast = eval.objective(&sample, &center, None).unwrap();
-            let reference = criterion.objective_value(&sample, &center).unwrap();
-            assert_eq!(fast, reference);
+        let tables = std::sync::Arc::new(SamplerTables::new(12, 0.6).unwrap());
+        for criterion in criteria {
+            let ranker = MallowsFairRanker::new(0.6, 37, criterion).unwrap();
+            for seed in 0..6 {
+                let mut fast_rng = StdRng::seed_from_u64(seed);
+                let mut ref_rng = StdRng::seed_from_u64(seed);
+                let fast = ranker
+                    .rank_with_tables(&center, &tables, &mut fast_rng)
+                    .unwrap();
+                let reference = ranker
+                    .rank_with_tables_reference(&center, &tables, &mut ref_rng)
+                    .unwrap();
+                assert_eq!(fast.ranking, reference.ranking);
+                assert_eq!(
+                    fast.criterion_value.to_bits(),
+                    reference.criterion_value.to_bits()
+                );
+            }
         }
     }
 }

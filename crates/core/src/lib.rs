@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod algorithm;
+mod kernel;
 pub mod noise;
 pub mod oblivious;
 pub mod tune;

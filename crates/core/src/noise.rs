@@ -146,6 +146,7 @@ impl GenericFairRanker {
             ranking,
             samples_drawn: m,
             criterion_value: self.criterion.report_value(obj),
+            samples_abandoned: 0,
         })
     }
 }

@@ -465,6 +465,11 @@ impl Engine {
                 MetricValue::Counter(read(&s.chunks_failed)),
             ),
             scalar(
+                "fairrank_criterion_samples_abandoned_total",
+                "Mallows samples dropped by the exact early-abandon bound",
+                MetricValue::Counter(read(&s.criterion_samples_abandoned)),
+            ),
+            scalar(
                 "fairrank_chunks_coalesced_total",
                 "Submissions coalesced onto an identical in-flight chunk",
                 MetricValue::Counter(read(&s.chunks_coalesced)),
@@ -693,6 +698,16 @@ impl Engine {
                     let result = Arc::new(result);
                     engine.cache.insert(key, Arc::clone(&result));
                     EngineStats::bump(&engine.stats.chunks_executed);
+                    if let Some((_, v)) = result
+                        .metrics
+                        .iter()
+                        .find(|(k, _)| k == "criterion_samples_abandoned")
+                    {
+                        engine
+                            .stats
+                            .criterion_samples_abandoned
+                            .fetch_add(*v as u64, Ordering::Relaxed);
+                    }
                     Ok(result)
                 }
                 Err(e) => {

@@ -321,6 +321,10 @@ fn run_score_algorithm(
     let n = scores.len();
     let k = p.k.unwrap_or(n).min(n);
     let bounds = FairnessBounds::from_assignment_with_tolerance(&groups, p.tolerance);
+    // per-algorithm extras appended after the shared utility/fairness
+    // report (e.g. the mallows early-abandon counter surfaced in
+    // `/stats` as `criterion_samples_abandoned`)
+    let mut extra_metrics: Vec<(String, f64)> = Vec::new();
     let order: Vec<usize> = match name {
         "weakly-fair" => weakly_fair_ranking(scores, &groups, &bounds).into_order(),
         "mallows" => {
@@ -345,7 +349,12 @@ fn run_score_algorithm(
             } else {
                 ranker.rank_with_tables(&center, &tables, rng)
             };
-            out.map_err(algo_err)?.ranking.into_order()
+            let out = out.map_err(algo_err)?;
+            extra_metrics.push((
+                "criterion_samples_abandoned".to_string(),
+                out.samples_abandoned as f64,
+            ));
+            out.ranking.into_order()
         }
         "detconstsort" => det_const_sort(
             scores,
@@ -425,7 +434,8 @@ fn run_score_algorithm(
         }
         other => return Err(EngineError::UnknownAlgorithm(other.to_string())),
     };
-    let metrics = score_metrics(&order, scores, &groups, p.tolerance)?;
+    let mut metrics = score_metrics(&order, scores, &groups, p.tolerance)?;
+    metrics.extend(extra_metrics);
     Ok(RankResult {
         algorithm: job.algorithm.clone(),
         ranking: order,

@@ -315,6 +315,10 @@ pub struct EngineStats {
     pub chunks_executed: AtomicU64,
     /// Jobs whose algorithm returned an error.
     pub chunks_failed: AtomicU64,
+    /// Mallows samples dropped by the ranker's exact early-abandon
+    /// bound before full evaluation (aggregated from each rank job's
+    /// `criterion_samples_abandoned` metric).
+    pub criterion_samples_abandoned: AtomicU64,
     /// Submissions coalesced onto an identical in-flight job.
     pub chunks_coalesced: AtomicU64,
     /// Jobs rejected because the queue was full.
@@ -351,6 +355,7 @@ impl EngineStats {
             cache_misses: AtomicU64::new(0),
             chunks_executed: AtomicU64::new(0),
             chunks_failed: AtomicU64::new(0),
+            criterion_samples_abandoned: AtomicU64::new(0),
             chunks_coalesced: AtomicU64::new(0),
             queue_rejections: AtomicU64::new(0),
             http_requests: AtomicU64::new(0),
@@ -419,6 +424,10 @@ impl EngineStats {
             ("sampler_table_entries", int(tables.len() as u64)),
             ("chunks_executed", read(&self.chunks_executed)),
             ("chunks_failed", read(&self.chunks_failed)),
+            (
+                "criterion_samples_abandoned",
+                read(&self.criterion_samples_abandoned),
+            ),
             ("chunks_coalesced", read(&self.chunks_coalesced)),
             ("queue_rejections", read(&self.queue_rejections)),
             ("jobs_queued", int(jobs_queued)),

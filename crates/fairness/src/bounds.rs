@@ -94,6 +94,43 @@ impl FairnessBounds {
         (self.upper[p] * k as f64).ceil() as usize
     }
 
+    /// Compile the integer bound-*step* tables for prefixes `1..=n`:
+    /// the sorted event list of prefixes where `⌊β_p·k⌋` / `⌈α_p·k⌉`
+    /// actually increment. Both are non-decreasing in `k`, so replaying
+    /// the events reconstructs [`FairnessBounds::tables`] exactly —
+    /// hot evaluators (the compiled infeasible-index kernel) track the
+    /// bounds with `O(steps)` integer increments instead of `O(n·g)`
+    /// float multiply/floor/ceil per sample.
+    pub fn steps(&self, n: usize) -> BoundSteps {
+        let g = self.num_groups();
+        let mut min_steps = Vec::new();
+        let mut max_steps = Vec::new();
+        let mut cur_min = vec![0usize; g];
+        let mut cur_max = vec![0usize; g];
+        for k in 1..=n {
+            for p in 0..g {
+                // derived through the very same float functions the
+                // naive evaluator calls, so replay is exactly identical
+                let mn = self.min_count(p, k);
+                for _ in cur_min[p]..mn {
+                    min_steps.push((k as u32, p as u32));
+                }
+                cur_min[p] = mn;
+                let mx = self.max_count(p, k);
+                for _ in cur_max[p]..mx {
+                    max_steps.push((k as u32, p as u32));
+                }
+                cur_max[p] = mx;
+            }
+        }
+        BoundSteps {
+            n,
+            num_groups: g,
+            min_steps,
+            max_steps,
+        }
+    }
+
     /// Materialize the integer bound tables for prefixes `1..=n`:
     /// `(min[k-1][p], max[k-1][p])`. Used by solvers that want to perturb
     /// the constraints (the paper's noisy-constraint experiments).
@@ -172,6 +209,76 @@ impl BoundTables {
     }
 }
 
+/// Compiled bound-step event lists, as produced by
+/// [`FairnessBounds::steps`].
+///
+/// `min_steps` / `max_steps` hold `(k, p)` pairs sorted by `k` (the
+/// order they were emitted): at prefix `k`, the integer lower (resp.
+/// upper) bound of group `p` increments by one. A jump of `d > 1`
+/// between consecutive prefixes (possible only through float rounding
+/// of extreme proportions) is recorded as `d` consecutive pairs, so
+/// replaying every event reconstructs the bounds exactly.
+///
+/// Total events are `Σ_p ⌊β_p·n⌋ + Σ_p ⌈α_p·n⌉ ≤ 2·n·g` in the worst
+/// case but `O(n)` for proportions summing to ≈ 1 — the common case —
+/// which is what makes an event-driven evaluator `O(n + steps)`
+/// amortized instead of `O(n·g)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundSteps {
+    n: usize,
+    num_groups: usize,
+    min_steps: Vec<(u32, u32)>,
+    max_steps: Vec<(u32, u32)>,
+}
+
+impl BoundSteps {
+    /// Number of prefixes covered (= ranking length).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of groups covered.
+    pub fn num_groups(&self) -> usize {
+        self.num_groups
+    }
+
+    /// Lower-bound increment events `(k, p)`, sorted by `k`.
+    pub fn min_steps(&self) -> &[(u32, u32)] {
+        &self.min_steps
+    }
+
+    /// Upper-bound increment events `(k, p)`, sorted by `k`.
+    pub fn max_steps(&self) -> &[(u32, u32)] {
+        &self.max_steps
+    }
+
+    /// Replay the events into explicit [`BoundTables`] — the oracle
+    /// check that compilation lost nothing: this must equal
+    /// [`FairnessBounds::tables`] for the same `(bounds, n)`.
+    pub fn materialize(&self) -> BoundTables {
+        let g = self.num_groups;
+        let mut min = vec![vec![0usize; g]; self.n];
+        let mut max = vec![vec![0usize; g]; self.n];
+        let mut cur_min = vec![0usize; g];
+        let mut cur_max = vec![0usize; g];
+        let mut mi = 0usize;
+        let mut xi = 0usize;
+        for k in 1..=self.n {
+            while mi < self.min_steps.len() && self.min_steps[mi].0 as usize == k {
+                cur_min[self.min_steps[mi].1 as usize] += 1;
+                mi += 1;
+            }
+            while xi < self.max_steps.len() && self.max_steps[xi].0 as usize == k {
+                cur_max[self.max_steps[xi].1 as usize] += 1;
+                xi += 1;
+            }
+            min[k - 1].copy_from_slice(&cur_min);
+            max[k - 1].copy_from_slice(&cur_max);
+        }
+        BoundTables { min, max }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +338,31 @@ mod tests {
                 assert_eq!(t.max[k - 1][p], b.max_count(p, k));
             }
         }
+    }
+
+    #[test]
+    fn steps_materialize_to_the_exact_tables() {
+        for bounds in [
+            FairnessBounds::exact(vec![0.3, 0.7]).unwrap(),
+            FairnessBounds::new(vec![0.0, 0.1, 0.25], vec![0.4, 0.6, 1.0]).unwrap(),
+            FairnessBounds::exact(vec![1.0]).unwrap(),
+            FairnessBounds::new(vec![0.0], vec![0.0]).unwrap(),
+        ] {
+            for n in [0usize, 1, 7, 40] {
+                let steps = bounds.steps(n);
+                assert_eq!(steps.n(), n);
+                assert_eq!(steps.num_groups(), bounds.num_groups());
+                assert_eq!(steps.materialize(), bounds.tables(n));
+            }
+        }
+    }
+
+    #[test]
+    fn steps_are_sorted_by_prefix() {
+        let b = FairnessBounds::new(vec![0.2, 0.3], vec![0.5, 0.9]).unwrap();
+        let s = b.steps(25);
+        assert!(s.min_steps().windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(s.max_steps().windows(2).all(|w| w[0].0 <= w[1].0));
     }
 
     #[test]

@@ -1,5 +1,20 @@
 //! Infeasible Index and P-fair position percentage (Definitions 3–4).
+//!
+//! Two evaluation paths produce identical integers:
+//!
+//! * [`infeasible_breakdown_naive`] — the direct Definition 3 scan:
+//!   for every prefix `k` recompute `⌊β_p·k⌋` / `⌈α_p·k⌉` for all `g`
+//!   groups (`O(n·g)` float multiply/floor/ceil per ranking). Kept as
+//!   the independent oracle and the baseline the criterion-kernel
+//!   bench measures against.
+//! * [`CompiledInfeasible`] — bounds compiled once into
+//!   [`BoundSteps`](crate::BoundSteps) event lists, then each ranking
+//!   replays `O(n + steps)` integer increments while tracking the
+//!   violating-group *counters* incrementally instead of rescanning
+//!   all groups at every prefix. This is the hot path of the best-of-`m`
+//!   selection loop, where one compile is amortized over `m` samples.
 
+use crate::bounds::BoundSteps;
 use crate::pfair::validate;
 use crate::{FairnessBounds, GroupAssignment, Result};
 use ranking_core::Permutation;
@@ -31,15 +46,201 @@ pub fn infeasible_breakdown(
     groups: &GroupAssignment,
     bounds: &FairnessBounds,
 ) -> Result<InfeasibleBreakdown> {
-    InfeasibleEvaluator::new().breakdown(pi, groups, bounds)
+    // one-shot callers skip the compile; repeated evaluation goes
+    // through `InfeasibleEvaluator` / `CompiledInfeasible`
+    infeasible_breakdown_naive(pi, groups, bounds)
+}
+
+/// The direct Definition 3 scan: recompute every group's float bounds
+/// at every prefix, `O(n·g)` per ranking.
+///
+/// This is the reference path — [`CompiledInfeasible`] must produce the
+/// same integers (pinned by unit and property tests), and the
+/// `criterion_kernels` bench reports `infeasible_speedup` against it.
+pub fn infeasible_breakdown_naive(
+    pi: &Permutation,
+    groups: &GroupAssignment,
+    bounds: &FairnessBounds,
+) -> Result<InfeasibleBreakdown> {
+    validate(pi, groups, bounds)?;
+    let g = groups.num_groups();
+    let mut running = vec![0usize; g];
+    let mut lower = 0usize;
+    let mut upper = 0usize;
+    for (idx, &item) in pi.as_order().iter().enumerate() {
+        running[groups.group_of(item)] += 1;
+        let k = idx + 1;
+        let mut lo_violated = false;
+        let mut hi_violated = false;
+        for p in 0..g {
+            if running[p] < bounds.min_count(p, k) {
+                lo_violated = true;
+            }
+            if running[p] > bounds.max_count(p, k) {
+                hi_violated = true;
+            }
+        }
+        lower += usize::from(lo_violated);
+        upper += usize::from(hi_violated);
+    }
+    Ok(InfeasibleBreakdown {
+        lower_violations: lower,
+        upper_violations: upper,
+    })
+}
+
+/// Bounds compiled to [`BoundSteps`] plus the per-scan scratch: the
+/// event-driven infeasible-index kernel.
+///
+/// One compile (`O(n·g)`, the cost of a single naive evaluation) is
+/// amortized over every ranking evaluated against the same
+/// `(bounds, n)`. A scan then costs `O(n + steps)` with integer
+/// compares only: instead of rescanning all `g` groups at each prefix,
+/// it tracks *how many* groups currently violate their lower/upper
+/// bound and updates those two counters on the (rare) transitions — a
+/// bound stepping past a running count, or a placed item stepping its
+/// group's count past a bound.
+///
+/// The scan is resumable position by position ([`CompiledInfeasible::begin`],
+/// [`CompiledInfeasible::place`]) so the criterion kernels in
+/// `fair_mallows` can fuse it with the NDCG scan and read
+/// [`CompiledInfeasible::total`] mid-ranking as an exact lower bound
+/// for early abandoning.
+#[derive(Debug, Clone)]
+pub struct CompiledInfeasible {
+    steps: BoundSteps,
+    running: Vec<u32>,
+    cur_min: Vec<u32>,
+    cur_max: Vec<u32>,
+    min_pos: usize,
+    max_pos: usize,
+    lower_violators: u32,
+    upper_violators: u32,
+    lower: usize,
+    upper: usize,
+    k: u32,
+}
+
+impl CompiledInfeasible {
+    /// Compile `bounds` for rankings of `n` items.
+    pub fn compile(bounds: &FairnessBounds, n: usize) -> Self {
+        let g = bounds.num_groups();
+        CompiledInfeasible {
+            steps: bounds.steps(n),
+            running: vec![0; g],
+            cur_min: vec![0; g],
+            cur_max: vec![0; g],
+            min_pos: 0,
+            max_pos: 0,
+            lower_violators: 0,
+            upper_violators: 0,
+            lower: 0,
+            upper: 0,
+            k: 0,
+        }
+    }
+
+    /// Ranking length the kernel was compiled for.
+    pub fn n(&self) -> usize {
+        self.steps.n()
+    }
+
+    /// Number of groups the kernel was compiled for.
+    pub fn num_groups(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Reset the scan state for a fresh ranking.
+    pub fn begin(&mut self) {
+        self.running.fill(0);
+        self.cur_min.fill(0);
+        self.cur_max.fill(0);
+        self.min_pos = 0;
+        self.max_pos = 0;
+        self.lower_violators = 0;
+        self.upper_violators = 0;
+        self.lower = 0;
+        self.upper = 0;
+        self.k = 0;
+    }
+
+    /// Process the next ranked item (its group id) — extends the scanned
+    /// prefix by one position and tallies its violations. Requires
+    /// `group < num_groups()` and at most `n()` calls since
+    /// [`CompiledInfeasible::begin`].
+    #[inline]
+    pub fn place(&mut self, group: usize) {
+        self.k += 1;
+        let k = self.k;
+        // advance the integer bounds from prefix k−1 to prefix k; a
+        // group newly outgrown by its lower bound starts violating, a
+        // group caught up to by its upper bound stops
+        let min_steps = self.steps.min_steps();
+        while self.min_pos < min_steps.len() && min_steps[self.min_pos].0 == k {
+            let p = min_steps[self.min_pos].1 as usize;
+            self.lower_violators += u32::from(self.running[p] == self.cur_min[p]);
+            self.cur_min[p] += 1;
+            self.min_pos += 1;
+        }
+        let max_steps = self.steps.max_steps();
+        while self.max_pos < max_steps.len() && max_steps[self.max_pos].0 == k {
+            let p = max_steps[self.max_pos].1 as usize;
+            self.upper_violators -= u32::from(self.running[p] == self.cur_max[p] + 1);
+            self.cur_max[p] += 1;
+            self.max_pos += 1;
+        }
+        // place the item: its group may satisfy its lower bound or
+        // overshoot its upper bound
+        self.lower_violators -= u32::from(self.running[group] + 1 == self.cur_min[group]);
+        self.upper_violators += u32::from(self.running[group] == self.cur_max[group]);
+        self.running[group] += 1;
+        self.lower += usize::from(self.lower_violators > 0);
+        self.upper += usize::from(self.upper_violators > 0);
+    }
+
+    /// Lower violations of the prefixes scanned so far.
+    pub fn lower_violations(&self) -> usize {
+        self.lower
+    }
+
+    /// Upper violations of the prefixes scanned so far.
+    pub fn upper_violations(&self) -> usize {
+        self.upper
+    }
+
+    /// Violations of the prefixes scanned so far. After `n` calls to
+    /// [`CompiledInfeasible::place`] this is `TwoSidedInfInd(π)`;
+    /// mid-scan it is an exact lower bound of the final value (the
+    /// index only accumulates).
+    pub fn total(&self) -> usize {
+        self.lower + self.upper
+    }
+
+    /// Full-ranking breakdown: `begin` + `place` each item. Caller
+    /// guarantees shape compatibility (see [`crate::pfair`] validation);
+    /// the higher-level [`InfeasibleEvaluator`] checks it.
+    pub fn breakdown(&mut self, pi: &Permutation, groups: &GroupAssignment) -> InfeasibleBreakdown {
+        debug_assert_eq!(pi.len(), self.n());
+        debug_assert_eq!(groups.num_groups(), self.num_groups());
+        self.begin();
+        let ids = groups.as_slice();
+        for &item in pi.as_order() {
+            self.place(ids[item]);
+        }
+        InfeasibleBreakdown {
+            lower_violations: self.lower,
+            upper_violations: self.upper,
+        }
+    }
 }
 
 /// Allocation-free infeasible-index evaluator for hot selection loops.
 ///
-/// [`infeasible_breakdown`] allocates a fresh running-counts buffer per
-/// call; a best-of-`m` loop (the streaming Algorithm 1) evaluates the
-/// index `m` times per request, so the evaluator keeps that buffer and
-/// reuses it across calls. Results are identical to the free functions.
+/// Compiles the bounds into a [`CompiledInfeasible`] kernel on first
+/// use and caches it keyed on `(bounds, n)`, so a best-of-`m` loop (the
+/// streaming Algorithm 1) pays the compile once and every evaluation
+/// runs the `O(n + steps)` integer scan. Results are identical to the
+/// free functions.
 ///
 /// ```
 /// use fairness_metrics::infeasible::{two_sided_infeasible_index, InfeasibleEvaluator};
@@ -57,17 +258,17 @@ pub fn infeasible_breakdown(
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct InfeasibleEvaluator {
-    running: Vec<usize>,
+    compiled: Option<(FairnessBounds, CompiledInfeasible)>,
 }
 
 impl InfeasibleEvaluator {
-    /// Empty evaluator; the counts buffer grows on first use.
+    /// Empty evaluator; the kernel is compiled on first use.
     pub fn new() -> Self {
         InfeasibleEvaluator::default()
     }
 
-    /// Per-term violation counts of Definition 3, reusing the internal
-    /// buffer.
+    /// Per-term violation counts of Definition 3, reusing the cached
+    /// compiled kernel when `(bounds, n)` match the previous call.
     pub fn breakdown(
         &mut self,
         pi: &Permutation,
@@ -75,35 +276,19 @@ impl InfeasibleEvaluator {
         bounds: &FairnessBounds,
     ) -> Result<InfeasibleBreakdown> {
         validate(pi, groups, bounds)?;
-        let g = groups.num_groups();
-        let running = &mut self.running;
-        running.clear();
-        running.resize(g, 0);
-        let mut lower = 0usize;
-        let mut upper = 0usize;
-        for (idx, &item) in pi.as_order().iter().enumerate() {
-            running[groups.group_of(item)] += 1;
-            let k = idx + 1;
-            let mut lo_violated = false;
-            let mut hi_violated = false;
-            for p in 0..g {
-                if running[p] < bounds.min_count(p, k) {
-                    lo_violated = true;
-                }
-                if running[p] > bounds.max_count(p, k) {
-                    hi_violated = true;
-                }
-            }
-            lower += usize::from(lo_violated);
-            upper += usize::from(hi_violated);
+        let n = pi.len();
+        let cached = self
+            .compiled
+            .as_ref()
+            .is_some_and(|(b, c)| c.n() == n && b == bounds);
+        if !cached {
+            self.compiled = Some((bounds.clone(), CompiledInfeasible::compile(bounds, n)));
         }
-        Ok(InfeasibleBreakdown {
-            lower_violations: lower,
-            upper_violations: upper,
-        })
+        let (_, kernel) = self.compiled.as_mut().expect("compiled above");
+        Ok(kernel.breakdown(pi, groups))
     }
 
-    /// `TwoSidedInfInd(π)`, reusing the internal buffer.
+    /// `TwoSidedInfInd(π)`, reusing the cached compiled kernel.
     pub fn index(
         &mut self,
         pi: &Permutation,
@@ -235,6 +420,68 @@ mod tests {
         let explicit =
             two_sided_infeasible_index(&pi, &g, &FairnessBounds::from_assignment(&g)).unwrap();
         assert_eq!(infeasible_index_proportional(&pi, &g).unwrap(), explicit);
+    }
+
+    #[test]
+    fn compiled_kernel_matches_naive_on_exhaustive_small_cases() {
+        let assignments = [
+            GroupAssignment::binary_split(6, 3),
+            GroupAssignment::alternating(6),
+            GroupAssignment::new(vec![0, 2, 1, 2, 0, 1], 3).unwrap(),
+        ];
+        let bounds_list = [
+            FairnessBounds::exact(vec![0.5, 0.5]).unwrap(),
+            FairnessBounds::new(vec![0.2, 0.1], vec![0.9, 0.8]).unwrap(),
+            FairnessBounds::new(vec![0.0, 0.3, 0.2], vec![0.5, 1.0, 0.4]).unwrap(),
+        ];
+        for groups in &assignments {
+            for bounds in &bounds_list {
+                if bounds.num_groups() != groups.num_groups() {
+                    continue;
+                }
+                let mut kernel = CompiledInfeasible::compile(bounds, 6);
+                for pi in Permutation::enumerate_all(6) {
+                    let naive = infeasible_breakdown_naive(&pi, groups, bounds).unwrap();
+                    assert_eq!(kernel.breakdown(&pi, groups), naive, "pi {pi:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_total_is_a_monotone_lower_bound_mid_scan() {
+        let groups = GroupAssignment::new(vec![0, 0, 1, 1, 2, 2, 0, 1], 3).unwrap();
+        let bounds = FairnessBounds::from_assignment(&groups);
+        let pi = Permutation::from_order(vec![0, 1, 6, 2, 3, 7, 4, 5]).unwrap();
+        let final_total = infeasible_breakdown_naive(&pi, &groups, &bounds)
+            .unwrap()
+            .total();
+        let mut kernel = CompiledInfeasible::compile(&bounds, 8);
+        kernel.begin();
+        let mut prev = 0;
+        for &item in pi.as_order() {
+            kernel.place(groups.group_of(item));
+            assert!(kernel.total() >= prev, "index only accumulates");
+            assert!(kernel.total() <= final_total);
+            prev = kernel.total();
+        }
+        assert_eq!(kernel.total(), final_total);
+    }
+
+    #[test]
+    fn evaluator_recompiles_when_bounds_or_length_change() {
+        let mut eval = InfeasibleEvaluator::new();
+        let g6 = GroupAssignment::binary_split(6, 3);
+        let g4 = GroupAssignment::binary_split(4, 2);
+        let tight = half();
+        let loose = FairnessBounds::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        for (groups, bounds) in [(&g6, &tight), (&g6, &loose), (&g4, &tight), (&g6, &tight)] {
+            let pi = Permutation::identity(groups.len());
+            assert_eq!(
+                eval.breakdown(&pi, groups, bounds).unwrap(),
+                infeasible_breakdown_naive(&pi, groups, bounds).unwrap()
+            );
+        }
     }
 
     #[test]

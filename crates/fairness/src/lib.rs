@@ -35,7 +35,7 @@ pub mod infeasible;
 pub mod pfair;
 pub mod soft;
 
-pub use bounds::FairnessBounds;
+pub use bounds::{BoundSteps, FairnessBounds};
 pub use groups::GroupAssignment;
 pub use soft::SoftGroupAssignment;
 

@@ -100,3 +100,59 @@ proptest! {
         prop_assert_eq!(breakdown.upper_violations, upper_prefixes.len());
     }
 }
+
+/// Arbitrary per-group proportion bounds: each group draws two values
+/// in `[0, 1]` and uses the smaller as the lower proportion.
+fn arbitrary_bounds(g: usize) -> impl Strategy<Value = FairnessBounds> {
+    prop::collection::vec((0.0f64..=1.0, 0.0f64..=1.0), g).prop_map(|pairs| {
+        let (lower, upper): (Vec<f64>, Vec<f64>) = pairs
+            .into_iter()
+            .map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
+            .unzip();
+        FairnessBounds::new(lower, upper).expect("lower ≤ upper within [0, 1]")
+    })
+}
+
+proptest! {
+    #[test]
+    fn bound_step_tables_replay_min_and_max_counts(
+        bounds in arbitrary_bounds(4),
+        n in 0usize..48,
+    ) {
+        let steps = bounds.steps(n);
+        let tables = steps.materialize();
+        prop_assert_eq!(&tables, &bounds.tables(n));
+        for k in 1..=n {
+            for p in 0..bounds.num_groups() {
+                prop_assert_eq!(tables.min[k - 1][p], bounds.min_count(p, k));
+                prop_assert_eq!(tables.max[k - 1][p], bounds.max_count(p, k));
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_infeasible_kernel_matches_naive_breakdown(
+        pi in permutation(14),
+        groups in assignment(14, 4),
+        bounds in arbitrary_bounds(4),
+    ) {
+        let naive = infeasible::infeasible_breakdown_naive(&pi, &groups, &bounds).unwrap();
+        let mut kernel = infeasible::CompiledInfeasible::compile(&bounds, 14);
+        prop_assert_eq!(kernel.breakdown(&pi, &groups), naive);
+        // the caching evaluator must agree too (fresh compile path)
+        let mut eval = infeasible::InfeasibleEvaluator::new();
+        prop_assert_eq!(eval.breakdown(&pi, &groups, &bounds).unwrap(), naive);
+    }
+
+    #[test]
+    fn compiled_infeasible_matches_naive_under_tolerance_bounds(
+        pi in permutation(12),
+        groups in assignment(12, 3),
+        tol in 0.0f64..0.6,
+    ) {
+        let bounds = FairnessBounds::from_assignment_with_tolerance(&groups, tol);
+        let naive = infeasible::infeasible_breakdown_naive(&pi, &groups, &bounds).unwrap();
+        let mut kernel = infeasible::CompiledInfeasible::compile(&bounds, 12);
+        prop_assert_eq!(kernel.breakdown(&pi, &groups), naive);
+    }
+}

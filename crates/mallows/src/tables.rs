@@ -308,6 +308,21 @@ impl RimSampler {
             .expect("sampled code is stage-valid by construction");
     }
 
+    /// Decode a caller-held insertion code (as drawn by
+    /// [`SamplerTables::sample_code_into`]) into `out`, reusing the
+    /// sampler's decode scratch. Blocked selection loops draw a batch
+    /// of codes into their own row buffers first, then decode the rows
+    /// they still need — identically to interleaved
+    /// [`RimSampler::sample_code`]/[`RimSampler::decode_code_into`]
+    /// calls, since decoding consumes no randomness.
+    ///
+    /// # Panics
+    /// When `code` is not stage-valid for this sampler's centre.
+    pub fn decode_external_code_into(&mut self, code: &[usize], out: &mut Permutation) {
+        lehmer::decode_insertion_code_into(&self.center, code, &mut self.scratch, out)
+            .expect("caller-provided code must be stage-valid");
+    }
+
     /// Draw one exact Mallows sample into `out`, reusing its buffer —
     /// the allocation-free equivalent of
     /// [`MallowsModel::sample`](crate::MallowsModel::sample).
@@ -445,6 +460,25 @@ mod tests {
                 sampler.code_total(),
                 distance::kendall_tau(&out, &center).unwrap()
             );
+        }
+    }
+
+    #[test]
+    fn external_code_decode_matches_internal_path() {
+        let center = Permutation::random(60, &mut StdRng::seed_from_u64(21));
+        let tables = Arc::new(SamplerTables::new(60, 0.4).unwrap());
+        let mut a = RimSampler::from_tables(center.clone(), Arc::clone(&tables)).unwrap();
+        let mut b = RimSampler::from_tables(center, Arc::clone(&tables)).unwrap();
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let mut out_a = Permutation::identity(0);
+        let mut out_b = Permutation::identity(0);
+        let mut code = Vec::new();
+        for _ in 0..15 {
+            a.sample_into(&mut out_a, &mut rng_a);
+            tables.sample_code_into(60, &mut code, &mut rng_b);
+            b.decode_external_code_into(&code, &mut out_b);
+            assert_eq!(out_a, out_b);
         }
     }
 

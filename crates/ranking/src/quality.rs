@@ -31,6 +31,14 @@ impl Discount {
             Discount::None => 1.0,
         }
     }
+
+    /// Materialized discount factors for ranks `1..=n`:
+    /// `table(n)[i] == at(i + 1)`, bit for bit. Hot evaluation loops
+    /// (the criterion kernels in `fair_mallows`) pay the transcendental
+    /// log once per rank call instead of once per element per sample.
+    pub fn table(self, n: usize) -> Vec<f64> {
+        (0..n).map(|i| self.at(i + 1)).collect()
+    }
 }
 
 /// Cumulative gain of the top-`k` prefix: `Σ s(π(i))`.
@@ -112,6 +120,18 @@ mod tests {
     fn discount_at_rank_one() {
         assert!((Discount::Log2.at(1) - 1.0).abs() < 1e-12);
         assert!((Discount::None.at(7) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discount_table_is_bit_identical_to_pointwise() {
+        for d in [Discount::Log2, Discount::NaturalLog, Discount::None] {
+            let table = d.table(200);
+            assert_eq!(table.len(), 200);
+            for (i, &v) in table.iter().enumerate() {
+                assert_eq!(v.to_bits(), d.at(i + 1).to_bits());
+            }
+        }
+        assert!(Discount::Log2.table(0).is_empty());
     }
 
     #[test]
