@@ -17,7 +17,10 @@ pub fn footrule_optimal(votes: &[Permutation]) -> Result<Permutation> {
     if n == 0 {
         return Ok(Permutation::identity(0));
     }
-    let positions: Vec<Vec<usize>> = votes.iter().map(|v| v.positions()).collect();
+    let positions: Vec<Vec<usize>> = votes
+        .iter()
+        .map(ranking_core::Permutation::positions)
+        .collect();
     let costs = CostMatrix::from_fn(n, |item, slot| {
         positions
             .iter()

@@ -22,6 +22,8 @@
 //! All aggregators consume a non-empty slice of equal-length complete
 //! rankings ("votes") and produce a consensus [`Permutation`].
 
+#![forbid(unsafe_code)]
+
 pub mod borda;
 pub mod condorcet;
 pub mod copeland;

@@ -112,9 +112,7 @@ pub fn stationary_distribution(votes: &[Permutation], config: &MarkovConfig) -> 
     let mut dist = vec![uniform; n];
     let mut next = vec![0.0f64; n];
     for _ in 0..config.max_iters {
-        for slot in next.iter_mut() {
-            *slot = d * uniform;
-        }
+        next.fill(d * uniform);
         for a in 0..n {
             let mass = dist[a] * (1.0 - d);
             for b in 0..n {

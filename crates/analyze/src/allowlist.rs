@@ -1,0 +1,219 @@
+//! The committed allowlist: intentional, justified exceptions.
+//!
+//! `analyze.toml` at the workspace root holds `[[allow]]` entries, each
+//! an exact (file, lint) pair plus a **mandatory** free-text
+//! justification — the justification is what makes an exception
+//! reviewable instead of invisible:
+//!
+//! ```toml
+//! [[allow]]
+//! file = "crates/cli/src/lib.rs"
+//! lint = "FORBID_UNSAFE_MISSING"
+//! justification = "signals.rs needs raw libc FFI for the self-pipe"
+//! ```
+//!
+//! A malformed entry and an entry that matches no finding are both
+//! diagnostics themselves (`ALLOWLIST_INVALID` / `ALLOWLIST_UNUSED`):
+//! the allowlist can only ever shrink silently, never rot silently.
+
+use crate::diag::Diagnostic;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Workspace-relative file the exception applies to.
+    pub file: String,
+    /// Lint name the exception applies to.
+    pub lint: String,
+    /// Why the exception exists (mandatory, non-empty).
+    pub justification: String,
+    /// 1-based line of the `[[allow]]` header, for diagnostics.
+    pub line: u32,
+}
+
+/// A parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Valid entries.
+    pub entries: Vec<Entry>,
+    /// Parse/validation problems, already shaped as diagnostics
+    /// against the allowlist file itself.
+    pub problems: Vec<Diagnostic>,
+}
+
+impl Allowlist {
+    /// Parse allowlist text. `file_label` is the workspace-relative
+    /// path used in problem diagnostics (e.g. `analyze.toml`).
+    pub fn parse(text: &str, file_label: &str) -> Allowlist {
+        let mut list = Allowlist::default();
+        let mut current: Option<Entry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = (idx + 1) as u32;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                list.finish(current.take(), file_label);
+                current = Some(Entry {
+                    file: String::new(),
+                    lint: String::new(),
+                    justification: String::new(),
+                    line: line_no,
+                });
+                continue;
+            }
+            let Some((key, value)) = parse_kv(line) else {
+                list.problems.push(Diagnostic {
+                    file: file_label.to_string(),
+                    line: line_no,
+                    col: 1,
+                    lint: super::ALLOWLIST_INVALID,
+                    message: format!("unparsable line `{line}` (expected `key = \"value\"`)"),
+                });
+                continue;
+            };
+            let Some(entry) = current.as_mut() else {
+                list.problems.push(Diagnostic {
+                    file: file_label.to_string(),
+                    line: line_no,
+                    col: 1,
+                    lint: super::ALLOWLIST_INVALID,
+                    message: format!("`{key}` outside an [[allow]] entry"),
+                });
+                continue;
+            };
+            match key {
+                "file" => entry.file = value,
+                "lint" => entry.lint = value,
+                "justification" => entry.justification = value,
+                other => list.problems.push(Diagnostic {
+                    file: file_label.to_string(),
+                    line: line_no,
+                    col: 1,
+                    lint: super::ALLOWLIST_INVALID,
+                    message: format!("unknown key `{other}` (expected file/lint/justification)"),
+                }),
+            }
+        }
+        list.finish(current.take(), file_label);
+        list
+    }
+
+    fn finish(&mut self, entry: Option<Entry>, file_label: &str) {
+        let Some(entry) = entry else { return };
+        let missing: Vec<&str> = [
+            ("file", entry.file.is_empty()),
+            ("lint", entry.lint.is_empty()),
+            ("justification", entry.justification.trim().is_empty()),
+        ]
+        .iter()
+        .filter_map(|&(name, absent)| absent.then_some(name))
+        .collect();
+        if missing.is_empty() {
+            self.entries.push(entry);
+        } else {
+            self.problems.push(Diagnostic {
+                file: file_label.to_string(),
+                line: entry.line,
+                col: 1,
+                lint: super::ALLOWLIST_INVALID,
+                message: format!("[[allow]] entry is missing {}", missing.join(", ")),
+            });
+        }
+    }
+
+    /// Whether an entry covers the given finding. Matching is exact on
+    /// (file, lint) — no globs, so every exception names one file.
+    pub fn covers(&self, d: &Diagnostic) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.file == d.file && e.lint == d.lint)
+    }
+}
+
+/// `key = "value"` with optional trailing `# comment`.
+fn parse_kv(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let key = key.trim();
+    let rest = rest.trim_start();
+    if !rest.starts_with('"') {
+        return None;
+    }
+    let mut value = String::new();
+    let mut chars = rest[1..].chars();
+    let mut closed = false;
+    for c in chars.by_ref() {
+        if c == '"' {
+            closed = true;
+            break;
+        }
+        value.push(c);
+    }
+    if !closed {
+        return None;
+    }
+    let tail: String = chars.collect();
+    let tail = tail.trim();
+    if !(tail.is_empty() || tail.starts_with('#')) {
+        return None;
+    }
+    Some((key, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_flags_missing_justification() {
+        let text = "\
+# exceptions
+[[allow]]
+file = \"crates/cli/src/lib.rs\"
+lint = \"FORBID_UNSAFE_MISSING\"
+justification = \"libc FFI lives in signals.rs\" # reviewed
+
+[[allow]]
+file = \"crates/x/src/lib.rs\"
+lint = \"PANIC_PATH\"
+";
+        let list = Allowlist::parse(text, "analyze.toml");
+        assert_eq!(list.entries.len(), 1);
+        assert_eq!(list.entries[0].lint, "FORBID_UNSAFE_MISSING");
+        assert_eq!(list.problems.len(), 1);
+        assert!(list.problems[0].message.contains("justification"));
+        assert_eq!(list.problems[0].line, 7);
+    }
+
+    #[test]
+    fn rejects_garbage_lines_and_orphan_keys() {
+        let list = Allowlist::parse("file = \"x\"\nnot toml at all\n", "analyze.toml");
+        assert_eq!(list.entries.len(), 0);
+        assert_eq!(list.problems.len(), 2);
+    }
+
+    #[test]
+    fn covers_is_exact_on_file_and_lint() {
+        let text = "\
+[[allow]]
+file = \"a.rs\"
+lint = \"L\"
+justification = \"because\"
+";
+        let list = Allowlist::parse(text, "analyze.toml");
+        let hit = Diagnostic {
+            file: "a.rs".to_string(),
+            line: 9,
+            col: 9,
+            lint: "L",
+            message: String::new(),
+        };
+        let miss = Diagnostic {
+            file: "b.rs".to_string(),
+            ..hit.clone()
+        };
+        assert!(list.covers(&hit).is_some());
+        assert!(list.covers(&miss).is_none());
+    }
+}

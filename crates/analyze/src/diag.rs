@@ -1,0 +1,153 @@
+//! Diagnostics: the lint pass's output type and its two renderings —
+//! the human `file:line:col · LINT_NAME · message` form and a machine
+//! `--format json` form (hand-escaped, no dependencies, same escaping
+//! rules as the engine's JSON emitter).
+
+use std::fmt;
+
+/// One finding, anchored to a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Lint name, SCREAMING_SNAKE_CASE (`PANIC_PATH`).
+    pub lint: &'static str,
+    /// Human explanation of this specific finding.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Sort key: file, then position, then lint name.
+    pub fn sort_key(&self) -> (String, u32, u32, &'static str) {
+        (self.file.clone(), self.line, self.col, self.lint)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{} · {} · {}",
+            self.file, self.line, self.col, self.lint, self.message
+        )
+    }
+}
+
+/// The result of one analysis run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings not covered by the allowlist, sorted.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings suppressed by an allowlist entry.
+    pub allowlisted: Vec<Diagnostic>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the run found nothing actionable.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Human rendering: one diagnostic per line plus a summary tail.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "analyze: {} diagnostic{} ({} allowlisted) across {} files\n",
+            self.diagnostics.len(),
+            if self.diagnostics.len() == 1 { "" } else { "s" },
+            self.allowlisted.len(),
+            self.files_scanned,
+        ));
+        out
+    }
+
+    /// Machine rendering for `--format json`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"lint\":\"{}\",\"message\":\"{}\"}}",
+                escape_json(&d.file),
+                d.line,
+                d.col,
+                escape_json(d.lint),
+                escape_json(&d.message),
+            ));
+        }
+        out.push_str(&format!(
+            "],\"allowlisted\":{},\"files_scanned\":{}}}",
+            self.allowlisted.len(),
+            self.files_scanned
+        ));
+        out.push('\n');
+        out
+    }
+}
+
+/// Escape a string for inclusion in a JSON double-quoted literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_the_documented_format() {
+        let d = Diagnostic {
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 3,
+            col: 7,
+            lint: "PANIC_PATH",
+            message: "`unwrap()` on a request path".to_string(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/x/src/lib.rs:3:7 · PANIC_PATH · `unwrap()` on a request path"
+        );
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        let report = Report {
+            diagnostics: vec![Diagnostic {
+                file: "a.rs".to_string(),
+                line: 1,
+                col: 1,
+                lint: "X",
+                message: "say \"hi\"\nline2".to_string(),
+            }],
+            allowlisted: vec![],
+            files_scanned: 1,
+        };
+        let json = report.render_json();
+        assert!(json.contains("say \\\"hi\\\"\\nline2"), "{json}");
+        assert!(json.contains("\"files_scanned\":1"), "{json}");
+    }
+}

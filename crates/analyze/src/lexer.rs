@@ -1,0 +1,674 @@
+//! A small Rust lexer: just enough tokenization to lint safely.
+//!
+//! The lint pass needs to find identifiers like `unwrap` or string
+//! literals like `"fairrank_cache_hits_total"` without being fooled by
+//! the same byte sequences inside comments, string literals, raw
+//! strings or char literals. This lexer handles exactly that: it
+//! produces a flat token stream with 1-based line/column positions,
+//! understands nested block comments, escape sequences, raw strings
+//! with arbitrary `#` fences, byte strings, raw identifiers and the
+//! lifetime-vs-char-literal ambiguity — and nothing more. No syntax
+//! tree, no macro expansion: every lint downstream is a pattern over
+//! this stream.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `unsafe`, `fn`, `r#match`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// String literal, including byte strings (`"x"`, `b"x"`).
+    Str,
+    /// Raw string literal (`r"x"`, `r#"x"#`, `br##"x"##`).
+    RawStr,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (`42`, `0xFF`, `1.5e3`, `2u64`).
+    Number,
+    /// A single punctuation character (`.`, `:`, `!`, `{`, …).
+    Punct,
+}
+
+/// One lexeme with its position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Kind of lexeme.
+    pub kind: TokenKind,
+    /// The text. For [`TokenKind::Str`]/[`TokenKind::RawStr`] this is
+    /// the *unquoted contents* (escapes left as written); for raw
+    /// identifiers the `r#` prefix is stripped; for everything else
+    /// it is the source slice.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+}
+
+/// A comment with its position, kept out of the token stream but
+/// available to lints that inspect them (the `// SAFETY:` audit).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based line of the last character (differs for block comments).
+    pub end_line: u32,
+}
+
+/// Result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    rest: std::str::Chars<'a>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            rest: src.chars(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest.clone().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.rest.clone();
+        it.next();
+        it.next()
+    }
+
+    fn peek3(&self) -> Option<char> {
+        let mut it = self.rest.clone();
+        it.next();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.rest.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex a whole source file. The lexer never fails: malformed input
+/// (say, an unterminated string) simply ends the current token at EOF
+/// — linting a file that does not compile is allowed to be imprecise.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek2() == Some('/') {
+            lex_line_comment(&mut cur, &mut out, line);
+            continue;
+        }
+        if c == '/' && cur.peek2() == Some('*') {
+            lex_block_comment(&mut cur, &mut out, line);
+            continue;
+        }
+        if c == '"' {
+            cur.bump();
+            let text = lex_quoted(&mut cur, '"');
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '\'' {
+            lex_quote(&mut cur, &mut out, line, col);
+            continue;
+        }
+        if is_ident_start(c) {
+            lex_ident_or_prefixed(&mut cur, &mut out, line, col);
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let text = lex_number(&mut cur);
+            out.tokens.push(Token {
+                kind: TokenKind::Number,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        cur.bump();
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+fn lex_line_comment(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    out.comments.push(Comment {
+        text,
+        line,
+        end_line: line,
+    });
+}
+
+fn lex_block_comment(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    let mut text = String::new();
+    let mut depth = 0u32;
+    // consume `/*`
+    for _ in 0..2 {
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+    }
+    depth += 1;
+    while depth > 0 {
+        match (cur.peek(), cur.peek2()) {
+            (Some(a @ '/'), Some(b @ '*')) => {
+                depth += 1;
+                text.push(a);
+                text.push(b);
+                cur.bump();
+                cur.bump();
+            }
+            (Some(a @ '*'), Some(b @ '/')) => {
+                depth -= 1;
+                text.push(a);
+                text.push(b);
+                cur.bump();
+                cur.bump();
+            }
+            (Some(c), _) => {
+                text.push(c);
+                cur.bump();
+            }
+            (None, _) => break,
+        }
+    }
+    out.comments.push(Comment {
+        text,
+        line,
+        end_line: cur.line,
+    });
+}
+
+/// Lex the contents of a `"…"`-style literal after the opening quote,
+/// honoring `\"` and `\\` escapes. Returns the unquoted contents.
+fn lex_quoted(cur: &mut Cursor, close: char) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.bump() {
+        if c == '\\' {
+            text.push(c);
+            if let Some(escaped) = cur.bump() {
+                text.push(escaped);
+            }
+            continue;
+        }
+        if c == close {
+            break;
+        }
+        text.push(c);
+    }
+    text
+}
+
+/// Lex a raw string after its `r`/`br` prefix: count `#` fence, then
+/// scan to `"#…#` with the same fence length.
+fn lex_raw_string(cur: &mut Cursor) -> String {
+    let mut fence = 0usize;
+    while cur.peek() == Some('#') {
+        fence += 1;
+        cur.bump();
+    }
+    // opening quote
+    cur.bump();
+    let mut text = String::new();
+    'scan: while let Some(c) = cur.bump() {
+        if c == '"' {
+            // need `fence` hashes to close
+            let mut it = cur.rest.clone();
+            for _ in 0..fence {
+                if it.next() != Some('#') {
+                    text.push('"');
+                    continue 'scan;
+                }
+            }
+            for _ in 0..fence {
+                cur.bump();
+            }
+            break;
+        }
+        text.push(c);
+    }
+    text
+}
+
+/// `'` starts either a lifetime (`'a`) or a char literal (`'a'`).
+fn lex_quote(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
+    cur.bump(); // the opening quote
+    let next = cur.peek();
+    let is_char_literal = match next {
+        Some('\\') => true,
+        Some(c) if is_ident_start(c) => cur.peek2() == Some('\''),
+        Some(_) => true, // '0', '+', …
+        None => false,
+    };
+    if is_char_literal {
+        let text = lex_quoted(cur, '\'');
+        out.tokens.push(Token {
+            kind: TokenKind::Char,
+            text,
+            line,
+            col,
+        });
+    } else {
+        let mut text = String::from("'");
+        while let Some(c) = cur.peek() {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            cur.bump();
+        }
+        out.tokens.push(Token {
+            kind: TokenKind::Lifetime,
+            text,
+            line,
+            col,
+        });
+    }
+}
+
+/// An identifier — unless it turns out to be the prefix of a string
+/// (`r"…"`, `b"…"`, `br#"…"#`) or a raw identifier (`r#match`).
+fn lex_ident_or_prefixed(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32) {
+    // Raw string / byte string prefixes, decided by lookahead before
+    // consuming the identifier run.
+    let c1 = cur.peek();
+    let c2 = cur.peek2();
+    let c3 = cur.peek3();
+    let raw_str = match (c1, c2, c3) {
+        (Some('r'), Some('"' | '#'), _) => {
+            // `r#ident` is a raw identifier, `r#"` / `r##…` a raw string
+            !(c2 == Some('#') && c3.is_some_and(is_ident_start))
+        }
+        (Some('b'), Some('r'), Some('"' | '#')) => true,
+        _ => false,
+    };
+    if raw_str {
+        cur.bump(); // r | b
+        if c1 == Some('b') {
+            cur.bump(); // r
+        }
+        let text = lex_raw_string(cur);
+        out.tokens.push(Token {
+            kind: TokenKind::RawStr,
+            text,
+            line,
+            col,
+        });
+        return;
+    }
+    if c1 == Some('b') && c2 == Some('"') {
+        cur.bump(); // b
+        cur.bump(); // "
+        let text = lex_quoted(cur, '"');
+        out.tokens.push(Token {
+            kind: TokenKind::Str,
+            text,
+            line,
+            col,
+        });
+        return;
+    }
+    if c1 == Some('b') && c2 == Some('\'') {
+        cur.bump(); // b
+        cur.bump(); // '
+        let text = lex_quoted(cur, '\'');
+        out.tokens.push(Token {
+            kind: TokenKind::Char,
+            text,
+            line,
+            col,
+        });
+        return;
+    }
+    // raw identifier: skip the `r#` marker, keep the name
+    if c1 == Some('r') && c2 == Some('#') {
+        cur.bump();
+        cur.bump();
+    }
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    out.tokens.push(Token {
+        kind: TokenKind::Ident,
+        text,
+        line,
+        col,
+    });
+}
+
+fn lex_number(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else if c == '.' {
+            // consume the dot only for `1.5`, never for `1..n` / `1.method()`
+            match cur.peek2() {
+                Some(d) if d.is_ascii_digit() => {
+                    text.push(c);
+                    cur.bump();
+                }
+                _ => break,
+            }
+        } else {
+            break;
+        }
+    }
+    text
+}
+
+/// Remove test-only code from a token stream: any item annotated
+/// `#[test]` or `#[cfg(test)]` (or a `cfg` whose arguments mention
+/// `test` outside a `not(…)`, e.g. `#[cfg(all(test, unix))]`) is
+/// dropped, through the end of its `{…}` block or trailing `;`.
+///
+/// This is what lets the lints stay strict on production code while
+/// test modules keep their idiomatic `unwrap()`s and unbounded
+/// channels.
+pub fn strip_test_code(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_attr_start(tokens, i) {
+            let (end, gates_test) = scan_attribute(tokens, i);
+            if gates_test {
+                // drop the attribute, any further attributes, and the item
+                i = end;
+                while is_attr_start(tokens, i) {
+                    let (next_end, _) = scan_attribute(tokens, i);
+                    i = next_end;
+                }
+                i = skip_item(tokens, i);
+                continue;
+            }
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// `#[` at `i` (outer attributes only — `#![…]` inner attributes never
+/// gate an item).
+fn is_attr_start(tokens: &[Token], i: usize) -> bool {
+    matches!(tokens.get(i), Some(t) if t.kind == TokenKind::Punct && t.text == "#")
+        && matches!(tokens.get(i + 1), Some(t) if t.kind == TokenKind::Punct && t.text == "[")
+}
+
+/// Scan the bracket group of an attribute starting at `#`; returns
+/// (index past `]`, whether the attribute gates the item on `test`).
+fn scan_attribute(tokens: &[Token], start: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut idents: Vec<(usize, &str)> = Vec::new();
+    let mut not_regions: Vec<(usize, usize)> = Vec::new();
+    let mut paren_stack: Vec<(usize, bool)> = Vec::new(); // (open index, is_not)
+    let mut j = start + 1; // at `[`
+    while j < tokens.len() {
+        let t = &tokens[j];
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "[") => depth += 1,
+            (TokenKind::Punct, "]") => {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            (TokenKind::Punct, "(") => {
+                let is_not = matches!(
+                    tokens.get(j.wrapping_sub(1)),
+                    Some(p) if p.kind == TokenKind::Ident && p.text == "not"
+                );
+                paren_stack.push((j, is_not));
+            }
+            (TokenKind::Punct, ")") => {
+                if let Some((open, is_not)) = paren_stack.pop() {
+                    if is_not {
+                        not_regions.push((open, j));
+                    }
+                }
+            }
+            (TokenKind::Ident, name) => idents.push((j, name)),
+            _ => {}
+        }
+        j += 1;
+    }
+    let first = idents.first().map(|&(_, name)| name);
+    let gates = match first {
+        Some("test") => true,
+        Some("cfg") => idents.iter().any(|&(at, name)| {
+            name == "test"
+                && !not_regions
+                    .iter()
+                    .any(|&(open, close)| at > open && at < close)
+        }),
+        _ => false,
+    };
+    (j, gates)
+}
+
+/// Skip one item starting at `i`: through a balanced `{…}` block, or to
+/// a `;` seen before any brace (e.g. `use …;`).
+fn skip_item(tokens: &[Token], i: usize) -> usize {
+    let mut j = i;
+    let mut depth = 0usize;
+    let mut entered = false;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "{" => {
+                    depth += 1;
+                    entered = true;
+                }
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if entered && depth == 0 {
+                        return j + 1;
+                    }
+                }
+                ";" if !entered => return j + 1,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r##"
+            // unwrap() in a line comment
+            /* panic!("x") in a /* nested */ block */
+            let a = "unwrap() in a string";
+            let b = r#"expect("x") in a raw string"#;
+            let c = 'u';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_the_literal() {
+        let src = r#"let a = "quote \" unwrap() still inside"; after();"#;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "a", "after"]);
+    }
+
+    #[test]
+    fn raw_string_fences_must_match() {
+        let src = r###"let a = r##"contains "# unwrap() inside"##; tail();"###;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "a", "tail"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'static str { x }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+        // and a real char literal lexes as one
+        let lexed = lex("let c = 'x'; let q = '\\'';");
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn byte_strings_and_raw_idents() {
+        let src = r##"let a = b"unwrap()"; let b = br#"expect()"#; let r#match = 1;"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+        assert!(ids.contains(&"match".to_string()));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lexed = lex("a\n  bc");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_method_calls() {
+        let lexed = lex("for i in 0..10 { x = 1.5; y = 2.max(3); }");
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5", "2", "3"]);
+    }
+
+    #[test]
+    fn strip_removes_cfg_test_modules_but_not_cfg_not_test() {
+        let src = r#"
+            fn keep() { a(); }
+            #[cfg(test)]
+            mod tests { fn f() { drop_me(); } }
+            #[cfg(not(test))]
+            fn also_keep() { b(); }
+            #[test]
+            fn unit() { drop_me_too(); }
+            #[cfg(all(test, unix))]
+            use std::sync::mpsc::channel;
+            fn tail() {}
+        "#;
+        let lexed = lex(src);
+        let stripped = strip_test_code(&lexed.tokens);
+        let ids: Vec<_> = stripped
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(ids.contains(&"keep"));
+        assert!(ids.contains(&"also_keep"));
+        assert!(ids.contains(&"tail"));
+        assert!(!ids.contains(&"drop_me"));
+        assert!(!ids.contains(&"drop_me_too"));
+        assert!(!ids.contains(&"channel"));
+    }
+
+    #[test]
+    fn inner_attributes_do_not_gate_items() {
+        let src = "#![forbid(unsafe_code)] fn keep() {}";
+        let lexed = lex(src);
+        let stripped = strip_test_code(&lexed.tokens);
+        let ids: Vec<_> = stripped
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(ids.contains(&"keep"));
+    }
+}

@@ -1,0 +1,28 @@
+//@ channels
+use std::sync::mpsc;
+use std::sync::mpsc::channel;
+
+pub fn direct() {
+    let (_tx, _rx) = mpsc::channel::<u32>();
+}
+
+pub fn imported() {
+    let (_tx, _rx) = channel::<u32>();
+}
+
+pub fn bounded_is_fine() {
+    // prose trap: mpsc::channel() in a comment
+    let claim = "mpsc::channel() in a string";
+    let _ = claim;
+    let (_tx, _rx) = mpsc::sync_channel::<u32>(8);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_use_unbounded() {
+        let (tx, rx) = std::sync::mpsc::channel::<u32>();
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+    }
+}

@@ -1,0 +1,16 @@
+//@ crate-root
+//@ kernel
+//@ panic-free
+//@ channels
+//! A crate root under every scope at once, with all the trap spellings
+//! — the pass must stay silent.
+
+#![forbid(unsafe_code)]
+
+pub fn survey() -> &'static str {
+    // unwrap() expect() panic! SystemTime::now() mpsc::channel()
+    /* HashMap thread_rng() unsafe { } todo!() */
+    let fences = r#"unwrap() "quoted" HashSet Instant::now()"#;
+    let _ = fences;
+    "unwrap() expect() panic! HashMap mpsc::channel() unsafe"
+}

@@ -1,0 +1,31 @@
+//@ kernel
+//! Doc comments may mention SystemTime::now(), thread_rng() and
+//! HashMap freely — prose is not code.
+
+/* Block comments too: Instant::now(), HashSet::new(). */
+
+pub fn describe() -> &'static str {
+    // line comment trap: SystemTime::now() HashMap thread_rng()
+    "strings are prose: SystemTime::now() thread_rng() HashMap"
+}
+
+pub fn raw() -> &'static str {
+    r#"raw string with "quotes" around Instant::now() and a HashSet"#
+}
+
+pub fn fenced() -> &'static str {
+    r##"nested fence: "# still inside, so HashMap::new() is prose"##
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let started = Instant::now();
+        let mut m = HashMap::new();
+        m.insert(1, started);
+    }
+}

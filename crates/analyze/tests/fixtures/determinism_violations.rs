@@ -1,0 +1,20 @@
+//@ kernel
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn elapsed() -> Instant {
+    Instant::now()
+}
+
+pub fn ambient() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+pub fn tally(pairs: &[(u32, u32)]) -> HashMap<u32, u32> {
+    pairs.iter().copied().collect()
+}

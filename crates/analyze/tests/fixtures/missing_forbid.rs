@@ -1,0 +1,6 @@
+//@ crate-root
+//! A crate root that forgot `#![forbid(unsafe_code)]`.
+
+pub fn f() -> u32 {
+    7
+}

@@ -1,0 +1,36 @@
+//@ panic-free
+pub fn take(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn need(v: Result<u32, ()>) -> u32 {
+    v.expect("boom")
+}
+
+pub fn bail() {
+    panic!("request paths must not unwind");
+}
+
+pub fn impossible() -> u32 {
+    unreachable!()
+}
+
+pub fn later() -> u32 {
+    todo!()
+}
+
+pub fn fine(v: Option<u32>) -> u32 {
+    // comment trap: unwrap() expect("x") panic! unreachable!()
+    let prose = "string trap: unwrap() expect() panic! todo!()";
+    let _ = prose;
+    // `unwrap_or_else` and friends are distinct identifiers, not hits
+    v.unwrap_or_else(|| 7)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(super::fine(None).checked_add(0).unwrap(), 7);
+    }
+}

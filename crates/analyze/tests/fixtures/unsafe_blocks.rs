@@ -1,0 +1,28 @@
+extern "C" {
+    fn getpid() -> i32;
+}
+
+pub fn undocumented() -> i32 {
+    unsafe { getpid() }
+}
+
+pub fn documented() -> i32 {
+    // SAFETY: getpid(2) has no preconditions and cannot fail.
+    unsafe { getpid() }
+}
+
+pub fn wrapped_justification() -> i32 {
+    // SAFETY: the justification may wrap over several comment
+    // lines; the contiguous block above the keyword still counts.
+    unsafe { getpid() }
+}
+
+pub fn same_line() -> i32 {
+    unsafe { getpid() } // SAFETY: same-line comments count too
+}
+
+pub fn prose_only() -> &'static str {
+    // an unrelated comment between the SAFETY block and the keyword
+    // breaks the chain, but strings mentioning unsafe are just prose
+    "unsafe { transmute }"
+}

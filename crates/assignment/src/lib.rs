@@ -18,6 +18,8 @@
 //! assert!((sol.total_cost - 5.0).abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 /// Errors raised by the assignment solver.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AssignmentError {

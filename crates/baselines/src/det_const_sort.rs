@@ -59,7 +59,7 @@ pub fn det_const_sort<R: Rng + ?Sized>(
 
     // Per-group queues by descending score; `next[p]` indexes the queue.
     let mut queues: Vec<Vec<usize>> = (0..g).map(|p| groups.members(p)).collect();
-    for q in queues.iter_mut() {
+    for q in &mut queues {
         q.sort_by(|&a, &b| {
             scores[b]
                 .partial_cmp(&scores[a])

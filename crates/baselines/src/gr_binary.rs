@@ -42,7 +42,7 @@ pub fn gr_binary_ipf(
 
     // Streams in input order.
     let mut streams: Vec<Vec<usize>> = (0..2).map(|p| groups.members(p)).collect();
-    for s in streams.iter_mut() {
+    for s in &mut streams {
         s.sort_by_key(|&item| positions[item]);
     }
     let mut head = [0usize; 2];

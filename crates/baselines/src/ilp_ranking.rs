@@ -91,7 +91,7 @@ pub fn optimal_fair_ranking_dp(
     // Group members sorted by descending score: the t-th pick from group
     // p is always its t-th best member.
     let mut members: Vec<Vec<usize>> = (0..g).map(|p| groups.members(p)).collect();
-    for m in members.iter_mut() {
+    for m in &mut members {
         m.sort_by(|&a, &b| {
             scores[b]
                 .partial_cmp(&scores[a])

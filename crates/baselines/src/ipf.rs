@@ -90,7 +90,7 @@ pub fn approx_multi_valued_ipf<R: Rng + ?Sized>(
     // Group members in input-ranking order; rank r (1-based) per member.
     let positions = sigma.positions();
     let mut members: Vec<Vec<usize>> = (0..g).map(|p| groups.members(p)).collect();
-    for m in members.iter_mut() {
+    for m in &mut members {
         m.sort_by_key(|&item| positions[item]);
     }
 

@@ -18,6 +18,8 @@
 //!   branch & bound, with the paper's noisy constraint relaxation;
 //! * [`brute`] — exhaustive reference solvers used as test oracles.
 
+#![forbid(unsafe_code)]
+
 pub mod brute;
 pub mod det_const_sort;
 pub mod fa_ir;

@@ -58,7 +58,7 @@ pub fn optimal_fair_ranking_kt(
 
     // members[p] in input (σ) order.
     let mut members: Vec<Vec<usize>> = (0..g).map(|p| groups.members(p)).collect();
-    for m in members.iter_mut() {
+    for m in &mut members {
         m.sort_by_key(|&item| positions[item]);
     }
     let sizes: Vec<usize> = members.iter().map(Vec::len).collect();

@@ -64,7 +64,7 @@ pub fn fair_top_k(
     let sizes = groups.group_sizes();
 
     let mut members: Vec<Vec<usize>> = (0..g).map(|p| groups.members(p)).collect();
-    for m in members.iter_mut() {
+    for m in &mut members {
         m.sort_by(|&a, &b| {
             scores[b]
                 .partial_cmp(&scores[a])

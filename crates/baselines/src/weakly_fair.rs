@@ -41,7 +41,7 @@ pub fn weakly_fair_ranking(
 
     // Per-group queues of items by descending score.
     let mut queues: Vec<Vec<usize>> = (0..g).map(|p| groups.members(p)).collect();
-    for q in queues.iter_mut() {
+    for q in &mut queues {
         q.sort_by(|&a, &b| {
             scores[b]
                 .partial_cmp(&scores[a])

@@ -13,16 +13,16 @@ fn bench(c: &mut Criterion) {
     for n in [10usize, 50] {
         let votes: Vec<Permutation> = (0..9).map(|_| Permutation::random(n, &mut rng)).collect();
         g.bench_with_input(BenchmarkId::new("borda", n), &n, |b, _| {
-            b.iter(|| black_box(borda(&votes).unwrap()))
+            b.iter(|| black_box(borda(&votes).unwrap()));
         });
         g.bench_with_input(BenchmarkId::new("footrule_matching", n), &n, |b, _| {
-            b.iter(|| black_box(footrule_optimal(&votes).unwrap()))
+            b.iter(|| black_box(footrule_optimal(&votes).unwrap()));
         });
         g.bench_with_input(BenchmarkId::new("kwiksort_local_search", n), &n, |b, _| {
             b.iter(|| {
                 let k = kwik_sort(&votes, &mut rng).unwrap();
                 black_box(local_search(&k, &votes).unwrap())
-            })
+            });
         });
     }
     g.finish();

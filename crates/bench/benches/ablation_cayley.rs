@@ -17,16 +17,16 @@ fn bench(c: &mut Criterion) {
         let kt = MallowsModel::new(center.clone(), 0.5).unwrap();
         let cay = CayleyMallows::new(center, 0.5).unwrap();
         g.bench_with_input(BenchmarkId::new("kt_rim_sample", n), &n, |b, _| {
-            b.iter(|| black_box(kt.sample(&mut rng)))
+            b.iter(|| black_box(kt.sample(&mut rng)));
         });
         g.bench_with_input(BenchmarkId::new("cayley_crp_sample", n), &n, |b, _| {
-            b.iter(|| black_box(cay.sample(&mut rng)))
+            b.iter(|| black_box(cay.sample(&mut rng)));
         });
         g.bench_with_input(BenchmarkId::new("theta_solve_kt", n), &n, |b, _| {
-            b.iter(|| black_box(dispersion::theta_for_normalized_distance(n, 0.2)))
+            b.iter(|| black_box(dispersion::theta_for_normalized_distance(n, 0.2)));
         });
         g.bench_with_input(BenchmarkId::new("theta_solve_cayley", n), &n, |b, _| {
-            b.iter(|| black_box(theta_for_expected_cayley(n, 0.2 * (n as f64 - 1.0))))
+            b.iter(|| black_box(theta_for_expected_cayley(n, 0.2 * (n as f64 - 1.0))));
         });
     }
     g.finish();

@@ -28,7 +28,7 @@ fn bench(c: &mut Criterion) {
     for (name, criterion) in cases {
         let ranker = MallowsFairRanker::new(1.0, 15, criterion).unwrap();
         g.bench_function(name, |b| {
-            b.iter(|| black_box(ranker.rank(&inst.input, &mut rng).unwrap()))
+            b.iter(|| black_box(ranker.rank(&inst.input, &mut rng).unwrap()));
         });
     }
     g.finish();

@@ -13,18 +13,18 @@ fn bench(c: &mut Criterion) {
         let a = Permutation::random(n, &mut rng);
         let b_perm = Permutation::random(n, &mut rng);
         g.bench_with_input(BenchmarkId::new("kendall_merge", n), &n, |b, _| {
-            b.iter(|| black_box(distance::kendall_tau(&a, &b_perm).unwrap()))
+            b.iter(|| black_box(distance::kendall_tau(&a, &b_perm).unwrap()));
         });
         if n <= 100 {
             g.bench_with_input(BenchmarkId::new("kendall_naive", n), &n, |b, _| {
-                b.iter(|| black_box(distance::kendall_tau_naive(&a, &b_perm).unwrap()))
+                b.iter(|| black_box(distance::kendall_tau_naive(&a, &b_perm).unwrap()));
             });
         }
         g.bench_with_input(BenchmarkId::new("footrule", n), &n, |b, _| {
-            b.iter(|| black_box(distance::footrule(&a, &b_perm).unwrap()))
+            b.iter(|| black_box(distance::footrule(&a, &b_perm).unwrap()));
         });
         g.bench_with_input(BenchmarkId::new("ulam", n), &n, |b, _| {
-            b.iter(|| black_box(distance::ulam(&a, &b_perm).unwrap()))
+            b.iter(|| black_box(distance::ulam(&a, &b_perm).unwrap()));
         });
     }
     g.finish();

@@ -28,7 +28,7 @@ fn bench(c: &mut Criterion) {
                 baselines::optimal_fair_ranking_ilp(&scores, &groups, &tables, Discount::Log2)
                     .unwrap(),
             )
-        })
+        });
     });
     for n in [6usize, 50, 100] {
         let (scores, groups, bounds) = instance(n);
@@ -39,7 +39,7 @@ fn bench(c: &mut Criterion) {
                     baselines::optimal_fair_ranking_dp(&scores, &groups, &tables, Discount::Log2)
                         .unwrap(),
                 )
-            })
+            });
         });
     }
     g.finish();

@@ -24,23 +24,23 @@ fn bench(c: &mut Criterion) {
                     )
                     .unwrap(),
                 )
-            })
+            });
         });
         g.bench_with_input(BenchmarkId::new("ndkl", n), &n, |b, _| {
-            b.iter(|| black_box(divergence::ndkl(&pi, &inst.unknown).unwrap()))
+            b.iter(|| black_box(divergence::ndkl(&pi, &inst.unknown).unwrap()));
         });
         g.bench_with_input(BenchmarkId::new("min_skew", n), &n, |b, _| {
-            b.iter(|| black_box(divergence::min_skew_at(&pi, &inst.unknown, n / 2).unwrap()))
+            b.iter(|| black_box(divergence::min_skew_at(&pi, &inst.unknown, n / 2).unwrap()));
         });
         g.bench_with_input(BenchmarkId::new("exposure_parity", n), &n, |b, _| {
             b.iter(|| {
                 black_box(
                     exposure::exposure_parity_ratio(&pi, &inst.unknown, Discount::Log2).unwrap(),
                 )
-            })
+            });
         });
         g.bench_with_input(BenchmarkId::new("ndcg", n), &n, |b, _| {
-            b.iter(|| black_box(quality::ndcg(&pi, &inst.scores).unwrap()))
+            b.iter(|| black_box(quality::ndcg(&pi, &inst.scores).unwrap()));
         });
     }
     g.finish();

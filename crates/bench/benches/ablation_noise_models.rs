@@ -16,17 +16,17 @@ fn bench(c: &mut Criterion) {
 
     let mallows = MallowsModel::new(center.clone(), 1.0).unwrap();
     g.bench_function("mallows", |b| {
-        b.iter(|| black_box(mallows.sample(&mut rng)))
+        b.iter(|| black_box(mallows.sample(&mut rng)));
     });
 
     let gmm = GeneralizedMallows::head_mixing(center.clone(), 2.0, 0.9).unwrap();
     g.bench_function("generalized_head_mixing", |b| {
-        b.iter(|| black_box(gmm.sample(&mut rng)))
+        b.iter(|| black_box(gmm.sample(&mut rng)));
     });
 
     let pl = PlackettLuce::from_center(&center, 0.05).unwrap();
     g.bench_function("plackett_luce", |b| {
-        b.iter(|| black_box(pl.sample(&mut rng)))
+        b.iter(|| black_box(pl.sample(&mut rng)));
     });
 
     g.finish();

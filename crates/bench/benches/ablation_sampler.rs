@@ -16,7 +16,7 @@ fn bench(c: &mut Criterion) {
             let model = MallowsModel::new(Permutation::identity(n), theta).unwrap();
             let id = format!("n={n},theta={theta}");
             g.bench_with_input(BenchmarkId::from_parameter(id), &n, |b, _| {
-                b.iter(|| black_box(model.sample(&mut rng)))
+                b.iter(|| black_box(model.sample(&mut rng)));
             });
         }
     }

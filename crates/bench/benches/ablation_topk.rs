@@ -21,10 +21,10 @@ fn bench(c: &mut Criterion) {
         let truncated = TopKMallows::new(center.clone(), 0.5, K).unwrap();
         let full = MallowsModel::new(center, 0.5).unwrap();
         g.bench_with_input(BenchmarkId::new("truncated_sampler", n), &n, |b, _| {
-            b.iter(|| black_box(truncated.sample(&mut rng)))
+            b.iter(|| black_box(truncated.sample(&mut rng)));
         });
         g.bench_with_input(BenchmarkId::new("full_rim_then_truncate", n), &n, |b, _| {
-            b.iter(|| black_box(full.sample(&mut rng).top_k(K)))
+            b.iter(|| black_box(full.sample(&mut rng).top_k(K)));
         });
 
         let inst = bench::credit_instance(n.min(1000));
@@ -42,7 +42,7 @@ fn bench(c: &mut Criterion) {
                     )
                     .unwrap(),
                 )
-            })
+            });
         });
         let share = inst.unknown.proportions()[0];
         let cfg = FaIrConfig {
@@ -51,7 +51,7 @@ fn bench(c: &mut Criterion) {
             adjust: true,
         };
         g.bench_with_input(BenchmarkId::new("fa_ir", n), &n, |b, _| {
-            b.iter(|| black_box(fa_ir(&inst.scores, &inst.unknown, 0, K, &cfg).unwrap()))
+            b.iter(|| black_box(fa_ir(&inst.scores, &inst.unknown, 0, K, &cfg).unwrap()));
         });
     }
     g.finish();

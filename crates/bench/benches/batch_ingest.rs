@@ -309,7 +309,7 @@ fn main() {
             "streaming table parse must beat the legacy slurp ({table_ms:.1}ms vs {legacy_ms:.1}ms)"
         );
     }
-    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     if !smoke && cpus >= 4 {
         assert!(
             parallel_speedup_4t >= 3.0,

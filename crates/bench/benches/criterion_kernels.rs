@@ -261,7 +261,7 @@ fn main() {
         );
     });
     let parallel_speedup_4t = t1_ms / t4_ms;
-    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     println!(
         "{{\"bench\":\"criterion_kernels\",\"mode\":\"batched_4t\",\"n\":{n},\"m\":{m},\"cpus\":{cpus},\"t1_ms\":{t1_ms:.2},\"t4_ms\":{t4_ms:.2},\"parallel_speedup_4t\":{parallel_speedup_4t:.2}}}"
     );

@@ -54,14 +54,14 @@ fn bench_cold_vs_cached(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             black_box(e.submit(mallows_job(n, seed)).unwrap())
-        })
+        });
     });
 
     // cached: the identical job over and over (all hits after the first)
     let e = engine();
     e.submit(mallows_job(n, 1)).unwrap();
     g.bench_function("cached", |b| {
-        b.iter(|| black_box(e.submit(mallows_job(n, 1)).unwrap()))
+        b.iter(|| black_box(e.submit(mallows_job(n, 1)).unwrap()));
     });
 
     // registry dispatch without pool/cache, for reference
@@ -73,7 +73,7 @@ fn bench_cold_vs_cached(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(job.params.seed);
             black_box(algo.run(&job, &ctx, &mut rng).unwrap())
-        })
+        });
     });
     g.finish();
 }
@@ -109,7 +109,7 @@ fn bench_pipeline_sizes(c: &mut Criterion) {
                     },
                 };
                 black_box(e.submit(job).unwrap())
-            })
+            });
         });
     }
     g.finish();

@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let s = model.sample(&mut rng);
                 black_box(infeasible::two_sided_infeasible_index(&s, &groups, &bounds).unwrap())
-            })
+            });
         });
     }
     g.finish();

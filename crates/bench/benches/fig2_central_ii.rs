@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     for delta in [0.0f64, 0.5, 1.0] {
         let workload = TwoGroupUniform::paper(delta);
         g.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, _| {
-            b.iter(|| black_box(workload.sample_central(&mut rng).2))
+            b.iter(|| black_box(workload.sample_central(&mut rng).2));
         });
     }
     g.finish();

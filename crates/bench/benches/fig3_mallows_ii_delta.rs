@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
                 let model = MallowsModel::new(center, t).unwrap();
                 let s = model.sample(&mut rng);
                 black_box(infeasible::two_sided_infeasible_index(&s, &groups, &bounds).unwrap())
-            })
+            });
         });
     }
     g.finish();

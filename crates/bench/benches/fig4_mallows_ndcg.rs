@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
                 let model = MallowsModel::new(center, t).unwrap();
                 let s = model.sample(&mut rng);
                 black_box(quality::ndcg(&s, &scores).unwrap())
-            })
+            });
         });
     }
     g.finish();

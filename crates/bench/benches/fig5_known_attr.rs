@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
                 &inst.known,
                 &inst.known_bounds,
             ))
-        })
+        });
     });
     g.bench_function("det_const_sort", |b| {
         b.iter(|| {
@@ -35,7 +35,7 @@ fn bench(c: &mut Criterion) {
                 )
                 .unwrap(),
             )
-        })
+        });
     });
     g.bench_function("approx_multi_valued_ipf", |b| {
         b.iter(|| {
@@ -49,7 +49,7 @@ fn bench(c: &mut Criterion) {
                 )
                 .unwrap(),
             )
-        })
+        });
     });
     g.bench_function("ilp_dp", |b| {
         let tables = inst.known_bounds.tables(inst.scores.len());
@@ -63,11 +63,11 @@ fn bench(c: &mut Criterion) {
                 )
                 .unwrap(),
             )
-        })
+        });
     });
     g.bench_function("mallows_single", |b| {
         let ranker = MallowsFairRanker::new(1.0, 1, SelCriterion::FirstSample).unwrap();
-        b.iter(|| black_box(ranker.rank(&inst.input, &mut rng).unwrap()))
+        b.iter(|| black_box(ranker.rank(&inst.input, &mut rng).unwrap()));
     });
     g.finish();
 }

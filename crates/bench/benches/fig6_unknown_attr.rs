@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
                     infeasible::pfair_percentage(&inst.input, &inst.unknown, &inst.unknown_bounds)
                         .unwrap(),
                 )
-            })
+            });
         });
     }
     g.finish();

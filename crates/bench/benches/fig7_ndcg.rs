@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
         let ranker =
             MallowsFairRanker::new(1.0, 15, SelCriterion::MaxNdcg(inst.scores.clone())).unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(ranker.rank(&inst.input, &mut rng).unwrap()))
+            b.iter(|| black_box(ranker.rank(&inst.input, &mut rng).unwrap()));
         });
     }
     g.finish();

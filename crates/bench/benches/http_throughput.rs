@@ -98,7 +98,8 @@ fn run_mode(name: &str, thread_per_conn: bool, per_thread: usize) -> f64 {
         },
     )
     .expect("binding an ephemeral port")
-    .spawn();
+    .spawn()
+    .expect("starting the server");
     let addr = server.addr();
 
     // warm: populate the result cache and any lazy state
@@ -277,6 +278,7 @@ fn spawn_sleep_backend() -> ServerHandle {
     )
     .expect("binding a backend port")
     .spawn()
+    .expect("starting the backend")
 }
 
 fn run_router_scaling(smoke: bool) {

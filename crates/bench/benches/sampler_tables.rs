@@ -36,12 +36,12 @@ fn bench_sample_many(c: &mut Criterion) {
 
     let mut rng = bench::bench_rng();
     g.bench_function("old_closed_form/n1000_m100", |b| {
-        b.iter(|| black_box(sample_many_closed_form(&center, &mut rng)))
+        b.iter(|| black_box(sample_many_closed_form(&center, &mut rng)));
     });
 
     let mut rng = bench::bench_rng();
     g.bench_function("table_driven/n1000_m100", |b| {
-        b.iter(|| black_box(model.sample_many(M, &mut rng)))
+        b.iter(|| black_box(model.sample_many(M, &mut rng)));
     });
 
     // the streaming form the engine actually runs: no per-sample Vec at all
@@ -54,7 +54,7 @@ fn bench_sample_many(c: &mut Criterion) {
                 sampler.sample_into(&mut out, &mut rng);
                 black_box(out.len());
             }
-        })
+        });
     });
     g.finish();
 }
@@ -74,7 +74,7 @@ fn bench_large_n(c: &mut Criterion) {
             b.iter(|| {
                 sampler.sample_into(&mut out, &mut rng);
                 black_box(out.len());
-            })
+            });
         });
     }
     g.finish();
@@ -83,12 +83,12 @@ fn bench_large_n(c: &mut Criterion) {
 fn bench_table_cache(c: &mut Criterion) {
     let mut g = c.benchmark_group("tables/cache");
     g.bench_function("cold_build_n1000", |b| {
-        b.iter(|| black_box(SamplerTables::new(N, THETA).unwrap()))
+        b.iter(|| black_box(SamplerTables::new(N, THETA).unwrap()));
     });
     let cache = TableCache::new(8);
     cache.get_or_build(N, THETA).unwrap();
     g.bench_function("hit_n1000", |b| {
-        b.iter(|| black_box(cache.get_or_build(N, THETA).unwrap()))
+        b.iter(|| black_box(cache.get_or_build(N, THETA).unwrap()));
     });
     g.finish();
 }

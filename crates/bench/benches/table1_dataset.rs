@@ -9,11 +9,11 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let mut rng = bench::bench_rng();
     c.bench_function("table1/generate_1000_records", |b| {
-        b.iter(|| black_box(GermanCredit::generate(&mut rng)))
+        b.iter(|| black_box(GermanCredit::generate(&mut rng)));
     });
     let data = GermanCredit::generate(&mut rng);
     c.bench_function("table1/recompute_joint_counts", |b| {
-        b.iter(|| black_box(data.table_i()))
+        b.iter(|| black_box(data.table_i()));
     });
 }
 

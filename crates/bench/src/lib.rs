@@ -5,6 +5,8 @@
 //! inner loop at reduced scale) plus ablation benches for the design
 //! choices called out in DESIGN.md. Run with `cargo bench`.
 
+#![forbid(unsafe_code)]
+
 pub mod summary;
 
 use fair_datasets::GermanCredit;

@@ -217,8 +217,7 @@ fn is_civil_date(s: &str) -> bool {
 pub fn today_utc() -> String {
     let days = SystemTime::now()
         .duration_since(UNIX_EPOCH)
-        .map(|d| (d.as_secs() / 86_400) as i64)
-        .unwrap_or(0);
+        .map_or(0, |d| (d.as_secs() / 86_400) as i64);
     let (year, month, day) = civil_from_days(days);
     format!("{year:04}-{month:02}-{day:02}")
 }

@@ -112,7 +112,7 @@ mod tests {
     use super::*;
 
     fn parse(tokens: &[&str]) -> Result<Args> {
-        Args::parse(tokens.iter().map(|s| s.to_string()))
+        Args::parse(tokens.iter().map(std::string::ToString::to_string))
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub fn dispatch(args: &Args) -> Result<String> {
         "experiment" => crate::experiment::experiment(args),
         "serve" => serve(args),
         "router" => router(args),
+        "analyze" => analyze(args),
         "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
@@ -219,6 +220,59 @@ pub fn router(args: &Args) -> Result<String> {
     }
     handle.shutdown();
     Ok("fairrank: router drained, exiting\n".to_string())
+}
+
+/// `fairrank analyze`: static-analysis pass over the workspace's own
+/// sources (see `docs/ANALYSIS.md` for the lint set).
+///
+/// Prints diagnostics to stdout (text or `--format json`) and fails
+/// with [`CliError::Analysis`] — exit code 1 — when any diagnostic is
+/// not covered by a justified allowlist entry, which is what makes the
+/// CI step a hard gate.
+pub fn analyze(args: &Args) -> Result<String> {
+    use fairrank_analyze::lints::LintConfig;
+    use std::path::PathBuf;
+
+    let root = match args.get("root") {
+        Some(p) => PathBuf::from(p),
+        None => {
+            let cwd = std::env::current_dir()
+                .map_err(|e| CliError::Input(format!("cannot read current directory: {e}")))?;
+            fairrank_analyze::walker::find_workspace_root(&cwd).ok_or_else(|| {
+                CliError::Input(format!(
+                    "no [workspace] Cargo.toml at or above {} (pass --root)",
+                    cwd.display()
+                ))
+            })?
+        }
+    };
+    let allowlist = args.get("allowlist").map(PathBuf::from);
+    let format = args.get("format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(CliError::Usage(format!(
+            "--format expects text or json, got `{format}`"
+        )));
+    }
+    let report = fairrank_analyze::run(
+        &root,
+        allowlist.as_deref(),
+        &LintConfig::workspace_default(),
+    )
+    .map_err(CliError::Input)?;
+    let rendered = match format {
+        "json" => report.render_json(),
+        _ => report.render_text(),
+    };
+    if report.is_clean() {
+        Ok(rendered)
+    } else {
+        // print the findings before failing: the Err carries only the
+        // count, the diagnostics themselves go to stdout either way
+        print!("{rendered}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        Err(CliError::Analysis(report.diagnostics.len()))
+    }
 }
 
 /// `fairrank rank`: fair post-processing of a candidate CSV.
@@ -436,7 +490,11 @@ pub fn sample(args: &Args) -> Result<String> {
     let mut s = Permutation::identity(0);
     for _ in 0..count {
         sampler.sample_into(&mut s, &mut rng);
-        let line: Vec<String> = s.as_order().iter().map(|i| i.to_string()).collect();
+        let line: Vec<String> = s
+            .as_order()
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         out.push_str(&line.join(","));
         out.push('\n');
     }
@@ -519,7 +577,7 @@ pub fn index(args: &Args) -> Result<String> {
     let start = std::time::Instant::now();
     let built = CsvIndex::build(path, dialect).map_err(input_err)?;
     let written = built.write_sidecar(path).map_err(input_err)?;
-    let bytes = std::fs::metadata(&written).map(|m| m.len()).unwrap_or(0);
+    let bytes = std::fs::metadata(&written).map_or(0, |m| m.len());
     Ok(format!(
         "indexed {path}: {} records -> {} ({bytes} bytes, {:.1} ms)\n",
         built.record_count(),
@@ -604,7 +662,7 @@ mod tests {
     use super::*;
 
     fn args(tokens: &[&str]) -> Args {
-        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+        Args::parse(tokens.iter().map(std::string::ToString::to_string)).unwrap()
     }
 
     fn write_temp(name: &str, content: &str) -> String {

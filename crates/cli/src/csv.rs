@@ -157,10 +157,16 @@ impl TableBuilder {
         let (mut columns, mut batch_lines) = batch.into_parts();
         let batch_groups = columns
             .pop()
-            .and_then(|c| c.into_category())
+            .and_then(fairrank_dataset::Column::into_category)
             .expect("column 2");
-        let mut batch_scores = columns.pop().and_then(|c| c.into_f64()).expect("column 1");
-        let mut batch_ids = columns.pop().and_then(|c| c.into_str()).expect("column 0");
+        let mut batch_scores = columns
+            .pop()
+            .and_then(fairrank_dataset::Column::into_f64)
+            .expect("column 1");
+        let mut batch_ids = columns
+            .pop()
+            .and_then(fairrank_dataset::Column::into_str)
+            .expect("column 0");
         self.ids.append(&mut batch_ids);
         self.scores.append(&mut batch_scores);
         self.lines.append(&mut batch_lines);

@@ -248,7 +248,7 @@ mod tests {
     use super::*;
 
     fn args(tokens: &[&str]) -> Args {
-        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+        Args::parse(tokens.iter().map(std::string::ToString::to_string)).unwrap()
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub enum CliError {
     /// [`std::error::Error::source`] instead of getting a flattened
     /// string.
     Algorithm(Box<dyn std::error::Error + Send + Sync>),
+    /// `fairrank analyze` found non-allowlisted diagnostics (the count
+    /// is carried; the diagnostics themselves were already printed).
+    Analysis(usize),
 }
 
 impl std::fmt::Display for CliError {
@@ -44,6 +47,9 @@ impl std::fmt::Display for CliError {
             CliError::Usage(m) => write!(f, "usage error: {m}"),
             CliError::Input(m) => write!(f, "input error: {m}"),
             CliError::Algorithm(e) => write!(f, "algorithm error: {e}"),
+            CliError::Analysis(n) => {
+                write!(f, "analysis failed: {n} non-allowlisted diagnostic(s)")
+            }
         }
     }
 }
@@ -52,7 +58,7 @@ impl std::error::Error for CliError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CliError::Algorithm(e) => Some(e.as_ref()),
-            CliError::Usage(_) | CliError::Input(_) => None,
+            CliError::Usage(_) | CliError::Input(_) | CliError::Analysis(_) => None,
         }
     }
 }
@@ -77,6 +83,7 @@ COMMANDS:
     experiment  run the German-Credit evaluation sweep as an engine batch job
     serve       run the batch-serving engine's HTTP JSON API
     router      consistent-hash front for N serve replicas
+    analyze     static-analysis pass over this workspace's own sources
     help        print this message
 
 RANK:
@@ -204,6 +211,21 @@ ROUTER:
     GET /metrics aggregates all backend scrapes plus router counters.
     With no ready backend, requests get `503 {\"error\":\"no backends
     ready\"}`. See docs/CLUSTER.md.
+
+ANALYZE:
+    fairrank analyze [--format text|json] [--allowlist FILE] [--root DIR]
+        --format      text (default) | json
+        --allowlist   allowlist file    (default ROOT/analyze.toml)
+        --root        workspace root    (default: nearest [workspace]
+                      Cargo.toml above the current directory)
+    Lints this workspace's own Rust sources for the engine's
+    invariants: determinism in the kernel crates (no wall clocks,
+    ambient RNGs or hash-order iteration), panic-freedom on the HTTP
+    request paths, bounded channels in the serving crates, `// SAFETY:`
+    comments on every `unsafe`, `#![forbid(unsafe_code)]` on crate
+    roots, and metric-family <-> docs consistency. Exits non-zero when
+    any diagnostic is not covered by a justified allowlist entry.
+    See docs/ANALYSIS.md.
 
 Candidate CSV: one `id,score,group` row per candidate (header allowed).
 Vote CSV: one comma-separated ranking of item labels per line.

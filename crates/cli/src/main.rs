@@ -1,5 +1,7 @@
 //! `fairrank` — fair ranking, metrics, sampling and aggregation on CSVs.
 
+#![forbid(unsafe_code)]
+
 use fairrank_cli::args::Args;
 use fairrank_cli::{commands, CliError};
 

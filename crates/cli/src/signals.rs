@@ -35,6 +35,8 @@ mod imp {
         let fd = WRITE_FD.load(Ordering::Relaxed);
         if fd >= 0 {
             let byte = 1u8;
+            // SAFETY: `write(2)` is async-signal-safe; `byte` lives on
+            // this frame for the whole call and `fd` was checked >= 0.
             unsafe {
                 write(fd, &byte, 1);
             }
@@ -46,11 +48,16 @@ mod imp {
     /// when the pipe cannot be created.
     pub fn install() -> Option<impl FnOnce() + Send + 'static> {
         let mut fds = [-1i32; 2];
+        // SAFETY: `fds` is a valid `*mut i32` pointing at two writable
+        // slots, exactly the array `pipe(2)` fills on success.
         if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
             return None;
         }
         WRITE_FD.store(fds[1], Ordering::SeqCst);
         let handler = on_signal as *const () as usize;
+        // SAFETY: `on_signal` is `extern "C" fn(i32)` — the exact shape
+        // `signal(2)` expects — and only does async-signal-safe work.
+        // WRITE_FD was published above, before any handler can fire.
         unsafe {
             signal(SIGTERM, handler);
             signal(SIGINT, handler);
@@ -58,6 +65,9 @@ mod imp {
         let read_fd = fds[0];
         Some(move || loop {
             let mut byte = 0u8;
+            // SAFETY: `byte` is one writable byte on this frame and
+            // `read_fd` is the pipe's read end, open for the process
+            // lifetime (the write end is never closed).
             let got = unsafe { read(read_fd, &mut byte, 1) };
             if got > 0 {
                 return;

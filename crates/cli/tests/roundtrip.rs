@@ -5,7 +5,7 @@ use fairrank_cli::args::Args;
 use fairrank_cli::commands;
 
 fn args(tokens: &[&str]) -> Args {
-    Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    Args::parse(tokens.iter().map(std::string::ToString::to_string)).unwrap()
 }
 
 fn temp(name: &str, content: &str) -> String {

@@ -30,6 +30,7 @@
 //! assert!(out.criterion_value <= 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod algorithm;

@@ -488,7 +488,7 @@ impl RecordSource for ChunkReader {
 /// Resolve a `--jobs` value: 0 means one job per available CPU.
 pub fn effective_jobs(jobs: usize) -> usize {
     if jobs == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
     } else {
         jobs
     }

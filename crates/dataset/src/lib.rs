@@ -39,6 +39,7 @@
 //! assert_eq!(batch.column(0).as_str().unwrap()[2], "smith, carol");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod batch;

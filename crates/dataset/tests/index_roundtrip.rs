@@ -289,7 +289,7 @@ fn large_file_parallel_decode_is_identical_across_thread_counts() {
     let one = indexed
         .read_batches_parallel(&schema, true, 1)
         .expect("jobs=1");
-    let rows: usize = one.iter().map(|b| b.rows()).sum();
+    let rows: usize = one.iter().map(fairrank_dataset::RecordBatch::rows).sum();
     assert_eq!(rows, 9500);
     for jobs in [2usize, 3, 8] {
         let many = indexed

@@ -165,7 +165,7 @@ impl GermanCredit {
     /// The known protected attribute: combined Sex-Age (4 groups, in
     /// Table I row order).
     pub fn sex_age_groups(&self) -> GroupAssignment {
-        GroupAssignment::new(self.records.iter().map(|r| r.sex_age_group()).collect(), 4)
+        GroupAssignment::new(self.records.iter().map(Record::sex_age_group).collect(), 4)
             .expect("group ids < 4 by construction")
     }
 

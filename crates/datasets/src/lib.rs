@@ -12,6 +12,8 @@
 //!   V-A/V-B (`S₁ ∼ U(0,1)`, `S₂ ∼ U(δ, 1+δ)`) and the
 //!   target-infeasible-index central rankings of Fig. 1.
 
+#![forbid(unsafe_code)]
+
 pub mod german_credit;
 pub mod synthetic;
 pub mod uci;

@@ -80,7 +80,7 @@ pub fn ranking_with_infeasible_index(
     let mut queues: Vec<Vec<usize>> = (0..groups.num_groups())
         .map(|p| groups.members(p))
         .collect();
-    for q in queues.iter_mut() {
+    for q in &mut queues {
         q.reverse();
     }
     let mut order = Vec::with_capacity(n);

@@ -177,7 +177,7 @@ impl BatchJob {
 
     /// Copy the observable state.
     pub fn snapshot(&self) -> JobSnapshot {
-        let inner = self.inner.lock().expect("job lock");
+        let inner = crate::lock_recover(&self.inner);
         JobSnapshot {
             id: self.id,
             state: inner.state,
@@ -190,9 +190,9 @@ impl BatchJob {
 
     /// Block until the job reaches a terminal state and return it.
     pub fn wait(&self) -> JobSnapshot {
-        let mut inner = self.inner.lock().expect("job lock");
+        let mut inner = crate::lock_recover(&self.inner);
         while !inner.state.is_terminal() {
-            inner = self.changed.wait(inner).expect("job lock");
+            inner = crate::wait_recover(&self.changed, inner);
         }
         JobSnapshot {
             id: self.id,
@@ -292,18 +292,22 @@ impl JobStore {
         chunks: Vec<RankJob>,
         parent_trace: u64,
     ) -> Result<Arc<BatchJob>, EngineError> {
-        let mut inner = self.inner.lock().expect("job store lock");
+        let mut inner = crate::lock_recover(&self.inner);
         while inner.map.len() >= self.capacity {
             // evict the oldest *finished* job
             let Some(pos) = inner.order.iter().position(|id| {
                 inner
                     .map
                     .get(id)
-                    .is_some_and(|job| job.inner.lock().expect("job lock").state.is_terminal())
+                    .is_some_and(|job| crate::lock_recover(&job.inner).state.is_terminal())
             }) else {
                 return Err(EngineError::Overloaded);
             };
-            let id = inner.order.remove(pos).expect("position in range");
+            // `pos` indexes `order`, so the remove cannot miss; the
+            // defensive arm sheds rather than looping on a phantom slot
+            let Some(id) = inner.order.remove(pos) else {
+                return Err(EngineError::Overloaded);
+            };
             inner.map.remove(&id);
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
@@ -318,7 +322,7 @@ impl JobStore {
 
     /// Remove a job that could not be handed to the runner pool.
     fn discard(&self, id: u64) {
-        let mut inner = self.inner.lock().expect("job store lock");
+        let mut inner = crate::lock_recover(&self.inner);
         if inner.map.remove(&id).is_some() {
             inner.order.retain(|&other| other != id);
             self.queued.fetch_sub(1, Ordering::Relaxed);
@@ -327,17 +331,12 @@ impl JobStore {
 
     /// Look up a job by id.
     pub fn get(&self, id: u64) -> Option<Arc<BatchJob>> {
-        self.inner
-            .lock()
-            .expect("job store lock")
-            .map
-            .get(&id)
-            .cloned()
+        crate::lock_recover(&self.inner).map.get(&id).cloned()
     }
 
     /// Jobs currently stored (any state).
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("job store lock").map.len()
+        crate::lock_recover(&self.inner).map.len()
     }
 
     /// True when no jobs are stored.
@@ -364,7 +363,7 @@ impl JobStore {
     /// Running jobs stop at their next chunk boundary instead.
     fn cancel(&self, job: &BatchJob) {
         job.cancel.store(true, Ordering::Relaxed);
-        let mut inner = job.inner.lock().expect("job lock");
+        let mut inner = crate::lock_recover(&job.inner);
         if inner.state == JobState::Queued {
             inner.state = JobState::Cancelled;
             self.queued.fetch_sub(1, Ordering::Relaxed);
@@ -379,17 +378,14 @@ impl JobStore {
     /// `Running` jobs untouched so they can finish their remaining
     /// chunks. Returns how many jobs were cancelled.
     pub fn cancel_queued(&self) -> usize {
-        let jobs: Vec<Arc<BatchJob>> = self
-            .inner
-            .lock()
-            .expect("job store lock")
+        let jobs: Vec<Arc<BatchJob>> = crate::lock_recover(&self.inner)
             .map
             .values()
             .cloned()
             .collect();
         let mut cancelled = 0;
         for job in jobs {
-            let mut inner = job.inner.lock().expect("job lock");
+            let mut inner = crate::lock_recover(&job.inner);
             if inner.state == JobState::Queued {
                 inner.state = JobState::Cancelled;
                 drop(inner);
@@ -409,7 +405,7 @@ impl JobStore {
     /// while queued (already terminal, or the flag landed between the
     /// terminal check and dequeue).
     fn begin(&self, job: &BatchJob) -> bool {
-        let mut inner = job.inner.lock().expect("job lock");
+        let mut inner = crate::lock_recover(&job.inner);
         if inner.state.is_terminal() {
             return false; // cancelled while queued: gauges already settled
         }
@@ -435,7 +431,7 @@ impl JobStore {
     /// Move a running job to its terminal state.
     fn finish(&self, job: &BatchJob, state: JobState, error: Option<(usize, String)>) {
         debug_assert!(state.is_terminal());
-        let mut inner = job.inner.lock().expect("job lock");
+        let mut inner = crate::lock_recover(&job.inner);
         inner.state = state;
         inner.error = error;
         drop(inner);
@@ -567,7 +563,7 @@ fn run_batch(engine: &Arc<Engine>, job: &Arc<BatchJob>) {
                 return;
             }
             Some(Ok(result)) => {
-                let mut inner = job.inner.lock().expect("job lock");
+                let mut inner = crate::lock_recover(&job.inner);
                 inner.results.push(result);
                 drop(inner);
                 job.changed.notify_all();

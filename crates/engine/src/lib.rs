@@ -43,6 +43,8 @@
 //! assert_eq!(result.ranking, vec![0, 1, 2]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod cache;
 pub mod job;
@@ -70,6 +72,24 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 use tables::{ExecContext, TableCache};
 use trace::{FlightRecorder, TraceHandle};
+
+/// Lock `m`, recovering from poisoning. The request paths must not
+/// unwind: every mutex in this crate guards plain bookkeeping (job
+/// maps, queues, caches) that stays structurally valid even when a
+/// holder panicked mid-update, so one panicking request must not turn
+/// every later request into a panic too.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`lock_recover`] for a condvar wait.
+pub(crate) fn wait_recover<'a, T>(
+    cv: &std::sync::Condvar,
+    guard: std::sync::MutexGuard<'a, T>,
+) -> std::sync::MutexGuard<'a, T> {
+    cv.wait(guard)
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Errors surfaced by the engine.
 #[derive(Debug)]
@@ -186,7 +206,7 @@ pub struct Engine {
     /// Concurrent identical submissions coalesce onto one execution
     /// instead of stampeding the pool. Lock order: `inflight` may be
     /// held while taking a cache shard, never the other way around.
-    inflight: Mutex<HashMap<u64, Vec<mpsc::Sender<JobOutcome>>>>,
+    inflight: Mutex<HashMap<u64, Vec<mpsc::SyncSender<JobOutcome>>>>,
     /// Shared per-run resources (the sampler-table cache), handed to
     /// every algorithm execution.
     exec: ExecContext,
@@ -620,7 +640,9 @@ impl Engine {
         // cache hit, coalesce onto an in-flight twin, or become the
         // owner of a new execution — decided under the inflight lock so
         // a completing twin cannot slip between the checks
-        let (tx, rx) = mpsc::channel::<JobOutcome>();
+        // bounded at 1: each waiter's sender delivers exactly one
+        // outcome, so the completing owner never blocks on the send
+        let (tx, rx) = mpsc::sync_channel::<JobOutcome>(1);
         {
             let mut inflight = self.inflight.lock().expect("inflight lock");
             if let Some(hit) = self.cache.get(key) {

@@ -213,6 +213,8 @@ static CONN_SEQ: AtomicU64 = AtomicU64::new(1);
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
+    /// Resolved at bind time so [`Server::local_addr`] is infallible.
+    addr: SocketAddr,
     engine: Arc<Engine>,
     config: ServerConfig,
     stop: Arc<AtomicBool>,
@@ -266,8 +268,11 @@ impl Server {
         engine: Arc<Engine>,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
         Ok(Server {
-            listener: TcpListener::bind(addr)?,
+            listener,
+            addr,
             engine,
             config,
             stop: Arc::new(AtomicBool::new(false)),
@@ -276,9 +281,7 @@ impl Server {
 
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
-        self.listener
-            .local_addr()
-            .expect("bound listener has an address")
+        self.addr
     }
 
     /// A handle that can start a graceful drain while the server runs
@@ -304,15 +307,15 @@ impl Server {
         self.serve(&stop);
     }
 
-    /// Serve on a background thread; the handle shuts it down.
-    pub fn spawn(self) -> ServerHandle {
+    /// Serve on a background thread; the handle shuts it down. Errors
+    /// when the accept thread cannot be spawned (thread exhaustion).
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let control = self.drain_control();
         let stop = Arc::clone(&self.stop);
         let thread = std::thread::Builder::new()
             .name("fairrank-accept".to_string())
-            .spawn(move || self.serve(&stop))
-            .expect("spawning the accept thread");
-        ServerHandle { control, thread }
+            .spawn(move || self.serve(&stop))?;
+        Ok(ServerHandle { control, thread })
     }
 
     fn serve(self, stop: &Arc<AtomicBool>) {
@@ -335,24 +338,35 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("fairrank-io-{i}"))
                     .spawn(move || io_worker(&rx, &engine, &config, &stop))
-                    .expect("spawning an I/O worker thread")
             })
+            .filter_map(Result::ok)
             .collect();
+        // thread exhaustion left us with zero I/O workers: serve
+        // connections serially on the accept thread rather than
+        // queueing them into a channel nobody drains
+        let mut inline_scratch = ConnScratch::default();
         for connection in self.listener.incoming() {
             if stop.load(Ordering::SeqCst) {
                 break;
             }
-            let stream = match connection {
-                Ok(stream) => stream,
-                Err(_) => {
-                    // accept() fails in a tight loop under fd
-                    // exhaustion — back off instead of spinning at
-                    // 100% CPU while the worker threads drain
-                    std::thread::sleep(Duration::from_millis(20));
-                    continue;
-                }
+            let Ok(stream) = connection else {
+                // accept() fails in a tight loop under fd exhaustion —
+                // back off instead of spinning at 100% CPU while the
+                // worker threads drain
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
             };
             EngineStats::bump(&self.engine.stats().connections);
+            if workers.is_empty() {
+                let _ = handle_connection(
+                    stream,
+                    &self.engine,
+                    &mut inline_scratch,
+                    &self.config,
+                    stop,
+                );
+                continue;
+            }
             match tx.try_send(stream) {
                 Ok(()) => {}
                 Err(mpsc::TrySendError::Full(stream)) => {
@@ -400,12 +414,9 @@ impl Server {
             if stop.load(Ordering::SeqCst) {
                 break;
             }
-            let stream = match connection {
-                Ok(stream) => stream,
-                Err(_) => {
-                    std::thread::sleep(Duration::from_millis(20));
-                    continue;
-                }
+            let Ok(stream) = connection else {
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
             };
             EngineStats::bump(&self.engine.stats().connections);
             // hand the worker thread a dup of the socket so that on
@@ -472,7 +483,7 @@ fn io_worker(
         // shared-receiver pattern: exactly one idle worker waits on the
         // channel, the rest queue on the mutex
         let stream = {
-            let receiver = rx.lock().expect("connection queue lock");
+            let receiver = crate::lock_recover(rx);
             receiver.recv()
         };
         match stream {
@@ -848,9 +859,8 @@ fn read_request(stream: &mut TcpStream, s: &mut ConnScratch) -> Result<ReadOutco
     let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
-    let (method, path) = match (parts.next(), parts.next()) {
-        (Some(method), Some(path)) => (method, path),
-        _ => return Err(ReadError::Malformed("malformed request line".to_string())),
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(ReadError::Malformed("malformed request line".to_string()));
     };
     // keep-alive is the HTTP/1.1 default; HTTP/1.0 (and anything
     // older) defaults to close unless the client opts in
@@ -1539,7 +1549,10 @@ mod tests {
             cache_shards: 0,
             ..EngineConfig::default()
         });
-        Server::bind("127.0.0.1:0", engine).unwrap().spawn()
+        Server::bind("127.0.0.1:0", engine)
+            .unwrap()
+            .spawn()
+            .unwrap()
     }
 
     /// Minimal HTTP client for the tests: one request per connection,
@@ -1736,7 +1749,8 @@ mod tests {
             },
         )
         .unwrap()
-        .spawn();
+        .spawn()
+        .unwrap();
         let (status, body) = http(server.addr(), "GET", "/healthz", "");
         assert_eq!(status, 200);
         assert!(body.contains("\"status\":\"ok\""), "{body}");
@@ -1813,7 +1827,8 @@ mod tests {
             },
         )
         .unwrap()
-        .spawn();
+        .spawn()
+        .unwrap();
         let (status, _) = http(server.addr(), "GET", "/healthz", "");
         assert_eq!(status, 200);
         server.shutdown();

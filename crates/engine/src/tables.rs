@@ -207,7 +207,7 @@ impl Default for ExecContext {
 
 /// Detected CPU count (1 when detection fails).
 pub(crate) fn available_parallelism() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 #[cfg(test)]

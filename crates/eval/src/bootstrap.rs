@@ -66,7 +66,7 @@ pub fn bootstrap_ci<R: Rng + ?Sized>(
     let mut estimates = Vec::with_capacity(resamples);
     let mut resample = vec![0.0f64; data.len()];
     for _ in 0..resamples {
-        for slot in resample.iter_mut() {
+        for slot in &mut resample {
             *slot = data[rng.random_range(0..data.len())];
         }
         estimates.push(statistic.eval(&resample));

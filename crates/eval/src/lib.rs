@@ -11,6 +11,8 @@
 //! * [`table`] — plain-text table emitters used by the `experiments`
 //!   binaries to print paper-style series.
 
+#![forbid(unsafe_code)]
+
 pub mod bootstrap;
 pub mod hypothesis;
 pub mod rand_ext;

@@ -49,7 +49,7 @@ impl Table {
         let cols = self
             .rows
             .iter()
-            .map(|r| r.len())
+            .map(std::vec::Vec::len)
             .chain(std::iter::once(self.headers.len()))
             .max()
             .unwrap_or(0);
@@ -71,7 +71,7 @@ impl Table {
         let fmt_row = |row: &[String]| -> String {
             let mut line = String::new();
             for (i, w) in widths.iter().enumerate() {
-                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                let cell = row.get(i).map_or("", String::as_str);
                 line.push_str(&format!("{cell:<w$}"));
                 if i + 1 < widths.len() {
                     line.push_str("  ");

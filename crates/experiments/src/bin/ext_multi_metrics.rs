@@ -87,8 +87,7 @@ fn main() {
                 &IpfConfig::default(),
                 &mut rng,
             )
-            .map(|o| o.ranking)
-            .unwrap_or_else(|_| input.clone()),
+            .map_or_else(|_| input.clone(), |o| o.ranking),
             baselines::optimal_fair_ranking_dp(
                 &scores,
                 &known,
@@ -112,8 +111,10 @@ fn main() {
                         adjust: false,
                     },
                 )
-                .map(|o| Permutation::from_order(o).expect("fa*ir emits a permutation"))
-                .unwrap_or_else(|_| input.clone())
+                .map_or_else(
+                    |_| input.clone(),
+                    |o| Permutation::from_order(o).expect("fa*ir emits a permutation"),
+                )
             },
             MallowsFairRanker::new(THETA, 1, Criterion::FirstSample)
                 .expect("valid parameters")

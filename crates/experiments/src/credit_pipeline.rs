@@ -466,8 +466,10 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        let labels: std::collections::HashSet<_> =
-            Algorithm::all().iter().map(|a| a.label()).collect();
+        let labels: std::collections::HashSet<_> = Algorithm::all()
+            .iter()
+            .map(super::Algorithm::label)
+            .collect();
         assert_eq!(labels.len(), Algorithm::all().len());
     }
 }

@@ -12,6 +12,8 @@
 //! The German-Credit pipeline shared by Figs. 5–7 lives in
 //! [`credit_pipeline`].
 
+#![forbid(unsafe_code)]
+
 pub mod credit_pipeline;
 
 use eval_stats::{bootstrap_ci, BootstrapCi, Statistic};

@@ -27,6 +27,8 @@
 //! and α is the upper-bound proportion**, i.e. a prefix of length `k` must
 //! contain at least `⌊β_p·k⌋` and at most `⌈α_p·k⌉` members of group `p`.
 
+#![forbid(unsafe_code)]
+
 pub mod bounds;
 pub mod divergence;
 pub mod exposure;

@@ -24,6 +24,8 @@
 //! assert!((sol.objective - 10.0).abs() < 1e-6); // x=2, y=2
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod problem;
 mod simplex;
 

@@ -39,7 +39,7 @@ pub fn solve_lp(problem: &Problem) -> Result<Solution, LpError> {
     }
 
     // Normalize rhs ≥ 0.
-    for (dense, rel, rhs) in rows.iter_mut() {
+    for (dense, rel, rhs) in &mut rows {
         if *rhs < 0.0 {
             for a in dense.iter_mut() {
                 *a = -*a;
@@ -129,7 +129,7 @@ pub fn solve_lp(problem: &Problem) -> Result<Solution, LpError> {
             }
         }
         // Forbid artificial columns from re-entering: zero them out.
-        for row in t.iter_mut() {
+        for row in &mut t {
             for &c in &artificial_cols {
                 row[c] = 0.0;
             }

@@ -20,6 +20,7 @@
 //!   ([`SamplerTables`]) and the zero-allocation [`RimSampler`] fast
 //!   path the serving engine caches across requests.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cayley;

@@ -326,11 +326,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mix = MallowsMixture::fit(&samples, 2, 30, 1e-6, &mut rng).unwrap();
         // the two fitted centres must be the two true centres (order-free)
-        let centers: Vec<&Permutation> = mix.components().iter().map(|c| c.center()).collect();
+        let centers: Vec<&Permutation> = mix
+            .components()
+            .iter()
+            .map(super::super::model::MallowsModel::center)
+            .collect();
         assert!(
             (centers[0] == &c1 && centers[1] == &c2) || (centers[0] == &c2 && centers[1] == &c1),
-            "centres {:?} differ from truth",
-            centers
+            "centres {centers:?} differ from truth"
         );
         // weights near 1/2 each
         for &w in mix.weights() {

@@ -20,6 +20,8 @@
 //! [`Permutation::position_of`]. Both views are kept consistent and all
 //! distances accept permutations of equal length only.
 
+#![forbid(unsafe_code)]
+
 pub mod distance;
 pub mod lehmer;
 pub mod permutation;

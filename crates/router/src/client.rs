@@ -95,7 +95,7 @@ impl BackendClient {
 
     /// Drop every pooled connection (backend left the ring).
     pub fn drop_pool(&self) {
-        self.idle.lock().unwrap().clear();
+        crate::lock_recover(&self.idle).clear();
     }
 
     /// Issue one request over a pooled connection. `scratch` is the
@@ -145,7 +145,7 @@ impl BackendClient {
     }
 
     fn checkout(&self) -> std::io::Result<(PooledConn, bool)> {
-        if let Some(conn) = self.idle.lock().unwrap().pop() {
+        if let Some(conn) = crate::lock_recover(&self.idle).pop() {
             return Ok((conn, true));
         }
         let stream = TcpStream::connect(&self.addr)?;
@@ -154,7 +154,7 @@ impl BackendClient {
     }
 
     fn check_in(&self, conn: PooledConn) {
-        let mut idle = self.idle.lock().unwrap();
+        let mut idle = crate::lock_recover(&self.idle);
         if idle.len() < POOL_IDLE_MAX {
             idle.push(conn);
         }

@@ -86,7 +86,7 @@ pub fn submit(core: &RouterCore, body: &[u8], key: u64, scratch: &mut Vec<u8>) -
                 return error_answer(502, "backend returned an unparsable job id");
             };
             let router_id = core.jobs.seq.fetch_add(1, Ordering::Relaxed) + 1;
-            core.jobs.entries.lock().unwrap().insert(
+            crate::lock_recover(&core.jobs.entries).insert(
                 router_id,
                 JobEntry {
                     body: Arc::new(body.to_vec()),
@@ -115,7 +115,7 @@ pub fn poll(core: &RouterCore, id: &str, method: &str, scratch: &mut Vec<u8>) ->
         return error_answer(404, "no such job");
     };
     if method == "DELETE" {
-        if let Some(entry) = core.jobs.entries.lock().unwrap().get_mut(&router_id) {
+        if let Some(entry) = crate::lock_recover(&core.jobs.entries).get_mut(&router_id) {
             entry.client_cancelled = true;
         }
     }
@@ -124,7 +124,7 @@ pub fn poll(core: &RouterCore, id: &str, method: &str, scratch: &mut Vec<u8>) ->
     // bounded by the backend count, so the walk terminates
     for _ in 0..core.backends().len().max(1) + 1 {
         let entry = {
-            let entries = core.jobs.entries.lock().unwrap();
+            let entries = crate::lock_recover(&core.jobs.entries);
             match entries.get(&router_id) {
                 Some(entry) => entry.clone(),
                 None => return error_answer(404, "no such job"),
@@ -155,7 +155,7 @@ pub fn poll(core: &RouterCore, id: &str, method: &str, scratch: &mut Vec<u8>) ->
                         continue;
                     }
                     Some(_) => {
-                        let mut entries = core.jobs.entries.lock().unwrap();
+                        let mut entries = crate::lock_recover(&core.jobs.entries);
                         if let Some(entry) = entries.get_mut(&router_id) {
                             entry.terminal_body = Some(Arc::new(response.body.clone()));
                         }
@@ -182,7 +182,7 @@ pub fn poll(core: &RouterCore, id: &str, method: &str, scratch: &mut Vec<u8>) ->
                 // all of its jobs, this one included) and retry
                 core.mark_down(&entry.backend);
                 let relocated = {
-                    let entries = core.jobs.entries.lock().unwrap();
+                    let entries = crate::lock_recover(&core.jobs.entries);
                     entries
                         .get(&router_id)
                         .is_some_and(|e| e.backend != entry.backend || e.terminal_body.is_some())
@@ -211,7 +211,7 @@ fn passthrough(backend: String, response: Response) -> JobAnswer {
 /// dead backend; the next poll retries the relocation.
 pub fn resubmit_for(core: &RouterCore, addr: &str) {
     let orphans: Vec<(u64, JobEntry)> = {
-        let entries = core.jobs.entries.lock().unwrap();
+        let entries = crate::lock_recover(&core.jobs.entries);
         entries
             .iter()
             .filter(|(_, e)| e.backend == addr && e.terminal_body.is_none())
@@ -238,7 +238,7 @@ fn resubmit_one(
             let Some(backend_id) = parse_id(&response.body) else {
                 return false;
             };
-            let mut entries = core.jobs.entries.lock().unwrap();
+            let mut entries = crate::lock_recover(&core.jobs.entries);
             if let Some(entry) = entries.get_mut(&router_id) {
                 // a concurrent relocation may have won; only overwrite
                 // the exact stale placement we observed

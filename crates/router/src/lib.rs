@@ -20,6 +20,8 @@
 //! keeps answering 200 across replica loss. Full failure semantics
 //! are documented in `docs/CLUSTER.md`.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod jobs;
 pub mod metrics;
@@ -31,8 +33,26 @@ use jobs::JobTable;
 use ring::HashRing;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
+
+/// Lock `m`, recovering from poisoning. Every mutex in this crate
+/// guards plain data (maps, connection pools) that stays structurally
+/// valid even if a holder panicked mid-update, so one panicking
+/// request must not turn every later request into a panic too.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`lock_recover`] for read-locking an `RwLock`.
+pub(crate) fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`lock_recover`] for write-locking an `RwLock`.
+pub(crate) fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Router configuration (CLI flags map onto this 1:1).
 #[derive(Clone, Debug)]
@@ -134,14 +154,14 @@ impl RouterCore {
 
     /// Backends currently in the ring.
     pub fn ready_count(&self) -> usize {
-        self.ring.read().unwrap().len()
+        read_recover(&self.ring).len()
     }
 
     /// The failover-ordered owner list for `key` (owner first), as
     /// clients. Snapshot semantics: membership changes during the walk
     /// are handled by per-attempt error handling, not by re-reading.
     fn owners_for(&self, key: u64) -> Vec<Arc<BackendClient>> {
-        let ring = self.ring.read().unwrap();
+        let ring = read_recover(&self.ring);
         ring.owners(key)
             .into_iter()
             .filter_map(|addr| self.client(addr).cloned())
@@ -157,7 +177,7 @@ impl RouterCore {
             .filter(|(_, ready)| ready.load(Ordering::SeqCst))
             .map(|(client, _)| client.addr())
             .collect();
-        *self.ring.write().unwrap() = HashRing::build(&ready);
+        *write_recover(&self.ring) = HashRing::build(&ready);
     }
 
     /// A probe saw `addr` answer 200: (re)join the ring.
@@ -290,9 +310,11 @@ impl RouterCore {
         hedge_after: Duration,
     ) -> Vec<(Arc<BackendClient>, std::io::Result<Response>)> {
         type Attempt = (Arc<BackendClient>, std::io::Result<Response>);
-        let (tx, rx) = mpsc::channel::<Attempt>();
+        // bounded at 2: at most two attempts (primary + hedge) each
+        // send exactly once, so neither send can ever block
+        let (tx, rx) = mpsc::sync_channel::<Attempt>(2);
         let timeout = self.config.request_timeout;
-        let spawn_attempt = |client: Arc<BackendClient>, tx: mpsc::Sender<Attempt>| {
+        let spawn_attempt = |client: Arc<BackendClient>, tx: mpsc::SyncSender<Attempt>| {
             let method = method.to_string();
             let path = path.to_string();
             let body = body.to_vec();

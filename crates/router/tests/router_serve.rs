@@ -44,6 +44,7 @@ fn spawn_backend_with(engine: Arc<Engine>) -> ServerHandle {
     )
     .expect("binding an ephemeral backend port")
     .spawn()
+    .expect("starting the backend")
 }
 
 fn spawn_router(backends: Vec<String>, probe_ms: u64, hedge_after_us: u64) -> RouterHandle {

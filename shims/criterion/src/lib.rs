@@ -9,6 +9,8 @@
 //! machinery, no plots; good enough to compare hot paths and to keep
 //! `cargo bench` green.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Top-level benchmark driver.

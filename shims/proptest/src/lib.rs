@@ -10,6 +10,8 @@
 //! seed (fully reproducible runs) and failing inputs are *not* shrunk —
 //! the failing case is printed verbatim instead.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 
 /// Number of random cases each `proptest!` test body runs.

@@ -11,6 +11,8 @@
 //! the workspace (and every engine job) is seeded explicitly, and the
 //! paper's experiments depend on bit-reproducible streams.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// The object-safe core of a random generator: just the raw bit

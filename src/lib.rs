@@ -1,6 +1,8 @@
 //! Umbrella crate re-exporting the whole fairness-ranking workspace,
 //! plus the cross-crate [`pipeline`] combining rank aggregation with
 //! fair post-processing.
+
+#![forbid(unsafe_code)]
 pub mod pipeline;
 
 pub use assignment_solver as assignment;

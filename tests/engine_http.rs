@@ -36,13 +36,15 @@ fn start_server() -> ServerHandle {
     Server::bind("127.0.0.1:0", test_engine())
         .expect("binding an ephemeral port")
         .spawn()
+        .expect("starting the server")
 }
 
 fn start_server_with(config: ServerConfig) -> (ServerHandle, Arc<Engine>) {
     let engine = test_engine();
     let handle = Server::bind_with("127.0.0.1:0", Arc::clone(&engine), config)
         .expect("binding an ephemeral port")
-        .spawn();
+        .spawn()
+        .expect("starting the server");
     (handle, engine)
 }
 
@@ -710,7 +712,8 @@ fn job_cancellation_mid_run_stops_between_chunks() {
     let engine = Engine::with_registry(EngineConfig::default(), registry);
     let server = Server::bind_with("127.0.0.1:0", engine, ServerConfig::default())
         .expect("binding an ephemeral port")
-        .spawn();
+        .spawn()
+        .expect("starting the server");
     let addr = server.addr();
 
     // 200 slow chunks with distinct seeds (no cache short-circuits)
@@ -1046,7 +1049,8 @@ fn graceful_drain_finishes_in_flight_work_and_sheds_new_connections() {
         },
     )
     .expect("binding an ephemeral port")
-    .spawn();
+    .spawn()
+    .expect("starting the server");
     let addr = server.addr();
 
     // readiness says ready pre-drain
